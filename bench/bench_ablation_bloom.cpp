@@ -1,0 +1,54 @@
+// Ablation A2: Bloom filter sizing (Section 5.1 fixes 1024 bits, k = 7).
+//
+// Sweeps the per-filter bit budget with auto-sizing disabled and measures
+// point-query accuracy, wasted group probes (false-positive cost) and the
+// space the filters consume. Shows why the reproduction auto-sizes filters
+// to the group population by default.
+#include "bench_common.h"
+
+#include <set>
+
+using namespace smartstore;
+using namespace smartstore::bench;
+using core::Routing;
+
+int main() {
+  std::printf("=== Ablation: Bloom filter geometry ===\n\n");
+  const auto tr =
+      trace::SyntheticTrace::generate(trace::msn_profile(), 2, 59, 10);
+  std::printf("population: %zu files over 60 units\n\n", tr.files().size());
+  std::printf("%10s %4s %12s %14s %16s\n", "bits", "k", "accuracy%",
+              "probes/query", "filter B/unit");
+
+  std::set<std::string> names;
+  for (const auto& f : tr.files()) names.insert(f.name);
+
+  for (const std::size_t bits : {512u, 1024u, 4096u, 16384u, 65536u}) {
+    auto cfg = default_config(60);
+    cfg.bloom_auto_size = false;
+    cfg.bloom_bits = bits;
+    core::SmartStore store(cfg);
+    store.build(tr.files());
+
+    trace::QueryGenerator gen(tr, trace::QueryDistribution::kZipf, 91);
+    int correct = 0;
+    double probes = 0;
+    const int n = 800;
+    for (int i = 0; i < n; ++i) {
+      const auto q = gen.gen_point(0.85);
+      const bool exists = names.count(q.filename) > 0;
+      const auto res = store.point_query(q, Routing::kOffline, 0.0);
+      if (res.found == exists) ++correct;
+      probes += static_cast<double>(res.stats.groups_visited);
+    }
+    std::printf("%10zu %4u %12s %14.2f %16zu\n", bits, cfg.bloom_hashes,
+                pct(static_cast<double>(correct) / n).c_str(), probes / n,
+                bits / 8);
+  }
+
+  std::printf("\nThe paper's 1024-bit filters fit 2009-era memory budgets; "
+              "at today's\npopulations they saturate — accuracy collapses "
+              "and every query probes the\nmaximum group budget. ~12 bits "
+              "per stored name restores the Figure 9 regime.\n");
+  return 0;
+}

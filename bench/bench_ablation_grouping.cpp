@@ -1,0 +1,66 @@
+// Ablation A1: what does semantic organization buy?
+//
+// Compares three placements over the same population and query workload:
+//   * semantic  — balanced k-means in LSI space + LSI-grouped tree (paper),
+//   * random    — files scattered randomly across units (control),
+// and reports complex-query recall, 0-hop rate and per-query messages.
+// Section 3.1.1 argues LSI over K-means for the grouping tool; the
+// semantic placement here *is* the K-means step, the LSI tree the grouping
+// step — removing both (random) shows the full contribution.
+#include "bench_common.h"
+
+using namespace smartstore;
+using namespace smartstore::bench;
+using core::Routing;
+
+namespace {
+
+void run(const char* label, core::PlacementPolicy placement,
+         const trace::SyntheticTrace& tr) {
+  auto cfg = default_config(60);
+  cfg.placement = placement;
+  core::SmartStore store(cfg);
+  store.build(tr.files());
+
+  const auto dims = complex_query_dims();
+  trace::QueryGenerator gen(tr, trace::QueryDistribution::kZipf, 83);
+  double topk_recall = 0, range_recall = 0, msgs = 0;
+  int zero_hops = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const auto tq = gen.gen_topk(dims, 8);
+    std::vector<metadata::FileId> truth;
+    for (const auto& [d, id] :
+         core::brute_force_topk(tr.files(), store.standardizer(), tq))
+      truth.push_back(id);
+    const auto tres = store.topk_query(tq, Routing::kOffline, 0.0);
+    topk_recall += core::recall(truth, tres.ids());
+    msgs += static_cast<double>(tres.stats.messages);
+    if (tres.stats.routing_hops == 0) ++zero_hops;
+
+    const auto rq = gen.gen_range(dims, 0.05);
+    range_recall += core::recall(
+        core::brute_force_range(tr.files(), rq),
+        store.range_query(rq, Routing::kOffline, 0.0).ids);
+  }
+  std::printf("%-10s %12s %12s %10s %12.1f %10zu\n", label,
+              pct(topk_recall / n).c_str(), pct(range_recall / n).c_str(),
+              pct(static_cast<double>(zero_hops) / n).c_str(), msgs / n,
+              store.tree().groups().size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: semantic vs random organization ===\n\n");
+  const auto tr =
+      trace::SyntheticTrace::generate(trace::msn_profile(), 2, 53, 8);
+  std::printf("%-10s %12s %12s %10s %12s %10s\n", "placement", "top8 rec%",
+              "range rec%", "0-hop%", "msgs/query", "groups");
+  run("semantic", core::PlacementPolicy::kSemantic, tr);
+  run("random", core::PlacementPolicy::kRandom, tr);
+  std::printf("\nRandom placement destroys the correlation the semantic "
+              "R-tree exploits:\nqueries spread across groups, recall under "
+              "a bounded search scope drops,\nand message counts rise.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation A3: LSI rank p.
+//
+// The rank-p truncation controls how much attribute structure the semantic
+// subspace keeps. Sweeps p and reports grouping quality (variance-ratio
+// criterion), complex-query recall and the 0-hop rate.
+#include "bench_common.h"
+
+using namespace smartstore;
+using namespace smartstore::bench;
+using core::Routing;
+
+int main() {
+  std::printf("=== Ablation: LSI rank p ===\n\n");
+  const auto tr =
+      trace::SyntheticTrace::generate(trace::msn_profile(), 2, 61, 8);
+  const auto dims = complex_query_dims();
+
+  std::printf("%8s %10s %12s %10s %10s\n", "rank p", "groups", "top8 rec%",
+              "0-hop%", "eps_1");
+  for (const std::size_t rank : {1u, 2u, 3u, 5u, 8u, 10u}) {
+    auto cfg = default_config(60);
+    cfg.lsi_rank = rank;
+    core::SmartStore store(cfg);
+    store.build(tr.files());
+
+    trace::QueryGenerator gen(tr, trace::QueryDistribution::kZipf, 97);
+    double topk_recall = 0;
+    int zero_hops = 0;
+    const int n = 150;
+    for (int i = 0; i < n; ++i) {
+      const auto tq = gen.gen_topk(dims, 8);
+      std::vector<metadata::FileId> truth;
+      for (const auto& [d, id] :
+           core::brute_force_topk(tr.files(), store.standardizer(), tq))
+        truth.push_back(id);
+      const auto res = store.topk_query(tq, Routing::kOffline, 0.0);
+      topk_recall += core::recall(truth, res.ids());
+      if (res.stats.routing_hops == 0) ++zero_hops;
+    }
+    std::printf("%8zu %10zu %12s %10s %10.4f\n", rank,
+                store.tree().groups().size(), pct(topk_recall / n).c_str(),
+                pct(static_cast<double>(zero_hops) / n).c_str(),
+                store.tree().level_epsilons().front());
+  }
+
+  std::printf("\nVery low ranks collapse distinct clusters (poor routing); "
+              "ranks past the\nintrinsic attribute dimensionality add noise "
+              "directions without benefit.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 11: optimal admission thresholds.
+//
+// (a) the optimal level-1 threshold as a function of the number of storage
+//     units (the system scale), and
+// (b) the per-level thresholds for a 60-unit deployment.
+// Thresholds are selected by minimizing the semantic-correlation objective
+// via the variance-ratio criterion over the LSI similarity quantiles
+// (Sections 1.1 and 5.5).
+#include "bench_common.h"
+
+using namespace smartstore;
+using namespace smartstore::bench;
+
+int main() {
+  std::printf("=== Figure 11: optimal thresholds ===\n\n");
+  const auto tr =
+      trace::SyntheticTrace::generate(trace::msn_profile(), 2, 29, 8);
+
+  std::printf("(a) optimal epsilon_1 vs system scale\n");
+  std::printf("%10s %12s %14s\n", "units", "epsilon_1", "groups");
+  for (const std::size_t units : {20u, 40u, 60u, 80u, 100u}) {
+    core::SmartStore store(default_config(units));
+    store.build(tr.files());
+    std::printf("%10zu %12.4f %14zu\n", units,
+                store.tree().level_epsilons().front(),
+                store.tree().groups().size());
+  }
+
+  std::printf("\n(b) per-level thresholds, 60 units\n");
+  core::SmartStore store(default_config(60));
+  store.build(tr.files());
+  std::printf("%10s %12s\n", "level", "epsilon_i");
+  const auto& eps = store.tree().level_epsilons();
+  for (std::size_t lvl = 0; lvl < eps.size(); ++lvl)
+    std::printf("%10zu %12.4f\n", lvl + 1, eps[lvl]);
+
+  std::printf("\n(Levels whose node count already fits the fanout form the "
+              "root directly;\n their threshold is reported as 0.)\n");
+  return 0;
+}

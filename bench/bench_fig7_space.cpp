@@ -1,0 +1,53 @@
+// Figure 7: space overhead per node of SmartStore, R-tree and DBMS.
+//
+// The baselines are centralized: their whole index sits on one server.
+// SmartStore's semantic R-tree is decentralized: hosted index units,
+// replicated first-level summaries and attached versions are spread over
+// all storage units, so its per-node overhead is a small fraction.
+#include "bench_common.h"
+
+#include "util/bytes.h"
+
+using namespace smartstore;
+using namespace smartstore::bench;
+
+int main() {
+  std::printf("=== Figure 7: space overhead per node ===\n\n");
+  std::printf("%-7s %10s %14s %14s %14s %12s\n", "trace", "files",
+              "DBMS/node", "R-tree/node", "Smart/node", "DBMS/Smart");
+
+  for (const auto kind :
+       {trace::TraceKind::kHP, trace::TraceKind::kMSN,
+        trace::TraceKind::kEECS}) {
+    const auto profile = trace::profile_for(kind);
+    const auto tr = trace::SyntheticTrace::generate(profile, 2, 13, 5);
+
+    baseline::DbmsStore dbms(60);
+    dbms.build(tr.files());
+    baseline::CentralRTreeStore rtree(60);
+    rtree.build(tr.files());
+    core::SmartStore smart(default_config(60));
+    smart.build(tr.files());
+
+    // Index overhead only (metadata records themselves are common to all
+    // three systems). Baselines: everything on the central node.
+    const double dbms_node = static_cast<double>(dbms.index_bytes());
+    const double rtree_node = static_cast<double>(rtree.index_bytes());
+    const auto sp = smart.avg_unit_space();
+    const double smart_node = static_cast<double>(
+        sp.index_bytes + sp.replica_bytes + sp.version_bytes);
+
+    std::printf("%-7s %10zu %14s %14s %14s %11.1fx\n", profile.name.c_str(),
+                tr.files().size(),
+                util::format_bytes(static_cast<std::size_t>(dbms_node)).c_str(),
+                util::format_bytes(static_cast<std::size_t>(rtree_node)).c_str(),
+                util::format_bytes(static_cast<std::size_t>(smart_node)).c_str(),
+                dbms_node / smart_node);
+  }
+
+  std::printf("\nSmartStore decentralizes the semantic R-tree across all "
+              "units and keeps only\nsmall replicated summaries per node; "
+              "DBMS pays one B+-tree per attribute on a\nsingle server "
+              "(paper: ~20x SmartStore).\n");
+  return 0;
+}

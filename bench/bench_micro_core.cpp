@@ -1,0 +1,206 @@
+// Micro-benchmarks (google-benchmark) for the core operations: MD5
+// hashing, Bloom filter ops, B+-tree ops, SVD/LSI fitting and projection,
+// R-tree insert/search, SmartStore query paths.
+#include <benchmark/benchmark.h>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/md5.h"
+#include "btree/bplus_tree.h"
+#include "core/smartstore.h"
+#include "la/svd.h"
+#include "lsi/lsi.h"
+#include "rtree/rtree.h"
+#include "trace/query_gen.h"
+#include "trace/synth.h"
+#include "util/rng.h"
+
+using namespace smartstore;
+
+namespace {
+
+// ---- hashing / filters ------------------------------------------------------
+
+void BM_Md5Digest(benchmark::State& state) {
+  const std::string name = "/sub3/u042/app017/f001234.dat";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bloom::md5(name));
+  }
+}
+BENCHMARK(BM_Md5Digest);
+
+void BM_BloomInsert(benchmark::State& state) {
+  bloom::BloomFilter bf(static_cast<std::size_t>(state.range(0)), 7);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    bf.insert("/file/" + std::to_string(i++));
+  }
+}
+BENCHMARK(BM_BloomInsert)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_BloomQuery(benchmark::State& state) {
+  bloom::BloomFilter bf(8192, 7);
+  for (int i = 0; i < 500; ++i) bf.insert("/file/" + std::to_string(i));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.may_contain("/file/" + std::to_string(i++ % 1000)));
+  }
+}
+BENCHMARK(BM_BloomQuery);
+
+// ---- B+-tree ---------------------------------------------------------------
+
+void BM_BtreeInsert(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    btree::BPlusTree<double, std::uint64_t> t;
+    state.ResumeTiming();
+    for (std::int64_t i = 0; i < state.range(0); ++i)
+      t.insert(rng.uniform(0, 1e9), static_cast<std::uint64_t>(i));
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BtreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BtreeRangeScan(benchmark::State& state) {
+  btree::BPlusTree<double, std::uint64_t> t;
+  util::Rng rng(2);
+  for (int i = 0; i < 20000; ++i)
+    t.insert(rng.uniform(0, 1000), static_cast<std::uint64_t>(i));
+  for (auto _ : state) {
+    std::size_t n = 0;
+    t.range_scan(400, 420, [&](double, std::uint64_t) { ++n; });
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_BtreeRangeScan);
+
+// ---- linear algebra / LSI ---------------------------------------------------
+
+void BM_SvdThin(benchmark::State& state) {
+  util::Rng rng(3);
+  la::Matrix a(10, static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = rng.gauss();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::svd_thin(a));
+  }
+}
+BENCHMARK(BM_SvdThin)->Arg(60)->Arg(600)->Arg(6000);
+
+void BM_LsiFit(benchmark::State& state) {
+  util::Rng rng(4);
+  std::vector<la::Vector> docs(static_cast<std::size_t>(state.range(0)),
+                               la::Vector(10));
+  for (auto& d : docs)
+    for (auto& x : d) x = rng.gauss();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsi::LsiModel::fit(docs, 5));
+  }
+}
+BENCHMARK(BM_LsiFit)->Arg(60)->Arg(600);
+
+void BM_LsiProject(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<la::Vector> docs(200, la::Vector(10));
+  for (auto& d : docs)
+    for (auto& x : d) x = rng.gauss();
+  const lsi::LsiModel m = lsi::LsiModel::fit(docs, 5);
+  la::Vector q(10, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.project(q));
+  }
+}
+BENCHMARK(BM_LsiProject);
+
+// ---- R-tree ----------------------------------------------------------------
+
+void BM_RtreeInsert(benchmark::State& state) {
+  util::Rng rng(6);
+  for (auto _ : state) {
+    state.PauseTiming();
+    rtree::RTree t(10, 16);
+    state.ResumeTiming();
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      la::Vector p(10);
+      for (auto& x : p) x = rng.gauss();
+      t.insert(p, static_cast<std::uint64_t>(i));
+    }
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RtreeInsert)->Arg(1000)->Arg(5000);
+
+void BM_RtreeKnn(benchmark::State& state) {
+  util::Rng rng(7);
+  rtree::RTree t(10, 16);
+  for (int i = 0; i < 10000; ++i) {
+    la::Vector p(10);
+    for (auto& x : p) x = rng.gauss();
+    t.insert(p, static_cast<std::uint64_t>(i));
+  }
+  la::Vector q(10, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.knn(q, 8));
+  }
+}
+BENCHMARK(BM_RtreeKnn);
+
+// ---- SmartStore query paths --------------------------------------------------
+
+struct StoreFixture {
+  StoreFixture() {
+    tr = trace::SyntheticTrace::generate(trace::msn_profile(), 1, 5, 10);
+    core::Config cfg;
+    cfg.num_units = 20;
+    cfg.fanout = 5;
+    store = std::make_unique<core::SmartStore>(cfg);
+    store->build(tr.files());
+    gen = std::make_unique<trace::QueryGenerator>(
+        tr, trace::QueryDistribution::kZipf, 8);
+  }
+  trace::SyntheticTrace tr;
+  std::unique_ptr<core::SmartStore> store;
+  std::unique_ptr<trace::QueryGenerator> gen;
+};
+
+StoreFixture& fixture() {
+  static StoreFixture f;
+  return f;
+}
+
+void BM_SmartStorePointQuery(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.store->point_query(
+        f.gen->gen_point(0.9), core::Routing::kOffline, 0.0));
+  }
+}
+BENCHMARK(BM_SmartStorePointQuery);
+
+void BM_SmartStoreRangeQuery(benchmark::State& state) {
+  auto& f = fixture();
+  const auto dims = metadata::AttrSubset(
+      {metadata::Attr::kModificationTime, metadata::Attr::kReadBytes});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.store->range_query(
+        f.gen->gen_range(dims, 0.05), core::Routing::kOffline, 0.0));
+  }
+}
+BENCHMARK(BM_SmartStoreRangeQuery);
+
+void BM_SmartStoreTopKQuery(benchmark::State& state) {
+  auto& f = fixture();
+  const auto dims = metadata::AttrSubset::all();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.store->topk_query(
+        f.gen->gen_topk(dims, 8), core::Routing::kOffline, 0.0));
+  }
+}
+BENCHMARK(BM_SmartStoreTopKQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

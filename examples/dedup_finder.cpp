@@ -1,0 +1,109 @@
+// Dedup candidate finder — the data-deduplication application from the
+// paper's introduction: "SmartStore can help identify the duplicate copies
+// that often exhibit similar or approximate multi-dimensional attributes,
+// such as file size and created time ... duplicate copies can be placed
+// together with high probability to narrow the search space."
+//
+// The example plants duplicate sets in a synthetic population, then finds
+// them two ways:
+//   * brute force over the full population (what a dedup pass over a
+//     directory tree must do), and
+//   * SmartStore top-k probes around each candidate, bounded to the file's
+//     semantic group.
+// It reports the detection rate and the scan-volume savings.
+#include <cstdio>
+#include <set>
+
+#include "core/smartstore.h"
+#include "trace/synth.h"
+#include "util/rng.h"
+
+using namespace smartstore;
+using core::Routing;
+using metadata::AttrSubset;
+using metadata::FileId;
+using metadata::FileMetadata;
+
+int main() {
+  auto trace = trace::SyntheticTrace::generate(trace::hp_profile(), 1, 99, 5);
+  auto files = trace.files();
+
+  // Plant 40 duplicate pairs: a copy shares size/ctime/owner with tiny
+  // attribute drift (backup copies made moments later).
+  util::Rng rng(4242);
+  std::vector<std::pair<FileId, FileId>> planted;
+  FileId next_id = files.back().id + 1;
+  for (int i = 0; i < 40; ++i) {
+    const auto& orig = files[rng.uniform_u64(files.size())];
+    FileMetadata copy = orig;
+    copy.id = next_id++;
+    copy.name = orig.name + ".bak";
+    copy.set_attr(metadata::Attr::kCreationTime,
+                  orig.attr(metadata::Attr::kCreationTime) + 1.0);
+    copy.set_attr(metadata::Attr::kAccessTime,
+                  orig.attr(metadata::Attr::kAccessTime) + 1.0);
+    planted.emplace_back(orig.id, copy.id);
+    files.push_back(copy);
+  }
+  std::printf("population: %zu files (40 planted duplicate pairs)\n",
+              files.size());
+
+  core::Config cfg;
+  cfg.num_units = 24;
+  cfg.fanout = 6;
+  core::SmartStore store(cfg);
+  store.build(files);
+
+  // For each planted original, ask SmartStore for its nearest neighbors;
+  // a duplicate is "detected" when the copy appears in the top-k.
+  int detected = 0;
+  std::uint64_t messages = 0;
+  std::size_t groups_visited = 0;
+  for (const auto& [orig_id, copy_id] : planted) {
+    const FileMetadata* orig = nullptr;
+    for (const auto& u : store.units())
+      if ((orig = u.find_by_id(orig_id)) != nullptr) break;
+    metadata::TopKQuery q;
+    q.dims = AttrSubset::all();
+    q.point = orig->full_vector();
+    q.k = 8;
+    const auto res = store.topk_query(q, Routing::kOffline, 0.0);
+    messages += res.stats.messages;
+    groups_visited += res.stats.groups_visited;
+    for (const auto& [dist, id] : res.hits) {
+      (void)dist;
+      if (id == copy_id) {
+        ++detected;
+        break;
+      }
+    }
+  }
+
+  const double scan_fraction =
+      static_cast<double>(groups_visited) /
+      (static_cast<double>(planted.size()) *
+       static_cast<double>(store.tree().groups().size()));
+  std::printf("detected %d/40 planted duplicates via bounded top-8 probes\n",
+              detected);
+  std::printf("search scope: %.1f%% of groups touched per probe "
+              "(brute force = 100%%), %llu total messages\n",
+              100.0 * scan_fraction,
+              static_cast<unsigned long long>(messages));
+  std::printf("semantic grouping placed %d/40 duplicate pairs in the same "
+              "group\n", [&] {
+                int same = 0;
+                for (const auto& [a, b] : planted) {
+                  core::UnitId ua = core::kInvalidIndex, ub = core::kInvalidIndex;
+                  for (const auto& u : store.units()) {
+                    if (u.find_by_id(a)) ua = u.id();
+                    if (u.find_by_id(b)) ub = u.id();
+                  }
+                  if (ua != core::kInvalidIndex && ub != core::kInvalidIndex &&
+                      store.tree().group_of_unit(ua) ==
+                          store.tree().group_of_unit(ub))
+                    ++same;
+                }
+                return same;
+              }());
+  return 0;
+}

@@ -1,0 +1,163 @@
+#include "baseline/central_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ground_truth.h"
+
+namespace smartstore::baseline {
+
+using metadata::FileId;
+using metadata::FileMetadata;
+using metadata::kNumAttrs;
+
+CentralRTreeStore::CentralRTreeStore(std::size_t cluster_nodes,
+                                     sim::CostModel cost, std::size_t fanout)
+    : cluster_(std::make_unique<sim::Cluster>(
+          std::max<std::size_t>(1, cluster_nodes), cost)),
+      cost_(cost), rng_(0x47EE), tree_(kNumAttrs, fanout) {}
+
+la::Vector CentralRTreeStore::std_coords(const FileMetadata& f) const {
+  return standardizer_.transform(f.full_vector());
+}
+
+void CentralRTreeStore::build(const std::vector<FileMetadata>& files) {
+  files_.clear();
+  row_of_.clear();
+  name_map_.clear();
+  standardizer_ = core::fit_standardizer(files);
+  tree_ = rtree::RTree(kNumAttrs, tree_.max_fanout());
+  files_.reserve(files.size());
+  for (const auto& f : files) insert_file(f);
+}
+
+void CentralRTreeStore::insert_file(const FileMetadata& f) {
+  row_of_[f.id] = files_.size();
+  name_map_[f.name] = f.id;
+  files_.push_back(f);
+  tree_.insert(std_coords(f), f.id);
+}
+
+bool CentralRTreeStore::delete_file(const std::string& name) {
+  auto it = name_map_.find(name);
+  if (it == name_map_.end()) return false;
+  const FileId id = it->second;
+  const std::size_t row = row_of_.at(id);
+  tree_.erase(std_coords(files_[row]), id);
+  name_map_.erase(it);
+  const std::size_t last = files_.size() - 1;
+  if (row != last) {
+    files_[row] = files_[last];
+    row_of_[files_[row].id] = row;
+  }
+  files_.pop_back();
+  row_of_.erase(id);
+  return true;
+}
+
+sim::Session CentralRTreeStore::central_session(double arrival) {
+  const sim::NodeId home = rng_.uniform_u64(cluster_->size());
+  sim::Session s = cluster_->start_session(home, arrival);
+  s.send_to(0, 256);
+  return s;
+}
+
+core::PointResult CentralRTreeStore::point_query(const metadata::PointQuery& q,
+                                                 double arrival) {
+  core::PointResult res;
+  sim::Session s = central_session(arrival);
+  auto it = name_map_.find(q.filename);
+  s.visit(cost_.per_node_visit_s, 1);
+  if (it != name_map_.end()) {
+    res.found = true;
+    res.id = it->second;
+    res.unit = 0;
+  }
+  res.first_try = true;
+  res.stats.groups_visited = 1;
+  res.stats.latency_s = s.clock() - arrival;
+  res.stats.messages = s.messages();
+  res.stats.hops = s.hops();
+  return res;
+}
+
+core::RangeResult CentralRTreeStore::range_query(const metadata::RangeQuery& q,
+                                                 double arrival) {
+  core::RangeResult res;
+  sim::Session s = central_session(arrival);
+
+  // Build a full-D standardized box: unconstrained dims span the tree.
+  const rtree::Mbr bounds = tree_.bounds();
+  la::Vector lo(kNumAttrs), hi(kNumAttrs);
+  if (bounds.valid()) {
+    lo = bounds.lo();
+    hi = bounds.hi();
+  }
+  for (std::size_t i = 0; i < q.dims.size(); ++i) {
+    const std::size_t d = static_cast<std::size_t>(q.dims[i]);
+    const double a = (q.lo[i] - standardizer_.means[d]) *
+                     standardizer_.inv_stdevs[d];
+    const double b = (q.hi[i] - standardizer_.means[d]) *
+                     standardizer_.inv_stdevs[d];
+    lo[d] = std::min(a, b);
+    hi[d] = std::max(a, b);
+  }
+  res.ids = tree_.range_query(rtree::Mbr(lo, hi));
+  std::sort(res.ids.begin(), res.ids.end());
+
+  const auto st = tree_.stats();
+  // Cost: every visited node is touched, every visited leaf's entries are
+  // compared (record-level work).
+  s.visit(static_cast<double>(st.last_nodes_visited) * cost_.per_node_visit_s,
+          st.last_leaf_entries);
+
+  res.stats.records_scanned = st.last_leaf_entries;
+  res.stats.latency_s = s.clock() - arrival;
+  res.stats.messages = s.messages();
+  res.stats.hops = s.hops();
+  res.stats.groups_visited = 1;
+  return res;
+}
+
+core::TopKResult CentralRTreeStore::topk_query(const metadata::TopKQuery& q,
+                                               double arrival) {
+  core::TopKResult res;
+  sim::Session s = central_session(arrival);
+
+  // The R-tree indexes full-D points; a subset-dim k-NN cannot use the
+  // index directly unless all dims are constrained. With a full-D query it
+  // uses best-first search; otherwise it degrades to a filtered scan over
+  // leaf entries (still via the tree, visiting everything).
+  if (q.dims.size() == kNumAttrs) {
+    std::vector<std::size_t> dim_idx(kNumAttrs);
+    la::Vector p(kNumAttrs);
+    for (std::size_t i = 0; i < kNumAttrs; ++i) {
+      dim_idx[i] = i;
+      p[i] = (q.point[i] - standardizer_.means[i]) * standardizer_.inv_stdevs[i];
+    }
+    res.hits = tree_.knn(p, q.k);
+    const auto st = tree_.stats();
+    s.visit(static_cast<double>(st.last_nodes_visited) * cost_.per_node_visit_s,
+            st.last_leaf_entries);
+    res.stats.records_scanned = st.last_leaf_entries;
+  } else {
+    res.hits = core::brute_force_topk(files_, standardizer_, q);
+    const auto st = tree_.stats();
+    s.visit(static_cast<double>(st.leaf_nodes + st.internal_nodes) *
+                cost_.per_node_visit_s,
+            files_.size());
+    res.stats.records_scanned = files_.size();
+  }
+
+  res.stats.latency_s = s.clock() - arrival;
+  res.stats.messages = s.messages();
+  res.stats.hops = s.hops();
+  res.stats.groups_visited = 1;
+  return res;
+}
+
+std::size_t CentralRTreeStore::index_bytes() const {
+  return tree_.stats().bytes + name_map_.size() * 72;
+}
+
+}  // namespace smartstore::baseline

@@ -1,0 +1,60 @@
+// The non-semantic R-tree baseline of Section 5.1: "a simple,
+// non-semantic R-tree-based database approach that organizes each file
+// based on its multi-dimensional attributes without leveraging metadata
+// semantics" — a single centralized Guttman R-tree in insertion order.
+//
+// Against SmartStore it shows the cost of (a) centralization (every query
+// queues at one node) and (b) insertion-order clustering instead of
+// semantic grouping (queries touch many more nodes).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/smartstore.h"
+#include "la/stats.h"
+#include "metadata/file_metadata.h"
+#include "metadata/query.h"
+#include "rtree/rtree.h"
+#include "sim/cluster.h"
+
+namespace smartstore::baseline {
+
+class CentralRTreeStore {
+ public:
+  CentralRTreeStore(std::size_t cluster_nodes, sim::CostModel cost = {},
+                    std::size_t fanout = 16);
+
+  void build(const std::vector<metadata::FileMetadata>& files);
+
+  core::PointResult point_query(const metadata::PointQuery& q, double arrival);
+  core::RangeResult range_query(const metadata::RangeQuery& q, double arrival);
+  core::TopKResult topk_query(const metadata::TopKQuery& q, double arrival);
+
+  void insert_file(const metadata::FileMetadata& f);
+  bool delete_file(const std::string& name);
+
+  std::size_t size() const { return files_.size(); }
+  std::size_t index_bytes() const;
+  sim::Cluster& cluster() { return *cluster_; }
+  const la::RowStandardizer& standardizer() const { return standardizer_; }
+  const rtree::RTree& rtree() const { return tree_; }
+
+ private:
+  sim::Session central_session(double arrival);
+  la::Vector std_coords(const metadata::FileMetadata& f) const;
+
+  std::unique_ptr<sim::Cluster> cluster_;
+  sim::CostModel cost_;
+  util::Rng rng_;
+
+  std::vector<metadata::FileMetadata> files_;
+  std::unordered_map<metadata::FileId, std::size_t> row_of_;
+  std::unordered_map<std::string, metadata::FileId> name_map_;
+  la::RowStandardizer standardizer_;
+  rtree::RTree tree_;
+};
+
+}  // namespace smartstore::baseline

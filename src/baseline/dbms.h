@@ -1,0 +1,74 @@
+// The DBMS baseline of Section 5.1: "a popular database approach that uses
+// a B+ tree to index each metadata attribute" — no semantic awareness, no
+// multi-dimensional index, centralized deployment.
+//
+// Query semantics match SmartStore's exactly (same results); only the cost
+// differs:
+//   * point query: the filename B+-tree plus one verification probe per
+//     attribute index (a DBMS validates the row against each index it
+//     maintains on write-optimized paths; this is what makes its point
+//     query slower than the R-tree baseline's in Table 4);
+//   * range query: every constrained attribute's B+-tree is range-scanned
+//     independently and the candidate id sets are intersected — the
+//     "linear brute-force search cost" the paper attributes to DBMS;
+//   * top-k: a full linear scan (B+-trees cannot prune a k-NN query).
+// All queries execute on one central node of the simulated cluster, so an
+// intensified arrival stream queues there.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+#include "btree/bplus_tree.h"
+#include "core/smartstore.h"
+#include "la/stats.h"
+#include "metadata/file_metadata.h"
+#include "metadata/query.h"
+#include "sim/cluster.h"
+
+namespace smartstore::baseline {
+
+class DbmsStore {
+ public:
+  /// `cluster_nodes` sizes the simulated cluster (for comparability with
+  /// SmartStore; the DBMS itself only ever uses node 0).
+  DbmsStore(std::size_t cluster_nodes, sim::CostModel cost = {});
+
+  void build(const std::vector<metadata::FileMetadata>& files);
+
+  core::PointResult point_query(const metadata::PointQuery& q, double arrival);
+  core::RangeResult range_query(const metadata::RangeQuery& q, double arrival);
+  core::TopKResult topk_query(const metadata::TopKQuery& q, double arrival);
+
+  void insert_file(const metadata::FileMetadata& f);
+  bool delete_file(const std::string& name);
+
+  std::size_t size() const { return files_.size(); }
+  /// Total index bytes on the central node (Figure 7's DBMS bar).
+  std::size_t index_bytes() const;
+  sim::Cluster& cluster() { return *cluster_; }
+  const la::RowStandardizer& standardizer() const { return standardizer_; }
+
+ private:
+  sim::Session central_session(double arrival);
+
+  std::unique_ptr<sim::Cluster> cluster_;
+  sim::CostModel cost_;
+  util::Rng rng_;
+
+  std::vector<metadata::FileMetadata> files_;  // id-dense row store
+  std::unordered_map<metadata::FileId, std::size_t> row_of_;
+  la::RowStandardizer standardizer_;
+
+  using AttrIndex = btree::BPlusTree<double, metadata::FileId>;
+  using NameIndex = btree::BPlusTree<std::string, metadata::FileId>;
+  std::vector<AttrIndex> attr_index_;  // one per attribute
+  NameIndex name_index_;
+};
+
+}  // namespace smartstore::baseline

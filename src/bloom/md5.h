@@ -1,0 +1,53 @@
+// RFC 1321 MD5, implemented from scratch.
+//
+// SmartStore (Section 5.1) hashes each attribute value to its 128-bit MD5
+// signature and splits the digest into four 32-bit words used as Bloom
+// filter indices; this module provides exactly that primitive. MD5 is used
+// here purely as a fast mixing function, not for security.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace smartstore::bloom {
+
+struct Md5Digest {
+  std::array<std::uint8_t, 16> bytes{};
+
+  /// The digest reinterpreted as four little-endian 32-bit words — the
+  /// construction the paper uses for Bloom filter indexing.
+  std::array<std::uint32_t, 4> words() const;
+
+  /// Lowercase hex string (32 chars), for tests against RFC vectors.
+  std::string hex() const;
+
+  bool operator==(const Md5Digest&) const = default;
+};
+
+/// One-shot digest of a byte buffer.
+Md5Digest md5(const void* data, std::size_t len);
+
+/// One-shot digest of a string.
+Md5Digest md5(std::string_view s);
+
+/// Incremental hashing (used when an item is hashed from several fields).
+class Md5 {
+ public:
+  Md5();
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+  Md5Digest finalize();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[4];
+  std::uint64_t bit_count_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace smartstore::bloom

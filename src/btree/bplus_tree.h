@@ -1,0 +1,371 @@
+// In-memory B+-tree, the index substrate for the DBMS baseline (Section
+// 5.1: "a popular database approach that uses a B+ tree to index each
+// metadata attribute").
+//
+// Entries are (Key, Value) pairs ordered lexicographically, which makes
+// duplicate attribute values (many files share a size or timestamp) unique
+// composites and keeps insert/erase logic canonical. Leaves are linked for
+// range scans. Deletion rebalances (borrow from siblings, merge on
+// underflow) so the tree stays within the classical occupancy invariants:
+// every node except the root holds at least Order/2 entries/children.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace smartstore::btree {
+
+template <typename Key, typename Value, std::size_t Order = 64>
+class BPlusTree {
+  static_assert(Order >= 4, "Order must be at least 4");
+
+ public:
+  using Entry = std::pair<Key, Value>;
+
+  BPlusTree() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts the pair; duplicates of the exact (key, value) composite are
+  /// ignored. Returns true if inserted.
+  bool insert(const Key& key, const Value& value) {
+    const Entry e{key, value};
+    if (!root_) {
+      root_ = std::make_unique<Node>(/*leaf=*/true);
+      root_->entries.push_back(e);
+      ++size_;
+      ++leaf_count_;
+      return true;
+    }
+    Entry promoted;
+    std::unique_ptr<Node> sibling;
+    const InsertResult r = insert_recursive(*root_, e, promoted, sibling);
+    if (r == InsertResult::kDuplicate) return false;
+    if (r == InsertResult::kSplit) {
+      auto new_root = std::make_unique<Node>(/*leaf=*/false);
+      new_root->keys.push_back(promoted);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(sibling));
+      root_ = std::move(new_root);
+      ++internal_count_;
+    }
+    ++size_;
+    return true;
+  }
+
+  /// Removes the exact (key, value) pair. Returns true if it was present.
+  bool erase(const Key& key, const Value& value) {
+    if (!root_) return false;
+    const Entry e{key, value};
+    if (!erase_recursive(*root_, e)) return false;
+    --size_;
+    // Collapse the root: an internal root with a single child is replaced
+    // by that child; an empty leaf root is dropped.
+    if (!root_->leaf && root_->children.size() == 1) {
+      root_ = std::move(root_->children.front());
+      --internal_count_;
+    } else if (root_->leaf && root_->entries.empty()) {
+      root_.reset();
+      --leaf_count_;
+    }
+    return true;
+  }
+
+  /// True if the exact (key, value) pair is present.
+  bool contains(const Key& key, const Value& value) const {
+    const Node* n = root_.get();
+    if (!n) return false;
+    const Entry e{key, value};
+    while (!n->leaf) {
+      const std::size_t i = static_cast<std::size_t>(
+          std::upper_bound(n->keys.begin(), n->keys.end(), e) -
+          n->keys.begin());
+      n = n->children[i].get();
+    }
+    return std::binary_search(n->entries.begin(), n->entries.end(), e);
+  }
+
+  /// Calls fn(key, value) for every entry with lo <= key <= hi, in key
+  /// order. Returns the number of entries visited.
+  std::size_t range_scan(
+      const Key& lo, const Key& hi,
+      const std::function<void(const Key&, const Value&)>& fn) const {
+    if (!root_ || hi < lo) return 0;
+    // Descend toward the leftmost leaf that could hold `lo`.
+    const Node* n = root_.get();
+    const Entry probe_lo{lo, numeric_limits_min()};
+    while (!n->leaf) {
+      const std::size_t i = static_cast<std::size_t>(
+          std::lower_bound(n->keys.begin(), n->keys.end(), probe_lo) -
+          n->keys.begin());
+      n = n->children[i].get();
+    }
+    std::size_t visited = 0;
+    auto it = std::lower_bound(n->entries.begin(), n->entries.end(), probe_lo);
+    while (n) {
+      for (; it != n->entries.end(); ++it) {
+        if (hi < it->first) return visited;
+        fn(it->first, it->second);
+        ++visited;
+      }
+      n = n->next;
+      if (n) it = n->entries.begin();
+    }
+    return visited;
+  }
+
+  /// Calls fn for every entry, in key order.
+  void for_each(const std::function<void(const Key&, const Value&)>& fn) const {
+    const Node* n = leftmost_leaf();
+    while (n) {
+      for (const auto& e : n->entries) fn(e.first, e.second);
+      n = n->next;
+    }
+  }
+
+  /// Height of the tree (0 for empty, 1 for a lone leaf).
+  std::size_t height() const {
+    std::size_t h = 0;
+    const Node* n = root_.get();
+    while (n) {
+      ++h;
+      n = n->leaf ? nullptr : n->children.front().get();
+    }
+    return h;
+  }
+
+  std::size_t leaf_count() const { return leaf_count_; }
+  std::size_t internal_count() const { return internal_count_; }
+
+  /// Approximate heap footprint, for the space-overhead experiments.
+  std::size_t byte_size() const {
+    const std::size_t per_leaf = sizeof(Node) + Order * sizeof(Entry);
+    const std::size_t per_internal =
+        sizeof(Node) + Order * (sizeof(Entry) + sizeof(void*));
+    return sizeof(*this) + leaf_count_ * per_leaf +
+           internal_count_ * per_internal;
+  }
+
+  /// Verifies structural invariants (ordering, occupancy, linked-leaf
+  /// chain); used by property tests. Returns false on any violation.
+  bool check_invariants() const {
+    if (!root_) return size_ == 0;
+    std::size_t counted = 0;
+    const Node* prev_leaf = nullptr;
+    bool ok = check_node(*root_, nullptr, nullptr, /*is_root=*/true, counted,
+                         prev_leaf);
+    return ok && counted == size_;
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    // Leaves use `entries`; internal nodes use `keys` + `children` with
+    // children.size() == keys.size() + 1.
+    std::vector<Entry> entries;
+    std::vector<Entry> keys;
+    std::vector<std::unique_ptr<Node>> children;
+    Node* next = nullptr;  // leaf chain
+  };
+
+  enum class InsertResult { kOk, kSplit, kDuplicate };
+
+  static constexpr std::size_t kMin = Order / 2;
+
+  // Helper for building the minimal probe entry: Value must be default +
+  // less-than comparable; the default-constructed Value is assumed minimal
+  // for numeric/id types used in this repo. For safety with signed types we
+  // use the numeric minimum when available.
+  static Value numeric_limits_min() {
+    if constexpr (std::numeric_limits<Value>::is_specialized) {
+      return std::numeric_limits<Value>::lowest();
+    } else {
+      return Value{};
+    }
+  }
+
+  const Node* leftmost_leaf() const {
+    const Node* n = root_.get();
+    while (n && !n->leaf) n = n->children.front().get();
+    return n;
+  }
+
+  InsertResult insert_recursive(Node& node, const Entry& e, Entry& promoted,
+                                std::unique_ptr<Node>& sibling) {
+    if (node.leaf) {
+      auto it = std::lower_bound(node.entries.begin(), node.entries.end(), e);
+      if (it != node.entries.end() && *it == e) return InsertResult::kDuplicate;
+      node.entries.insert(it, e);
+      if (node.entries.size() <= Order) return InsertResult::kOk;
+      // Split leaf: right half moves to a new sibling.
+      auto right = std::make_unique<Node>(/*leaf=*/true);
+      const std::size_t half = node.entries.size() / 2;
+      right->entries.assign(node.entries.begin() + half, node.entries.end());
+      node.entries.resize(half);
+      right->next = node.next;
+      node.next = right.get();
+      promoted = right->entries.front();
+      sibling = std::move(right);
+      ++leaf_count_;
+      return InsertResult::kSplit;
+    }
+
+    const std::size_t i = static_cast<std::size_t>(
+        std::upper_bound(node.keys.begin(), node.keys.end(), e) -
+        node.keys.begin());
+    Entry child_promoted;
+    std::unique_ptr<Node> child_sibling;
+    const InsertResult r =
+        insert_recursive(*node.children[i], e, child_promoted, child_sibling);
+    if (r != InsertResult::kSplit) return r;
+
+    node.keys.insert(node.keys.begin() + i, child_promoted);
+    node.children.insert(node.children.begin() + i + 1,
+                         std::move(child_sibling));
+    if (node.children.size() <= Order) return InsertResult::kOk;
+
+    // Split internal node: middle key is promoted, not copied.
+    auto right = std::make_unique<Node>(/*leaf=*/false);
+    const std::size_t mid = node.keys.size() / 2;
+    promoted = node.keys[mid];
+    right->keys.assign(node.keys.begin() + mid + 1, node.keys.end());
+    right->children.reserve(node.children.size() - (mid + 1));
+    for (std::size_t c = mid + 1; c < node.children.size(); ++c)
+      right->children.push_back(std::move(node.children[c]));
+    node.keys.resize(mid);
+    node.children.resize(mid + 1);
+    sibling = std::move(right);
+    ++internal_count_;
+    return InsertResult::kSplit;
+  }
+
+  bool erase_recursive(Node& node, const Entry& e) {
+    if (node.leaf) {
+      auto it = std::lower_bound(node.entries.begin(), node.entries.end(), e);
+      if (it == node.entries.end() || !(*it == e)) return false;
+      node.entries.erase(it);
+      return true;
+    }
+    const std::size_t i = static_cast<std::size_t>(
+        std::upper_bound(node.keys.begin(), node.keys.end(), e) -
+        node.keys.begin());
+    if (!erase_recursive(*node.children[i], e)) return false;
+    fix_underflow(node, i);
+    return true;
+  }
+
+  std::size_t occupancy(const Node& n) const {
+    return n.leaf ? n.entries.size() : n.children.size();
+  }
+
+  void fix_underflow(Node& parent, std::size_t i) {
+    Node& child = *parent.children[i];
+    if (occupancy(child) >= kMin) return;
+
+    // Try to borrow from the left sibling.
+    if (i > 0 && occupancy(*parent.children[i - 1]) > kMin) {
+      Node& left = *parent.children[i - 1];
+      if (child.leaf) {
+        child.entries.insert(child.entries.begin(), left.entries.back());
+        left.entries.pop_back();
+        parent.keys[i - 1] = child.entries.front();
+      } else {
+        child.keys.insert(child.keys.begin(), parent.keys[i - 1]);
+        parent.keys[i - 1] = left.keys.back();
+        left.keys.pop_back();
+        child.children.insert(child.children.begin(),
+                              std::move(left.children.back()));
+        left.children.pop_back();
+      }
+      return;
+    }
+    // Try to borrow from the right sibling.
+    if (i + 1 < parent.children.size() &&
+        occupancy(*parent.children[i + 1]) > kMin) {
+      Node& right = *parent.children[i + 1];
+      if (child.leaf) {
+        child.entries.push_back(right.entries.front());
+        right.entries.erase(right.entries.begin());
+        parent.keys[i] = right.entries.front();
+      } else {
+        child.keys.push_back(parent.keys[i]);
+        parent.keys[i] = right.keys.front();
+        right.keys.erase(right.keys.begin());
+        child.children.push_back(std::move(right.children.front()));
+        right.children.erase(right.children.begin());
+      }
+      return;
+    }
+    // Merge with a sibling (prefer left).
+    if (i > 0) {
+      merge_children(parent, i - 1);
+    } else if (i + 1 < parent.children.size()) {
+      merge_children(parent, i);
+    }
+  }
+
+  /// Merges parent.children[i+1] into parent.children[i] and removes the
+  /// separator keys[i].
+  void merge_children(Node& parent, std::size_t i) {
+    Node& left = *parent.children[i];
+    Node& right = *parent.children[i + 1];
+    if (left.leaf) {
+      left.entries.insert(left.entries.end(), right.entries.begin(),
+                          right.entries.end());
+      left.next = right.next;
+      --leaf_count_;
+    } else {
+      left.keys.push_back(parent.keys[i]);
+      left.keys.insert(left.keys.end(), right.keys.begin(), right.keys.end());
+      for (auto& c : right.children) left.children.push_back(std::move(c));
+      --internal_count_;
+    }
+    parent.keys.erase(parent.keys.begin() + i);
+    parent.children.erase(parent.children.begin() + i + 1);
+  }
+
+  bool check_node(const Node& n, const Entry* lo, const Entry* hi,
+                  bool is_root, std::size_t& counted,
+                  const Node*& prev_leaf) const {
+    if (n.leaf) {
+      if (!is_root && n.entries.size() < kMin) return false;
+      if (n.entries.size() > Order) return false;
+      if (!std::is_sorted(n.entries.begin(), n.entries.end())) return false;
+      for (const auto& e : n.entries) {
+        if (lo && e < *lo) return false;
+        if (hi && !(e < *hi)) return false;
+      }
+      if (prev_leaf && prev_leaf->next != &n) return false;
+      prev_leaf = &n;
+      counted += n.entries.size();
+      return true;
+    }
+    if (n.children.size() != n.keys.size() + 1) return false;
+    if (!is_root && n.children.size() < kMin) return false;
+    if (n.children.size() > Order) return false;
+    if (!std::is_sorted(n.keys.begin(), n.keys.end())) return false;
+    for (std::size_t i = 0; i < n.children.size(); ++i) {
+      const Entry* clo = i == 0 ? lo : &n.keys[i - 1];
+      const Entry* chi = i == n.keys.size() ? hi : &n.keys[i];
+      if (!check_node(*n.children[i], clo, chi, /*is_root=*/false, counted,
+                      prev_leaf))
+        return false;
+    }
+    return true;
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  std::size_t leaf_count_ = 0;
+  std::size_t internal_count_ = 0;
+};
+
+}  // namespace smartstore::btree

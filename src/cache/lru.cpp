@@ -1,0 +1,52 @@
+#include "cache/lru.h"
+
+#include <cassert>
+
+namespace smartstore::cache {
+
+LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {
+  assert(capacity > 0);
+}
+
+bool LruCache::access(std::uint64_t key) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    touch(key);
+    return true;
+  }
+  ++stats_.misses;
+  admit(key);
+  return false;
+}
+
+bool LruCache::prefetch(std::uint64_t key) {
+  if (map_.count(key)) return false;
+  ++stats_.prefetches;
+  admit(key);
+  return true;
+}
+
+void LruCache::touch(std::uint64_t key) {
+  auto it = map_.find(key);
+  order_.erase(it->second);
+  order_.push_front(key);
+  it->second = order_.begin();
+}
+
+void LruCache::admit(std::uint64_t key) {
+  order_.push_front(key);
+  map_[key] = order_.begin();
+  evict_if_needed();
+}
+
+void LruCache::evict_if_needed() {
+  while (map_.size() > capacity_) {
+    const std::uint64_t victim = order_.back();
+    order_.pop_back();
+    map_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace smartstore::cache

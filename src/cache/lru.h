@@ -1,0 +1,55 @@
+// LRU cache: the conventional locality-only baseline for the
+// semantic-caching application (Sections 1.1 and 5.3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace smartstore::cache {
+
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::size_t prefetches = 0;
+
+  double hit_rate() const {
+    const std::size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Fixed-capacity LRU over uint64 keys (file ids).
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity);
+
+  /// Looks the key up, recording hit/miss and refreshing recency. On miss
+  /// the key is admitted (demand fill). Returns true on hit.
+  bool access(std::uint64_t key);
+
+  /// Admits a key without counting a hit or miss (prefetch fill). Returns
+  /// false if it was already cached.
+  bool prefetch(std::uint64_t key);
+
+  bool contains(std::uint64_t key) const { return map_.count(key) > 0; }
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  void touch(std::uint64_t key);
+  void admit(std::uint64_t key);
+  void evict_if_needed();
+
+  std::size_t capacity_;
+  std::list<std::uint64_t> order_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+  CacheStats stats_;
+};
+
+}  // namespace smartstore::cache

@@ -1,0 +1,36 @@
+#include "cache/semantic_cache.h"
+
+namespace smartstore::cache {
+
+SemanticPrefetchCache::SemanticPrefetchCache(core::SmartStore& store,
+                                             std::size_t capacity,
+                                             std::size_t k,
+                                             bool prefetch_on_hit)
+    : store_(store), cache_(capacity), k_(k),
+      prefetch_on_hit_(prefetch_on_hit) {}
+
+bool SemanticPrefetchCache::access(const metadata::FileMetadata& f,
+                                   double now) {
+  const bool hit = cache_.access(f.id);
+  if (!hit || prefetch_on_hit_) trigger_prefetch(f, now);
+  return hit;
+}
+
+void SemanticPrefetchCache::trigger_prefetch(const metadata::FileMetadata& f,
+                                             double now) {
+  metadata::TopKQuery q;
+  q.dims = metadata::AttrSubset::all();
+  q.point = f.full_vector();
+  q.k = k_ + 1;  // the file itself is its own nearest neighbor
+  core::TopKResult res =
+      store_.topk_query(q, core::Routing::kOffline, now);
+  prefetch_latency_total_ += res.stats.latency_s;
+  prefetch_messages_total_ += res.stats.messages;
+  for (const auto& [dist, id] : res.hits) {
+    (void)dist;
+    if (id == f.id) continue;
+    cache_.prefetch(id);
+  }
+}
+
+}  // namespace smartstore::cache

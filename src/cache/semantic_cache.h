@@ -1,0 +1,49 @@
+// Semantic-aware caching/prefetching (Sections 1.1 and 5.3).
+//
+// "When a file is visited, we can execute a top-k query to find its k most
+// correlated files to be prefetched." This wrapper drives a SmartStore
+// top-k query on every demand miss (and optionally on hits) and prefetches
+// the answers into an LRU-managed cache. The bench compares its hit rate
+// against plain LRU on the same trace-op stream.
+#pragma once
+
+#include <cstddef>
+
+#include "cache/lru.h"
+#include "core/smartstore.h"
+#include "metadata/file_metadata.h"
+
+namespace smartstore::cache {
+
+class SemanticPrefetchCache {
+ public:
+  /// `k` = number of correlated files prefetched per trigger;
+  /// `prefetch_on_hit` also triggers on cache hits (more aggressive).
+  SemanticPrefetchCache(core::SmartStore& store, std::size_t capacity,
+                        std::size_t k, bool prefetch_on_hit = false);
+
+  /// Processes one access to `f` at virtual time `now`. Returns true on a
+  /// cache hit.
+  bool access(const metadata::FileMetadata& f, double now);
+
+  const CacheStats& stats() const { return cache_.stats(); }
+  void reset_stats() { cache_.reset_stats(); }
+
+  /// Aggregate SmartStore query cost incurred by prefetching.
+  double prefetch_latency_total() const { return prefetch_latency_total_; }
+  std::uint64_t prefetch_messages_total() const {
+    return prefetch_messages_total_;
+  }
+
+ private:
+  void trigger_prefetch(const metadata::FileMetadata& f, double now);
+
+  core::SmartStore& store_;
+  LruCache cache_;
+  std::size_t k_;
+  bool prefetch_on_hit_;
+  double prefetch_latency_total_ = 0;
+  std::uint64_t prefetch_messages_total_ = 0;
+};
+
+}  // namespace smartstore::cache

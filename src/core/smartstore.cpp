@@ -1,0 +1,1051 @@
+#include "core/smartstore.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+namespace smartstore::core {
+
+using metadata::AttrSubset;
+using metadata::FileId;
+using metadata::FileMetadata;
+using metadata::kNumAttrs;
+
+namespace {
+
+/// Small fixed message sizes for the simulated protocol.
+constexpr std::size_t kQueryMsgBytes = 256;
+constexpr std::size_t kVersionMsgBytes = 2048;   // a sealed delta is small
+constexpr std::size_t kReplicaMsgBytes = 16384;  // a full summary refresh
+
+}  // namespace
+
+SmartStore::SmartStore(Config cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {}
+
+la::Vector SmartStore::std_coords(const FileMetadata& f) const {
+  return standardizer_.transform(f.full_vector());
+}
+
+void SmartStore::build(const std::vector<FileMetadata>& files) {
+  standardizer_ = fit_standardizer(files);
+
+  // Size Bloom filters for the expected group population (~12 bits per
+  // name) so the filter hierarchy stays in a useful false-positive regime.
+  bloom_bits_ = cfg_.bloom_bits;
+  if (cfg_.bloom_auto_size && !files.empty()) {
+    const std::size_t per_group =
+        files.size() / std::max<std::size_t>(1, cfg_.num_units) *
+        std::max<std::size_t>(2, cfg_.fanout);
+    std::size_t bits = cfg_.bloom_bits;
+    while (bits < per_group * 12) bits *= 2;
+    bloom_bits_ = bits;
+  }
+
+  // Semantic placement (Section 2: "files are grouped and stored according
+  // to their metadata semantics"): balanced k-means over LSI coordinates
+  // assigns correlated files to the same storage unit.
+  units_.clear();
+  units_.reserve(cfg_.num_units);
+  for (std::size_t u = 0; u < cfg_.num_units; ++u)
+    units_.emplace_back(u, bloom_bits_, cfg_.bloom_hashes);
+  unit_active_.assign(cfg_.num_units, true);
+
+  if (!files.empty()) {
+    Grouping place;
+    if (cfg_.placement == PlacementPolicy::kSemantic) {
+      std::vector<la::Vector> docs;
+      docs.reserve(files.size());
+      for (const auto& f : files) docs.push_back(f.full_vector());
+      lsi::LsiModel placement = lsi::LsiModel::fit(docs, cfg_.lsi_rank);
+      std::vector<la::Vector> coords;
+      coords.reserve(files.size());
+      for (std::size_t i = 0; i < files.size(); ++i)
+        coords.push_back(placement.doc_coords(i));
+
+      const std::size_t cap =
+          (files.size() + cfg_.num_units - 1) / cfg_.num_units + 1 +
+          files.size() / (cfg_.num_units * 8);
+      place = kmeans_cluster(coords, cfg_.num_units, cfg_.placement_iters,
+                             cfg_.seed, cap);
+    } else {
+      place = random_grouping(files.size(), cfg_.num_units, cfg_.seed);
+    }
+    for (std::size_t g = 0; g < place.groups.size(); ++g) {
+      const UnitId u = g % cfg_.num_units;
+      for (std::size_t idx : place.groups[g])
+        units_[u].add_file(files[idx], std_coords(files[idx]));
+    }
+  }
+  total_files_ = files.size();
+
+  SemanticRTree::BuildParams params;
+  params.fanout = cfg_.fanout;
+  params.min_fill = cfg_.min_fill;
+  params.epsilon = cfg_.epsilon;
+  params.lsi_rank = cfg_.lsi_rank;
+  params.bloom_bits = bloom_bits_;
+  params.bloom_hashes = cfg_.bloom_hashes;
+  tree_.build(units_, params);
+  tree_.map_index_units(rng_);
+
+  cluster_ = std::make_unique<sim::Cluster>(cfg_.num_units, cfg_.cost);
+  variants_.clear();
+  init_sync_state();
+}
+
+void SmartStore::init_sync_state() {
+  sync_.clear();
+  for (std::size_t g : tree_.groups()) {
+    GroupSync gs;
+    const IndexUnit& n = tree_.node(g);
+    gs.replica.centroid_raw = n.centroid_raw();
+    gs.replica.attr_sum = n.attr_sum;
+    gs.replica.file_count = n.file_count;
+    gs.replica.box = n.box;
+    gs.replica.name_filter = n.name_filter;
+    gs.pending.added_names =
+        bloom::BloomFilter(bloom_bits_, cfg_.bloom_hashes);
+    gs.pending.added_attr_sum.assign(kNumAttrs, 0.0);
+    sync_.emplace(g, std::move(gs));
+  }
+}
+
+void SmartStore::refresh_sync_groups() {
+  // Drop state for groups that no longer exist; snapshot new ones.
+  for (auto it = sync_.begin(); it != sync_.end();) {
+    const auto& gl = tree_.groups();
+    if (std::find(gl.begin(), gl.end(), it->first) == gl.end()) {
+      it = sync_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (std::size_t g : tree_.groups()) {
+    if (sync_.count(g)) continue;
+    GroupSync gs;
+    const IndexUnit& n = tree_.node(g);
+    gs.replica.centroid_raw = n.centroid_raw();
+    gs.replica.attr_sum = n.attr_sum;
+    gs.replica.file_count = n.file_count;
+    gs.replica.box = n.box;
+    gs.replica.name_filter = n.name_filter;
+    gs.pending.added_names =
+        bloom::BloomFilter(bloom_bits_, cfg_.bloom_hashes);
+    gs.pending.added_attr_sum.assign(kNumAttrs, 0.0);
+    sync_.emplace(g, std::move(gs));
+  }
+}
+
+sim::NodeId SmartStore::random_home() {
+  // Queries arrive at a uniformly random active storage unit (Section 2.2).
+  for (int tries = 0; tries < 64; ++tries) {
+    const UnitId u = static_cast<UnitId>(rng_.uniform_u64(units_.size()));
+    if (unit_active_[u]) return u;
+  }
+  for (UnitId u = 0; u < units_.size(); ++u)
+    if (unit_active_[u]) return u;
+  return 0;
+}
+
+// ---- geometry helpers -------------------------------------------------------
+
+std::vector<std::size_t> SmartStore::dim_indices(const AttrSubset& dims) const {
+  std::vector<std::size_t> idx(dims.size());
+  for (std::size_t i = 0; i < dims.size(); ++i)
+    idx[i] = static_cast<std::size_t>(dims[i]);
+  return idx;
+}
+
+void SmartStore::standardize_range(const metadata::RangeQuery& q,
+                                   std::vector<std::size_t>& dim_idx,
+                                   la::Vector& lo, la::Vector& hi) const {
+  dim_idx = dim_indices(q.dims);
+  lo.resize(dim_idx.size());
+  hi.resize(dim_idx.size());
+  for (std::size_t i = 0; i < dim_idx.size(); ++i) {
+    const std::size_t d = dim_idx[i];
+    const double a = (q.lo[i] - standardizer_.means[d]) *
+                     standardizer_.inv_stdevs[d];
+    const double b = (q.hi[i] - standardizer_.means[d]) *
+                     standardizer_.inv_stdevs[d];
+    lo[i] = std::min(a, b);
+    hi[i] = std::max(a, b);
+  }
+}
+
+la::Vector SmartStore::standardize_point(const metadata::TopKQuery& q,
+                                         std::vector<std::size_t>& dim_idx)
+    const {
+  dim_idx = dim_indices(q.dims);
+  la::Vector p(dim_idx.size());
+  for (std::size_t i = 0; i < dim_idx.size(); ++i) {
+    const std::size_t d = dim_idx[i];
+    p[i] = (q.point[i] - standardizer_.means[d]) * standardizer_.inv_stdevs[d];
+  }
+  return p;
+}
+
+bool SmartStore::box_intersects(const rtree::Mbr& box,
+                                const std::vector<std::size_t>& dim_idx,
+                                const la::Vector& lo, const la::Vector& hi) {
+  if (!box.valid()) return false;
+  for (std::size_t i = 0; i < dim_idx.size(); ++i) {
+    const std::size_t d = dim_idx[i];
+    if (box.hi()[d] < lo[i] || box.lo()[d] > hi[i]) return false;
+  }
+  return true;
+}
+
+double SmartStore::box_min_dist2(const rtree::Mbr& box,
+                                 const std::vector<std::size_t>& dim_idx,
+                                 const la::Vector& point) {
+  if (!box.valid()) return std::numeric_limits<double>::infinity();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim_idx.size(); ++i) {
+    const std::size_t d = dim_idx[i];
+    double delta = 0.0;
+    if (point[i] < box.lo()[d]) {
+      delta = box.lo()[d] - point[i];
+    } else if (point[i] > box.hi()[d]) {
+      delta = point[i] - box.hi()[d];
+    }
+    acc += delta * delta;
+  }
+  return acc;
+}
+
+void SmartStore::unit_range_scan(const StorageUnit& u,
+                                 const std::vector<std::size_t>& dim_idx,
+                                 const la::Vector& lo, const la::Vector& hi,
+                                 std::vector<FileId>& out) const {
+  const auto& coords = u.std_coords();
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    bool ok = true;
+    for (std::size_t j = 0; j < dim_idx.size(); ++j) {
+      const double v = coords[i][dim_idx[j]];
+      if (v < lo[j] || v > hi[j]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(u.files()[i].id);
+  }
+}
+
+void SmartStore::unit_topk_scan(
+    const StorageUnit& u, const std::vector<std::size_t>& dim_idx,
+    const la::Vector& point, std::size_t k,
+    std::vector<std::pair<double, FileId>>& heap) const {
+  // `heap` is a max-heap of the best k candidates found so far.
+  const auto& coords = u.std_coords();
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    double dist = 0.0;
+    for (std::size_t j = 0; j < dim_idx.size(); ++j) {
+      const double delta = coords[i][dim_idx[j]] - point[j];
+      dist += delta * delta;
+    }
+    if (heap.size() < k) {
+      heap.emplace_back(dist, u.files()[i].id);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (dist < heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {dist, u.files()[i].id};
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+}
+
+// ---- routing ---------------------------------------------------------------
+
+std::vector<SmartStore::RankedGroup> SmartStore::rank_groups_range(
+    const SemanticRTree& t, const metadata::RangeQuery& q,
+    double& version_cost) const {
+  std::vector<std::size_t> dim_idx;
+  la::Vector lo, hi;
+  standardize_range(q, dim_idx, lo, hi);
+
+  const bool main_tree = &t == &tree_;
+  std::vector<RankedGroup> out;
+  for (std::size_t g : t.groups()) {
+    rtree::Mbr box;
+    if (main_tree) {
+      const GroupSync& gs = sync_.at(g);
+      version_cost += static_cast<double>(gs.replica.versions.size()) *
+                      cfg_.cost.per_bloom_check_s;
+      box = gs.replica.effective_box(cfg_.versioning_enabled);
+    } else {
+      box = t.node(g).box;  // variants route on fresh summaries
+    }
+    if (!box_intersects(box, dim_idx, lo, hi)) continue;
+    // Score: negative overlap fraction, so bigger overlaps rank first.
+    double overlap = 1.0;
+    for (std::size_t i = 0; i < dim_idx.size(); ++i) {
+      const std::size_t d = dim_idx[i];
+      const double len = std::max(1e-12, box.hi()[d] - box.lo()[d]);
+      const double o = std::min(hi[i], box.hi()[d]) -
+                       std::max(lo[i], box.lo()[d]);
+      overlap *= std::max(0.0, o) / len;
+    }
+    out.push_back({g, -overlap});
+  }
+  std::sort(out.begin(), out.end(), [](const RankedGroup& a,
+                                       const RankedGroup& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.node_id < b.node_id;
+  });
+  return out;
+}
+
+std::vector<SmartStore::RankedGroup> SmartStore::rank_groups_topk(
+    const SemanticRTree& t, const la::Vector& std_point,
+    const std::vector<std::size_t>& dim_idx, double& version_cost) const {
+  const bool main_tree = &t == &tree_;
+  std::vector<RankedGroup> out;
+  for (std::size_t g : t.groups()) {
+    rtree::Mbr box;
+    if (main_tree) {
+      const GroupSync& gs = sync_.at(g);
+      version_cost += static_cast<double>(gs.replica.versions.size()) *
+                      cfg_.cost.per_bloom_check_s;
+      box = gs.replica.effective_box(cfg_.versioning_enabled);
+    } else {
+      box = t.node(g).box;
+    }
+    out.push_back({g, box_min_dist2(box, dim_idx, std_point)});
+  }
+  std::sort(out.begin(), out.end(), [](const RankedGroup& a,
+                                       const RankedGroup& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.node_id < b.node_id;
+  });
+  return out;
+}
+
+std::size_t SmartStore::best_group_for_vector(const la::Vector& raw) const {
+  // Section 3.2.1 / 3.4: LSI similarity between the request vector and the
+  // (effective) semantic vectors of the first-level index units.
+  const lsi::LsiModel& model = tree_.unit_lsi();
+  std::size_t best = kInvalidIndex;
+  double best_sim = -std::numeric_limits<double>::infinity();
+  const la::Vector q =
+      model.fitted() ? model.project(tree_.restrict_dims(raw)) : la::Vector{};
+  for (std::size_t g : tree_.groups()) {
+    const GroupSync& gs = sync_.at(g);
+    double sim = 0.0;
+    if (model.fitted()) {
+      const la::Vector c = gs.replica.effective_centroid(cfg_.versioning_enabled);
+      sim = lsi::LsiModel::similarity(q, model.project(tree_.restrict_dims(c)));
+    }
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = g;
+    }
+  }
+  return best;
+}
+
+// ---- versioning / sync ------------------------------------------------------
+
+void SmartStore::seal_version(std::size_t g, double now, sim::Session* session) {
+  GroupSync& gs = sync_.at(g);
+  if (gs.pending.empty()) return;
+  gs.pending.sealed_at = now;
+  gs.replica.versions.push_back(std::move(gs.pending));
+  gs.pending = VersionDelta{};
+  gs.pending.added_names =
+      bloom::BloomFilter(bloom_bits_, cfg_.bloom_hashes);
+  gs.pending.added_attr_sum.assign(kNumAttrs, 0.0);
+
+  // Multicast the sealed version to every other storage unit.
+  if (session) {
+    std::vector<sim::Session> branches;
+    const sim::NodeId origin = session->location();
+    for (UnitId u = 0; u < units_.size(); ++u) {
+      if (u == origin || !unit_active_[u]) continue;
+      sim::Session b = session->fork();
+      b.send_to(u, kVersionMsgBytes);
+      branches.push_back(b);
+    }
+    // Version multicast is asynchronous: it consumes bandwidth (counted)
+    // but does not extend the requester-visible latency, so no join here.
+  }
+}
+
+void SmartStore::full_sync_group(std::size_t g, sim::Session* session) {
+  GroupSync& gs = sync_.at(g);
+  const IndexUnit& n = tree_.node(g);
+  gs.replica.centroid_raw = n.centroid_raw();
+  gs.replica.attr_sum = n.attr_sum;
+  gs.replica.file_count = n.file_count;
+  gs.replica.box = n.box;
+  gs.replica.name_filter = n.name_filter;
+  gs.replica.versions.clear();
+  gs.pending = VersionDelta{};
+  gs.pending.added_names =
+      bloom::BloomFilter(bloom_bits_, cfg_.bloom_hashes);
+  gs.pending.added_attr_sum.assign(kNumAttrs, 0.0);
+  gs.changes_since_full_sync = 0;
+
+  if (session) {
+    const sim::NodeId origin = session->location();
+    for (UnitId u = 0; u < units_.size(); ++u) {
+      if (u == origin || !unit_active_[u]) continue;
+      sim::Session b = session->fork();
+      b.send_to(u, kReplicaMsgBytes);
+    }
+  }
+}
+
+void SmartStore::after_group_change(std::size_t g, double now,
+                                    sim::Session* session) {
+  GroupSync& gs = sync_.at(g);
+  ++gs.changes_since_full_sync;
+
+  if (cfg_.versioning_enabled) {
+    const std::size_t pending_changes =
+        gs.pending.added_count + gs.pending.deleted.size();
+    if (pending_changes >= cfg_.version_ratio) seal_version(g, now, session);
+  }
+  // Lazy updating (Section 3.4): a full replica refresh once accumulated
+  // changes exceed the threshold fraction of the group's population.
+  const std::size_t base = std::max<std::size_t>(gs.replica.file_count, 200);
+  if (static_cast<double>(gs.changes_since_full_sync) >
+      cfg_.lazy_update_threshold * static_cast<double>(base)) {
+    full_sync_group(g, session);
+  }
+}
+
+void SmartStore::reconfigure() {
+  for (std::size_t g : tree_.groups()) full_sync_group(g, nullptr);
+}
+
+// ---- dynamic operations ------------------------------------------------------
+
+QueryStats SmartStore::insert_file(const FileMetadata& f, double arrival) {
+  QueryStats stats;
+  sim::Session session = cluster_->start_session(random_home(), arrival);
+
+  // Home unit ranks groups from its local replicas (off-line routing).
+  session.visit(cfg_.cost.per_node_visit_s +
+                static_cast<double>(tree_.groups().size()) *
+                    cfg_.cost.per_bloom_check_s);
+  const std::size_t g = best_group_for_vector(f.full_vector());
+  assert(g != kInvalidIndex);
+  const IndexUnit& group = tree_.node(g);
+  session.send_to(group.mapped_unit, kQueryMsgBytes);
+  session.visit(cfg_.cost.per_node_visit_s);
+
+  // Least-loaded member unit balances load within the group (Section 3.2.1).
+  UnitId target = group.children.front();
+  for (UnitId u : group.children) {
+    if (units_[u].file_count() < units_[target].file_count()) target = u;
+  }
+  session.send_to(target, kQueryMsgBytes);
+  session.visit(cfg_.cost.per_node_visit_s, 1);
+
+  const la::Vector raw = f.full_vector();
+  const la::Vector std = std_coords(f);
+  units_[target].add_file(f, std);
+  tree_.on_file_inserted(target, raw, std, f.name);
+  for (auto& v : variants_) v.tree.on_file_inserted(target, raw, std, f.name);
+  ++total_files_;
+
+  GroupSync& gs = sync_.at(g);
+  gs.pending.added_box.expand(std);
+  gs.pending.added_names.insert(f.name);
+  for (std::size_t d = 0; d < kNumAttrs; ++d)
+    gs.pending.added_attr_sum[d] += raw[d];
+  ++gs.pending.added_count;
+  after_group_change(g, session.clock(), &session);
+
+  stats.latency_s = session.clock() - arrival;
+  stats.messages = session.messages();
+  stats.hops = session.hops();
+  stats.routing_hops = 0;
+  stats.groups_visited = 1;
+  stats.failed = session.failed();
+  return stats;
+}
+
+std::optional<QueryStats> SmartStore::delete_file(const std::string& name,
+                                                  double arrival) {
+  PointResult located = point_query({name}, Routing::kOffline, arrival);
+  if (!located.found) return std::nullopt;
+
+  const UnitId u = located.unit;
+  auto removed = units_[u].remove_file(located.id);
+  assert(removed.has_value());
+  const la::Vector raw = removed->full_vector();
+  tree_.on_file_removed(u, raw);
+  for (auto& v : variants_) v.tree.on_file_removed(u, raw);
+  --total_files_;
+
+  const std::size_t g = tree_.group_of_unit(u);
+  GroupSync& gs = sync_.at(g);
+  gs.pending.deleted.push_back(located.id);
+  after_group_change(g, located.stats.latency_s + arrival, nullptr);
+  return located.stats;
+}
+
+// ---- point query --------------------------------------------------------------
+
+PointResult SmartStore::point_query(const metadata::PointQuery& q,
+                                    Routing routing, double arrival) {
+  PointResult res;
+  sim::Session session = cluster_->start_session(random_home(), arrival);
+  const UnitId home = session.location();
+
+  // The home unit always checks its own filter first: queries about files
+  // the requester itself stores resolve with zero messages.
+  session.visit(cfg_.cost.per_bloom_check_s);
+  if (units_[home].name_filter().may_contain(q.filename)) {
+    session.visit(cfg_.cost.per_node_visit_s);
+    if (const auto* f = units_[home].find_by_name(q.filename)) {
+      res.found = true;
+      res.unit = home;
+      res.id = f->id;
+      res.first_try = true;
+      res.stats.groups_visited = 1;
+      res.stats.latency_s = session.clock() - arrival;
+      res.stats.failed = session.failed();
+      return res;
+    }
+  }
+
+  std::size_t groups_visited = 0;
+
+  // Probes the member units of one group whose filter reported positive.
+  auto probe_group = [&](std::size_t g) {
+    ++groups_visited;
+    const IndexUnit& group = tree_.node(g);
+    std::vector<sim::Session> branches;
+    for (UnitId u : group.children) {
+      if (!units_[u].name_filter().may_contain(q.filename)) continue;
+      sim::Session b = session.fork();
+      b.send_to(u, kQueryMsgBytes);
+      b.visit(cfg_.cost.per_node_visit_s);
+      if (const auto* f = units_[u].find_by_name(q.filename)) {
+        res.found = true;
+        res.unit = u;
+        res.id = f->id;
+      }
+      branches.push_back(b);
+    }
+    session.join(branches);
+  };
+
+  // On-line walk (Section 3.3.3): ascend from the home group; every
+  // ancestor whose unioned filter is positive has its not-yet-searched
+  // subtrees descended along positive children. Bloom false positives are
+  // discovered when the target metadata is accessed and the walk simply
+  // continues, so existing files are always found.
+  auto online_walk = [&]() {
+    std::function<void(sim::Session&, std::size_t)> descend =
+        [&](sim::Session& s, std::size_t nid) {
+          if (res.found) return;
+          const IndexUnit& n = tree_.node(nid);
+          s.send_to(n.mapped_unit, kQueryMsgBytes);
+          s.visit(cfg_.cost.per_bloom_check_s *
+                  static_cast<double>(n.children.size()));
+          if (n.level == 1) {
+            if (n.name_filter.may_contain(q.filename)) probe_group(nid);
+            return;
+          }
+          std::vector<sim::Session> branches;
+          for (std::size_t c : n.children) {
+            if (!tree_.node(c).name_filter.may_contain(q.filename)) continue;
+            sim::Session b = s.fork();
+            descend(b, c);
+            branches.push_back(b);
+          }
+          s.join(branches);
+        };
+
+    std::size_t prev = kInvalidIndex;
+    std::size_t node_id = tree_.group_of_unit(home);
+    while (node_id != kInvalidIndex && !res.found) {
+      const IndexUnit& n = tree_.node(node_id);
+      session.send_to(n.mapped_unit, kQueryMsgBytes);
+      session.visit(cfg_.cost.per_bloom_check_s);
+      if (n.name_filter.may_contain(q.filename)) {
+        if (n.level == 1) {
+          probe_group(node_id);
+        } else {
+          std::vector<sim::Session> branches;
+          for (std::size_t c : n.children) {
+            if (c == prev) continue;  // already searched on the way up
+            if (!tree_.node(c).name_filter.may_contain(q.filename)) continue;
+            sim::Session b = session.fork();
+            descend(b, c);
+            branches.push_back(b);
+          }
+          session.join(branches);
+        }
+      }
+      prev = node_id;
+      node_id = n.parent;
+    }
+  };
+
+  if (routing == Routing::kOffline) {
+    // Candidate groups from the replicated Bloom filters (+versions).
+    double version_cost = 0.0;
+    std::vector<std::size_t> candidates;
+    for (std::size_t g : tree_.groups()) {
+      const GroupSync& gs = sync_.at(g);
+      version_cost += static_cast<double>(gs.replica.versions.size()) *
+                      cfg_.cost.per_bloom_check_s;
+      if (gs.replica.name_may_contain(q.filename, cfg_.versioning_enabled))
+        candidates.push_back(g);
+    }
+    session.visit(static_cast<double>(tree_.groups().size()) *
+                      cfg_.cost.per_bloom_check_s +
+                  version_cost);
+    res.stats.version_check_s = version_cost;
+
+    for (std::size_t g : candidates) {
+      if (groups_visited >= cfg_.max_groups_per_query) break;
+      const IndexUnit& group = tree_.node(g);
+      session.send_to(group.mapped_unit, kQueryMsgBytes);
+      session.visit(cfg_.cost.per_bloom_check_s *
+                    static_cast<double>(group.children.size()));
+      if (!group.name_filter.may_contain(q.filename)) {
+        ++groups_visited;  // wasted visit on a stale/false-positive replica
+        continue;
+      }
+      probe_group(g);
+      if (res.found) break;
+    }
+    // Stale replicas can hide recently inserted files: all-negative
+    // candidates then yield a false negative, exactly the error mode
+    // Section 5.4.1 attributes to "hash collisions and information
+    // staleness". Figure 9's hit rate measures it.
+    res.first_try = groups_visited <= 1;
+  } else {
+    online_walk();
+    res.first_try = groups_visited <= 1;
+  }
+
+  res.stats.groups_visited = groups_visited;
+  res.stats.latency_s = session.clock() - arrival;
+  res.stats.messages = session.messages();
+  res.stats.hops = session.hops();
+  res.stats.failed = session.failed();
+  return res;
+}
+
+// ---- range query ---------------------------------------------------------------
+
+RangeResult SmartStore::range_query(const metadata::RangeQuery& q,
+                                    Routing routing, double arrival) {
+  RangeResult res;
+  std::vector<std::size_t> dim_idx;
+  la::Vector lo, hi;
+  standardize_range(q, dim_idx, lo, hi);
+
+  sim::Session session = cluster_->start_session(random_home(), arrival);
+  const UnitId home = session.location();
+  std::vector<std::size_t> result_groups;
+
+  // Auto-configuration (Section 2.4): pick the tree variant whose grouping
+  // predicate best matches the queried attribute subset.
+  const SemanticRTree& rt = routing == Routing::kOffline
+                                ? tree_for_dims(q.dims)
+                                : tree_;
+
+  auto scan_group = [&](std::size_t g) {
+    const IndexUnit& group = rt.node(g);
+    session.send_to(group.mapped_unit, kQueryMsgBytes);
+    session.visit(cfg_.cost.per_node_visit_s);
+    const std::size_t before = res.ids.size();
+    std::vector<sim::Session> branches;
+    for (UnitId u : group.children) {
+      if (!box_intersects(units_[u].box(), dim_idx, lo, hi)) continue;
+      sim::Session b = session.fork();
+      b.send_to(u, kQueryMsgBytes);
+      b.visit(cfg_.cost.per_node_visit_s, units_[u].file_count());
+      unit_range_scan(units_[u], dim_idx, lo, hi, res.ids);
+      branches.push_back(b);
+    }
+    session.join(branches);
+    if (res.ids.size() > before) result_groups.push_back(g);
+  };
+
+  if (routing == Routing::kOffline) {
+    double version_cost = 0.0;
+    const auto ranked = rank_groups_range(rt, q, version_cost);
+    session.visit(static_cast<double>(rt.groups().size()) *
+                      cfg_.cost.per_node_visit_s * 0.1 +
+                  version_cost);
+    res.stats.version_check_s = version_cost;
+    for (const auto& rg : ranked) {
+      if (res.stats.groups_visited >= cfg_.max_groups_per_query) break;
+      ++res.stats.groups_visited;
+      scan_group(rg.node_id);
+    }
+  } else {
+    // On-line: multicast up from the home group to the root (father links),
+    // then descend into every subtree whose MBR intersects the box. MBRs
+    // are always fresh (local updates propagate on insert), so the on-line
+    // answer is exact.
+    std::size_t node_id = tree_.group_of_unit(home);
+    while (node_id != tree_.root_id() && node_id != kInvalidIndex) {
+      const IndexUnit& n = tree_.node(node_id);
+      if (n.parent == kInvalidIndex) break;
+      session.send_to(tree_.node(n.parent).mapped_unit, kQueryMsgBytes);
+      session.visit(cfg_.cost.per_node_visit_s);
+      node_id = n.parent;
+    }
+    std::function<void(sim::Session&, std::size_t)> descend =
+        [&](sim::Session& s, std::size_t nid) {
+          const IndexUnit& n = tree_.node(nid);
+          if (!box_intersects(n.box, dim_idx, lo, hi)) return;
+          s.send_to(n.mapped_unit, kQueryMsgBytes);
+          s.visit(cfg_.cost.per_node_visit_s);
+          if (n.level == 1) {
+            ++res.stats.groups_visited;
+            const std::size_t before = res.ids.size();
+            std::vector<sim::Session> branches;
+            for (UnitId u : n.children) {
+              if (!box_intersects(units_[u].box(), dim_idx, lo, hi)) continue;
+              sim::Session b = s.fork();
+              b.send_to(u, kQueryMsgBytes);
+              b.visit(cfg_.cost.per_node_visit_s, units_[u].file_count());
+              unit_range_scan(units_[u], dim_idx, lo, hi, res.ids);
+              branches.push_back(b);
+            }
+            s.join(branches);
+            if (res.ids.size() > before) result_groups.push_back(nid);
+          } else {
+            std::vector<sim::Session> branches;
+            for (std::size_t c : n.children) {
+              sim::Session b = s.fork();
+              descend(b, c);
+              branches.push_back(b);
+            }
+            s.join(branches);
+          }
+        };
+    descend(session, node_id);
+  }
+
+  res.stats.routing_hops = routing_distance(rt, result_groups);
+  res.stats.latency_s = session.clock() - arrival;
+  res.stats.messages = session.messages();
+  res.stats.hops = session.hops();
+  res.stats.records_scanned = res.ids.size();
+  res.stats.failed = session.failed();
+  return res;
+}
+
+// ---- top-k query ---------------------------------------------------------------
+
+TopKResult SmartStore::topk_query(const metadata::TopKQuery& q,
+                                  Routing routing, double arrival) {
+  TopKResult res;
+  std::vector<std::size_t> dim_idx;
+  const la::Vector point = standardize_point(q, dim_idx);
+
+  sim::Session session = cluster_->start_session(random_home(), arrival);
+  const UnitId home = session.location();
+
+  // Max-heap of the best-k candidates with their originating groups.
+  std::vector<std::pair<double, FileId>> heap;
+  std::vector<std::size_t> result_groups;
+  const SemanticRTree& rt = routing == Routing::kOffline
+                                ? tree_for_dims(q.dims)
+                                : tree_;
+  auto max_d = [&]() {
+    return heap.size() < q.k ? std::numeric_limits<double>::infinity()
+                             : heap.front().first;
+  };
+
+  auto scan_group = [&](std::size_t g) {
+    const IndexUnit& group = rt.node(g);
+    session.send_to(group.mapped_unit, kQueryMsgBytes);
+    session.visit(cfg_.cost.per_node_visit_s);
+    bool contributed = false;
+    std::vector<sim::Session> branches;
+    for (UnitId u : group.children) {
+      if (box_min_dist2(units_[u].box(), dim_idx, point) >= max_d() &&
+          heap.size() >= q.k)
+        continue;
+      sim::Session b = session.fork();
+      b.send_to(u, kQueryMsgBytes);
+      b.visit(cfg_.cost.per_node_visit_s, units_[u].file_count());
+      const std::size_t before = heap.size();
+      const double before_worst = max_d();
+      unit_topk_scan(units_[u], dim_idx, point, q.k, heap);
+      if (heap.size() > before || max_d() < before_worst) contributed = true;
+      branches.push_back(b);
+    }
+    session.join(branches);
+    if (contributed) result_groups.push_back(g);
+  };
+
+  if (routing == Routing::kOffline) {
+    double version_cost = 0.0;
+    const auto ranked = rank_groups_topk(rt, point, dim_idx, version_cost);
+    session.visit(static_cast<double>(rt.groups().size()) *
+                      cfg_.cost.per_node_visit_s * 0.1 +
+                  version_cost);
+    res.stats.version_check_s = version_cost;
+    for (const auto& rg : ranked) {
+      if (res.stats.groups_visited >= cfg_.max_groups_per_query) break;
+      // MaxD pruning (Section 3.3.2): stop when no remaining group can
+      // improve the current k-th best distance.
+      if (heap.size() >= q.k && rg.score >= max_d()) break;
+      ++res.stats.groups_visited;
+      scan_group(rg.node_id);
+    }
+  } else {
+    // On-line: serve the home group first to seed MaxD, then climb toward
+    // the root, descending into any subtree whose MBR could improve MaxD.
+    std::size_t start = tree_.group_of_unit(home);
+    ++res.stats.groups_visited;
+    scan_group(start);
+
+    std::function<void(sim::Session&, std::size_t)> descend =
+        [&](sim::Session& s, std::size_t nid) {
+          const IndexUnit& n = tree_.node(nid);
+          if (box_min_dist2(n.box, dim_idx, point) >= max_d() &&
+              heap.size() >= q.k)
+            return;
+          if (n.level == 1) {
+            if (nid == start) return;  // already served
+            s.send_to(n.mapped_unit, kQueryMsgBytes);
+            s.visit(cfg_.cost.per_node_visit_s);
+            ++res.stats.groups_visited;
+            bool contributed = false;
+            std::vector<sim::Session> branches;
+            for (UnitId u : n.children) {
+              if (box_min_dist2(units_[u].box(), dim_idx, point) >= max_d() &&
+                  heap.size() >= q.k)
+                continue;
+              sim::Session b = s.fork();
+              b.send_to(u, kQueryMsgBytes);
+              b.visit(cfg_.cost.per_node_visit_s, units_[u].file_count());
+              const std::size_t before = heap.size();
+              const double bw = max_d();
+              unit_topk_scan(units_[u], dim_idx, point, q.k, heap);
+              if (heap.size() > before || max_d() < bw) contributed = true;
+              branches.push_back(b);
+            }
+            s.join(branches);
+            if (contributed) result_groups.push_back(nid);
+          } else {
+            s.send_to(n.mapped_unit, kQueryMsgBytes);
+            s.visit(cfg_.cost.per_node_visit_s);
+            for (std::size_t c : n.children) descend(s, c);
+          }
+        };
+    // Climb: at each ancestor check the other subtrees.
+    std::size_t cur = start;
+    while (cur != tree_.root_id()) {
+      const std::size_t parent = tree_.node(cur).parent;
+      if (parent == kInvalidIndex) break;
+      session.send_to(tree_.node(parent).mapped_unit, kQueryMsgBytes);
+      session.visit(cfg_.cost.per_node_visit_s);
+      for (std::size_t sib : tree_.node(parent).children) {
+        if (sib == cur) continue;
+        descend(session, sib);
+      }
+      cur = parent;
+    }
+  }
+
+  std::sort(heap.begin(), heap.end());
+  if (heap.size() > q.k) heap.resize(q.k);
+  res.hits = std::move(heap);
+  res.stats.routing_hops = routing_distance(rt, result_groups);
+  res.stats.latency_s = session.clock() - arrival;
+  res.stats.messages = session.messages();
+  res.stats.hops = session.hops();
+  res.stats.failed = session.failed();
+  return res;
+}
+
+// ---- routing distance (Figure 8) ----------------------------------------------
+
+int SmartStore::lca_distance(const SemanticRTree& t, std::size_t g1,
+                             std::size_t g2) const {
+  if (g1 == g2) return 0;
+  // Collect ancestors of g1 with their levels.
+  std::unordered_map<std::size_t, int> anc;
+  std::size_t cur = g1;
+  while (cur != kInvalidIndex) {
+    anc[cur] = t.node(cur).level;
+    cur = t.node(cur).parent;
+  }
+  cur = g2;
+  while (cur != kInvalidIndex) {
+    auto it = anc.find(cur);
+    if (it != anc.end()) return std::max(1, it->second - 1);
+    cur = t.node(cur).parent;
+  }
+  return static_cast<int>(t.height());
+}
+
+int SmartStore::routing_distance(
+    const SemanticRTree& t,
+    const std::vector<std::size_t>& result_groups) const {
+  if (result_groups.size() <= 1) return 0;
+  const std::size_t primary = result_groups.front();
+  int worst = 0;
+  for (std::size_t i = 1; i < result_groups.size(); ++i)
+    worst = std::max(worst, lca_distance(t, primary, result_groups[i]));
+  return worst;
+}
+
+// ---- reconfiguration ops -------------------------------------------------------
+
+UnitId SmartStore::add_storage_unit() {
+  const UnitId id = units_.size();
+  units_.emplace_back(id, bloom_bits_, cfg_.bloom_hashes);
+  unit_active_.push_back(true);
+  cluster_->add_node();
+  tree_.admit_unit(units_, id);
+  for (auto& v : variants_) v.tree.admit_unit(units_, id);
+  refresh_sync_groups();
+  return id;
+}
+
+void SmartStore::remove_storage_unit(UnitId u) {
+  assert(u < units_.size() && unit_active_[u]);
+  std::vector<FileMetadata> displaced = units_[u].files();
+  for (const auto& f : displaced) {
+    auto removed = units_[u].remove_file(f.id);
+    tree_.on_file_removed(u, f.full_vector());
+    for (auto& v : variants_) v.tree.on_file_removed(u, f.full_vector());
+    --total_files_;
+  }
+  tree_.remove_unit(units_, u);
+  for (auto& v : variants_) v.tree.remove_unit(units_, u);
+  unit_active_[u] = false;
+  cluster_->set_node_alive(u, false);
+  refresh_sync_groups();
+  for (const auto& f : displaced) insert_file(f, 0.0);
+}
+
+// ---- automatic configuration (Section 2.4) -------------------------------------
+
+std::size_t SmartStore::autoconfigure(
+    const std::vector<AttrSubset>& candidates) {
+  variants_.clear();
+  const double full_count = static_cast<double>(tree_.num_nodes());
+  for (const auto& dims : candidates) {
+    if (dims.size() == metadata::kNumAttrs) continue;  // the main tree
+    SemanticRTree::BuildParams params;
+    params.fanout = cfg_.fanout;
+    params.min_fill = cfg_.min_fill;
+    params.epsilon = cfg_.epsilon;
+    params.lsi_rank = cfg_.lsi_rank;
+    params.bloom_bits = bloom_bits_;
+    params.bloom_hashes = cfg_.bloom_hashes;
+    for (std::size_t i = 0; i < dims.size(); ++i)
+      params.lsi_dims.push_back(static_cast<std::size_t>(dims[i]));
+
+    TreeVariant v;
+    v.dims = dims;
+    v.tree.build(units_, params);
+    v.tree.map_index_units(rng_);
+
+    // Keep only variants sufficiently different from the main tree: the
+    // paper compares the numbers of generated index units.
+    const double d = std::abs(static_cast<double>(v.tree.num_nodes()) -
+                              full_count);
+    if (d > cfg_.autoconfig_threshold * full_count) {
+      variants_.push_back(std::move(v));
+    }
+  }
+  return variants_.size();
+}
+
+const SemanticRTree& SmartStore::tree_for_dims(const AttrSubset& dims) const {
+  const SemanticRTree* best = &tree_;
+  double best_score = -1.0;
+  for (const auto& v : variants_) {
+    // Jaccard similarity between the query dims and the variant dims.
+    std::size_t inter = 0;
+    for (std::size_t i = 0; i < dims.size(); ++i)
+      if (v.dims.contains(dims[i])) ++inter;
+    const std::size_t uni = dims.size() + v.dims.size() - inter;
+    const double score =
+        uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+    if (score > best_score) {
+      best_score = score;
+      best = &v.tree;
+    }
+  }
+  // The main tree covers every attribute: its Jaccard score.
+  std::size_t inter = dims.size();
+  const double main_score = static_cast<double>(inter) /
+                            static_cast<double>(metadata::kNumAttrs);
+  return best_score > main_score ? *best : tree_;
+}
+
+// ---- space accounting ----------------------------------------------------------
+
+SmartStore::SpaceBreakdown SmartStore::unit_space(UnitId u) const {
+  SpaceBreakdown s;
+  s.metadata_bytes = units_[u].byte_size();
+  s.index_bytes = tree_.hosted_bytes(u);
+  for (const auto& v : variants_) s.index_bytes += v.tree.hosted_bytes(u);
+  for (const auto& [g, gs] : sync_) {
+    (void)g;
+    s.replica_bytes += gs.replica.byte_size() - gs.replica.versions_byte_size();
+    s.version_bytes += gs.replica.versions_byte_size();
+    if (!gs.pending.empty()) s.version_bytes += gs.pending.byte_size();
+  }
+  return s;
+}
+
+SmartStore::SpaceBreakdown SmartStore::avg_unit_space() const {
+  SpaceBreakdown total;
+  std::size_t active = 0;
+  for (UnitId u = 0; u < units_.size(); ++u) {
+    if (!unit_active_[u]) continue;
+    ++active;
+    const SpaceBreakdown s = unit_space(u);
+    total.metadata_bytes += s.metadata_bytes;
+    total.index_bytes += s.index_bytes;
+    total.replica_bytes += s.replica_bytes;
+    total.version_bytes += s.version_bytes;
+  }
+  if (active == 0) return total;
+  total.metadata_bytes /= active;
+  total.index_bytes /= active;
+  total.replica_bytes /= active;
+  total.version_bytes /= active;
+  return total;
+}
+
+double SmartStore::avg_version_bytes_per_group() const {
+  if (sync_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& [g, gs] : sync_) {
+    (void)g;
+    total += static_cast<double>(gs.replica.versions_byte_size());
+    if (!gs.pending.empty())
+      total += static_cast<double>(gs.pending.byte_size());
+  }
+  return total / static_cast<double>(sync_.size());
+}
+
+bool SmartStore::check_invariants() const {
+  if (!tree_.check_invariants(units_)) return false;
+  for (const auto& v : variants_) {
+    if (!v.tree.check_invariants(units_)) return false;
+  }
+  std::size_t files = 0;
+  for (UnitId u = 0; u < units_.size(); ++u) files += units_[u].file_count();
+  if (files != total_files_) return false;
+  for (std::size_t g : tree_.groups()) {
+    if (!sync_.count(g)) return false;
+  }
+  return true;
+}
+
+}  // namespace smartstore::core

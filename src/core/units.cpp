@@ -1,0 +1,136 @@
+#include "core/units.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace smartstore::core {
+
+using metadata::FileId;
+using metadata::FileMetadata;
+using metadata::kNumAttrs;
+
+StorageUnit::StorageUnit(UnitId id, std::size_t bloom_bits,
+                         unsigned bloom_hashes)
+    : id_(id), name_filter_(bloom_bits, bloom_hashes),
+      attr_sums_(kNumAttrs, 0.0) {}
+
+void StorageUnit::add_file(const FileMetadata& f, const la::Vector& std_coords) {
+  assert(std_coords.size() == kNumAttrs);
+  by_name_[f.name] = files_.size();
+  by_id_[f.id] = files_.size();
+  files_.push_back(f);
+  std_coords_.push_back(std_coords);
+  name_filter_.insert(f.name);
+  box_.expand(std_coords);
+  for (std::size_t d = 0; d < kNumAttrs; ++d) attr_sums_[d] += f.attrs[d];
+}
+
+std::optional<FileMetadata> StorageUnit::remove_file(FileId id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return std::nullopt;
+  const std::size_t pos = it->second;
+  FileMetadata removed = files_[pos];
+
+  name_filter_.remove(removed.name);
+  by_name_.erase(removed.name);
+  by_id_.erase(it);
+  for (std::size_t d = 0; d < kNumAttrs; ++d)
+    attr_sums_[d] -= removed.attrs[d];
+
+  // Swap-remove; fix the indexes of the moved record.
+  const std::size_t last = files_.size() - 1;
+  if (pos != last) {
+    files_[pos] = std::move(files_[last]);
+    std_coords_[pos] = std::move(std_coords_[last]);
+    by_name_[files_[pos].name] = pos;
+    by_id_[files_[pos].id] = pos;
+  }
+  files_.pop_back();
+  std_coords_.pop_back();
+  return removed;
+}
+
+const FileMetadata* StorageUnit::find_by_name(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &files_[it->second];
+}
+
+const FileMetadata* StorageUnit::find_by_id(FileId id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &files_[it->second];
+}
+
+la::Vector StorageUnit::centroid_raw() const {
+  la::Vector c = attr_sums_;
+  if (!files_.empty()) {
+    const double inv = 1.0 / static_cast<double>(files_.size());
+    for (auto& x : c) x *= inv;
+  }
+  return c;
+}
+
+std::size_t StorageUnit::byte_size() const {
+  std::size_t b = sizeof(*this);
+  for (const auto& f : files_) b += f.byte_size();
+  b += std_coords_.size() * (kNumAttrs * sizeof(double) + sizeof(la::Vector));
+  // Hash indexes: bucket array + one node per entry (approximation).
+  b += by_name_.size() * (sizeof(void*) * 2 + 48);
+  b += by_id_.size() * (sizeof(void*) * 2 + 24);
+  b += name_filter_.byte_size();
+  b += box_.byte_size();
+  return b;
+}
+
+std::size_t VersionDelta::byte_size() const {
+  return sizeof(*this) + added_box.byte_size() + added_names.byte_size() +
+         added_attr_sum.capacity() * sizeof(double) +
+         deleted.capacity() * sizeof(metadata::FileId);
+}
+
+rtree::Mbr GroupReplica::effective_box(bool with_versions) const {
+  rtree::Mbr b = box;
+  if (with_versions) {
+    for (const auto& v : versions) b.expand(v.added_box);
+  }
+  return b;
+}
+
+la::Vector GroupReplica::effective_centroid(bool with_versions) const {
+  if (!with_versions || versions.empty()) return centroid_raw;
+  la::Vector sum = attr_sum;
+  std::size_t count = file_count;
+  for (const auto& v : versions) {
+    if (v.added_count == 0) continue;
+    for (std::size_t d = 0; d < sum.size(); ++d) sum[d] += v.added_attr_sum[d];
+    count += v.added_count;
+  }
+  if (count == 0) return centroid_raw;
+  for (auto& x : sum) x /= static_cast<double>(count);
+  return sum;
+}
+
+bool GroupReplica::name_may_contain(const std::string& name,
+                                    bool with_versions) const {
+  if (with_versions) {
+    // Rolling backward: newest version first, so the most recent insert or
+    // delete wins (Section 4.4).
+    for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
+      if (it->added_names.may_contain(name)) return true;
+    }
+  }
+  return name_filter.may_contain(name);
+}
+
+std::size_t GroupReplica::byte_size() const {
+  return sizeof(*this) + centroid_raw.capacity() * sizeof(double) +
+         attr_sum.capacity() * sizeof(double) + box.byte_size() +
+         name_filter.byte_size() + versions_byte_size();
+}
+
+std::size_t GroupReplica::versions_byte_size() const {
+  std::size_t b = 0;
+  for (const auto& v : versions) b += v.byte_size();
+  return b;
+}
+
+}  // namespace smartstore::core

@@ -1,0 +1,129 @@
+// Storage units, replicated group summaries and version deltas.
+//
+// A storage unit is a metadata server — a leaf of the semantic R-tree
+// (Section 2.3). It holds file metadata records, a local filename index, a
+// counting Bloom filter for point queries, the unit's MBR in standardized
+// attribute space and its raw-attribute centroid (its semantic vector).
+//
+// GroupReplica is the unit of the off-line pre-processing scheme (Section
+// 3.4): every storage unit keeps replicas of the *first-level index
+// units'* summaries and routes queries by checking them locally. Replicas
+// go stale as files are inserted/deleted; consistency is restored either
+// by lazy full refreshes (when accumulated changes exceed a threshold) or
+// incrementally by the versioning scheme of Section 4.4 — sealed
+// VersionDelta objects multicast to all units and consulted
+// rolling-backward at query time.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "la/matrix.h"
+#include "metadata/file_metadata.h"
+#include "rtree/mbr.h"
+
+namespace smartstore::core {
+
+using UnitId = std::size_t;
+inline constexpr std::size_t kInvalidIndex = static_cast<std::size_t>(-1);
+
+/// One metadata server (semantic R-tree leaf).
+class StorageUnit {
+ public:
+  StorageUnit(UnitId id, std::size_t bloom_bits, unsigned bloom_hashes);
+
+  UnitId id() const { return id_; }
+  std::size_t file_count() const { return files_.size(); }
+  bool empty() const { return files_.empty(); }
+
+  /// Adds a record; `std_coords` is the file's standardized full-D vector
+  /// (the geometry every MBR in the store is expressed in).
+  void add_file(const metadata::FileMetadata& f, const la::Vector& std_coords);
+
+  /// Removes by id; returns the removed record. MBRs are not shrunk on
+  /// delete (standard R-tree practice; bounds stay conservative until the
+  /// next reconfiguration).
+  std::optional<metadata::FileMetadata> remove_file(metadata::FileId id);
+
+  /// Local filename lookup (exact).
+  const metadata::FileMetadata* find_by_name(const std::string& name) const;
+  const metadata::FileMetadata* find_by_id(metadata::FileId id) const;
+
+  const std::vector<metadata::FileMetadata>& files() const { return files_; }
+  const std::vector<la::Vector>& std_coords() const { return std_coords_; }
+
+  /// Membership filter over local filenames (counting, so deletions work);
+  /// the plain view is what gets unioned into index units.
+  const bloom::CountingBloomFilter& name_filter() const { return name_filter_; }
+  bloom::BloomFilter name_filter_view() const {
+    return name_filter_.to_bloom_filter();
+  }
+
+  /// MBR over standardized coordinates of local files.
+  const rtree::Mbr& box() const { return box_; }
+
+  /// Raw-attribute centroid (the unit's semantic vector source).
+  la::Vector centroid_raw() const;
+
+  /// Approximate memory footprint of everything this unit stores locally
+  /// for itself (records + indexes), excluding hosted index units.
+  std::size_t byte_size() const;
+
+ private:
+  UnitId id_;
+  std::vector<metadata::FileMetadata> files_;
+  std::vector<la::Vector> std_coords_;  // parallel to files_
+  std::unordered_map<std::string, std::size_t> by_name_;  // name -> position
+  std::unordered_map<metadata::FileId, std::size_t> by_id_;
+  bloom::CountingBloomFilter name_filter_;
+  rtree::Mbr box_;
+  la::Vector attr_sums_;  // running sums for the centroid
+};
+
+/// Aggregated changes between two replica synchronization points
+/// (Section 4.4). Small by construction: only summaries of the changed
+/// files, kept in memory.
+struct VersionDelta {
+  rtree::Mbr added_box;             ///< MBR of inserted files (standardized)
+  bloom::BloomFilter added_names;   ///< filenames inserted in this window
+  la::Vector added_attr_sum;        ///< raw-attribute sum of inserted files
+  std::size_t added_count = 0;
+  std::vector<metadata::FileId> deleted;
+  double sealed_at = 0;             ///< simulated seal time t_i
+
+  bool empty() const { return added_count == 0 && deleted.empty(); }
+  std::size_t byte_size() const;
+};
+
+/// Replica of a first-level index unit's summary, as held by every storage
+/// unit for off-line query routing. `versions` are the sealed deltas
+/// received since the last full synchronization, newest last; queries scan
+/// them rolling backward (newest first, Section 4.4).
+struct GroupReplica {
+  la::Vector centroid_raw;         ///< as of last full sync
+  la::Vector attr_sum;             ///< sum form, for incremental centroids
+  std::size_t file_count = 0;
+  rtree::Mbr box;
+  bloom::BloomFilter name_filter;
+  std::vector<VersionDelta> versions;
+
+  /// Effective MBR: the base box unioned with version deltas (when
+  /// `with_versions`), i.e. what a remote unit can know about the group.
+  rtree::Mbr effective_box(bool with_versions) const;
+
+  /// Effective centroid including version deltas.
+  la::Vector effective_centroid(bool with_versions) const;
+
+  /// Filename may-contain check: base filter, then versions newest-first
+  /// (rolling backward); honours version deletions before older inserts.
+  bool name_may_contain(const std::string& name, bool with_versions) const;
+
+  std::size_t byte_size() const;
+  std::size_t versions_byte_size() const;
+};
+
+}  // namespace smartstore::core

@@ -1,0 +1,92 @@
+// Dense row-major matrix and vector types used by the LSI substrate.
+//
+// The attribute-file matrices in SmartStore have a small attribute dimension
+// (D <= 32) and a large file/unit dimension, so a straightforward dense
+// implementation is both simple and fast enough; no expression templates.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace smartstore::la {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row r (rows are contiguous).
+  double* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+
+  Vector row(std::size_t r) const;
+  Vector col(std::size_t c) const;
+  void set_row(std::size_t r, const Vector& v);
+  void set_col(std::size_t c, const Vector& v);
+
+  Matrix transposed() const;
+
+  /// this * other (dims must agree).
+  Matrix multiply(const Matrix& other) const;
+
+  /// this * v for a column vector v of length cols().
+  Vector multiply(const Vector& v) const;
+
+  /// this^T * this, an NxN Gram matrix for N = cols(). O(rows * cols^2).
+  Matrix gram() const;
+
+  /// this * this^T, an MxM Gram matrix for M = rows(). O(cols * rows^2).
+  Matrix outer_gram() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Max |a_ij - b_ij|; matrices must have identical shape.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+  std::size_t byte_size() const {
+    return sizeof(*this) + data_.capacity() * sizeof(double);
+  }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+// ---- free vector helpers ---------------------------------------------------
+
+double dot(const Vector& a, const Vector& b);
+double norm2(const Vector& a);
+/// Euclidean distance between points of equal dimension.
+double euclidean_distance(const Vector& a, const Vector& b);
+/// Squared Euclidean distance (the semantic-correlation objective uses it).
+double squared_distance(const Vector& a, const Vector& b);
+/// Cosine similarity in [-1, 1]; returns 0 if either vector is zero.
+double cosine_similarity(const Vector& a, const Vector& b);
+/// a + b elementwise.
+Vector add(const Vector& a, const Vector& b);
+/// a - b elementwise.
+Vector sub(const Vector& a, const Vector& b);
+/// s * a.
+Vector scale(const Vector& a, double s);
+
+}  // namespace smartstore::la

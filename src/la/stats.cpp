@@ -1,0 +1,67 @@
+#include "la/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace smartstore::la {
+
+double mean(const Vector& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double stdev(const Vector& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+double median(Vector v) { return percentile(std::move(v), 50.0); }
+
+double percentile(Vector v, double p) {
+  if (v.empty()) return 0.0;
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(v.begin(), v.end());
+  const double pos = p / 100.0 * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+RowStandardizer RowStandardizer::fit(const Matrix& a) {
+  RowStandardizer s;
+  s.means.resize(a.rows());
+  s.inv_stdevs.resize(a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    Vector row = a.row(r);
+    s.means[r] = mean(row);
+    const double sd = stdev(row);
+    s.inv_stdevs[r] = sd > 0.0 ? 1.0 / sd : 0.0;
+  }
+  return s;
+}
+
+void RowStandardizer::apply(Matrix& a) const {
+  assert(a.rows() == means.size());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double* row = a.row_ptr(r);
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      row[c] = (row[c] - means[r]) * inv_stdevs[r];
+  }
+}
+
+Vector RowStandardizer::transform(const Vector& raw) const {
+  assert(raw.size() == means.size());
+  Vector out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    out[i] = (raw[i] - means[i]) * inv_stdevs[i];
+  return out;
+}
+
+}  // namespace smartstore::la

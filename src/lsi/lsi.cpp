@@ -1,0 +1,91 @@
+#include "lsi/lsi.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace smartstore::lsi {
+
+LsiModel LsiModel::fit(const std::vector<la::Vector>& docs, std::size_t rank_p,
+                       double energy) {
+  LsiModel m;
+  if (docs.empty()) return m;
+  const std::size_t d = docs[0].size();
+  const std::size_t n = docs.size();
+
+  la::Matrix a(d, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    assert(docs[j].size() == d);
+    for (std::size_t i = 0; i < d; ++i) a(i, j) = docs[j][i];
+  }
+  m.standardizer_ = la::RowStandardizer::fit(a);
+  m.standardizer_.apply(a);
+
+  la::SvdResult svd = la::svd_thin(a);
+  if (svd.sigma.empty()) return m;
+
+  std::size_t p = rank_p;
+  if (p == 0) {
+    // Smallest rank capturing `energy` of sigma_i^2 mass.
+    double total = 0.0;
+    for (double s : svd.sigma) total += s * s;
+    double acc = 0.0;
+    p = svd.sigma.size();
+    for (std::size_t i = 0; i < svd.sigma.size(); ++i) {
+      acc += svd.sigma[i] * svd.sigma[i];
+      if (acc >= energy * total) {
+        p = i + 1;
+        break;
+      }
+    }
+  }
+  p = std::min(p, svd.sigma.size());
+  svd.truncate(p);
+
+  m.rank_ = p;
+  m.u_p_ = std::move(svd.u);
+  m.sigma_ = std::move(svd.sigma);
+  m.doc_coords_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    la::Vector& c = m.doc_coords_[j];
+    c.resize(p);
+    for (std::size_t k = 0; k < p; ++k) c[k] = svd.v(j, k) * m.sigma_[k];
+  }
+  return m;
+}
+
+la::Vector LsiModel::project(const la::Vector& raw) const {
+  assert(fitted());
+  const la::Vector q = standardizer_.transform(raw);
+  la::Vector out(rank_, 0.0);
+  for (std::size_t k = 0; k < rank_; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < q.size(); ++i) acc += u_p_(i, k) * q[i];
+    out[k] = acc;
+  }
+  return out;
+}
+
+la::Matrix LsiModel::pairwise_doc_similarity() const {
+  const std::size_t n = doc_coords_.size();
+  la::Matrix sim(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    sim(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double s = similarity(doc_coords_[i], doc_coords_[j]);
+      sim(i, j) = s;
+      sim(j, i) = s;
+    }
+  }
+  return sim;
+}
+
+std::size_t LsiModel::byte_size() const {
+  std::size_t b = sizeof(*this) + u_p_.byte_size() +
+                  sigma_.capacity() * sizeof(double);
+  for (const auto& c : doc_coords_) b += c.capacity() * sizeof(double);
+  b += (standardizer_.means.capacity() + standardizer_.inv_stdevs.capacity()) *
+       sizeof(double);
+  return b;
+}
+
+}  // namespace smartstore::lsi

@@ -1,0 +1,38 @@
+#include "metadata/file_metadata.h"
+
+namespace smartstore::metadata {
+
+la::Vector FileMetadata::project(const AttrSubset& subset) const {
+  la::Vector v(subset.size());
+  for (std::size_t i = 0; i < subset.size(); ++i)
+    v[i] = attrs[static_cast<std::size_t>(subset[i])];
+  return v;
+}
+
+la::Vector FileMetadata::full_vector() const {
+  return la::Vector(attrs.begin(), attrs.end());
+}
+
+la::Vector centroid(const std::vector<FileMetadata>& files,
+                    const AttrSubset& subset) {
+  la::Vector c(subset.size(), 0.0);
+  if (files.empty()) return c;
+  for (const auto& f : files) {
+    for (std::size_t i = 0; i < subset.size(); ++i)
+      c[i] += f.attr(subset[i]);
+  }
+  const double inv = 1.0 / static_cast<double>(files.size());
+  for (auto& x : c) x *= inv;
+  return c;
+}
+
+double group_variance(const std::vector<FileMetadata>& files,
+                      const AttrSubset& subset) {
+  if (files.empty()) return 0.0;
+  const la::Vector c = centroid(files, subset);
+  double acc = 0.0;
+  for (const auto& f : files) acc += la::squared_distance(f.project(subset), c);
+  return acc;
+}
+
+}  // namespace smartstore::metadata

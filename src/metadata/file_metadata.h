@@ -1,0 +1,51 @@
+// File metadata records: the unit of storage in SmartStore.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+#include "metadata/schema.h"
+
+namespace smartstore::metadata {
+
+using FileId = std::uint64_t;
+
+/// One file's metadata: an identifier, the filename (point-query key), and
+/// the D-dimensional numeric attribute vector (semantic vector source).
+struct FileMetadata {
+  FileId id = 0;
+  std::string name;
+  std::array<double, kNumAttrs> attrs{};
+
+  double attr(Attr a) const { return attrs[static_cast<std::size_t>(a)]; }
+  void set_attr(Attr a, double v) { attrs[static_cast<std::size_t>(a)] = v; }
+
+  /// The attribute vector restricted to a subset of dimensions, in subset
+  /// order. This is the raw (unstandardized) semantic vector S_a.
+  la::Vector project(const AttrSubset& subset) const;
+
+  /// Full D-dimensional raw vector.
+  la::Vector full_vector() const;
+
+  /// Approximate in-memory footprint (metadata record size matters for the
+  /// space-overhead experiments).
+  std::size_t byte_size() const {
+    return sizeof(*this) + name.capacity();
+  }
+};
+
+/// Centroid of a set of metadata records over a subset of dimensions: the
+/// average attribute values (the C_i of the semantic-correlation measure in
+/// Section 1.1).
+la::Vector centroid(const std::vector<FileMetadata>& files,
+                    const AttrSubset& subset);
+
+/// The semantic-correlation objective of Section 1.1 for one group: the sum
+/// of squared Euclidean distances from each member to the centroid.
+double group_variance(const std::vector<FileMetadata>& files,
+                      const AttrSubset& subset);
+
+}  // namespace smartstore::metadata

@@ -1,0 +1,49 @@
+// Query types served by SmartStore (Section 3.3): point (filename), range
+// (multi-dimensional interval) and top-k nearest neighbor.
+//
+// Range and top-k queries carry the subset of attribute dimensions they
+// constrain; queries probing fewer than D dimensions are the motivation for
+// the automatic-configuration component (Section 2.4).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "la/matrix.h"
+#include "metadata/file_metadata.h"
+#include "metadata/schema.h"
+
+namespace smartstore::metadata {
+
+/// Filename lookup: "does file X exist, and on which storage unit?"
+struct PointQuery {
+  std::string filename;
+};
+
+/// Multi-dimensional interval: lo[i] <= attr(dims[i]) <= hi[i] for all i.
+/// The paper's example: files revised between 10:00 and 16:20 with read
+/// volume in [30MB, 50MB] and write volume in [5MB, 8MB] is a box over
+/// three dimensions.
+struct RangeQuery {
+  AttrSubset dims;
+  la::Vector lo;
+  la::Vector hi;
+
+  bool matches(const FileMetadata& f) const {
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      const double v = f.attr(dims[i]);
+      if (v < lo[i] || v > hi[i]) return false;
+    }
+    return true;
+  }
+};
+
+/// k nearest neighbors of a query point in the (sub)space of `dims`,
+/// under Euclidean distance on standardized coordinates.
+struct TopKQuery {
+  AttrSubset dims;
+  la::Vector point;  ///< raw attribute coordinates, one per dims[i]
+  std::size_t k = 8;
+};
+
+}  // namespace smartstore::metadata

@@ -1,0 +1,88 @@
+#include "metadata/schema.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace smartstore::metadata {
+
+const char* attr_name(Attr a) {
+  switch (a) {
+    case Attr::kFileSize: return "size";
+    case Attr::kCreationTime: return "ctime";
+    case Attr::kModificationTime: return "mtime";
+    case Attr::kAccessTime: return "atime";
+    case Attr::kReadCount: return "rdcnt";
+    case Attr::kWriteCount: return "wrcnt";
+    case Attr::kReadBytes: return "rdbytes";
+    case Attr::kWriteBytes: return "wrbytes";
+    case Attr::kAccessFrequency: return "freq";
+    case Attr::kOwnerId: return "owner";
+  }
+  return "?";
+}
+
+bool attr_is_physical(Attr a) {
+  switch (a) {
+    case Attr::kFileSize:
+    case Attr::kCreationTime:
+    case Attr::kModificationTime:
+    case Attr::kOwnerId:
+      return true;
+    default:
+      return false;
+  }
+}
+
+AttrSubset::AttrSubset(std::vector<Attr> attrs) : attrs_(std::move(attrs)) {
+  std::sort(attrs_.begin(), attrs_.end());
+  attrs_.erase(std::unique(attrs_.begin(), attrs_.end()), attrs_.end());
+}
+
+AttrSubset AttrSubset::all() {
+  std::vector<Attr> v;
+  v.reserve(kNumAttrs);
+  for (std::size_t i = 0; i < kNumAttrs; ++i) v.push_back(static_cast<Attr>(i));
+  return AttrSubset(std::move(v));
+}
+
+bool AttrSubset::contains(Attr a) const {
+  return std::binary_search(attrs_.begin(), attrs_.end(), a);
+}
+
+unsigned AttrSubset::mask() const {
+  unsigned m = 0;
+  for (Attr a : attrs_) m |= 1u << static_cast<std::size_t>(a);
+  return m;
+}
+
+AttrSubset AttrSubset::from_mask(unsigned mask) {
+  std::vector<Attr> v;
+  for (std::size_t i = 0; i < kNumAttrs; ++i)
+    if (mask & (1u << i)) v.push_back(static_cast<Attr>(i));
+  return AttrSubset(std::move(v));
+}
+
+std::vector<AttrSubset> AttrSubset::enumerate(const AttrSubset& space) {
+  const std::size_t n = space.size();
+  assert(n <= 16 && "subset enumeration is exponential");
+  std::vector<AttrSubset> out;
+  out.reserve((1u << n) - 1);
+  for (unsigned m = 1; m < (1u << n); ++m) {
+    std::vector<Attr> v;
+    for (std::size_t i = 0; i < n; ++i)
+      if (m & (1u << i)) v.push_back(space[i]);
+    out.emplace_back(std::move(v));
+  }
+  return out;
+}
+
+std::string AttrSubset::to_string() const {
+  std::string s;
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (i) s += "+";
+    s += attr_name(attrs_[i]);
+  }
+  return s.empty() ? "<empty>" : s;
+}
+
+}  // namespace smartstore::metadata

@@ -1,0 +1,76 @@
+// The multi-dimensional attribute space of file metadata (Section 2.3).
+//
+// SmartStore distinguishes *physical* attributes (filename, size, creation
+// time — mostly immutable) from *behavioral* attributes (access frequency,
+// read/write volumes — frequently changing). The reproduction fixes a
+// D = 10 numeric schema covering both classes; the filename is kept
+// separately as the point-query key.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace smartstore::metadata {
+
+enum class Attr : std::size_t {
+  kFileSize = 0,        ///< bytes (physical)
+  kCreationTime = 1,    ///< seconds since trace epoch (physical)
+  kModificationTime = 2,///< seconds since trace epoch (physical)
+  kAccessTime = 3,      ///< seconds since trace epoch (behavioral)
+  kReadCount = 4,       ///< number of read operations (behavioral)
+  kWriteCount = 5,      ///< number of write operations (behavioral)
+  kReadBytes = 6,       ///< total bytes read (behavioral)
+  kWriteBytes = 7,      ///< total bytes written (behavioral)
+  kAccessFrequency = 8, ///< accesses per hour (behavioral)
+  kOwnerId = 9,         ///< numeric owner/process id (physical)
+};
+
+inline constexpr std::size_t kNumAttrs = 10;
+
+/// Display name for an attribute.
+const char* attr_name(Attr a);
+
+/// True for physical (rarely changing) attributes, false for behavioral.
+bool attr_is_physical(Attr a);
+
+/// An ordered subset of attribute dimensions, used by queries that probe
+/// only d of the D dimensions and by the automatic-configuration component
+/// (Section 2.4).
+class AttrSubset {
+ public:
+  AttrSubset() = default;
+  explicit AttrSubset(std::vector<Attr> attrs);
+
+  /// The full D-dimensional space.
+  static AttrSubset all();
+
+  std::size_t size() const { return attrs_.size(); }
+  bool empty() const { return attrs_.empty(); }
+  Attr operator[](std::size_t i) const { return attrs_[i]; }
+  const std::vector<Attr>& attrs() const { return attrs_; }
+
+  bool contains(Attr a) const;
+
+  /// Canonical bitmask (bit i set when attribute i is included), used to
+  /// key the auto-configuration registry of semantic R-trees.
+  unsigned mask() const;
+
+  /// Builds a subset from a bitmask.
+  static AttrSubset from_mask(unsigned mask);
+
+  /// Enumerates all non-empty subsets of the given dimensions (2^n - 1 of
+  /// them); n must be small. Used by automatic configuration.
+  static std::vector<AttrSubset> enumerate(const AttrSubset& space);
+
+  /// Human-readable "size+ctime+mtime".
+  std::string to_string() const;
+
+  bool operator==(const AttrSubset&) const = default;
+
+ private:
+  std::vector<Attr> attrs_;
+};
+
+}  // namespace smartstore::metadata

@@ -1,0 +1,392 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace smartstore::rtree {
+
+Mbr RTree::Node::box() const {
+  Mbr b;
+  for (const auto& e : entries) b.expand(e.box);
+  return b;
+}
+
+RTree::RTree(std::size_t dims, std::size_t max_fanout, std::size_t min_fill)
+    : dims_(dims), max_fanout_(std::max<std::size_t>(4, max_fanout)) {
+  // Paper Section 4.1: m <= M/2, tunable per workload. Default M/3, a
+  // common choice balancing split frequency against occupancy.
+  const std::size_t half = max_fanout_ / 2;
+  min_fill_ = min_fill == 0 ? std::max<std::size_t>(1, max_fanout_ / 3)
+                            : std::min(min_fill, half);
+  if (min_fill_ == 0) min_fill_ = 1;
+}
+
+RTree::Node* RTree::choose_leaf(Node& node, const Mbr& box,
+                                std::vector<Node*>& path) const {
+  Node* n = &node;
+  for (;;) {
+    path.push_back(n);
+    if (n->leaf) return n;
+    // Least enlargement, ties by smaller area (Guttman's ChooseLeaf).
+    Entry* best = nullptr;
+    double best_enl = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (auto& e : n->entries) {
+      const double enl = e.box.enlargement(box);
+      const double area = e.box.area();
+      if (enl < best_enl || (enl == best_enl && area < best_area)) {
+        best = &e;
+        best_enl = enl;
+        best_area = area;
+      }
+    }
+    assert(best);
+    n = best->child.get();
+  }
+}
+
+std::unique_ptr<RTree::Node> RTree::split_node(Node& node) {
+  // Guttman's quadratic split: pick the pair of entries wasting the most
+  // area as seeds, then greedily assign the rest by strongest preference.
+  auto& es = node.entries;
+  const std::size_t n = es.size();
+  assert(n > max_fanout_);
+
+  std::size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double waste = merge(es[i].box, es[j].box).area() -
+                           es[i].box.area() - es[j].box.area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  std::vector<Entry> pool;
+  pool.reserve(n);
+  for (auto& e : es) pool.push_back(std::move(e));
+  es.clear();
+
+  auto sibling = std::make_unique<Node>(node.leaf);
+  Mbr box_a(pool[seed_a].box), box_b(pool[seed_b].box);
+  node.entries.push_back(std::move(pool[seed_a]));
+  sibling->entries.push_back(std::move(pool[seed_b]));
+
+  std::vector<bool> assigned(n, false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  std::size_t remaining = n - 2;
+
+  while (remaining > 0) {
+    // If one group needs every remaining entry to reach min fill, dump them.
+    if (node.entries.size() + remaining == min_fill_) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          box_a.expand(pool[i].box);
+          node.entries.push_back(std::move(pool[i]));
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    if (sibling->entries.size() + remaining == min_fill_) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          box_b.expand(pool[i].box);
+          sibling->entries.push_back(std::move(pool[i]));
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    // PickNext: the entry with the greatest preference difference.
+    std::size_t pick = n;
+    double best_diff = -1.0;
+    double d_a_pick = 0, d_b_pick = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      const double da = box_a.enlargement(pool[i].box);
+      const double db = box_b.enlargement(pool[i].box);
+      const double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        d_a_pick = da;
+        d_b_pick = db;
+      }
+    }
+    assert(pick < n);
+    bool to_a;
+    if (d_a_pick != d_b_pick) {
+      to_a = d_a_pick < d_b_pick;
+    } else if (box_a.area() != box_b.area()) {
+      to_a = box_a.area() < box_b.area();
+    } else {
+      to_a = node.entries.size() <= sibling->entries.size();
+    }
+    if (to_a) {
+      box_a.expand(pool[pick].box);
+      node.entries.push_back(std::move(pool[pick]));
+    } else {
+      box_b.expand(pool[pick].box);
+      sibling->entries.push_back(std::move(pool[pick]));
+    }
+    assigned[pick] = true;
+    --remaining;
+  }
+  return sibling;
+}
+
+void RTree::insert(const la::Vector& point, Payload payload) {
+  assert(point.size() == dims_);
+  if (!root_) root_ = std::make_unique<Node>(/*leaf=*/true);
+
+  std::vector<Node*> path;
+  Node* leaf = choose_leaf(*root_, Mbr(point), path);
+  Entry e;
+  e.box = Mbr(point);
+  e.payload = payload;
+  leaf->entries.push_back(std::move(e));
+  ++size_;
+
+  std::unique_ptr<Node> pending;  // split-off sibling of path[i]
+  for (std::size_t i = path.size(); i-- > 0;) {
+    Node* node = path[i];
+    if (node->entries.size() > max_fanout_) pending = split_node(*node);
+    if (i > 0) {
+      Node* parent = path[i - 1];
+      for (auto& pe : parent->entries) {
+        if (pe.child.get() == node) {
+          pe.box = node->box();
+          break;
+        }
+      }
+      if (pending) {
+        Entry se;
+        se.box = pending->box();
+        se.child = std::move(pending);
+        parent->entries.push_back(std::move(se));
+      }
+    } else if (pending) {
+      auto new_root = std::make_unique<Node>(/*leaf=*/false);
+      Entry e1;
+      e1.box = root_->box();
+      Entry e2;
+      e2.box = pending->box();
+      e2.child = std::move(pending);
+      e1.child = std::move(root_);
+      new_root->entries.push_back(std::move(e1));
+      new_root->entries.push_back(std::move(e2));
+      root_ = std::move(new_root);
+    }
+  }
+}
+
+void RTree::collect_leaf_entries(Node& node, std::vector<Entry>& out) {
+  if (node.leaf) {
+    for (auto& e : node.entries) out.push_back(std::move(e));
+    return;
+  }
+  for (auto& e : node.entries) collect_leaf_entries(*e.child, out);
+}
+
+bool RTree::erase_recursive(Node& node, const la::Vector& point,
+                            Payload payload, std::vector<Entry>& orphans) {
+  if (node.leaf) {
+    for (auto it = node.entries.begin(); it != node.entries.end(); ++it) {
+      if (it->payload == payload && it->box.lo() == point) {
+        node.entries.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  for (auto it = node.entries.begin(); it != node.entries.end(); ++it) {
+    if (!it->box.contains(point)) continue;
+    if (!erase_recursive(*it->child, point, payload, orphans)) continue;
+    if (it->child->entries.size() < min_fill_) {
+      // CondenseTree: dissolve the underfull child, reinsert its entries.
+      collect_leaf_entries(*it->child, orphans);
+      node.entries.erase(it);
+    } else {
+      it->box = it->child->box();
+    }
+    return true;
+  }
+  return false;
+}
+
+bool RTree::erase(const la::Vector& point, Payload payload) {
+  assert(point.size() == dims_);
+  if (!root_) return false;
+  std::vector<Entry> orphans;
+  if (!erase_recursive(*root_, point, payload, orphans)) return false;
+  --size_;
+
+  // Shrink the root: an internal root with one child collapses; an empty
+  // root (possible when CondenseTree dissolved its last child) is dropped.
+  while (root_ && !root_->leaf && root_->entries.size() == 1) {
+    root_ = std::move(root_->entries.front().child);
+  }
+  if (root_ && root_->entries.empty()) root_.reset();
+
+  size_ -= orphans.size();  // insert() will count them again
+  for (auto& o : orphans) insert(o.box.lo(), o.payload);
+  return true;
+}
+
+void RTree::range_query_node(const Node& node, const Mbr& box,
+                             std::vector<Payload>& out,
+                             std::size_t& visited) const {
+  ++visited;
+  if (node.leaf) last_leaf_entries_ += node.entries.size();
+  for (const auto& e : node.entries) {
+    if (!box.intersects(e.box)) continue;
+    if (node.leaf) {
+      out.push_back(e.payload);
+    } else {
+      range_query_node(*e.child, box, out, visited);
+    }
+  }
+}
+
+std::vector<RTree::Payload> RTree::range_query(const Mbr& box) const {
+  std::vector<Payload> out;
+  last_nodes_visited_ = 0;
+  last_leaf_entries_ = 0;
+  if (root_) range_query_node(*root_, box, out, last_nodes_visited_);
+  return out;
+}
+
+std::vector<std::pair<double, RTree::Payload>> RTree::knn(
+    const la::Vector& point, std::size_t k) const {
+  std::vector<std::pair<double, Payload>> result;
+  last_nodes_visited_ = 0;
+  last_leaf_entries_ = 0;
+  if (!root_ || k == 0) return result;
+
+  struct QueueItem {
+    double dist;
+    const Node* node;      // nullptr for a leaf entry
+    Payload payload;
+    bool operator>(const QueueItem& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+  pq.push({0.0, root_.get(), 0});
+
+  // MaxD (paper Section 3.3.2): the distance of the current k-th best;
+  // subtrees farther than MaxD cannot improve the result.
+  double max_d = std::numeric_limits<double>::infinity();
+  while (!pq.empty()) {
+    const QueueItem item = pq.top();
+    pq.pop();
+    if (item.dist > max_d) break;
+    if (item.node == nullptr) {
+      result.emplace_back(item.dist, item.payload);
+      if (result.size() == k) break;
+      continue;
+    }
+    ++last_nodes_visited_;
+    if (item.node->leaf) last_leaf_entries_ += item.node->entries.size();
+    for (const auto& e : item.node->entries) {
+      const double d = e.box.min_squared_distance(point);
+      if (d > max_d) continue;
+      if (item.node->leaf) {
+        pq.push({d, nullptr, e.payload});
+      } else {
+        pq.push({d, e.child.get(), 0});
+      }
+    }
+  }
+  return result;
+}
+
+void RTree::for_each(
+    const std::function<void(const la::Vector&, Payload)>& fn) const {
+  std::function<void(const Node&)> walk = [&](const Node& n) {
+    for (const auto& e : n.entries) {
+      if (n.leaf) {
+        fn(e.box.lo(), e.payload);
+      } else {
+        walk(*e.child);
+      }
+    }
+  };
+  if (root_) walk(*root_);
+}
+
+Mbr RTree::bounds() const { return root_ ? root_->box() : Mbr(); }
+
+std::size_t RTree::leaf_depth_of(const Node& node) {
+  std::size_t d = 1;
+  const Node* n = &node;
+  while (!n->leaf) {
+    n = n->entries.front().child.get();
+    ++d;
+  }
+  return d;
+}
+
+RTreeStats RTree::stats() const {
+  RTreeStats s;
+  s.last_nodes_visited = last_nodes_visited_;
+  s.last_leaf_entries = last_leaf_entries_;
+  std::function<void(const Node&, std::size_t)> walk = [&](const Node& n,
+                                                           std::size_t depth) {
+    s.height = std::max(s.height, depth);
+    s.bytes += sizeof(Node);
+    for (const auto& e : n.entries) {
+      if (n.leaf) {
+        // Leaf entries are points: dims coordinates plus the payload.
+        s.bytes += dims_ * sizeof(double) + sizeof(Payload);
+        ++s.entries;
+      } else {
+        // Internal entries carry a full bounding box and a child pointer.
+        s.bytes += 2 * dims_ * sizeof(double) + sizeof(void*);
+        walk(*e.child, depth + 1);
+      }
+    }
+    if (n.leaf) {
+      ++s.leaf_nodes;
+    } else {
+      ++s.internal_nodes;
+    }
+  };
+  if (root_) walk(*root_, 1);
+  return s;
+}
+
+bool RTree::check_node(const Node& node, std::size_t depth,
+                       std::size_t leaf_depth, std::size_t& entries) const {
+  const bool is_root = depth == 1;
+  if (node.entries.size() > max_fanout_) return false;
+  if (!is_root && node.entries.size() < min_fill_) return false;
+  if (node.leaf) {
+    if (depth != leaf_depth) return false;
+    entries += node.entries.size();
+    return true;
+  }
+  for (const auto& e : node.entries) {
+    if (!e.child) return false;
+    // Parent entry box must exactly bound the child contents.
+    if (!(e.box == e.child->box())) return false;
+    if (!check_node(*e.child, depth + 1, leaf_depth, entries)) return false;
+  }
+  return true;
+}
+
+bool RTree::check_invariants() const {
+  if (!root_) return size_ == 0;
+  std::size_t entries = 0;
+  if (!check_node(*root_, 1, leaf_depth_of(*root_), entries)) return false;
+  return entries == size_;
+}
+
+}  // namespace smartstore::rtree

@@ -1,0 +1,125 @@
+// Classical dynamic R-tree (Guttman, SIGMOD'84) over points with uint64
+// payloads.
+//
+// Used directly as the non-semantic centralized baseline ("R-tree" in
+// Table 4 / Figure 7 of the paper) and reused by the semantic R-tree for
+// the node split/merge algorithms (Section 4.1 — "the operations of
+// splitting and merging nodes in semantic R-tree follow the classical
+// algorithms in R-tree").
+//
+// Configuration mirrors the paper's parameters: fanout M (max children per
+// node) and m <= M/2 (min fill; underflowing nodes are dissolved and their
+// entries reinserted — Guttman's CondenseTree).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rtree/mbr.h"
+
+namespace smartstore::rtree {
+
+struct RTreeStats {
+  std::size_t leaf_nodes = 0;
+  std::size_t internal_nodes = 0;
+  std::size_t entries = 0;
+  std::size_t height = 0;
+  /// Logical storage: leaf entries as points (dims doubles + payload),
+  /// internal entries as boxes — what a space-conscious implementation
+  /// would serialize (Figure 7 accounting).
+  std::size_t bytes = 0;
+  /// Nodes touched by the most recent query (search-cost accounting for the
+  /// latency model).
+  std::size_t last_nodes_visited = 0;
+  /// Leaf entries compared by the most recent query (record-level work).
+  std::size_t last_leaf_entries = 0;
+};
+
+class RTree {
+ public:
+  using Payload = std::uint64_t;
+
+  /// `max_fanout` = M; `min_fill` = m (clamped to [1, M/2]).
+  explicit RTree(std::size_t dims, std::size_t max_fanout = 16,
+                 std::size_t min_fill = 0);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t dims() const { return dims_; }
+  std::size_t max_fanout() const { return max_fanout_; }
+  std::size_t min_fill() const { return min_fill_; }
+
+  void insert(const la::Vector& point, Payload payload);
+
+  /// Removes one entry with this exact point and payload; returns true if
+  /// found. Underflowing nodes are condensed (entries reinserted).
+  bool erase(const la::Vector& point, Payload payload);
+
+  /// All payloads whose points fall inside the box (inclusive).
+  std::vector<Payload> range_query(const Mbr& box) const;
+
+  /// The k nearest entries to `point` (squared Euclidean), closest first.
+  /// Implements best-first branch-and-bound; the pruning bound corresponds
+  /// to the paper's MaxD threshold.
+  std::vector<std::pair<double, Payload>> knn(const la::Vector& point,
+                                              std::size_t k) const;
+
+  /// Visits every (point, payload) entry.
+  void for_each(
+      const std::function<void(const la::Vector&, Payload)>& fn) const;
+
+  /// Root MBR (invalid when empty).
+  Mbr bounds() const;
+
+  RTreeStats stats() const;
+
+  /// Structural invariants: MBR containment, fanout bounds, uniform leaf
+  /// depth, entry count. For property tests.
+  bool check_invariants() const;
+
+ private:
+  struct Node;
+  struct Entry {
+    Mbr box;                       // degenerate box for leaf entries
+    Payload payload = 0;           // leaf only
+    std::unique_ptr<Node> child;   // internal only
+  };
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    std::vector<Entry> entries;
+    Mbr box() const;
+  };
+
+  Node* choose_leaf(Node& node, const Mbr& box,
+                    std::vector<Node*>& path) const;
+  /// Splits an overflowing node in place (Guttman's quadratic split);
+  /// returns the new sibling.
+  std::unique_ptr<Node> split_node(Node& node);
+  bool erase_recursive(Node& node, const la::Vector& point, Payload payload,
+                       std::vector<Entry>& orphans);
+  /// Collects the leaf-level entries of a dissolved subtree for
+  /// reinsertion (CondenseTree).
+  static void collect_leaf_entries(Node& node, std::vector<Entry>& out);
+
+  void range_query_node(const Node& node, const Mbr& box,
+                        std::vector<Payload>& out,
+                        std::size_t& visited) const;
+
+  bool check_node(const Node& node, std::size_t depth, std::size_t leaf_depth,
+                  std::size_t& entries) const;
+  static std::size_t leaf_depth_of(const Node& node);
+
+  std::size_t dims_;
+  std::size_t max_fanout_;
+  std::size_t min_fill_;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  mutable std::size_t last_nodes_visited_ = 0;
+  mutable std::size_t last_leaf_entries_ = 0;
+};
+
+}  // namespace smartstore::rtree

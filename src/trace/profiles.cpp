@@ -1,0 +1,104 @@
+#include "trace/profiles.h"
+
+namespace smartstore::trace {
+
+const char* trace_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kHP: return "HP";
+    case TraceKind::kMSN: return "MSN";
+    case TraceKind::kEECS: return "EECS";
+  }
+  return "?";
+}
+
+TraceProfile hp_profile() {
+  TraceProfile p;
+  p.kind = TraceKind::kHP;
+  p.name = "HP";
+  p.paper_tif = 80;  // Table 1
+  p.headline = {
+      {"request (million)", 94.7, "M"},
+      {"active users", 32, ""},
+      {"user accounts", 207, ""},
+      {"active files (million)", 0.969, "M"},
+      {"total files (million)", 4, "M"},
+  };
+  // HP is a long-duration departmental server trace: many users, mixed
+  // project directories, moderate popularity skew.
+  p.gen.files_per_subtrace = 20000;
+  p.gen.ops_per_subtrace = 80000;
+  p.gen.duration_sec = 24 * 3600.0;
+  p.gen.size_lognormal_mu = 10.5;
+  p.gen.size_lognormal_sigma = 2.4;
+  p.gen.popularity_zipf_theta = 0.85;
+  p.gen.read_fraction = 0.65;
+  p.gen.num_owners = 207;
+  p.gen.num_clusters = 64;
+  p.gen.cluster_attr_spread = 0.08;
+  return p;
+}
+
+TraceProfile msn_profile() {
+  TraceProfile p;
+  p.kind = TraceKind::kMSN;
+  p.name = "MSN";
+  p.paper_tif = 100;  // Table 2
+  p.headline = {
+      {"# of files (million)", 1.25, "M"},
+      {"total READ (million)", 3.30, "M"},
+      {"total WRITE (million)", 1.17, "M"},
+      {"duration (hours)", 6, "h"},
+      {"total I/O (million)", 4.47, "M"},
+  };
+  // MSN is a production Windows-server storage trace: hot production data,
+  // strong skew, read-dominated, short duration.
+  p.gen.files_per_subtrace = 12500;
+  p.gen.ops_per_subtrace = 44700;
+  p.gen.duration_sec = 6 * 3600.0;
+  p.gen.size_lognormal_mu = 11.5;
+  p.gen.size_lognormal_sigma = 2.0;
+  p.gen.popularity_zipf_theta = 1.05;
+  p.gen.read_fraction = 3.30 / 4.47;
+  p.gen.num_owners = 96;
+  p.gen.num_clusters = 48;
+  p.gen.cluster_attr_spread = 0.06;
+  return p;
+}
+
+TraceProfile eecs_profile() {
+  TraceProfile p;
+  p.kind = TraceKind::kEECS;
+  p.name = "EECS";
+  p.paper_tif = 150;  // Table 3
+  p.headline = {
+      {"total READ (million)", 0.46, "M"},
+      {"READ size (GB)", 5.1, "GB"},
+      {"total WRITE (million)", 0.667, "M"},
+      {"WRITE size (GB)", 9.1, "GB"},
+      {"total operations (million)", 4.44, "M"},
+  };
+  // EECS is an NFS trace of email + research workloads: many small files,
+  // write-heavy, strong re-open locality.
+  p.gen.files_per_subtrace = 15000;
+  p.gen.ops_per_subtrace = 44400;
+  p.gen.duration_sec = 12 * 3600.0;
+  p.gen.size_lognormal_mu = 9.5;
+  p.gen.size_lognormal_sigma = 2.1;
+  p.gen.popularity_zipf_theta = 0.95;
+  p.gen.read_fraction = 0.46 / (0.46 + 0.667);
+  p.gen.num_owners = 120;
+  p.gen.num_clusters = 56;
+  p.gen.cluster_attr_spread = 0.07;
+  return p;
+}
+
+TraceProfile profile_for(TraceKind k) {
+  switch (k) {
+    case TraceKind::kHP: return hp_profile();
+    case TraceKind::kMSN: return msn_profile();
+    case TraceKind::kEECS: return eecs_profile();
+  }
+  return hp_profile();
+}
+
+}  // namespace smartstore::trace

@@ -1,0 +1,60 @@
+// Statistical profiles of the three file-system traces the paper evaluates
+// on: HP (Riedel et al., FAST'02), MSN (Kavalanekar et al., IISWC'08) and
+// EECS (Ellard et al., FAST'03).
+//
+// The production traces themselves are not redistributable, so this module
+// records (a) the headline statistics the paper reports in Tables 1-3,
+// which the Table 1-3 bench reprints at original and TIF-intensified scale,
+// and (b) generation parameters for the synthetic workload that stands in
+// for each trace: file-count scale, size distribution, popularity skew,
+// read/write mix, duration and semantic-cluster structure. The synthetic
+// stand-ins preserve the skew and correlation properties SmartStore's
+// grouping exploits (Zipf popularity, lognormal sizes, clustered
+// multi-dimensional attributes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace smartstore::trace {
+
+enum class TraceKind { kHP, kMSN, kEECS };
+
+const char* trace_name(TraceKind k);
+
+/// One row of a paper scale-up table: the scaled value is original * TIF
+/// (the paper's sub-trace replication multiplies every count linearly).
+struct HeadlineStat {
+  std::string label;
+  double original;
+  std::string unit;
+};
+
+/// Workload-generation parameters for the synthetic stand-in.
+struct GenParams {
+  std::size_t files_per_subtrace = 20000;  ///< file count at TIF=1
+  std::size_t ops_per_subtrace = 60000;    ///< I/O ops at TIF=1
+  double duration_sec = 6 * 3600.0;        ///< trace duration
+  double size_lognormal_mu = 11.0;         ///< ln-bytes mean (~60KB median)
+  double size_lognormal_sigma = 2.2;       ///< heavy-tailed sizes
+  double popularity_zipf_theta = 0.9;      ///< file popularity skew
+  double read_fraction = 0.7;              ///< reads / (reads + writes)
+  std::size_t num_owners = 200;            ///< distinct user/process ids
+  std::size_t num_clusters = 48;           ///< semantic application clusters
+  double cluster_attr_spread = 0.08;       ///< intra-cluster jitter (rel.)
+};
+
+struct TraceProfile {
+  TraceKind kind;
+  std::string name;
+  int paper_tif;  ///< the TIF the paper's Tables 1-3 use (80 / 100 / 150)
+  std::vector<HeadlineStat> headline;
+  GenParams gen;
+};
+
+TraceProfile hp_profile();
+TraceProfile msn_profile();
+TraceProfile eecs_profile();
+TraceProfile profile_for(TraceKind k);
+
+}  // namespace smartstore::trace

@@ -1,0 +1,128 @@
+#include "trace/query_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "la/stats.h"
+
+namespace smartstore::trace {
+
+using metadata::Attr;
+using metadata::AttrSubset;
+using metadata::FileMetadata;
+using metadata::kNumAttrs;
+
+const char* distribution_name(QueryDistribution d) {
+  switch (d) {
+    case QueryDistribution::kUniform: return "Uniform";
+    case QueryDistribution::kGauss: return "Gauss";
+    case QueryDistribution::kZipf: return "Zipf";
+  }
+  return "?";
+}
+
+QueryGenerator::QueryGenerator(const SyntheticTrace& trace,
+                               QueryDistribution dist, std::uint64_t seed)
+    : trace_(trace), dist_(dist), rng_(seed),
+      zipf_(std::max<std::size_t>(1, trace.files().size()), 1.0) {
+  min_.assign(kNumAttrs, 0.0);
+  max_.assign(kNumAttrs, 0.0);
+  mean_.assign(kNumAttrs, 0.0);
+  stdev_.assign(kNumAttrs, 0.0);
+  p5_.assign(kNumAttrs, 0.0);
+  p95_.assign(kNumAttrs, 0.0);
+  const auto& files = trace.files();
+  if (files.empty()) return;
+  for (std::size_t d = 0; d < kNumAttrs; ++d) {
+    la::Vector col(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i)
+      col[i] = files[i].attrs[d];
+    const auto [mn, mx] = std::minmax_element(col.begin(), col.end());
+    min_[d] = *mn;
+    max_[d] = *mx;
+    mean_[d] = la::mean(col);
+    stdev_[d] = la::stdev(col);
+    p5_[d] = la::percentile(col, 5.0);
+    p95_[d] = la::percentile(col, 95.0);
+  }
+}
+
+const FileMetadata* QueryGenerator::pick_anchor() {
+  if (trace_.files().empty()) return nullptr;
+  if (dist_ == QueryDistribution::kGauss) {
+    // Gauss anchors uniformly over files (queries normally distributed
+    // around the data manifold, no popularity skew).
+    return &trace_.files()[rng_.uniform_u64(trace_.files().size())];
+  }
+  return &trace_.files()[zipf_.sample(rng_)];
+}
+
+double QueryGenerator::draw_coord(Attr a, const FileMetadata* anchor) {
+  const std::size_t d = static_cast<std::size_t>(a);
+  switch (dist_) {
+    case QueryDistribution::kUniform:
+      return p5_[d] < p95_[d] ? rng_.uniform(p5_[d], p95_[d]) : p5_[d];
+    case QueryDistribution::kGauss: {
+      // Normally distributed around a data point: wider wobble than Zipf
+      // (no popularity concentration), but still data-aligned.
+      const double base = anchor ? anchor->attrs[d] : mean_[d];
+      const double wobble = 0.3 * std::max(1e-9, stdev_[d]);
+      return std::clamp(rng_.gauss(base, wobble), min_[d], max_[d]);
+    }
+    case QueryDistribution::kZipf: {
+      // Near a popular file's coordinate, with small Gaussian wobble.
+      const double base = anchor ? anchor->attrs[d] : mean_[d];
+      const double wobble = 0.02 * std::max(1e-9, stdev_[d]);
+      return std::clamp(rng_.gauss(base, wobble), min_[d], max_[d]);
+    }
+  }
+  return mean_[d];
+}
+
+metadata::PointQuery QueryGenerator::gen_point(double exist_prob) {
+  metadata::PointQuery q;
+  if (!trace_.files().empty() && rng_.bernoulli(exist_prob)) {
+    q.filename = trace_.files()[zipf_.sample(rng_)].name;
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "/nonexistent/ghost%016llx.tmp",
+                  static_cast<unsigned long long>(rng_.next_u64()));
+    q.filename = buf;
+  }
+  return q;
+}
+
+metadata::RangeQuery QueryGenerator::gen_range(const AttrSubset& dims,
+                                               double width_frac) {
+  metadata::RangeQuery q;
+  q.dims = dims;
+  q.lo.resize(dims.size());
+  q.hi.resize(dims.size());
+  const FileMetadata* anchor =
+      dist_ == QueryDistribution::kUniform ? nullptr : pick_anchor();
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    const std::size_t d = static_cast<std::size_t>(dims[i]);
+    const double center = draw_coord(dims[i], anchor);
+    const double spread = std::max(1e-9, max_[d] - min_[d]);
+    const double half = 0.5 * width_frac * spread;
+    q.lo[i] = center - half;
+    q.hi[i] = center + half;
+  }
+  return q;
+}
+
+metadata::TopKQuery QueryGenerator::gen_topk(const AttrSubset& dims,
+                                             std::size_t k) {
+  metadata::TopKQuery q;
+  q.dims = dims;
+  q.k = k;
+  q.point.resize(dims.size());
+  const FileMetadata* anchor =
+      dist_ == QueryDistribution::kUniform ? nullptr : pick_anchor();
+  for (std::size_t i = 0; i < dims.size(); ++i)
+    q.point[i] = draw_coord(dims[i], anchor);
+  return q;
+}
+
+}  // namespace smartstore::trace

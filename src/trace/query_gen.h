@@ -1,0 +1,61 @@
+// Synthetic complex-query generation (Section 5.1).
+//
+// No public traces contain range/top-k requests, so the paper statistically
+// generates query points in the multi-dimensional attribute space under
+// Uniform, Gauss, or Zipf coordinate distributions; we do the same.
+//   * Uniform: coordinates uniform over each attribute's populated band
+//     (5th..95th percentile; the raw min..max range of heavy-tailed
+//     attributes is almost entirely dead space).
+//   * Gauss:  coordinates normal around each attribute's mean.
+//   * Zipf:   the query targets the neighborhood of a Zipf-popular file
+//             (queries concentrate around hot regions, the behaviour that
+//             gives Zipf its higher recall in Figure 10).
+#pragma once
+
+#include <cstdint>
+
+#include "metadata/query.h"
+#include "trace/synth.h"
+#include "util/rng.h"
+
+namespace smartstore::trace {
+
+enum class QueryDistribution { kUniform, kGauss, kZipf };
+
+const char* distribution_name(QueryDistribution d);
+
+class QueryGenerator {
+ public:
+  /// Fits per-attribute ranges/means over the trace population.
+  QueryGenerator(const SyntheticTrace& trace, QueryDistribution dist,
+                 std::uint64_t seed);
+
+  /// A filename point query; with probability `exist_prob` the name is an
+  /// existing file (drawn Zipf-popular), otherwise a never-created name.
+  metadata::PointQuery gen_point(double exist_prob = 0.9);
+
+  /// A range query over `dims`: a box around a drawn center covering
+  /// roughly `width_frac` of each dimension's observed spread.
+  metadata::RangeQuery gen_range(const metadata::AttrSubset& dims,
+                                 double width_frac = 0.05);
+
+  /// A top-k query at a drawn point.
+  metadata::TopKQuery gen_topk(const metadata::AttrSubset& dims,
+                               std::size_t k = 8);
+
+ private:
+  /// Draws one coordinate for attribute `a` under the configured
+  /// distribution; for Zipf the anchor file chosen per-query is used.
+  double draw_coord(metadata::Attr a, const metadata::FileMetadata* anchor);
+
+  /// Picks the per-query anchor (Zipf only).
+  const metadata::FileMetadata* pick_anchor();
+
+  const SyntheticTrace& trace_;
+  QueryDistribution dist_;
+  util::Rng rng_;
+  util::ZipfGenerator zipf_;
+  la::Vector min_, max_, mean_, stdev_, p5_, p95_;
+};
+
+}  // namespace smartstore::trace

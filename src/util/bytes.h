@@ -1,0 +1,29 @@
+// Byte-size accounting helpers shared by the space-overhead experiments
+// (Figure 7 and Figure 14a report structure sizes per node).
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+
+namespace smartstore::util {
+
+/// Formats a byte count as a short human-readable string ("1.5 MiB").
+inline std::string format_bytes(std::size_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace smartstore::util

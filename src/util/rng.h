@@ -1,0 +1,88 @@
+// Deterministic random number generation and the distributions used across
+// the SmartStore reproduction (uniform, Gauss, lognormal, Zipf, exponential).
+//
+// Every stochastic component in this repository takes an explicit 64-bit
+// seed and draws from this generator so that experiments regenerate
+// identically across runs and platforms. std:: distributions are avoided
+// because their output is implementation-defined.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace smartstore::util {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from `seed` via SplitMix64 so that nearby
+  /// seeds yield uncorrelated streams.
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n) using Lemire's unbiased method. n must be > 0.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double gauss();
+
+  /// Normal with the given mean and standard deviation.
+  double gauss(double mean, double stdev);
+
+  /// Lognormal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with rate lambda (> 0).
+  double exponential(double lambda);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_u64(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf-distributed ranks over {0, ..., n-1} with exponent `theta`.
+///
+/// Uses the classic Gray et al. rejection-free inversion over a precomputed
+/// harmonic normalizer; construction is O(n), sampling is O(log n) via
+/// binary search on the CDF. Suitable for the file-popularity and
+/// query-coordinate skews in the paper (n up to a few million).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double theta);
+
+  /// Draws a rank in [0, n); rank 0 is the most popular item.
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  std::vector<double> cdf_;
+  double theta_;
+};
+
+}  // namespace smartstore::util

@@ -1,0 +1,151 @@
+// Tests for the DBMS and centralized R-tree baselines: result correctness
+// against ground truth and the cost relationships Table 4 relies on.
+#include "baseline/central_rtree.h"
+#include "baseline/dbms.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/ground_truth.h"
+#include "trace/query_gen.h"
+#include "trace/synth.h"
+
+namespace smartstore::baseline {
+namespace {
+
+using metadata::Attr;
+using metadata::AttrSubset;
+using metadata::FileId;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace_ = trace::SyntheticTrace::generate(trace::eecs_profile(), 1, 11,
+                                             /*downscale=*/10);  // 1500 files
+    dbms_ = std::make_unique<DbmsStore>(20);
+    dbms_->build(trace_.files());
+    rt_ = std::make_unique<CentralRTreeStore>(20);
+    rt_->build(trace_.files());
+  }
+
+  trace::SyntheticTrace trace_{};
+  std::unique_ptr<DbmsStore> dbms_;
+  std::unique_ptr<CentralRTreeStore> rt_;
+};
+
+TEST_F(BaselineTest, DbmsPointQueryCorrect) {
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto& f = trace_.files()[i * 13 % trace_.files().size()];
+    const auto res = dbms_->point_query({f.name}, 0.0);
+    EXPECT_TRUE(res.found);
+    EXPECT_EQ(res.id, f.id);
+  }
+  EXPECT_FALSE(dbms_->point_query({"/absent/file"}, 0.0).found);
+}
+
+TEST_F(BaselineTest, RtreePointQueryCorrect) {
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto& f = trace_.files()[i * 13 % trace_.files().size()];
+    const auto res = rt_->point_query({f.name}, 0.0);
+    EXPECT_TRUE(res.found);
+    EXPECT_EQ(res.id, f.id);
+  }
+  EXPECT_FALSE(rt_->point_query({"/absent/file"}, 0.0).found);
+}
+
+TEST_F(BaselineTest, RangeQueriesMatchGroundTruth) {
+  trace::QueryGenerator gen(trace_, trace::QueryDistribution::kGauss, 21);
+  const AttrSubset dims({Attr::kFileSize, Attr::kModificationTime,
+                         Attr::kReadBytes});
+  for (int i = 0; i < 20; ++i) {
+    const auto q = gen.gen_range(dims, 0.1);
+    auto truth = core::brute_force_range(trace_.files(), q);
+    std::sort(truth.begin(), truth.end());
+    auto d = dbms_->range_query(q, 0.0).ids;
+    EXPECT_EQ(d, truth) << "dbms query " << i;
+    auto r = rt_->range_query(q, 0.0).ids;
+    EXPECT_EQ(r, truth) << "rtree query " << i;
+  }
+}
+
+TEST_F(BaselineTest, TopKMatchesGroundTruth) {
+  trace::QueryGenerator gen(trace_, trace::QueryDistribution::kZipf, 22);
+  const AttrSubset all = AttrSubset::all();
+  for (int i = 0; i < 10; ++i) {
+    const auto q = gen.gen_topk(all, 8);
+    const auto truth =
+        core::brute_force_topk(trace_.files(), dbms_->standardizer(), q);
+    const auto d = dbms_->topk_query(q, 0.0);
+    ASSERT_EQ(d.hits.size(), truth.size());
+    for (std::size_t r = 0; r < truth.size(); ++r)
+      EXPECT_NEAR(d.hits[r].first, truth[r].first, 1e-9);
+    const auto t = rt_->topk_query(q, 0.0);
+    ASSERT_EQ(t.hits.size(), truth.size());
+    for (std::size_t r = 0; r < truth.size(); ++r)
+      EXPECT_NEAR(t.hits[r].first, truth[r].first, 1e-9);
+  }
+}
+
+TEST_F(BaselineTest, SubsetTopKAlsoCorrect) {
+  trace::QueryGenerator gen(trace_, trace::QueryDistribution::kGauss, 23);
+  const AttrSubset dims({Attr::kFileSize, Attr::kReadBytes});
+  const auto q = gen.gen_topk(dims, 5);
+  const auto truth =
+      core::brute_force_topk(trace_.files(), rt_->standardizer(), q);
+  const auto t = rt_->topk_query(q, 0.0);
+  ASSERT_EQ(t.hits.size(), truth.size());
+  for (std::size_t r = 0; r < truth.size(); ++r)
+    EXPECT_NEAR(t.hits[r].first, truth[r].first, 1e-9);
+}
+
+TEST_F(BaselineTest, InsertAndDelete) {
+  auto extra = trace_.make_insert_stream(5, 31);
+  for (const auto& f : extra) {
+    dbms_->insert_file(f);
+    rt_->insert_file(f);
+  }
+  EXPECT_EQ(dbms_->size(), trace_.files().size() + 5);
+  EXPECT_TRUE(dbms_->point_query({extra[0].name}, 0.0).found);
+  EXPECT_TRUE(rt_->point_query({extra[0].name}, 0.0).found);
+  EXPECT_TRUE(dbms_->delete_file(extra[0].name));
+  EXPECT_TRUE(rt_->delete_file(extra[0].name));
+  EXPECT_FALSE(dbms_->point_query({extra[0].name}, 0.0).found);
+  EXPECT_FALSE(rt_->point_query({extra[0].name}, 0.0).found);
+  EXPECT_FALSE(dbms_->delete_file(extra[0].name));
+}
+
+TEST_F(BaselineTest, DbmsSpaceExceedsRtreeSpace) {
+  // One B+-tree per attribute (plus names) must dominate a single R-tree.
+  EXPECT_GT(dbms_->index_bytes(), rt_->index_bytes());
+}
+
+TEST_F(BaselineTest, CentralizedQueueingGrowsLatencyUnderLoad) {
+  // Replaying a burst of queries makes later queries wait: the queueing
+  // behavior behind Table 4's blow-up.
+  trace::QueryGenerator gen(trace_, trace::QueryDistribution::kZipf, 25);
+  const AttrSubset all = AttrSubset::all();
+  double first = 0, last = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto q = gen.gen_topk(all, 8);
+    const auto res = dbms_->topk_query(q, 0.0);  // all arrive at t=0
+    if (i == 0) first = res.stats.latency_s;
+    last = res.stats.latency_s;
+  }
+  EXPECT_GT(last, first * 10);
+}
+
+TEST_F(BaselineTest, RtreeRangeCheaperThanDbmsRange) {
+  trace::QueryGenerator gen(trace_, trace::QueryDistribution::kGauss, 26);
+  const AttrSubset dims({Attr::kFileSize, Attr::kModificationTime});
+  std::size_t dbms_scanned = 0, rt_scanned = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto q = gen.gen_range(dims, 0.05);
+    dbms_scanned += dbms_->range_query(q, 0.0).stats.records_scanned;
+    rt_scanned += rt_->range_query(q, 0.0).stats.records_scanned;
+  }
+  EXPECT_GT(dbms_scanned, rt_scanned);
+}
+
+}  // namespace
+}  // namespace smartstore::baseline

@@ -1,0 +1,145 @@
+// Tests for the LSI engine: projection consistency, rank selection,
+// similarity structure of clustered data.
+#include "lsi/lsi.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace smartstore::lsi {
+namespace {
+
+/// Two well-separated clusters of documents in 6-dim attribute space.
+std::vector<la::Vector> clustered_docs(std::size_t per_cluster,
+                                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<la::Vector> docs;
+  const la::Vector c1{100, 5, 3, 50, 2, 9};
+  const la::Vector c2{-80, 90, -20, 1, 60, -5};
+  for (std::size_t i = 0; i < per_cluster; ++i) {
+    la::Vector d1(6), d2(6);
+    for (int j = 0; j < 6; ++j) {
+      d1[j] = c1[j] + rng.gauss(0, 2);
+      d2[j] = c2[j] + rng.gauss(0, 2);
+    }
+    docs.push_back(d1);
+    docs.push_back(d2);
+  }
+  return docs;
+}
+
+TEST(Lsi, EmptyInputUnfitted) {
+  const LsiModel m = LsiModel::fit({}, 2);
+  EXPECT_FALSE(m.fitted());
+  EXPECT_EQ(m.num_docs(), 0u);
+}
+
+TEST(Lsi, FitBasicShape) {
+  const auto docs = clustered_docs(10, 1);
+  const LsiModel m = LsiModel::fit(docs, 3);
+  EXPECT_TRUE(m.fitted());
+  EXPECT_EQ(m.num_docs(), docs.size());
+  EXPECT_LE(m.rank(), 3u);
+  EXPECT_EQ(m.dims(), 6u);
+  for (std::size_t i = 0; i < docs.size(); ++i)
+    EXPECT_EQ(m.doc_coords(i).size(), m.rank());
+}
+
+TEST(Lsi, ProjectionOfDocMatchesDocCoords) {
+  // q̂ = Σ⁻¹ Uᵀ q equals the document's V-row when q is that document.
+  const auto docs = clustered_docs(8, 2);
+  const LsiModel m = LsiModel::fit(docs, 0, 0.9999);
+  for (std::size_t i = 0; i < docs.size(); i += 5) {
+    const la::Vector p = m.project(docs[i]);
+    const la::Vector& v = m.doc_coords(i);
+    ASSERT_EQ(p.size(), v.size());
+    for (std::size_t k = 0; k < p.size(); ++k) EXPECT_NEAR(p[k], v[k], 1e-8);
+  }
+}
+
+TEST(Lsi, SimilarityHighWithinClusterLowAcross) {
+  const auto docs = clustered_docs(20, 3);  // even = cluster1, odd = cluster2
+  const LsiModel m = LsiModel::fit(docs, 2);
+  double within = 0, across = 0;
+  int wn = 0, an = 0;
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    for (std::size_t j = i + 1; j < docs.size(); ++j) {
+      const double s =
+          LsiModel::similarity(m.doc_coords(i), m.doc_coords(j));
+      if ((i % 2) == (j % 2)) {
+        within += s;
+        ++wn;
+      } else {
+        across += s;
+        ++an;
+      }
+    }
+  }
+  EXPECT_GT(within / wn, 0.9);
+  EXPECT_LT(across / an, 0.2);
+}
+
+TEST(Lsi, SimilarityToDocIdentifiesCluster) {
+  const auto docs = clustered_docs(15, 4);
+  const LsiModel m = LsiModel::fit(docs, 2);
+  // A fresh vector near cluster 1 must be most similar to cluster-1 docs.
+  la::Vector probe{101, 6, 2, 49, 3, 8};
+  const double sim_c1 = m.similarity_to_doc(probe, 0);   // even = cluster 1
+  const double sim_c2 = m.similarity_to_doc(probe, 1);   // odd = cluster 2
+  EXPECT_GT(sim_c1, sim_c2);
+  EXPECT_GT(sim_c1, 0.8);
+}
+
+TEST(Lsi, AutoRankCapturesEnergy) {
+  const auto docs = clustered_docs(16, 5);
+  const LsiModel m = LsiModel::fit(docs, 0, 0.9);
+  // Two clusters in 6 dims: 1-2 dominant directions should suffice.
+  EXPECT_LE(m.rank(), 3u);
+  EXPECT_GE(m.rank(), 1u);
+}
+
+TEST(Lsi, RankClampedToNumericalRank) {
+  // Rank-1 data can't produce a rank-5 model.
+  std::vector<la::Vector> docs;
+  for (int i = 1; i <= 10; ++i)
+    docs.push_back({1.0 * i, 2.0 * i, 3.0 * i});
+  const LsiModel m = LsiModel::fit(docs, 5);
+  EXPECT_LE(m.rank(), 2u);  // standardization may add one direction
+}
+
+TEST(Lsi, PairwiseSimilarityMatrixSymmetricUnitDiagonal) {
+  const auto docs = clustered_docs(5, 6);
+  const LsiModel m = LsiModel::fit(docs, 2);
+  const la::Matrix s = m.pairwise_doc_similarity();
+  ASSERT_EQ(s.rows(), docs.size());
+  for (std::size_t i = 0; i < s.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(s(i, i), 1.0);
+    for (std::size_t j = 0; j < s.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(s(i, j), s(j, i));
+      EXPECT_LE(s(i, j), 1.0 + 1e-9);
+      EXPECT_GE(s(i, j), -1.0 - 1e-9);
+    }
+  }
+}
+
+TEST(Lsi, ByteSizeNonTrivial) {
+  const auto docs = clustered_docs(10, 7);
+  const LsiModel m = LsiModel::fit(docs, 2);
+  EXPECT_GT(m.byte_size(), sizeof(LsiModel));
+}
+
+class LsiRankTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LsiRankTest, ProjectionDimensionTracksRank) {
+  const auto docs = clustered_docs(20, 8);
+  const LsiModel m = LsiModel::fit(docs, GetParam());
+  EXPECT_LE(m.rank(), GetParam());
+  EXPECT_EQ(m.project(docs[0]).size(), m.rank());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, LsiRankTest, ::testing::Values(1, 2, 3, 4, 6));
+
+}  // namespace
+}  // namespace smartstore::lsi

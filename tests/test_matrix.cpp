@@ -1,0 +1,121 @@
+// Unit tests for the dense matrix/vector substrate.
+#include "la/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace smartstore::la {
+namespace {
+
+TEST(Matrix, IdentityDiagonal) {
+  const Matrix i = Matrix::identity(4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, RowColRoundTrip) {
+  Matrix m(2, 3);
+  m.set_row(0, {1, 2, 3});
+  m.set_row(1, {4, 5, 6});
+  EXPECT_EQ(m.row(1), (Vector{4, 5, 6}));
+  EXPECT_EQ(m.col(2), (Vector{3, 6}));
+  m.set_col(0, {9, 8});
+  EXPECT_DOUBLE_EQ(m(0, 0), 9);
+  EXPECT_DOUBLE_EQ(m(1, 0), 8);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Matrix m(2, 3);
+  m.set_row(0, {1, 2, 3});
+  m.set_row(1, {4, 5, 6});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+  EXPECT_NEAR(Matrix::max_abs_diff(t.transposed(), m), 0.0, 0.0);
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  Matrix a(2, 2), b(2, 2);
+  a.set_row(0, {1, 2});
+  a.set_row(1, {3, 4});
+  b.set_row(0, {5, 6});
+  b.set_row(1, {7, 8});
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, MultiplyByIdentityIsNoop) {
+  Matrix a(3, 3);
+  a.set_row(0, {1, 2, 3});
+  a.set_row(1, {4, 5, 6});
+  a.set_row(2, {7, 8, 9});
+  EXPECT_EQ(Matrix::max_abs_diff(a.multiply(Matrix::identity(3)), a), 0.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrix a(2, 3);
+  a.set_row(0, {1, 0, 2});
+  a.set_row(1, {0, 3, 1});
+  const Vector v{2, 1, 4};
+  const Vector out = a.multiply(v);
+  EXPECT_DOUBLE_EQ(out[0], 10);
+  EXPECT_DOUBLE_EQ(out[1], 7);
+}
+
+TEST(Matrix, GramMatchesExplicitProduct) {
+  Matrix a(3, 2);
+  a.set_row(0, {1, 2});
+  a.set_row(1, {3, 4});
+  a.set_row(2, {5, 6});
+  const Matrix g = a.gram();  // A^T A, 2x2
+  const Matrix expect = a.transposed().multiply(a);
+  EXPECT_LT(Matrix::max_abs_diff(g, expect), 1e-12);
+}
+
+TEST(Matrix, OuterGramMatchesExplicitProduct) {
+  Matrix a(2, 3);
+  a.set_row(0, {1, 2, 3});
+  a.set_row(1, {4, 5, 6});
+  const Matrix g = a.outer_gram();  // A A^T, 2x2
+  const Matrix expect = a.multiply(a.transposed());
+  EXPECT_LT(Matrix::max_abs_diff(g, expect), 1e-12);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix a(1, 2);
+  a.set_row(0, {3, 4});
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(VectorOps, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5.0);
+}
+
+TEST(VectorOps, Distances) {
+  EXPECT_DOUBLE_EQ(squared_distance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(euclidean_distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(squared_distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(VectorOps, CosineSimilarity) {
+  EXPECT_NEAR(cosine_similarity({1, 0}, {1, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(cosine_similarity({1, 0}, {0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(cosine_similarity({1, 0}, {-1, 0}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cosine_similarity({0, 0}, {1, 2}), 0.0);  // zero vector
+}
+
+TEST(VectorOps, AddSubScale) {
+  EXPECT_EQ(add({1, 2}, {3, 4}), (Vector{4, 6}));
+  EXPECT_EQ(sub({3, 4}, {1, 2}), (Vector{2, 2}));
+  EXPECT_EQ(scale({1, -2}, 3.0), (Vector{3, -6}));
+}
+
+}  // namespace
+}  // namespace smartstore::la

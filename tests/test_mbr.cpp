@@ -1,0 +1,105 @@
+// Tests for Minimum Bounding Rectangles.
+#include "rtree/mbr.h"
+
+#include <gtest/gtest.h>
+
+namespace smartstore::rtree {
+namespace {
+
+TEST(Mbr, EmptyIsInvalid) {
+  Mbr m;
+  EXPECT_FALSE(m.valid());
+  EXPECT_DOUBLE_EQ(m.area(), 0.0);
+  EXPECT_FALSE(m.contains(la::Vector{0.0}));
+}
+
+TEST(Mbr, PointBoxIsDegenerate) {
+  Mbr m(la::Vector{1, 2});
+  EXPECT_TRUE(m.valid());
+  EXPECT_DOUBLE_EQ(m.area(), 0.0);
+  EXPECT_TRUE(m.contains(la::Vector{1, 2}));
+  EXPECT_FALSE(m.contains(la::Vector{1, 3}));
+}
+
+TEST(Mbr, ExpandByPoints) {
+  Mbr m;
+  m.expand(la::Vector{0, 0});
+  m.expand(la::Vector{2, 3});
+  m.expand(la::Vector{1, -1});
+  EXPECT_EQ(m.lo(), (la::Vector{0, -1}));
+  EXPECT_EQ(m.hi(), (la::Vector{2, 3}));
+  EXPECT_DOUBLE_EQ(m.area(), 2 * 4);
+  EXPECT_DOUBLE_EQ(m.margin(), 2 + 4);
+}
+
+TEST(Mbr, ExpandByBoxes) {
+  Mbr a({0, 0}, {1, 1});
+  const Mbr b({2, -1}, {3, 0.5});
+  a.expand(b);
+  EXPECT_EQ(a.lo(), (la::Vector{0, -1}));
+  EXPECT_EQ(a.hi(), (la::Vector{3, 1}));
+  EXPECT_TRUE(a.contains(b));
+}
+
+TEST(Mbr, ExpandInvalidIsIdentity) {
+  Mbr a({0, 0}, {1, 1});
+  const Mbr before = a;
+  a.expand(Mbr());
+  EXPECT_EQ(a, before);
+  Mbr empty;
+  empty.expand(before);
+  EXPECT_EQ(empty, before);
+}
+
+TEST(Mbr, ContainsBoundaryInclusive) {
+  const Mbr m({0, 0}, {1, 1});
+  EXPECT_TRUE(m.contains(la::Vector{0, 0}));
+  EXPECT_TRUE(m.contains(la::Vector{1, 1}));
+  EXPECT_TRUE(m.contains(la::Vector{0.5, 1.0}));
+  EXPECT_FALSE(m.contains(la::Vector{1.0001, 0.5}));
+}
+
+TEST(Mbr, IntersectsCases) {
+  const Mbr a({0, 0}, {2, 2});
+  EXPECT_TRUE(a.intersects(Mbr({1, 1}, {3, 3})));    // overlap
+  EXPECT_TRUE(a.intersects(Mbr({2, 2}, {3, 3})));    // touch corner
+  EXPECT_FALSE(a.intersects(Mbr({3, 3}, {4, 4})));   // disjoint
+  EXPECT_TRUE(a.intersects(Mbr({0.5, 0.5}, {1, 1})));  // containment
+  EXPECT_FALSE(a.intersects(Mbr()));                 // invalid
+}
+
+TEST(Mbr, Enlargement) {
+  const Mbr a({0, 0}, {2, 2});  // area 4
+  EXPECT_DOUBLE_EQ(a.enlargement(Mbr({1, 1}, {1.5, 1.5})), 0.0);  // inside
+  // Adding (3,2) grows to [0,3]x[0,2] = 6, delta 2.
+  EXPECT_DOUBLE_EQ(a.enlargement(Mbr(la::Vector{3, 2})), 2.0);
+}
+
+TEST(Mbr, MinSquaredDistance) {
+  const Mbr m({0, 0}, {2, 2});
+  EXPECT_DOUBLE_EQ(m.min_squared_distance({1, 1}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(m.min_squared_distance({3, 1}), 1.0);   // right face
+  EXPECT_DOUBLE_EQ(m.min_squared_distance({3, 3}), 2.0);   // corner
+  EXPECT_DOUBLE_EQ(m.min_squared_distance({-2, 1}), 4.0);  // left face
+}
+
+TEST(Mbr, MaxSquaredDistanceBoundsMin) {
+  const Mbr m({0, 0}, {2, 2});
+  const la::Vector p{3, 3};
+  EXPECT_GE(m.max_squared_distance(p), m.min_squared_distance(p));
+  EXPECT_DOUBLE_EQ(m.max_squared_distance(p), 9.0 + 9.0);  // farthest corner
+}
+
+TEST(Mbr, CenterIsMidpoint) {
+  const Mbr m({0, 2}, {4, 6});
+  EXPECT_EQ(m.center(), (la::Vector{2, 4}));
+}
+
+TEST(Mbr, MergeFreeFunction) {
+  const Mbr u = merge(Mbr({0, 0}, {1, 1}), Mbr({2, 2}, {3, 3}));
+  EXPECT_EQ(u.lo(), (la::Vector{0, 0}));
+  EXPECT_EQ(u.hi(), (la::Vector{3, 3}));
+}
+
+}  // namespace
+}  // namespace smartstore::rtree

@@ -1,0 +1,82 @@
+// RFC 1321 conformance tests for the MD5 implementation.
+#include "bloom/md5.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace smartstore::bloom {
+namespace {
+
+// The seven official RFC 1321 test vectors.
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(md5("").hex(), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(md5("a").hex(), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(md5("abc").hex(), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(md5("message digest").hex(), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(md5("abcdefghijklmnopqrstuvwxyz").hex(),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      md5("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")
+          .hex(),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(md5("1234567890123456789012345678901234567890123456789012345678"
+                "9012345678901234567890")
+                .hex(),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalMatchesOneShot) {
+  const std::string s = "the quick brown fox jumps over the lazy dog";
+  Md5 h;
+  for (char c : s) h.update(&c, 1);
+  EXPECT_EQ(h.finalize().hex(), md5(s).hex());
+}
+
+TEST(Md5, ChunkedUpdatesAcrossBlockBoundary) {
+  std::string s(200, 'x');
+  for (std::size_t split = 0; split < s.size(); split += 37) {
+    Md5 h;
+    h.update(s.substr(0, split));
+    h.update(s.substr(split));
+    EXPECT_EQ(h.finalize().hex(), md5(s).hex());
+  }
+}
+
+TEST(Md5, ExactBlockLengths) {
+  // 55, 56, 63, 64, 65 bytes exercise the padding edge cases.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 128u}) {
+    std::string s(len, 'b');
+    Md5 h;
+    h.update(s);
+    EXPECT_EQ(h.finalize(), md5(s)) << "len=" << len;
+  }
+}
+
+TEST(Md5, WordsSplit128BitsIntoFour32Bit) {
+  const Md5Digest d = md5("abc");
+  const auto w = d.words();
+  // Reassemble little-endian words into bytes and compare.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(static_cast<std::uint8_t>((w[i] >> (8 * j)) & 0xff),
+                d.bytes[i * 4 + j]);
+    }
+  }
+}
+
+TEST(Md5, DistinctInputsDistinctDigests) {
+  EXPECT_NE(md5("file_a.dat"), md5("file_b.dat"));
+  EXPECT_NE(md5("/sub0/u1/f1"), md5("/sub1/u1/f1"));
+}
+
+TEST(Md5, BinaryDataWithEmbeddedNuls) {
+  const char data[] = {0x00, 0x01, 0x02, 0x00, 0x03};
+  const auto d1 = md5(data, sizeof(data));
+  const auto d2 = md5(data, sizeof(data));
+  EXPECT_EQ(d1, d2);
+  EXPECT_NE(d1, md5(data, sizeof(data) - 1));
+}
+
+}  // namespace
+}  // namespace smartstore::bloom

@@ -1,0 +1,135 @@
+// Tests for the metadata model: schema, attribute subsets, records,
+// centroids and the semantic-correlation objective.
+#include "metadata/file_metadata.h"
+#include "metadata/query.h"
+#include "metadata/schema.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace smartstore::metadata {
+namespace {
+
+TEST(Schema, AttrNamesDistinct) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kNumAttrs; ++i)
+    names.insert(attr_name(static_cast<Attr>(i)));
+  EXPECT_EQ(names.size(), kNumAttrs);
+}
+
+TEST(Schema, PhysicalVsBehavioral) {
+  EXPECT_TRUE(attr_is_physical(Attr::kFileSize));
+  EXPECT_TRUE(attr_is_physical(Attr::kCreationTime));
+  EXPECT_FALSE(attr_is_physical(Attr::kReadCount));
+  EXPECT_FALSE(attr_is_physical(Attr::kAccessFrequency));
+}
+
+TEST(AttrSubset, AllContainsEverything) {
+  const AttrSubset all = AttrSubset::all();
+  EXPECT_EQ(all.size(), kNumAttrs);
+  for (std::size_t i = 0; i < kNumAttrs; ++i)
+    EXPECT_TRUE(all.contains(static_cast<Attr>(i)));
+}
+
+TEST(AttrSubset, DeduplicatesAndSorts) {
+  const AttrSubset s({Attr::kReadCount, Attr::kFileSize, Attr::kReadCount});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], Attr::kFileSize);  // sorted by enum value
+  EXPECT_EQ(s[1], Attr::kReadCount);
+}
+
+TEST(AttrSubset, MaskRoundTrip) {
+  const AttrSubset s({Attr::kFileSize, Attr::kModificationTime,
+                      Attr::kWriteBytes});
+  const AttrSubset back = AttrSubset::from_mask(s.mask());
+  EXPECT_EQ(s, back);
+}
+
+TEST(AttrSubset, EnumerateCountsPowerSet) {
+  const AttrSubset space({Attr::kFileSize, Attr::kCreationTime,
+                          Attr::kReadBytes});
+  const auto subsets = AttrSubset::enumerate(space);
+  EXPECT_EQ(subsets.size(), 7u);  // 2^3 - 1
+  for (const auto& s : subsets) {
+    EXPECT_GE(s.size(), 1u);
+    EXPECT_LE(s.size(), 3u);
+  }
+}
+
+TEST(AttrSubset, ToStringReadable) {
+  const AttrSubset s({Attr::kFileSize, Attr::kCreationTime});
+  EXPECT_EQ(s.to_string(), "size+ctime");
+  EXPECT_EQ(AttrSubset{}.to_string(), "<empty>");
+}
+
+FileMetadata make_file(FileId id, double size, double ctime) {
+  FileMetadata f;
+  f.id = id;
+  f.name = "/test/f" + std::to_string(id);
+  f.set_attr(Attr::kFileSize, size);
+  f.set_attr(Attr::kCreationTime, ctime);
+  return f;
+}
+
+TEST(FileMetadata, AttrAccessors) {
+  FileMetadata f = make_file(1, 1024, 99);
+  EXPECT_DOUBLE_EQ(f.attr(Attr::kFileSize), 1024);
+  f.set_attr(Attr::kFileSize, 2048);
+  EXPECT_DOUBLE_EQ(f.attr(Attr::kFileSize), 2048);
+}
+
+TEST(FileMetadata, ProjectSubset) {
+  const FileMetadata f = make_file(1, 100, 50);
+  const AttrSubset s({Attr::kCreationTime, Attr::kFileSize});
+  const la::Vector v = f.project(s);
+  ASSERT_EQ(v.size(), 2u);
+  // Subset order is sorted: size (0) before ctime (1).
+  EXPECT_DOUBLE_EQ(v[0], 100);
+  EXPECT_DOUBLE_EQ(v[1], 50);
+}
+
+TEST(FileMetadata, FullVectorHasAllDims) {
+  const FileMetadata f = make_file(1, 100, 50);
+  EXPECT_EQ(f.full_vector().size(), kNumAttrs);
+}
+
+TEST(Centroid, AverageOfMembers) {
+  std::vector<FileMetadata> files{make_file(1, 10, 0), make_file(2, 30, 10)};
+  const AttrSubset s({Attr::kFileSize, Attr::kCreationTime});
+  const la::Vector c = centroid(files, s);
+  EXPECT_DOUBLE_EQ(c[0], 20);
+  EXPECT_DOUBLE_EQ(c[1], 5);
+}
+
+TEST(Centroid, EmptyGroupIsZero) {
+  const la::Vector c = centroid({}, AttrSubset({Attr::kFileSize}));
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c[0], 0);
+}
+
+TEST(GroupVariance, TightGroupsScoreLower) {
+  const AttrSubset s({Attr::kFileSize});
+  std::vector<FileMetadata> tight{make_file(1, 10, 0), make_file(2, 11, 0),
+                                  make_file(3, 12, 0)};
+  std::vector<FileMetadata> loose{make_file(4, 10, 0), make_file(5, 100, 0),
+                                  make_file(6, 1000, 0)};
+  EXPECT_LT(group_variance(tight, s), group_variance(loose, s));
+  EXPECT_DOUBLE_EQ(group_variance({}, s), 0.0);
+}
+
+TEST(RangeQuery, MatchesSemantics) {
+  RangeQuery q;
+  q.dims = AttrSubset({Attr::kFileSize, Attr::kCreationTime});
+  q.lo = {50, 0};
+  q.hi = {150, 20};
+  EXPECT_TRUE(q.matches(make_file(1, 100, 10)));
+  EXPECT_FALSE(q.matches(make_file(2, 200, 10)));   // size out of range
+  EXPECT_FALSE(q.matches(make_file(3, 100, 30)));   // ctime out of range
+  EXPECT_TRUE(q.matches(make_file(4, 50, 0)));      // inclusive bounds
+  EXPECT_TRUE(q.matches(make_file(5, 150, 20)));
+}
+
+}  // namespace
+}  // namespace smartstore::metadata

@@ -1,0 +1,202 @@
+// Tests for the classical R-tree: differential testing against brute
+// force for range and k-NN queries, deletion with condensation,
+// structural invariants under random workloads.
+#include "rtree/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace smartstore::rtree {
+namespace {
+
+std::vector<la::Vector> random_points(std::size_t n, std::size_t dims,
+                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<la::Vector> pts(n, la::Vector(dims));
+  for (auto& p : pts)
+    for (auto& x : p) x = rng.uniform(-10, 10);
+  return pts;
+}
+
+TEST(RTree, EmptyTreeQueries) {
+  RTree t(2);
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.range_query(Mbr({-1, -1}, {1, 1})).empty());
+  EXPECT_TRUE(t.knn({0, 0}, 3).empty());
+  EXPECT_FALSE(t.erase({0, 0}, 1));
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(RTree, SingleEntry) {
+  RTree t(2);
+  t.insert({1, 1}, 42);
+  EXPECT_EQ(t.size(), 1u);
+  const auto hits = t.range_query(Mbr({0, 0}, {2, 2}));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 42u);
+  const auto nn = t.knn({5, 5}, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].second, 42u);
+  EXPECT_DOUBLE_EQ(nn[0].first, 32.0);
+}
+
+TEST(RTree, RangeQueryMatchesBruteForce) {
+  const auto pts = random_points(2000, 3, 7);
+  RTree t(3, 16);
+  for (std::size_t i = 0; i < pts.size(); ++i) t.insert(pts[i], i);
+  ASSERT_TRUE(t.check_invariants());
+
+  util::Rng rng(8);
+  for (int q = 0; q < 40; ++q) {
+    la::Vector lo(3), hi(3);
+    for (int d = 0; d < 3; ++d) {
+      const double a = rng.uniform(-10, 10), b = rng.uniform(-10, 10);
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+    }
+    const Mbr box(lo, hi);
+    auto got = t.range_query(box);
+    std::sort(got.begin(), got.end());
+    std::vector<RTree::Payload> want;
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      if (box.contains(pts[i])) want.push_back(i);
+    ASSERT_EQ(got, want) << "query " << q;
+  }
+}
+
+TEST(RTree, KnnMatchesBruteForce) {
+  const auto pts = random_points(1500, 2, 9);
+  RTree t(2, 12);
+  for (std::size_t i = 0; i < pts.size(); ++i) t.insert(pts[i], i);
+
+  util::Rng rng(10);
+  for (int q = 0; q < 30; ++q) {
+    const la::Vector probe{rng.uniform(-12, 12), rng.uniform(-12, 12)};
+    const std::size_t k = 1 + rng.uniform_u64(20);
+    const auto got = t.knn(probe, k);
+    ASSERT_EQ(got.size(), std::min(k, pts.size()));
+    std::vector<std::pair<double, RTree::Payload>> want;
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      want.emplace_back(la::squared_distance(pts[i], probe), i);
+    std::partial_sort(want.begin(), want.begin() + got.size(), want.end());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].first, want[i].first, 1e-9) << "rank " << i;
+    }
+  }
+}
+
+TEST(RTree, KnnResultsSortedAscending) {
+  const auto pts = random_points(500, 2, 11);
+  RTree t(2);
+  for (std::size_t i = 0; i < pts.size(); ++i) t.insert(pts[i], i);
+  const auto got = t.knn({0, 0}, 25);
+  for (std::size_t i = 1; i < got.size(); ++i)
+    EXPECT_LE(got[i - 1].first, got[i].first);
+}
+
+TEST(RTree, EraseRemovesOnlyTargetEntry) {
+  RTree t(2);
+  t.insert({1, 1}, 1);
+  t.insert({1, 1}, 2);  // same point, different payload
+  EXPECT_TRUE(t.erase({1, 1}, 1));
+  EXPECT_EQ(t.size(), 1u);
+  const auto hits = t.range_query(Mbr({0, 0}, {2, 2}));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 2u);
+  EXPECT_FALSE(t.erase({1, 1}, 1));
+}
+
+TEST(RTree, EraseToEmptyAndRefill) {
+  const auto pts = random_points(600, 2, 12);
+  RTree t(2, 8);
+  for (std::size_t i = 0; i < pts.size(); ++i) t.insert(pts[i], i);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    ASSERT_TRUE(t.erase(pts[i], i)) << i;
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.check_invariants());
+  for (std::size_t i = 0; i < 50; ++i) t.insert(pts[i], i);
+  EXPECT_EQ(t.size(), 50u);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(RTree, StatsAccounting) {
+  const auto pts = random_points(1000, 4, 13);
+  RTree t(4, 10);
+  for (std::size_t i = 0; i < pts.size(); ++i) t.insert(pts[i], i);
+  const auto s = t.stats();
+  EXPECT_EQ(s.entries, 1000u);
+  EXPECT_GT(s.leaf_nodes, 1u);
+  EXPECT_GT(s.internal_nodes, 0u);
+  EXPECT_GE(s.height, 2u);
+  EXPECT_GT(s.bytes, 1000 * 4 * sizeof(double));
+  t.range_query(Mbr(la::Vector(4, -1.0), la::Vector(4, 1.0)));
+  EXPECT_GT(t.stats().last_nodes_visited, 0u);
+}
+
+TEST(RTree, BoundsCoverAllPoints) {
+  const auto pts = random_points(300, 2, 14);
+  RTree t(2);
+  for (std::size_t i = 0; i < pts.size(); ++i) t.insert(pts[i], i);
+  const Mbr b = t.bounds();
+  for (const auto& p : pts) EXPECT_TRUE(b.contains(p));
+}
+
+TEST(RTree, ForEachVisitsEverything) {
+  const auto pts = random_points(400, 2, 15);
+  RTree t(2);
+  for (std::size_t i = 0; i < pts.size(); ++i) t.insert(pts[i], i);
+  std::set<RTree::Payload> seen;
+  t.for_each([&](const la::Vector&, RTree::Payload id) { seen.insert(id); });
+  EXPECT_EQ(seen.size(), 400u);
+}
+
+struct RandomOpsParam {
+  std::size_t dims;
+  std::size_t fanout;
+  std::uint64_t seed;
+};
+
+class RTreeRandomOps : public ::testing::TestWithParam<RandomOpsParam> {};
+
+TEST_P(RTreeRandomOps, InvariantsUnderChurn) {
+  const auto [dims, fanout, seed] = GetParam();
+  util::Rng rng(seed);
+  RTree t(dims, fanout);
+  std::vector<std::pair<la::Vector, RTree::Payload>> live;
+  RTree::Payload next = 0;
+
+  for (int op = 0; op < 3000; ++op) {
+    if (live.empty() || rng.bernoulli(0.65)) {
+      la::Vector p(dims);
+      for (auto& x : p) x = rng.uniform(-100, 100);
+      t.insert(p, next);
+      live.emplace_back(p, next);
+      ++next;
+    } else {
+      const std::size_t i = rng.uniform_u64(live.size());
+      ASSERT_TRUE(t.erase(live[i].first, live[i].second));
+      live[i] = live.back();
+      live.pop_back();
+    }
+    if (op % 250 == 0) {
+      ASSERT_TRUE(t.check_invariants()) << "op " << op;
+      ASSERT_EQ(t.size(), live.size());
+    }
+  }
+  ASSERT_TRUE(t.check_invariants());
+  ASSERT_EQ(t.size(), live.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RTreeRandomOps,
+    ::testing::Values(RandomOpsParam{2, 8, 1}, RandomOpsParam{2, 16, 2},
+                      RandomOpsParam{3, 8, 3}, RandomOpsParam{5, 12, 4},
+                      RandomOpsParam{10, 16, 5}, RandomOpsParam{1, 4, 6}));
+
+}  // namespace
+}  // namespace smartstore::rtree

@@ -1,0 +1,205 @@
+// Tests for the synthetic trace substrate: profiles, generation,
+// TIF scaling, insert streams and query generation.
+#include "trace/profiles.h"
+#include "trace/query_gen.h"
+#include "trace/synth.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "la/stats.h"
+
+namespace smartstore::trace {
+namespace {
+
+using metadata::Attr;
+using metadata::AttrSubset;
+
+TEST(Profiles, PaperTifValues) {
+  EXPECT_EQ(hp_profile().paper_tif, 80);
+  EXPECT_EQ(msn_profile().paper_tif, 100);
+  EXPECT_EQ(eecs_profile().paper_tif, 150);
+}
+
+TEST(Profiles, HeadlineRowsPresent) {
+  EXPECT_EQ(hp_profile().headline.size(), 5u);
+  EXPECT_EQ(msn_profile().headline.size(), 5u);
+  EXPECT_EQ(eecs_profile().headline.size(), 5u);
+  // Spot-check Table 1/2/3 originals.
+  EXPECT_DOUBLE_EQ(hp_profile().headline[0].original, 94.7);
+  EXPECT_DOUBLE_EQ(msn_profile().headline[0].original, 1.25);
+  EXPECT_DOUBLE_EQ(eecs_profile().headline[1].original, 5.1);
+}
+
+TEST(Synth, GeneratesRequestedScale) {
+  auto t = SyntheticTrace::generate(msn_profile(), /*tif=*/2, 42,
+                                    /*downscale=*/25);
+  const std::size_t per_sub = msn_profile().gen.files_per_subtrace / 25;
+  EXPECT_EQ(t.files().size(), per_sub * 2);
+  EXPECT_GT(t.ops().size(), 0u);
+}
+
+TEST(Synth, DeterministicInSeed) {
+  auto a = SyntheticTrace::generate(hp_profile(), 1, 7, 40);
+  auto b = SyntheticTrace::generate(hp_profile(), 1, 7, 40);
+  ASSERT_EQ(a.files().size(), b.files().size());
+  for (std::size_t i = 0; i < a.files().size(); ++i) {
+    EXPECT_EQ(a.files()[i].name, b.files()[i].name);
+    EXPECT_EQ(a.files()[i].attrs, b.files()[i].attrs);
+  }
+}
+
+TEST(Synth, DistinctSeedsDiffer) {
+  auto a = SyntheticTrace::generate(hp_profile(), 1, 1, 40);
+  auto b = SyntheticTrace::generate(hp_profile(), 1, 2, 40);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.files().size() && !any_diff; ++i)
+    any_diff = a.files()[i].attrs != b.files()[i].attrs;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synth, TifWidensWorkingSetWithSubtraceIds) {
+  auto t = SyntheticTrace::generate(eecs_profile(), 3, 9, 100);
+  std::set<std::string> prefixes;
+  for (const auto& f : t.files())
+    prefixes.insert(f.name.substr(0, f.name.find('/', 1)));
+  EXPECT_EQ(prefixes.size(), 3u);  // /sub0, /sub1, /sub2
+}
+
+TEST(Synth, FilenamesUnique) {
+  auto t = SyntheticTrace::generate(msn_profile(), 2, 11, 50);
+  std::set<std::string> names;
+  for (const auto& f : t.files()) names.insert(f.name);
+  EXPECT_EQ(names.size(), t.files().size());
+}
+
+TEST(Synth, AttributeInvariants) {
+  auto t = SyntheticTrace::generate(hp_profile(), 1, 13, 40);
+  const double dur = hp_profile().gen.duration_sec;
+  for (const auto& f : t.files()) {
+    EXPECT_GE(f.attr(Attr::kFileSize), 1.0);
+    const double ct = f.attr(Attr::kCreationTime);
+    const double mt = f.attr(Attr::kModificationTime);
+    const double at = f.attr(Attr::kAccessTime);
+    EXPECT_GE(ct, 0.0);
+    EXPECT_LE(ct, dur);
+    EXPECT_GE(mt, ct);
+    EXPECT_GE(at, mt);
+    EXPECT_GE(f.attr(Attr::kReadCount), 0.0);
+    EXPECT_GE(f.attr(Attr::kWriteCount), 0.0);
+  }
+}
+
+TEST(Synth, OpsSortedAndBounded) {
+  auto t = SyntheticTrace::generate(msn_profile(), 2, 17, 50);
+  double prev = 0;
+  std::set<metadata::FileId> ids;
+  for (const auto& f : t.files()) ids.insert(f.id);
+  for (const auto& op : t.ops()) {
+    EXPECT_GE(op.time, prev);
+    prev = op.time;
+    EXPECT_TRUE(ids.count(op.file));
+    EXPECT_GE(op.bytes, 0.0);
+  }
+}
+
+TEST(Synth, StatsConsistentWithOps) {
+  auto t = SyntheticTrace::generate(eecs_profile(), 1, 19, 60);
+  const GeneratedStats s = t.stats();
+  EXPECT_EQ(s.files, t.files().size());
+  EXPECT_EQ(s.reads + s.writes, t.ops().size());
+  EXPECT_GT(s.owners, 1u);
+}
+
+TEST(Synth, ReadFractionRoughlyMatchesProfile) {
+  auto t = SyntheticTrace::generate(msn_profile(), 4, 21, 25);
+  const GeneratedStats s = t.stats();
+  const double frac = static_cast<double>(s.reads) /
+                      static_cast<double>(s.reads + s.writes);
+  EXPECT_NEAR(frac, msn_profile().gen.read_fraction, 0.05);
+}
+
+TEST(Synth, InsertStreamContinuesIdsAndTimes) {
+  auto t = SyntheticTrace::generate(hp_profile(), 1, 23, 50);
+  const auto extra = t.make_insert_stream(100, 5);
+  ASSERT_EQ(extra.size(), 100u);
+  const auto max_id = t.files().back().id;
+  for (const auto& f : extra) {
+    EXPECT_GT(f.id, max_id);
+    EXPECT_GE(f.attr(Attr::kCreationTime), hp_profile().gen.duration_sec);
+  }
+  // Names must not collide with the original population.
+  std::set<std::string> names;
+  for (const auto& f : t.files()) names.insert(f.name);
+  for (const auto& f : extra) EXPECT_FALSE(names.count(f.name));
+}
+
+class QueryGenTest : public ::testing::TestWithParam<QueryDistribution> {};
+
+TEST_P(QueryGenTest, RangeQueriesWellFormed) {
+  auto t = SyntheticTrace::generate(msn_profile(), 1, 29, 50);
+  QueryGenerator gen(t, GetParam(), 3);
+  const AttrSubset dims({Attr::kFileSize, Attr::kModificationTime,
+                         Attr::kReadBytes});
+  for (int i = 0; i < 200; ++i) {
+    const auto q = gen.gen_range(dims, 0.05);
+    ASSERT_EQ(q.lo.size(), dims.size());
+    for (std::size_t d = 0; d < dims.size(); ++d) EXPECT_LE(q.lo[d], q.hi[d]);
+  }
+}
+
+TEST_P(QueryGenTest, TopKQueriesWellFormed) {
+  auto t = SyntheticTrace::generate(msn_profile(), 1, 31, 50);
+  QueryGenerator gen(t, GetParam(), 5);
+  const AttrSubset dims = AttrSubset::all();
+  for (int i = 0; i < 200; ++i) {
+    const auto q = gen.gen_topk(dims, 8);
+    EXPECT_EQ(q.k, 8u);
+    ASSERT_EQ(q.point.size(), dims.size());
+  }
+}
+
+TEST_P(QueryGenTest, PointQueriesMixExistingAndMissing) {
+  auto t = SyntheticTrace::generate(msn_profile(), 1, 37, 50);
+  QueryGenerator gen(t, GetParam(), 7);
+  std::set<std::string> names;
+  for (const auto& f : t.files()) names.insert(f.name);
+  int existing = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i)
+    if (names.count(gen.gen_point(0.8).filename)) ++existing;
+  EXPECT_NEAR(static_cast<double>(existing) / n, 0.8, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, QueryGenTest,
+                         ::testing::Values(QueryDistribution::kUniform,
+                                           QueryDistribution::kGauss,
+                                           QueryDistribution::kZipf));
+
+TEST(QueryGen, ZipfQueriesClusterNearPopularFiles) {
+  auto t = SyntheticTrace::generate(msn_profile(), 1, 41, 25);
+  QueryGenerator zipf(t, QueryDistribution::kZipf, 11);
+  QueryGenerator uni(t, QueryDistribution::kUniform, 11);
+  // Zipf queries reuse hot anchor files, so query points pile up around a
+  // few coordinates; uniform points spread evenly. Compare the median
+  // nearest-other-query gap on the size coordinate.
+  const AttrSubset dims({Attr::kFileSize});
+  la::Vector zc, uc;
+  for (int i = 0; i < 300; ++i) {
+    zc.push_back(zipf.gen_topk(dims, 1).point[0]);
+    uc.push_back(uni.gen_topk(dims, 1).point[0]);
+  }
+  auto median_nn_gap = [](la::Vector v) {
+    std::sort(v.begin(), v.end());
+    la::Vector gaps;
+    for (std::size_t i = 0; i + 1 < v.size(); ++i)
+      gaps.push_back(v[i + 1] - v[i]);
+    return la::median(gaps);
+  };
+  EXPECT_LT(median_nn_gap(zc), median_nn_gap(uc));
+}
+
+}  // namespace
+}  // namespace smartstore::trace

@@ -1,0 +1,172 @@
+// Tests for storage units, group replicas and version deltas.
+#include "core/units.h"
+
+#include <gtest/gtest.h>
+
+#include "metadata/schema.h"
+
+namespace smartstore::core {
+namespace {
+
+using metadata::Attr;
+using metadata::FileMetadata;
+using metadata::kNumAttrs;
+
+FileMetadata make_file(metadata::FileId id, double size, double ctime) {
+  FileMetadata f;
+  f.id = id;
+  f.name = "/t/f" + std::to_string(id);
+  f.set_attr(Attr::kFileSize, size);
+  f.set_attr(Attr::kCreationTime, ctime);
+  return f;
+}
+
+la::Vector coords(const FileMetadata& f) {
+  return f.full_vector();  // identity "standardization" for unit tests
+}
+
+TEST(StorageUnit, AddAndFind) {
+  StorageUnit u(3, 1024, 7);
+  EXPECT_EQ(u.id(), 3u);
+  EXPECT_TRUE(u.empty());
+  const auto f = make_file(1, 100, 5);
+  u.add_file(f, coords(f));
+  EXPECT_EQ(u.file_count(), 1u);
+  ASSERT_NE(u.find_by_name(f.name), nullptr);
+  EXPECT_EQ(u.find_by_name(f.name)->id, 1u);
+  ASSERT_NE(u.find_by_id(1), nullptr);
+  EXPECT_EQ(u.find_by_id(1)->name, f.name);
+  EXPECT_EQ(u.find_by_name("/missing"), nullptr);
+}
+
+TEST(StorageUnit, BloomTracksMembership) {
+  StorageUnit u(0, 1024, 7);
+  const auto f = make_file(7, 10, 1);
+  u.add_file(f, coords(f));
+  EXPECT_TRUE(u.name_filter().may_contain(f.name));
+  u.remove_file(7);
+  EXPECT_FALSE(u.name_filter().may_contain(f.name));
+}
+
+TEST(StorageUnit, RemoveSwapsIndexesCorrectly) {
+  StorageUnit u(0, 1024, 7);
+  for (int i = 1; i <= 5; ++i) {
+    const auto f = make_file(i, 10.0 * i, i);
+    u.add_file(f, coords(f));
+  }
+  auto removed = u.remove_file(2);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->id, 2u);
+  EXPECT_EQ(u.file_count(), 4u);
+  // Every remaining file must still be findable by name and id.
+  for (int i : {1, 3, 4, 5}) {
+    ASSERT_NE(u.find_by_id(i), nullptr) << i;
+    EXPECT_EQ(u.find_by_id(i)->id, static_cast<metadata::FileId>(i));
+    EXPECT_NE(u.find_by_name("/t/f" + std::to_string(i)), nullptr);
+  }
+  EXPECT_FALSE(u.remove_file(2).has_value());
+}
+
+TEST(StorageUnit, BoxCoversAllCoords) {
+  StorageUnit u(0, 1024, 7);
+  for (int i = 1; i <= 10; ++i) {
+    const auto f = make_file(i, 10.0 * i, 100.0 - i);
+    u.add_file(f, coords(f));
+  }
+  for (const auto& c : u.std_coords()) EXPECT_TRUE(u.box().contains(c));
+}
+
+TEST(StorageUnit, CentroidIsMeanAndUpdatesOnRemove) {
+  StorageUnit u(0, 1024, 7);
+  const auto f1 = make_file(1, 10, 0);
+  const auto f2 = make_file(2, 30, 0);
+  u.add_file(f1, coords(f1));
+  u.add_file(f2, coords(f2));
+  EXPECT_DOUBLE_EQ(u.centroid_raw()[static_cast<std::size_t>(Attr::kFileSize)],
+                   20.0);
+  u.remove_file(1);
+  EXPECT_DOUBLE_EQ(u.centroid_raw()[static_cast<std::size_t>(Attr::kFileSize)],
+                   30.0);
+}
+
+TEST(StorageUnit, ByteSizeGrows) {
+  StorageUnit u(0, 1024, 7);
+  const std::size_t before = u.byte_size();
+  for (int i = 0; i < 100; ++i) {
+    const auto f = make_file(i + 1, i, i);
+    u.add_file(f, coords(f));
+  }
+  EXPECT_GT(u.byte_size(), before);
+}
+
+TEST(VersionDelta, EmptyAndByteSize) {
+  VersionDelta v;
+  v.added_names = bloom::BloomFilter(1024, 7);
+  v.added_attr_sum.assign(kNumAttrs, 0.0);
+  EXPECT_TRUE(v.empty());
+  v.deleted.push_back(4);
+  EXPECT_FALSE(v.empty());
+  EXPECT_GT(v.byte_size(), 0u);
+}
+
+GroupReplica make_replica() {
+  GroupReplica r;
+  r.centroid_raw.assign(kNumAttrs, 0.0);
+  r.attr_sum.assign(kNumAttrs, 0.0);
+  r.centroid_raw[0] = 100;
+  r.attr_sum[0] = 1000;
+  r.file_count = 10;
+  r.box = rtree::Mbr(la::Vector(kNumAttrs, 0.0), la::Vector(kNumAttrs, 1.0));
+  r.name_filter = bloom::BloomFilter(1024, 7);
+  r.name_filter.insert("/base/file");
+  return r;
+}
+
+VersionDelta make_delta(double coord, const std::string& name, double sum0) {
+  VersionDelta v;
+  v.added_box = rtree::Mbr(la::Vector(kNumAttrs, coord));
+  v.added_names = bloom::BloomFilter(1024, 7);
+  v.added_names.insert(name);
+  v.added_attr_sum.assign(kNumAttrs, 0.0);
+  v.added_attr_sum[0] = sum0;
+  v.added_count = 1;
+  return v;
+}
+
+TEST(GroupReplica, EffectiveBoxUnionsVersions) {
+  GroupReplica r = make_replica();
+  r.versions.push_back(make_delta(5.0, "/new/a", 10));
+  const rtree::Mbr without = r.effective_box(false);
+  const rtree::Mbr with = r.effective_box(true);
+  EXPECT_FALSE(without.contains(la::Vector(kNumAttrs, 5.0)));
+  EXPECT_TRUE(with.contains(la::Vector(kNumAttrs, 5.0)));
+}
+
+TEST(GroupReplica, EffectiveCentroidBlendsVersions) {
+  GroupReplica r = make_replica();  // sum0=1000, count=10 -> mean 100
+  r.versions.push_back(make_delta(1.0, "/new/a", 100));  // +1 file at 100
+  const la::Vector with = r.effective_centroid(true);
+  EXPECT_DOUBLE_EQ(with[0], 1100.0 / 11.0);
+  const la::Vector without = r.effective_centroid(false);
+  EXPECT_DOUBLE_EQ(without[0], 100.0);
+}
+
+TEST(GroupReplica, NameMayContainChecksVersionsRollingBackward) {
+  GroupReplica r = make_replica();
+  EXPECT_TRUE(r.name_may_contain("/base/file", true));
+  EXPECT_FALSE(r.name_may_contain("/new/x", true));
+  r.versions.push_back(make_delta(1.0, "/new/x", 1));
+  EXPECT_TRUE(r.name_may_contain("/new/x", true));
+  EXPECT_FALSE(r.name_may_contain("/new/x", false));  // versions disabled
+}
+
+TEST(GroupReplica, ByteSizeIncludesVersions) {
+  GroupReplica r = make_replica();
+  const std::size_t base = r.byte_size();
+  r.versions.push_back(make_delta(1.0, "/new/x", 1));
+  EXPECT_GT(r.byte_size(), base);
+  EXPECT_GT(r.versions_byte_size(), 0u);
+}
+
+}  // namespace
+}  // namespace smartstore::core
