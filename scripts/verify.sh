@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verify, exactly as ROADMAP.md specifies:
+#   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+#
+# Usage: scripts/verify.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+cd "$BUILD_DIR"
+ctest --output-on-failure -j

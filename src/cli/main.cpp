@@ -1,0 +1,236 @@
+// smartstore_cli: command-line driver for the SmartStore metadata system.
+//
+// Loads one of the paper's synthetic trace profiles (HP / MSN / EECS),
+// builds a SmartStore deployment over it, and replays batches of point,
+// range and top-k queries end-to-end, reporting result counts and the
+// simulated latency/message/hop accounting. This is the user-facing entry
+// point for workload scenarios: every knob the experiments vary (trace,
+// TIF, unit count, routing mode, query distribution) is a flag.
+//
+//   smartstore_cli --trace msn --units 20 --point 200 --range 50 --topk 50
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/smartstore.h"
+#include "metadata/query.h"
+#include "trace/profiles.h"
+#include "trace/query_gen.h"
+#include "trace/synth.h"
+
+namespace {
+
+using namespace smartstore;
+
+struct Options {
+  trace::TraceKind kind = trace::TraceKind::kMSN;
+  unsigned tif = 1;
+  unsigned downscale = 5;
+  std::size_t units = 20;
+  std::size_t fanout = 8;
+  core::Routing routing = core::Routing::kOffline;
+  trace::QueryDistribution dist = trace::QueryDistribution::kZipf;
+  std::size_t point_queries = 200;
+  std::size_t range_queries = 50;
+  std::size_t topk_queries = 50;
+  std::size_t k = 8;
+  std::uint64_t seed = 42;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "\n"
+      "Builds a SmartStore over a synthetic trace and replays query batches.\n"
+      "\n"
+      "options:\n"
+      "  --trace hp|msn|eecs        trace profile (default msn)\n"
+      "  --tif N                    trace intensifying factor (default 1)\n"
+      "  --downscale N              population downscale divisor (default 5)\n"
+      "  --units N                  storage units (default 20)\n"
+      "  --fanout N                 semantic R-tree fanout M (default 8)\n"
+      "  --routing online|offline   query routing mode (default offline)\n"
+      "  --dist uniform|gauss|zipf  query distribution (default zipf)\n"
+      "  --point N                  point queries to run (default 200)\n"
+      "  --range N                  range queries to run (default 50)\n"
+      "  --topk N                   top-k queries to run (default 50)\n"
+      "  --k K                      k for top-k queries (default 8)\n"
+      "  --seed S                   rng seed (default 42)\n"
+      "  --help                     this message\n",
+      argv0);
+}
+
+/// Parses argv into Options; exits with a message on malformed input.
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: %s needs a value\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[i + 1];
+  };
+  auto parse_size = [&](int i) {
+    const char* v = need_value(i);
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    // strtoull accepts "-5" via unsigned wraparound; require a leading digit.
+    if (!std::isdigit(static_cast<unsigned char>(v[0])) || end == v ||
+        *end != '\0') {
+      std::fprintf(stderr, "error: %s expects a number, got '%s'\n", argv[i], v);
+      std::exit(2);
+    }
+    return static_cast<std::uint64_t>(n);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else if (a == "--trace") {
+      const std::string v = need_value(i++);
+      if (v == "hp") opt.kind = trace::TraceKind::kHP;
+      else if (v == "msn") opt.kind = trace::TraceKind::kMSN;
+      else if (v == "eecs") opt.kind = trace::TraceKind::kEECS;
+      else {
+        std::fprintf(stderr, "error: unknown trace '%s'\n", v.c_str());
+        std::exit(2);
+      }
+    } else if (a == "--routing") {
+      const std::string v = need_value(i++);
+      if (v == "online") opt.routing = core::Routing::kOnline;
+      else if (v == "offline") opt.routing = core::Routing::kOffline;
+      else {
+        std::fprintf(stderr, "error: unknown routing '%s'\n", v.c_str());
+        std::exit(2);
+      }
+    } else if (a == "--dist") {
+      const std::string v = need_value(i++);
+      if (v == "uniform") opt.dist = trace::QueryDistribution::kUniform;
+      else if (v == "gauss") opt.dist = trace::QueryDistribution::kGauss;
+      else if (v == "zipf") opt.dist = trace::QueryDistribution::kZipf;
+      else {
+        std::fprintf(stderr, "error: unknown distribution '%s'\n", v.c_str());
+        std::exit(2);
+      }
+    } else if (a == "--tif") {
+      opt.tif = static_cast<unsigned>(parse_size(i++));
+    } else if (a == "--downscale") {
+      opt.downscale = static_cast<unsigned>(parse_size(i++));
+    } else if (a == "--units") {
+      opt.units = parse_size(i++);
+    } else if (a == "--fanout") {
+      opt.fanout = parse_size(i++);
+    } else if (a == "--point") {
+      opt.point_queries = parse_size(i++);
+    } else if (a == "--range") {
+      opt.range_queries = parse_size(i++);
+    } else if (a == "--topk") {
+      opt.topk_queries = parse_size(i++);
+    } else if (a == "--k") {
+      opt.k = parse_size(i++);
+    } else if (a == "--seed") {
+      opt.seed = parse_size(i++);
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", a.c_str());
+      usage(argv[0]);
+      std::exit(2);
+    }
+  }
+  if (opt.tif == 0 || opt.downscale == 0 || opt.units == 0 || opt.k == 0) {
+    std::fprintf(stderr, "error: --tif/--downscale/--units/--k must be > 0\n");
+    std::exit(2);
+  }
+  return opt;
+}
+
+/// Running sums of per-query accounting for one batch.
+struct BatchTotals {
+  std::size_t queries = 0;
+  std::size_t successes = 0;  ///< found (point) / non-empty (range, top-k)
+  std::size_t results = 0;
+  double latency_s = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t hops = 0;
+
+  void add(const core::QueryStats& s, std::size_t nresults) {
+    ++queries;
+    if (nresults > 0) ++successes;
+    results += nresults;
+    latency_s += s.latency_s;
+    messages += s.messages;
+    hops += s.hops;
+  }
+
+  void print(const char* what) const {
+    if (queries == 0) return;
+    const double n = static_cast<double>(queries);
+    std::printf(
+        "%-6s %6zu queries | %5.1f%% hit | %6.2f results/q | "
+        "%8.3f ms/q | %6.1f msgs/q | %5.1f hops/q\n",
+        what, queries, 100.0 * static_cast<double>(successes) / n,
+        static_cast<double>(results) / n, latency_s / n * 1e3,
+        static_cast<double>(messages) / n, static_cast<double>(hops) / n);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+
+  const auto profile = trace::profile_for(opt.kind);
+  std::printf("trace   : %s (TIF %u, downscale %u, seed %llu)\n",
+              profile.name.c_str(), opt.tif, opt.downscale,
+              static_cast<unsigned long long>(opt.seed));
+  const auto tr =
+      trace::SyntheticTrace::generate(profile, opt.tif, opt.seed, opt.downscale);
+  std::printf("population: %zu files, %zu trace ops\n", tr.files().size(),
+              tr.ops().size());
+
+  core::Config cfg;
+  cfg.num_units = opt.units;
+  cfg.fanout = opt.fanout;
+  cfg.seed = opt.seed;
+  core::SmartStore store(cfg);
+  store.build(tr.files());
+  std::printf(
+      "deployment: %zu storage units, %zu index units, tree height %d, "
+      "%zu first-level groups, %s routing\n\n",
+      store.units().size(), store.tree().num_nodes(), store.tree().height(),
+      store.tree().groups().size(),
+      opt.routing == core::Routing::kOnline ? "on-line" : "off-line");
+
+  trace::QueryGenerator gen(tr, opt.dist, opt.seed + 1);
+  const auto dims = metadata::AttrSubset::all();
+
+  BatchTotals point, range, topk;
+  for (std::size_t i = 0; i < opt.point_queries; ++i) {
+    const auto r = store.point_query(gen.gen_point(), opt.routing, 0.0);
+    point.add(r.stats, r.found ? 1 : 0);
+  }
+  for (std::size_t i = 0; i < opt.range_queries; ++i) {
+    const auto r = store.range_query(gen.gen_range(dims), opt.routing, 0.0);
+    range.add(r.stats, r.ids.size());
+  }
+  for (std::size_t i = 0; i < opt.topk_queries; ++i) {
+    const auto r = store.topk_query(gen.gen_topk(dims, opt.k), opt.routing, 0.0);
+    topk.add(r.stats, r.hits.size());
+  }
+
+  std::printf("query batches (%s distribution):\n",
+              trace::distribution_name(opt.dist));
+  point.print("point");
+  range.print("range");
+  topk.print("top-k");
+
+  const auto space = store.avg_unit_space();
+  std::printf(
+      "\nper-unit space: metadata %zu B, hosted index %zu B, replicas %zu B, "
+      "versions %zu B (total %zu B)\n",
+      space.metadata_bytes, space.index_bytes, space.replica_bytes,
+      space.version_bytes, space.total());
+  return 0;
+}
