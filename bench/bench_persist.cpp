@@ -1,0 +1,85 @@
+// Persistence-layer throughput: snapshot save/load and WAL append/replay.
+//
+// The number that motivates the subsystem is the last column — a restart
+// that loads the snapshot instead of re-running SVD + balanced k-means +
+// bottom-up tree construction. Save/load are reported as wall-clock time,
+// on-disk size, and files per second; the WAL as records per second at the
+// paper's version_ratio group-commit batching, plus the replay rate that
+// bounds recovery time after a crash.
+#include "bench_common.h"
+
+#include <filesystem>
+
+#include "persist/recovery.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+#include "util/bytes.h"
+#include "util/timer.h"
+
+using namespace smartstore;
+using namespace smartstore::bench;
+
+int main() {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "smartstore_bench_persist")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  std::printf("=== Persistence: snapshot + WAL throughput ===\n\n");
+  std::printf("%-7s %8s | %9s %10s %10s | %9s %11s | %9s %9s\n", "trace",
+              "files", "build", "save", "size", "load", "load-files/s",
+              "wal-rec/s", "replay/s");
+
+  for (const auto kind : {trace::TraceKind::kHP, trace::TraceKind::kMSN}) {
+    const auto profile = trace::profile_for(kind);
+    const auto tr = trace::SyntheticTrace::generate(profile, 2, 13, 5);
+
+    core::SmartStore store(default_config(60));
+    util::WallTimer t;
+    store.build(tr.files());
+    const double build_s = t.seconds();
+
+    const std::string snap = persist::snapshot_path(dir);
+    t.reset();
+    persist::save_snapshot(store, snap);
+    const double save_s = t.seconds();
+    const std::size_t snap_bytes = std::filesystem::file_size(snap);
+
+    t.reset();
+    auto loaded = persist::load_snapshot(snap);
+    const double load_s = t.seconds();
+    const double nfiles = static_cast<double>(tr.files().size());
+
+    // WAL: append a churn stream at the store's group-commit batching,
+    // then replay it onto the freshly loaded snapshot.
+    const std::size_t churn = 2000;
+    const auto stream = tr.make_insert_stream(churn, 99);
+    const std::string wal = persist::wal_path(dir);
+    std::filesystem::remove(wal);
+    t.reset();
+    {
+      persist::WalWriter w(wal, store.config().version_ratio);
+      for (const auto& f : stream) w.log_insert(f);
+    }
+    const double append_s = t.seconds();
+
+    t.reset();
+    const persist::WalScan scan = persist::scan_wal(wal);
+    persist::replay(*loaded, scan);
+    const double replay_s = t.seconds();
+
+    std::printf(
+        "%-7s %8zu | %8.2fs %9.3fs %10s | %8.3fs %12.0f | %9.0f %9.0f\n",
+        profile.name.c_str(), tr.files().size(), build_s, save_s,
+        util::format_bytes(snap_bytes).c_str(), load_s, nfiles / load_s,
+        static_cast<double>(churn) / append_s,
+        static_cast<double>(churn) / replay_s);
+  }
+
+  std::printf(
+      "\nrestart speedup = build / load; WAL rates include group-commit "
+      "fsync.\n");
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Runs the Google-Benchmark micro suite and emits a machine-readable
+# BENCH_core.json, so the performance trajectory across PRs has data points.
+#
+#   scripts/bench_report.sh [build-dir] [output-json]
+#
+# bench_micro_core is only built when find_package(benchmark) succeeds; on a
+# machine without the library this script says so and exits 0 (the report is
+# optional, not a gate).
+set -eu
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_core.json}
+BIN="$BUILD_DIR/bench/bench_micro_core"
+
+if [ ! -d "$BUILD_DIR" ]; then
+    echo "bench_report: build dir '$BUILD_DIR' not found — configure first:" >&2
+    echo "  cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+fi
+
+if [ ! -x "$BIN" ]; then
+    echo "bench_report: $BIN not built (Google Benchmark not found at configure time); skipping"
+    exit 0
+fi
+
+"$BIN" \
+    --benchmark_out="$OUT" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions="${BENCH_REPETITIONS:-1}"
+
+echo "bench_report: wrote $OUT"

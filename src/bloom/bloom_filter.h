@@ -57,6 +57,9 @@ class BloomFilter {
   double fill_ratio() const;
   /// Expected false-positive probability given the current fill ratio.
   double estimated_fpp() const;
+  /// Raw backing words, for serialization; reassemble via from_words so
+  /// the geometry stays validated.
+  const std::vector<std::uint64_t>& words() const { return words_; }
   std::size_t byte_size() const {
     return sizeof(*this) + words_.capacity() * sizeof(std::uint64_t);
   }

@@ -7,18 +7,29 @@
 // point for workload scenarios: every knob the experiments vary (trace,
 // TIF, unit count, routing mode, query distribution) is a flag.
 //
+// Deployments persist across runs: --save snapshots the built store into a
+// directory, --load restores it (skipping the expensive SVD/k-means/tree
+// build) and replays any write-ahead log found there, --wal logs dynamic
+// inserts (--churn) so a crash loses at most one group-commit batch.
+//
 //   smartstore_cli --trace msn --units 20 --point 200 --range 50 --topk 50
+//   smartstore_cli --trace hp --save state/          # build once, persist
+//   smartstore_cli --trace hp --load state/ --point 200   # restart, no build
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 
 #include "core/smartstore.h"
 #include "metadata/query.h"
+#include "persist/recovery.h"
 #include "trace/profiles.h"
 #include "trace/query_gen.h"
 #include "trace/synth.h"
+#include "util/bytes.h"
 
 namespace {
 
@@ -37,6 +48,10 @@ struct Options {
   std::size_t topk_queries = 50;
   std::size_t k = 8;
   std::uint64_t seed = 42;
+  std::size_t churn = 0;
+  std::string save_dir;
+  std::string load_dir;
+  std::string wal_dir;
 };
 
 void usage(const char* argv0) {
@@ -58,6 +73,12 @@ void usage(const char* argv0) {
       "  --topk N                   top-k queries to run (default 50)\n"
       "  --k K                      k for top-k queries (default 8)\n"
       "  --seed S                   rng seed (default 42)\n"
+      "  --churn N                  insert N extra files before querying\n"
+      "  --save DIR                 snapshot the deployment into DIR\n"
+      "  --load DIR                 restore DIR's snapshot (+ WAL replay)\n"
+      "                             instead of building; trace flags must\n"
+      "                             match the saved deployment's\n"
+      "  --wal DIR                  write-ahead-log churn inserts in DIR\n"
       "  --help                     this message\n",
       argv0);
 }
@@ -133,6 +154,14 @@ Options parse_args(int argc, char** argv) {
       opt.k = parse_size(i++);
     } else if (a == "--seed") {
       opt.seed = parse_size(i++);
+    } else if (a == "--churn") {
+      opt.churn = parse_size(i++);
+    } else if (a == "--save") {
+      opt.save_dir = need_value(i++);
+    } else if (a == "--load") {
+      opt.load_dir = need_value(i++);
+    } else if (a == "--wal") {
+      opt.wal_dir = need_value(i++);
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", a.c_str());
       usage(argv[0]);
@@ -190,17 +219,60 @@ int main(int argc, char** argv) {
   std::printf("population: %zu files, %zu trace ops\n", tr.files().size(),
               tr.ops().size());
 
-  core::Config cfg;
-  cfg.num_units = opt.units;
-  cfg.fanout = opt.fanout;
-  cfg.seed = opt.seed;
-  core::SmartStore store(cfg);
-  store.build(tr.files());
+  std::unique_ptr<core::SmartStore> store;
+  try {
+    if (!opt.load_dir.empty()) {
+      auto rec = persist::recover(opt.load_dir);
+      store = std::move(rec.store);
+      std::printf("restored : snapshot %s, %zu WAL records replayed "
+                  "(%zu blocks)%s\n",
+                  persist::snapshot_path(opt.load_dir).c_str(),
+                  rec.wal_records, rec.wal_blocks,
+                  rec.wal_tail_torn ? ", torn tail dropped" : "");
+    } else {
+      core::Config cfg;
+      cfg.num_units = opt.units;
+      cfg.fanout = opt.fanout;
+      cfg.seed = opt.seed;
+      store = std::make_unique<core::SmartStore>(cfg);
+      store->build(tr.files());
+    }
+
+    std::unique_ptr<persist::WalWriter> wal;
+    if (!opt.wal_dir.empty()) {
+      std::filesystem::create_directories(opt.wal_dir);
+      wal = std::make_unique<persist::WalWriter>(
+          persist::wal_path(opt.wal_dir), store->config().version_ratio);
+    }
+    if (opt.churn > 0) {
+      const auto stream = tr.make_insert_stream(opt.churn, opt.seed + 99);
+      for (const auto& f : stream) {
+        store->insert_file(f, 0.0);
+        if (wal) wal->log_insert(f);
+      }
+      if (wal) wal->commit();
+      std::printf("churn    : %zu files inserted%s\n", stream.size(),
+                  wal ? " (write-ahead logged)" : "");
+    }
+    if (!opt.save_dir.empty()) {
+      persist::checkpoint(*store, opt.save_dir, wal.get());
+      std::printf("snapshot : saved to %s (%s)\n",
+                  persist::snapshot_path(opt.save_dir).c_str(),
+                  util::format_bytes(
+                      std::filesystem::file_size(
+                          persist::snapshot_path(opt.save_dir)))
+                      .c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: persistence failure: %s\n", e.what());
+    return 1;
+  }
+
   std::printf(
       "deployment: %zu storage units, %zu index units, tree height %d, "
       "%zu first-level groups, %s routing\n\n",
-      store.units().size(), store.tree().num_nodes(), store.tree().height(),
-      store.tree().groups().size(),
+      store->units().size(), store->tree().num_nodes(), store->tree().height(),
+      store->tree().groups().size(),
       opt.routing == core::Routing::kOnline ? "on-line" : "off-line");
 
   trace::QueryGenerator gen(tr, opt.dist, opt.seed + 1);
@@ -208,15 +280,16 @@ int main(int argc, char** argv) {
 
   BatchTotals point, range, topk;
   for (std::size_t i = 0; i < opt.point_queries; ++i) {
-    const auto r = store.point_query(gen.gen_point(), opt.routing, 0.0);
+    const auto r = store->point_query(gen.gen_point(), opt.routing, 0.0);
     point.add(r.stats, r.found ? 1 : 0);
   }
   for (std::size_t i = 0; i < opt.range_queries; ++i) {
-    const auto r = store.range_query(gen.gen_range(dims), opt.routing, 0.0);
+    const auto r = store->range_query(gen.gen_range(dims), opt.routing, 0.0);
     range.add(r.stats, r.ids.size());
   }
   for (std::size_t i = 0; i < opt.topk_queries; ++i) {
-    const auto r = store.topk_query(gen.gen_topk(dims, opt.k), opt.routing, 0.0);
+    const auto r =
+        store->topk_query(gen.gen_topk(dims, opt.k), opt.routing, 0.0);
     topk.add(r.stats, r.hits.size());
   }
 
@@ -226,7 +299,7 @@ int main(int argc, char** argv) {
   range.print("range");
   topk.print("top-k");
 
-  const auto space = store.avg_unit_space();
+  const auto space = store->avg_unit_space();
   std::printf(
       "\nper-unit space: metadata %zu B, hosted index %zu B, replicas %zu B, "
       "versions %zu B (total %zu B)\n",

@@ -34,6 +34,10 @@
 #include "rtree/mbr.h"
 #include "util/rng.h"
 
+namespace smartstore::persist {
+struct SnapshotAccess;  // persistence-layer serialization hook
+}
+
 namespace smartstore::core {
 
 /// Non-leaf semantic R-tree node.
@@ -144,6 +148,11 @@ class SemanticRTree {
   bool check_invariants(const std::vector<StorageUnit>& units) const;
 
  private:
+  /// The snapshot codec in src/persist/ reads and restores the full private
+  /// state (nodes, free list, group maps, fitted LSI model) so a persisted
+  /// tree resumes without a rebuild.
+  friend struct ::smartstore::persist::SnapshotAccess;
+
   std::size_t new_node(int level);
   void free_node(std::size_t id);
   /// Recomputes one node's summary from its children.

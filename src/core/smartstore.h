@@ -39,6 +39,10 @@
 #include "sim/cluster.h"
 #include "util/rng.h"
 
+namespace smartstore::persist {
+struct SnapshotAccess;  // persistence-layer serialization hook
+}
+
 namespace smartstore::core {
 
 enum class Routing { kOnline, kOffline };
@@ -198,6 +202,11 @@ class SmartStore {
   bool check_invariants() const;
 
  private:
+  /// The snapshot codec in src/persist/ serializes the full private state
+  /// (units, tree, variants, replica/version sync, rng) and reassembles a
+  /// deployment without re-running SVD/k-means/tree construction.
+  friend struct ::smartstore::persist::SnapshotAccess;
+
   // Per-group synchronization state for the off-line pre-processing scheme.
   struct GroupSync {
     GroupReplica replica;   ///< what every remote unit sees

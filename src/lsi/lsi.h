@@ -37,6 +37,21 @@ class LsiModel {
   static LsiModel fit(const std::vector<la::Vector>& docs, std::size_t rank_p,
                       double energy = 0.9);
 
+  /// Reassembles a fitted model from its persisted parts (the persistence
+  /// layer's deserialization hook; no refitting, no SVD).
+  static LsiModel from_parts(la::RowStandardizer standardizer, la::Matrix u_p,
+                             la::Vector sigma,
+                             std::vector<la::Vector> doc_coords,
+                             std::size_t rank) {
+    LsiModel m;
+    m.standardizer_ = std::move(standardizer);
+    m.u_p_ = std::move(u_p);
+    m.sigma_ = std::move(sigma);
+    m.doc_coords_ = std::move(doc_coords);
+    m.rank_ = rank;
+    return m;
+  }
+
   bool fitted() const { return rank_ > 0; }
   std::size_t rank() const { return rank_; }
   std::size_t dims() const { return standardizer_.means.size(); }
@@ -66,6 +81,8 @@ class LsiModel {
 
   const la::Vector& singular_values() const { return sigma_; }
   const la::RowStandardizer& standardizer() const { return standardizer_; }
+  /// The left singular block U_p (D x p), exposed for serialization.
+  const la::Matrix& u_p() const { return u_p_; }
 
   std::size_t byte_size() const;
 

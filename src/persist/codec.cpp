@@ -1,0 +1,27 @@
+#include "persist/codec.h"
+
+namespace smartstore::persist {
+
+void write_file_meta(util::BinaryWriter& w, const metadata::FileMetadata& f) {
+  w.write_u64(f.id);
+  w.write_string(f.name);
+  w.write_u32(static_cast<std::uint32_t>(metadata::kNumAttrs));
+  for (double a : f.attrs) w.write_f64(a);
+}
+
+metadata::FileMetadata read_file_meta(util::BinaryReader& r) {
+  metadata::FileMetadata f;
+  f.id = r.read_u64();
+  f.name = r.read_string();
+  const std::uint32_t dims = r.read_u32();
+  if (dims != metadata::kNumAttrs) {
+    throw util::BinaryIoError("file record has " + std::to_string(dims) +
+                              " attributes, schema expects " +
+                              std::to_string(metadata::kNumAttrs));
+  }
+  for (std::size_t d = 0; d < metadata::kNumAttrs; ++d)
+    f.attrs[d] = r.read_f64();
+  return f;
+}
+
+}  // namespace smartstore::persist

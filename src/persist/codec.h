@@ -1,0 +1,17 @@
+// Shared wire codecs for the persistence layer: the FileMetadata record
+// encoding is the unit both the snapshot UNITS section and every WAL insert
+// record speak, so it lives here rather than in either format.
+#pragma once
+
+#include "metadata/file_metadata.h"
+#include "util/binary_io.h"
+
+namespace smartstore::persist {
+
+void write_file_meta(util::BinaryWriter& w, const metadata::FileMetadata& f);
+
+/// Bounds-checked decode; throws util::BinaryIoError on truncation or an
+/// attribute-dimension mismatch against the compiled-in schema.
+metadata::FileMetadata read_file_meta(util::BinaryReader& r);
+
+}  // namespace smartstore::persist

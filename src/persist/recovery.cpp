@@ -1,0 +1,97 @@
+#include "persist/recovery.h"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace smartstore::persist {
+
+std::string snapshot_path(const std::string& dir) {
+  return (std::filesystem::path(dir) / "snapshot.bin").string();
+}
+
+std::string wal_path(const std::string& dir) {
+  return (std::filesystem::path(dir) / "wal.bin").string();
+}
+
+void apply_record(core::SmartStore& store, const WalRecord& rec) {
+  // Replay runs at virtual time zero: queue state is not part of recovery,
+  // only the logical outcome of each mutation.
+  if (rec.type == WalRecordType::kInsert) {
+    store.insert_file(rec.file, 0.0);
+  } else {
+    store.delete_file(rec.name, 0.0);
+  }
+}
+
+std::size_t replay(core::SmartStore& store, const WalScan& scan) {
+  for (const WalRecord& rec : scan.records) apply_record(store, rec);
+  return scan.records.size();
+}
+
+RecoveryResult recover(const std::string& dir) {
+  RecoveryResult res;
+  WalFence fence;
+  res.store = load_snapshot(snapshot_path(dir), &fence);
+  const WalScan scan = scan_wal(wal_path(dir));
+
+  // Records the snapshot's fence covers are already reflected in it; this
+  // is the crash window between "snapshot renamed" and "WAL emptied".
+  std::size_t skip = 0;
+  if (fence.present && fence.generation == scan.generation) {
+    skip = static_cast<std::size_t>(
+        std::min<std::uint64_t>(fence.records, scan.records.size()));
+  }
+  for (std::size_t i = skip; i < scan.records.size(); ++i)
+    apply_record(*res.store, scan.records[i]);
+
+  res.wal_blocks = scan.blocks;
+  res.wal_records = scan.records.size() - skip;
+  res.wal_fenced = skip;
+  res.wal_tail_torn = scan.torn_tail;
+  return res;
+}
+
+void checkpoint(const core::SmartStore& store, const std::string& dir,
+                WalWriter* wal) {
+  std::filesystem::create_directories(dir);
+
+  // Only this directory's log is subsumed by the snapshot about to be
+  // written. A live writer is used when it owns that log; a writer logging
+  // into a different directory is left untouched — its records pair with
+  // *that* directory's snapshot, and emptying it would lose them.
+  const std::string wp = wal_path(dir);
+  std::error_code ec;
+  const bool owns_log =
+      wal && std::filesystem::weakly_canonical(wal->path(), ec) ==
+                 std::filesystem::weakly_canonical(wp, ec);
+
+  // Fence before switching: note how much of the log the snapshot covers,
+  // so a crash between the snapshot rename and the WAL reset cannot make
+  // recovery replay those records twice.
+  WalFence fence;
+  std::uint64_t next_generation = 0;
+  if (owns_log) {
+    wal->commit();  // pending records become durable and countable
+    fence = {wal->generation(), wal->committed_records(), true};
+  } else if (std::filesystem::exists(wp)) {
+    try {
+      const WalScan scan = scan_wal(wp);
+      fence = {scan.generation, scan.records.size(), true};
+      next_generation = scan.generation + 1;
+    } catch (const PersistError&) {
+      // Not a WAL (junk from an interrupted copy, say): no fence; the file
+      // is about to be overwritten regardless.
+      next_generation = fresh_wal_generation();
+    }
+  }
+
+  save_snapshot(store, snapshot_path(dir), fence);
+
+  if (owns_log) {
+    wal->reset();
+  } else if (std::filesystem::exists(wp)) {
+    write_empty_wal(wp, next_generation);  // stale records must not replay
+  }                                        // over the fresher snapshot
+}
+
+}  // namespace smartstore::persist

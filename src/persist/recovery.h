@@ -1,0 +1,58 @@
+// Deployment-directory recovery: the checkpoint/recover protocol over a
+// snapshot file plus a WAL.
+//
+//   <dir>/snapshot.bin   full deployment image (persist/snapshot.h)
+//   <dir>/wal.bin        mutations since that snapshot (persist/wal.h)
+//
+// checkpoint() fences before it switches: the snapshot it writes records
+// the WAL's (generation, record count) in its WALFENCE section, then the
+// rename atomically publishes the snapshot, then the WAL is emptied under
+// a new generation. recover() loads the snapshot and replays the WAL's
+// valid prefix through the store's own insert_file/delete_file — skipping
+// any fenced prefix when the generations match — so a crash anywhere
+// inside checkpoint() recovers exactly: before the rename the old
+// snapshot+log pair is intact; between rename and WAL reset the fence
+// suppresses the double replay; after the reset the log is empty. A torn
+// or truncated WAL tail rolls back to the last group-commit boundary.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/smartstore.h"
+#include "persist/wal.h"
+
+namespace smartstore::persist {
+
+std::string snapshot_path(const std::string& dir);
+std::string wal_path(const std::string& dir);
+
+struct RecoveryResult {
+  std::unique_ptr<core::SmartStore> store;
+  std::size_t wal_blocks = 0;
+  std::size_t wal_records = 0;   ///< replayed (fenced prefix excluded)
+  std::size_t wal_fenced = 0;    ///< skipped: already in the snapshot
+  bool wal_tail_torn = false;
+};
+
+/// Applies one logged record through the store's mutation API.
+void apply_record(core::SmartStore& store, const WalRecord& rec);
+
+/// Replays a scanned log into `store`; returns the number of records applied.
+std::size_t replay(core::SmartStore& store, const WalScan& scan);
+
+/// Loads <dir>/snapshot.bin and replays <dir>/wal.bin (when present).
+/// Throws PersistError when the snapshot is missing or corrupt; a torn WAL
+/// tail is not an error (reported in the result, recovery keeps the prefix).
+RecoveryResult recover(const std::string& dir);
+
+/// Snapshots `store` into `dir` (created if needed) and empties `dir`'s
+/// WAL, whose records the snapshot subsumes. Pass the live writer when one
+/// has that log open so its handle stays coherent; a writer logging into a
+/// different directory is left untouched (its records pair with that
+/// directory's snapshot). Without a writer, any wal.bin in `dir` is
+/// truncated on disk.
+void checkpoint(const core::SmartStore& store, const std::string& dir,
+                WalWriter* wal = nullptr);
+
+}  // namespace smartstore::persist

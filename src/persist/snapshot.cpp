@@ -1,0 +1,612 @@
+#include "persist/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "persist/codec.h"
+#include "util/binary_io.h"
+#include "util/crc32.h"
+
+namespace smartstore::persist {
+
+namespace {
+
+using util::BinaryReader;
+using util::BinaryWriter;
+
+// Section ids. New sections get new ids; readers skip unknown ids so old
+// binaries can open newer snapshots that only added sections.
+constexpr std::uint32_t kSecConfig = 1;
+constexpr std::uint32_t kSecStandardizer = 2;
+constexpr std::uint32_t kSecUnits = 3;
+constexpr std::uint32_t kSecTree = 4;
+constexpr std::uint32_t kSecVariants = 5;
+constexpr std::uint32_t kSecSync = 6;
+constexpr std::uint32_t kSecWalFence = 7;  // optional, written by checkpoint
+constexpr std::uint32_t kMaxSection = 7;
+
+/// An index that is either < limit or the kInvalidIndex sentinel.
+std::size_t read_index(BinaryReader& r, std::size_t limit, const char* what) {
+  const std::uint64_t v = r.read_u64();
+  const auto idx = static_cast<std::size_t>(v);
+  if (idx != core::kInvalidIndex && idx >= limit) {
+    throw PersistError(std::string(what) + " index " + std::to_string(v) +
+                       " out of range (limit " + std::to_string(limit) + ")");
+  }
+  return idx;
+}
+
+std::vector<std::size_t> read_index_vec(BinaryReader& r, std::size_t limit,
+                                        const char* what) {
+  std::vector<std::size_t> v = r.read_vec_size();
+  for (std::size_t x : v) {
+    if (x >= limit) {
+      throw PersistError(std::string(what) + " index " + std::to_string(x) +
+                         " out of range (limit " + std::to_string(limit) +
+                         ")");
+    }
+  }
+  return v;
+}
+
+// ---- primitive codecs -------------------------------------------------------
+
+void write_mbr(BinaryWriter& w, const rtree::Mbr& box) {
+  w.write_bool(box.valid());
+  if (!box.valid()) return;
+  w.write_vec_f64(box.lo());
+  w.write_vec_f64(box.hi());
+}
+
+rtree::Mbr read_mbr(BinaryReader& r) {
+  if (!r.read_bool()) return rtree::Mbr{};
+  la::Vector lo = r.read_vec_f64();
+  la::Vector hi = r.read_vec_f64();
+  if (lo.size() != hi.size())
+    throw PersistError("MBR lo/hi dimension mismatch");
+  return rtree::Mbr(std::move(lo), std::move(hi));
+}
+
+void write_bloom(BinaryWriter& w, const bloom::BloomFilter& f) {
+  w.write_u64(f.bit_count());
+  w.write_u32(f.num_hashes());
+  w.write_vec_u64(f.words());
+}
+
+bloom::BloomFilter read_bloom(BinaryReader& r) {
+  const std::uint64_t bits = r.read_u64();
+  const std::uint32_t k = r.read_u32();
+  std::vector<std::uint64_t> words = r.read_vec_u64();
+  if (bits == 0 || bits % 64 != 0 || words.size() != bits / 64)
+    throw PersistError("Bloom filter geometry/word-count mismatch");
+  return bloom::BloomFilter::from_words(static_cast<std::size_t>(bits), k,
+                                        std::move(words));
+}
+
+void write_matrix(BinaryWriter& w, const la::Matrix& m) {
+  w.write_u64(m.rows());
+  w.write_u64(m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) w.write_f64(m(i, j));
+}
+
+la::Matrix read_matrix(BinaryReader& r) {
+  const std::uint64_t rows = r.read_u64();
+  const std::uint64_t cols = r.read_u64();
+  // Guard cols first so 8 * cols cannot wrap around and defeat the bound.
+  if (cols != 0 &&
+      (cols > r.remaining() / 8 || rows > r.remaining() / (8 * cols)))
+    throw PersistError("implausible matrix dimensions");
+  la::Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) m(i, j) = r.read_f64();
+  return m;
+}
+
+void write_lsi(BinaryWriter& w, const lsi::LsiModel& m) {
+  w.write_vec_f64(m.standardizer().means);
+  w.write_vec_f64(m.standardizer().inv_stdevs);
+  write_matrix(w, m.u_p());
+  w.write_vec_f64(m.singular_values());
+  w.write_u64(m.num_docs());
+  for (std::size_t i = 0; i < m.num_docs(); ++i)
+    w.write_vec_f64(m.doc_coords(i));
+  w.write_u64(m.rank());
+}
+
+lsi::LsiModel read_lsi(BinaryReader& r) {
+  la::RowStandardizer std;
+  std.means = r.read_vec_f64();
+  std.inv_stdevs = r.read_vec_f64();
+  la::Matrix u_p = read_matrix(r);
+  la::Vector sigma = r.read_vec_f64();
+  const std::size_t ndocs = static_cast<std::size_t>(
+      r.read_u64_max(r.remaining(), "LSI document count"));
+  std::vector<la::Vector> docs(ndocs);
+  for (auto& d : docs) d = r.read_vec_f64();
+  const auto rank = static_cast<std::size_t>(r.read_u64());
+  return lsi::LsiModel::from_parts(std::move(std), std::move(u_p),
+                                   std::move(sigma), std::move(docs), rank);
+}
+
+void write_attr_subset(BinaryWriter& w, const metadata::AttrSubset& s) {
+  w.write_u64(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i)
+    w.write_u32(static_cast<std::uint32_t>(s[i]));
+}
+
+metadata::AttrSubset read_attr_subset(BinaryReader& r) {
+  const std::size_t n = static_cast<std::size_t>(
+      r.read_u64_max(metadata::kNumAttrs, "attribute-subset size"));
+  std::vector<metadata::Attr> attrs(n);
+  for (auto& a : attrs) {
+    const std::uint32_t v = r.read_u32();
+    if (v >= metadata::kNumAttrs)
+      throw PersistError("attribute id out of schema range");
+    a = static_cast<metadata::Attr>(v);
+  }
+  return metadata::AttrSubset(std::move(attrs));
+}
+
+void write_version_delta(BinaryWriter& w, const core::VersionDelta& v) {
+  write_mbr(w, v.added_box);
+  write_bloom(w, v.added_names);
+  w.write_vec_f64(v.added_attr_sum);
+  w.write_u64(v.added_count);
+  w.write_vec_u64(v.deleted);
+  w.write_f64(v.sealed_at);
+}
+
+core::VersionDelta read_version_delta(BinaryReader& r) {
+  core::VersionDelta v;
+  v.added_box = read_mbr(r);
+  v.added_names = read_bloom(r);
+  v.added_attr_sum = r.read_vec_f64();
+  v.added_count = static_cast<std::size_t>(r.read_u64());
+  v.deleted = r.read_vec_u64();
+  v.sealed_at = r.read_f64();
+  return v;
+}
+
+void write_replica(BinaryWriter& w, const core::GroupReplica& g) {
+  w.write_vec_f64(g.centroid_raw);
+  w.write_vec_f64(g.attr_sum);
+  w.write_u64(g.file_count);
+  write_mbr(w, g.box);
+  write_bloom(w, g.name_filter);
+  w.write_u64(g.versions.size());
+  for (const auto& v : g.versions) write_version_delta(w, v);
+}
+
+core::GroupReplica read_replica(BinaryReader& r) {
+  core::GroupReplica g;
+  g.centroid_raw = r.read_vec_f64();
+  g.attr_sum = r.read_vec_f64();
+  g.file_count = static_cast<std::size_t>(r.read_u64());
+  g.box = read_mbr(r);
+  g.name_filter = read_bloom(r);
+  const std::size_t n = static_cast<std::size_t>(
+      r.read_u64_max(r.remaining(), "version count"));
+  g.versions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    g.versions.push_back(read_version_delta(r));
+  return g;
+}
+
+}  // namespace
+
+// ---- SnapshotAccess: the befriended codec over private state ----------------
+
+struct SnapshotAccess {
+  using Store = core::SmartStore;
+  using Tree = core::SemanticRTree;
+
+  // ---- encode ---------------------------------------------------------------
+
+  static void save_config(const Store& s, BinaryWriter& w) {
+    const core::Config& c = s.cfg_;
+    w.write_u32(static_cast<std::uint32_t>(metadata::kNumAttrs));
+    w.write_u64(c.num_units);
+    w.write_u64(c.fanout);
+    w.write_u64(c.min_fill);
+    w.write_f64(c.epsilon);
+    w.write_u64(c.lsi_rank);
+    w.write_u64(c.bloom_bits);
+    w.write_u32(c.bloom_hashes);
+    w.write_bool(c.bloom_auto_size);
+    w.write_u64(c.placement_iters);
+    w.write_u8(static_cast<std::uint8_t>(c.placement));
+    w.write_f64(c.lazy_update_threshold);
+    w.write_f64(c.autoconfig_threshold);
+    w.write_u64(c.version_ratio);
+    w.write_bool(c.versioning_enabled);
+    w.write_u64(c.max_groups_per_query);
+    w.write_u64(c.seed);
+    w.write_f64(c.cost.hop_latency_s);
+    w.write_f64(c.cost.bandwidth_bytes_per_s);
+    w.write_f64(c.cost.per_message_cpu_s);
+    w.write_f64(c.cost.per_record_scan_s);
+    w.write_f64(c.cost.per_node_visit_s);
+    w.write_f64(c.cost.per_bloom_check_s);
+    // Store-level scalars that ride in the CONFIG section.
+    w.write_u64(s.bloom_bits_);
+    w.write_u64(s.total_files_);
+    for (std::uint64_t word : s.rng_.state()) w.write_u64(word);
+    w.write_u64(s.unit_active_.size());
+    for (bool b : s.unit_active_) w.write_bool(b);
+  }
+
+  static void save_standardizer(const Store& s, BinaryWriter& w) {
+    w.write_vec_f64(s.standardizer_.means);
+    w.write_vec_f64(s.standardizer_.inv_stdevs);
+  }
+
+  static void save_units(const Store& s, BinaryWriter& w) {
+    w.write_u64(s.units_.size());
+    for (const core::StorageUnit& u : s.units_) {
+      w.write_u64(u.id());
+      w.write_u64(u.file_count());
+      for (const auto& f : u.files()) write_file_meta(w, f);
+    }
+  }
+
+  static void save_tree(const Tree& t, BinaryWriter& w) {
+    w.write_u64(t.params_.fanout);
+    w.write_u64(t.params_.min_fill);
+    w.write_f64(t.params_.epsilon);
+    w.write_u64(t.params_.lsi_rank);
+    w.write_u64(t.params_.bloom_bits);
+    w.write_u32(t.params_.bloom_hashes);
+    w.write_vec_size(t.params_.lsi_dims);
+
+    w.write_u64(t.nodes_.size());
+    for (const core::IndexUnit& n : t.nodes_) {
+      w.write_u64(n.node_id);
+      if (n.node_id == core::kInvalidIndex) continue;  // freed slot
+      w.write_i32(n.level);
+      w.write_u64(n.parent);
+      w.write_vec_size(n.children);
+      write_mbr(w, n.box);
+      write_bloom(w, n.name_filter);
+      w.write_vec_f64(n.attr_sum);
+      w.write_u64(n.file_count);
+      w.write_u64(n.mapped_unit);
+    }
+    w.write_vec_size(t.free_list_);
+    w.write_u64(t.live_nodes_);
+    w.write_u64(t.root_);
+    w.write_vec_size(t.groups_);
+    w.write_vec_size(t.unit_group_);
+    w.write_vec_f64(t.level_epsilons_);
+    write_lsi(w, t.unit_lsi_);
+    w.write_vec_size(t.root_replicas_);
+  }
+
+  static void save_variants(const Store& s, BinaryWriter& w) {
+    w.write_u64(s.variants_.size());
+    for (const core::TreeVariant& v : s.variants_) {
+      write_attr_subset(w, v.dims);
+      save_tree(v.tree, w);
+    }
+  }
+
+  static void save_sync(const Store& s, BinaryWriter& w) {
+    w.write_u64(s.sync_.size());
+    // Deterministic order: follow the tree's group list, then any stragglers
+    // (there should be none, but the format does not depend on map order).
+    std::vector<std::size_t> order;
+    for (std::size_t g : s.tree_.groups())
+      if (s.sync_.count(g)) order.push_back(g);
+    for (const auto& [g, gs] : s.sync_) {
+      (void)gs;
+      if (std::find(order.begin(), order.end(), g) == order.end())
+        order.push_back(g);
+    }
+    for (std::size_t g : order) {
+      const Store::GroupSync& gs = s.sync_.at(g);
+      w.write_u64(g);
+      write_replica(w, gs.replica);
+      write_version_delta(w, gs.pending);
+      w.write_u64(gs.changes_since_full_sync);
+    }
+  }
+
+  // ---- decode ---------------------------------------------------------------
+
+  static core::Config load_config(BinaryReader& r) {
+    const std::uint32_t nattrs = r.read_u32();
+    if (nattrs != metadata::kNumAttrs) {
+      throw PersistError("snapshot schema has " + std::to_string(nattrs) +
+                         " attributes, binary expects " +
+                         std::to_string(metadata::kNumAttrs));
+    }
+    core::Config c;
+    c.num_units = static_cast<std::size_t>(r.read_u64());
+    c.fanout = static_cast<std::size_t>(r.read_u64());
+    c.min_fill = static_cast<std::size_t>(r.read_u64());
+    c.epsilon = r.read_f64();
+    c.lsi_rank = static_cast<std::size_t>(r.read_u64());
+    c.bloom_bits = static_cast<std::size_t>(r.read_u64());
+    c.bloom_hashes = r.read_u32();
+    c.bloom_auto_size = r.read_bool();
+    c.placement_iters = static_cast<std::size_t>(r.read_u64());
+    const std::uint8_t placement = r.read_u8();
+    if (placement > 1) throw PersistError("unknown placement policy");
+    c.placement = static_cast<core::PlacementPolicy>(placement);
+    c.lazy_update_threshold = r.read_f64();
+    c.autoconfig_threshold = r.read_f64();
+    c.version_ratio = static_cast<std::size_t>(r.read_u64());
+    c.versioning_enabled = r.read_bool();
+    c.max_groups_per_query = static_cast<std::size_t>(r.read_u64());
+    c.seed = r.read_u64();
+    c.cost.hop_latency_s = r.read_f64();
+    c.cost.bandwidth_bytes_per_s = r.read_f64();
+    c.cost.per_message_cpu_s = r.read_f64();
+    c.cost.per_record_scan_s = r.read_f64();
+    c.cost.per_node_visit_s = r.read_f64();
+    c.cost.per_bloom_check_s = r.read_f64();
+    return c;
+  }
+
+  static Tree load_tree(BinaryReader& r) {
+    Tree t;
+    t.params_.fanout = static_cast<std::size_t>(r.read_u64());
+    t.params_.min_fill = static_cast<std::size_t>(r.read_u64());
+    t.params_.epsilon = r.read_f64();
+    t.params_.lsi_rank = static_cast<std::size_t>(r.read_u64());
+    t.params_.bloom_bits = static_cast<std::size_t>(r.read_u64());
+    t.params_.bloom_hashes = r.read_u32();
+    t.params_.lsi_dims = r.read_vec_size();
+
+    const std::size_t num_nodes = static_cast<std::size_t>(
+        r.read_u64_max(r.remaining(), "node count"));
+    t.nodes_.resize(num_nodes);
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+      core::IndexUnit& n = t.nodes_[i];
+      n.node_id = read_index(r, num_nodes, "node id");
+      if (n.node_id == core::kInvalidIndex) continue;  // freed slot
+      if (n.node_id != i) throw PersistError("node id does not match slot");
+      n.level = r.read_i32();
+      n.parent = read_index(r, num_nodes, "parent");
+      // Level-1 children are storage units (validated against the unit
+      // count during assembly); higher levels reference node slots.
+      n.children = n.level == 1
+                       ? r.read_vec_size()
+                       : read_index_vec(r, num_nodes, "child node");
+      n.box = read_mbr(r);
+      n.name_filter = read_bloom(r);
+      n.attr_sum = r.read_vec_f64();
+      n.file_count = static_cast<std::size_t>(r.read_u64());
+      n.mapped_unit = static_cast<std::size_t>(r.read_u64());
+    }
+    t.free_list_ = read_index_vec(r, num_nodes, "free-list entry");
+    t.live_nodes_ = static_cast<std::size_t>(
+        r.read_u64_max(num_nodes, "live node count"));
+    t.root_ = read_index(r, num_nodes, "root");
+    t.groups_ = read_index_vec(r, num_nodes, "group node");
+    t.unit_group_ = r.read_vec_size();
+    for (std::size_t g : t.unit_group_) {
+      if (g != core::kInvalidIndex && g >= num_nodes)
+        throw PersistError("unit-group mapping out of range");
+    }
+    t.level_epsilons_ = r.read_vec_f64();
+    t.unit_lsi_ = read_lsi(r);
+    t.root_replicas_ = r.read_vec_size();
+    return t;
+  }
+
+  static std::unique_ptr<Store> assemble(BinaryReader& config_r,
+                                         BinaryReader& std_r,
+                                         BinaryReader& units_r,
+                                         BinaryReader& tree_r,
+                                         BinaryReader& variants_r,
+                                         BinaryReader& sync_r) {
+    core::Config cfg = load_config(config_r);
+    auto store = std::make_unique<Store>(cfg);
+    Store& s = *store;
+
+    s.bloom_bits_ = static_cast<std::size_t>(config_r.read_u64());
+    s.total_files_ = static_cast<std::size_t>(config_r.read_u64());
+    std::array<std::uint64_t, 4> rng_state;
+    for (auto& word : rng_state) word = config_r.read_u64();
+    s.rng_.set_state(rng_state);
+    const std::size_t num_units = static_cast<std::size_t>(
+        config_r.read_u64_max(config_r.remaining(), "unit count"));
+    s.unit_active_.resize(num_units);
+    for (std::size_t u = 0; u < num_units; ++u)
+      s.unit_active_[u] = config_r.read_bool();
+
+    s.standardizer_.means = std_r.read_vec_f64();
+    s.standardizer_.inv_stdevs = std_r.read_vec_f64();
+    if (s.standardizer_.means.size() != metadata::kNumAttrs ||
+        s.standardizer_.inv_stdevs.size() != metadata::kNumAttrs)
+      throw PersistError("standardizer dimension mismatch");
+
+    // Units: records are authoritative; the per-unit name/id indexes,
+    // counting Bloom filter, MBR and centroid sums are rebuilt via
+    // add_file. The rebuilt MBR can only be tighter than the persisted tree
+    // boxes (deletes never shrink boxes), so containment invariants hold.
+    const std::size_t unit_count =
+        static_cast<std::size_t>(units_r.read_u64_max(
+            units_r.remaining(), "unit count"));
+    if (unit_count != num_units)
+      throw PersistError("UNITS/CONFIG unit count mismatch");
+    if (s.bloom_bits_ == 0) throw PersistError("bloom bits must be > 0");
+    s.units_.clear();
+    s.units_.reserve(unit_count);
+    for (std::size_t u = 0; u < unit_count; ++u) {
+      const std::uint64_t id = units_r.read_u64();
+      if (id != u) throw PersistError("unit ids must be dense and in order");
+      s.units_.emplace_back(u, s.bloom_bits_, cfg.bloom_hashes);
+      const std::size_t nfiles = static_cast<std::size_t>(
+          units_r.read_u64_max(units_r.remaining(), "file count"));
+      for (std::size_t i = 0; i < nfiles; ++i) {
+        const metadata::FileMetadata f = read_file_meta(units_r);
+        s.units_.back().add_file(f,
+                                 s.standardizer_.transform(f.full_vector()));
+      }
+    }
+
+    s.tree_ = load_tree(tree_r);
+    if (s.tree_.unit_group_.size() != unit_count)
+      throw PersistError("tree unit-group size does not match unit count");
+
+    const std::size_t nvariants = static_cast<std::size_t>(
+        variants_r.read_u64_max(variants_r.remaining(), "variant count"));
+    s.variants_.clear();
+    s.variants_.reserve(nvariants);
+    for (std::size_t i = 0; i < nvariants; ++i) {
+      core::TreeVariant v;
+      v.dims = read_attr_subset(variants_r);
+      v.tree = load_tree(variants_r);
+      if (v.tree.unit_group_.size() != unit_count)
+        throw PersistError("variant unit-group size does not match unit count");
+      s.variants_.push_back(std::move(v));
+    }
+
+    const std::size_t nsync = static_cast<std::size_t>(
+        sync_r.read_u64_max(sync_r.remaining(), "sync group count"));
+    s.sync_.clear();
+    for (std::size_t i = 0; i < nsync; ++i) {
+      const std::size_t g =
+          read_index(sync_r, s.tree_.nodes_.size(), "sync group");
+      Store::GroupSync gs;
+      gs.replica = read_replica(sync_r);
+      gs.pending = read_version_delta(sync_r);
+      gs.changes_since_full_sync = static_cast<std::size_t>(sync_r.read_u64());
+      s.sync_.emplace(g, std::move(gs));
+    }
+
+    // A fresh virtual-time cluster: queue occupancy is runtime state, a
+    // restarted deployment begins with idle queues at time zero.
+    s.cluster_ = std::make_unique<sim::Cluster>(unit_count, cfg.cost);
+    for (std::size_t u = 0; u < unit_count; ++u)
+      if (!s.unit_active_[u]) s.cluster_->set_node_alive(u, false);
+
+    if (!s.check_invariants())
+      throw PersistError("reassembled deployment fails invariant checks");
+    return store;
+  }
+};
+
+// ---- public entry points ----------------------------------------------------
+
+namespace {
+
+void append_section(BinaryWriter& out, std::uint32_t id,
+                    const BinaryWriter& payload) {
+  out.write_u32(id);
+  out.write_u64(payload.size());
+  out.write_bytes(payload.buffer().data(), payload.size());
+  out.write_u32(util::crc32(payload.buffer().data(), payload.size()));
+}
+
+struct SectionView {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+  bool present() const { return data != nullptr || size > 0; }
+};
+
+}  // namespace
+
+void save_snapshot(const core::SmartStore& store, const std::string& path,
+                   const WalFence& fence) {
+  BinaryWriter out;
+  out.write_bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  out.write_u32(kSnapshotFormatVersion);
+  out.write_u32(fence.present ? 7 : 6);  // section count
+
+  BinaryWriter sec;
+  SnapshotAccess::save_config(store, sec);
+  append_section(out, kSecConfig, sec);
+  sec.clear();
+  SnapshotAccess::save_standardizer(store, sec);
+  append_section(out, kSecStandardizer, sec);
+  sec.clear();
+  SnapshotAccess::save_units(store, sec);
+  append_section(out, kSecUnits, sec);
+  sec.clear();
+  SnapshotAccess::save_tree(store.tree(), sec);
+  append_section(out, kSecTree, sec);
+  sec.clear();
+  SnapshotAccess::save_variants(store, sec);
+  append_section(out, kSecVariants, sec);
+  sec.clear();
+  SnapshotAccess::save_sync(store, sec);
+  append_section(out, kSecSync, sec);
+  if (fence.present) {
+    sec.clear();
+    sec.write_u64(fence.generation);
+    sec.write_u64(fence.records);
+    append_section(out, kSecWalFence, sec);
+  }
+
+  util::write_file_atomic(path, out.buffer());
+}
+
+std::unique_ptr<core::SmartStore> load_snapshot(const std::string& path,
+                                                WalFence* fence_out) {
+  const std::vector<std::uint8_t> bytes = util::read_file_bytes(path);
+  BinaryReader r(bytes);
+
+  if (r.remaining() < sizeof(kSnapshotMagic))
+    throw PersistError("snapshot too short for magic: " + path);
+  char magic[sizeof(kSnapshotMagic)];
+  for (char& c : magic) c = static_cast<char>(r.read_u8());
+  if (std::memcmp(magic, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0)
+    throw PersistError("bad snapshot magic: " + path);
+  const std::uint32_t version = r.read_u32();
+  if (version != kSnapshotFormatVersion) {
+    throw PersistError("unsupported snapshot format version " +
+                       std::to_string(version));
+  }
+  const std::uint32_t nsections = r.read_u32();
+
+  SectionView sections[kMaxSection + 1];
+  for (std::uint32_t i = 0; i < nsections; ++i) {
+    const std::uint32_t id = r.read_u32();
+    const std::uint64_t len = r.read_u64();
+    if (r.remaining() < 4 || len > r.remaining() - 4)
+      throw PersistError("truncated snapshot section " + std::to_string(id));
+    const std::uint8_t* payload = bytes.data() + r.position();
+    r.skip(static_cast<std::size_t>(len));
+    const std::uint32_t stored_crc = r.read_u32();
+    if (util::crc32(payload, static_cast<std::size_t>(len)) != stored_crc) {
+      throw PersistError("checksum mismatch in snapshot section " +
+                         std::to_string(id));
+    }
+    if (id >= 1 && id <= kMaxSection) {
+      sections[id] = {payload, static_cast<std::size_t>(len)};
+    }
+    // Unknown ids: checksummed and skipped (forward compatibility).
+  }
+  for (std::uint32_t id = 1; id <= 6; ++id) {  // WALFENCE (7) is optional
+    if (!sections[id].present())
+      throw PersistError("snapshot missing section " + std::to_string(id));
+  }
+
+  if (fence_out) {
+    *fence_out = WalFence{};
+    if (sections[kSecWalFence].present()) {
+      BinaryReader fr(sections[kSecWalFence].data,
+                      sections[kSecWalFence].size);
+      fence_out->generation = fr.read_u64();
+      fence_out->records = fr.read_u64();
+      fence_out->present = true;
+    }
+  }
+
+  BinaryReader config_r(sections[kSecConfig].data, sections[kSecConfig].size);
+  BinaryReader std_r(sections[kSecStandardizer].data,
+                     sections[kSecStandardizer].size);
+  BinaryReader units_r(sections[kSecUnits].data, sections[kSecUnits].size);
+  BinaryReader tree_r(sections[kSecTree].data, sections[kSecTree].size);
+  BinaryReader variants_r(sections[kSecVariants].data,
+                          sections[kSecVariants].size);
+  BinaryReader sync_r(sections[kSecSync].data, sections[kSecSync].size);
+  return SnapshotAccess::assemble(config_r, std_r, units_r, tree_r,
+                                  variants_r, sync_r);
+}
+
+}  // namespace smartstore::persist

@@ -1,0 +1,72 @@
+// Binary snapshots of a full SmartStore deployment.
+//
+// A snapshot is the durable image of everything build() computes — file
+// records and their storage-unit membership, the semantic R-tree (MBRs,
+// Bloom filters, centroid sums, index-unit mapping), the fitted LSI model,
+// auto-configured tree variants, and the per-group replica/version sync
+// state — so a process restart resumes serving without re-running
+// SVD, balanced k-means or bottom-up tree construction.
+//
+// On-disk layout (all integers little-endian):
+//
+//   [8B magic "SSNAPv01"] [u32 format version] [u32 section count]
+//   then per section:
+//   [u32 section id] [u64 payload length] [payload] [u32 CRC-32 of payload]
+//
+// Sections: CONFIG (Config + rng state + active flags), STANDARDIZER,
+// UNITS (records per storage unit), TREE, VARIANTS, SYNC (group replicas,
+// sealed versions, pending deltas), and an optional WALFENCE written by
+// checkpoint() — the (generation, record count) of the WAL whose effects
+// this snapshot already contains, so recovery never replays them twice.
+// Every section is independently checksummed; a flipped bit or truncation
+// anywhere fails the load with a PersistError instead of resurrecting a
+// corrupt deployment.
+//
+// What is deliberately NOT persisted: the virtual-time cluster's queue
+// occupancy (a restart begins at simulated time zero with idle queues) and
+// derived per-unit structures (counting Bloom filters, name/id indexes,
+// standardized coordinates), which are rebuilt from the records on load.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/smartstore.h"
+
+namespace smartstore::persist {
+
+/// Raised on any malformed snapshot or WAL: bad magic, unsupported version,
+/// checksum mismatch, truncation, or cross-section inconsistency.
+class PersistError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr char kSnapshotMagic[8] = {'S', 'S', 'N', 'A',
+                                           'P', 'v', '0', '1'};
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// The WAL prefix a snapshot subsumes: records [0, records) of the log
+/// whose header generation is `generation` are already reflected in the
+/// snapshotted state. `present` is false when the snapshot carries no
+/// fence (one saved outside the checkpoint protocol).
+struct WalFence {
+  std::uint64_t generation = 0;
+  std::uint64_t records = 0;
+  bool present = false;
+};
+
+/// Serializes the deployment and writes it atomically (temp file + rename +
+/// directory fsync). A present `fence` is recorded in the WALFENCE section.
+void save_snapshot(const core::SmartStore& store, const std::string& path,
+                   const WalFence& fence = {});
+
+/// Loads and verifies a snapshot, reassembling a ready-to-serve deployment.
+/// Throws PersistError (or util::BinaryIoError) on any corruption; the
+/// returned store has passed check_invariants(). When `fence_out` is given
+/// it receives the snapshot's WAL fence (present = false if none).
+std::unique_ptr<core::SmartStore> load_snapshot(const std::string& path,
+                                                WalFence* fence_out = nullptr);
+
+}  // namespace smartstore::persist

@@ -1,0 +1,238 @@
+#include "persist/wal.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <random>
+
+#include "persist/codec.h"
+#include "util/crc32.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace smartstore::persist {
+
+namespace {
+
+void flush_and_sync(std::FILE* f) {
+  std::fflush(f);
+#if defined(__unix__) || defined(__APPLE__)
+  ::fsync(::fileno(f));
+#endif
+}
+
+}  // namespace
+
+// ---- scan -------------------------------------------------------------------
+
+WalScan scan_wal(const std::string& path) {
+  WalScan scan;
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = util::read_file_bytes(path);
+  } catch (const util::BinaryIoError&) {
+    return scan;  // no log yet: empty scan
+  }
+  if (bytes.empty()) return scan;
+  if (bytes.size() < sizeof(kWalMagic)) {
+    scan.torn_tail = true;  // shorter than the header: a torn creation
+    return scan;
+  }
+  if (std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0)
+    throw PersistError("bad WAL magic: " + path);
+
+  util::BinaryReader r(bytes);
+  r.skip(sizeof(kWalMagic));
+  if (r.remaining() < 8) {
+    scan.torn_tail = true;  // creation crashed before the generation landed
+    return scan;
+  }
+  scan.generation = r.read_u64();
+  scan.valid_bytes = sizeof(kWalMagic) + 8;
+
+  // Per block: magic(4) + count(4) + len(8) + payload + crc(4). Anything
+  // that does not parse cleanly from here on is the crash window — stop at
+  // the last good block rather than failing.
+  while (!r.at_end()) {
+    if (r.remaining() < 16) {
+      scan.torn_tail = true;
+      break;
+    }
+    if (r.read_u32() != kWalBlockMagic) {
+      scan.torn_tail = true;
+      break;
+    }
+    const std::uint32_t count = r.read_u32();
+    const std::uint64_t len = r.read_u64();
+    if (r.remaining() < 4 || len > r.remaining() - 4) {
+      scan.torn_tail = true;
+      break;
+    }
+    const std::uint8_t* payload = bytes.data() + r.position();
+    r.skip(static_cast<std::size_t>(len));
+    const std::uint32_t stored_crc = r.read_u32();
+    if (util::crc32(payload, static_cast<std::size_t>(len)) != stored_crc) {
+      scan.torn_tail = true;
+      break;
+    }
+
+    util::BinaryReader pr(payload, static_cast<std::size_t>(len));
+    std::vector<WalRecord> block_records;
+    // Every record occupies >= 1 payload byte, so a count beyond `len` is
+    // garbage; clamping keeps a crafted header from forcing a huge reserve.
+    block_records.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, len)));
+    bool parsed = true;
+    try {
+      for (std::uint32_t i = 0; i < count; ++i) {
+        WalRecord rec;
+        const std::uint8_t type = pr.read_u8();
+        if (type == static_cast<std::uint8_t>(WalRecordType::kInsert)) {
+          rec.type = WalRecordType::kInsert;
+          rec.file = read_file_meta(pr);
+        } else if (type == static_cast<std::uint8_t>(WalRecordType::kRemove)) {
+          rec.type = WalRecordType::kRemove;
+          rec.name = pr.read_string();
+        } else {
+          parsed = false;
+          break;
+        }
+        block_records.push_back(std::move(rec));
+      }
+      if (!pr.at_end()) parsed = false;
+    } catch (const util::BinaryIoError&) {
+      parsed = false;
+    }
+    if (!parsed) {
+      // A checksum-valid block that does not parse is real corruption, not
+      // a torn tail — but the recovery contract is the same: keep the
+      // prefix, drop from here.
+      scan.torn_tail = true;
+      break;
+    }
+
+    for (auto& rec : block_records) scan.records.push_back(std::move(rec));
+    ++scan.blocks;
+    scan.valid_bytes = r.position();
+  }
+  return scan;
+}
+
+// ---- writer -----------------------------------------------------------------
+
+WalWriter::WalWriter(std::string path, std::size_t group_commit)
+    : path_(std::move(path)),
+      group_commit_(group_commit == 0 ? 1 : group_commit) {
+  open_truncated_to_valid_prefix();
+}
+
+WalWriter::~WalWriter() {
+  try {
+    commit();
+  } catch (...) {
+    // A destructor cannot surface the failure; the pending batch is simply
+    // not durable, the same outcome as crashing just before the commit.
+  }
+  if (file_) std::fclose(file_);
+}
+
+void WalWriter::open_truncated_to_valid_prefix() {
+  const WalScan scan = scan_wal(path_);  // throws on non-WAL content
+  committed_ = scan.records.size();
+  generation_ = scan.generation;
+
+  if (scan.valid_bytes > 0) {
+    if (scan.torn_tail) {
+      std::error_code ec;
+      std::filesystem::resize_file(path_, scan.valid_bytes, ec);
+      if (ec) throw PersistError("cannot drop torn WAL tail: " + ec.message());
+    }
+    file_ = std::fopen(path_.c_str(), "ab");
+    if (!file_) throw PersistError("cannot open WAL for append: " + path_);
+    return;
+  }
+  // Absent, empty, or torn before the header completed: start fresh.
+  generation_ = fresh_wal_generation();
+  write_empty_wal(path_, generation_);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (!file_) throw PersistError("cannot open WAL for append: " + path_);
+  committed_ = 0;
+}
+
+void WalWriter::log_insert(const metadata::FileMetadata& f) {
+  batch_.write_u8(static_cast<std::uint8_t>(WalRecordType::kInsert));
+  write_file_meta(batch_, f);
+  if (++pending_ >= group_commit_) commit();
+}
+
+void WalWriter::log_remove(const std::string& name) {
+  batch_.write_u8(static_cast<std::uint8_t>(WalRecordType::kRemove));
+  batch_.write_string(name);
+  if (++pending_ >= group_commit_) commit();
+}
+
+void WalWriter::commit() {
+  if (pending_ == 0 || !file_) return;
+  util::BinaryWriter block;
+  block.write_u32(kWalBlockMagic);
+  block.write_u32(static_cast<std::uint32_t>(pending_));
+  block.write_u64(batch_.size());
+  block.write_bytes(batch_.buffer().data(), batch_.size());
+  block.write_u32(util::crc32(batch_.buffer().data(), batch_.size()));
+
+  // Note the pre-commit boundary so a short write (disk full) can be rolled
+  // back: leaving a partial block with the position advanced would strand
+  // any retried commit behind garbage that recovery truncates away.
+  std::fseek(file_, 0, SEEK_END);
+  const long start = std::ftell(file_);
+  if (std::fwrite(block.buffer().data(), 1, block.size(), file_) !=
+      block.size()) {
+    std::fflush(file_);
+#if defined(__unix__) || defined(__APPLE__)
+    if (start >= 0 && ::ftruncate(::fileno(file_), start) == 0)
+      std::fseek(file_, start, SEEK_SET);
+#endif
+    throw PersistError("short write appending WAL block: " + path_);
+  }
+  flush_and_sync(file_);
+  committed_ += pending_;
+  pending_ = 0;
+  batch_.clear();
+}
+
+void WalWriter::reset() {
+  pending_ = 0;
+  batch_.clear();
+  committed_ = 0;
+  if (file_) std::fclose(file_);
+  file_ = nullptr;
+  ++generation_;  // fences against the old history stop matching
+  write_empty_wal(path_, generation_);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (!file_) throw PersistError("cannot reopen WAL after reset: " + path_);
+}
+
+void write_empty_wal(const std::string& path, std::uint64_t generation) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw PersistError("cannot create WAL: " + path);
+  util::BinaryWriter header;
+  header.write_bytes(kWalMagic, sizeof(kWalMagic));
+  header.write_u64(generation);
+  if (std::fwrite(header.buffer().data(), 1, header.size(), f) !=
+      header.size()) {
+    std::fclose(f);
+    throw PersistError("cannot write WAL header: " + path);
+  }
+  flush_and_sync(f);
+  std::fclose(f);
+  util::fsync_parent_dir(path);
+}
+
+std::uint64_t fresh_wal_generation() {
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+}
+
+}  // namespace smartstore::persist

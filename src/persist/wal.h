@@ -1,0 +1,116 @@
+// Versioned write-ahead log for SmartStore's dynamic operations.
+//
+// Records mirror the store's mutation API — one kInsert per insert_file,
+// one kRemove per delete_file — and are batched into group-commit blocks
+// the same way Section 4.4 aggregates changes into sealed VersionDeltas:
+// `group_commit` records (default: the store's version_ratio) form one
+// atomic, CRC-checksummed block, flushed and fsynced together. Recovery is
+// load-latest-snapshot + replay; a torn or truncated tail block (the crash
+// window) is detected by its checksum/length and dropped, rolling the log
+// back to the last group-commit boundary.
+//
+// On-disk layout (little-endian):
+//
+//   [8B magic "SSWALv01"] [u64 log generation]
+//   then per commit block:
+//   [u32 block magic] [u32 record count] [u64 payload length]
+//   [payload] [u32 CRC-32 of payload]
+//
+// Payload: `record count` records, each
+//   [u8 type]  type 1 (insert): FileMetadata record (persist/codec.h)
+//              type 2 (remove): u64-length-prefixed filename
+//
+// The generation changes every time the log is emptied. A checkpoint
+// records (generation, record count) as a fence inside the snapshot it
+// writes; recovery skips fenced records when the generations match, so a
+// crash landing between "snapshot renamed" and "WAL emptied" replays
+// nothing twice (see persist/recovery.h).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "metadata/file_metadata.h"
+#include "persist/snapshot.h"
+#include "util/binary_io.h"
+
+namespace smartstore::persist {
+
+inline constexpr char kWalMagic[8] = {'S', 'S', 'W', 'A', 'L', 'v', '0', '1'};
+inline constexpr std::uint32_t kWalBlockMagic = 0x4B4C4257;  // "WBLK"
+
+enum class WalRecordType : std::uint8_t { kInsert = 1, kRemove = 2 };
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kInsert;
+  metadata::FileMetadata file;  ///< kInsert payload
+  std::string name;             ///< kRemove payload
+};
+
+/// Result of scanning a log: all records from complete, checksum-valid
+/// blocks, plus where the valid prefix ends.
+struct WalScan {
+  std::vector<WalRecord> records;
+  std::uint64_t generation = 0;
+  std::size_t blocks = 0;
+  std::size_t valid_bytes = 0;  ///< file offset just past the last good block
+  bool torn_tail = false;       ///< trailing partial/corrupt block dropped
+};
+
+/// Scans a WAL, stopping (not failing) at the first torn or corrupt block.
+/// A missing file scans as empty. Throws PersistError only when the file
+/// exists but is not a WAL at all (bad magic).
+WalScan scan_wal(const std::string& path);
+
+/// Append-side of the log.
+class WalWriter {
+ public:
+  /// Opens (or creates) the log at `path`. An existing log is scanned and
+  /// truncated to its last valid commit block first, so a torn tail from a
+  /// previous crash never poisons subsequent appends.
+  explicit WalWriter(std::string path, std::size_t group_commit = 4);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  void log_insert(const metadata::FileMetadata& f);
+  void log_remove(const std::string& name);
+
+  /// Seals the pending batch into one commit block: write, flush, fsync.
+  /// No-op when nothing is pending.
+  void commit();
+
+  /// Truncates to a fresh, empty log (after a checkpoint made the tail
+  /// redundant). Pending uncommitted records are discarded.
+  void reset();
+
+  std::size_t pending_records() const { return pending_; }
+  std::uint64_t committed_records() const { return committed_; }
+  std::uint64_t generation() const { return generation_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void open_truncated_to_valid_prefix();
+
+  std::string path_;
+  std::size_t group_commit_;
+  std::FILE* file_ = nullptr;
+  util::BinaryWriter batch_;
+  std::size_t pending_ = 0;
+  std::uint64_t committed_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// Overwrites `path` with a fresh, empty log carrying `generation` (header
+/// only, fsynced, directory entry synced). Does not read the old contents.
+void write_empty_wal(const std::string& path, std::uint64_t generation);
+
+/// A generation for a log with no usable predecessor: drawn from the
+/// system entropy source so it cannot collide with a fence some earlier
+/// snapshot recorded against an unrelated log history.
+std::uint64_t fresh_wal_generation();
+
+}  // namespace smartstore::persist

@@ -1,0 +1,114 @@
+// Binary serialization substrate for the persistence layer.
+//
+// BinaryWriter appends little-endian primitives to a growable byte buffer;
+// BinaryReader decodes from a read-only view with bounds checking on every
+// access — a truncated or corrupted input surfaces as a BinaryIoError, never
+// as an out-of-bounds read or a multi-gigabyte allocation from a garbage
+// length prefix. Doubles travel as IEEE-754 bit patterns so values (incl.
+// infinities from empty MBRs) round-trip exactly.
+//
+// The encoding is deliberately dumb: fixed-width integers, u64 length
+// prefixes, no varints, no alignment. Snapshot/WAL framing, versioning and
+// checksumming live one layer up in src/persist/.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace smartstore::util {
+
+/// Raised on any malformed read: out-of-bounds access, implausible length
+/// prefix, or a value that fails a caller-declared sanity bound.
+class BinaryIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class BinaryWriter {
+ public:
+  void write_u8(std::uint8_t v) { buf_.push_back(v); }
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i32(std::int32_t v) { write_u32(static_cast<std::uint32_t>(v)); }
+  void write_f64(double v);
+  void write_bool(bool v) { write_u8(v ? 1 : 0); }
+  /// u64 length prefix + raw bytes.
+  void write_string(const std::string& s);
+  void write_bytes(const void* data, std::size_t len);
+  /// u64 element count + elements.
+  void write_vec_f64(const std::vector<double>& v);
+  void write_vec_u64(const std::vector<std::uint64_t>& v);
+  /// std::size_t vectors are widened to u64 on the wire.
+  void write_vec_size(const std::vector<std::size_t>& v);
+
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+  void clear() { buf_.clear(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class BinaryReader {
+ public:
+  BinaryReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<std::uint8_t>& buf)
+      : BinaryReader(buf.data(), buf.size()) {}
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int32_t read_i32() { return static_cast<std::int32_t>(read_u32()); }
+  double read_f64();
+  bool read_bool();
+  std::string read_string();
+  std::vector<double> read_vec_f64();
+  std::vector<std::uint64_t> read_vec_u64();
+  std::vector<std::size_t> read_vec_size();
+
+  /// read_u64 checked against an inclusive upper bound (e.g. element counts
+  /// that index into an existing container).
+  std::uint64_t read_u64_max(std::uint64_t max, const char* what);
+
+  /// Advances past `n` bytes (bounds-checked).
+  void skip(std::size_t n);
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool at_end() const { return pos_ == size_; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  /// Validates that `n` more bytes exist and returns a pointer to them,
+  /// advancing the cursor.
+  const std::uint8_t* take(std::size_t n);
+  /// A length prefix for `elem_size`-byte elements must fit in what is left
+  /// of the buffer; rejects garbage lengths before any allocation.
+  std::size_t take_count(std::size_t elem_size);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ---- whole-file helpers -----------------------------------------------------
+
+/// Reads an entire file; throws BinaryIoError when absent or unreadable.
+std::vector<std::uint8_t> read_file_bytes(const std::string& path);
+
+/// Writes atomically: a sibling temp file is written, flushed and renamed
+/// over `path`, so a crash mid-write never leaves a half snapshot behind.
+/// The containing directory is fsynced after the rename so the swap itself
+/// is durable, not just the bytes.
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes);
+
+/// Best-effort fsync of the directory containing `path` (POSIX; no-op on
+/// other platforms): makes a just-created or just-renamed directory entry
+/// survive power loss.
+void fsync_parent_dir(const std::string& path);
+
+}  // namespace smartstore::util

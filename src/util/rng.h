@@ -7,6 +7,7 @@
 // because their output is implementation-defined.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -58,6 +59,13 @@ class Rng {
       std::size_t j = static_cast<std::size_t>(uniform_u64(i));
       std::swap(v[i - 1], v[j]);
     }
+  }
+
+  /// Raw generator state, so a persisted deployment resumes its stream
+  /// exactly where it left off (the persistence layer round-trips it).
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
   }
 
  private:

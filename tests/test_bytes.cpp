@@ -1,0 +1,46 @@
+// util::format_bytes edge cases: the sub-KiB integer path, exact power-of-two
+// boundaries, fractional rendering, and the TiB unit cap.
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace smartstore::util {
+namespace {
+
+constexpr std::size_t kKiB = 1024;
+constexpr std::size_t kMiB = kKiB * 1024;
+constexpr std::size_t kGiB = kMiB * 1024;
+constexpr std::size_t kTiB = kGiB * 1024;
+
+TEST(FormatBytes, ZeroBytes) { EXPECT_EQ(format_bytes(0), "0 B"); }
+
+TEST(FormatBytes, SubKibibyteStaysIntegral) {
+  EXPECT_EQ(format_bytes(1), "1 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1023), "1023 B");
+}
+
+TEST(FormatBytes, ExactBoundariesPromote) {
+  EXPECT_EQ(format_bytes(kKiB), "1.00 KiB");
+  EXPECT_EQ(format_bytes(kMiB), "1.00 MiB");
+  EXPECT_EQ(format_bytes(kGiB), "1.00 GiB");
+  EXPECT_EQ(format_bytes(kTiB), "1.00 TiB");
+}
+
+TEST(FormatBytes, JustBelowBoundaryDoesNotPromote) {
+  EXPECT_EQ(format_bytes(kMiB - 1), "1024.00 KiB");
+}
+
+TEST(FormatBytes, FractionalValues) {
+  EXPECT_EQ(format_bytes(kKiB + kKiB / 2), "1.50 KiB");
+  EXPECT_EQ(format_bytes(kMiB * 5 / 2), "2.50 MiB");
+}
+
+TEST(FormatBytes, TebibyteIsTheCap) {
+  // Beyond TiB there is no larger unit: values keep growing in TiB.
+  EXPECT_EQ(format_bytes(kTiB * 1024), "1024.00 TiB");
+  EXPECT_EQ(format_bytes(kTiB * 2048), "2048.00 TiB");
+}
+
+}  // namespace
+}  // namespace smartstore::util

@@ -1,0 +1,557 @@
+// The crash-consistent persistence layer: binary io bounds checking, CRC32
+// vectors, snapshot round-trip fidelity (identical query results on an
+// HP-profile deployment), corruption detection, WAL group commit, torn-tail
+// recovery to the last commit boundary, and the checkpoint/recover protocol.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "core/ground_truth.h"
+#include "persist/recovery.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+#include "trace/query_gen.h"
+#include "trace/synth.h"
+#include "util/binary_io.h"
+#include "util/crc32.h"
+
+namespace smartstore::persist {
+namespace {
+
+using core::Config;
+using core::Routing;
+using core::SmartStore;
+using metadata::AttrSubset;
+using metadata::FileId;
+using metadata::FileMetadata;
+
+std::string temp_dir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("smartstore_persist_") + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+// ---- binary io --------------------------------------------------------------
+
+TEST(BinaryIo, PrimitivesRoundTrip) {
+  util::BinaryWriter w;
+  w.write_u8(0xAB);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(0x0123456789ABCDEFULL);
+  w.write_f64(-1234.5678);
+  w.write_bool(true);
+  w.write_string("hello, store");
+  w.write_vec_f64({1.0, -2.5, 1e300});
+  w.write_vec_size({0, 42, static_cast<std::size_t>(-1)});
+
+  util::BinaryReader r(w.buffer());
+  EXPECT_EQ(r.read_u8(), 0xAB);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(r.read_f64(), -1234.5678);
+  EXPECT_TRUE(r.read_bool());
+  EXPECT_EQ(r.read_string(), "hello, store");
+  EXPECT_EQ(r.read_vec_f64(), (std::vector<double>{1.0, -2.5, 1e300}));
+  EXPECT_EQ(r.read_vec_size(),
+            (std::vector<std::size_t>{0, 42, static_cast<std::size_t>(-1)}));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BinaryIo, ReadPastEndThrows) {
+  util::BinaryWriter w;
+  w.write_u32(7);
+  util::BinaryReader r(w.buffer());
+  EXPECT_EQ(r.read_u32(), 7u);
+  EXPECT_THROW(r.read_u8(), util::BinaryIoError);
+}
+
+TEST(BinaryIo, GarbageLengthPrefixRejectedBeforeAllocation) {
+  util::BinaryWriter w;
+  w.write_u64(static_cast<std::uint64_t>(-1));  // absurd element count
+  util::BinaryReader r(w.buffer());
+  EXPECT_THROW(r.read_vec_f64(), util::BinaryIoError);
+}
+
+TEST(BinaryIo, TruncatedStringThrows) {
+  util::BinaryWriter w;
+  w.write_string("0123456789");
+  std::vector<std::uint8_t> cut(w.buffer().begin(), w.buffer().end() - 4);
+  util::BinaryReader r(cut);
+  EXPECT_THROW(r.read_string(), util::BinaryIoError);
+}
+
+TEST(Crc32, KnownVectors) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(util::crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(util::crc32("", 0), 0x00000000u);
+  // Incremental == one-shot.
+  std::uint32_t st = util::crc32_init();
+  st = util::crc32_update(st, "1234", 4);
+  st = util::crc32_update(st, "56789", 5);
+  EXPECT_EQ(util::crc32_final(st), 0xCBF43926u);
+}
+
+// ---- snapshot ---------------------------------------------------------------
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // HP-profile deployment, per the acceptance criterion.
+    trace_ = trace::SyntheticTrace::generate(trace::hp_profile(), /*tif=*/1,
+                                             /*seed=*/42, /*downscale=*/10);
+    Config cfg;
+    cfg.num_units = 16;
+    cfg.fanout = 5;
+    cfg.seed = 7;
+    store_ = std::make_unique<SmartStore>(cfg);
+    store_->build(trace_.files());
+  }
+
+  trace::SyntheticTrace trace_{};
+  std::unique_ptr<SmartStore> store_;
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesStructure) {
+  const std::string dir = temp_dir("structure");
+  const std::string path = snapshot_path(dir);
+  save_snapshot(*store_, path);
+
+  auto loaded = load_snapshot(path);
+  ASSERT_TRUE(loaded);
+  EXPECT_TRUE(loaded->check_invariants());
+  EXPECT_EQ(loaded->total_files(), store_->total_files());
+  ASSERT_EQ(loaded->units().size(), store_->units().size());
+  for (std::size_t u = 0; u < store_->units().size(); ++u) {
+    EXPECT_EQ(loaded->units()[u].file_count(), store_->units()[u].file_count());
+  }
+  EXPECT_EQ(loaded->tree().num_nodes(), store_->tree().num_nodes());
+  EXPECT_EQ(loaded->tree().height(), store_->tree().height());
+  EXPECT_EQ(loaded->tree().groups(), store_->tree().groups());
+  EXPECT_EQ(loaded->tree().root_replicas(), store_->tree().root_replicas());
+  EXPECT_EQ(loaded->config().version_ratio, store_->config().version_ratio);
+}
+
+TEST_F(SnapshotTest, RoundTripYieldsIdenticalQueryResults) {
+  const std::string dir = temp_dir("queries");
+  const std::string path = snapshot_path(dir);
+  save_snapshot(*store_, path);
+  auto loaded = load_snapshot(path);
+
+  // Pre-generate the batches so both stores see the same query stream;
+  // both stores start from the same persisted rng state, so routing draws
+  // coincide too.
+  trace::QueryGenerator gen(trace_, trace::QueryDistribution::kZipf, 99);
+  const auto dims = AttrSubset::all();
+  std::vector<metadata::PointQuery> points;
+  std::vector<metadata::RangeQuery> ranges;
+  std::vector<metadata::TopKQuery> topks;
+  for (int i = 0; i < 120; ++i) points.push_back(gen.gen_point());
+  for (int i = 0; i < 40; ++i) ranges.push_back(gen.gen_range(dims));
+  for (int i = 0; i < 40; ++i) topks.push_back(gen.gen_topk(dims, 8));
+
+  for (const auto& q : points) {
+    const auto a = store_->point_query(q, Routing::kOffline, 0.0);
+    const auto b = loaded->point_query(q, Routing::kOffline, 0.0);
+    EXPECT_EQ(a.found, b.found) << "point query diverged on " << q.filename;
+    if (a.found && b.found) EXPECT_EQ(a.id, b.id);
+  }
+  double recall_a = 0, recall_b = 0;
+  for (const auto& q : ranges) {
+    auto a = store_->range_query(q, Routing::kOffline, 0.0).ids;
+    auto b = loaded->range_query(q, Routing::kOffline, 0.0).ids;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+    const auto truth = core::brute_force_range(trace_.files(), q);
+    recall_a += core::recall(truth, a);
+    recall_b += core::recall(truth, b);
+  }
+  EXPECT_DOUBLE_EQ(recall_a, recall_b);
+  for (const auto& q : topks) {
+    auto a = store_->topk_query(q, Routing::kOffline, 0.0).ids();
+    auto b = loaded->topk_query(q, Routing::kOffline, 0.0).ids();
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_F(SnapshotTest, SurvivesPostBuildMutations) {
+  // Insert + delete before snapshotting so pending deltas, sealed versions
+  // and conservative (unshrunk) MBRs all hit the codec.
+  const auto extra = trace_.make_insert_stream(25, 1234);
+  for (const auto& f : extra) store_->insert_file(f, 0.0);
+  for (int i = 0; i < 5; ++i)
+    store_->delete_file(trace_.files()[i * 31].name, 0.0);
+  ASSERT_TRUE(store_->check_invariants());
+
+  const std::string dir = temp_dir("mutated");
+  save_snapshot(*store_, snapshot_path(dir));
+  auto loaded = load_snapshot(snapshot_path(dir));
+  EXPECT_TRUE(loaded->check_invariants());
+  EXPECT_EQ(loaded->total_files(), store_->total_files());
+  // The deleted files stay gone; the inserted ones stay present.
+  for (const auto& f : extra) {
+    const auto res = loaded->point_query({f.name}, Routing::kOnline, 0.0);
+    EXPECT_TRUE(res.found) << f.name;
+  }
+}
+
+TEST_F(SnapshotTest, CorruptedSectionFailsLoad) {
+  const std::string dir = temp_dir("corrupt");
+  const std::string path = snapshot_path(dir);
+  save_snapshot(*store_, path);
+
+  auto bytes = util::read_file_bytes(path);
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one bit mid-file
+  util::write_file_atomic(path, bytes);
+  EXPECT_THROW(load_snapshot(path), PersistError);
+}
+
+TEST_F(SnapshotTest, TruncatedFileFailsLoad) {
+  const std::string dir = temp_dir("truncated");
+  const std::string path = snapshot_path(dir);
+  save_snapshot(*store_, path);
+
+  auto bytes = util::read_file_bytes(path);
+  bytes.resize(bytes.size() * 3 / 4);
+  util::write_file_atomic(path, bytes);
+  EXPECT_THROW(load_snapshot(path), PersistError);
+}
+
+TEST_F(SnapshotTest, BadMagicFailsLoad) {
+  const std::string dir = temp_dir("magic");
+  const std::string path = snapshot_path(dir);
+  util::write_file_atomic(path, {'n', 'o', 't', 'a', 's', 'n', 'a', 'p',
+                                 0, 0, 0, 0});
+  EXPECT_THROW(load_snapshot(path), PersistError);
+}
+
+// ---- WAL --------------------------------------------------------------------
+
+TEST(Wal, GroupCommitBatchesRecords) {
+  const std::string dir = temp_dir("wal_batch");
+  const std::string path = wal_path(dir);
+  trace::SyntheticTrace tr = trace::SyntheticTrace::generate(
+      trace::msn_profile(), 1, 42, /*downscale=*/50);
+  const auto stream = tr.make_insert_stream(10, 5);
+
+  {
+    WalWriter wal(path, /*group_commit=*/4);
+    for (const auto& f : stream) wal.log_insert(f);
+    // 10 records at batch 4: blocks of 4+4 committed, 2 still pending.
+    EXPECT_EQ(wal.committed_records(), 8u);
+    EXPECT_EQ(wal.pending_records(), 2u);
+  }  // destructor commits the tail batch
+
+  const WalScan scan = scan_wal(path);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.blocks, 3u);
+  ASSERT_EQ(scan.records.size(), 10u);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(scan.records[i].type, WalRecordType::kInsert);
+    EXPECT_EQ(scan.records[i].file.id, stream[i].id);
+    EXPECT_EQ(scan.records[i].file.name, stream[i].name);
+  }
+}
+
+TEST(Wal, RemoveRecordsRoundTrip) {
+  const std::string dir = temp_dir("wal_remove");
+  const std::string path = wal_path(dir);
+  {
+    WalWriter wal(path, 2);
+    wal.log_remove("some/file.txt");
+    wal.log_remove("other/file.bin");
+  }
+  const WalScan scan = scan_wal(path);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0].type, WalRecordType::kRemove);
+  EXPECT_EQ(scan.records[0].name, "some/file.txt");
+  EXPECT_EQ(scan.records[1].name, "other/file.bin");
+}
+
+TEST(Wal, TornTailRecoversToLastCommitBoundary) {
+  const std::string dir = temp_dir("wal_torn");
+  const std::string path = wal_path(dir);
+  trace::SyntheticTrace tr = trace::SyntheticTrace::generate(
+      trace::msn_profile(), 1, 42, /*downscale=*/50);
+  const auto stream = tr.make_insert_stream(12, 5);
+
+  {
+    WalWriter wal(path, /*group_commit=*/4);
+    for (const auto& f : stream) wal.log_insert(f);
+  }  // 3 complete blocks of 4
+
+  // Crash mid-append: chop into the last block's payload.
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 17);
+
+  const WalScan scan = scan_wal(path);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_EQ(scan.blocks, 2u);
+  EXPECT_EQ(scan.records.size(), 8u);  // the last group commit is the cutoff
+
+  // Reopening for append truncates the tear; new records land after the
+  // valid prefix and the log scans clean again.
+  {
+    WalWriter wal(path, 4);
+    EXPECT_EQ(wal.committed_records(), 8u);
+    wal.log_insert(stream[8]);
+    wal.commit();
+  }
+  const WalScan rescan = scan_wal(path);
+  EXPECT_FALSE(rescan.torn_tail);
+  EXPECT_EQ(rescan.records.size(), 9u);
+}
+
+TEST(Wal, CorruptedBlockChecksumStopsScan) {
+  const std::string dir = temp_dir("wal_crc");
+  const std::string path = wal_path(dir);
+  trace::SyntheticTrace tr = trace::SyntheticTrace::generate(
+      trace::msn_profile(), 1, 42, /*downscale=*/50);
+  const auto stream = tr.make_insert_stream(8, 5);
+  {
+    WalWriter wal(path, 4);
+    for (const auto& f : stream) wal.log_insert(f);
+  }
+  auto bytes = util::read_file_bytes(path);
+  bytes[bytes.size() - 10] ^= 0x01;  // corrupt the second block's payload
+  util::write_file_atomic(path, bytes);
+
+  const WalScan scan = scan_wal(path);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_EQ(scan.blocks, 1u);
+  EXPECT_EQ(scan.records.size(), 4u);
+}
+
+TEST(Wal, MissingFileScansEmpty) {
+  const std::string dir = temp_dir("wal_missing");
+  const WalScan scan = scan_wal(wal_path(dir));
+  EXPECT_EQ(scan.records.size(), 0u);
+  EXPECT_FALSE(scan.torn_tail);
+}
+
+TEST(Wal, CraftedHugeRecordCountIsCorruptionNotAllocation) {
+  // A block whose header claims 2^32-1 records over a 1-byte payload, with
+  // a *valid* checksum: must be treated as a corrupt block (prefix kept),
+  // not turned into a multi-gigabyte reserve.
+  const std::string dir = temp_dir("wal_hugecount");
+  const std::string path = wal_path(dir);
+  util::BinaryWriter w;
+  w.write_bytes(kWalMagic, sizeof(kWalMagic));
+  w.write_u64(12345);  // log generation
+  w.write_u32(kWalBlockMagic);
+  w.write_u32(0xFFFFFFFFu);  // absurd record count
+  w.write_u64(1);            // one payload byte
+  const std::uint8_t payload = 0x01;
+  w.write_u8(payload);
+  w.write_u32(util::crc32(&payload, 1));
+  util::write_file_atomic(path, w.buffer());
+
+  const WalScan scan = scan_wal(path);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_EQ(scan.blocks, 0u);
+  EXPECT_EQ(scan.records.size(), 0u);
+}
+
+// ---- checkpoint / recover ---------------------------------------------------
+
+TEST(Recovery, SnapshotPlusWalRestoresAllCommittedMutations) {
+  const std::string dir = temp_dir("recover");
+  trace::SyntheticTrace tr = trace::SyntheticTrace::generate(
+      trace::hp_profile(), 1, 42, /*downscale=*/20);
+  Config cfg;
+  cfg.num_units = 10;
+  cfg.fanout = 5;
+  cfg.seed = 7;
+  SmartStore store(cfg);
+  store.build(tr.files());
+
+  checkpoint(store, dir);
+
+  // Post-checkpoint mutations, write-ahead logged as they apply.
+  const auto stream = tr.make_insert_stream(9, 77);
+  {
+    WalWriter wal(wal_path(dir), cfg.version_ratio);
+    for (const auto& f : stream) {
+      store.insert_file(f, 0.0);
+      wal.log_insert(f);
+    }
+    const std::string victim = tr.files()[3].name;
+    store.delete_file(victim, 0.0);
+    wal.log_remove(victim);
+    wal.commit();
+  }
+
+  const RecoveryResult rec = recover(dir);
+  ASSERT_TRUE(rec.store);
+  EXPECT_FALSE(rec.wal_tail_torn);
+  EXPECT_EQ(rec.wal_records, 10u);
+  EXPECT_TRUE(rec.store->check_invariants());
+  EXPECT_EQ(rec.store->total_files(), store.total_files());
+
+  // Exact membership: every unit-resident file name matches.
+  auto names = [](const SmartStore& s) {
+    std::set<std::string> out;
+    for (const auto& u : s.units())
+      for (const auto& f : u.files()) out.insert(f.name);
+    return out;
+  };
+  EXPECT_EQ(names(*rec.store), names(store));
+}
+
+TEST(Recovery, TornWalRecoversToCommitBoundary) {
+  const std::string dir = temp_dir("recover_torn");
+  trace::SyntheticTrace tr = trace::SyntheticTrace::generate(
+      trace::hp_profile(), 1, 42, /*downscale=*/20);
+  Config cfg;
+  cfg.num_units = 10;
+  cfg.seed = 7;
+  SmartStore store(cfg);
+  store.build(tr.files());
+  checkpoint(store, dir);
+  const std::size_t base_files = store.total_files();
+
+  const auto stream = tr.make_insert_stream(8, 77);
+  {
+    WalWriter wal(wal_path(dir), /*group_commit=*/4);
+    for (const auto& f : stream) wal.log_insert(f);
+  }
+  // Tear into the second block: only the first group commit must survive.
+  std::filesystem::resize_file(wal_path(dir),
+                               std::filesystem::file_size(wal_path(dir)) - 9);
+
+  const RecoveryResult rec = recover(dir);
+  EXPECT_TRUE(rec.wal_tail_torn);
+  EXPECT_EQ(rec.wal_records, 4u);
+  EXPECT_EQ(rec.store->total_files(), base_files + 4);
+  EXPECT_TRUE(rec.store->check_invariants());
+  for (std::size_t i = 0; i < 4; ++i) {
+    bool present = false;
+    for (const auto& u : rec.store->units())
+      if (u.find_by_name(stream[i].name)) present = true;
+    EXPECT_TRUE(present) << stream[i].name;
+  }
+  for (std::size_t i = 4; i < 8; ++i) {
+    for (const auto& u : rec.store->units())
+      EXPECT_EQ(u.find_by_name(stream[i].name), nullptr);
+  }
+}
+
+TEST(Recovery, CheckpointEmptiesWal) {
+  const std::string dir = temp_dir("checkpoint");
+  trace::SyntheticTrace tr = trace::SyntheticTrace::generate(
+      trace::msn_profile(), 1, 42, /*downscale=*/50);
+  Config cfg;
+  cfg.num_units = 6;
+  cfg.seed = 7;
+  SmartStore store(cfg);
+  store.build(tr.files());
+
+  WalWriter wal(wal_path(dir), 2);
+  const auto stream = tr.make_insert_stream(4, 3);
+  for (const auto& f : stream) {
+    store.insert_file(f, 0.0);
+    wal.log_insert(f);
+  }
+  wal.commit();
+  EXPECT_EQ(scan_wal(wal_path(dir)).records.size(), 4u);
+
+  checkpoint(store, dir, &wal);
+  EXPECT_EQ(scan_wal(wal_path(dir)).records.size(), 0u);
+
+  // Recovery after the checkpoint sees the mutations exactly once.
+  const RecoveryResult rec = recover(dir);
+  EXPECT_EQ(rec.wal_records, 0u);
+  EXPECT_EQ(rec.store->total_files(), store.total_files());
+}
+
+TEST(Recovery, CrashBetweenSnapshotAndWalResetReplaysNothingTwice) {
+  // The checkpoint crash window: snapshot renamed into place, WAL not yet
+  // emptied. The snapshot's fence must suppress the duplicate replay.
+  const std::string dir = temp_dir("ckpt_crash");
+  trace::SyntheticTrace tr = trace::SyntheticTrace::generate(
+      trace::msn_profile(), 1, 42, /*downscale=*/50);
+  Config cfg;
+  cfg.num_units = 6;
+  cfg.seed = 7;
+  SmartStore store(cfg);
+  store.build(tr.files());
+  checkpoint(store, dir);
+
+  const auto stream = tr.make_insert_stream(5, 3);
+  {
+    WalWriter wal(wal_path(dir), 1);
+    for (const auto& f : stream) {
+      store.insert_file(f, 0.0);
+      wal.log_insert(f);
+    }
+    // Simulate the crash: preserve the pre-checkpoint log, checkpoint
+    // (snapshot + fence land, WAL is reset), then restore the old log as
+    // if the reset never hit the disk.
+    const std::string saved = wal_path(dir) + ".saved";
+    std::filesystem::copy_file(wal_path(dir), saved);
+    checkpoint(store, dir, &wal);
+    std::filesystem::copy_file(saved, wal_path(dir),
+                               std::filesystem::copy_options::overwrite_existing);
+  }
+
+  const RecoveryResult rec = recover(dir);
+  EXPECT_EQ(rec.wal_fenced, 5u);   // all five suppressed by the fence
+  EXPECT_EQ(rec.wal_records, 0u);  // nothing replayed on top
+  EXPECT_EQ(rec.store->total_files(), store.total_files());
+  EXPECT_TRUE(rec.store->check_invariants());
+  // No duplicate records: per-unit name sets match the live store exactly.
+  std::multiset<std::string> live, recovered;
+  for (const auto& u : store.units())
+    for (const auto& f : u.files()) live.insert(f.name);
+  for (const auto& u : rec.store->units())
+    for (const auto& f : u.files()) recovered.insert(f.name);
+  EXPECT_EQ(live, recovered);
+}
+
+TEST(Recovery, CheckpointIntoOtherDirLeavesLiveWalIntact) {
+  // A writer logging into state/ while checkpointing into backup/: state's
+  // log pairs with state's snapshot and must survive; backup's stale log
+  // must be emptied (its records are subsumed by the fresh snapshot).
+  const std::string state = temp_dir("ckpt_state");
+  const std::string backup = temp_dir("ckpt_backup");
+  trace::SyntheticTrace tr = trace::SyntheticTrace::generate(
+      trace::msn_profile(), 1, 42, /*downscale=*/50);
+  Config cfg;
+  cfg.num_units = 6;
+  cfg.seed = 7;
+  SmartStore store(cfg);
+  store.build(tr.files());
+  checkpoint(store, state);
+
+  {
+    WalWriter stale(wal_path(backup), 1);
+    stale.log_remove("stale-record");
+  }
+
+  const auto stream = tr.make_insert_stream(3, 3);
+  WalWriter wal(wal_path(state), 1);
+  for (const auto& f : stream) {
+    store.insert_file(f, 0.0);
+    wal.log_insert(f);
+  }
+
+  checkpoint(store, backup, &wal);
+  // state/ still recovers through its own WAL records...
+  EXPECT_EQ(scan_wal(wal_path(state)).records.size(), 3u);
+  EXPECT_EQ(recover(state).store->total_files(), store.total_files());
+  // ...and backup/ replays nothing stale over the fresh snapshot.
+  EXPECT_EQ(scan_wal(wal_path(backup)).records.size(), 0u);
+  EXPECT_EQ(recover(backup).store->total_files(), store.total_files());
+}
+
+}  // namespace
+}  // namespace smartstore::persist
