@@ -11,10 +11,16 @@
 // directory, --load restores it (skipping the expensive SVD/k-means/tree
 // build) and replays any write-ahead log found there, --wal logs dynamic
 // inserts (--churn) so a crash loses at most one group-commit batch.
+// --bg-checkpoint N checkpoints in the background every N churn inserts
+// while the insert stream keeps running (epoch freeze + copy-on-write);
+// --crash-at K kills the K-th persistence write boundary the run crosses,
+// for exercising recovery by hand.
 //
 //   smartstore_cli --trace msn --units 20 --point 200 --range 50 --topk 50
 //   smartstore_cli --trace hp --save state/          # build once, persist
 //   smartstore_cli --trace hp --load state/ --point 200   # restart, no build
+//   smartstore_cli --trace hp --load state/ --churn 5000
+//       --save state/ --bg-checkpoint 1000       # checkpoint under load
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -25,11 +31,14 @@
 
 #include "core/smartstore.h"
 #include "metadata/query.h"
+#include "persist/bg_checkpoint.h"
+#include "persist/fault.h"
 #include "persist/recovery.h"
 #include "trace/profiles.h"
 #include "trace/query_gen.h"
 #include "trace/synth.h"
 #include "util/bytes.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -52,6 +61,8 @@ struct Options {
   std::string save_dir;
   std::string load_dir;
   std::string wal_dir;
+  std::size_t bg_checkpoint = 0;  ///< checkpoint every N churn inserts
+  std::size_t crash_at = 0;       ///< fault-injection point to die at
 };
 
 void usage(const char* argv0) {
@@ -79,6 +90,11 @@ void usage(const char* argv0) {
       "                             instead of building; trace flags must\n"
       "                             match the saved deployment's\n"
       "  --wal DIR                  write-ahead-log churn inserts in DIR\n"
+      "  --bg-checkpoint N          checkpoint in the background every N\n"
+      "                             churn inserts while inserting continues\n"
+      "                             (requires --save; the WAL lives there)\n"
+      "  --crash-at K               kill the K-th persistence write boundary\n"
+      "                             (exit 3); recover with --load afterwards\n"
       "  --help                     this message\n",
       argv0);
 }
@@ -162,6 +178,10 @@ Options parse_args(int argc, char** argv) {
       opt.load_dir = need_value(i++);
     } else if (a == "--wal") {
       opt.wal_dir = need_value(i++);
+    } else if (a == "--bg-checkpoint") {
+      opt.bg_checkpoint = parse_size(i++);
+    } else if (a == "--crash-at") {
+      opt.crash_at = parse_size(i++);
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", a.c_str());
       usage(argv[0]);
@@ -171,6 +191,19 @@ Options parse_args(int argc, char** argv) {
   if (opt.tif == 0 || opt.downscale == 0 || opt.units == 0 || opt.k == 0) {
     std::fprintf(stderr, "error: --tif/--downscale/--units/--k must be > 0\n");
     std::exit(2);
+  }
+  if (opt.bg_checkpoint > 0) {
+    if (opt.save_dir.empty()) {
+      std::fprintf(stderr, "error: --bg-checkpoint requires --save DIR\n");
+      std::exit(2);
+    }
+    if (!opt.wal_dir.empty() && opt.wal_dir != opt.save_dir) {
+      std::fprintf(stderr,
+                   "error: --bg-checkpoint pairs the WAL with the --save "
+                   "directory; drop --wal or point it at the same DIR\n");
+      std::exit(2);
+    }
+    opt.wal_dir = opt.save_dir;
   }
   return opt;
 }
@@ -219,15 +252,23 @@ int main(int argc, char** argv) {
   std::printf("population: %zu files, %zu trace ops\n", tr.files().size(),
               tr.ops().size());
 
+  if (opt.crash_at > 0) persist::fault_arm(opt.crash_at);
+
   std::unique_ptr<core::SmartStore> store;
+  // Declared outside the try so the crash handler can freeze the on-disk
+  // state (abandon the WAL handle, drain the worker) instead of letting
+  // destructors finish durability work the simulated power cut interrupted.
+  std::unique_ptr<persist::WalWriter> wal;
+  std::unique_ptr<util::ThreadPool> pool;
+  std::unique_ptr<persist::BackgroundCheckpointer> bg;
   try {
     if (!opt.load_dir.empty()) {
       auto rec = persist::recover(opt.load_dir);
       store = std::move(rec.store);
       std::printf("restored : snapshot %s, %zu WAL records replayed "
-                  "(%zu blocks)%s\n",
+                  "(%zu blocks, %zu fenced)%s\n",
                   persist::snapshot_path(opt.load_dir).c_str(),
-                  rec.wal_records, rec.wal_blocks,
+                  rec.wal_records, rec.wal_blocks, rec.wal_fenced,
                   rec.wal_tail_torn ? ", torn tail dropped" : "");
     } else {
       core::Config cfg;
@@ -238,24 +279,62 @@ int main(int argc, char** argv) {
       store->build(tr.files());
     }
 
-    std::unique_ptr<persist::WalWriter> wal;
     if (!opt.wal_dir.empty()) {
       std::filesystem::create_directories(opt.wal_dir);
       wal = std::make_unique<persist::WalWriter>(
           persist::wal_path(opt.wal_dir), store->config().version_ratio);
     }
+
+    if (opt.bg_checkpoint > 0) {
+      pool = std::make_unique<util::ThreadPool>(2);
+      bg = std::make_unique<persist::BackgroundCheckpointer>(
+          *store, opt.save_dir, *wal, *pool);
+    }
+
     if (opt.churn > 0) {
       const auto stream = tr.make_insert_stream(opt.churn, opt.seed + 99);
+      std::size_t since_checkpoint = 0, triggered = 0;
       for (const auto& f : stream) {
-        store->insert_file(f, 0.0);
-        if (wal) wal->log_insert(f);
+        if (bg) {
+          bg->insert(f);
+          if (++since_checkpoint >= opt.bg_checkpoint && bg->trigger()) {
+            since_checkpoint = 0;
+            ++triggered;
+          }
+        } else {
+          store->insert_file(f, 0.0);
+          if (wal) wal->log_insert(f);
+        }
       }
-      if (wal) wal->commit();
+      if (bg) {
+        bg->wait();  // surface any failure of the last in-flight checkpoint
+      } else if (wal) {
+        wal->commit();
+      }
       std::printf("churn    : %zu files inserted%s\n", stream.size(),
-                  wal ? " (write-ahead logged)" : "");
+                  bg ? " (write-ahead logged, background checkpoints)"
+                     : (wal ? " (write-ahead logged)" : ""));
+      if (bg && triggered > 0) {
+        const auto& st = bg->last_stats();
+        std::printf(
+            "bg ckpt  : %llu background checkpoints (%llu mutations rode "
+            "along, %llu COW copies); last: freeze %.1f ms, write %.1f ms, "
+            "truncate %.1f ms, %s\n",
+            static_cast<unsigned long long>(bg->completed()),
+            static_cast<unsigned long long>(bg->total_mutations_during()),
+            static_cast<unsigned long long>(bg->total_cow_copies()),
+            st.freeze_s * 1e3, st.write_s * 1e3, st.truncate_s * 1e3,
+            util::format_bytes(st.snapshot_bytes).c_str());
+      }
     }
     if (!opt.save_dir.empty()) {
-      persist::checkpoint(*store, opt.save_dir, wal.get());
+      if (bg) {
+        // Final checkpoint through the same background protocol, so the
+        // published snapshot covers the whole churn stream.
+        if (bg->trigger()) bg->wait();
+      } else {
+        persist::checkpoint(*store, opt.save_dir, wal.get());
+      }
       std::printf("snapshot : saved to %s (%s)\n",
                   persist::snapshot_path(opt.save_dir).c_str(),
                   util::format_bytes(
@@ -263,6 +342,22 @@ int main(int argc, char** argv) {
                           persist::snapshot_path(opt.save_dir)))
                       .c_str());
     }
+  } catch (const persist::FaultInjected& e) {
+    // Freeze the crash state: an in-flight checkpoint that already passed
+    // its own boundaries is allowed to land (a crash an instant later),
+    // but the pending WAL batch must NOT be committed by a destructor —
+    // those records were never acknowledged as durable.
+    if (bg) {
+      try {
+        bg->wait();
+      } catch (const std::exception&) {
+        // The worker's own injected fault, already accounted for.
+      }
+    }
+    if (wal) wal->abandon();
+    std::printf("crash injected: %s (fault point %zu)\n", e.what(),
+                opt.crash_at);
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: persistence failure: %s\n", e.what());
     return 1;

@@ -401,6 +401,7 @@ std::size_t SemanticRTree::admit_unit(const std::vector<StorageUnit>& units,
     recompute_node(units, id);
     root_ = id;
     rebuild_group_list();
+    map_new_nodes();
     return id;
   }
 
@@ -409,6 +410,7 @@ std::size_t SemanticRTree::admit_unit(const std::vector<StorageUnit>& units,
   recompute_upward(units, best);
   if (nodes_[best].children.size() > params_.fanout) {
     split_node(units, best);
+    map_new_nodes();
     return unit_group_[u];
   }
   return best;
@@ -425,7 +427,21 @@ void SemanticRTree::remove_unit(const std::vector<StorageUnit>& units,
   unit_group_[u] = kInvalidIndex;
   recompute_upward(units, g);
 
-  if (group.children.size() >= params_.min_fill || groups_.size() <= 1) return;
+  // The departed unit can no longer host index units: queries routed to a
+  // node it hosted would hit a dead server forever. Evict it as a host
+  // and let map_new_nodes() pick live members.
+  auto evict_host = [&] {
+    for (IndexUnit& n : nodes_) {
+      if (n.node_id != kInvalidIndex && n.mapped_unit == u)
+        n.mapped_unit = kInvalidIndex;
+    }
+    map_new_nodes();
+  };
+
+  if (group.children.size() >= params_.min_fill || groups_.size() <= 1) {
+    evict_host();
+    return;
+  }
 
   // Merge the underfull group's remaining units into the most correlated
   // other group (Section 3.2.2).
@@ -495,6 +511,20 @@ void SemanticRTree::remove_unit(const std::vector<StorageUnit>& units,
   if (nodes_[target].children.size() > params_.fanout)
     split_node(units, target);
   rebuild_group_list();
+  evict_host();  // also maps any nodes the merge/split/collapse created
+}
+
+void SemanticRTree::map_new_nodes() {
+  for (IndexUnit& n : nodes_) {
+    if (n.node_id == kInvalidIndex || n.mapped_unit != kInvalidIndex)
+      continue;
+    // Descend to a first-level node and host on its first member unit.
+    std::size_t cur = n.node_id;
+    while (nodes_[cur].level > 1 && !nodes_[cur].children.empty())
+      cur = nodes_[cur].children.front();
+    if (nodes_[cur].level == 1 && !nodes_[cur].children.empty())
+      n.mapped_unit = nodes_[cur].children.front();
+  }
 }
 
 void SemanticRTree::map_index_units(util::Rng& rng) {
@@ -595,6 +625,13 @@ bool SemanticRTree::check_invariants(
     ++visited;
     if (n.children.empty()) return false;
     if (n.children.size() > params_.fanout) return false;
+    // A mapped index unit must be hosted somewhere real: routing sends
+    // queries to mapped_unit, so a stale host id (the bug class: splits
+    // during unit admission forgetting the Section 4.2 mapping) would
+    // send sessions to an out-of-range node. Unmapped is allowed only
+    // because freshly built trees are mapped in a separate pass.
+    if (n.mapped_unit != kInvalidIndex && n.mapped_unit >= units.size())
+      return false;
 
     std::size_t child_files = 0;
     for (std::size_t c : n.children) {

@@ -155,6 +155,12 @@ class SemanticRTree {
 
   std::size_t new_node(int level);
   void free_node(std::size_t id);
+  /// Maps index units created by incremental reconfiguration (splits, root
+  /// growth) onto storage units: each unmapped node is hosted by the first
+  /// storage unit in its subtree. Section 4.2's mapping minus the
+  /// randomization — the incremental path must stay deterministic so WAL
+  /// replay reconstructs the same routing topology.
+  void map_new_nodes();
   /// Recomputes one node's summary from its children.
   void recompute_node(const std::vector<StorageUnit>& units, std::size_t id);
   void recompute_upward(const std::vector<StorageUnit>& units, std::size_t id);

@@ -24,11 +24,116 @@ constexpr std::size_t kReplicaMsgBytes = 16384;  // a full summary refresh
 
 SmartStore::SmartStore(Config cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {}
 
+// ---- concurrent checkpointing (epoch freeze + copy-on-write) ----------------
+
+std::uint64_t SmartStore::begin_checkpoint() {
+  std::lock_guard<std::mutex> lock(freeze_.mu);
+  assert(!freeze_.active && "one checkpoint at a time");
+  freeze_.active = true;
+  freeze_.frozen_epoch = epoch_.load(std::memory_order_relaxed);
+  freeze_.cow_copies = 0;
+
+  // Scalars are captured eagerly: queries advance the rng without being
+  // mutations, so lazy capture could tear the CONFIG section.
+  freeze_.core.bloom_bits = bloom_bits_;
+  freeze_.core.total_files = total_files_;
+  {
+    std::lock_guard<std::mutex> rng_lock(rng_mu_);
+    freeze_.core.rng_state = rng_.state();
+  }
+  freeze_.core.unit_active = unit_active_;
+  freeze_.core.standardizer = standardizer_;
+  freeze_.core.unit_count = units_.size();
+  freeze_.core.group_order = tree_.groups();
+
+  freeze_.unit_state.assign(units_.size(), PieceState::kPending);
+  freeze_.frozen_units.clear();
+  freeze_.frozen_units.resize(units_.size());
+  freeze_.tree_state = PieceState::kPending;
+  freeze_.frozen_tree.reset();
+  freeze_.variants_state = PieceState::kPending;
+  freeze_.frozen_variants.reset();
+  freeze_.sync_state = PieceState::kPending;
+  freeze_.frozen_sync.reset();
+  return freeze_.frozen_epoch;
+}
+
+void SmartStore::end_checkpoint() {
+  std::lock_guard<std::mutex> lock(freeze_.mu);
+  freeze_.active = false;
+  freeze_.unit_state.clear();
+  freeze_.frozen_units.clear();
+  freeze_.frozen_tree.reset();
+  freeze_.frozen_variants.reset();
+  freeze_.frozen_sync.reset();
+}
+
+bool SmartStore::checkpoint_active() const {
+  std::lock_guard<std::mutex> lock(freeze_.mu);
+  return freeze_.active;
+}
+
+std::uint64_t SmartStore::checkpoint_cow_copies() const {
+  std::lock_guard<std::mutex> lock(freeze_.mu);
+  return freeze_.cow_copies;
+}
+
+void SmartStore::cow_unit_locked(UnitId u) {
+  if (u >= freeze_.unit_state.size()) return;
+  if (freeze_.unit_state[u] != PieceState::kPending) return;
+  freeze_.frozen_units[u] = std::make_unique<StorageUnit>(units_[u]);
+  freeze_.unit_state[u] = PieceState::kFrozen;
+  ++freeze_.cow_copies;
+}
+
+void SmartStore::cow_structures_locked() {
+  if (freeze_.tree_state == PieceState::kPending) {
+    freeze_.frozen_tree = std::make_unique<SemanticRTree>(tree_);
+    freeze_.tree_state = PieceState::kFrozen;
+    ++freeze_.cow_copies;
+  }
+  if (freeze_.variants_state == PieceState::kPending) {
+    freeze_.frozen_variants =
+        std::make_unique<std::vector<TreeVariant>>(variants_);
+    freeze_.variants_state = PieceState::kFrozen;
+    ++freeze_.cow_copies;
+  }
+  if (freeze_.sync_state == PieceState::kPending) {
+    freeze_.frozen_sync =
+        std::make_unique<std::unordered_map<std::size_t, GroupSync>>(sync_);
+    freeze_.sync_state = PieceState::kFrozen;
+    ++freeze_.cow_copies;
+  }
+}
+
+void SmartStore::cow_unit(UnitId u) {
+  std::lock_guard<std::mutex> lock(freeze_.mu);
+  if (!freeze_.active) return;
+  cow_unit_locked(u);
+}
+
+void SmartStore::cow_structures() {
+  std::lock_guard<std::mutex> lock(freeze_.mu);
+  if (!freeze_.active) return;
+  cow_structures_locked();
+}
+
+void SmartStore::cow_everything() {
+  std::lock_guard<std::mutex> lock(freeze_.mu);
+  if (!freeze_.active) return;
+  for (UnitId u = 0; u < freeze_.unit_state.size(); ++u) cow_unit_locked(u);
+  cow_structures_locked();
+}
+
 la::Vector SmartStore::std_coords(const FileMetadata& f) const {
   return standardizer_.transform(f.full_vector());
 }
 
 void SmartStore::build(const std::vector<FileMetadata>& files) {
+  // Bulk construction replaces every piece; a concurrent serializer would
+  // observe an inconsistent world, so freeze everything that is pending.
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  cow_everything();
   standardizer_ = fit_standardizer(files);
 
   // Size Bloom filters for the expected group population (~12 bits per
@@ -140,6 +245,7 @@ void SmartStore::refresh_sync_groups() {
 
 sim::NodeId SmartStore::random_home() {
   // Queries arrive at a uniformly random active storage unit (Section 2.2).
+  std::lock_guard<std::mutex> rng_lock(rng_mu_);
   for (int tries = 0; tries < 64; ++tries) {
     const UnitId u = static_cast<UnitId>(rng_.uniform_u64(units_.size()));
     if (unit_active_[u]) return u;
@@ -418,6 +524,8 @@ void SmartStore::after_group_change(std::size_t g, double now,
 }
 
 void SmartStore::reconfigure() {
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  cow_structures();
   for (std::size_t g : tree_.groups()) full_sync_group(g, nullptr);
 }
 
@@ -444,6 +552,11 @@ QueryStats SmartStore::insert_file(const FileMetadata& f, double arrival) {
   }
   session.send_to(target, kQueryMsgBytes);
   session.visit(cfg_.cost.per_node_visit_s, 1);
+
+  // The mutation proper starts here: freeze the pieces about to change.
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  cow_unit(target);
+  cow_structures();
 
   const la::Vector raw = f.full_vector();
   const la::Vector std = std_coords(f);
@@ -474,8 +587,18 @@ std::optional<QueryStats> SmartStore::delete_file(const std::string& name,
   PointResult located = point_query({name}, Routing::kOffline, arrival);
   if (!located.found) return std::nullopt;
 
-  const UnitId u = located.unit;
-  auto removed = units_[u].remove_file(located.id);
+  remove_located(located.unit, located.id, located.stats.latency_s + arrival,
+                 nullptr);
+  return located.stats;
+}
+
+void SmartStore::remove_located(UnitId u, FileId id, double now,
+                                sim::Session* session) {
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  cow_unit(u);
+  cow_structures();
+
+  auto removed = units_[u].remove_file(id);
   assert(removed.has_value());
   const la::Vector raw = removed->full_vector();
   tree_.on_file_removed(u, raw);
@@ -484,9 +607,19 @@ std::optional<QueryStats> SmartStore::delete_file(const std::string& name,
 
   const std::size_t g = tree_.group_of_unit(u);
   GroupSync& gs = sync_.at(g);
-  gs.pending.deleted.push_back(located.id);
-  after_group_change(g, located.stats.latency_s + arrival, nullptr);
-  return located.stats;
+  gs.pending.deleted.push_back(id);
+  after_group_change(g, now, session);
+}
+
+bool SmartStore::erase_file(const std::string& name) {
+  for (UnitId u = 0; u < units_.size(); ++u) {
+    if (!unit_active_[u]) continue;
+    const metadata::FileMetadata* f = units_[u].find_by_name(name);
+    if (!f) continue;
+    remove_located(u, f->id, 0.0, nullptr);
+    return true;
+  }
+  return false;
 }
 
 // ---- point query --------------------------------------------------------------
@@ -902,6 +1035,10 @@ int SmartStore::routing_distance(
 // ---- reconfiguration ops -------------------------------------------------------
 
 UnitId SmartStore::add_storage_unit() {
+  // Appending to units_ can reallocate the vector a concurrent serializer
+  // indexes into, so every pending piece must be frozen first.
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  cow_everything();
   const UnitId id = units_.size();
   units_.emplace_back(id, bloom_bits_, cfg_.bloom_hashes);
   unit_active_.push_back(true);
@@ -914,6 +1051,8 @@ UnitId SmartStore::add_storage_unit() {
 
 void SmartStore::remove_storage_unit(UnitId u) {
   assert(u < units_.size() && unit_active_[u]);
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  cow_everything();
   std::vector<FileMetadata> displaced = units_[u].files();
   for (const auto& f : displaced) {
     auto removed = units_[u].remove_file(f.id);
@@ -933,6 +1072,8 @@ void SmartStore::remove_storage_unit(UnitId u) {
 
 std::size_t SmartStore::autoconfigure(
     const std::vector<AttrSubset>& candidates) {
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  cow_structures();
   variants_.clear();
   const double full_count = static_cast<double>(tree_.num_nodes());
   for (const auto& dims : candidates) {

@@ -23,8 +23,11 @@
 //     related groups"), which is where recall < 100% comes from.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -142,6 +145,14 @@ class SmartStore {
   std::optional<QueryStats> delete_file(const std::string& name,
                                         double arrival);
 
+  /// Authoritative removal: locates `name` by scanning the units' exact
+  /// local indexes (no simulated routing, no replica staleness) and removes
+  /// it with full tree/sync bookkeeping. This is the WAL-replay path — a
+  /// delete that was acknowledged live must always re-apply on recovery,
+  /// even when the off-line replicas that located it then have since gone
+  /// stale. Returns false when the file does not exist.
+  bool erase_file(const std::string& name);
+
   PointResult point_query(const metadata::PointQuery& q, Routing routing,
                           double arrival);
   RangeResult range_query(const metadata::RangeQuery& q, Routing routing,
@@ -172,6 +183,7 @@ class SmartStore {
   const Config& config() const { return cfg_; }
   const SemanticRTree& tree() const { return tree_; }
   const std::vector<StorageUnit>& units() const { return units_; }
+  bool unit_active(UnitId u) const { return unit_active_[u]; }
   const la::RowStandardizer& standardizer() const { return standardizer_; }
   sim::Cluster& cluster() { return *cluster_; }
   const std::vector<TreeVariant>& variants() const { return variants_; }
@@ -201,6 +213,37 @@ class SmartStore {
   /// Structural invariants across units, tree and sync state.
   bool check_invariants() const;
 
+  // ---- concurrent checkpointing (epoch-based freeze + copy-on-write) ------
+  //
+  // Threading contract: one serving thread owns every mutation and query;
+  // begin_checkpoint() freezes the store's logical state at the current
+  // mutation epoch so a single background thread can serialize it (via the
+  // persistence layer's SnapshotAccess) while the serving thread keeps
+  // mutating. Mutations copy each still-unserialized piece (a storage
+  // unit's records, the semantic R-tree, the tree variants, the replica
+  // sync state) on first write; CONFIG-level scalars (rng state, file
+  // totals, active flags) and the standardizer are captured eagerly at
+  // freeze time because queries also advance the rng. The background
+  // serializer and the copy-on-write hooks interlock on one internal
+  // mutex, piece by piece, so neither ever observes a half-mutated piece.
+
+  /// Freezes the logical state at the current epoch; returns that epoch.
+  /// At most one checkpoint may be active at a time.
+  std::uint64_t begin_checkpoint();
+
+  /// Releases frozen copies; mutations stop paying the copy-on-write tax.
+  void end_checkpoint();
+
+  bool checkpoint_active() const;
+
+  /// Bumped by every mutation (insert/delete/reconfiguration).
+  std::uint64_t mutation_epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Pieces copied on first write during the current/last checkpoint.
+  std::uint64_t checkpoint_cow_copies() const;
+
  private:
   /// The snapshot codec in src/persist/ serializes the full private state
   /// (units, tree, variants, replica/version sync, rng) and reassembles a
@@ -213,6 +256,64 @@ class SmartStore {
     VersionDelta pending;   ///< unsealed changes, invisible remotely
     std::size_t changes_since_full_sync = 0;
   };
+
+  // ---- checkpoint freeze state -------------------------------------------
+
+  /// Lifecycle of one freezable piece during an active checkpoint.
+  enum class PieceState : std::uint8_t {
+    kPending,  ///< untouched since freeze: the live object IS the frozen view
+    kFrozen,   ///< mutated since freeze: a copy preserves the frozen view
+    kDone,     ///< serialized: mutations may write through without copying
+  };
+
+  /// CONFIG/STANDARDIZER-section scalars, captured eagerly at freeze time
+  /// (queries advance the rng, so lazy capture would tear the rng state).
+  struct FrozenCore {
+    std::size_t bloom_bits = 0;
+    std::size_t total_files = 0;
+    std::array<std::uint64_t, 4> rng_state{};
+    std::vector<bool> unit_active;
+    la::RowStandardizer standardizer;
+    std::size_t unit_count = 0;  ///< units_ size at freeze
+    /// Frozen-epoch group list, for the SYNC section's deterministic
+    /// ordering (the live tree may mutate while SYNC serializes).
+    std::vector<std::size_t> group_order;
+  };
+
+  struct FreezeState {
+    mutable std::mutex mu;  ///< interlocks COW hooks with the serializer
+    bool active = false;
+    std::uint64_t frozen_epoch = 0;
+    std::uint64_t cow_copies = 0;
+    FrozenCore core;
+    std::vector<PieceState> unit_state;
+    std::vector<std::unique_ptr<StorageUnit>> frozen_units;
+    PieceState tree_state = PieceState::kPending;
+    std::unique_ptr<SemanticRTree> frozen_tree;
+    PieceState variants_state = PieceState::kPending;
+    std::unique_ptr<std::vector<TreeVariant>> frozen_variants;
+    PieceState sync_state = PieceState::kPending;
+    std::unique_ptr<std::unordered_map<std::size_t, GroupSync>> frozen_sync;
+  };
+
+  /// Lock-held bodies shared by the public hooks and cow_everything().
+  void cow_unit_locked(UnitId u);
+  void cow_structures_locked();
+
+  /// Copies storage unit `u` into the frozen view if a checkpoint is active
+  /// and the unit has not yet been serialized or copied. Must be called
+  /// before the first mutation of the unit within an operation.
+  void cow_unit(UnitId u);
+  /// Same for the tree/variants/sync structures (every mutation touches
+  /// all three, so they freeze together on the first mutation).
+  void cow_structures();
+  /// Freezes everything still pending: required before structural changes
+  /// (unit admission/removal reallocates units_, invalidating the
+  /// serializer's view of the live vector).
+  void cow_everything();
+  /// Shared removal bookkeeping once a file has been located (unit, id).
+  void remove_located(UnitId u, metadata::FileId id, double now,
+                      sim::Session* session);
 
   // ---- internals ---------------------------------------------------------
 
@@ -296,7 +397,13 @@ class SmartStore {
   la::RowStandardizer standardizer_;
   std::unordered_map<std::size_t, GroupSync> sync_;  // group node -> state
   util::Rng rng_;
+  /// Queries advance rng_ (random_home) without being mutations, so the
+  /// freeze-time state capture interlocks with them here rather than via
+  /// the mutation serialization.
+  mutable std::mutex rng_mu_;
   std::size_t total_files_ = 0;
+  std::atomic<std::uint64_t> epoch_{0};  ///< mutation counter
+  FreezeState freeze_;
 };
 
 }  // namespace smartstore::core

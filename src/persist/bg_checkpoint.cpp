@@ -1,0 +1,172 @@
+#include "persist/bg_checkpoint.h"
+
+#include <filesystem>
+
+#include "persist/fault.h"
+#include "persist/recovery.h"
+#include "util/timer.h"
+
+namespace smartstore::persist {
+
+BackgroundCheckpointer::BackgroundCheckpointer(core::SmartStore& store,
+                                               std::string dir,
+                                               WalWriter& wal,
+                                               util::ThreadPool& pool)
+    : store_(store), dir_(std::move(dir)), wal_(wal), pool_(pool) {
+  std::filesystem::create_directories(dir_);
+  std::error_code ec;
+  if (std::filesystem::weakly_canonical(wal_.path(), ec) !=
+      std::filesystem::weakly_canonical(wal_path(dir_), ec)) {
+    throw PersistError(
+        "BackgroundCheckpointer: the WAL writer must own this directory's "
+        "log (" + wal_path(dir_) + "), got " + wal_.path());
+  }
+}
+
+BackgroundCheckpointer::~BackgroundCheckpointer() {
+  if (inflight_.valid()) {
+    try {
+      inflight_.get();
+    } catch (...) {
+      // Destruction cannot surface the failure; the next recover() sees a
+      // state every crash window of the protocol keeps consistent.
+    }
+  }
+}
+
+// ---- serving-thread mutation API --------------------------------------------
+
+core::QueryStats BackgroundCheckpointer::insert(const metadata::FileMetadata& f,
+                                                double arrival) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_.log_insert(f);
+  return store_.insert_file(f, arrival);
+}
+
+bool BackgroundCheckpointer::erase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool existed = store_.erase_file(name);
+  if (existed) wal_.log_remove(name);
+  return existed;
+}
+
+core::UnitId BackgroundCheckpointer::add_storage_unit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_.log_add_unit();
+  return store_.add_storage_unit();
+}
+
+void BackgroundCheckpointer::remove_storage_unit(core::UnitId u) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_.log_remove_unit(u);
+  store_.remove_storage_unit(u);
+}
+
+std::size_t BackgroundCheckpointer::autoconfigure(
+    const std::vector<metadata::AttrSubset>& candidates) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_.log_autoconfigure(candidates);
+  return store_.autoconfigure(candidates);
+}
+
+// ---- checkpoint control -----------------------------------------------------
+
+bool BackgroundCheckpointer::trigger() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel))
+    return false;
+  // From here until the worker owns it, any exit path must release
+  // running_ — a stuck flag would disable checkpointing forever while the
+  // WAL grows unboundedly.
+  struct ClearRunning {
+    std::atomic<bool>& flag;
+    bool armed = true;
+    ~ClearRunning() {
+      if (armed) flag.store(false, std::memory_order_release);
+    }
+  } caller_guard{running_};
+
+  // A finished-but-unobserved predecessor must not be overwritten silently:
+  // surface its failure here rather than discarding the exception with the
+  // old future.
+  if (inflight_.valid()) inflight_.get();
+
+  inflight_ = pool_.submit([this] {
+    ClearRunning worker_guard{running_};
+    run_checkpoint();
+  });
+  caller_guard.armed = false;  // the worker's guard owns the flag now
+  return true;
+}
+
+bool BackgroundCheckpointer::wait() {
+  if (!inflight_.valid()) return false;
+  inflight_.get();  // rethrows the worker's failure
+  return true;
+}
+
+void BackgroundCheckpointer::run_checkpoint() {
+  CheckpointStats st;
+
+  // Step 1 — FREEZE. The fence must land at a mutation boundary: under
+  // mu_ no mutation is half-logged or half-applied, the commit makes every
+  // acknowledged record countable, and the epoch freeze starts exactly at
+  // the state those fence.records produced.
+  WalFence fence;
+  std::size_t fence_bytes = WalWriter::kNoByteHint;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    util::WallTimer t;
+    wal_.commit();
+    fence = WalFence{wal_.generation(), wal_.committed_records(), true};
+    fence_bytes = wal_.committed_bytes();  // frontier offset, for O(tail)
+    st.epoch = store_.begin_checkpoint();  // truncation later
+    st.freeze_s = t.seconds();
+  }
+  st.fence_generation = fence.generation;
+  st.fence_records = fence.records;
+
+  // Step 2 — WRITE, concurrent with serving. Any failure (including an
+  // injected crash) must release the freeze so a surviving store stops
+  // paying the copy-on-write tax.
+  try {
+    util::WallTimer t;
+    save_snapshot_frozen(store_, snapshot_path(dir_), fence);
+    st.write_s = t.seconds();
+    std::error_code ec;
+    const auto sz =
+        std::filesystem::file_size(snapshot_path(dir_), ec);
+    if (!ec) st.snapshot_bytes = static_cast<std::size_t>(sz);
+  } catch (...) {
+    store_.end_checkpoint();
+    throw;
+  }
+
+  // Step 3 — TRUNCATE. The snapshot is published; dropping the fenced
+  // prefix (under the next generation) keeps the log equal to exactly
+  // what the snapshot does not contain.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    util::WallTimer t;
+    try {
+      fault_point("bg:pre-rebase");
+      wal_.rebase(static_cast<std::size_t>(fence.records), fence_bytes);
+    } catch (...) {
+      store_.end_checkpoint();
+      throw;
+    }
+    st.tail_records = wal_.committed_records();
+    st.cow_copies = store_.checkpoint_cow_copies();
+    st.mutations_during = store_.mutation_epoch() - st.epoch;
+    store_.end_checkpoint();
+    st.truncate_s = t.seconds();
+  }
+
+  stats_ = st;
+  ++completed_;
+  total_mutations_ += st.mutations_during;
+  total_cow_ += st.cow_copies;
+}
+
+}  // namespace smartstore::persist

@@ -1,0 +1,134 @@
+// Background checkpointing: snapshots a serving deployment without
+// stopping it, following the ARIES-style fuzzy-checkpoint discipline —
+// snapshot concurrently from a frozen view, fence with the log, prove by
+// replay.
+//
+// The protocol, per checkpoint:
+//
+//   1. FREEZE (serving thread excluded for O(1) work): commit the WAL so
+//      every acknowledged mutation is durable and countable, record the
+//      fence (generation, committed records), begin_checkpoint() on the
+//      store — the epoch freeze that makes later mutations copy still-
+//      unserialized pieces on first write.
+//   2. WRITE (fully concurrent): a thread-pool worker serializes the
+//      frozen view piece by piece while the serving thread keeps mutating
+//      and appending to the WAL, then publishes the snapshot atomically
+//      (temp + rename + directory fsync) with the fence inside it.
+//   3. TRUNCATE (serving thread excluded briefly): rebase the WAL — drop
+//      the fenced prefix the snapshot subsumes, keep the live tail under
+//      the next generation — and end_checkpoint().
+//
+// Crash-ordering invariants (what the crash-injection suite asserts):
+//   * before the snapshot rename, the old snapshot + full log pair is
+//     intact, so recovery replays everything on the old image;
+//   * between the rename and the WAL rebase, the new snapshot's fence
+//     (generation match) suppresses replay of exactly the records it
+//     subsumes, so nothing applies twice;
+//   * after the rebase, the generation changed, so the fence matches
+//     nothing and the whole remaining tail replays on the new image.
+//   In every window, every acknowledged write is in the snapshot, the
+//   log, or both — never neither.
+//
+// Threading contract: all mutations go through this object's mutation API
+// (or hold the same serialization the caller already has) on ONE serving
+// thread; the checkpoint runs on one pool worker. Queries may keep running
+// on the serving thread throughout.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/smartstore.h"
+#include "persist/wal.h"
+#include "util/thread_pool.h"
+
+namespace smartstore::persist {
+
+struct CheckpointStats {
+  std::uint64_t epoch = 0;           ///< store mutation epoch at freeze
+  std::uint64_t fence_generation = 0;
+  std::uint64_t fence_records = 0;   ///< WAL prefix the snapshot subsumes
+  std::uint64_t tail_records = 0;    ///< records rebased into the next log
+  std::uint64_t cow_copies = 0;      ///< pieces copied on write during it
+  std::uint64_t mutations_during = 0;  ///< epoch delta while writing
+  double freeze_s = 0;               ///< serving thread excluded (step 1)
+  double write_s = 0;                ///< concurrent serialization (step 2)
+  double truncate_s = 0;             ///< serving thread excluded (step 3)
+  std::size_t snapshot_bytes = 0;
+};
+
+class BackgroundCheckpointer {
+ public:
+  /// `store` and `wal` must outlive the checkpointer; `wal` must be the
+  /// log at wal_path(dir) so snapshot fences and rebases pair with it.
+  /// `pool` supplies the worker the snapshot is written on.
+  BackgroundCheckpointer(core::SmartStore& store, std::string dir,
+                         WalWriter& wal, util::ThreadPool& pool);
+
+  /// Waits for an in-flight checkpoint (swallowing its error — use wait()
+  /// to observe failures before destruction).
+  ~BackgroundCheckpointer();
+
+  BackgroundCheckpointer(const BackgroundCheckpointer&) = delete;
+  BackgroundCheckpointer& operator=(const BackgroundCheckpointer&) = delete;
+
+  // ---- serving-thread mutation API ---------------------------------------
+  // Write-ahead order: each mutation is logged, then applied — except
+  // erase(), which must apply first to learn whether the file existed and
+  // logs only on success. That reversal is safe because the un-logged
+  // window closes before erase() returns: a crash inside it loses both
+  // the in-memory apply and the log record together, and the caller never
+  // saw the delete acknowledged. The internal mutex serializes all of
+  // these against the freeze/truncate steps, so a checkpoint always
+  // fences at a mutation boundary.
+
+  core::QueryStats insert(const metadata::FileMetadata& f,
+                          double arrival = 0.0);
+  /// Authoritative erase (core::SmartStore::erase_file); logged only when
+  /// the file existed. Returns whether it did.
+  bool erase(const std::string& name);
+  core::UnitId add_storage_unit();
+  void remove_storage_unit(core::UnitId u);
+  std::size_t autoconfigure(
+      const std::vector<metadata::AttrSubset>& candidates);
+
+  // ---- checkpoint control -------------------------------------------------
+
+  /// Starts a checkpoint on the pool. Returns false (and does nothing)
+  /// when one is already in flight.
+  bool trigger();
+
+  /// Blocks until the in-flight checkpoint (if any) finishes; rethrows the
+  /// worker's exception. Returns true when a checkpoint actually ran.
+  bool wait();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Stats of the last checkpoint that completed successfully.
+  const CheckpointStats& last_stats() const { return stats_; }
+  std::uint64_t completed() const { return completed_; }
+  /// Accumulated over every completed checkpoint (read after wait()).
+  std::uint64_t total_mutations_during() const { return total_mutations_; }
+  std::uint64_t total_cow_copies() const { return total_cow_; }
+
+ private:
+  void run_checkpoint();
+
+  core::SmartStore& store_;
+  std::string dir_;
+  WalWriter& wal_;
+  util::ThreadPool& pool_;
+
+  std::mutex mu_;  ///< mutations vs. freeze/truncate critical sections
+  std::atomic<bool> running_{false};
+  std::future<void> inflight_;
+  CheckpointStats stats_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t total_mutations_ = 0;
+  std::uint64_t total_cow_ = 0;
+};
+
+}  // namespace smartstore::persist

@@ -24,4 +24,23 @@ metadata::FileMetadata read_file_meta(util::BinaryReader& r) {
   return f;
 }
 
+void write_attr_subset(util::BinaryWriter& w, const metadata::AttrSubset& s) {
+  w.write_u64(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i)
+    w.write_u32(static_cast<std::uint32_t>(s[i]));
+}
+
+metadata::AttrSubset read_attr_subset(util::BinaryReader& r) {
+  const std::size_t n = static_cast<std::size_t>(
+      r.read_u64_max(metadata::kNumAttrs, "attribute-subset size"));
+  std::vector<metadata::Attr> attrs(n);
+  for (auto& a : attrs) {
+    const std::uint32_t v = r.read_u32();
+    if (v >= metadata::kNumAttrs)
+      throw util::BinaryIoError("attribute id out of schema range");
+    a = static_cast<metadata::Attr>(v);
+  }
+  return metadata::AttrSubset(std::move(attrs));
+}
+
 }  // namespace smartstore::persist

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "persist/fault.h"
+
 namespace smartstore::persist {
 
 std::string snapshot_path(const std::string& dir) {
@@ -16,10 +18,28 @@ std::string wal_path(const std::string& dir) {
 void apply_record(core::SmartStore& store, const WalRecord& rec) {
   // Replay runs at virtual time zero: queue state is not part of recovery,
   // only the logical outcome of each mutation.
-  if (rec.type == WalRecordType::kInsert) {
-    store.insert_file(rec.file, 0.0);
-  } else {
-    store.delete_file(rec.name, 0.0);
+  switch (rec.type) {
+    case WalRecordType::kInsert:
+      store.insert_file(rec.file, 0.0);
+      break;
+    case WalRecordType::kRemove:
+      // erase_file, not delete_file: the live delete was acknowledged, so
+      // replay must not depend on the off-line replicas (whose staleness
+      // evolves differently during recovery) re-locating the file.
+      store.erase_file(rec.name);
+      break;
+    case WalRecordType::kAddUnit:
+      store.add_storage_unit();
+      break;
+    case WalRecordType::kRemoveUnit: {
+      const auto u = static_cast<core::UnitId>(rec.unit);
+      if (u < store.units().size() && store.unit_active(u))
+        store.remove_storage_unit(u);
+      break;
+    }
+    case WalRecordType::kAutoconfigure:
+      store.autoconfigure(rec.subsets);
+      break;
   }
 }
 
@@ -86,6 +106,10 @@ void checkpoint(const core::SmartStore& store, const std::string& dir,
   }
 
   save_snapshot(store, snapshot_path(dir), fence);
+
+  // The classic checkpoint crash window: snapshot published, log not yet
+  // emptied. The fence recorded above is what keeps this state consistent.
+  fault_point("checkpoint:pre-wal-reset");
 
   if (owns_log) {
     wal->reset();

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 #include <utility>
 
 #include "persist/codec.h"
+#include "persist/fault.h"
 #include "util/binary_io.h"
 #include "util/crc32.h"
 
@@ -130,25 +132,6 @@ lsi::LsiModel read_lsi(BinaryReader& r) {
                                    std::move(sigma), std::move(docs), rank);
 }
 
-void write_attr_subset(BinaryWriter& w, const metadata::AttrSubset& s) {
-  w.write_u64(s.size());
-  for (std::size_t i = 0; i < s.size(); ++i)
-    w.write_u32(static_cast<std::uint32_t>(s[i]));
-}
-
-metadata::AttrSubset read_attr_subset(BinaryReader& r) {
-  const std::size_t n = static_cast<std::size_t>(
-      r.read_u64_max(metadata::kNumAttrs, "attribute-subset size"));
-  std::vector<metadata::Attr> attrs(n);
-  for (auto& a : attrs) {
-    const std::uint32_t v = r.read_u32();
-    if (v >= metadata::kNumAttrs)
-      throw PersistError("attribute id out of schema range");
-    a = static_cast<metadata::Attr>(v);
-  }
-  return metadata::AttrSubset(std::move(attrs));
-}
-
 void write_version_delta(BinaryWriter& w, const core::VersionDelta& v) {
   write_mbr(w, v.added_box);
   write_bloom(w, v.added_names);
@@ -204,8 +187,14 @@ struct SnapshotAccess {
 
   // ---- encode ---------------------------------------------------------------
 
-  static void save_config(const Store& s, BinaryWriter& w) {
-    const core::Config& c = s.cfg_;
+  /// CONFIG-section writer over explicit state, shared by the quiesced
+  /// path (live members) and the concurrent path (the eagerly frozen
+  /// scalars captured at begin_checkpoint()).
+  static void save_config_state(const core::Config& c, std::size_t bloom_bits,
+                                std::size_t total_files,
+                                const std::array<std::uint64_t, 4>& rng_state,
+                                const std::vector<bool>& unit_active,
+                                BinaryWriter& w) {
     w.write_u32(static_cast<std::uint32_t>(metadata::kNumAttrs));
     w.write_u64(c.num_units);
     w.write_u64(c.fanout);
@@ -230,25 +219,37 @@ struct SnapshotAccess {
     w.write_f64(c.cost.per_node_visit_s);
     w.write_f64(c.cost.per_bloom_check_s);
     // Store-level scalars that ride in the CONFIG section.
-    w.write_u64(s.bloom_bits_);
-    w.write_u64(s.total_files_);
-    for (std::uint64_t word : s.rng_.state()) w.write_u64(word);
-    w.write_u64(s.unit_active_.size());
-    for (bool b : s.unit_active_) w.write_bool(b);
+    w.write_u64(bloom_bits);
+    w.write_u64(total_files);
+    for (std::uint64_t word : rng_state) w.write_u64(word);
+    w.write_u64(unit_active.size());
+    for (bool b : unit_active) w.write_bool(b);
+  }
+
+  static void save_config(const Store& s, BinaryWriter& w) {
+    save_config_state(s.cfg_, s.bloom_bits_, s.total_files_, s.rng_.state(),
+                      s.unit_active_, w);
+  }
+
+  static void save_standardizer_state(const la::RowStandardizer& st,
+                                      BinaryWriter& w) {
+    w.write_vec_f64(st.means);
+    w.write_vec_f64(st.inv_stdevs);
   }
 
   static void save_standardizer(const Store& s, BinaryWriter& w) {
-    w.write_vec_f64(s.standardizer_.means);
-    w.write_vec_f64(s.standardizer_.inv_stdevs);
+    save_standardizer_state(s.standardizer_, w);
+  }
+
+  static void save_unit(const core::StorageUnit& u, BinaryWriter& w) {
+    w.write_u64(u.id());
+    w.write_u64(u.file_count());
+    for (const auto& f : u.files()) write_file_meta(w, f);
   }
 
   static void save_units(const Store& s, BinaryWriter& w) {
     w.write_u64(s.units_.size());
-    for (const core::StorageUnit& u : s.units_) {
-      w.write_u64(u.id());
-      w.write_u64(u.file_count());
-      for (const auto& f : u.files()) write_file_meta(w, f);
-    }
+    for (const core::StorageUnit& u : s.units_) save_unit(u, w);
   }
 
   static void save_tree(const Tree& t, BinaryWriter& w) {
@@ -283,33 +284,132 @@ struct SnapshotAccess {
     w.write_vec_size(t.root_replicas_);
   }
 
-  static void save_variants(const Store& s, BinaryWriter& w) {
-    w.write_u64(s.variants_.size());
-    for (const core::TreeVariant& v : s.variants_) {
+  static void save_variants_state(const std::vector<core::TreeVariant>& vars,
+                                  BinaryWriter& w) {
+    w.write_u64(vars.size());
+    for (const core::TreeVariant& v : vars) {
       write_attr_subset(w, v.dims);
       save_tree(v.tree, w);
     }
   }
 
-  static void save_sync(const Store& s, BinaryWriter& w) {
-    w.write_u64(s.sync_.size());
-    // Deterministic order: follow the tree's group list, then any stragglers
+  static void save_variants(const Store& s, BinaryWriter& w) {
+    save_variants_state(s.variants_, w);
+  }
+
+  static void save_sync_state(
+      const std::unordered_map<std::size_t, Store::GroupSync>& sync,
+      const std::vector<std::size_t>& group_order, BinaryWriter& w) {
+    w.write_u64(sync.size());
+    // Deterministic order: follow the given group list, then any stragglers
     // (there should be none, but the format does not depend on map order).
     std::vector<std::size_t> order;
-    for (std::size_t g : s.tree_.groups())
-      if (s.sync_.count(g)) order.push_back(g);
-    for (const auto& [g, gs] : s.sync_) {
+    for (std::size_t g : group_order)
+      if (sync.count(g)) order.push_back(g);
+    const std::size_t ordered = order.size();
+    for (const auto& [g, gs] : sync) {
       (void)gs;
       if (std::find(order.begin(), order.end(), g) == order.end())
         order.push_back(g);
     }
+    // Stragglers come out of unordered_map iteration; sort them so the
+    // image is byte-deterministic.
+    std::sort(order.begin() + static_cast<std::ptrdiff_t>(ordered),
+              order.end());
     for (std::size_t g : order) {
-      const Store::GroupSync& gs = s.sync_.at(g);
+      const Store::GroupSync& gs = sync.at(g);
       w.write_u64(g);
       write_replica(w, gs.replica);
       write_version_delta(w, gs.pending);
       w.write_u64(gs.changes_since_full_sync);
     }
+  }
+
+  static void save_sync(const Store& s, BinaryWriter& w) {
+    save_sync_state(s.sync_, s.tree_.groups(), w);
+  }
+
+  // ---- encode from a frozen view (concurrent checkpoint) --------------------
+  //
+  // Each resolver holds the store's freeze lock while it serializes one
+  // piece: the copy made by the first post-freeze write where one exists,
+  // the untouched live object otherwise. Marking the piece done releases
+  // its copy immediately (bounding COW memory to the not-yet-serialized
+  // pieces) and tells later mutations to write through without copying.
+  // The serving thread only ever blocks for the duration of one piece.
+
+  static void require_frozen(Store& s) {
+    std::lock_guard<std::mutex> lock(s.freeze_.mu);
+    if (!s.freeze_.active)
+      throw PersistError(
+          "save_snapshot_frozen requires an active begin_checkpoint()");
+  }
+
+  static void save_config_frozen(Store& s, BinaryWriter& w) {
+    std::lock_guard<std::mutex> lock(s.freeze_.mu);
+    // cfg_ never changes after construction; the mutable scalars come from
+    // the eager capture at freeze time.
+    save_config_state(s.cfg_, s.freeze_.core.bloom_bits,
+                      s.freeze_.core.total_files, s.freeze_.core.rng_state,
+                      s.freeze_.core.unit_active, w);
+  }
+
+  static void save_standardizer_frozen(Store& s, BinaryWriter& w) {
+    std::lock_guard<std::mutex> lock(s.freeze_.mu);
+    save_standardizer_state(s.freeze_.core.standardizer, w);
+  }
+
+  static void save_units_frozen(Store& s, BinaryWriter& w) {
+    const std::size_t count = [&] {
+      std::lock_guard<std::mutex> lock(s.freeze_.mu);
+      return s.freeze_.core.unit_count;
+    }();
+    w.write_u64(count);
+    for (std::size_t u = 0; u < count; ++u) {
+      std::lock_guard<std::mutex> lock(s.freeze_.mu);
+      if (s.freeze_.unit_state[u] == Store::PieceState::kFrozen) {
+        save_unit(*s.freeze_.frozen_units[u], w);
+        s.freeze_.frozen_units[u].reset();
+      } else {
+        save_unit(s.units_[u], w);
+      }
+      s.freeze_.unit_state[u] = Store::PieceState::kDone;
+    }
+  }
+
+  static void save_tree_frozen(Store& s, BinaryWriter& w) {
+    std::lock_guard<std::mutex> lock(s.freeze_.mu);
+    save_tree(s.freeze_.tree_state == Store::PieceState::kFrozen
+                  ? *s.freeze_.frozen_tree
+                  : s.tree_,
+              w);
+    s.freeze_.frozen_tree.reset();
+    s.freeze_.tree_state = Store::PieceState::kDone;
+  }
+
+  static void save_variants_frozen(Store& s, BinaryWriter& w) {
+    std::lock_guard<std::mutex> lock(s.freeze_.mu);
+    save_variants_state(s.freeze_.variants_state == Store::PieceState::kFrozen
+                            ? *s.freeze_.frozen_variants
+                            : s.variants_,
+                        w);
+    s.freeze_.frozen_variants.reset();
+    s.freeze_.variants_state = Store::PieceState::kDone;
+  }
+
+  static void save_sync_frozen(Store& s, BinaryWriter& w) {
+    std::lock_guard<std::mutex> lock(s.freeze_.mu);
+    // Order by the group list captured at freeze time: the live tree may
+    // be mutating concurrently (its section is already serialized, so
+    // writes go through uncopied), and the frozen sync map pairs with the
+    // frozen-epoch groups anyway. Entries are keyed by group id on the
+    // wire, so ordering is determinism, not correctness.
+    save_sync_state(s.freeze_.sync_state == Store::PieceState::kFrozen
+                        ? *s.freeze_.frozen_sync
+                        : s.sync_,
+                    s.freeze_.core.group_order, w);
+    s.freeze_.frozen_sync.reset();
+    s.freeze_.sync_state = Store::PieceState::kDone;
   }
 
   // ---- decode ---------------------------------------------------------------
@@ -508,41 +608,93 @@ struct SectionView {
   bool present() const { return data != nullptr || size > 0; }
 };
 
-}  // namespace
+void append_fence_section(BinaryWriter& out, const WalFence& fence) {
+  BinaryWriter sec;
+  sec.write_u64(fence.generation);
+  sec.write_u64(fence.records);
+  append_section(out, kSecWalFence, sec);
+}
 
-void save_snapshot(const core::SmartStore& store, const std::string& path,
-                   const WalFence& fence) {
+/// The one snapshot skeleton both save paths share: section order, crash
+/// boundaries, header/fence bytes and the atomic publish are identical by
+/// construction; only the per-section serializer differs (live state vs
+/// frozen-view resolution). `fill(id, w)` writes section `id`'s payload.
+template <typename FillSection>
+void save_snapshot_image(FillSection&& fill, const WalFence& fence,
+                         const std::string& path) {
+  static constexpr struct {
+    std::uint32_t id;
+    const char* fault;
+  } kSections[] = {
+      {kSecConfig, "snapshot:section:config"},
+      {kSecStandardizer, "snapshot:section:standardizer"},
+      {kSecUnits, "snapshot:section:units"},
+      {kSecTree, "snapshot:section:tree"},
+      {kSecVariants, "snapshot:section:variants"},
+      {kSecSync, "snapshot:section:sync"},
+  };
+
   BinaryWriter out;
   out.write_bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
   out.write_u32(kSnapshotFormatVersion);
   out.write_u32(fence.present ? 7 : 6);  // section count
 
   BinaryWriter sec;
-  SnapshotAccess::save_config(store, sec);
-  append_section(out, kSecConfig, sec);
-  sec.clear();
-  SnapshotAccess::save_standardizer(store, sec);
-  append_section(out, kSecStandardizer, sec);
-  sec.clear();
-  SnapshotAccess::save_units(store, sec);
-  append_section(out, kSecUnits, sec);
-  sec.clear();
-  SnapshotAccess::save_tree(store.tree(), sec);
-  append_section(out, kSecTree, sec);
-  sec.clear();
-  SnapshotAccess::save_variants(store, sec);
-  append_section(out, kSecVariants, sec);
-  sec.clear();
-  SnapshotAccess::save_sync(store, sec);
-  append_section(out, kSecSync, sec);
-  if (fence.present) {
+  for (const auto& s : kSections) {
+    fault_point(s.fault);
     sec.clear();
-    sec.write_u64(fence.generation);
-    sec.write_u64(fence.records);
-    append_section(out, kSecWalFence, sec);
+    fill(s.id, sec);
+    append_section(out, s.id, sec);
+  }
+  if (fence.present) {
+    fault_point("snapshot:section:walfence");
+    append_fence_section(out, fence);
   }
 
-  util::write_file_atomic(path, out.buffer());
+  write_file_atomic_faulted(path, out.buffer(), "snapshot:write");
+}
+
+}  // namespace
+
+void save_snapshot(const core::SmartStore& store, const std::string& path,
+                   const WalFence& fence) {
+  save_snapshot_image(
+      [&store](std::uint32_t id, BinaryWriter& w) {
+        switch (id) {
+          case kSecConfig: SnapshotAccess::save_config(store, w); break;
+          case kSecStandardizer:
+            SnapshotAccess::save_standardizer(store, w);
+            break;
+          case kSecUnits: SnapshotAccess::save_units(store, w); break;
+          case kSecTree: SnapshotAccess::save_tree(store.tree(), w); break;
+          case kSecVariants: SnapshotAccess::save_variants(store, w); break;
+          case kSecSync: SnapshotAccess::save_sync(store, w); break;
+        }
+      },
+      fence, path);
+}
+
+void save_snapshot_frozen(core::SmartStore& store, const std::string& path,
+                          const WalFence& fence) {
+  SnapshotAccess::require_frozen(store);
+  // Each piece is resolved (frozen copy vs untouched live object) under
+  // the store's freeze lock, one section at a time.
+  save_snapshot_image(
+      [&store](std::uint32_t id, BinaryWriter& w) {
+        switch (id) {
+          case kSecConfig: SnapshotAccess::save_config_frozen(store, w); break;
+          case kSecStandardizer:
+            SnapshotAccess::save_standardizer_frozen(store, w);
+            break;
+          case kSecUnits: SnapshotAccess::save_units_frozen(store, w); break;
+          case kSecTree: SnapshotAccess::save_tree_frozen(store, w); break;
+          case kSecVariants:
+            SnapshotAccess::save_variants_frozen(store, w);
+            break;
+          case kSecSync: SnapshotAccess::save_sync_frozen(store, w); break;
+        }
+      },
+      fence, path);
 }
 
 std::unique_ptr<core::SmartStore> load_snapshot(const std::string& path,

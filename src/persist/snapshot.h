@@ -62,6 +62,17 @@ struct WalFence {
 void save_snapshot(const core::SmartStore& store, const std::string& path,
                    const WalFence& fence = {});
 
+/// Serializes the frozen view of a store whose begin_checkpoint() is
+/// active, while a serving thread keeps mutating it. Pieces are resolved
+/// one at a time under the store's freeze lock — a copy made by the first
+/// post-freeze write where one exists, the untouched live object where
+/// not — so the written image is exactly the state at the freeze epoch.
+/// Serialized pieces are marked done (their frozen copies are released and
+/// later writes stop copying), which is why the store reference is
+/// non-const. Publication is the same atomic temp+rename+dir-fsync.
+void save_snapshot_frozen(core::SmartStore& store, const std::string& path,
+                          const WalFence& fence);
+
 /// Loads and verifies a snapshot, reassembling a ready-to-serve deployment.
 /// Throws PersistError (or util::BinaryIoError) on any corruption; the
 /// returned store has passed check_invariants(). When `fence_out` is given

@@ -6,6 +6,7 @@
 #include <random>
 
 #include "persist/codec.h"
+#include "persist/fault.h"
 #include "util/crc32.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -21,6 +22,56 @@ void flush_and_sync(std::FILE* f) {
 #if defined(__unix__) || defined(__APPLE__)
   ::fsync(::fileno(f));
 #endif
+}
+
+/// One record in the block-payload encoding (the format scan_wal parses).
+void encode_record(util::BinaryWriter& w, const WalRecord& rec) {
+  w.write_u8(static_cast<std::uint8_t>(rec.type));
+  switch (rec.type) {
+    case WalRecordType::kInsert:
+      write_file_meta(w, rec.file);
+      break;
+    case WalRecordType::kRemove:
+      w.write_string(rec.name);
+      break;
+    case WalRecordType::kAddUnit:
+      break;  // no payload
+    case WalRecordType::kRemoveUnit:
+      w.write_u64(rec.unit);
+      break;
+    case WalRecordType::kAutoconfigure:
+      w.write_u64(rec.subsets.size());
+      for (const auto& s : rec.subsets) write_attr_subset(w, s);
+      break;
+  }
+}
+
+/// Serializes `records` as one commit block appended to `out` (nothing
+/// when empty). The layout must stay byte-identical to commit()'s.
+void append_block(util::BinaryWriter& out,
+                  const std::vector<WalRecord>& records) {
+  if (records.empty()) return;
+  util::BinaryWriter payload;
+  for (const WalRecord& rec : records) encode_record(payload, rec);
+  out.write_u32(kWalBlockMagic);
+  out.write_u32(static_cast<std::uint32_t>(records.size()));
+  out.write_u64(payload.size());
+  out.write_bytes(payload.buffer().data(), payload.size());
+  out.write_u32(util::crc32(payload.buffer().data(), payload.size()));
+}
+
+/// A complete log image: current magic, the given generation, then
+/// whatever `fill_blocks` appends. Published atomically through the shared
+/// fault-instrumented temp+rename+dir-fsync, so every log publish (rebase,
+/// v01 upgrade) has identical crash behavior.
+template <typename FillBlocks>
+void publish_log(const std::string& path, std::uint64_t generation,
+                 FillBlocks&& fill_blocks, const std::string& fault_prefix) {
+  util::BinaryWriter out;
+  out.write_bytes(kWalMagic, sizeof(kWalMagic));
+  out.write_u64(generation);
+  fill_blocks(out);
+  write_file_atomic_faulted(path, out.buffer(), fault_prefix);
 }
 
 }  // namespace
@@ -40,7 +91,12 @@ WalScan scan_wal(const std::string& path) {
     scan.torn_tail = true;  // shorter than the header: a torn creation
     return scan;
   }
-  if (std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0)
+  // v02 added the reconfiguration record types; v01 logs parse as a strict
+  // subset, so both magics are accepted on read.
+  scan.v1_magic =
+      std::memcmp(bytes.data(), kWalMagicV1, sizeof(kWalMagicV1)) == 0;
+  if (!scan.v1_magic &&
+      std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0)
     throw PersistError("bad WAL magic: " + path);
 
   util::BinaryReader r(bytes);
@@ -95,6 +151,21 @@ WalScan scan_wal(const std::string& path) {
         } else if (type == static_cast<std::uint8_t>(WalRecordType::kRemove)) {
           rec.type = WalRecordType::kRemove;
           rec.name = pr.read_string();
+        } else if (type ==
+                   static_cast<std::uint8_t>(WalRecordType::kAddUnit)) {
+          rec.type = WalRecordType::kAddUnit;
+        } else if (type ==
+                   static_cast<std::uint8_t>(WalRecordType::kRemoveUnit)) {
+          rec.type = WalRecordType::kRemoveUnit;
+          rec.unit = pr.read_u64();
+        } else if (type ==
+                   static_cast<std::uint8_t>(WalRecordType::kAutoconfigure)) {
+          rec.type = WalRecordType::kAutoconfigure;
+          const std::size_t nsub = static_cast<std::size_t>(
+              pr.read_u64_max(pr.remaining(), "autoconfigure subset count"));
+          rec.subsets.reserve(nsub);
+          for (std::size_t s = 0; s < nsub; ++s)
+            rec.subsets.push_back(read_attr_subset(pr));
         } else {
           parsed = false;
           break;
@@ -142,9 +213,25 @@ void WalWriter::open_truncated_to_valid_prefix() {
   const WalScan scan = scan_wal(path_);  // throws on non-WAL content
   committed_ = scan.records.size();
   generation_ = scan.generation;
+  committed_bytes_ = scan.valid_bytes;
 
   if (scan.valid_bytes > 0) {
-    if (scan.torn_tail) {
+    if (scan.v1_magic) {
+      // Appending v02-only record types behind a v01 header would make a
+      // rolled-back binary mis-read them as a torn tail and truncate acked
+      // records away. Upgrade in place: same generation and records, new
+      // magic, atomic swap. (A crash inside the swap leaves either the old
+      // v01 log or the equivalent v02 one — same generation, same records.)
+      publish_log(
+          path_, generation_,
+          [&](util::BinaryWriter& out) { append_block(out, scan.records); },
+          "wal:upgrade");
+      std::error_code size_ec;
+      const auto sz = std::filesystem::file_size(path_, size_ec);
+      if (size_ec)
+        throw PersistError("cannot stat upgraded WAL: " + size_ec.message());
+      committed_bytes_ = static_cast<std::size_t>(sz);
+    } else if (scan.torn_tail) {
       std::error_code ec;
       std::filesystem::resize_file(path_, scan.valid_bytes, ec);
       if (ec) throw PersistError("cannot drop torn WAL tail: " + ec.message());
@@ -159,17 +246,49 @@ void WalWriter::open_truncated_to_valid_prefix() {
   file_ = std::fopen(path_.c_str(), "ab");
   if (!file_) throw PersistError("cannot open WAL for append: " + path_);
   committed_ = 0;
+  committed_bytes_ = sizeof(kWalMagic) + 8;
 }
 
+// Every log_* encodes through encode_record so the live-append layout and
+// the rewrite paths (rebase slow path, v01 upgrade) cannot drift.
+
 void WalWriter::log_insert(const metadata::FileMetadata& f) {
-  batch_.write_u8(static_cast<std::uint8_t>(WalRecordType::kInsert));
-  write_file_meta(batch_, f);
+  WalRecord rec;
+  rec.type = WalRecordType::kInsert;
+  rec.file = f;
+  encode_record(batch_, rec);
   if (++pending_ >= group_commit_) commit();
 }
 
 void WalWriter::log_remove(const std::string& name) {
-  batch_.write_u8(static_cast<std::uint8_t>(WalRecordType::kRemove));
-  batch_.write_string(name);
+  WalRecord rec;
+  rec.type = WalRecordType::kRemove;
+  rec.name = name;
+  encode_record(batch_, rec);
+  if (++pending_ >= group_commit_) commit();
+}
+
+void WalWriter::log_add_unit() {
+  WalRecord rec;
+  rec.type = WalRecordType::kAddUnit;
+  encode_record(batch_, rec);
+  if (++pending_ >= group_commit_) commit();
+}
+
+void WalWriter::log_remove_unit(std::uint64_t unit) {
+  WalRecord rec;
+  rec.type = WalRecordType::kRemoveUnit;
+  rec.unit = unit;
+  encode_record(batch_, rec);
+  if (++pending_ >= group_commit_) commit();
+}
+
+void WalWriter::log_autoconfigure(
+    const std::vector<metadata::AttrSubset>& subsets) {
+  WalRecord rec;
+  rec.type = WalRecordType::kAutoconfigure;
+  rec.subsets = subsets;
+  encode_record(batch_, rec);
   if (++pending_ >= group_commit_) commit();
 }
 
@@ -182,13 +301,38 @@ void WalWriter::commit() {
   block.write_bytes(batch_.buffer().data(), batch_.size());
   block.write_u32(util::crc32(batch_.buffer().data(), batch_.size()));
 
+  // An injected crash abandons the handle: the half-written bytes are
+  // flushed so a fresh scan sees the torn tail a power cut would leave,
+  // and the dead handle keeps the destructor from appending behind it.
+  auto die_with_handle = [&]() {
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  };
+
   // Note the pre-commit boundary so a short write (disk full) can be rolled
   // back: leaving a partial block with the position advanced would strand
   // any retried commit behind garbage that recovery truncates away.
   std::fseek(file_, 0, SEEK_END);
   const long start = std::ftell(file_);
-  if (std::fwrite(block.buffer().data(), 1, block.size(), file_) !=
-      block.size()) {
+  // The block lands in two halves with a crash boundary between them: a
+  // power cut does not respect block boundaries, and the torn tail this
+  // leaves is exactly what scan_wal's checksum rollback must absorb.
+  const std::size_t half = block.size() / 2;
+  bool short_write =
+      std::fwrite(block.buffer().data(), 1, half, file_) != half;
+  if (!short_write) {
+    try {
+      fault_point("wal:commit:torn-block");
+    } catch (...) {
+      die_with_handle();
+      throw;
+    }
+    short_write = std::fwrite(block.buffer().data() + half, 1,
+                              block.size() - half,
+                              file_) != block.size() - half;
+  }
+  if (short_write) {
     std::fflush(file_);
 #if defined(__unix__) || defined(__APPLE__)
     if (start >= 0 && ::ftruncate(::fileno(file_), start) == 0)
@@ -196,10 +340,17 @@ void WalWriter::commit() {
 #endif
     throw PersistError("short write appending WAL block: " + path_);
   }
+  try {
+    fault_point("wal:commit:pre-sync");
+  } catch (...) {
+    die_with_handle();
+    throw;
+  }
   flush_and_sync(file_);
   committed_ += pending_;
   pending_ = 0;
   batch_.clear();
+  committed_bytes_ = static_cast<std::size_t>(start) + block.size();
 }
 
 void WalWriter::reset() {
@@ -208,10 +359,77 @@ void WalWriter::reset() {
   committed_ = 0;
   if (file_) std::fclose(file_);
   file_ = nullptr;
+  fault_point("wal:reset:pre-truncate");
   ++generation_;  // fences against the old history stop matching
   write_empty_wal(path_, generation_);
   file_ = std::fopen(path_.c_str(), "ab");
   if (!file_) throw PersistError("cannot reopen WAL after reset: " + path_);
+  committed_bytes_ = sizeof(kWalMagic) + 8;
+}
+
+void WalWriter::rebase(std::size_t drop, std::size_t drop_bytes) {
+  commit();  // the rebased log must carry every acknowledged record
+  if (drop == 0) return;  // fence covers nothing: the log already pairs
+                          // exactly with the snapshot, leave it be
+  fault_point("wal:rebase:begin");
+
+  // Fast path: a checkpoint fence is always taken at a commit frontier of
+  // this writer, so when the caller kept the frontier's byte offset the
+  // tail splices over as raw block bytes — O(tail), no re-parse. (This
+  // runs with the serving thread excluded; re-scanning the whole log here
+  // would stall it for the full history since the last checkpoint.)
+  const std::size_t header = sizeof(kWalMagic) + 8;
+  if (drop_bytes != kNoByteHint && drop_bytes >= header &&
+      drop_bytes <= committed_bytes_ && drop <= committed_) {
+    std::vector<std::uint8_t> tail(committed_bytes_ - drop_bytes);
+    if (!tail.empty()) {
+      std::FILE* in = std::fopen(path_.c_str(), "rb");
+      if (!in) throw PersistError("cannot reopen WAL for rebase: " + path_);
+      if (std::fseek(in, static_cast<long>(drop_bytes), SEEK_SET) != 0 ||
+          std::fread(tail.data(), 1, tail.size(), in) != tail.size()) {
+        std::fclose(in);
+        throw PersistError("cannot read WAL tail for rebase: " + path_);
+      }
+      std::fclose(in);
+    }
+    publish_log(
+        path_, generation_ + 1,
+        [&](util::BinaryWriter& out) {
+          if (!tail.empty()) out.write_bytes(tail.data(), tail.size());
+        },
+        "wal:rebase");
+    committed_ -= drop;
+  } else {
+    // No (usable) byte hint — e.g. a drop inside a commit block, which
+    // the checkpoint protocol never produces: re-encode the tail records.
+    const WalScan scan = scan_wal(path_);
+    const std::size_t keep_from = std::min(drop, scan.records.size());
+    const std::vector<WalRecord> tail(
+        scan.records.begin() + static_cast<std::ptrdiff_t>(keep_from),
+        scan.records.end());
+    publish_log(
+        path_, generation_ + 1,
+        [&](util::BinaryWriter& out) { append_block(out, tail); },
+        "wal:rebase");
+    committed_ = tail.size();
+  }
+
+  // Swap the append handle onto the new inode.
+  if (file_) std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (!file_) throw PersistError("cannot reopen WAL after rebase: " + path_);
+  ++generation_;
+  std::error_code ec;
+  const auto sz = std::filesystem::file_size(path_, ec);
+  if (ec) throw PersistError("cannot stat rebased WAL: " + ec.message());
+  committed_bytes_ = static_cast<std::size_t>(sz);
+}
+
+void WalWriter::abandon() {
+  pending_ = 0;
+  batch_.clear();
+  if (file_) std::fclose(file_);
+  file_ = nullptr;
 }
 
 void write_empty_wal(const std::string& path, std::uint64_t generation) {

@@ -1,7 +1,10 @@
 // Versioned write-ahead log for SmartStore's dynamic operations.
 //
 // Records mirror the store's mutation API — one kInsert per insert_file,
-// one kRemove per delete_file — and are batched into group-commit blocks
+// one kRemove per delete_file, plus the reconfiguration operations
+// (add_storage_unit / remove_storage_unit / autoconfigure), so a crash
+// between a topology change and the next checkpoint replays into the new
+// topology, not the old one. Records are batched into group-commit blocks
 // the same way Section 4.4 aggregates changes into sealed VersionDeltas:
 // `group_commit` records (default: the store's version_ratio) form one
 // atomic, CRC-checksummed block, flushed and fsynced together. Recovery is
@@ -11,7 +14,7 @@
 //
 // On-disk layout (little-endian):
 //
-//   [8B magic "SSWALv01"] [u64 log generation]
+//   [8B magic "SSWALv02"] [u64 log generation]
 //   then per commit block:
 //   [u32 block magic] [u32 record count] [u64 payload length]
 //   [payload] [u32 CRC-32 of payload]
@@ -19,12 +22,20 @@
 // Payload: `record count` records, each
 //   [u8 type]  type 1 (insert): FileMetadata record (persist/codec.h)
 //              type 2 (remove): u64-length-prefixed filename
+//              type 3 (add unit): no payload
+//              type 4 (remove unit): u64 unit id
+//              type 5 (autoconfigure): u64 count + attribute subsets
+//                                      (persist/codec.h)
 //
-// The generation changes every time the log is emptied. A checkpoint
-// records (generation, record count) as a fence inside the snapshot it
-// writes; recovery skips fenced records when the generations match, so a
-// crash landing between "snapshot renamed" and "WAL emptied" replays
-// nothing twice (see persist/recovery.h).
+// v01 logs (no reconfiguration record types) are still read; new logs are
+// written as v02 so an old binary rejects them by magic instead of
+// misparsing the new record types as corruption.
+//
+// The generation changes every time the log is emptied or rebased. A
+// checkpoint records (generation, record count) as a fence inside the
+// snapshot it writes; recovery skips fenced records when the generations
+// match, so a crash landing between "snapshot renamed" and "WAL
+// emptied/rebased" replays nothing twice (see persist/recovery.h).
 #pragma once
 
 #include <cstdint>
@@ -33,20 +44,31 @@
 #include <vector>
 
 #include "metadata/file_metadata.h"
+#include "metadata/schema.h"
 #include "persist/snapshot.h"
 #include "util/binary_io.h"
 
 namespace smartstore::persist {
 
-inline constexpr char kWalMagic[8] = {'S', 'S', 'W', 'A', 'L', 'v', '0', '1'};
+inline constexpr char kWalMagic[8] = {'S', 'S', 'W', 'A', 'L', 'v', '0', '2'};
+inline constexpr char kWalMagicV1[8] = {'S', 'S', 'W', 'A',
+                                        'L', 'v', '0', '1'};
 inline constexpr std::uint32_t kWalBlockMagic = 0x4B4C4257;  // "WBLK"
 
-enum class WalRecordType : std::uint8_t { kInsert = 1, kRemove = 2 };
+enum class WalRecordType : std::uint8_t {
+  kInsert = 1,
+  kRemove = 2,
+  kAddUnit = 3,        ///< add_storage_unit()
+  kRemoveUnit = 4,     ///< remove_storage_unit(unit)
+  kAutoconfigure = 5,  ///< autoconfigure(subsets)
+};
 
 struct WalRecord {
   WalRecordType type = WalRecordType::kInsert;
-  metadata::FileMetadata file;  ///< kInsert payload
-  std::string name;             ///< kRemove payload
+  metadata::FileMetadata file;                  ///< kInsert payload
+  std::string name;                             ///< kRemove payload
+  std::uint64_t unit = 0;                       ///< kRemoveUnit payload
+  std::vector<metadata::AttrSubset> subsets;    ///< kAutoconfigure payload
 };
 
 /// Result of scanning a log: all records from complete, checksum-valid
@@ -57,6 +79,7 @@ struct WalScan {
   std::size_t blocks = 0;
   std::size_t valid_bytes = 0;  ///< file offset just past the last good block
   bool torn_tail = false;       ///< trailing partial/corrupt block dropped
+  bool v1_magic = false;        ///< header was the legacy "SSWALv01"
 };
 
 /// Scans a WAL, stopping (not failing) at the first torn or corrupt block.
@@ -78,6 +101,9 @@ class WalWriter {
 
   void log_insert(const metadata::FileMetadata& f);
   void log_remove(const std::string& name);
+  void log_add_unit();
+  void log_remove_unit(std::uint64_t unit);
+  void log_autoconfigure(const std::vector<metadata::AttrSubset>& subsets);
 
   /// Seals the pending batch into one commit block: write, flush, fsync.
   /// No-op when nothing is pending.
@@ -87,8 +113,36 @@ class WalWriter {
   /// redundant). Pending uncommitted records are discarded.
   void reset();
 
+  /// No byte hint: rebase() falls back to re-parsing the log.
+  static constexpr std::size_t kNoByteHint = static_cast<std::size_t>(-1);
+
+  /// Drops the first `drop` committed records — the prefix a just-published
+  /// snapshot's fence subsumes — and keeps the tail under the next
+  /// generation. Pending records are committed first so the rebased log is
+  /// exact. The swap is atomic (temp + rename + directory fsync): a crash
+  /// at any instant leaves either the old log (the snapshot's fence skips
+  /// the prefix) or the new one (generation mismatch replays the whole
+  /// tail), never a torn mixture. This is how a background checkpoint
+  /// truncates the log without quiescing the writers appending behind it.
+  ///
+  /// `drop_bytes` — committed_bytes() observed at the same instant the
+  /// fence observed committed_records() — lets the tail splice over as raw
+  /// block bytes, O(tail) instead of an O(log) re-parse (rebase runs with
+  /// the serving thread excluded, so this matters under load). Without it,
+  /// or with an out-of-range value, the slow re-encode path runs.
+  void rebase(std::size_t drop, std::size_t drop_bytes = kNoByteHint);
+
+  /// Drops the handle and the pending batch without committing — the
+  /// in-process stand-in for the process dying with this writer open
+  /// (crash-injection tests freeze the on-disk state with this). Every
+  /// later append or commit through this object is a no-op.
+  void abandon();
+
   std::size_t pending_records() const { return pending_; }
   std::uint64_t committed_records() const { return committed_; }
+  /// File offset just past the last committed block — the byte-side of the
+  /// commit frontier (pair it with committed_records() for rebase()).
+  std::size_t committed_bytes() const { return committed_bytes_; }
   std::uint64_t generation() const { return generation_; }
   const std::string& path() const { return path_; }
 
@@ -102,6 +156,7 @@ class WalWriter {
   std::size_t pending_ = 0;
   std::uint64_t committed_ = 0;
   std::uint64_t generation_ = 0;
+  std::size_t committed_bytes_ = 0;  ///< offset past the last block
 };
 
 /// Overwrites `path` with a fresh, empty log carrying `generation` (header

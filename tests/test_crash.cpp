@@ -1,0 +1,384 @@
+// Crash-injection suite for the concurrent checkpoint protocol.
+//
+// Three attack angles on the same contract — recover() always lands on a
+// consistent prefix of the acknowledged history, with no acknowledged
+// write lost and nothing applied twice:
+//
+//   1. a deterministic fault-point sweep: one fixed workload (inserts,
+//      a fuzzy checkpoint with mutations interleaved between its phases,
+//      a stop-the-world checkpoint) is killed at *every* snapshot section
+//      boundary, atomic-publish stage, WAL block boundary and rebase
+//      stage it passes, and recovery is verified from each crash state;
+//   2. a randomized oracle fuzz: insert/delete/reconfigure/checkpoint/
+//      crash/recover against an in-memory name-set oracle, with on-line
+//      point-query recall checked after every recovery;
+//   3. per-section snapshot corruption: one flipped bit in each
+//      CRC-protected section (and in each stored CRC) must fail the load
+//      cleanly with PersistError — no crash, no partially loaded store.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "persist/fault.h"
+#include "persist/recovery.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+#include "trace/synth.h"
+#include "util/binary_io.h"
+#include "util/rng.h"
+
+namespace smartstore::persist {
+namespace {
+
+using core::Config;
+using core::Routing;
+using core::SmartStore;
+using metadata::AttrSubset;
+using metadata::FileMetadata;
+
+std::string temp_dir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("smartstore_crash_" + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::set<std::string> unit_names(const SmartStore& s) {
+  std::set<std::string> out;
+  for (const auto& u : s.units())
+    for (const auto& f : u.files()) out.insert(f.name);
+  return out;
+}
+
+// ---- 1. deterministic fault-point sweep -------------------------------------
+
+struct ScenarioResult {
+  std::vector<std::string> insert_order;  ///< every attempted insert
+  std::set<std::string> acked;            ///< durable when last op returned
+  std::set<std::string> base;             ///< population from build()
+  bool completed = false;
+};
+
+/// One fixed workload covering every write path: WAL-logged inserts
+/// (group commit 2), a fuzzy checkpoint with inserts interleaved between
+/// freeze / snapshot / rebase, a stop-the-world checkpoint against the
+/// live writer, and a trailing batch. Single-threaded so the fault-point
+/// sequence is deterministic. The durable baseline (build + first
+/// checkpoint) is written with faults disarmed — a crash before any
+/// checkpoint ever completed has nothing to recover from, by design —
+/// then `arm_at` arms the injector for the workload (0 = stay disarmed
+/// and reset the pass counter, for enumeration). An injected fault
+/// abandons the WAL handle, freezing the on-disk bytes exactly as the
+/// crash left them, and returns completed = false.
+ScenarioResult run_crash_scenario(const std::string& dir,
+                                  std::uint64_t arm_at) {
+  ScenarioResult res;
+
+  fault_disarm();
+  const auto tr = trace::SyntheticTrace::generate(trace::msn_profile(), 1, 42,
+                                                  /*downscale=*/50);
+  Config cfg;
+  cfg.num_units = 6;
+  cfg.seed = 7;
+  SmartStore store(cfg);
+  store.build(tr.files());
+  res.base = unit_names(store);
+
+  const auto stream = tr.make_insert_stream(13, 77);
+  auto wal = std::make_unique<WalWriter>(wal_path(dir), /*group_commit=*/2);
+  checkpoint(store, dir, wal.get());
+
+  // Arm (or just reset the pass counter) only now: the baseline above is
+  // not part of the sweep, so the dry run's enumeration must start here.
+  if (arm_at > 0) {
+    fault_arm(arm_at);
+  } else {
+    fault_disarm();
+  }
+  try {
+    auto logged_insert = [&](const FileMetadata& f) {
+      res.insert_order.push_back(f.name);
+      wal->log_insert(f);  // may auto-commit (and crash) at the batch size
+      store.insert_file(f, 0.0);
+      const std::size_t durable =
+          res.insert_order.size() - wal->pending_records();
+      res.acked.clear();
+      for (std::size_t i = 0; i < durable; ++i)
+        res.acked.insert(res.insert_order[i]);
+    };
+
+    for (int i = 0; i < 4; ++i) logged_insert(stream[i]);
+
+    // Fuzzy checkpoint, phase by phase, with mutations in the gaps — the
+    // copy-on-write machinery and every publish stage are on the path.
+    wal->commit();
+    const WalFence fence{wal->generation(), wal->committed_records(), true};
+    const std::size_t fence_bytes = wal->committed_bytes();
+    store.begin_checkpoint();
+    logged_insert(stream[4]);
+    logged_insert(stream[5]);
+    save_snapshot_frozen(store, snapshot_path(dir), fence);
+    logged_insert(stream[6]);
+    wal->rebase(static_cast<std::size_t>(fence.records), fence_bytes);
+    store.end_checkpoint();
+
+    logged_insert(stream[7]);
+    logged_insert(stream[8]);
+    checkpoint(store, dir, wal.get());
+    for (int i = 9; i < 13; ++i) logged_insert(stream[i]);
+    wal->commit();
+    res.acked.clear();
+    for (const auto& name : res.insert_order) res.acked.insert(name);
+    res.completed = true;
+  } catch (const FaultInjected&) {
+    wal->abandon();  // the process died: nothing may touch the files now
+  }
+  return res;
+}
+
+TEST(CrashInjection, RecoveryIsConsistentAtEveryFaultPoint) {
+  // Dry run: enumerate the workload's fault points.
+  std::uint64_t total = 0;
+  {
+    const std::string dir = temp_dir("sweep_dry");
+    const ScenarioResult dry = run_crash_scenario(dir, 0);
+    ASSERT_TRUE(dry.completed);
+    total = fault_points_passed();
+    std::filesystem::remove_all(dir);
+  }
+  ASSERT_GT(total, 20u) << "the workload should cross many crash boundaries";
+
+  for (std::uint64_t k = 1; k <= total; ++k) {
+    const std::string dir = temp_dir("sweep_" + std::to_string(k));
+    const ScenarioResult r = run_crash_scenario(dir, k);
+    const std::string where = fault_last_fired();
+    fault_disarm();
+    ASSERT_FALSE(r.completed) << "fault " << k << " never fired";
+
+    RecoveryResult rec;
+    ASSERT_NO_THROW(rec = recover(dir))
+        << "recovery failed after crash at point " << k << " (" << where
+        << ")";
+    ASSERT_TRUE(rec.store) << where;
+    EXPECT_TRUE(rec.store->check_invariants()) << where;
+
+    // Consistent prefix: recovered = base + the first j attempted inserts,
+    // for some j covering at least every acknowledged one.
+    const std::set<std::string> got = unit_names(*rec.store);
+    std::set<std::string> expect = r.base;
+    std::size_t j = 0;
+    for (; j < r.insert_order.size(); ++j) {
+      if (!got.count(r.insert_order[j])) break;
+      expect.insert(r.insert_order[j]);
+    }
+    for (std::size_t t = j; t < r.insert_order.size(); ++t) {
+      EXPECT_FALSE(got.count(r.insert_order[t]))
+          << "non-prefix survivor " << r.insert_order[t] << " at point " << k
+          << " (" << where << ")";
+    }
+    EXPECT_EQ(got, expect) << "crash at point " << k << " (" << where << ")";
+    EXPECT_GE(j, r.acked.size())
+        << "lost an acknowledged write at point " << k << " (" << where
+        << ")";
+    std::filesystem::remove_all(dir);
+  }
+}
+
+// ---- 2. randomized oracle fuzz ----------------------------------------------
+
+TEST(CrashOracle, RandomizedMutationsCrashesAndRecoveriesMatchOracle) {
+  fault_disarm();
+  const std::string dir = temp_dir("oracle");
+  const auto tr = trace::SyntheticTrace::generate(trace::msn_profile(), 1, 42,
+                                                  /*downscale=*/50);
+  Config cfg;
+  cfg.num_units = 8;
+  cfg.seed = 7;
+  auto store = std::make_unique<SmartStore>(cfg);
+  store->build(tr.files());
+
+  std::set<std::string> oracle = unit_names(*store);
+  std::vector<std::string> live_names(oracle.begin(), oracle.end());
+
+  checkpoint(*store, dir);
+  auto wal = std::make_unique<WalWriter>(wal_path(dir), /*group_commit=*/3);
+
+  const auto pool = tr.make_insert_stream(400, 123);
+  std::size_t cursor = 0;
+  util::Rng rng(2024);
+  std::size_t crashes = 0, checkpoints = 0;
+
+  auto verify_against_oracle = [&](const SmartStore& s) {
+    ASSERT_EQ(unit_names(s), oracle);
+    ASSERT_TRUE(s.check_invariants());
+    ASSERT_EQ(s.total_files(), oracle.size());
+  };
+
+  for (int step = 0; step < 240; ++step) {
+    const double r = rng.uniform();
+    if (r < 0.55 && cursor < pool.size()) {
+      const FileMetadata& f = pool[cursor++];
+      wal->log_insert(f);
+      store->insert_file(f, 0.0);
+      oracle.insert(f.name);
+      live_names.push_back(f.name);
+    } else if (r < 0.72 && !live_names.empty()) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform_u64(live_names.size()));
+      const std::string name = live_names[pick];
+      live_names.erase(live_names.begin() +
+                       static_cast<std::ptrdiff_t>(pick));
+      if (oracle.count(name)) {
+        ASSERT_TRUE(store->erase_file(name)) << name;
+        wal->log_remove(name);
+        oracle.erase(name);
+      }
+    } else if (r < 0.77) {
+      wal->log_add_unit();
+      store->add_storage_unit();
+    } else if (r < 0.80) {
+      // Remove a random active unit, keeping a quorum alive.
+      std::vector<core::UnitId> active;
+      for (core::UnitId u = 0; u < store->units().size(); ++u)
+        if (store->unit_active(u)) active.push_back(u);
+      if (active.size() > 5) {
+        const core::UnitId u = active[static_cast<std::size_t>(
+            rng.uniform_u64(active.size()))];
+        wal->log_remove_unit(u);
+        store->remove_storage_unit(u);
+      }
+    } else if (r < 0.84) {
+      const std::vector<AttrSubset> cands = {
+          AttrSubset::from_mask(0x7u), AttrSubset::from_mask(0x1Fu)};
+      wal->log_autoconfigure(cands);
+      store->autoconfigure(cands);
+    } else if (r < 0.92) {
+      // Fuzzy checkpoint with a mutation landing mid-snapshot (COW path).
+      wal->commit();
+      const WalFence fence{wal->generation(), wal->committed_records(), true};
+      store->begin_checkpoint();
+      if (cursor < pool.size()) {
+        const FileMetadata& f = pool[cursor++];
+        wal->log_insert(f);
+        store->insert_file(f, 0.0);
+        oracle.insert(f.name);
+        live_names.push_back(f.name);
+      }
+      save_snapshot_frozen(*store, snapshot_path(dir), fence);
+      wal->rebase(static_cast<std::size_t>(fence.records));
+      store->end_checkpoint();
+      ++checkpoints;
+    } else {
+      // Simulated crash at a commit boundary, then recovery.
+      wal->commit();
+      wal.reset();
+      store.reset();
+      RecoveryResult rec = recover(dir);
+      store = std::move(rec.store);
+      wal = std::make_unique<WalWriter>(wal_path(dir), /*group_commit=*/3);
+      ++crashes;
+      verify_against_oracle(*store);
+
+      // On-line point routing is exact: every oracle member must resolve.
+      std::size_t probes = 0;
+      for (const auto& name : oracle) {
+        if (++probes > 15) break;
+        const auto res = store->point_query({name}, Routing::kOnline, 0.0);
+        EXPECT_TRUE(res.found) << name << " lost after crash " << crashes;
+      }
+    }
+  }
+
+  // Final crash + recovery + full comparison.
+  wal->commit();
+  wal.reset();
+  store.reset();
+  RecoveryResult rec = recover(dir);
+  ASSERT_TRUE(rec.store);
+  verify_against_oracle(*rec.store);
+  EXPECT_GE(crashes, 1u);
+  EXPECT_GE(checkpoints, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---- 3. per-section snapshot corruption -------------------------------------
+
+struct SectionSpan {
+  std::uint32_t id = 0;
+  std::size_t payload_off = 0;
+  std::size_t payload_len = 0;
+  std::size_t crc_off = 0;
+};
+
+std::vector<SectionSpan> parse_sections(const std::vector<std::uint8_t>& b) {
+  util::BinaryReader r(b);
+  r.skip(sizeof(kSnapshotMagic));
+  r.read_u32();  // format version
+  const std::uint32_t nsections = r.read_u32();
+  std::vector<SectionSpan> out;
+  for (std::uint32_t i = 0; i < nsections; ++i) {
+    SectionSpan s;
+    s.id = r.read_u32();
+    s.payload_len = static_cast<std::size_t>(r.read_u64());
+    s.payload_off = r.position();
+    r.skip(s.payload_len);
+    s.crc_off = r.position();
+    r.read_u32();
+    out.push_back(s);
+  }
+  return out;
+}
+
+TEST(SnapshotCorruption, OneFlippedBitInAnySectionFailsLoadCleanly) {
+  fault_disarm();
+  const std::string dir = temp_dir("corrupt_sections");
+  const auto tr = trace::SyntheticTrace::generate(trace::hp_profile(), 1, 42,
+                                                  /*downscale=*/20);
+  Config cfg;
+  cfg.num_units = 8;
+  cfg.seed = 7;
+  SmartStore store(cfg);
+  store.build(tr.files());
+  // Variants + a fence so the VARIANTS and WALFENCE sections are
+  // non-trivial too.
+  store.autoconfigure({AttrSubset::from_mask(0x7u)});
+  const std::string path = snapshot_path(dir);
+  save_snapshot(store, path, WalFence{99, 3, true});
+
+  const auto pristine = util::read_file_bytes(path);
+  ASSERT_NO_THROW(load_snapshot(path));
+  const auto sections = parse_sections(pristine);
+  ASSERT_EQ(sections.size(), 7u);  // 6 mandatory + WALFENCE
+
+  for (const SectionSpan& s : sections) {
+    // A flipped payload bit must trip the section checksum.
+    if (s.payload_len > 0) {
+      auto bytes = pristine;
+      bytes[s.payload_off + s.payload_len / 2] ^= 0x10;
+      util::write_file_atomic(path, bytes);
+      EXPECT_THROW(load_snapshot(path), PersistError)
+          << "payload flip in section " << s.id;
+    }
+    // A flipped bit in the stored CRC itself must fail identically.
+    auto bytes = pristine;
+    bytes[s.crc_off] ^= 0x01;
+    util::write_file_atomic(path, bytes);
+    EXPECT_THROW(load_snapshot(path), PersistError)
+        << "crc flip in section " << s.id;
+  }
+
+  // The pristine bytes still load: corruption detection has no side
+  // effects on the on-disk image.
+  util::write_file_atomic(path, pristine);
+  EXPECT_NO_THROW(load_snapshot(path));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace smartstore::persist

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -160,7 +161,9 @@ TEST_F(SnapshotTest, RoundTripYieldsIdenticalQueryResults) {
     const auto a = store_->point_query(q, Routing::kOffline, 0.0);
     const auto b = loaded->point_query(q, Routing::kOffline, 0.0);
     EXPECT_EQ(a.found, b.found) << "point query diverged on " << q.filename;
-    if (a.found && b.found) EXPECT_EQ(a.id, b.id);
+    if (a.found && b.found) {
+      EXPECT_EQ(a.id, b.id);
+    }
   }
   double recall_a = 0, recall_b = 0;
   for (const auto& q : ranges) {
@@ -359,6 +362,70 @@ TEST(Wal, CraftedHugeRecordCountIsCorruptionNotAllocation) {
   EXPECT_TRUE(scan.torn_tail);
   EXPECT_EQ(scan.blocks, 0u);
   EXPECT_EQ(scan.records.size(), 0u);
+}
+
+TEST(Wal, RebaseDropsFencedPrefixKeepsTailUnderNextGeneration) {
+  const std::string dir = temp_dir("wal_rebase");
+  const std::string path = wal_path(dir);
+  trace::SyntheticTrace tr = trace::SyntheticTrace::generate(
+      trace::msn_profile(), 1, 42, /*downscale=*/50);
+  const auto stream = tr.make_insert_stream(7, 5);
+
+  WalWriter wal(path, /*group_commit=*/2);
+  for (const auto& f : stream) wal.log_insert(f);
+  wal.commit();
+  const std::uint64_t gen = wal.generation();
+  ASSERT_EQ(wal.committed_records(), 7u);
+
+  wal.rebase(4);  // a snapshot fenced the first four records
+  EXPECT_EQ(wal.generation(), gen + 1);
+  EXPECT_EQ(wal.committed_records(), 3u);
+
+  const WalScan scan = scan_wal(path);
+  EXPECT_EQ(scan.generation, gen + 1);
+  ASSERT_EQ(scan.records.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(scan.records[i].file.name, stream[4 + i].name);
+
+  // Appends keep working through the swapped handle.
+  wal.log_remove(stream[0].name);
+  wal.commit();
+  EXPECT_EQ(scan_wal(path).records.size(), 4u);
+}
+
+TEST(Wal, LegacyV1LogIsUpgradedBeforeNewRecordTypesAppend) {
+  // A v01-magic log must not get v02-only record types appended behind its
+  // old header (a rolled-back binary would truncate them as corruption);
+  // the writer upgrades magic + preserves generation and records first.
+  const std::string dir = temp_dir("wal_v1");
+  const std::string path = wal_path(dir);
+  trace::SyntheticTrace tr = trace::SyntheticTrace::generate(
+      trace::msn_profile(), 1, 42, /*downscale=*/50);
+  const auto stream = tr.make_insert_stream(2, 5);
+
+  {  // Write a v02 log, then retro-stamp the v01 magic over it.
+    WalWriter wal(path, 2);
+    for (const auto& f : stream) wal.log_insert(f);
+  }
+  auto bytes = util::read_file_bytes(path);
+  std::memcpy(bytes.data(), kWalMagicV1, sizeof(kWalMagicV1));
+  util::write_file_atomic(path, bytes);
+  const WalScan legacy = scan_wal(path);
+  EXPECT_TRUE(legacy.v1_magic);
+  const std::uint64_t gen = legacy.generation;
+
+  {
+    WalWriter wal(path, 1);
+    EXPECT_EQ(wal.generation(), gen);
+    EXPECT_EQ(wal.committed_records(), 2u);
+    wal.log_add_unit();  // v02-only record type
+  }
+  const WalScan upgraded = scan_wal(path);
+  EXPECT_FALSE(upgraded.v1_magic);
+  EXPECT_EQ(upgraded.generation, gen);
+  ASSERT_EQ(upgraded.records.size(), 3u);
+  EXPECT_EQ(upgraded.records[0].file.name, stream[0].name);
+  EXPECT_EQ(upgraded.records[2].type, WalRecordType::kAddUnit);
 }
 
 // ---- checkpoint / recover ---------------------------------------------------
