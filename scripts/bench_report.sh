@@ -1,17 +1,24 @@
 #!/usr/bin/env sh
-# Runs the Google-Benchmark micro suite and emits a machine-readable
-# BENCH_core.json, so the performance trajectory across PRs has data points.
+# Emits the machine-readable performance reports, so the trajectory across
+# PRs has data points:
 #
-#   scripts/bench_report.sh [build-dir] [output-json]
+#   BENCH_core.json     Google-Benchmark micro suite (bench_micro_core);
+#                       optional — skipped when the library was absent at
+#                       configure time.
+#   BENCH_persist.json  multi-writer ingest throughput by thread count
+#                       (with and without the sharded WAL) and recovery
+#                       time from sharded logs (bench_concurrent).
 #
-# bench_micro_core is only built when find_package(benchmark) succeeds; on a
-# machine without the library this script says so and exits 0 (the report is
-# optional, not a gate).
+#   scripts/bench_report.sh [build-dir] [core-json] [persist-json]
+#
+# Honoured environment: BENCH_REPETITIONS (micro suite), BENCH_SMOKE=1
+# (tiny bench_concurrent sizes for CI smoke runs), BENCH_INSERTS,
+# BENCH_GROUP_COMMIT.
 set -eu
 
 BUILD_DIR=${1:-build}
-OUT=${2:-BENCH_core.json}
-BIN="$BUILD_DIR/bench/bench_micro_core"
+CORE_OUT=${2:-BENCH_core.json}
+PERSIST_OUT=${3:-BENCH_persist.json}
 
 if [ ! -d "$BUILD_DIR" ]; then
     echo "bench_report: build dir '$BUILD_DIR' not found — configure first:" >&2
@@ -19,14 +26,22 @@ if [ ! -d "$BUILD_DIR" ]; then
     exit 1
 fi
 
-if [ ! -x "$BIN" ]; then
-    echo "bench_report: $BIN not built (Google Benchmark not found at configure time); skipping"
-    exit 0
+MICRO="$BUILD_DIR/bench/bench_micro_core"
+if [ -x "$MICRO" ]; then
+    "$MICRO" \
+        --benchmark_out="$CORE_OUT" \
+        --benchmark_out_format=json \
+        --benchmark_repetitions="${BENCH_REPETITIONS:-1}"
+    echo "bench_report: wrote $CORE_OUT"
+else
+    echo "bench_report: $MICRO not built (Google Benchmark not found at configure time); skipping"
 fi
 
-"$BIN" \
-    --benchmark_out="$OUT" \
-    --benchmark_out_format=json \
-    --benchmark_repetitions="${BENCH_REPETITIONS:-1}"
-
-echo "bench_report: wrote $OUT"
+CONCURRENT="$BUILD_DIR/bench/bench_concurrent"
+if [ -x "$CONCURRENT" ]; then
+    "$CONCURRENT" --json "$PERSIST_OUT"
+    echo "bench_report: wrote $PERSIST_OUT"
+else
+    echo "bench_report: $CONCURRENT not built; skipping $PERSIST_OUT" >&2
+    exit 1
+fi

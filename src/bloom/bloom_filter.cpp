@@ -39,18 +39,24 @@ BloomFilter BloomFilter::from_words(std::size_t bits, unsigned num_hashes,
   return bf;
 }
 
-void BloomFilter::insert(std::string_view item) {
-  const auto w = md5(item).words();
+ItemHash hash_item(std::string_view item) { return {md5(item).words()}; }
+
+void BloomFilter::insert(std::string_view item) { insert(hash_item(item)); }
+
+void BloomFilter::insert(const ItemHash& h) {
   for (unsigned i = 0; i < k_; ++i) {
-    const std::size_t idx = bloom_probe_index(i, w.data(), bits_);
+    const std::size_t idx = bloom_probe_index(i, h.w.data(), bits_);
     words_[idx / 64] |= (1ULL << (idx % 64));
   }
 }
 
 bool BloomFilter::may_contain(std::string_view item) const {
-  const auto w = md5(item).words();
+  return may_contain(hash_item(item));
+}
+
+bool BloomFilter::may_contain(const ItemHash& h) const {
   for (unsigned i = 0; i < k_; ++i) {
-    const std::size_t idx = bloom_probe_index(i, w.data(), bits_);
+    const std::size_t idx = bloom_probe_index(i, h.w.data(), bits_);
     if ((words_[idx / 64] & (1ULL << (idx % 64))) == 0) return false;
   }
   return true;
@@ -101,27 +107,37 @@ void CountingBloomFilter::set_counter(std::size_t idx, std::uint8_t v) {
 }
 
 void CountingBloomFilter::insert(std::string_view item) {
-  const auto w = md5(item).words();
+  insert(hash_item(item));
+}
+
+void CountingBloomFilter::insert(const ItemHash& h) {
   for (unsigned i = 0; i < k_; ++i) {
-    const std::size_t idx = bloom_probe_index(i, w.data(), bits_);
+    const std::size_t idx = bloom_probe_index(i, h.w.data(), bits_);
     const std::uint8_t c = get_counter(idx);
     if (c < 0x0f) set_counter(idx, static_cast<std::uint8_t>(c + 1));
   }
 }
 
 void CountingBloomFilter::remove(std::string_view item) {
-  const auto w = md5(item).words();
+  remove(hash_item(item));
+}
+
+void CountingBloomFilter::remove(const ItemHash& h) {
   for (unsigned i = 0; i < k_; ++i) {
-    const std::size_t idx = bloom_probe_index(i, w.data(), bits_);
+    const std::size_t idx = bloom_probe_index(i, h.w.data(), bits_);
     const std::uint8_t c = get_counter(idx);
     if (c > 0 && c < 0x0f) set_counter(idx, static_cast<std::uint8_t>(c - 1));
   }
 }
 
 bool CountingBloomFilter::may_contain(std::string_view item) const {
-  const auto w = md5(item).words();
+  return may_contain(hash_item(item));
+}
+
+bool CountingBloomFilter::may_contain(const ItemHash& h) const {
   for (unsigned i = 0; i < k_; ++i) {
-    if (get_counter(bloom_probe_index(i, w.data(), bits_)) == 0) return false;
+    if (get_counter(bloom_probe_index(i, h.w.data(), bits_)) == 0)
+      return false;
   }
   return true;
 }

@@ -8,6 +8,7 @@
 // filters, so a query can walk down the tree following positive hits.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstddef>
 #include <string_view>
@@ -22,6 +23,17 @@ namespace smartstore::bloom {
 /// identical bit positions.
 std::size_t bloom_probe_index(unsigned i, const std::uint32_t w[4],
                               std::size_t bits);
+
+/// An item's MD5 digest words, computed once and reusable across every
+/// filter the item touches. An insert propagating up the semantic R-tree
+/// hits one filter per ancestor — and, under multi-writer serving, each of
+/// those under a contended stripe lock — so hashing outside the lock and
+/// passing the digest in keeps the critical sections to pure bit-sets.
+struct ItemHash {
+  std::array<std::uint32_t, 4> w{};
+};
+
+ItemHash hash_item(std::string_view item);
 
 class BloomFilter {
  public:
@@ -38,10 +50,12 @@ class BloomFilter {
                                 std::vector<std::uint64_t> words);
 
   void insert(std::string_view item);
+  void insert(const ItemHash& h);
 
   /// True if the item may be present; false means definitely absent
   /// (modulo staleness when filters are replicated).
   bool may_contain(std::string_view item) const;
+  bool may_contain(const ItemHash& h) const;
 
   /// Bitwise OR of another filter into this one. Geometry must match.
   void merge(const BloomFilter& other);
@@ -83,8 +97,11 @@ class CountingBloomFilter {
                                unsigned num_hashes = 7);
 
   void insert(std::string_view item);
+  void insert(const ItemHash& h);
   void remove(std::string_view item);
+  void remove(const ItemHash& h);
   bool may_contain(std::string_view item) const;
+  bool may_contain(const ItemHash& h) const;
 
   /// Collapses counters to a plain bit filter (counter > 0 -> bit set).
   BloomFilter to_bloom_filter() const;

@@ -10,30 +10,43 @@
 // Deployments persist across runs: --save snapshots the built store into a
 // directory, --load restores it (skipping the expensive SVD/k-means/tree
 // build) and replays any write-ahead log found there, --wal logs dynamic
-// inserts (--churn) so a crash loses at most one group-commit batch.
-// --bg-checkpoint N checkpoints in the background every N churn inserts
-// while the insert stream keeps running (epoch freeze + copy-on-write);
-// --crash-at K kills the K-th persistence write boundary the run crosses,
-// for exercising recovery by hand.
+// inserts (--churn) so a crash loses at most one group-commit batch. The
+// log is sharded — one v03 log per storage unit under DIR/wal/ — so
+// concurrent writers commit and fsync independently; --ingest-threads N
+// partitions the churn stream across N writer threads (insert_batch), and
+// --group-commit M tunes records-per-fsync per shard. --bg-checkpoint N
+// checkpoints in the background every N churn inserts while the insert
+// stream keeps running (epoch freeze + copy-on-write); --crash-at K kills
+// the K-th persistence write boundary the run crosses, for exercising
+// recovery by hand.
 //
 //   smartstore_cli --trace msn --units 20 --point 200 --range 50 --topk 50
 //   smartstore_cli --trace hp --save state/          # build once, persist
 //   smartstore_cli --trace hp --load state/ --point 200   # restart, no build
 //   smartstore_cli --trace hp --load state/ --churn 5000
 //       --save state/ --bg-checkpoint 1000       # checkpoint under load
+//   smartstore_cli --trace hp --churn 20000 --ingest-threads 4
+//       --wal state/ --group-commit 64           # parallel durable ingest
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/smartstore.h"
 #include "metadata/query.h"
 #include "persist/bg_checkpoint.h"
 #include "persist/fault.h"
 #include "persist/recovery.h"
+#include "persist/wal_shard.h"
 #include "trace/profiles.h"
 #include "trace/query_gen.h"
 #include "trace/synth.h"
@@ -58,6 +71,8 @@ struct Options {
   std::size_t k = 8;
   std::uint64_t seed = 42;
   std::size_t churn = 0;
+  std::size_t ingest_threads = 1;  ///< writer threads over the churn stream
+  std::size_t group_commit = 0;    ///< WAL records per fsync (0 = default)
   std::string save_dir;
   std::string load_dir;
   std::string wal_dir;
@@ -85,11 +100,17 @@ void usage(const char* argv0) {
       "  --k K                      k for top-k queries (default 8)\n"
       "  --seed S                   rng seed (default 42)\n"
       "  --churn N                  insert N extra files before querying\n"
+      "  --ingest-threads N         writer threads over the churn stream\n"
+      "                             (default 1; inserts are batched per\n"
+      "                             thread through insert_batch)\n"
+      "  --group-commit M           WAL records per group-commit fsync,\n"
+      "                             per shard (default: version ratio)\n"
       "  --save DIR                 snapshot the deployment into DIR\n"
       "  --load DIR                 restore DIR's snapshot (+ WAL replay)\n"
       "                             instead of building; trace flags must\n"
       "                             match the saved deployment's\n"
       "  --wal DIR                  write-ahead-log churn inserts in DIR\n"
+      "                             (sharded: one log per unit in DIR/wal/)\n"
       "  --bg-checkpoint N          checkpoint in the background every N\n"
       "                             churn inserts while inserting continues\n"
       "                             (requires --save; the WAL lives there)\n"
@@ -172,6 +193,10 @@ Options parse_args(int argc, char** argv) {
       opt.seed = parse_size(i++);
     } else if (a == "--churn") {
       opt.churn = parse_size(i++);
+    } else if (a == "--ingest-threads") {
+      opt.ingest_threads = parse_size(i++);
+    } else if (a == "--group-commit") {
+      opt.group_commit = parse_size(i++);
     } else if (a == "--save") {
       opt.save_dir = need_value(i++);
     } else if (a == "--load") {
@@ -190,6 +215,10 @@ Options parse_args(int argc, char** argv) {
   }
   if (opt.tif == 0 || opt.downscale == 0 || opt.units == 0 || opt.k == 0) {
     std::fprintf(stderr, "error: --tif/--downscale/--units/--k must be > 0\n");
+    std::exit(2);
+  }
+  if (opt.ingest_threads == 0) {
+    std::fprintf(stderr, "error: --ingest-threads must be > 0\n");
     std::exit(2);
   }
   if (opt.bg_checkpoint > 0) {
@@ -256,9 +285,9 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<core::SmartStore> store;
   // Declared outside the try so the crash handler can freeze the on-disk
-  // state (abandon the WAL handle, drain the worker) instead of letting
+  // state (abandon the WAL handles, drain the worker) instead of letting
   // destructors finish durability work the simulated power cut interrupted.
-  std::unique_ptr<persist::WalWriter> wal;
+  std::unique_ptr<persist::ShardedWal> wal;
   std::unique_ptr<util::ThreadPool> pool;
   std::unique_ptr<persist::BackgroundCheckpointer> bg;
   try {
@@ -266,9 +295,10 @@ int main(int argc, char** argv) {
       auto rec = persist::recover(opt.load_dir);
       store = std::move(rec.store);
       std::printf("restored : snapshot %s, %zu WAL records replayed "
-                  "(%zu blocks, %zu fenced)%s\n",
+                  "(%zu blocks, %zu fenced, %zu shards)%s\n",
                   persist::snapshot_path(opt.load_dir).c_str(),
                   rec.wal_records, rec.wal_blocks, rec.wal_fenced,
+                  rec.wal_shards,
                   rec.wal_tail_torn ? ", torn tail dropped" : "");
     } else {
       core::Config cfg;
@@ -281,8 +311,10 @@ int main(int argc, char** argv) {
 
     if (!opt.wal_dir.empty()) {
       std::filesystem::create_directories(opt.wal_dir);
-      wal = std::make_unique<persist::WalWriter>(
-          persist::wal_path(opt.wal_dir), store->config().version_ratio);
+      wal = std::make_unique<persist::ShardedWal>(
+          opt.wal_dir, store->units().size(),
+          opt.group_commit > 0 ? opt.group_commit
+                               : store->config().version_ratio);
     }
 
     if (opt.bg_checkpoint > 0) {
@@ -293,27 +325,89 @@ int main(int argc, char** argv) {
 
     if (opt.churn > 0) {
       const auto stream = tr.make_insert_stream(opt.churn, opt.seed + 99);
-      std::size_t since_checkpoint = 0, triggered = 0;
-      for (const auto& f : stream) {
-        if (bg) {
-          bg->insert(f);
-          if (++since_checkpoint >= opt.bg_checkpoint && bg->trigger()) {
-            since_checkpoint = 0;
+      // Writer threads claim contiguous batches of the stream and push
+      // them through insert_batch (hooked into the sharded WAL when one is
+      // open). An injected fault in any thread "crashes the process": the
+      // first exception wins, the others drain.
+      const std::size_t nthreads = std::min(opt.ingest_threads, stream.size());
+      const std::size_t batch =
+          std::max<std::size_t>(1, std::min<std::size_t>(64, stream.size() /
+                                                                 (nthreads * 4)
+                                                             + 1));
+      std::atomic<std::size_t> next{0};
+      std::atomic<std::size_t> done{0};
+      std::atomic<bool> stop{false};
+      std::mutex err_mu;
+      std::exception_ptr first_error;
+      auto worker = [&] {
+        try {
+          while (!stop.load(std::memory_order_relaxed)) {
+            const std::size_t begin =
+                next.fetch_add(batch, std::memory_order_relaxed);
+            if (begin >= stream.size()) break;
+            const std::size_t end = std::min(begin + batch, stream.size());
+            if (bg) {
+              for (std::size_t i = begin; i < end; ++i) bg->insert(stream[i]);
+            } else {
+              const std::vector<metadata::FileMetadata> chunk(
+                  stream.begin() + static_cast<std::ptrdiff_t>(begin),
+                  stream.begin() + static_cast<std::ptrdiff_t>(end));
+              if (wal) {
+                // The append hook fires once per file, in chunk order, on
+                // this thread, under the routed unit's lock — the cursor
+                // pairs each callback with its file; the flush hook runs
+                // the group-commit fsync after the lock is released.
+                std::size_t cursor = 0;
+                store->insert_batch(
+                    chunk, 0.0,
+                    [&](core::UnitId target) {
+                      wal->append_insert(target, chunk[cursor++]);
+                    },
+                    [&](core::UnitId target) { wal->maybe_commit(target); });
+              } else {
+                store->insert_batch(chunk, 0.0);
+              }
+            }
+            done.fetch_add(end - begin, std::memory_order_release);
+          }
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+          stop.store(true, std::memory_order_relaxed);
+        }
+      };
+      std::vector<std::thread> writers;
+      writers.reserve(nthreads);
+      for (std::size_t t = 0; t < nthreads; ++t) writers.emplace_back(worker);
+
+      // Checkpoint cadence, driven from the main thread against overall
+      // progress (the writer threads never block on it). Without a
+      // checkpointer there is nothing to pace — just join, rather than
+      // burn a core polling next to the writers.
+      std::size_t triggered = 0, last_trigger = 0;
+      if (bg && opt.bg_checkpoint > 0) {
+        while (done.load(std::memory_order_acquire) < stream.size() &&
+               !stop.load(std::memory_order_relaxed)) {
+          const std::size_t progress = done.load(std::memory_order_acquire);
+          if (progress - last_trigger >= opt.bg_checkpoint && bg->trigger()) {
+            last_trigger = progress;
             ++triggered;
           }
-        } else {
-          store->insert_file(f, 0.0);
-          if (wal) wal->log_insert(f);
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
         }
       }
+      for (auto& t : writers) t.join();
+      if (first_error) std::rethrow_exception(first_error);
       if (bg) {
         bg->wait();  // surface any failure of the last in-flight checkpoint
       } else if (wal) {
-        wal->commit();
+        wal->commit_all();
       }
-      std::printf("churn    : %zu files inserted%s\n", stream.size(),
-                  bg ? " (write-ahead logged, background checkpoints)"
-                     : (wal ? " (write-ahead logged)" : ""));
+      std::printf(
+          "churn    : %zu files inserted (%zu thread%s)%s\n", stream.size(),
+          nthreads, nthreads == 1 ? "" : "s",
+          bg ? " (write-ahead logged, background checkpoints)"
+             : (wal ? " (write-ahead logged, sharded)" : ""));
       if (bg && triggered > 0) {
         const auto& st = bg->last_stats();
         std::printf(
@@ -328,12 +422,24 @@ int main(int argc, char** argv) {
       }
     }
     if (!opt.save_dir.empty()) {
+      // The sharded-WAL checkpoint pairs the fence with the shards only
+      // when the writer owns the save directory's logs; a WAL pointed at
+      // a different directory is left untouched (its records pair with
+      // THAT directory's snapshot — the legacy contract).
+      std::error_code wal_ec;
+      const bool wal_owns_save =
+          wal && std::filesystem::weakly_canonical(wal->dir(), wal_ec) ==
+                     std::filesystem::weakly_canonical(
+                         persist::ShardedWal::shard_dir(opt.save_dir),
+                         wal_ec);
       if (bg) {
         // Final checkpoint through the same background protocol, so the
         // published snapshot covers the whole churn stream.
         if (bg->trigger()) bg->wait();
+      } else if (wal_owns_save) {
+        persist::checkpoint(*store, opt.save_dir, *wal);
       } else {
-        persist::checkpoint(*store, opt.save_dir, wal.get());
+        persist::checkpoint(*store, opt.save_dir);
       }
       std::printf("snapshot : saved to %s (%s)\n",
                   persist::snapshot_path(opt.save_dir).c_str(),
@@ -345,7 +451,7 @@ int main(int argc, char** argv) {
   } catch (const persist::FaultInjected& e) {
     // Freeze the crash state: an in-flight checkpoint that already passed
     // its own boundaries is allowed to land (a crash an instant later),
-    // but the pending WAL batch must NOT be committed by a destructor —
+    // but pending WAL batches must NOT be committed by destructors —
     // those records were never acknowledged as durable.
     if (bg) {
       try {

@@ -243,25 +243,42 @@ void SemanticRTree::build(const std::vector<StorageUnit>& units,
 
 void SemanticRTree::on_file_inserted(UnitId unit, const la::Vector& raw,
                                      const la::Vector& std_coords,
-                                     const std::string& name) {
+                                     const std::string& name,
+                                     const StripedMutexPool* locks,
+                                     const bloom::ItemHash* precomputed) {
+  // Hash once, outside every stripe: each ancestor's filter insert is then
+  // pure bit-sets inside its critical section.
+  const bloom::ItemHash name_hash =
+      precomputed ? *precomputed : bloom::hash_item(name);
   std::size_t cur = unit_group_[unit];
   while (cur != kInvalidIndex) {
     IndexUnit& n = nodes_[cur];
-    n.box.expand(std_coords);
-    n.name_filter.insert(name);
-    for (std::size_t d = 0; d < kNumAttrs; ++d) n.attr_sum[d] += raw[d];
-    ++n.file_count;
-    cur = n.parent;
+    std::size_t parent;
+    {
+      const auto guard = maybe_lock(locks, &n);
+      n.box.expand(std_coords);
+      n.name_filter.insert(name_hash);
+      for (std::size_t d = 0; d < kNumAttrs; ++d) n.attr_sum[d] += raw[d];
+      ++n.file_count;
+      parent = n.parent;  // topology; read inside the stripe for free
+    }
+    cur = parent;
   }
 }
 
-void SemanticRTree::on_file_removed(UnitId unit, const la::Vector& raw) {
+void SemanticRTree::on_file_removed(UnitId unit, const la::Vector& raw,
+                                    const StripedMutexPool* locks) {
   std::size_t cur = unit_group_[unit];
   while (cur != kInvalidIndex) {
     IndexUnit& n = nodes_[cur];
-    for (std::size_t d = 0; d < kNumAttrs; ++d) n.attr_sum[d] -= raw[d];
-    if (n.file_count > 0) --n.file_count;
-    cur = n.parent;
+    std::size_t parent;
+    {
+      const auto guard = maybe_lock(locks, &n);
+      for (std::size_t d = 0; d < kNumAttrs; ++d) n.attr_sum[d] -= raw[d];
+      if (n.file_count > 0) --n.file_count;
+      parent = n.parent;
+    }
+    cur = parent;
   }
 }
 

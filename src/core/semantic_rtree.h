@@ -28,6 +28,7 @@
 
 #include "bloom/bloom_filter.h"
 #include "core/grouping.h"
+#include "core/striped_locks.h"
 #include "core/units.h"
 #include "la/matrix.h"
 #include "lsi/lsi.h"
@@ -105,13 +106,23 @@ class SemanticRTree {
   // ---- incremental file updates (Section 3.4 "local update") ------------
 
   /// Propagates a file insertion at `unit` up the tree: expands MBRs,
-  /// inserts into Bloom filters, updates centroid sums.
+  /// inserts into Bloom filters, updates centroid sums. With `locks`, each
+  /// ancestor is updated under its stripe — one node at a time, child
+  /// before parent — so concurrent writers routed to different units only
+  /// contend where their ancestor paths overlap. The updates are
+  /// commutative (expand/insert/add), so per-node atomicity is all the
+  /// walk needs; the name is hashed once, outside every stripe.
+  /// `name_hash`, when given, is the precomputed digest of `name` (the
+  /// store hashes once per insert and shares it across trees/filters).
   void on_file_inserted(UnitId unit, const la::Vector& raw,
-                        const la::Vector& std_coords, const std::string& name);
+                        const la::Vector& std_coords, const std::string& name,
+                        const StripedMutexPool* locks = nullptr,
+                        const bloom::ItemHash* name_hash = nullptr);
 
   /// Propagates a deletion (sums/counts only; MBRs and Bloom filters stay
-  /// conservative until reconfiguration).
-  void on_file_removed(UnitId unit, const la::Vector& raw);
+  /// conservative until reconfiguration). Same per-stripe walk as inserts.
+  void on_file_removed(UnitId unit, const la::Vector& raw,
+                       const StripedMutexPool* locks = nullptr);
 
   // ---- system reconfiguration (Sections 3.2, 4.1) -----------------------
 

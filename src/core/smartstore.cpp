@@ -22,39 +22,68 @@ constexpr std::size_t kReplicaMsgBytes = 16384;  // a full summary refresh
 
 }  // namespace
 
-SmartStore::SmartStore(Config cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {}
+namespace {
+/// Process-wide store instance ids, so per-thread RNG streams can tell
+/// apart two stores that happen to occupy the same address over time.
+std::atomic<std::uint64_t> g_next_store_id{1};
+}  // namespace
+
+SmartStore::SmartStore(Config cfg)
+    : cfg_(std::move(cfg)),
+      rng_(cfg_.seed),
+      store_id_(g_next_store_id.fetch_add(1, std::memory_order_relaxed)) {}
 
 // ---- concurrent checkpointing (epoch freeze + copy-on-write) ----------------
 
-std::uint64_t SmartStore::begin_checkpoint() {
-  std::lock_guard<std::mutex> lock(freeze_.mu);
-  assert(!freeze_.active && "one checkpoint at a time");
-  freeze_.active = true;
-  freeze_.frozen_epoch = epoch_.load(std::memory_order_relaxed);
-  freeze_.cow_copies = 0;
-
-  // Scalars are captured eagerly: queries advance the rng without being
-  // mutations, so lazy capture could tear the CONFIG section.
-  freeze_.core.bloom_bits = bloom_bits_;
-  freeze_.core.total_files = total_files_;
+std::uint64_t SmartStore::begin_checkpoint(
+    const std::function<void()>& while_frozen) {
+  // Exclusive: every serving thread is outside its operation, so the epoch
+  // cut is a mutation boundary for all of them simultaneously — which is
+  // also what makes `while_frozen` the right place to fence the WAL shards.
+  std::unique_lock<std::shared_mutex> ex(structure_mu_);
   {
-    std::lock_guard<std::mutex> rng_lock(rng_mu_);
-    freeze_.core.rng_state = rng_.state();
-  }
-  freeze_.core.unit_active = unit_active_;
-  freeze_.core.standardizer = standardizer_;
-  freeze_.core.unit_count = units_.size();
-  freeze_.core.group_order = tree_.groups();
+    std::lock_guard<std::mutex> lock(freeze_.mu);
+    assert(!freeze_.active && "one checkpoint at a time");
+    freeze_.active = true;
+    freeze_.frozen_epoch = epoch_.load(std::memory_order_relaxed);
+    freeze_.cow_copies = 0;
 
-  freeze_.unit_state.assign(units_.size(), PieceState::kPending);
-  freeze_.frozen_units.clear();
-  freeze_.frozen_units.resize(units_.size());
-  freeze_.tree_state = PieceState::kPending;
-  freeze_.frozen_tree.reset();
-  freeze_.variants_state = PieceState::kPending;
-  freeze_.frozen_variants.reset();
-  freeze_.sync_state = PieceState::kPending;
-  freeze_.frozen_sync.reset();
+    freeze_.core.bloom_bits = bloom_bits_;
+    freeze_.core.total_files = total_files_.load(std::memory_order_relaxed);
+    freeze_.core.rng_state = rng_.state();
+    freeze_.core.rng_streams = rng_streams_.load(std::memory_order_relaxed);
+    freeze_.core.unit_active = unit_active_;
+    freeze_.core.standardizer = standardizer_;
+    freeze_.core.unit_count = units_.size();
+    freeze_.core.group_order = tree_.groups();
+
+    // Units (the bulk of the state) freeze lazily via copy-on-write; the
+    // index structures are captured eagerly here, so post-freeze writers
+    // never copy a whole tree mid-operation and the serializer never has
+    // to reconcile a structure being updated under striped locks.
+    freeze_.unit_state.assign(units_.size(), PieceState::kPending);
+    freeze_.frozen_units.clear();
+    freeze_.frozen_units.resize(units_.size());
+    freeze_.frozen_tree = std::make_unique<SemanticRTree>(tree_);
+    freeze_.tree_state = PieceState::kFrozen;
+    freeze_.frozen_variants =
+        std::make_unique<std::vector<TreeVariant>>(variants_);
+    freeze_.variants_state = PieceState::kFrozen;
+    freeze_.frozen_sync =
+        std::make_unique<std::unordered_map<std::size_t, GroupSync>>(sync_);
+    freeze_.sync_state = PieceState::kFrozen;
+  }
+  if (while_frozen) {
+    try {
+      while_frozen();
+    } catch (...) {
+      // The checkpoint never happened: release the freeze here, or every
+      // later mutation would pay copy-on-write into a stale frozen view
+      // forever (and the next begin_checkpoint would assert).
+      end_checkpoint();
+      throw;
+    }
+  }
   return freeze_.frozen_epoch;
 }
 
@@ -86,43 +115,26 @@ void SmartStore::cow_unit_locked(UnitId u) {
   ++freeze_.cow_copies;
 }
 
-void SmartStore::cow_structures_locked() {
-  if (freeze_.tree_state == PieceState::kPending) {
-    freeze_.frozen_tree = std::make_unique<SemanticRTree>(tree_);
-    freeze_.tree_state = PieceState::kFrozen;
-    ++freeze_.cow_copies;
-  }
-  if (freeze_.variants_state == PieceState::kPending) {
-    freeze_.frozen_variants =
-        std::make_unique<std::vector<TreeVariant>>(variants_);
-    freeze_.variants_state = PieceState::kFrozen;
-    ++freeze_.cow_copies;
-  }
-  if (freeze_.sync_state == PieceState::kPending) {
-    freeze_.frozen_sync =
-        std::make_unique<std::unordered_map<std::size_t, GroupSync>>(sync_);
-    freeze_.sync_state = PieceState::kFrozen;
-    ++freeze_.cow_copies;
-  }
-}
-
 void SmartStore::cow_unit(UnitId u) {
   std::lock_guard<std::mutex> lock(freeze_.mu);
   if (!freeze_.active) return;
   cow_unit_locked(u);
 }
 
-void SmartStore::cow_structures() {
-  std::lock_guard<std::mutex> lock(freeze_.mu);
-  if (!freeze_.active) return;
-  cow_structures_locked();
-}
-
-void SmartStore::cow_everything() {
+void SmartStore::cow_all_units() {
   std::lock_guard<std::mutex> lock(freeze_.mu);
   if (!freeze_.active) return;
   for (UnitId u = 0; u < freeze_.unit_state.size(); ++u) cow_unit_locked(u);
-  cow_structures_locked();
+}
+
+void SmartStore::rebuild_unit_locks() {
+  // Callers own the exclusive structure lock (or are still inside
+  // single-threaded assembly), so no unit lock can be held while the
+  // vector reshapes; existing mutex objects stay put behind their
+  // unique_ptrs.
+  unit_mu_.resize(units_.size());
+  for (auto& mu : unit_mu_)
+    if (!mu) mu = std::make_unique<std::mutex>();
 }
 
 la::Vector SmartStore::std_coords(const FileMetadata& f) const {
@@ -130,10 +142,13 @@ la::Vector SmartStore::std_coords(const FileMetadata& f) const {
 }
 
 void SmartStore::build(const std::vector<FileMetadata>& files) {
-  // Bulk construction replaces every piece; a concurrent serializer would
-  // observe an inconsistent world, so freeze everything that is pending.
+  // Bulk construction replaces every piece; serving threads and the
+  // checkpoint serializer are excluded for the duration, and any units
+  // still pending in an active freeze are copied first (the structures
+  // were captured eagerly at freeze time).
+  std::unique_lock<std::shared_mutex> ex(structure_mu_);
   epoch_.fetch_add(1, std::memory_order_relaxed);
-  cow_everything();
+  cow_all_units();
   standardizer_ = fit_standardizer(files);
 
   // Size Bloom filters for the expected group population (~12 bits per
@@ -156,6 +171,7 @@ void SmartStore::build(const std::vector<FileMetadata>& files) {
   for (std::size_t u = 0; u < cfg_.num_units; ++u)
     units_.emplace_back(u, bloom_bits_, cfg_.bloom_hashes);
   unit_active_.assign(cfg_.num_units, true);
+  rebuild_unit_locks();
 
   if (!files.empty()) {
     Grouping place;
@@ -243,11 +259,31 @@ void SmartStore::refresh_sync_groups() {
   }
 }
 
+util::Rng& SmartStore::thread_rng() const {
+  // One stream per (thread, store): reseeded when this thread first draws
+  // for this store, from the store seed and a monotonic stream id — so
+  // single-threaded runs stay reproducible (stream 1, always) and
+  // concurrent threads draw from uncorrelated streams without sharing any
+  // mutable state. Keyed by the store's instance id, not its address — an
+  // address can be reused by a later store, which must get fresh streams.
+  // Streams are runtime-only: the persisted rng is the store rng, and the
+  // freeze captures the stream counter for diagnostics.
+  thread_local std::uint64_t owner = 0;
+  thread_local util::Rng rng;
+  if (owner != store_id_) {
+    owner = store_id_;
+    const std::uint64_t stream =
+        rng_streams_.fetch_add(1, std::memory_order_relaxed) + 1;
+    rng.reseed(cfg_.seed ^ (0x9E3779B97F4A7C15ULL * stream));
+  }
+  return rng;
+}
+
 sim::NodeId SmartStore::random_home() {
   // Queries arrive at a uniformly random active storage unit (Section 2.2).
-  std::lock_guard<std::mutex> rng_lock(rng_mu_);
+  util::Rng& rng = thread_rng();
   for (int tries = 0; tries < 64; ++tries) {
-    const UnitId u = static_cast<UnitId>(rng_.uniform_u64(units_.size()));
+    const UnitId u = static_cast<UnitId>(rng.uniform_u64(units_.size()));
     if (unit_active_[u]) return u;
   }
   for (UnitId u = 0; u < units_.size(); ++u)
@@ -377,11 +413,13 @@ std::vector<SmartStore::RankedGroup> SmartStore::rank_groups_range(
   for (std::size_t g : t.groups()) {
     rtree::Mbr box;
     if (main_tree) {
+      const auto guard = maybe_lock(&stripes_, &sync_.at(g));
       const GroupSync& gs = sync_.at(g);
       version_cost += static_cast<double>(gs.replica.versions.size()) *
                       cfg_.cost.per_bloom_check_s;
       box = gs.replica.effective_box(cfg_.versioning_enabled);
     } else {
+      const auto guard = maybe_lock(&stripes_, &t.node(g));
       box = t.node(g).box;  // variants route on fresh summaries
     }
     if (!box_intersects(box, dim_idx, lo, hi)) continue;
@@ -412,11 +450,13 @@ std::vector<SmartStore::RankedGroup> SmartStore::rank_groups_topk(
   for (std::size_t g : t.groups()) {
     rtree::Mbr box;
     if (main_tree) {
+      const auto guard = maybe_lock(&stripes_, &sync_.at(g));
       const GroupSync& gs = sync_.at(g);
       version_cost += static_cast<double>(gs.replica.versions.size()) *
                       cfg_.cost.per_bloom_check_s;
       box = gs.replica.effective_box(cfg_.versioning_enabled);
     } else {
+      const auto guard = maybe_lock(&stripes_, &t.node(g));
       box = t.node(g).box;
     }
     out.push_back({g, box_min_dist2(box, dim_idx, std_point)});
@@ -438,10 +478,15 @@ std::size_t SmartStore::best_group_for_vector(const la::Vector& raw) const {
   const la::Vector q =
       model.fitted() ? model.project(tree_.restrict_dims(raw)) : la::Vector{};
   for (std::size_t g : tree_.groups()) {
-    const GroupSync& gs = sync_.at(g);
     double sim = 0.0;
     if (model.fitted()) {
-      const la::Vector c = gs.replica.effective_centroid(cfg_.versioning_enabled);
+      // Copy the effective centroid under the group's stripe; the LSI
+      // projection (the expensive part) runs outside it.
+      la::Vector c;
+      {
+        const auto guard = maybe_lock(&stripes_, &sync_.at(g));
+        c = sync_.at(g).replica.effective_centroid(cfg_.versioning_enabled);
+      }
       sim = lsi::LsiModel::similarity(q, model.project(tree_.restrict_dims(c)));
     }
     if (sim > best_sim) {
@@ -480,19 +525,41 @@ void SmartStore::seal_version(std::size_t g, double now, sim::Session* session) 
 }
 
 void SmartStore::full_sync_group(std::size_t g, sim::Session* session) {
-  GroupSync& gs = sync_.at(g);
+  // Copy the authoritative node summary under the node's stripe, install
+  // it under the group's sync stripe: two stripes, never held together
+  // (the one-stripe-at-a-time discipline that keeps the pool
+  // deadlock-free). An insert landing between the copy and the install is
+  // reflected in neither the copied base nor the cleared pending delta —
+  // ordinary replica staleness, repaired by the next sync, and exactly the
+  // error mode off-line routing already tolerates.
   const IndexUnit& n = tree_.node(g);
-  gs.replica.centroid_raw = n.centroid_raw();
-  gs.replica.attr_sum = n.attr_sum;
-  gs.replica.file_count = n.file_count;
-  gs.replica.box = n.box;
-  gs.replica.name_filter = n.name_filter;
-  gs.replica.versions.clear();
-  gs.pending = VersionDelta{};
-  gs.pending.added_names =
-      bloom::BloomFilter(bloom_bits_, cfg_.bloom_hashes);
-  gs.pending.added_attr_sum.assign(kNumAttrs, 0.0);
-  gs.changes_since_full_sync = 0;
+  la::Vector centroid, attr_sum;
+  std::size_t file_count;
+  rtree::Mbr box;
+  bloom::BloomFilter name_filter;
+  {
+    const auto node_guard = maybe_lock(&stripes_, &n);
+    centroid = n.centroid_raw();
+    attr_sum = n.attr_sum;
+    file_count = n.file_count;
+    box = n.box;
+    name_filter = n.name_filter;
+  }
+  {
+    const auto sync_guard = maybe_lock(&stripes_, &sync_.at(g));
+    GroupSync& gs = sync_.at(g);
+    gs.replica.centroid_raw = std::move(centroid);
+    gs.replica.attr_sum = std::move(attr_sum);
+    gs.replica.file_count = file_count;
+    gs.replica.box = box;
+    gs.replica.name_filter = std::move(name_filter);
+    gs.replica.versions.clear();
+    gs.pending = VersionDelta{};
+    gs.pending.added_names =
+        bloom::BloomFilter(bloom_bits_, cfg_.bloom_hashes);
+    gs.pending.added_attr_sum.assign(kNumAttrs, 0.0);
+    gs.changes_since_full_sync = 0;
+  }
 
   if (session) {
     const sim::NodeId origin = session->location();
@@ -504,7 +571,7 @@ void SmartStore::full_sync_group(std::size_t g, sim::Session* session) {
   }
 }
 
-void SmartStore::after_group_change(std::size_t g, double now,
+bool SmartStore::after_group_change(std::size_t g, double now,
                                     sim::Session* session) {
   GroupSync& gs = sync_.at(g);
   ++gs.changes_since_full_sync;
@@ -515,23 +582,43 @@ void SmartStore::after_group_change(std::size_t g, double now,
     if (pending_changes >= cfg_.version_ratio) seal_version(g, now, session);
   }
   // Lazy updating (Section 3.4): a full replica refresh once accumulated
-  // changes exceed the threshold fraction of the group's population.
+  // changes exceed the threshold fraction of the group's population. The
+  // refresh itself runs after the caller drops this group's sync stripe
+  // (full_sync_group re-acquires it after reading the node summary).
   const std::size_t base = std::max<std::size_t>(gs.replica.file_count, 200);
-  if (static_cast<double>(gs.changes_since_full_sync) >
-      cfg_.lazy_update_threshold * static_cast<double>(base)) {
-    full_sync_group(g, session);
-  }
+  return static_cast<double>(gs.changes_since_full_sync) >
+         cfg_.lazy_update_threshold * static_cast<double>(base);
 }
 
 void SmartStore::reconfigure() {
+  std::unique_lock<std::shared_mutex> ex(structure_mu_);
   epoch_.fetch_add(1, std::memory_order_relaxed);
-  cow_structures();
   for (std::size_t g : tree_.groups()) full_sync_group(g, nullptr);
 }
 
 // ---- dynamic operations ------------------------------------------------------
 
-QueryStats SmartStore::insert_file(const FileMetadata& f, double arrival) {
+QueryStats SmartStore::insert_file(const FileMetadata& f, double arrival,
+                                   const WalHook& logged,
+                                   const WalFlush& flushed) {
+  std::shared_lock<std::shared_mutex> shared(structure_mu_);
+  return insert_file_impl(f, arrival, logged, flushed);
+}
+
+std::vector<QueryStats> SmartStore::insert_batch(
+    const std::vector<FileMetadata>& files, double arrival,
+    const WalHook& logged, const WalFlush& flushed) {
+  std::vector<QueryStats> out;
+  out.reserve(files.size());
+  std::shared_lock<std::shared_mutex> shared(structure_mu_);
+  for (const FileMetadata& f : files)
+    out.push_back(insert_file_impl(f, arrival, logged, flushed));
+  return out;
+}
+
+QueryStats SmartStore::insert_file_impl(const FileMetadata& f, double arrival,
+                                        const WalHook& logged,
+                                        const WalFlush& flushed) {
   QueryStats stats;
   sim::Session session = cluster_->start_session(random_home(), arrival);
 
@@ -545,33 +632,74 @@ QueryStats SmartStore::insert_file(const FileMetadata& f, double arrival) {
   session.send_to(group.mapped_unit, kQueryMsgBytes);
   session.visit(cfg_.cost.per_node_visit_s);
 
-  // Least-loaded member unit balances load within the group (Section 3.2.1).
-  UnitId target = group.children.front();
-  for (UnitId u : group.children) {
-    if (units_[u].file_count() < units_[target].file_count()) target = u;
+  // Least-loaded member unit balances load within the group (Section
+  // 3.2.1). Counts are read one stripe at a time; the pick can go stale by
+  // a few records under concurrency, which only softens the balancing.
+  // The scan starts at a per-thread random offset: balanced groups are
+  // full of ties, and deterministic tie-breaking would send every
+  // concurrent writer to the SAME unit (they all read the counts before
+  // any increment lands) — a convoy that serializes the per-shard WAL
+  // fsyncs the sharding exists to overlap. Rotating the tie-break spreads
+  // simultaneous writers across the group while still picking a strict
+  // minimum.
+  const std::size_t nchild = group.children.size();
+  const std::size_t start =
+      nchild > 1 ? static_cast<std::size_t>(thread_rng().uniform_u64(nchild))
+                 : 0;
+  UnitId target = group.children[start];
+  std::size_t target_count = std::numeric_limits<std::size_t>::max();
+  for (std::size_t k = 0; k < nchild; ++k) {
+    const UnitId u = group.children[(start + k) % nchild];
+    std::size_t count;
+    {
+      const std::lock_guard<std::mutex> guard(unit_mutex(u));
+      count = units_[u].file_count();
+    }
+    if (count < target_count) {
+      target_count = count;
+      target = u;
+    }
   }
   session.send_to(target, kQueryMsgBytes);
   session.visit(cfg_.cost.per_node_visit_s, 1);
 
-  // The mutation proper starts here: freeze the pieces about to change.
+  // The mutation proper: log, copy-on-write, apply — all under the target
+  // unit's lock, so the shard's log order equals this unit's apply order.
   epoch_.fetch_add(1, std::memory_order_relaxed);
-  cow_unit(target);
-  cow_structures();
-
   const la::Vector raw = f.full_vector();
   const la::Vector std = std_coords(f);
-  units_[target].add_file(f, std);
-  tree_.on_file_inserted(target, raw, std, f.name);
-  for (auto& v : variants_) v.tree.on_file_inserted(target, raw, std, f.name);
-  ++total_files_;
+  // Hashed once, outside every lock: the filters under the unit lock, the
+  // ancestor stripes and the group sync stripe all reuse it.
+  const bloom::ItemHash name_hash = bloom::hash_item(f.name);
+  {
+    const std::lock_guard<std::mutex> guard(unit_mutex(target));
+    if (logged) logged(target);
+    cow_unit(target);
+    units_[target].add_file(f, std);
+  }
+  // The group-commit fsync (if the flush hook decides one is due) runs
+  // here, off every store lock: it stalls only this shard's writers.
+  if (flushed) flushed(target);
+  // Ancestor summaries widen one stripe at a time (child before parent);
+  // readers meanwhile see a box/filter that is at worst transiently
+  // narrower up the path, the same staleness replicas already exhibit.
+  tree_.on_file_inserted(target, raw, std, f.name, &stripes_, &name_hash);
+  for (auto& v : variants_)
+    v.tree.on_file_inserted(target, raw, std, f.name, &stripes_, &name_hash);
+  total_files_.fetch_add(1, std::memory_order_relaxed);
 
-  GroupSync& gs = sync_.at(g);
-  gs.pending.added_box.expand(std);
-  gs.pending.added_names.insert(f.name);
-  for (std::size_t d = 0; d < kNumAttrs; ++d)
-    gs.pending.added_attr_sum[d] += raw[d];
-  ++gs.pending.added_count;
-  after_group_change(g, session.clock(), &session);
+  bool want_full_sync;
+  {
+    const auto guard = maybe_lock(&stripes_, &sync_.at(g));
+    GroupSync& gs = sync_.at(g);
+    gs.pending.added_box.expand(std);
+    gs.pending.added_names.insert(name_hash);
+    for (std::size_t d = 0; d < kNumAttrs; ++d)
+      gs.pending.added_attr_sum[d] += raw[d];
+    ++gs.pending.added_count;
+    want_full_sync = after_group_change(g, session.clock(), &session);
+  }
+  if (want_full_sync) full_sync_group(g, &session);
 
   stats.latency_s = session.clock() - arrival;
   stats.messages = session.messages();
@@ -584,40 +712,74 @@ QueryStats SmartStore::insert_file(const FileMetadata& f, double arrival) {
 
 std::optional<QueryStats> SmartStore::delete_file(const std::string& name,
                                                   double arrival) {
-  PointResult located = point_query({name}, Routing::kOffline, arrival);
+  std::shared_lock<std::shared_mutex> shared(structure_mu_);
+  PointResult located = point_query_impl({name}, Routing::kOffline, arrival);
   if (!located.found) return std::nullopt;
 
-  remove_located(located.unit, located.id, located.stats.latency_s + arrival,
-                 nullptr);
+  // The locate and the removal are not atomic: a concurrent delete of the
+  // same name can win in between, in which case this one reports "absent".
+  if (!remove_located(located.unit, located.id,
+                      located.stats.latency_s + arrival, nullptr, {}, {}))
+    return std::nullopt;
   return located.stats;
 }
 
-void SmartStore::remove_located(UnitId u, FileId id, double now,
-                                sim::Session* session) {
+bool SmartStore::remove_located(UnitId u, FileId id, double now,
+                                sim::Session* session, const WalHook& logged,
+                                const WalFlush& flushed) {
   epoch_.fetch_add(1, std::memory_order_relaxed);
-  cow_unit(u);
-  cow_structures();
-
-  auto removed = units_[u].remove_file(id);
-  assert(removed.has_value());
-  const la::Vector raw = removed->full_vector();
-  tree_.on_file_removed(u, raw);
-  for (auto& v : variants_) v.tree.on_file_removed(u, raw);
-  --total_files_;
+  la::Vector raw;
+  {
+    const std::lock_guard<std::mutex> guard(unit_mutex(u));
+    if (!units_[u].find_by_id(id)) return false;  // lost a delete race
+    if (logged) logged(u);
+    cow_unit(u);
+    auto removed = units_[u].remove_file(id);
+    assert(removed.has_value());
+    raw = removed->full_vector();
+  }
+  if (flushed) flushed(u);
+  tree_.on_file_removed(u, raw, &stripes_);
+  for (auto& v : variants_) v.tree.on_file_removed(u, raw, &stripes_);
+  total_files_.fetch_sub(1, std::memory_order_relaxed);
 
   const std::size_t g = tree_.group_of_unit(u);
-  GroupSync& gs = sync_.at(g);
-  gs.pending.deleted.push_back(id);
-  after_group_change(g, now, session);
+  bool want_full_sync;
+  {
+    const auto guard = maybe_lock(&stripes_, &sync_.at(g));
+    GroupSync& gs = sync_.at(g);
+    gs.pending.deleted.push_back(id);
+    want_full_sync = after_group_change(g, now, session);
+  }
+  if (want_full_sync) full_sync_group(g, session);
+  return true;
 }
 
-bool SmartStore::erase_file(const std::string& name) {
+bool SmartStore::erase_file(const std::string& name, const WalHook& logged,
+                            const WalFlush& flushed) {
+  std::shared_lock<std::shared_mutex> shared(structure_mu_);
+  return erase_file_impl(name, logged, flushed);
+}
+
+bool SmartStore::erase_file_impl(const std::string& name,
+                                 const WalHook& logged,
+                                 const WalFlush& flushed) {
   for (UnitId u = 0; u < units_.size(); ++u) {
     if (!unit_active_[u]) continue;
-    const metadata::FileMetadata* f = units_[u].find_by_name(name);
-    if (!f) continue;
-    remove_located(u, f->id, 0.0, nullptr);
-    return true;
+    FileId id = 0;
+    bool found = false;
+    {
+      const std::lock_guard<std::mutex> guard(unit_mutex(u));
+      if (const metadata::FileMetadata* f = units_[u].find_by_name(name)) {
+        id = f->id;
+        found = true;
+      }
+    }
+    if (!found) continue;
+    // The unit lock was dropped between locate and removal; remove_located
+    // re-checks by id and reports a lost race, in which case the scan
+    // continues (the name might also exist on a later unit).
+    if (remove_located(u, id, 0.0, nullptr, logged, flushed)) return true;
   }
   return false;
 }
@@ -626,24 +788,35 @@ bool SmartStore::erase_file(const std::string& name) {
 
 PointResult SmartStore::point_query(const metadata::PointQuery& q,
                                     Routing routing, double arrival) {
+  std::shared_lock<std::shared_mutex> shared(structure_mu_);
+  return point_query_impl(q, routing, arrival);
+}
+
+PointResult SmartStore::point_query_impl(const metadata::PointQuery& q,
+                                         Routing routing, double arrival) {
   PointResult res;
+  // One digest for every filter this query will consult.
+  const bloom::ItemHash qhash = bloom::hash_item(q.filename);
   sim::Session session = cluster_->start_session(random_home(), arrival);
   const UnitId home = session.location();
 
   // The home unit always checks its own filter first: queries about files
   // the requester itself stores resolve with zero messages.
   session.visit(cfg_.cost.per_bloom_check_s);
-  if (units_[home].name_filter().may_contain(q.filename)) {
-    session.visit(cfg_.cost.per_node_visit_s);
-    if (const auto* f = units_[home].find_by_name(q.filename)) {
-      res.found = true;
-      res.unit = home;
-      res.id = f->id;
-      res.first_try = true;
-      res.stats.groups_visited = 1;
-      res.stats.latency_s = session.clock() - arrival;
-      res.stats.failed = session.failed();
-      return res;
+  {
+    const std::lock_guard<std::mutex> guard(unit_mutex(home));
+    if (units_[home].name_filter().may_contain(qhash)) {
+      session.visit(cfg_.cost.per_node_visit_s);
+      if (const auto* f = units_[home].find_by_name(q.filename)) {
+        res.found = true;
+        res.unit = home;
+        res.id = f->id;
+        res.first_try = true;
+        res.stats.groups_visited = 1;
+        res.stats.latency_s = session.clock() - arrival;
+        res.stats.failed = session.failed();
+        return res;
+      }
     }
   }
 
@@ -655,7 +828,8 @@ PointResult SmartStore::point_query(const metadata::PointQuery& q,
     const IndexUnit& group = tree_.node(g);
     std::vector<sim::Session> branches;
     for (UnitId u : group.children) {
-      if (!units_[u].name_filter().may_contain(q.filename)) continue;
+      const std::lock_guard<std::mutex> guard(unit_mutex(u));
+      if (!units_[u].name_filter().may_contain(qhash)) continue;
       sim::Session b = session.fork();
       b.send_to(u, kQueryMsgBytes);
       b.visit(cfg_.cost.per_node_visit_s);
@@ -674,6 +848,13 @@ PointResult SmartStore::point_query(const metadata::PointQuery& q,
   // subtrees descended along positive children. Bloom false positives are
   // discovered when the target metadata is accessed and the walk simply
   // continues, so existing files are always found.
+  // Reads one index unit's filter under its stripe.
+  auto node_filter_hit = [&](std::size_t nid) {
+    const IndexUnit& n = tree_.node(nid);
+    const auto guard = maybe_lock(&stripes_, &n);
+    return n.name_filter.may_contain(qhash);
+  };
+
   auto online_walk = [&]() {
     std::function<void(sim::Session&, std::size_t)> descend =
         [&](sim::Session& s, std::size_t nid) {
@@ -683,12 +864,12 @@ PointResult SmartStore::point_query(const metadata::PointQuery& q,
           s.visit(cfg_.cost.per_bloom_check_s *
                   static_cast<double>(n.children.size()));
           if (n.level == 1) {
-            if (n.name_filter.may_contain(q.filename)) probe_group(nid);
+            if (node_filter_hit(nid)) probe_group(nid);
             return;
           }
           std::vector<sim::Session> branches;
           for (std::size_t c : n.children) {
-            if (!tree_.node(c).name_filter.may_contain(q.filename)) continue;
+            if (!node_filter_hit(c)) continue;
             sim::Session b = s.fork();
             descend(b, c);
             branches.push_back(b);
@@ -702,14 +883,14 @@ PointResult SmartStore::point_query(const metadata::PointQuery& q,
       const IndexUnit& n = tree_.node(node_id);
       session.send_to(n.mapped_unit, kQueryMsgBytes);
       session.visit(cfg_.cost.per_bloom_check_s);
-      if (n.name_filter.may_contain(q.filename)) {
+      if (node_filter_hit(node_id)) {
         if (n.level == 1) {
           probe_group(node_id);
         } else {
           std::vector<sim::Session> branches;
           for (std::size_t c : n.children) {
             if (c == prev) continue;  // already searched on the way up
-            if (!tree_.node(c).name_filter.may_contain(q.filename)) continue;
+            if (!node_filter_hit(c)) continue;
             sim::Session b = session.fork();
             descend(b, c);
             branches.push_back(b);
@@ -727,6 +908,7 @@ PointResult SmartStore::point_query(const metadata::PointQuery& q,
     double version_cost = 0.0;
     std::vector<std::size_t> candidates;
     for (std::size_t g : tree_.groups()) {
+      const auto guard = maybe_lock(&stripes_, &sync_.at(g));
       const GroupSync& gs = sync_.at(g);
       version_cost += static_cast<double>(gs.replica.versions.size()) *
                       cfg_.cost.per_bloom_check_s;
@@ -744,7 +926,7 @@ PointResult SmartStore::point_query(const metadata::PointQuery& q,
       session.send_to(group.mapped_unit, kQueryMsgBytes);
       session.visit(cfg_.cost.per_bloom_check_s *
                     static_cast<double>(group.children.size()));
-      if (!group.name_filter.may_contain(q.filename)) {
+      if (!node_filter_hit(g)) {
         ++groups_visited;  // wasted visit on a stale/false-positive replica
         continue;
       }
@@ -773,6 +955,12 @@ PointResult SmartStore::point_query(const metadata::PointQuery& q,
 
 RangeResult SmartStore::range_query(const metadata::RangeQuery& q,
                                     Routing routing, double arrival) {
+  std::shared_lock<std::shared_mutex> shared(structure_mu_);
+  return range_query_impl(q, routing, arrival);
+}
+
+RangeResult SmartStore::range_query_impl(const metadata::RangeQuery& q,
+                                         Routing routing, double arrival) {
   RangeResult res;
   std::vector<std::size_t> dim_idx;
   la::Vector lo, hi;
@@ -795,6 +983,9 @@ RangeResult SmartStore::range_query(const metadata::RangeQuery& q,
     const std::size_t before = res.ids.size();
     std::vector<sim::Session> branches;
     for (UnitId u : group.children) {
+      // Box check and scan under one stripe hold: the records and their
+      // coordinates stay consistent for the duration of the local scan.
+      const std::lock_guard<std::mutex> guard(unit_mutex(u));
       if (!box_intersects(units_[u].box(), dim_idx, lo, hi)) continue;
       sim::Session b = session.fork();
       b.send_to(u, kQueryMsgBytes);
@@ -834,7 +1025,10 @@ RangeResult SmartStore::range_query(const metadata::RangeQuery& q,
     std::function<void(sim::Session&, std::size_t)> descend =
         [&](sim::Session& s, std::size_t nid) {
           const IndexUnit& n = tree_.node(nid);
-          if (!box_intersects(n.box, dim_idx, lo, hi)) return;
+          {
+            const auto guard = maybe_lock(&stripes_, &n);
+            if (!box_intersects(n.box, dim_idx, lo, hi)) return;
+          }
           s.send_to(n.mapped_unit, kQueryMsgBytes);
           s.visit(cfg_.cost.per_node_visit_s);
           if (n.level == 1) {
@@ -842,6 +1036,7 @@ RangeResult SmartStore::range_query(const metadata::RangeQuery& q,
             const std::size_t before = res.ids.size();
             std::vector<sim::Session> branches;
             for (UnitId u : n.children) {
+              const std::lock_guard<std::mutex> guard(unit_mutex(u));
               if (!box_intersects(units_[u].box(), dim_idx, lo, hi)) continue;
               sim::Session b = s.fork();
               b.send_to(u, kQueryMsgBytes);
@@ -877,6 +1072,12 @@ RangeResult SmartStore::range_query(const metadata::RangeQuery& q,
 
 TopKResult SmartStore::topk_query(const metadata::TopKQuery& q,
                                   Routing routing, double arrival) {
+  std::shared_lock<std::shared_mutex> shared(structure_mu_);
+  return topk_query_impl(q, routing, arrival);
+}
+
+TopKResult SmartStore::topk_query_impl(const metadata::TopKQuery& q,
+                                       Routing routing, double arrival) {
   TopKResult res;
   std::vector<std::size_t> dim_idx;
   const la::Vector point = standardize_point(q, dim_idx);
@@ -902,6 +1103,7 @@ TopKResult SmartStore::topk_query(const metadata::TopKQuery& q,
     bool contributed = false;
     std::vector<sim::Session> branches;
     for (UnitId u : group.children) {
+      const std::lock_guard<std::mutex> guard(unit_mutex(u));
       if (box_min_dist2(units_[u].box(), dim_idx, point) >= max_d() &&
           heap.size() >= q.k)
         continue;
@@ -943,9 +1145,12 @@ TopKResult SmartStore::topk_query(const metadata::TopKQuery& q,
     std::function<void(sim::Session&, std::size_t)> descend =
         [&](sim::Session& s, std::size_t nid) {
           const IndexUnit& n = tree_.node(nid);
-          if (box_min_dist2(n.box, dim_idx, point) >= max_d() &&
-              heap.size() >= q.k)
-            return;
+          {
+            const auto guard = maybe_lock(&stripes_, &n);
+            if (box_min_dist2(n.box, dim_idx, point) >= max_d() &&
+                heap.size() >= q.k)
+              return;
+          }
           if (n.level == 1) {
             if (nid == start) return;  // already served
             s.send_to(n.mapped_unit, kQueryMsgBytes);
@@ -954,6 +1159,7 @@ TopKResult SmartStore::topk_query(const metadata::TopKQuery& q,
             bool contributed = false;
             std::vector<sim::Session> branches;
             for (UnitId u : n.children) {
+              const std::lock_guard<std::mutex> guard(unit_mutex(u));
               if (box_min_dist2(units_[u].box(), dim_idx, point) >= max_d() &&
                   heap.size() >= q.k)
                 continue;
@@ -1034,14 +1240,18 @@ int SmartStore::routing_distance(
 
 // ---- reconfiguration ops -------------------------------------------------------
 
-UnitId SmartStore::add_storage_unit() {
-  // Appending to units_ can reallocate the vector a concurrent serializer
-  // indexes into, so every pending piece must be frozen first.
+UnitId SmartStore::add_storage_unit(const StructuralHook& logged) {
+  // Exclusive: appending to units_ can reallocate the vector concurrent
+  // serving threads and the snapshot serializer index into; any units still
+  // pending in an active freeze are copied first.
+  std::unique_lock<std::shared_mutex> ex(structure_mu_);
   epoch_.fetch_add(1, std::memory_order_relaxed);
-  cow_everything();
+  if (logged) logged();
+  cow_all_units();
   const UnitId id = units_.size();
   units_.emplace_back(id, bloom_bits_, cfg_.bloom_hashes);
   unit_active_.push_back(true);
+  rebuild_unit_locks();
   cluster_->add_node();
   tree_.admit_unit(units_, id);
   for (auto& v : variants_) v.tree.admit_unit(units_, id);
@@ -1049,31 +1259,38 @@ UnitId SmartStore::add_storage_unit() {
   return id;
 }
 
-void SmartStore::remove_storage_unit(UnitId u) {
+void SmartStore::remove_storage_unit(UnitId u, const StructuralHook& logged) {
+  std::unique_lock<std::shared_mutex> ex(structure_mu_);
   assert(u < units_.size() && unit_active_[u]);
   epoch_.fetch_add(1, std::memory_order_relaxed);
-  cow_everything();
+  if (logged) logged();
+  cow_all_units();
   std::vector<FileMetadata> displaced = units_[u].files();
   for (const auto& f : displaced) {
     auto removed = units_[u].remove_file(f.id);
     tree_.on_file_removed(u, f.full_vector());
     for (auto& v : variants_) v.tree.on_file_removed(u, f.full_vector());
-    --total_files_;
+    total_files_.fetch_sub(1, std::memory_order_relaxed);
   }
   tree_.remove_unit(units_, u);
   for (auto& v : variants_) v.tree.remove_unit(units_, u);
   unit_active_[u] = false;
   cluster_->set_node_alive(u, false);
   refresh_sync_groups();
-  for (const auto& f : displaced) insert_file(f, 0.0);
+  // Displaced files re-insert through the impl: the public insert_file
+  // takes the structure lock shared and would self-deadlock here. The
+  // redistribution is part of the logged structural record, so replay
+  // reproduces it without per-file WAL records.
+  for (const auto& f : displaced) insert_file_impl(f, 0.0, {}, {});
 }
 
 // ---- automatic configuration (Section 2.4) -------------------------------------
 
 std::size_t SmartStore::autoconfigure(
-    const std::vector<AttrSubset>& candidates) {
+    const std::vector<AttrSubset>& candidates, const StructuralHook& logged) {
+  std::unique_lock<std::shared_mutex> ex(structure_mu_);
   epoch_.fetch_add(1, std::memory_order_relaxed);
-  cow_structures();
+  if (logged) logged();
   variants_.clear();
   const double full_count = static_cast<double>(tree_.num_nodes());
   for (const auto& dims : candidates) {
@@ -1182,7 +1399,7 @@ bool SmartStore::check_invariants() const {
   }
   std::size_t files = 0;
   for (UnitId u = 0; u < units_.size(); ++u) files += units_[u].file_count();
-  if (files != total_files_) return false;
+  if (files != total_files_.load(std::memory_order_relaxed)) return false;
   for (std::size_t g : tree_.groups()) {
     if (!sync_.count(g)) return false;
   }

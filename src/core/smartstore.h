@@ -26,15 +26,18 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/ground_truth.h"
 #include "core/semantic_rtree.h"
+#include "core/striped_locks.h"
 #include "core/units.h"
 #include "la/stats.h"
 #include "metadata/file_metadata.h"
@@ -127,6 +130,25 @@ struct TreeVariant {
 
 class SmartStore {
  public:
+  /// Write-ahead hook: invoked with the routed target storage unit while
+  /// that unit's stripe lock is held, after routing and before the
+  /// in-memory apply. This is where the persistence layer appends the
+  /// record to the target unit's WAL shard — under the same lock that
+  /// orders the apply, so per-shard log order always equals per-unit apply
+  /// order, the invariant sharded recovery's sequence merge relies on.
+  using WalHook = std::function<void(UnitId target)>;
+  /// Write-behind flush hook: invoked with the same target AFTER the unit
+  /// lock is released (mutation applied, record appended). This is where
+  /// the sharded WAL runs its group-commit fsync — off every store lock,
+  /// so a flush stalls only writers of the same shard, never a writer
+  /// that merely routed to the same unit or collided on a stripe.
+  using WalFlush = std::function<void(UnitId target)>;
+  /// Structural-op hook: invoked under the exclusive structure lock before
+  /// the reconfiguration applies (the sharded WAL barrier-commits every
+  /// shard and then logs the structural record, so no later per-unit
+  /// record can be durable while the structural one it followed is not).
+  using StructuralHook = std::function<void()>;
+
   explicit SmartStore(Config cfg);
 
   /// Bulk-loads a population: semantic placement of files onto storage
@@ -135,11 +157,26 @@ class SmartStore {
   void build(const std::vector<metadata::FileMetadata>& files);
 
   // ---- dynamic operations (virtual arrival time in seconds) -------------
+  //
+  // insert_file / insert_batch / delete_file / erase_file and the three
+  // query methods may be called from any number of threads concurrently
+  // (multi-writer serving): each takes the structure lock shared, routes
+  // under striped summary locks, and mutates only the target unit under
+  // that unit's stripe. The reconfiguration block below and build() are
+  // exclusive and may run concurrently with anything.
 
   /// Routes the file to its most correlated group and inserts it into the
   /// least-loaded member unit; updates the tree locally and the
   /// versioning/lazy-update machinery (Sections 3.2.1, 3.4, 4.4).
-  QueryStats insert_file(const metadata::FileMetadata& f, double arrival);
+  QueryStats insert_file(const metadata::FileMetadata& f, double arrival,
+                         const WalHook& logged = {},
+                         const WalFlush& flushed = {});
+
+  /// Inserts a batch under one structure-lock acquisition (the bulk-ingest
+  /// fast path the CLI's --ingest-threads partitions work into).
+  std::vector<QueryStats> insert_batch(
+      const std::vector<metadata::FileMetadata>& files, double arrival,
+      const WalHook& logged = {}, const WalFlush& flushed = {});
 
   /// Locates by name and removes. Returns nullopt when absent.
   std::optional<QueryStats> delete_file(const std::string& name,
@@ -151,7 +188,8 @@ class SmartStore {
   /// delete that was acknowledged live must always re-apply on recovery,
   /// even when the off-line replicas that located it then have since gone
   /// stale. Returns false when the file does not exist.
-  bool erase_file(const std::string& name);
+  bool erase_file(const std::string& name, const WalHook& logged = {},
+                  const WalFlush& flushed = {});
 
   PointResult point_query(const metadata::PointQuery& q, Routing routing,
                           double arrival);
@@ -160,23 +198,24 @@ class SmartStore {
   TopKResult topk_query(const metadata::TopKQuery& q, Routing routing,
                         double arrival);
 
-  // ---- reconfiguration ----------------------------------------------------
+  // ---- reconfiguration (exclusive: blocks all serving threads) -----------
 
   /// Full replica synchronization: applies and removes all versions
   /// (Section 4.4 "removing versions"), refreshing every group replica.
   void reconfigure();
 
   /// Admits a new (empty) storage unit into the system (Section 3.2.1).
-  UnitId add_storage_unit();
+  UnitId add_storage_unit(const StructuralHook& logged = {});
 
   /// Removes a storage unit, redistributing its files (Section 3.2.2).
-  void remove_storage_unit(UnitId u);
+  void remove_storage_unit(UnitId u, const StructuralHook& logged = {});
 
   /// Enumerates candidate attribute subsets and keeps tree variants whose
   /// index-unit count differs from the full tree's by more than the
   /// configured threshold (Section 2.4). Returns number of variants kept.
   std::size_t autoconfigure(
-      const std::vector<metadata::AttrSubset>& candidates);
+      const std::vector<metadata::AttrSubset>& candidates,
+      const StructuralHook& logged = {});
 
   // ---- accessors ---------------------------------------------------------
 
@@ -215,21 +254,25 @@ class SmartStore {
 
   // ---- concurrent checkpointing (epoch-based freeze + copy-on-write) ------
   //
-  // Threading contract: one serving thread owns every mutation and query;
-  // begin_checkpoint() freezes the store's logical state at the current
-  // mutation epoch so a single background thread can serialize it (via the
-  // persistence layer's SnapshotAccess) while the serving thread keeps
-  // mutating. Mutations copy each still-unserialized piece (a storage
-  // unit's records, the semantic R-tree, the tree variants, the replica
-  // sync state) on first write; CONFIG-level scalars (rng state, file
-  // totals, active flags) and the standardizer are captured eagerly at
-  // freeze time because queries also advance the rng. The background
-  // serializer and the copy-on-write hooks interlock on one internal
-  // mutex, piece by piece, so neither ever observes a half-mutated piece.
+  // Threading contract: any number of serving threads may mutate and query
+  // concurrently; begin_checkpoint() takes the structure lock exclusively
+  // (a bounded stop-the-world pause), captures the CONFIG scalars plus the
+  // index structures (tree, variants, replica sync — cheap relative to the
+  // file records), and returns. Storage units — the bulk of the state —
+  // stay live: post-freeze mutators copy a still-unserialized unit on
+  // first write under that unit's stripe, and the background serializer
+  // resolves each unit piece under the same stripe, so neither ever
+  // observes a half-mutated piece. The per-thread query RNG streams never
+  // touch the store rng, so the freeze capture of the persisted rng state
+  // is deterministic without locking queries out.
 
   /// Freezes the logical state at the current epoch; returns that epoch.
-  /// At most one checkpoint may be active at a time.
-  std::uint64_t begin_checkpoint();
+  /// At most one checkpoint may be active at a time. `while_frozen`, if
+  /// given, runs inside the exclusive section — the background
+  /// checkpointer uses it to commit the WAL shards and capture their
+  /// frontier vector at exactly the frozen mutation boundary.
+  std::uint64_t begin_checkpoint(
+      const std::function<void()>& while_frozen = {});
 
   /// Releases frozen copies; mutations stop paying the copy-on-write tax.
   void end_checkpoint();
@@ -267,11 +310,14 @@ class SmartStore {
   };
 
   /// CONFIG/STANDARDIZER-section scalars, captured eagerly at freeze time
-  /// (queries advance the rng, so lazy capture would tear the rng state).
+  /// (the freeze holds the exclusive structure lock, so the capture is a
+  /// consistent cut; the per-thread query RNG streams are derived state
+  /// and never persisted — only the store rng is).
   struct FrozenCore {
     std::size_t bloom_bits = 0;
     std::size_t total_files = 0;
     std::array<std::uint64_t, 4> rng_state{};
+    std::uint64_t rng_streams = 0;  ///< thread streams handed out so far
     std::vector<bool> unit_active;
     la::RowStandardizer standardizer;
     std::size_t unit_count = 0;  ///< units_ size at freeze
@@ -296,36 +342,65 @@ class SmartStore {
     std::unique_ptr<std::unordered_map<std::size_t, GroupSync>> frozen_sync;
   };
 
-  /// Lock-held bodies shared by the public hooks and cow_everything().
+  /// Lock-held body shared by cow_unit and cow_all_units.
   void cow_unit_locked(UnitId u);
-  void cow_structures_locked();
 
   /// Copies storage unit `u` into the frozen view if a checkpoint is active
-  /// and the unit has not yet been serialized or copied. Must be called
-  /// before the first mutation of the unit within an operation.
+  /// and the unit has not yet been serialized or copied. Caller must hold
+  /// unit `u`'s stripe (the tree/variants/sync structures are captured
+  /// eagerly at freeze time, so units are the only lazily copied pieces).
   void cow_unit(UnitId u);
-  /// Same for the tree/variants/sync structures (every mutation touches
-  /// all three, so they freeze together on the first mutation).
-  void cow_structures();
-  /// Freezes everything still pending: required before structural changes
+  /// Freezes every unit still pending: required before structural changes
   /// (unit admission/removal reallocates units_, invalidating the
-  /// serializer's view of the live vector).
-  void cow_everything();
+  /// serializer's view of the live vector). Caller holds the exclusive
+  /// structure lock, which is why no stripes are needed here.
+  void cow_all_units();
   /// Shared removal bookkeeping once a file has been located (unit, id).
-  void remove_located(UnitId u, metadata::FileId id, double now,
-                      sim::Session* session);
+  /// Re-checks existence under the unit stripe (a concurrent delete may
+  /// have won); returns whether the removal happened.
+  bool remove_located(UnitId u, metadata::FileId id, double now,
+                      sim::Session* session, const WalHook& logged,
+                      const WalFlush& flushed);
 
   // ---- internals ---------------------------------------------------------
+  //
+  // *_impl bodies assume the structure lock is already held (shared or
+  // exclusive); the public wrappers acquire it. remove_storage_unit calls
+  // insert_file_impl for displaced files while holding it exclusively —
+  // the shared-acquiring public method would self-deadlock there.
+
+  QueryStats insert_file_impl(const metadata::FileMetadata& f, double arrival,
+                              const WalHook& logged, const WalFlush& flushed);
+  bool erase_file_impl(const std::string& name, const WalHook& logged,
+                       const WalFlush& flushed);
+  PointResult point_query_impl(const metadata::PointQuery& q, Routing routing,
+                               double arrival);
+  RangeResult range_query_impl(const metadata::RangeQuery& q, Routing routing,
+                               double arrival);
+  TopKResult topk_query_impl(const metadata::TopKQuery& q, Routing routing,
+                             double arrival);
+
+  /// The calling thread's private RNG stream, lazily seeded from the store
+  /// seed and a monotonic stream id — queries draw home units without
+  /// contending on any store-wide state (the store rng serves only the
+  /// single-threaded build/reconfiguration paths and the snapshot).
+  util::Rng& thread_rng() const;
 
   sim::NodeId random_home();
   void init_sync_state();
   /// Snapshots group `g`'s current truth into its replica (full sync) and
-  /// multicasts it; clears versions.
+  /// multicasts it; clears versions. Copies the authoritative node summary
+  /// under the node's stripe, then installs it under the group's sync
+  /// stripe — never holding two stripes at once.
   void full_sync_group(std::size_t g, sim::Session* session);
-  /// Seals the pending delta into a version and multicasts it.
+  /// Seals the pending delta into a version and multicasts it. Caller
+  /// holds group `g`'s sync stripe.
   void seal_version(std::size_t g, double now, sim::Session* session);
-  /// Applies versioning/lazy-update policy after a change to group g.
-  void after_group_change(std::size_t g, double now, sim::Session* session);
+  /// Applies the versioning policy after a change to group g (caller holds
+  /// the group's sync stripe); returns true when the lazy-update threshold
+  /// tripped and the caller must run full_sync_group once the stripe is
+  /// released.
+  bool after_group_change(std::size_t g, double now, sim::Session* session);
 
   struct RankedGroup {
     std::size_t node_id;
@@ -396,13 +471,44 @@ class SmartStore {
   std::unique_ptr<sim::Cluster> cluster_;
   la::RowStandardizer standardizer_;
   std::unordered_map<std::size_t, GroupSync> sync_;  // group node -> state
+  /// Store rng: build-time placement and index-unit mapping only. Mutated
+  /// exclusively under the exclusive structure lock; persisted and
+  /// captured at freeze without further locking. Query-side draws come
+  /// from per-thread streams (thread_rng) instead.
   util::Rng rng_;
-  /// Queries advance rng_ (random_home) without being mutations, so the
-  /// freeze-time state capture interlocks with them here rather than via
-  /// the mutation serialization.
-  mutable std::mutex rng_mu_;
-  std::size_t total_files_ = 0;
+  /// Monotonic id generator for per-thread RNG streams.
+  mutable std::atomic<std::uint64_t> rng_streams_{0};
+  /// Process-unique instance id (per-thread RNG stream ownership key).
+  std::uint64_t store_id_ = 0;
+  std::atomic<std::size_t> total_files_{0};
   std::atomic<std::uint64_t> epoch_{0};  ///< mutation counter
+
+  // ---- multi-writer serving locks ----------------------------------------
+  //
+  // Hierarchy (outer to inner): structure_mu_ -> one unit lock OR one
+  // stripe of stripes_ -> { freeze_.mu | WAL shard mutex | cluster
+  // mutex }. At most one unit-lock-or-stripe is ever held at a time (see
+  // striped_locks.h); structural operations take structure_mu_
+  // exclusively and then need no finer locks at all.
+  //
+  // Units get DEDICATED locks (not pool stripes) because the WAL hook
+  // fsyncs under them: a shared stripe would make an unrelated hot index
+  // node or replica — every insert touches the root and its group's sync
+  // state — collide with an in-flight fsync and serialize the whole
+  // ingest path on one disk flush. The summary stripe pool only ever
+  // protects microsecond-scale critical sections.
+  mutable std::shared_mutex structure_mu_;
+  mutable StripedMutexPool stripes_;
+  /// One mutex per storage unit, parallel to units_ (stable addresses;
+  /// reshaped only under the exclusive structure lock).
+  mutable std::vector<std::unique_ptr<std::mutex>> unit_mu_;
+
+  std::mutex& unit_mutex(UnitId u) const { return *unit_mu_[u]; }
+  /// Re-sizes unit_mu_ to match units_ (build, snapshot assembly, unit
+  /// admission). Caller holds the exclusive structure lock or is still
+  /// single-threaded construction.
+  void rebuild_unit_locks();
+
   FreezeState freeze_;
 };
 

@@ -1,0 +1,59 @@
+// Address-keyed striped mutex pool: the leaf-level synchronization for the
+// multi-writer serving path's *summary* updates.
+//
+// The store's coarse shape (which units exist, tree topology, the variant
+// list) is guarded by a reader/writer structure lock; storage-unit records
+// get DEDICATED per-unit mutexes (the WAL hook may fsync under them, so
+// they must never alias anything else); the remaining summaries every
+// insert touches — an index unit's MBR/Bloom/centroid sums, a group's
+// replica sync state — are guarded here, striped by object address.
+// Writers routed to different storage units then only ever contend where
+// their ancestor paths overlap (the root stripe), and that critical
+// section is a few bit-sets and adds — never I/O.
+//
+// Discipline (what keeps this deadlock-free):
+//   * at most ONE stripe-or-unit-lock is held at a time — walkers lock a
+//     node, update it, release, then move to the parent; summary updates
+//     are commutative (MBR expand, filter insert, sum add), so cross-node
+//     atomicity is not needed and readers tolerate the transient widening;
+//   * a stripe may be held while taking a leaf-class lock (the freeze
+//     mutex, a WAL shard mutex, the sim-cluster mutex) — never the reverse;
+//   * striping is by current address: objects only move (vector
+//     reallocation) under the exclusive structure lock, when no stripe can
+//     be held.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+namespace smartstore::core {
+
+class StripedMutexPool {
+ public:
+  static constexpr std::size_t kStripes = 64;
+
+  /// The stripe guarding the object at `p`. Distinct objects may share a
+  /// stripe (that is the point); the same address always maps to the same
+  /// stripe while any lock is held.
+  std::mutex& for_ptr(const void* p) const {
+    auto h = reinterpret_cast<std::uintptr_t>(p);
+    h ^= h >> 17;  // drop allocation-granularity bias before folding
+    h *= 0x9E3779B97F4A7C15ULL;
+    return mu_[(h >> 32) % kStripes];
+  }
+
+ private:
+  mutable std::array<std::mutex, kStripes> mu_;
+};
+
+/// Locks `p`'s stripe when `pool` is non-null; otherwise an empty guard
+/// (the single-threaded paths — bulk build, recovery replay — skip the
+/// locking without a second code path).
+inline std::unique_lock<std::mutex> maybe_lock(const StripedMutexPool* pool,
+                                               const void* p) {
+  return pool ? std::unique_lock<std::mutex>(pool->for_ptr(p))
+              : std::unique_lock<std::mutex>();
+}
+
+}  // namespace smartstore::core

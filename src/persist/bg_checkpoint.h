@@ -29,10 +29,16 @@
 //   In every window, every acknowledged write is in the snapshot, the
 //   log, or both — never neither.
 //
-// Threading contract: all mutations go through this object's mutation API
-// (or hold the same serialization the caller already has) on ONE serving
-// thread; the checkpoint runs on one pool worker. Queries may keep running
-// on the serving thread throughout.
+// Threading contract: with the single-log constructor, all mutations go
+// through this object's mutation API on ONE serving thread (the PR-3
+// contract — the log has a single append point). With the sharded-WAL
+// constructor, ANY NUMBER of serving threads may call the mutation API
+// concurrently: logging rides the store's own WAL hooks (per-unit record
+// under the target unit's stripe, structural record under the exclusive
+// structure lock), the freeze captures the per-shard frontier vector
+// inside the store's exclusive section, and the truncate rebases shard by
+// shard, concurrent with live appends to the others. The checkpoint runs
+// on one pool worker either way; queries may keep running throughout.
 #pragma once
 
 #include <atomic>
@@ -43,30 +49,38 @@
 
 #include "core/smartstore.h"
 #include "persist/wal.h"
+#include "persist/wal_shard.h"
 #include "util/thread_pool.h"
 
 namespace smartstore::persist {
 
 struct CheckpointStats {
   std::uint64_t epoch = 0;           ///< store mutation epoch at freeze
-  std::uint64_t fence_generation = 0;
+  std::uint64_t fence_generation = 0;  ///< single-log mode only
   std::uint64_t fence_records = 0;   ///< WAL prefix the snapshot subsumes
+                                     ///< (sharded: summed across shards)
+  std::uint64_t fence_shards = 0;    ///< shards in the frontier vector
   std::uint64_t tail_records = 0;    ///< records rebased into the next log
   std::uint64_t cow_copies = 0;      ///< pieces copied on write during it
   std::uint64_t mutations_during = 0;  ///< epoch delta while writing
-  double freeze_s = 0;               ///< serving thread excluded (step 1)
+  double freeze_s = 0;               ///< serving threads excluded (step 1)
   double write_s = 0;                ///< concurrent serialization (step 2)
-  double truncate_s = 0;             ///< serving thread excluded (step 3)
+  double truncate_s = 0;             ///< per-shard rebase (step 3)
   std::size_t snapshot_bytes = 0;
 };
 
 class BackgroundCheckpointer {
  public:
-  /// `store` and `wal` must outlive the checkpointer; `wal` must be the
-  /// log at wal_path(dir) so snapshot fences and rebases pair with it.
-  /// `pool` supplies the worker the snapshot is written on.
+  /// Single-log mode. `store` and `wal` must outlive the checkpointer;
+  /// `wal` must be the log at wal_path(dir) so snapshot fences and rebases
+  /// pair with it. `pool` supplies the worker the snapshot is written on.
   BackgroundCheckpointer(core::SmartStore& store, std::string dir,
                          WalWriter& wal, util::ThreadPool& pool);
+
+  /// Sharded multi-writer mode: durability through one WAL shard per
+  /// storage unit under dir/wal/. Same ownership rules.
+  BackgroundCheckpointer(core::SmartStore& store, std::string dir,
+                         ShardedWal& wal, util::ThreadPool& pool);
 
   /// Waits for an in-flight checkpoint (swallowing its error — use wait()
   /// to observe failures before destruction).
@@ -77,13 +91,13 @@ class BackgroundCheckpointer {
 
   // ---- serving-thread mutation API ---------------------------------------
   // Write-ahead order: each mutation is logged, then applied — except
-  // erase(), which must apply first to learn whether the file existed and
-  // logs only on success. That reversal is safe because the un-logged
-  // window closes before erase() returns: a crash inside it loses both
-  // the in-memory apply and the log record together, and the caller never
-  // saw the delete acknowledged. The internal mutex serializes all of
-  // these against the freeze/truncate steps, so a checkpoint always
-  // fences at a mutation boundary.
+  // erase(), which must locate the file first and logs only on success.
+  // That reversal is safe because the log record and the apply happen
+  // under the same unit stripe: a crash inside the window loses both
+  // together, and the caller never saw the delete acknowledged. In
+  // single-log mode the internal mutex serializes these against the
+  // freeze/truncate steps; in sharded mode the store's own locks do (the
+  // mutation API is then safe from any number of threads).
 
   core::QueryStats insert(const metadata::FileMetadata& f,
                           double arrival = 0.0);
@@ -116,13 +130,16 @@ class BackgroundCheckpointer {
 
  private:
   void run_checkpoint();
+  void run_checkpoint_single(CheckpointStats& st);
+  void run_checkpoint_sharded(CheckpointStats& st);
 
   core::SmartStore& store_;
   std::string dir_;
-  WalWriter& wal_;
+  WalWriter* wal_ = nullptr;        ///< single-log mode
+  ShardedWal* sharded_ = nullptr;   ///< sharded multi-writer mode
   util::ThreadPool& pool_;
 
-  std::mutex mu_;  ///< mutations vs. freeze/truncate critical sections
+  std::mutex mu_;  ///< single-log mode: mutations vs. freeze/truncate
   std::atomic<bool> running_{false};
   std::future<void> inflight_;
   CheckpointStats stats_;

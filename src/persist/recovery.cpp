@@ -1,6 +1,7 @@
 #include "persist/recovery.h"
 
 #include <algorithm>
+#include <cctype>
 #include <filesystem>
 
 #include "persist/fault.h"
@@ -52,22 +53,60 @@ RecoveryResult recover(const std::string& dir) {
   RecoveryResult res;
   WalFence fence;
   res.store = load_snapshot(snapshot_path(dir), &fence);
-  const WalScan scan = scan_wal(wal_path(dir));
 
-  // Records the snapshot's fence covers are already reflected in it; this
-  // is the crash window between "snapshot renamed" and "WAL emptied".
+  // Legacy single log first (a deployment that migrated to the sharded
+  // layout may still carry an emptied wal.bin alongside the shard dir).
+  const WalScan scan = scan_wal(wal_path(dir));
   std::size_t skip = 0;
   if (fence.present && fence.generation == scan.generation) {
+    // Records the snapshot's fence covers are already reflected in it;
+    // this is the crash window between "snapshot renamed" and "WAL
+    // emptied".
     skip = static_cast<std::size_t>(
         std::min<std::uint64_t>(fence.records, scan.records.size()));
   }
   for (std::size_t i = skip; i < scan.records.size(); ++i)
     apply_record(*res.store, scan.records[i]);
-
   res.wal_blocks = scan.blocks;
   res.wal_records = scan.records.size() - skip;
   res.wal_fenced = skip;
   res.wal_tail_torn = scan.torn_tail;
+
+  // Sharded logs: scan every shard, drop each shard's fenced prefix
+  // (matching generations only — a rebased shard replays in full), then
+  // merge by the store-wide sequence number back into one mutation order.
+  const std::string sdir = ShardedWal::shard_dir(dir);
+  std::error_code ec;
+  if (std::filesystem::is_directory(sdir, ec)) {
+    std::vector<WalRecord> merged;
+    for (const auto& entry : std::filesystem::directory_iterator(sdir)) {
+      std::uint64_t shard_id = 0;
+      if (!ShardedWal::parse_shard_id(entry.path(), &shard_id)) continue;
+      WalScan shard_scan = scan_wal(entry.path().string());
+      std::size_t shard_skip = 0;
+      for (const ShardFence& f : fence.shards) {
+        if (f.shard == shard_id && f.generation == shard_scan.generation) {
+          shard_skip = static_cast<std::size_t>(std::min<std::uint64_t>(
+              f.records, shard_scan.records.size()));
+          break;
+        }
+      }
+      res.wal_blocks += shard_scan.blocks;
+      res.wal_fenced += shard_skip;
+      res.wal_tail_torn = res.wal_tail_torn || shard_scan.torn_tail;
+      ++res.wal_shards;
+      for (std::size_t i = shard_skip; i < shard_scan.records.size(); ++i)
+        merged.push_back(std::move(shard_scan.records[i]));
+    }
+    // Stable: records upgraded from unsequenced logs (seq 0) keep their
+    // per-shard order at the front.
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const WalRecord& a, const WalRecord& b) {
+                       return a.seq < b.seq;
+                     });
+    for (const WalRecord& rec : merged) apply_record(*res.store, rec);
+    res.wal_records += merged.size();
+  }
   return res;
 }
 
@@ -116,6 +155,51 @@ void checkpoint(const core::SmartStore& store, const std::string& dir,
   } else if (std::filesystem::exists(wp)) {
     write_empty_wal(wp, next_generation);  // stale records must not replay
   }                                        // over the fresher snapshot
+
+  // A shard directory no writer owns is equally subsumed: remove it, or
+  // its stale records would replay over the fresher snapshot on the next
+  // recover() (the snapshot just written fences none of them).
+  const std::string sdir = ShardedWal::shard_dir(dir);
+  std::error_code sec;
+  if (std::filesystem::is_directory(sdir, sec))
+    std::filesystem::remove_all(sdir);
+}
+
+void checkpoint(const core::SmartStore& store, const std::string& dir,
+                ShardedWal& wal) {
+  std::filesystem::create_directories(dir);
+  std::error_code cec;
+  if (std::filesystem::weakly_canonical(wal.dir(), cec) !=
+      std::filesystem::weakly_canonical(ShardedWal::shard_dir(dir), cec)) {
+    throw PersistError("checkpoint: the sharded WAL must own " +
+                       ShardedWal::shard_dir(dir) + ", got " + wal.dir());
+  }
+
+  // Same fence-then-switch discipline as the single-log flavour, with the
+  // frontier taken across every shard (frontier() commits them all first).
+  WalFence fence = wal.frontier();
+  // A leftover single log (pre-migration deployments) is subsumed too; it
+  // must be FENCED in the snapshot, not merely emptied afterwards — a
+  // crash between the snapshot rename and the emptying below would
+  // otherwise replay its stale records over a snapshot that already
+  // contains them.
+  const std::string wp = wal_path(dir);
+  if (std::filesystem::exists(wp)) {
+    try {
+      const WalScan scan = scan_wal(wp);
+      fence.generation = scan.generation;
+      fence.records = scan.records.size();
+    } catch (const PersistError&) {
+      // Not a WAL; the overwrite below deals with it.
+    }
+  }
+  save_snapshot(store, snapshot_path(dir), fence);
+
+  fault_point("checkpoint:pre-wal-reset");
+
+  wal.reset_all();
+  if (std::filesystem::exists(wp))
+    write_empty_wal(wp, fresh_wal_generation());
 }
 
 }  // namespace smartstore::persist

@@ -1,19 +1,27 @@
 // Deployment-directory recovery: the checkpoint/recover protocol over a
-// snapshot file plus a WAL.
+// snapshot file plus a WAL — single-log or sharded.
 //
 //   <dir>/snapshot.bin   full deployment image (persist/snapshot.h)
 //   <dir>/wal.bin        mutations since that snapshot (persist/wal.h)
+//   <dir>/wal/<u>.log    sharded flavour: one v03 log per storage unit
+//                        (persist/wal_shard.h)
 //
 // checkpoint() fences before it switches: the snapshot it writes records
-// the WAL's (generation, record count) in its WALFENCE section, then the
-// rename atomically publishes the snapshot, then the WAL is emptied under
-// a new generation. recover() loads the snapshot and replays the WAL's
-// valid prefix through the store's own insert_file/delete_file — skipping
-// any fenced prefix when the generations match — so a crash anywhere
-// inside checkpoint() recovers exactly: before the rename the old
-// snapshot+log pair is intact; between rename and WAL reset the fence
-// suppresses the double replay; after the reset the log is empty. A torn
-// or truncated WAL tail rolls back to the last group-commit boundary.
+// the WAL frontier — a (generation, record count) pair for the single log,
+// or one such entry per shard — in its WALFENCE section, then the rename
+// atomically publishes the snapshot, then the log(s) are emptied/rebased
+// under new generations. recover() loads the snapshot and replays the
+// valid prefix of whatever logs exist through the store's own mutation
+// API, skipping each log's fenced prefix when generations match; sharded
+// records are merged across shards by their store-wide sequence number
+// first, reconstructing one mutation order. A crash anywhere inside
+// checkpoint() recovers exactly, per log: before the rename the old
+// snapshot+log pair is intact; between rename and reset/rebase the fence
+// suppresses the double replay; after it the generation changed and the
+// whole tail replays. A torn or truncated tail rolls any log back to its
+// last group-commit boundary — in the sharded layout that loses only
+// *unacknowledged* records of that shard, never an acknowledged record of
+// another shard.
 #pragma once
 
 #include <memory>
@@ -21,6 +29,7 @@
 
 #include "core/smartstore.h"
 #include "persist/wal.h"
+#include "persist/wal_shard.h"
 
 namespace smartstore::persist {
 
@@ -32,7 +41,8 @@ struct RecoveryResult {
   std::size_t wal_blocks = 0;
   std::size_t wal_records = 0;   ///< replayed (fenced prefix excluded)
   std::size_t wal_fenced = 0;    ///< skipped: already in the snapshot
-  bool wal_tail_torn = false;
+  std::size_t wal_shards = 0;    ///< shard logs scanned (0 = single-log dir)
+  bool wal_tail_torn = false;    ///< any log had a torn tail dropped
 };
 
 /// Applies one logged record through the store's mutation API.
@@ -41,9 +51,11 @@ void apply_record(core::SmartStore& store, const WalRecord& rec);
 /// Replays a scanned log into `store`; returns the number of records applied.
 std::size_t replay(core::SmartStore& store, const WalScan& scan);
 
-/// Loads <dir>/snapshot.bin and replays <dir>/wal.bin (when present).
-/// Throws PersistError when the snapshot is missing or corrupt; a torn WAL
-/// tail is not an error (reported in the result, recovery keeps the prefix).
+/// Loads <dir>/snapshot.bin and replays <dir>/wal.bin and/or the shard
+/// logs under <dir>/wal/ (whichever exist; sharded records are merged by
+/// sequence number). Throws PersistError when the snapshot is missing or
+/// corrupt; a torn WAL tail is not an error (reported in the result,
+/// recovery keeps the prefix).
 RecoveryResult recover(const std::string& dir);
 
 /// Snapshots `store` into `dir` (created if needed) and empties `dir`'s
@@ -51,8 +63,15 @@ RecoveryResult recover(const std::string& dir);
 /// has that log open so its handle stays coherent; a writer logging into a
 /// different directory is left untouched (its records pair with that
 /// directory's snapshot). Without a writer, any wal.bin in `dir` is
-/// truncated on disk.
+/// truncated on disk — and any shard directory is removed, so stale shard
+/// records cannot replay over the fresher snapshot.
 void checkpoint(const core::SmartStore& store, const std::string& dir,
                 WalWriter* wal = nullptr);
+
+/// Sharded-WAL flavour of the quiesced checkpoint: commits every shard,
+/// records the per-shard fence in the snapshot, then truncates all shards
+/// (and any leftover legacy wal.bin) under new generations.
+void checkpoint(const core::SmartStore& store, const std::string& dir,
+                ShardedWal& wal);
 
 }  // namespace smartstore::persist

@@ -578,6 +578,8 @@ struct SnapshotAccess {
       s.sync_.emplace(g, std::move(gs));
     }
 
+    s.rebuild_unit_locks();
+
     // A fresh virtual-time cluster: queue occupancy is runtime state, a
     // restarted deployment begins with idle queues at time zero.
     s.cluster_ = std::make_unique<sim::Cluster>(unit_count, cfg.cost);
@@ -612,6 +614,14 @@ void append_fence_section(BinaryWriter& out, const WalFence& fence) {
   BinaryWriter sec;
   sec.write_u64(fence.generation);
   sec.write_u64(fence.records);
+  // Sharded frontier vector, appended after the legacy pair: decoders
+  // that predate sharding stop after the pair; sharded decoders read on.
+  sec.write_u64(fence.shards.size());
+  for (const ShardFence& s : fence.shards) {
+    sec.write_u64(s.shard);
+    sec.write_u64(s.generation);
+    sec.write_u64(s.records);
+  }
   append_section(out, kSecWalFence, sec);
 }
 
@@ -746,6 +756,18 @@ std::unique_ptr<core::SmartStore> load_snapshot(const std::string& path,
       fence_out->generation = fr.read_u64();
       fence_out->records = fr.read_u64();
       fence_out->present = true;
+      if (!fr.at_end()) {  // sharded frontier (absent in older snapshots)
+        const std::size_t nshards = static_cast<std::size_t>(
+            fr.read_u64_max(fr.remaining(), "fence shard count"));
+        fence_out->shards.reserve(nshards);
+        for (std::size_t i = 0; i < nshards; ++i) {
+          ShardFence s;
+          s.shard = fr.read_u64();
+          s.generation = fr.read_u64();
+          s.records = fr.read_u64();
+          fence_out->shards.push_back(s);
+        }
+      }
     }
   }
 

@@ -47,14 +47,29 @@ inline constexpr char kSnapshotMagic[8] = {'S', 'S', 'N', 'A',
                                            'P', 'v', '0', '1'};
 inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
 
-/// The WAL prefix a snapshot subsumes: records [0, records) of the log
-/// whose header generation is `generation` are already reflected in the
-/// snapshotted state. `present` is false when the snapshot carries no
-/// fence (one saved outside the checkpoint protocol).
+/// One shard's slice of a sharded-WAL fence: records [0, records) of
+/// wal/<shard>.log under `generation` are reflected in the snapshot.
+struct ShardFence {
+  std::uint64_t shard = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t records = 0;
+};
+
+/// The WAL prefix a snapshot subsumes. For a single-log deployment,
+/// records [0, records) of the log whose header generation is `generation`
+/// are already reflected in the snapshotted state. For a sharded
+/// deployment `shards` carries one (generation, records) frontier entry
+/// per WAL shard instead (and the legacy pair is zero). `present` is
+/// false when the snapshot carries no fence (one saved outside the
+/// checkpoint protocol). The WALFENCE section encodes the legacy pair
+/// first and appends the shard vector, so pre-sharding snapshots decode
+/// with `shards` empty and old binaries ignore the extra bytes they never
+/// read.
 struct WalFence {
   std::uint64_t generation = 0;
   std::uint64_t records = 0;
   bool present = false;
+  std::vector<ShardFence> shards;
 };
 
 /// Serializes the deployment and writes it atomically (temp file + rename +

@@ -25,7 +25,10 @@ void flush_and_sync(std::FILE* f) {
 }
 
 /// One record in the block-payload encoding (the format scan_wal parses).
-void encode_record(util::BinaryWriter& w, const WalRecord& rec) {
+/// v03 logs prefix each record with its store-wide sequence number.
+void encode_record(util::BinaryWriter& w, const WalRecord& rec,
+                   bool with_seq) {
+  if (with_seq) w.write_u64(rec.seq);
   w.write_u8(static_cast<std::uint8_t>(rec.type));
   switch (rec.type) {
     case WalRecordType::kInsert:
@@ -49,10 +52,10 @@ void encode_record(util::BinaryWriter& w, const WalRecord& rec) {
 /// Serializes `records` as one commit block appended to `out` (nothing
 /// when empty). The layout must stay byte-identical to commit()'s.
 void append_block(util::BinaryWriter& out,
-                  const std::vector<WalRecord>& records) {
+                  const std::vector<WalRecord>& records, bool with_seq) {
   if (records.empty()) return;
   util::BinaryWriter payload;
-  for (const WalRecord& rec : records) encode_record(payload, rec);
+  for (const WalRecord& rec : records) encode_record(payload, rec, with_seq);
   out.write_u32(kWalBlockMagic);
   out.write_u32(static_cast<std::uint32_t>(records.size()));
   out.write_u64(payload.size());
@@ -60,15 +63,16 @@ void append_block(util::BinaryWriter& out,
   out.write_u32(util::crc32(payload.buffer().data(), payload.size()));
 }
 
-/// A complete log image: current magic, the given generation, then
+/// A complete log image: the requested magic, the given generation, then
 /// whatever `fill_blocks` appends. Published atomically through the shared
 /// fault-instrumented temp+rename+dir-fsync, so every log publish (rebase,
-/// v01 upgrade) has identical crash behavior.
+/// version upgrade) has identical crash behavior.
 template <typename FillBlocks>
 void publish_log(const std::string& path, std::uint64_t generation,
-                 FillBlocks&& fill_blocks, const std::string& fault_prefix) {
+                 FillBlocks&& fill_blocks, const std::string& fault_prefix,
+                 bool with_seq = false) {
   util::BinaryWriter out;
-  out.write_bytes(kWalMagic, sizeof(kWalMagic));
+  out.write_bytes(with_seq ? kWalMagicV3 : kWalMagic, sizeof(kWalMagic));
   out.write_u64(generation);
   fill_blocks(out);
   write_file_atomic_faulted(path, out.buffer(), fault_prefix);
@@ -92,10 +96,13 @@ WalScan scan_wal(const std::string& path) {
     return scan;
   }
   // v02 added the reconfiguration record types; v01 logs parse as a strict
-  // subset, so both magics are accepted on read.
+  // subset, so both magics are accepted on read. v03 (sharded) adds the
+  // per-record sequence prefix.
   scan.v1_magic =
       std::memcmp(bytes.data(), kWalMagicV1, sizeof(kWalMagicV1)) == 0;
-  if (!scan.v1_magic &&
+  scan.v3_magic =
+      std::memcmp(bytes.data(), kWalMagicV3, sizeof(kWalMagicV3)) == 0;
+  if (!scan.v1_magic && !scan.v3_magic &&
       std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0)
     throw PersistError("bad WAL magic: " + path);
 
@@ -144,6 +151,10 @@ WalScan scan_wal(const std::string& path) {
     try {
       for (std::uint32_t i = 0; i < count; ++i) {
         WalRecord rec;
+        if (scan.v3_magic) {
+          rec.seq = pr.read_u64();
+          scan.max_seq = std::max(scan.max_seq, rec.seq);
+        }
         const std::uint8_t type = pr.read_u8();
         if (type == static_cast<std::uint8_t>(WalRecordType::kInsert)) {
           rec.type = WalRecordType::kInsert;
@@ -193,9 +204,11 @@ WalScan scan_wal(const std::string& path) {
 
 // ---- writer -----------------------------------------------------------------
 
-WalWriter::WalWriter(std::string path, std::size_t group_commit)
+WalWriter::WalWriter(std::string path, std::size_t group_commit,
+                     bool with_seq)
     : path_(std::move(path)),
-      group_commit_(group_commit == 0 ? 1 : group_commit) {
+      group_commit_(group_commit == 0 ? 1 : group_commit),
+      with_seq_(with_seq) {
   open_truncated_to_valid_prefix();
 }
 
@@ -213,19 +226,24 @@ void WalWriter::open_truncated_to_valid_prefix() {
   const WalScan scan = scan_wal(path_);  // throws on non-WAL content
   committed_ = scan.records.size();
   generation_ = scan.generation;
+  opened_max_seq_ = scan.max_seq;
   committed_bytes_ = scan.valid_bytes;
 
   if (scan.valid_bytes > 0) {
-    if (scan.v1_magic) {
-      // Appending v02-only record types behind a v01 header would make a
-      // rolled-back binary mis-read them as a torn tail and truncate acked
-      // records away. Upgrade in place: same generation and records, new
-      // magic, atomic swap. (A crash inside the swap leaves either the old
-      // v01 log or the equivalent v02 one — same generation, same records.)
+    if (scan.v3_magic != with_seq_ || scan.v1_magic) {
+      // Appending records in one layout behind another layout's header
+      // would make readers mis-parse them as a torn tail and truncate
+      // acked records away. Upgrade in place: same generation and records,
+      // the writer's magic, atomic swap. (A crash inside the swap leaves
+      // either the old log or the equivalent re-encoded one — same
+      // generation, same records. Records upgraded into v03 keep seq 0,
+      // which sorts them before every newly stamped record on merge.)
       publish_log(
           path_, generation_,
-          [&](util::BinaryWriter& out) { append_block(out, scan.records); },
-          "wal:upgrade");
+          [&](util::BinaryWriter& out) {
+            append_block(out, scan.records, with_seq_);
+          },
+          "wal:upgrade", with_seq_);
       std::error_code size_ec;
       const auto sz = std::filesystem::file_size(path_, size_ec);
       if (size_ec)
@@ -242,7 +260,7 @@ void WalWriter::open_truncated_to_valid_prefix() {
   }
   // Absent, empty, or torn before the header completed: start fresh.
   generation_ = fresh_wal_generation();
-  write_empty_wal(path_, generation_);
+  write_empty_wal(path_, generation_, with_seq_);
   file_ = std::fopen(path_.c_str(), "ab");
   if (!file_) throw PersistError("cannot open WAL for append: " + path_);
   committed_ = 0;
@@ -250,37 +268,43 @@ void WalWriter::open_truncated_to_valid_prefix() {
 }
 
 // Every log_* encodes through encode_record so the live-append layout and
-// the rewrite paths (rebase slow path, v01 upgrade) cannot drift.
+// the rewrite paths (rebase slow path, version upgrade) cannot drift.
+
+void WalWriter::log(const WalRecord& rec) {
+  append(rec);
+  if (pending_ >= group_commit_) commit();
+}
+
+void WalWriter::append(const WalRecord& rec) {
+  encode_record(batch_, rec, with_seq_);
+  ++pending_;
+}
 
 void WalWriter::log_insert(const metadata::FileMetadata& f) {
   WalRecord rec;
   rec.type = WalRecordType::kInsert;
   rec.file = f;
-  encode_record(batch_, rec);
-  if (++pending_ >= group_commit_) commit();
+  log(rec);
 }
 
 void WalWriter::log_remove(const std::string& name) {
   WalRecord rec;
   rec.type = WalRecordType::kRemove;
   rec.name = name;
-  encode_record(batch_, rec);
-  if (++pending_ >= group_commit_) commit();
+  log(rec);
 }
 
 void WalWriter::log_add_unit() {
   WalRecord rec;
   rec.type = WalRecordType::kAddUnit;
-  encode_record(batch_, rec);
-  if (++pending_ >= group_commit_) commit();
+  log(rec);
 }
 
 void WalWriter::log_remove_unit(std::uint64_t unit) {
   WalRecord rec;
   rec.type = WalRecordType::kRemoveUnit;
   rec.unit = unit;
-  encode_record(batch_, rec);
-  if (++pending_ >= group_commit_) commit();
+  log(rec);
 }
 
 void WalWriter::log_autoconfigure(
@@ -288,8 +312,7 @@ void WalWriter::log_autoconfigure(
   WalRecord rec;
   rec.type = WalRecordType::kAutoconfigure;
   rec.subsets = subsets;
-  encode_record(batch_, rec);
-  if (++pending_ >= group_commit_) commit();
+  log(rec);
 }
 
 void WalWriter::commit() {
@@ -361,7 +384,7 @@ void WalWriter::reset() {
   file_ = nullptr;
   fault_point("wal:reset:pre-truncate");
   ++generation_;  // fences against the old history stop matching
-  write_empty_wal(path_, generation_);
+  write_empty_wal(path_, generation_, with_seq_);
   file_ = std::fopen(path_.c_str(), "ab");
   if (!file_) throw PersistError("cannot reopen WAL after reset: " + path_);
   committed_bytes_ = sizeof(kWalMagic) + 8;
@@ -397,7 +420,7 @@ void WalWriter::rebase(std::size_t drop, std::size_t drop_bytes) {
         [&](util::BinaryWriter& out) {
           if (!tail.empty()) out.write_bytes(tail.data(), tail.size());
         },
-        "wal:rebase");
+        "wal:rebase", with_seq_);
     committed_ -= drop;
   } else {
     // No (usable) byte hint — e.g. a drop inside a commit block, which
@@ -409,8 +432,8 @@ void WalWriter::rebase(std::size_t drop, std::size_t drop_bytes) {
         scan.records.end());
     publish_log(
         path_, generation_ + 1,
-        [&](util::BinaryWriter& out) { append_block(out, tail); },
-        "wal:rebase");
+        [&](util::BinaryWriter& out) { append_block(out, tail, with_seq_); },
+        "wal:rebase", with_seq_);
     committed_ = tail.size();
   }
 
@@ -432,11 +455,12 @@ void WalWriter::abandon() {
   file_ = nullptr;
 }
 
-void write_empty_wal(const std::string& path, std::uint64_t generation) {
+void write_empty_wal(const std::string& path, std::uint64_t generation,
+                     bool with_seq) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (!f) throw PersistError("cannot create WAL: " + path);
   util::BinaryWriter header;
-  header.write_bytes(kWalMagic, sizeof(kWalMagic));
+  header.write_bytes(with_seq ? kWalMagicV3 : kWalMagic, sizeof(kWalMagic));
   header.write_u64(generation);
   if (std::fwrite(header.buffer().data(), 1, header.size(), f) !=
       header.size()) {

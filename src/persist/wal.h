@@ -31,6 +31,13 @@
 // written as v02 so an old binary rejects them by magic instead of
 // misparsing the new record types as corruption.
 //
+// v03 is the *sharded* flavour (persist/wal_shard.h): one log per storage
+// unit, same block framing, but every record carries a store-wide
+// monotonic sequence number — [u64 seq] prefixed to the record body — so
+// recovery can merge the shards back into one mutation order. A v03
+// writer is WalWriter with `with_seq = true`; v01/v02 logs opened by one
+// are upgraded in place (their records sort before all new ones at seq 0).
+//
 // The generation changes every time the log is emptied or rebased. A
 // checkpoint records (generation, record count) as a fence inside the
 // snapshot it writes; recovery skips fenced records when the generations
@@ -53,6 +60,8 @@ namespace smartstore::persist {
 inline constexpr char kWalMagic[8] = {'S', 'S', 'W', 'A', 'L', 'v', '0', '2'};
 inline constexpr char kWalMagicV1[8] = {'S', 'S', 'W', 'A',
                                         'L', 'v', '0', '1'};
+inline constexpr char kWalMagicV3[8] = {'S', 'S', 'W', 'A',
+                                        'L', 'v', '0', '3'};
 inline constexpr std::uint32_t kWalBlockMagic = 0x4B4C4257;  // "WBLK"
 
 enum class WalRecordType : std::uint8_t {
@@ -65,6 +74,9 @@ enum class WalRecordType : std::uint8_t {
 
 struct WalRecord {
   WalRecordType type = WalRecordType::kInsert;
+  /// Store-wide monotonic sequence number (v03 sharded logs only; 0 in
+  /// v01/v02 logs and for records upgraded from them).
+  std::uint64_t seq = 0;
   metadata::FileMetadata file;                  ///< kInsert payload
   std::string name;                             ///< kRemove payload
   std::uint64_t unit = 0;                       ///< kRemoveUnit payload
@@ -80,6 +92,8 @@ struct WalScan {
   std::size_t valid_bytes = 0;  ///< file offset just past the last good block
   bool torn_tail = false;       ///< trailing partial/corrupt block dropped
   bool v1_magic = false;        ///< header was the legacy "SSWALv01"
+  bool v3_magic = false;        ///< header was the sharded "SSWALv03"
+  std::uint64_t max_seq = 0;    ///< largest record seq seen (v03)
 };
 
 /// Scans a WAL, stopping (not failing) at the first torn or corrupt block.
@@ -92,8 +106,11 @@ class WalWriter {
  public:
   /// Opens (or creates) the log at `path`. An existing log is scanned and
   /// truncated to its last valid commit block first, so a torn tail from a
-  /// previous crash never poisons subsequent appends.
-  explicit WalWriter(std::string path, std::size_t group_commit = 4);
+  /// previous crash never poisons subsequent appends. `with_seq` selects
+  /// the v03 record layout (each record prefixed with its store-wide
+  /// sequence number) — the per-shard writer mode ShardedWal uses.
+  explicit WalWriter(std::string path, std::size_t group_commit = 4,
+                     bool with_seq = false);
   ~WalWriter();
 
   WalWriter(const WalWriter&) = delete;
@@ -104,6 +121,14 @@ class WalWriter {
   void log_add_unit();
   void log_remove_unit(std::uint64_t unit);
   void log_autoconfigure(const std::vector<metadata::AttrSubset>& subsets);
+
+  /// Appends an arbitrary record (the sharded writer pre-stamps rec.seq).
+  void log(const WalRecord& rec);
+
+  /// Appends without ever auto-committing — the sharded writer's
+  /// under-the-unit-lock half (the group-commit fsync then runs from
+  /// maybe_commit() after the caller has released its locks).
+  void append(const WalRecord& rec);
 
   /// Seals the pending batch into one commit block: write, flush, fsync.
   /// No-op when nothing is pending.
@@ -144,6 +169,9 @@ class WalWriter {
   /// commit frontier (pair it with committed_records() for rebase()).
   std::size_t committed_bytes() const { return committed_bytes_; }
   std::uint64_t generation() const { return generation_; }
+  /// Largest record sequence number found when the log was opened (v03).
+  std::uint64_t opened_max_seq() const { return opened_max_seq_; }
+  bool with_seq() const { return with_seq_; }
   const std::string& path() const { return path_; }
 
  private:
@@ -151,17 +179,21 @@ class WalWriter {
 
   std::string path_;
   std::size_t group_commit_;
+  bool with_seq_ = false;
   std::FILE* file_ = nullptr;
   util::BinaryWriter batch_;
   std::size_t pending_ = 0;
   std::uint64_t committed_ = 0;
   std::uint64_t generation_ = 0;
+  std::uint64_t opened_max_seq_ = 0;
   std::size_t committed_bytes_ = 0;  ///< offset past the last block
 };
 
 /// Overwrites `path` with a fresh, empty log carrying `generation` (header
 /// only, fsynced, directory entry synced). Does not read the old contents.
-void write_empty_wal(const std::string& path, std::uint64_t generation);
+/// `with_seq` selects the v03 magic.
+void write_empty_wal(const std::string& path, std::uint64_t generation,
+                     bool with_seq = false);
 
 /// A generation for a log with no usable predecessor: drawn from the
 /// system entropy source so it cannot collide with a fence some earlier

@@ -1,0 +1,256 @@
+#include "persist/wal_shard.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+
+namespace smartstore::persist {
+
+namespace fs = std::filesystem;
+
+std::string ShardedWal::shard_dir(const std::string& deploy_dir) {
+  return (fs::path(deploy_dir) / "wal").string();
+}
+
+std::string ShardedWal::shard_path(const std::string& deploy_dir,
+                                   std::size_t shard) {
+  return (fs::path(deploy_dir) / "wal" / (std::to_string(shard) + ".log"))
+      .string();
+}
+
+bool ShardedWal::parse_shard_id(const fs::path& p, std::uint64_t* id_out) {
+  if (p.extension() != ".log") return false;
+  const std::string stem = p.stem().string();
+  // Nine digits bounds any plausible unit count while keeping the
+  // accumulation overflow-free.
+  if (stem.empty() || stem.size() > 9) return false;
+  std::uint64_t id = 0;
+  for (char c : stem) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *id_out = id;
+  return true;
+}
+
+ShardedWal::ShardedWal(std::string deploy_dir, std::size_t num_shards,
+                       std::size_t group_commit)
+    : deploy_dir_(std::move(deploy_dir)),
+      dir_(shard_dir(deploy_dir_)),
+      group_commit_(group_commit == 0 ? 1 : group_commit) {
+  fs::create_directories(dir_);
+
+  // Open every shard already on disk (a restart must resume the sequence
+  // counter past everything it ever stamped, even shards for units that
+  // have since been removed), then make sure [0, num_shards) exist.
+  std::size_t max_existing = 0;
+  bool any = false;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    std::uint64_t id = 0;
+    if (!parse_shard_id(entry.path(), &id)) continue;
+    any = true;
+    max_existing = std::max(max_existing, static_cast<std::size_t>(id));
+  }
+  const std::size_t open_up_to =
+      std::max(num_shards, any ? max_existing + 1 : 0);
+  std::uint64_t max_seq = 0;
+  for (std::size_t i = 0; i < open_up_to; ++i) {
+    const bool on_disk = fs::exists(shard_path(deploy_dir_, i));
+    if (!on_disk && i >= num_shards) continue;  // sparse ids stay sparse
+    Shard& s = shard(i);
+    max_seq = std::max(max_seq, s.writer->opened_max_seq());
+  }
+  next_seq_.store(max_seq + 1, std::memory_order_relaxed);
+}
+
+ShardedWal::Shard& ShardedWal::shard(std::size_t i) {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  if (i >= shards_.size()) shards_.resize(i + 1);
+  if (!shards_[i]) {
+    auto s = std::make_unique<Shard>();
+    s->writer = std::make_unique<WalWriter>(shard_path(deploy_dir_, i),
+                                            group_commit_, /*with_seq=*/true);
+    shards_[i] = std::move(s);
+  }
+  return *shards_[i];
+}
+
+ShardedWal::Shard* ShardedWal::shard_if_exists(std::size_t i) const {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  return i < shards_.size() && shards_[i] ? shards_[i].get() : nullptr;
+}
+
+std::size_t ShardedWal::num_shards() const {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  return shards_.size();
+}
+
+void ShardedWal::log_insert(std::size_t shard_id,
+                            const metadata::FileMetadata& f) {
+  Shard& s = shard(shard_id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  WalRecord rec;
+  rec.type = WalRecordType::kInsert;
+  rec.file = f;
+  rec.seq = stamp();
+  s.writer->log(rec);
+}
+
+void ShardedWal::log_remove(std::size_t shard_id, const std::string& name) {
+  Shard& s = shard(shard_id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  WalRecord rec;
+  rec.type = WalRecordType::kRemove;
+  rec.name = name;
+  rec.seq = stamp();
+  s.writer->log(rec);
+}
+
+void ShardedWal::append_insert(std::size_t shard_id,
+                               const metadata::FileMetadata& f) {
+  Shard& s = shard(shard_id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  WalRecord rec;
+  rec.type = WalRecordType::kInsert;
+  rec.file = f;
+  rec.seq = stamp();
+  s.writer->append(rec);
+}
+
+void ShardedWal::append_remove(std::size_t shard_id, const std::string& name) {
+  Shard& s = shard(shard_id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  WalRecord rec;
+  rec.type = WalRecordType::kRemove;
+  rec.name = name;
+  rec.seq = stamp();
+  s.writer->append(rec);
+}
+
+void ShardedWal::maybe_commit(std::size_t shard_id) {
+  Shard* s = shard_if_exists(shard_id);
+  if (!s) return;
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->writer->pending_records() >= group_commit_) s->writer->commit();
+}
+
+void ShardedWal::log_structural(const WalRecord& rec_in) {
+  // Barrier: everything logged so far becomes durable before the
+  // structural record does, so the merged replay can never see a durable
+  // structural record ahead of a lost earlier per-unit record.
+  commit_all();
+  Shard& s = shard(0);
+  std::lock_guard<std::mutex> lock(s.mu);
+  WalRecord rec = rec_in;
+  rec.seq = stamp();
+  s.writer->log(rec);
+  s.writer->commit();
+}
+
+void ShardedWal::log_add_unit() {
+  WalRecord rec;
+  rec.type = WalRecordType::kAddUnit;
+  log_structural(rec);
+}
+
+void ShardedWal::log_remove_unit(std::uint64_t unit) {
+  WalRecord rec;
+  rec.type = WalRecordType::kRemoveUnit;
+  rec.unit = unit;
+  log_structural(rec);
+}
+
+void ShardedWal::log_autoconfigure(
+    const std::vector<metadata::AttrSubset>& subsets) {
+  WalRecord rec;
+  rec.type = WalRecordType::kAutoconfigure;
+  rec.subsets = subsets;
+  log_structural(rec);
+}
+
+void ShardedWal::commit_all() {
+  const std::size_t n = num_shards();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (Shard* s = shard_if_exists(i)) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->writer->commit();
+    }
+  }
+}
+
+WalFence ShardedWal::frontier(std::vector<std::size_t>* bytes_out) {
+  WalFence fence;
+  fence.present = true;
+  const std::size_t n = num_shards();
+  if (bytes_out) bytes_out->assign(n, WalWriter::kNoByteHint);
+  for (std::size_t i = 0; i < n; ++i) {
+    Shard* s = shard_if_exists(i);
+    if (!s) continue;
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->writer->commit();
+    fence.shards.push_back(
+        {i, s->writer->generation(), s->writer->committed_records()});
+    if (bytes_out) (*bytes_out)[i] = s->writer->committed_bytes();
+  }
+  return fence;
+}
+
+void ShardedWal::rebase_to(const WalFence& fence,
+                           const std::vector<std::size_t>& bytes) {
+  for (const ShardFence& f : fence.shards) {
+    Shard* s = shard_if_exists(static_cast<std::size_t>(f.shard));
+    if (!s) continue;
+    std::lock_guard<std::mutex> lock(s->mu);
+    // A mismatched generation means this shard was already rebased (or
+    // reset) since the fence was taken — dropping by count would discard
+    // unfenced records.
+    if (s->writer->generation() != f.generation) continue;
+    const std::size_t hint = f.shard < bytes.size()
+                                 ? bytes[static_cast<std::size_t>(f.shard)]
+                                 : WalWriter::kNoByteHint;
+    s->writer->rebase(static_cast<std::size_t>(f.records), hint);
+  }
+}
+
+void ShardedWal::reset_all() {
+  const std::size_t n = num_shards();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (Shard* s = shard_if_exists(i)) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->writer->reset();
+    }
+  }
+}
+
+void ShardedWal::abandon() {
+  const std::size_t n = num_shards();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (Shard* s = shard_if_exists(i)) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->writer->abandon();
+    }
+  }
+}
+
+std::uint64_t ShardedWal::committed_records(std::size_t shard_id) const {
+  Shard* s = shard_if_exists(shard_id);
+  if (!s) return 0;
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->writer->committed_records();
+}
+
+std::uint64_t ShardedWal::pending_records(std::size_t shard_id) const {
+  Shard* s = shard_if_exists(shard_id);
+  if (!s) return 0;
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->writer->pending_records();
+}
+
+std::uint64_t ShardedWal::generation(std::size_t shard_id) const {
+  Shard* s = shard_if_exists(shard_id);
+  if (!s) return 0;
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->writer->generation();
+}
+
+}  // namespace smartstore::persist

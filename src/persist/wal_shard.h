@@ -1,0 +1,155 @@
+// Sharded write-ahead log: one v03 log per storage unit, so concurrent
+// writers stop serializing on a single append/fsync point.
+//
+// Layout on disk: <deploy dir>/wal/<unit id>.log, each a v03 WalWriter log
+// (persist/wal.h) whose records carry a store-wide monotonic sequence
+// number. A record for storage unit u is appended to shard u under the
+// caller-held unit stripe (core::SmartStore::WalHook), which makes each
+// shard's record order equal that unit's in-memory apply order; shards
+// group-commit and fsync independently, so writers routed to different
+// units overlap their durability waits. Recovery (persist/recovery.h)
+// scans every shard and replays the merged record stream in sequence
+// order — records that cross shards are independent (they touch different
+// units), so losing an *unacknowledged* suffix of one shard never
+// invalidates an acknowledged record in another.
+//
+// Structural operations (add/remove unit, autoconfigure) are logged under
+// the store's exclusive structure lock through a barrier: every shard is
+// committed first, then the structural record lands in shard 0 and is
+// committed immediately. No per-unit record logged before the structural
+// op can therefore be less durable than the structural record itself, so
+// the merged replay order around topology changes is exact.
+//
+// Checkpoint fencing is per shard: frontier() commits all shards at the
+// frozen mutation boundary and returns a WalFence carrying one
+// (generation, records) entry per shard (plus byte offsets for the O(tail)
+// rebase); rebase_to() drops each shard's fenced prefix under the next
+// generation, one shard mutex at a time, concurrent with live appends to
+// the other shards. A crash between per-shard rebases leaves some shards
+// fenced (generation matches: recovery skips the prefix) and some rebased
+// (generation changed: recovery replays the whole tail) — consistent
+// either way, exactly as with the single-log protocol, shard by shard.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "persist/wal.h"
+
+namespace smartstore::persist {
+
+class ShardedWal {
+ public:
+  /// Opens (creating if needed) the shard directory under `deploy_dir` and
+  /// every existing shard log in it, plus shards [0, num_shards). The
+  /// store-wide sequence counter resumes past the largest sequence found.
+  ShardedWal(std::string deploy_dir, std::size_t num_shards,
+             std::size_t group_commit = 4);
+
+  ShardedWal(const ShardedWal&) = delete;
+  ShardedWal& operator=(const ShardedWal&) = delete;
+
+  static std::string shard_dir(const std::string& deploy_dir);
+  static std::string shard_path(const std::string& deploy_dir,
+                                std::size_t shard);
+
+  /// Parses a shard filename ("<digits>.log") into its shard id; false
+  /// for anything else, including all-digit stems too long to be a real
+  /// unit id (an unchecked std::stoull would throw out_of_range — not a
+  /// PersistError — out of recover()). Shared by the writer's directory
+  /// scan and recovery's.
+  static bool parse_shard_id(const std::filesystem::path& p,
+                             std::uint64_t* id_out);
+
+  // ---- per-unit records (called from the store's WalHook, under that
+  // ---- unit's lock) ------------------------------------------------------
+
+  /// Append + group-commit in one call (fsync may run under the caller's
+  /// unit lock — fine for single-threaded drivers and the deterministic
+  /// crash sweeps).
+  void log_insert(std::size_t shard, const metadata::FileMetadata& f);
+  void log_remove(std::size_t shard, const std::string& name);
+
+  /// The two-phase flavour the concurrent ingest paths use: append_* runs
+  /// under the unit lock (cheap — encode + buffer), maybe_commit runs
+  /// from the store's flush hook AFTER the unit lock is released, so a
+  /// group-commit fsync never blocks another writer routed to the same
+  /// unit, only the shard it flushes.
+  void append_insert(std::size_t shard, const metadata::FileMetadata& f);
+  void append_remove(std::size_t shard, const std::string& name);
+  /// Commits `shard` if its pending batch reached the group-commit size.
+  void maybe_commit(std::size_t shard);
+
+  // ---- structural records (caller holds the store's exclusive structure
+  // ---- lock; all shards are barrier-committed first) ---------------------
+
+  void log_add_unit();
+  void log_remove_unit(std::uint64_t unit);
+  void log_autoconfigure(const std::vector<metadata::AttrSubset>& subsets);
+
+  /// Commits every shard's pending batch (fsync per dirty shard).
+  void commit_all();
+
+  /// Commits every shard and returns the sharded fence at that frontier:
+  /// one (generation, records) entry per shard, `present` set. When
+  /// `bytes_out` is given it receives each shard's committed byte offset,
+  /// the hint that makes the later rebase O(tail). Call at a mutation
+  /// boundary (the background checkpointer calls it from inside
+  /// begin_checkpoint's frozen section).
+  WalFence frontier(std::vector<std::size_t>* bytes_out = nullptr);
+
+  /// Drops each shard's fenced prefix under its next generation. Safe to
+  /// run concurrently with live appends: each shard swaps under its own
+  /// mutex. `bytes` pairs with the fence from frontier() (may be empty —
+  /// the slow re-encode path then runs per shard).
+  void rebase_to(const WalFence& fence,
+                 const std::vector<std::size_t>& bytes = {});
+
+  /// Truncates every shard to a fresh, empty log under a new generation
+  /// (quiesced checkpoint: the snapshot subsumes everything).
+  void reset_all();
+
+  /// Drops all handles and pending batches without committing — the
+  /// in-process stand-in for the process dying (crash-injection tests).
+  void abandon();
+
+  std::size_t num_shards() const;
+  std::uint64_t committed_records(std::size_t shard) const;
+  std::uint64_t pending_records(std::size_t shard) const;
+  std::uint64_t generation(std::size_t shard) const;
+  /// Next sequence number to be stamped (monotonic across all shards).
+  std::uint64_t next_seq() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+  std::size_t group_commit() const { return group_commit_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unique_ptr<WalWriter> writer;
+  };
+
+  /// The shard for `i`, created lazily (units admitted at runtime get
+  /// their shard on first record). Returned reference is stable.
+  Shard& shard(std::size_t i);
+  Shard* shard_if_exists(std::size_t i) const;
+  std::uint64_t stamp() {
+    return next_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void log_structural(const WalRecord& rec);
+
+  std::string deploy_dir_;
+  std::string dir_;  ///< <deploy_dir>/wal
+  std::size_t group_commit_;
+  mutable std::mutex map_mu_;  ///< guards the shard vector's shape
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_seq_{1};
+};
+
+}  // namespace smartstore::persist

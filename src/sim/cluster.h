@@ -10,7 +10,12 @@
 // so sessions touching a node must be *started in non-decreasing arrival
 // order*; a session processed later but with an earlier arrival would
 // queue behind work that logically hadn't arrived yet. Experiment drivers
-// interleave background load and queries chronologically.
+// interleave background load and queries chronologically. Under the
+// multi-writer serving contract, sessions from concurrent threads are
+// data-race-free (one internal mutex per queue/counter update), but the
+// FIFO model sees them in lock-acquisition order — virtual-time latency
+// numbers from concurrent runs are approximate; throughput benchmarks use
+// wall-clock time instead.
 //
 // This captures the two effects the paper's evaluation hinges on:
 //   * centralization: baselines funnel every query through one node, so
@@ -26,6 +31,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "sim/cost_model.h"
@@ -121,6 +127,11 @@ class Cluster {
   friend class Session;
 
   CostModel cost_;
+  /// Sessions on concurrent serving threads race on the node queues and
+  /// counters; the critical sections are a handful of scalar updates, so
+  /// one mutex (taken per visit/send, not per session) is cheap relative
+  /// to the routing and indexing work around it.
+  mutable std::mutex mu_;
   std::vector<double> free_at_;
   std::vector<double> busy_time_;
   std::vector<bool> alive_;

@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -28,6 +29,7 @@
 #include "persist/recovery.h"
 #include "persist/snapshot.h"
 #include "persist/wal.h"
+#include "persist/wal_shard.h"
 #include "trace/synth.h"
 #include "util/binary_io.h"
 #include "util/rng.h"
@@ -188,6 +190,261 @@ TEST(CrashInjection, RecoveryIsConsistentAtEveryFaultPoint) {
         << ")";
     std::filesystem::remove_all(dir);
   }
+}
+
+// ---- 1b. sharded-WAL fault-point sweep --------------------------------------
+
+/// One logged insert's coordinates in the sharded log: which shard it
+/// landed on and its position in that shard's record order.
+struct ShardedInsert {
+  std::string name;
+  std::size_t shard = 0;
+  std::uint64_t idx = 0;  ///< records logged to that shard before this one
+};
+
+struct ShardedScenarioResult {
+  std::vector<ShardedInsert> inserts;        ///< every attempted insert
+  std::vector<std::uint64_t> committed;      ///< per-shard durable records
+                                             ///< when the crash hit
+  std::set<std::string> base;
+  bool completed = false;
+};
+
+/// The sharded counterpart of run_crash_scenario: WAL-hooked inserts over
+/// per-unit shards (group commit 2), a fuzzy checkpoint driven through the
+/// store's frozen section with inserts between its phases (per-shard
+/// frontier fence, concurrent-protocol rebase), a stop-the-world sharded
+/// checkpoint, and a trailing batch. Single-threaded so the fault-point
+/// sequence is deterministic — the multi-writer interleavings are
+/// test_concurrent's job; every crash boundary is the same either way.
+ShardedScenarioResult run_sharded_crash_scenario(const std::string& dir,
+                                                 std::uint64_t arm_at) {
+  ShardedScenarioResult res;
+
+  fault_disarm();
+  const auto tr = trace::SyntheticTrace::generate(trace::msn_profile(), 1, 42,
+                                                  /*downscale=*/50);
+  Config cfg;
+  cfg.num_units = 6;
+  cfg.seed = 7;
+  SmartStore store(cfg);
+  store.build(tr.files());
+  res.base = unit_names(store);
+
+  const auto stream = tr.make_insert_stream(13, 77);
+  auto wal = std::make_unique<ShardedWal>(dir, cfg.num_units,
+                                          /*group_commit=*/2);
+  checkpoint(store, dir, *wal);
+
+  // Durable frontiers are tracked CUMULATIVELY per shard: rebases and
+  // resets drop durable prefixes out of committed_records(), so the
+  // running `dropped` baseline is added back — `committed[s] > idx` then
+  // compares in the same coordinate system as the cumulative `logged`
+  // indices. The snapshots are taken only at points the scenario knows to
+  // be quiescent; a crash leaves the previous (conservative) value, which
+  // can only under-count acked writes, never over-count.
+  std::vector<std::uint64_t> logged(cfg.num_units, 0);
+  std::vector<std::uint64_t> dropped(cfg.num_units, 0);
+  auto snapshot_committed = [&] {
+    res.committed.assign(wal->num_shards(), 0);
+    for (std::size_t s = 0; s < wal->num_shards(); ++s)
+      res.committed[s] =
+          (s < dropped.size() ? dropped[s] : 0) + wal->committed_records(s);
+  };
+
+  if (arm_at > 0) {
+    fault_arm(arm_at);
+  } else {
+    fault_disarm();
+  }
+  try {
+    auto logged_insert = [&](const FileMetadata& f) {
+      store.insert_file(f, 0.0, [&](core::UnitId target) {
+        // Record the (shard, index) BEFORE the log append: if the append's
+        // group commit crashes, this attempt is on file but never counted
+        // durable (committed_records stays behind it).
+        if (target >= logged.size()) logged.resize(target + 1, 0);
+        res.inserts.push_back({f.name, target, logged[target]++});
+        wal->log_insert(target, f);
+      });
+      snapshot_committed();
+    };
+
+    for (int i = 0; i < 4; ++i) logged_insert(stream[i]);
+
+    // Fuzzy checkpoint, phase by phase, mirroring the background
+    // protocol: frontier fence inside the frozen section, mutations in
+    // the gaps, per-shard rebase at the end.
+    WalFence fence;
+    std::vector<std::size_t> fence_bytes;
+    store.begin_checkpoint([&] { fence = wal->frontier(&fence_bytes); });
+    snapshot_committed();
+    logged_insert(stream[4]);
+    logged_insert(stream[5]);
+    save_snapshot_frozen(store, snapshot_path(dir), fence);
+    logged_insert(stream[6]);
+    wal->rebase_to(fence, fence_bytes);
+    for (const ShardFence& f : fence.shards) {
+      if (f.shard >= dropped.size()) dropped.resize(f.shard + 1, 0);
+      dropped[f.shard] += f.records;
+    }
+    store.end_checkpoint();
+    snapshot_committed();
+
+    logged_insert(stream[7]);
+    logged_insert(stream[8]);
+    checkpoint(store, dir, *wal);
+    // The stop-the-world checkpoint committed and subsumed everything.
+    for (std::size_t s = 0; s < logged.size(); ++s) dropped[s] = logged[s];
+    snapshot_committed();
+    for (int i = 9; i < 13; ++i) logged_insert(stream[i]);
+    wal->commit_all();
+    snapshot_committed();
+    res.completed = true;
+  } catch (const FaultInjected&) {
+    wal->abandon();  // the process died: nothing may touch the files now
+  }
+  return res;
+}
+
+TEST(CrashInjection, ShardedRecoveryLosesNoAckedWriteAtAnyFaultPoint) {
+  // Dry run: enumerate the workload's fault points.
+  std::uint64_t total = 0;
+  {
+    const std::string dir = temp_dir("shard_dry");
+    const ShardedScenarioResult dry = run_sharded_crash_scenario(dir, 0);
+    ASSERT_TRUE(dry.completed);
+    total = fault_points_passed();
+    std::filesystem::remove_all(dir);
+  }
+  ASSERT_GT(total, 25u) << "the sharded workload should cross many "
+                           "commit/rebase/reset boundaries";
+
+  for (std::uint64_t k = 1; k <= total; ++k) {
+    const std::string dir = temp_dir("shard_" + std::to_string(k));
+    const ShardedScenarioResult r = run_sharded_crash_scenario(dir, k);
+    const std::string where = fault_last_fired();
+    fault_disarm();
+    ASSERT_FALSE(r.completed) << "fault " << k << " never fired";
+
+    RecoveryResult rec;
+    ASSERT_NO_THROW(rec = recover(dir))
+        << "recovery failed after crash at point " << k << " (" << where
+        << ")";
+    ASSERT_TRUE(rec.store) << where;
+    EXPECT_TRUE(rec.store->check_invariants()) << where;
+    const std::set<std::string> got = unit_names(*rec.store);
+
+    // 1. No acknowledged write lost: an insert whose shard's durable
+    //    frontier passed it at crash time must survive recovery's
+    //    sequence-ordered merge replay.
+    for (const ShardedInsert& ins : r.inserts) {
+      const bool acked = ins.shard < r.committed.size() &&
+                         r.committed[ins.shard] > ins.idx;
+      if (acked) {
+        EXPECT_TRUE(got.count(ins.name))
+            << "lost acked write " << ins.name << " (shard " << ins.shard
+            << ") at point " << k << " (" << where << ")";
+      }
+    }
+    // 2. Nothing invented: every survivor is base population or an
+    //    attempted insert (applied exactly once — set semantics plus the
+    //    fence make a double replay a duplicate-id invariant failure).
+    std::set<std::string> attempted;
+    for (const ShardedInsert& ins : r.inserts) attempted.insert(ins.name);
+    for (const auto& name : got) {
+      EXPECT_TRUE(r.base.count(name) || attempted.count(name))
+          << "unexpected survivor " << name << " at point " << k << " ("
+          << where << ")";
+    }
+    // 3. Per-shard prefix: within one shard, survivors of this workload's
+    //    inserts form a prefix of that shard's log order (a torn tail
+    //    only ever drops a suffix).
+    std::map<std::size_t, std::vector<const ShardedInsert*>> by_shard;
+    for (const ShardedInsert& ins : r.inserts)
+      by_shard[ins.shard].push_back(&ins);
+    for (const auto& [shard, list] : by_shard) {
+      bool missing_seen = false;
+      for (const ShardedInsert* ins : list) {
+        const bool present = got.count(ins->name) > 0;
+        if (!present) missing_seen = true;
+        EXPECT_FALSE(present && missing_seen)
+            << "non-prefix survivor " << ins->name << " in shard " << shard
+            << " at point " << k << " (" << where << ")";
+      }
+    }
+    std::filesystem::remove_all(dir);
+  }
+}
+
+// ---- 1c. single-log -> sharded migration ------------------------------------
+
+TEST(CrashInjection, ShardedCheckpointFencesLeftoverLegacyLog) {
+  // A PR-3-era deployment carries wal.bin; the first sharded checkpoint
+  // over that directory must FENCE the legacy records inside the snapshot
+  // it publishes — a crash between the snapshot rename and the legacy
+  // log's emptying would otherwise replay them over an image that already
+  // contains them (duplicate records, the exact double-apply the fence
+  // protocol exists to prevent).
+  const auto tr = trace::SyntheticTrace::generate(trace::msn_profile(), 1, 42,
+                                                  /*downscale=*/50);
+  Config cfg;
+  cfg.num_units = 6;
+  cfg.seed = 7;
+  const auto stream = tr.make_insert_stream(4, 77);
+
+  // Builds the legacy-era directory: quiesced single-log checkpoint, then
+  // four committed wal.bin records the snapshot does not contain.
+  const std::string dir = temp_dir("legacy_migrate");
+  auto make_legacy_dir = [&] {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    SmartStore base(cfg);
+    base.build(tr.files());
+    auto lw = std::make_unique<WalWriter>(wal_path(dir), /*group_commit=*/2);
+    checkpoint(base, dir, lw.get());
+    for (const auto& f : stream) {
+      lw->log_insert(f);
+      base.insert_file(f, 0.0);
+    }
+    lw->commit();
+  };
+
+  // Sweep the sharded checkpoint's fault points until the classic window
+  // fires (snapshot published, logs not yet emptied), resetting the
+  // directory between attempts so every try crosses the same boundaries.
+  bool hit_window = false;
+  std::set<std::string> before;
+  for (std::uint64_t k = 1; k <= 64 && !hit_window; ++k) {
+    fault_disarm();
+    make_legacy_dir();
+    auto rec = recover(dir);  // replays the 4 legacy records
+    ASSERT_EQ(rec.wal_records, 4u);
+    before = unit_names(*rec.store);
+    ShardedWal wal(dir, cfg.num_units, /*group_commit=*/2);
+    fault_arm(k);
+    try {
+      checkpoint(*rec.store, dir, wal);
+      fault_disarm();
+      break;  // ran out of fault points without reaching the window
+    } catch (const FaultInjected&) {
+      hit_window = fault_last_fired() == "checkpoint:pre-wal-reset";
+      wal.abandon();
+    }
+  }
+  fault_disarm();
+  ASSERT_TRUE(hit_window) << "sweep never reached checkpoint:pre-wal-reset";
+
+  // Recovery from the window: the snapshot's fence must suppress the
+  // legacy records it already contains — same population, no duplicates.
+  const RecoveryResult after = recover(dir);
+  ASSERT_TRUE(after.store);
+  EXPECT_TRUE(after.store->check_invariants());
+  EXPECT_EQ(after.wal_records, 0u);
+  EXPECT_EQ(after.wal_fenced, 4u);
+  EXPECT_EQ(unit_names(*after.store), before);
+  EXPECT_EQ(after.store->total_files(), before.size());
+  std::filesystem::remove_all(dir);
 }
 
 // ---- 2. randomized oracle fuzz ----------------------------------------------
