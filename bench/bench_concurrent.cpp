@@ -1,15 +1,20 @@
-// Multi-writer ingest throughput and sharded-WAL recovery.
+// Multi-writer ingest throughput and sharded-WAL recovery, driven through
+// the smartstore::db::Store facade.
 //
 // Measures what the striped mutation path + per-unit WAL shards buy:
 //
-//   1. inserts/sec at 1/2/4/8 writer threads, without WAL (pure in-memory
-//      mutation path: routing under the shared structure lock, apply under
-//      the target unit's stripe) and with the sharded WAL (each shard
-//      group-committing and fsyncing independently — writers routed to
-//      different units overlap their durability waits, which is the win
-//      even when cores are scarce);
-//   2. recovery time from the sharded logs: snapshot + N records merged
-//      across shards by sequence number and replayed.
+//   1. inserts/sec at 1/2/4/8 writer threads, without WAL (ephemeral
+//      in-memory store: routing under the shared structure lock, apply
+//      under the target unit's stripe) and with the sharded WAL (each
+//      shard group-committing and fsyncing independently — writers routed
+//      to different units overlap their durability waits, which is the
+//      win even when cores are scarce);
+//   2. recovery time from the sharded logs: one Open = snapshot load + N
+//      records merged across shards by sequence number and replayed.
+//
+// Every thread drives the same Store handle with small WriteBatches — the
+// facade's documented multi-writer contract, so these numbers ARE the
+// embedding API's numbers, not a core-layer best case.
 //
 // Wall-clock numbers depend on hardware: CPU-bound scaling needs cores
 // (std::thread::hardware_concurrency is printed with the results), the
@@ -34,14 +39,16 @@
 #include <thread>
 #include <vector>
 
-#include "persist/recovery.h"
-#include "persist/wal_shard.h"
+#include "bench_db_common.h"
+#include "smartstore/smartstore.h"
 #include "trace/synth.h"
 #include "util/timer.h"
 
 namespace {
 
 using namespace smartstore;
+using bench::check;
+using bench::int_property;
 
 struct IngestResult {
   std::size_t threads = 0;
@@ -57,19 +64,22 @@ std::size_t env_size(const char* name, std::size_t fallback) {
   return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
 }
 
-core::Config make_config(std::size_t units) {
-  core::Config cfg;
-  cfg.num_units = units;
-  cfg.seed = 7;
-  return cfg;
+db::Options make_options(std::size_t units, bool wal_on,
+                         std::size_t group_commit) {
+  db::Options o;
+  o.num_units = units;
+  o.seed = 7;
+  o.in_memory = !wal_on;
+  o.enable_wal = wal_on;
+  o.group_commit = group_commit;
+  return o;
 }
 
 /// One timed ingest run: `threads` writers claim contiguous batches of
-/// `stream` and push them through insert_batch, hooked into `wal` when
-/// given. Returns wall-clock seconds.
-double run_ingest(core::SmartStore& store,
+/// `stream` and push them through Store::Write. Returns wall-clock seconds.
+double run_ingest(db::Store& store,
                   const std::vector<metadata::FileMetadata>& stream,
-                  std::size_t threads, persist::ShardedWal* wal) {
+                  std::size_t threads) {
   const std::size_t batch = 32;
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
@@ -77,20 +87,10 @@ double run_ingest(core::SmartStore& store,
       const std::size_t b = next.fetch_add(batch, std::memory_order_relaxed);
       if (b >= stream.size()) break;
       const std::size_t e = std::min(b + batch, stream.size());
-      const std::vector<metadata::FileMetadata> chunk(
-          stream.begin() + static_cast<std::ptrdiff_t>(b),
-          stream.begin() + static_cast<std::ptrdiff_t>(e));
-      if (wal) {
-        std::size_t cursor = 0;
-        store.insert_batch(
-            chunk, 0.0,
-            [&](core::UnitId target) {
-              wal->append_insert(target, chunk[cursor++]);
-            },
-            [&](core::UnitId target) { wal->maybe_commit(target); });
-      } else {
-        store.insert_batch(chunk, 0.0);
-      }
+      db::WriteBatch wb;
+      wb.reserve(e - b);
+      for (std::size_t i = b; i < e; ++i) wb.Put(stream[i]);
+      check(store.Write(std::move(wb)), "write");
     }
   };
 
@@ -99,7 +99,9 @@ double run_ingest(core::SmartStore& store,
   workers.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) workers.emplace_back(worker);
   for (auto& w : workers) w.join();
-  if (wal) wal->commit_all();
+  // Ephemeral (in-memory) stores have nothing to flush and say so.
+  const db::Status fs = store.Flush();
+  if (!fs.ok() && !fs.IsFailedPrecondition()) check(fs, "flush");
   return t.seconds();
 }
 
@@ -139,59 +141,70 @@ int main(int argc, char** argv) {
     double base_per_sec = 0;
     for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
       // Fresh deployment per run: identical starting state, no carry-over.
-      core::SmartStore store(make_config(units));
-      store.build(tr.files());
-      std::unique_ptr<persist::ShardedWal> wal;
-      if (wal_on) {
-        std::filesystem::remove_all(state);
-        std::filesystem::create_directories(state);
-        wal = std::make_unique<persist::ShardedWal>(state.string(), units,
-                                                    group_commit);
-      }
+      if (wal_on) std::filesystem::remove_all(state);
+      auto opened = db::Store::Open(make_options(units, wal_on, group_commit),
+                                    state.string());
+      check(opened.status(), "open");
+      std::unique_ptr<db::Store> store = std::move(opened).value();
+      check(store->Bulkload(tr.files()), "bulkload");
+
       IngestResult r;
       r.threads = threads;
       r.wal = wal_on;
       r.inserts = stream.size();
-      r.seconds = run_ingest(store, stream, threads, wal.get());
+      r.seconds = run_ingest(*store, stream, threads);
       if (threads == 1) base_per_sec = r.per_sec();
       std::printf("%-8zu %-6s %12.3f %12.0f %9.2fx\n", r.threads,
                   wal_on ? "on" : "off", r.seconds, r.per_sec(),
                   r.per_sec() / base_per_sec);
       results.push_back(r);
+      check(store->Close(), "close");
     }
   }
 
   // ---- recovery from sharded logs -------------------------------------------
-  // Snapshot the base deployment, ingest the whole stream (4 writers, WAL
-  // on), then recover: snapshot load + sequence-merged shard replay.
+  // Checkpoint the base deployment, ingest the whole stream (4 writers,
+  // WAL on), crash, then recover: one Open = snapshot load +
+  // sequence-merged shard replay.
   std::filesystem::remove_all(state);
-  std::filesystem::create_directories(state);
   double recover_seconds = 0;
   std::size_t recovered_records = 0;
   {
-    core::SmartStore store(make_config(units));
-    store.build(tr.files());
-    persist::ShardedWal wal(state.string(), units, group_commit);
-    persist::checkpoint(store, state.string(), wal);
-    run_ingest(store, stream, 4, &wal);
-    const std::size_t expected = store.total_files();
+    auto opened = db::Store::Open(make_options(units, true, group_commit),
+                                  state.string());
+    check(opened.status(), "open");
+    std::unique_ptr<db::Store> store = std::move(opened).value();
+    check(store->Bulkload(tr.files()), "bulkload");
+    check(store->Checkpoint(), "checkpoint");
+    run_ingest(*store, stream, 4);
+    const std::uint64_t expected =
+        int_property(*store, "smartstore.total-files");
+    store->Abandon();  // crash: acked tail flushed by run_ingest, process
+    store.reset();     // state dropped
 
     util::WallTimer t;
-    const persist::RecoveryResult rec = persist::recover(state.string());
+    auto recovered = db::Store::Open(make_options(units, true, group_commit),
+                                     state.string());
+    check(recovered.status(), "recover");
     recover_seconds = t.seconds();
-    recovered_records = rec.wal_records;
-    if (!rec.store || rec.store->total_files() != expected) {
+    recovered_records = (*recovered)->recovery_info().wal_records;
+    const std::uint64_t got =
+        int_property(**recovered, "smartstore.total-files");
+    if (got != expected) {
       std::fprintf(stderr,
-                   "recovery mismatch: expected %zu files, got %zu\n",
-                   expected, rec.store ? rec.store->total_files() : 0);
+                   "recovery mismatch: expected %llu files, got %llu\n",
+                   static_cast<unsigned long long>(expected),
+                   static_cast<unsigned long long>(got));
       return 1;
     }
     std::printf(
         "\nrecovery : %zu WAL records from %zu shards in %.3f s "
-        "(%.0f records/s), %zu files restored\n",
-        rec.wal_records, rec.wal_shards, recover_seconds,
-        static_cast<double>(rec.wal_records) / recover_seconds,
-        rec.store->total_files());
+        "(%.0f records/s), %llu files restored\n",
+        recovered_records, (*recovered)->recovery_info().wal_shards,
+        recover_seconds,
+        static_cast<double>(recovered_records) / recover_seconds,
+        static_cast<unsigned long long>(got));
+    (*recovered)->Close();
   }
   std::filesystem::remove_all(state);
 

@@ -1,0 +1,29 @@
+// Shared helpers for the benches that drive the db::Store facade
+// (bench_persist, bench_concurrent, bench_db_api) — one place for the
+// die-on-error Status check and the numeric-property reader, so the three
+// harnesses cannot drift as the facade's error surface evolves.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "smartstore/store.h"
+
+namespace smartstore::bench {
+
+/// Aborts on an unexpected facade error — a bench has no recovery story.
+inline void check(const db::Status& s, const char* what) {
+  if (s.ok()) return;
+  std::fprintf(stderr, "bench: %s failed: %s\n", what, s.ToString().c_str());
+  std::exit(1);
+}
+
+/// GetProperty as a number; 0 when the property is unknown.
+inline std::uint64_t int_property(db::Store& store, const std::string& name) {
+  std::string v;
+  if (!store.GetProperty(name, &v)) return 0;
+  return std::strtoull(v.c_str(), nullptr, 10);
+}
+
+}  // namespace smartstore::bench

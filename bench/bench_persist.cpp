@@ -1,24 +1,24 @@
-// Persistence-layer throughput: snapshot save/load and WAL append/replay.
+// Persistence-layer throughput, measured through the smartstore::db::Store
+// facade: checkpoint (snapshot save) / Open (snapshot load) and WAL
+// append/replay rates, plus restart-under-load.
 //
-// The number that motivates the subsystem is the last column — a restart
-// that loads the snapshot instead of re-running SVD + balanced k-means +
-// bottom-up tree construction. Save/load are reported as wall-clock time,
-// on-disk size, and files per second; the WAL as records per second at the
-// paper's version_ratio group-commit batching, plus the replay rate that
-// bounds recovery time after a crash.
+// The number that motivates the subsystem is the reopen column — a restart
+// that recovers the snapshot instead of re-running SVD + balanced k-means
+// + bottom-up tree construction. Checkpoint/reopen are reported as
+// wall-clock time, on-disk size, and files per second; the WAL as facade
+// Puts per second at the store's group-commit batching, plus the replay
+// rate (a reopen after a simulated crash) that bounds recovery time.
 #include "bench_common.h"
+#include "bench_db_common.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <filesystem>
-#include <set>
+#include <string>
 #include <thread>
 
-#include "persist/bg_checkpoint.h"
-#include "persist/recovery.h"
-#include "persist/snapshot.h"
-#include "persist/wal.h"
+#include "smartstore/smartstore.h"
 #include "util/bytes.h"
-#include "util/thread_pool.h"
 #include "util/timer.h"
 
 using namespace smartstore;
@@ -26,11 +26,20 @@ using namespace smartstore::bench;
 
 namespace {
 
+db::Options bench_options(std::size_t units, bool wal) {
+  db::Options o;
+  o.num_units = units;
+  o.seed = 7;
+  o.enable_wal = wal;
+  return o;
+}
+
 // Restart under load (the metric a production metadata service cares
-// about): a writer thread streams TIF-intensified inserts through the
-// background checkpointer while checkpoints run concurrently; the process
-// "crashes" mid-stream, and we measure recovery time, time-to-first-query
-// and the recall of acknowledged inserts after recover().
+// about): writer threads stream TIF-intensified inserts through the facade
+// while background checkpoints run at the Options::checkpoint_every
+// cadence; the process "crashes" mid-stream (Store::Abandon after a
+// Flush), and we measure recovery time, time-to-first-query and the recall
+// of acknowledged inserts after reopening.
 void restart_under_load() {
   const std::string dir =
       (std::filesystem::temp_directory_path() / "smartstore_bench_restart")
@@ -38,80 +47,70 @@ void restart_under_load() {
 
   std::printf(
       "\n=== Restart under load: crash mid-stream, recover, serve ===\n\n");
-  std::printf("%-4s %8s | %7s %9s %9s | %9s %11s %8s\n", "TIF", "inserts",
-              "ckpts", "wal-tail", "ckpt-max", "recover", "first-query",
-              "recall");
+  std::printf("%-4s %8s | %7s %9s | %9s %11s %8s\n", "TIF", "inserts",
+              "ckpts", "wal-tail", "recover", "first-query", "recall");
 
   for (const unsigned tif : {1u, 4u}) {
     std::filesystem::remove_all(dir);
-    std::filesystem::create_directories(dir);
     const auto tr = trace::SyntheticTrace::generate(trace::msn_profile(), tif,
                                                     13, /*downscale=*/10);
-    core::SmartStore store(default_config(30));
-    store.build(tr.files());
-
-    persist::WalWriter wal(persist::wal_path(dir),
-                           store.config().version_ratio);
-    persist::checkpoint(store, dir, &wal);
-
-    // TIF scales the arrival stream the same way the paper's Table 1
-    // intensifies traces.
     const std::size_t churn = 1500 * tif;
     const auto stream = tr.make_insert_stream(churn, 99);
 
-    util::ThreadPool pool(2);
-    persist::BackgroundCheckpointer bg(store, dir, wal, pool);
-    std::atomic<bool> done{false};
-    std::thread writer([&] {
-      for (const auto& f : stream) bg.insert(f);
-      done.store(true, std::memory_order_release);
-    });
-    std::size_t ckpts = 0;
-    double ckpt_max_s = 0;
-    while (!done.load(std::memory_order_acquire)) {
-      if (bg.trigger()) {
-        bg.wait();
-        ++ckpts;
-        const auto& st = bg.last_stats();
-        ckpt_max_s = std::max(
-            ckpt_max_s, st.freeze_s + st.write_s + st.truncate_s);
-      } else {
-        std::this_thread::yield();
-      }
-    }
-    writer.join();
-    bg.wait();
+    db::Options options = bench_options(30, /*wal=*/true);
+    options.checkpoint_every = churn / 4;  // ~4 background ckpts per run
+    auto opened = db::Store::Open(options, dir);
+    check(opened.status(), "open");
+    std::unique_ptr<db::Store> store = std::move(opened).value();
+    check(store->Bulkload(tr.files()), "bulkload");
+    check(store->Checkpoint(), "baseline checkpoint");
 
-    // Crash: make the acknowledged tail durable and drop the process
+    std::thread writer([&] {
+      for (const auto& f : stream) check(store->Put(f), "put");
+    });
+    writer.join();
+
+    // Crash: make the acknowledged tail durable, then drop the process
     // state. Everything after this line sees only the on-disk pair.
-    wal.commit();
-    const std::size_t acked = stream.size();
-    const std::size_t wal_tail =
-        persist::scan_wal(persist::wal_path(dir)).records.size();
+    // (Frontier first: GetCheckpointInfo drains the in-flight checkpoint,
+    // which would rebase the tail this column reports.)
+    check(store->Flush(), "flush");
+    const std::uint64_t wal_tail =
+        int_property(*store, "smartstore.wal.committed-records");
+    const db::CheckpointInfo ck = store->GetCheckpointInfo();
+    store->Abandon();
+    store.reset();
 
     util::WallTimer t;
-    persist::RecoveryResult rec = persist::recover(dir);
+    db::Options reopen = bench_options(30, /*wal=*/true);
+    auto recovered = db::Store::Open(reopen, dir);
+    check(recovered.status(), "recover");
     const double recover_s = t.seconds();
-    const auto first = rec.store->point_query({stream.front().name},
-                                              core::Routing::kOnline, 0.0);
+    auto first = (*recovered)->Query(db::QueryRequest::Point(
+        metadata::PointQuery{stream.front().name}));
+    check(first.status(), "first query");
     const double ttfq_s = t.seconds();
-    (void)first;
 
     std::size_t found = 0;
     for (const auto& f : stream) {
-      const auto res =
-          rec.store->point_query({f.name}, core::Routing::kOnline, 0.0);
-      if (res.found) ++found;
+      db::QueryRequest q = db::QueryRequest::Point(
+          metadata::PointQuery{f.name});
+      q.routing = db::Routing::kOnline;  // exact: measures durability, not
+      auto res = (*recovered)->Query(q); // replica staleness
+      check(res.status(), "recall query");
+      if (res->found) ++found;
     }
 
-    std::printf("%-4u %8zu | %7zu %9zu %8.0fms | %8.3fs %10.3fs %7.1f%%\n",
-                tif, acked, ckpts, wal_tail, ckpt_max_s * 1e3, recover_s,
-                ttfq_s, 100.0 * static_cast<double>(found) /
-                            static_cast<double>(acked));
+    std::printf("%-4u %8zu | %7llu %9llu | %8.3fs %10.3fs %7.1f%%\n", tif,
+                stream.size(), static_cast<unsigned long long>(ck.completed),
+                static_cast<unsigned long long>(wal_tail), recover_s, ttfq_s,
+                100.0 * static_cast<double>(found) /
+                    static_cast<double>(stream.size()));
+    (*recovered)->Close();
   }
   std::printf(
-      "\nckpt-max = slowest background checkpoint (freeze+write+truncate); "
-      "recall = acked inserts found after recover().\n");
+      "\nwal-tail = committed records the crash left for replay; recall = "
+      "acked inserts found after reopening.\n");
   std::filesystem::remove_all(dir);
 }
 
@@ -121,51 +120,65 @@ int main() {
   const std::string dir =
       (std::filesystem::temp_directory_path() / "smartstore_bench_persist")
           .string();
-  std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
 
-  std::printf("=== Persistence: snapshot + WAL throughput ===\n\n");
-  std::printf("%-7s %8s | %9s %10s %10s | %9s %11s | %9s %9s\n", "trace",
-              "files", "build", "save", "size", "load", "load-files/s",
-              "wal-rec/s", "replay/s");
+  std::printf("=== Persistence: snapshot + WAL throughput (db facade) ===\n\n");
+  std::printf("%-7s %8s | %9s %10s %10s | %9s %12s | %9s %9s\n", "trace",
+              "files", "build", "ckpt", "size", "reopen", "load-files/s",
+              "wal-put/s", "replay/s");
 
   for (const auto kind : {trace::TraceKind::kHP, trace::TraceKind::kMSN}) {
     const auto profile = trace::profile_for(kind);
     const auto tr = trace::SyntheticTrace::generate(profile, 2, 13, 5);
+    std::filesystem::remove_all(dir);
 
-    core::SmartStore store(default_config(60));
+    // Build + checkpoint through the facade.
+    auto opened = db::Store::Open(bench_options(60, /*wal=*/true), dir);
+    check(opened.status(), "open");
+    std::unique_ptr<db::Store> store = std::move(opened).value();
     util::WallTimer t;
-    store.build(tr.files());
+    check(store->Bulkload(tr.files()), "bulkload");
     const double build_s = t.seconds();
 
-    const std::string snap = persist::snapshot_path(dir);
     t.reset();
-    persist::save_snapshot(store, snap);
+    check(store->Checkpoint(), "checkpoint");
     const double save_s = t.seconds();
-    const std::size_t snap_bytes = std::filesystem::file_size(snap);
+    const std::size_t snap_bytes =
+        static_cast<std::size_t>(int_property(*store,
+                                              "smartstore.snapshot.bytes"));
+    check(store->Close(), "close");
 
+    // Reopen: snapshot load, no SVD/k-means/tree build.
     t.reset();
-    auto loaded = persist::load_snapshot(snap);
+    auto reopened = db::Store::Open(bench_options(60, /*wal=*/true), dir);
+    check(reopened.status(), "reopen");
     const double load_s = t.seconds();
+    store = std::move(reopened).value();
     const double nfiles = static_cast<double>(tr.files().size());
 
-    // WAL: append a churn stream at the store's group-commit batching,
-    // then replay it onto the freshly loaded snapshot.
+    // WAL: Put a churn stream at the store's group-commit batching, crash
+    // (Flush + Abandon: acked tail durable, process state dropped), then
+    // time the reopen that replays it.
     const std::size_t churn = 2000;
     const auto stream = tr.make_insert_stream(churn, 99);
-    const std::string wal = persist::wal_path(dir);
-    std::filesystem::remove(wal);
     t.reset();
-    {
-      persist::WalWriter w(wal, store.config().version_ratio);
-      for (const auto& f : stream) w.log_insert(f);
-    }
+    for (const auto& f : stream) check(store->Put(f), "put");
+    check(store->Flush(), "flush");
     const double append_s = t.seconds();
+    store->Abandon();
+    store.reset();
 
     t.reset();
-    const persist::WalScan scan = persist::scan_wal(wal);
-    persist::replay(*loaded, scan);
+    auto replayed = db::Store::Open(bench_options(60, /*wal=*/true), dir);
+    check(replayed.status(), "replay reopen");
     const double replay_s = t.seconds();
+    const std::size_t replayed_records =
+        (*replayed)->recovery_info().wal_records;
+    if (replayed_records != churn) {
+      std::fprintf(stderr, "replay mismatch: expected %zu records, got %zu\n",
+                    churn, replayed_records);
+      return 1;
+    }
+    (*replayed)->Close();
 
     std::printf(
         "%-7s %8zu | %8.2fs %9.3fs %10s | %8.3fs %12.0f | %9.0f %9.0f\n",
@@ -176,8 +189,9 @@ int main() {
   }
 
   std::printf(
-      "\nrestart speedup = build / load; WAL rates include group-commit "
-      "fsync.\n");
+      "\nrestart speedup = build / reopen; WAL rates include group-commit "
+      "fsync. replay/s = reopen after crash, snapshot load + shard-merge "
+      "replay.\n");
   std::filesystem::remove_all(dir);
 
   restart_under_load();

@@ -1,0 +1,13 @@
+// Umbrella header for the embedded-store API: everything an embedding
+// file system needs to open, mutate, query, and checkpoint a SmartStore
+// deployment through one handle.
+//
+//   #include <smartstore/smartstore.h>
+//   auto store = smartstore::db::Store::Open(options, "/var/lib/meta");
+#pragma once
+
+#include "smartstore/options.h"
+#include "smartstore/query.h"
+#include "smartstore/status.h"
+#include "smartstore/store.h"
+#include "smartstore/write_batch.h"

@@ -1,0 +1,184 @@
+// Error vocabulary of the embedded-store API: every smartstore::db::Store
+// operation reports failure through Status / StatusOr instead of throwing.
+//
+// The boundary contract: nothing below the facade is required to be
+// exception-free (the persistence layer throws PersistError, the codecs
+// throw BinaryIoError), but nothing above it ever sees an exception —
+// Store catches and maps everything onto one of the codes here. The codes
+// mirror the failure modes an embedding file system has to branch on:
+//
+//   kNotFound            the key/file/snapshot does not exist
+//   kCorruption          on-disk state failed a checksum/format check
+//   kInvalidArgument     the caller's request can never succeed as given
+//   kBusy                another process (or handle) holds the data dir
+//   kIOError             the OS said no (open/write/rename/fsync failed)
+//   kFailedPrecondition  valid request, wrong state (e.g. Write after Close)
+//   kFaultInjected       a persist::fault_arm crash point fired — the
+//                        store froze its on-disk state exactly as a power
+//                        cut would (test/bench harness support)
+//   kUnknown             an unclassified internal failure
+//
+// This header is deliberately self-contained (standard library only) so
+// lower layers — e.g. persist's exception-free recovery entry point — can
+// speak the same vocabulary without depending on the facade.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace smartstore::db {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kCorruption = 2,
+  kInvalidArgument = 3,
+  kBusy = 4,
+  kIOError = 5,
+  kFailedPrecondition = 6,
+  kFaultInjected = 7,
+  kUnknown = 8,
+};
+
+inline const char* status_code_name(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kBusy: return "Busy";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kFaultInjected: return "FaultInjected";
+    case StatusCode::kUnknown: return "Unknown";
+  }
+  return "Unknown";
+}
+
+class Status {
+ public:
+  Status() = default;  ///< OK
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status FaultInjected(std::string msg) {
+    return Status(StatusCode::kFaultInjected, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsFaultInjected() const { return code_ == StatusCode::kFaultInjected; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = status_code_name(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A Status or a value — the return type of fallible factories
+/// (Store::Open) and queries. Dereferencing a non-OK StatusOr aborts with
+/// the status printed (the embedded-API analogue of an uncaught exception);
+/// callers are expected to branch on ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr(Status) requires a non-OK status");
+    if (status_.ok()) status_ = Status::Unknown("OK status without a value");
+  }
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : value_(std::move(value)) {}
+
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    check();
+    return *value_;
+  }
+  const T& value() const& {
+    check();
+    return *value_;
+  }
+  T&& value() && {
+    check();
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() {
+    check();
+    return &*value_;
+  }
+  const T* operator->() const {
+    check();
+    return &*value_;
+  }
+
+ private:
+  void check() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "StatusOr::value on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace smartstore::db

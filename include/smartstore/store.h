@@ -1,0 +1,164 @@
+// smartstore::db::Store — the single-handle embedding API over the
+// SmartStore metadata system.
+//
+// One Open() composes what PRs 2–4 built as loose parts: it constructs or
+// recovers the core store (snapshot load + sequence-merged WAL-shard
+// replay), takes an exclusive LOCK file against a second process opening
+// the same data directory, attaches the per-unit WAL shard hooks to every
+// mutation, and starts the background checkpointer at the configured
+// cadence. Close() (or the destructor) tears it all down in the only safe
+// order: drain the in-flight checkpoint, group-commit the WAL shards,
+// release the lock. No caller ever re-derives the WAL-fencing protocol.
+//
+// The boundary is exception-free: every operation returns Status (or
+// StatusOr), including the crash-injection harness's simulated power cuts
+// (kFaultInjected — after which the store is poisoned exactly as a dead
+// process's on-disk state would be: pending WAL batches are abandoned,
+// never committed by destructors).
+//
+// Thread safety: Put / Delete / Write / Query / Flush / Checkpoint may be
+// called from any number of threads concurrently (the core's striped
+// mutation path orders them; one background checkpoint rides along).
+// Close and Abandon are exclusive — they wait out every in-flight
+// operation, and anything arriving after returns kFailedPrecondition.
+// GetProperty briefly excludes mutators for the introspection reads the
+// core exposes quiesced-only, so it is safe (if not free) under load.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metadata/file_metadata.h"
+#include "smartstore/options.h"
+#include "smartstore/query.h"
+#include "smartstore/status.h"
+#include "smartstore/write_batch.h"
+
+namespace smartstore::db {
+
+/// What Open found on disk (all zero for a freshly created deployment).
+struct RecoveryInfo {
+  bool recovered = false;        ///< an existing snapshot was loaded
+  std::size_t wal_records = 0;   ///< replayed (fenced prefix excluded)
+  std::size_t wal_blocks = 0;
+  std::size_t wal_fenced = 0;    ///< skipped: already in the snapshot
+  std::size_t wal_shards = 0;    ///< shard logs scanned
+  bool wal_tail_torn = false;    ///< a torn tail was dropped at a
+                                 ///< group-commit boundary
+};
+
+/// Average per-storage-unit space breakdown (see GetSpaceInfo).
+struct SpaceInfo {
+  std::size_t metadata_bytes = 0;  ///< records + local indexes
+  std::size_t index_bytes = 0;     ///< hosted index units
+  std::size_t replica_bytes = 0;   ///< replicated group summaries
+  std::size_t version_bytes = 0;   ///< attached versions
+  std::size_t total_bytes = 0;
+};
+
+/// Background-checkpoint accounting (see GetCheckpointInfo).
+struct CheckpointInfo {
+  std::uint64_t completed = 0;
+  std::uint64_t total_mutations_during = 0;  ///< rode along across all ckpts
+  std::uint64_t total_cow_copies = 0;
+  double last_freeze_s = 0;    ///< serving threads excluded
+  double last_write_s = 0;     ///< concurrent serialization
+  double last_truncate_s = 0;  ///< per-shard WAL rebase
+  std::size_t last_snapshot_bytes = 0;
+};
+
+class Store {
+ public:
+  /// Opens (building or recovering) the deployment at `path`. Errors:
+  ///   kInvalidArgument  bad Options, empty path, or error_if_exists hit
+  ///   kBusy             another handle holds the directory's LOCK file
+  ///   kNotFound         no snapshot and create_if_missing is false
+  ///   kCorruption       snapshot/WAL failed a checksum or format check
+  ///   kIOError          the filesystem said no
+  static StatusOr<std::unique_ptr<Store>> Open(const Options& options,
+                                               const std::string& path);
+
+  /// Closes (best-effort) if the caller did not.
+  ~Store();
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  // ---- bulk load ---------------------------------------------------------
+
+  /// Builds the deployment over a population in one shot: semantic
+  /// placement (balanced k-means in LSI space), bottom-up tree
+  /// construction, replica initialization. Only valid while the store is
+  /// empty (a fresh Open with no Puts yet) — the paper's build() is a
+  /// whole-deployment operation, not an incremental one. Bulkload is not
+  /// write-ahead logged; on a durable store it checkpoints the deployment
+  /// before returning (cheap next to the build), so the population is
+  /// crash-safe from the moment Bulkload returns OK.
+  Status Bulkload(const std::vector<metadata::FileMetadata>& files);
+
+  // ---- mutations ---------------------------------------------------------
+
+  Status Put(const metadata::FileMetadata& file);
+
+  /// kNotFound when no file of that name exists.
+  Status Delete(const std::string& name);
+
+  /// Applies the batch in order (see write_batch.h for the insert_batch
+  /// fast path and the Options::ingest_threads fan-out).
+  Status Write(WriteBatch&& batch);
+
+  // ---- queries -----------------------------------------------------------
+
+  StatusOr<QueryResult> Query(const QueryRequest& request);
+
+  // ---- durability control ------------------------------------------------
+
+  /// Group-commits every WAL shard: all acknowledged mutations become
+  /// durable. No-op without a WAL.
+  Status Flush();
+
+  /// Checkpoints the deployment into the data directory. With a WAL this
+  /// is the background protocol run to completion (freeze → concurrent
+  /// snapshot → per-shard WAL rebase) — serving threads keep running;
+  /// without one it quiesces mutators for a stop-the-world snapshot.
+  Status Checkpoint();
+
+  // ---- introspection -----------------------------------------------------
+
+  /// Named properties ("smartstore.total-files", "smartstore.wal.frontier",
+  /// "smartstore.space.total-bytes", ... — see the README's table).
+  /// Returns false for unknown names.
+  bool GetProperty(const std::string& name, std::string* value);
+
+  const RecoveryInfo& recovery_info() const;
+  CheckpointInfo GetCheckpointInfo() const;
+  /// One quiesced read of the per-unit space breakdown (briefly excludes
+  /// mutators, like GetProperty's structural reads, but computes all five
+  /// numbers in a single pass).
+  SpaceInfo GetSpaceInfo();
+  const Options& options() const;
+  const std::string& path() const;
+
+  // ---- lifecycle ---------------------------------------------------------
+
+  /// Waits out in-flight operations and the background checkpointer,
+  /// group-commits the WAL shards, releases the LOCK file. Idempotent.
+  /// Every operation after Close returns kFailedPrecondition.
+  Status Close();
+
+  /// Crash simulation (test/bench harness): drops every durability handle
+  /// WITHOUT committing pending WAL batches — the in-process stand-in for
+  /// the process dying — and releases the LOCK file so the directory can
+  /// be re-Opened to exercise recovery. The handle is poisoned afterwards.
+  void Abandon();
+
+ private:
+  Store();
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace smartstore::db

@@ -7,9 +7,14 @@
 #                       configure time.
 #   BENCH_persist.json  multi-writer ingest throughput by thread count
 #                       (with and without the sharded WAL) and recovery
-#                       time from sharded logs (bench_concurrent).
+#                       time from sharded logs (bench_concurrent, driven
+#                       through the db::Store facade).
+#   BENCH_db.json       the facade boundary's overhead vs raw core calls
+#                       (put / batch / durable paths) and facade-level
+#                       open / bulkload / checkpoint / reopen /
+#                       crash-reopen timings (bench_db_api).
 #
-#   scripts/bench_report.sh [build-dir] [core-json] [persist-json]
+#   scripts/bench_report.sh [build-dir] [core-json] [persist-json] [db-json]
 #
 # Honoured environment: BENCH_REPETITIONS (micro suite), BENCH_SMOKE=1
 # (tiny bench_concurrent sizes for CI smoke runs), BENCH_INSERTS,
@@ -19,6 +24,7 @@ set -eu
 BUILD_DIR=${1:-build}
 CORE_OUT=${2:-BENCH_core.json}
 PERSIST_OUT=${3:-BENCH_persist.json}
+DB_OUT=${4:-BENCH_db.json}
 
 if [ ! -d "$BUILD_DIR" ]; then
     echo "bench_report: build dir '$BUILD_DIR' not found — configure first:" >&2
@@ -43,5 +49,14 @@ if [ -x "$CONCURRENT" ]; then
     echo "bench_report: wrote $PERSIST_OUT"
 else
     echo "bench_report: $CONCURRENT not built; skipping $PERSIST_OUT" >&2
+    exit 1
+fi
+
+DB_API="$BUILD_DIR/bench/bench_db_api"
+if [ -x "$DB_API" ]; then
+    "$DB_API" --json "$DB_OUT"
+    echo "bench_report: wrote $DB_OUT"
+else
+    echo "bench_report: $DB_API not built; skipping $DB_OUT" >&2
     exit 1
 fi

@@ -1,24 +1,22 @@
 // smartstore_cli: command-line driver for the SmartStore metadata system.
 //
 // Loads one of the paper's synthetic trace profiles (HP / MSN / EECS),
-// builds a SmartStore deployment over it, and replays batches of point,
+// opens a smartstore::db::Store over it, and replays batches of point,
 // range and top-k queries end-to-end, reporting result counts and the
 // simulated latency/message/hop accounting. This is the user-facing entry
 // point for workload scenarios: every knob the experiments vary (trace,
 // TIF, unit count, routing mode, query distribution) is a flag.
 //
-// Deployments persist across runs: --save snapshots the built store into a
-// directory, --load restores it (skipping the expensive SVD/k-means/tree
-// build) and replays any write-ahead log found there, --wal logs dynamic
-// inserts (--churn) so a crash loses at most one group-commit batch. The
-// log is sharded — one v03 log per storage unit under DIR/wal/ — so
-// concurrent writers commit and fsync independently; --ingest-threads N
-// partitions the churn stream across N writer threads (insert_batch), and
-// --group-commit M tunes records-per-fsync per shard. --bg-checkpoint N
-// checkpoints in the background every N churn inserts while the insert
-// stream keeps running (epoch freeze + copy-on-write); --crash-at K kills
-// the K-th persistence write boundary the run crosses, for exercising
-// recovery by hand.
+// All durability wiring goes through the Store facade: --save/--load/--wal
+// name the data directory (when more than one is given they must agree —
+// a deployment lives in ONE directory), Open() recovers whatever snapshot
+// + WAL shards it finds there, --churn N inserts ride the sharded WAL,
+// --ingest-threads N fans the churn batch across writer threads inside
+// Write(), --group-commit M tunes records-per-fsync per shard, and
+// --bg-checkpoint N sets the background-checkpoint cadence (a snapshot
+// every N acknowledged mutations, concurrent with the insert stream).
+// --crash-at K arms the K-th persistence write boundary to simulate a
+// power cut (exit 3); recover by re-running with --load.
 //
 //   smartstore_cli --trace msn --units 20 --point 200 --range 50 --topk 50
 //   smartstore_cli --trace hp --save state/          # build once, persist
@@ -27,43 +25,30 @@
 //       --save state/ --bg-checkpoint 1000       # checkpoint under load
 //   smartstore_cli --trace hp --churn 20000 --ingest-threads 4
 //       --wal state/ --group-commit 64           # parallel durable ingest
-#include <atomic>
 #include <cctype>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <exception>
-#include <filesystem>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "core/smartstore.h"
-#include "metadata/query.h"
-#include "persist/bg_checkpoint.h"
-#include "persist/fault.h"
-#include "persist/recovery.h"
-#include "persist/wal_shard.h"
+#include "smartstore/smartstore.h"
 #include "trace/profiles.h"
 #include "trace/query_gen.h"
 #include "trace/synth.h"
 #include "util/bytes.h"
-#include "util/thread_pool.h"
 
 namespace {
 
 using namespace smartstore;
 
-struct Options {
+struct CliOptions {
   trace::TraceKind kind = trace::TraceKind::kMSN;
   unsigned tif = 1;
   unsigned downscale = 5;
   std::size_t units = 20;
   std::size_t fanout = 8;
-  core::Routing routing = core::Routing::kOffline;
+  db::Routing routing = db::Routing::kOffline;
   trace::QueryDistribution dist = trace::QueryDistribution::kZipf;
   std::size_t point_queries = 200;
   std::size_t range_queries = 50;
@@ -100,12 +85,11 @@ void usage(const char* argv0) {
       "  --k K                      k for top-k queries (default 8)\n"
       "  --seed S                   rng seed (default 42)\n"
       "  --churn N                  insert N extra files before querying\n"
-      "  --ingest-threads N         writer threads over the churn stream\n"
-      "                             (default 1; inserts are batched per\n"
-      "                             thread through insert_batch)\n"
+      "  --ingest-threads N         writer threads the facade fans the churn\n"
+      "                             batch across (default 1)\n"
       "  --group-commit M           WAL records per group-commit fsync,\n"
       "                             per shard (default: version ratio)\n"
-      "  --save DIR                 snapshot the deployment into DIR\n"
+      "  --save DIR                 checkpoint the deployment into DIR\n"
       "  --load DIR                 restore DIR's snapshot (+ WAL replay)\n"
       "                             instead of building; trace flags must\n"
       "                             match the saved deployment's\n"
@@ -116,13 +100,16 @@ void usage(const char* argv0) {
       "                             (requires --save; the WAL lives there)\n"
       "  --crash-at K               kill the K-th persistence write boundary\n"
       "                             (exit 3); recover with --load afterwards\n"
+      "\n"
+      "  --save/--load/--wal name the same deployment directory when more\n"
+      "  than one is given (a Store owns exactly one directory).\n"
       "  --help                     this message\n",
       argv0);
 }
 
-/// Parses argv into Options; exits with a message on malformed input.
-Options parse_args(int argc, char** argv) {
-  Options opt;
+/// Parses argv into CliOptions; exits with a message on malformed input.
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions opt;
   auto need_value = [&](int i) -> const char* {
     if (i + 1 >= argc) {
       std::fprintf(stderr, "error: %s needs a value\n", argv[i]);
@@ -158,8 +145,8 @@ Options parse_args(int argc, char** argv) {
       }
     } else if (a == "--routing") {
       const std::string v = need_value(i++);
-      if (v == "online") opt.routing = core::Routing::kOnline;
-      else if (v == "offline") opt.routing = core::Routing::kOffline;
+      if (v == "online") opt.routing = db::Routing::kOnline;
+      else if (v == "offline") opt.routing = db::Routing::kOffline;
       else {
         std::fprintf(stderr, "error: unknown routing '%s'\n", v.c_str());
         std::exit(2);
@@ -221,18 +208,24 @@ Options parse_args(int argc, char** argv) {
     std::fprintf(stderr, "error: --ingest-threads must be > 0\n");
     std::exit(2);
   }
-  if (opt.bg_checkpoint > 0) {
-    if (opt.save_dir.empty()) {
-      std::fprintf(stderr, "error: --bg-checkpoint requires --save DIR\n");
-      std::exit(2);
-    }
-    if (!opt.wal_dir.empty() && opt.wal_dir != opt.save_dir) {
+  if (opt.bg_checkpoint > 0 && opt.save_dir.empty()) {
+    std::fprintf(stderr, "error: --bg-checkpoint requires --save DIR\n");
+    std::exit(2);
+  }
+  // One deployment, one directory: every persistence flag given must agree.
+  const std::string* dirs[] = {&opt.save_dir, &opt.load_dir, &opt.wal_dir};
+  std::string chosen;
+  for (const std::string* d : dirs) {
+    if (d->empty()) continue;
+    if (chosen.empty()) {
+      chosen = *d;
+    } else if (*d != chosen) {
       std::fprintf(stderr,
-                   "error: --bg-checkpoint pairs the WAL with the --save "
-                   "directory; drop --wal or point it at the same DIR\n");
+                   "error: --save/--load/--wal must name the same directory "
+                   "('%s' vs '%s')\n",
+                   chosen.c_str(), d->c_str());
       std::exit(2);
     }
-    opt.wal_dir = opt.save_dir;
   }
   return opt;
 }
@@ -246,7 +239,7 @@ struct BatchTotals {
   std::uint64_t messages = 0;
   std::uint64_t hops = 0;
 
-  void add(const core::QueryStats& s, std::size_t nresults) {
+  void add(const db::QueryStats& s, std::size_t nresults) {
     ++queries;
     if (nresults > 0) ++successes;
     results += nresults;
@@ -267,10 +260,29 @@ struct BatchTotals {
   }
 };
 
+/// Non-OK statuses funnel here: a kFaultInjected is the simulated power
+/// cut (exit 3, on-disk state frozen for a later --load); anything else is
+/// a hard error (exit 1).
+[[noreturn]] void die(const db::Status& s, std::size_t crash_at) {
+  if (s.IsFaultInjected()) {
+    std::printf("crash injected: %s (fault point %zu)\n", s.message().c_str(),
+                crash_at);
+    std::exit(3);
+  }
+  std::fprintf(stderr, "error: persistence failure: %s\n",
+               s.ToString().c_str());
+  std::exit(1);
+}
+
+std::string property(db::Store& store, const std::string& name) {
+  std::string v;
+  return store.GetProperty(name, &v) ? v : std::string("?");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options opt = parse_args(argc, argv);
+  const CliOptions opt = parse_args(argc, argv);
 
   const auto profile = trace::profile_for(opt.kind);
   std::printf("trace   : %s (TIF %u, downscale %u, seed %llu)\n",
@@ -281,217 +293,132 @@ int main(int argc, char** argv) {
   std::printf("population: %zu files, %zu trace ops\n", tr.files().size(),
               tr.ops().size());
 
-  if (opt.crash_at > 0) persist::fault_arm(opt.crash_at);
+  // One Open composes everything PRs 2-4 exposed piecemeal: recovery,
+  // sharded WAL, background checkpoint cadence, the data-directory lock.
+  db::Options options;
+  options.num_units = opt.units;
+  options.fanout = opt.fanout;
+  options.seed = opt.seed;
+  options.routing = opt.routing;
+  options.ingest_threads = opt.ingest_threads;
+  options.group_commit = opt.group_commit;
+  options.checkpoint_every = opt.bg_checkpoint;
+  options.crash_at = opt.crash_at;
 
-  std::unique_ptr<core::SmartStore> store;
-  // Declared outside the try so the crash handler can freeze the on-disk
-  // state (abandon the WAL handles, drain the worker) instead of letting
-  // destructors finish durability work the simulated power cut interrupted.
-  std::unique_ptr<persist::ShardedWal> wal;
-  std::unique_ptr<util::ThreadPool> pool;
-  std::unique_ptr<persist::BackgroundCheckpointer> bg;
-  try {
-    if (!opt.load_dir.empty()) {
-      auto rec = persist::recover(opt.load_dir);
-      store = std::move(rec.store);
-      std::printf("restored : snapshot %s, %zu WAL records replayed "
-                  "(%zu blocks, %zu fenced, %zu shards)%s\n",
-                  persist::snapshot_path(opt.load_dir).c_str(),
-                  rec.wal_records, rec.wal_blocks, rec.wal_fenced,
-                  rec.wal_shards,
-                  rec.wal_tail_torn ? ", torn tail dropped" : "");
-    } else {
-      core::Config cfg;
-      cfg.num_units = opt.units;
-      cfg.fanout = opt.fanout;
-      cfg.seed = opt.seed;
-      store = std::make_unique<core::SmartStore>(cfg);
-      store->build(tr.files());
-    }
+  std::string dir = !opt.load_dir.empty() ? opt.load_dir : opt.save_dir;
+  if (dir.empty()) dir = opt.wal_dir;
+  options.in_memory = dir.empty();
+  // The WAL shards are only wanted when churn inserts should be logged or
+  // the background checkpointer needs them to fence against; a plain
+  // --save run checkpoints stop-the-world at the end instead.
+  options.enable_wal = !opt.wal_dir.empty() || opt.bg_checkpoint > 0;
+  // --load expects an existing deployment; --save/--wal create one.
+  options.create_if_missing = opt.load_dir.empty();
 
-    if (!opt.wal_dir.empty()) {
-      std::filesystem::create_directories(opt.wal_dir);
-      wal = std::make_unique<persist::ShardedWal>(
-          opt.wal_dir, store->units().size(),
-          opt.group_commit > 0 ? opt.group_commit
-                               : store->config().version_ratio);
-    }
+  auto opened = db::Store::Open(options, dir);
+  if (!opened.ok()) die(opened.status(), opt.crash_at);
+  std::unique_ptr<db::Store> store = std::move(opened).value();
 
-    if (opt.bg_checkpoint > 0) {
-      pool = std::make_unique<util::ThreadPool>(2);
-      bg = std::make_unique<persist::BackgroundCheckpointer>(
-          *store, opt.save_dir, *wal, *pool);
-    }
-
-    if (opt.churn > 0) {
-      const auto stream = tr.make_insert_stream(opt.churn, opt.seed + 99);
-      // Writer threads claim contiguous batches of the stream and push
-      // them through insert_batch (hooked into the sharded WAL when one is
-      // open). An injected fault in any thread "crashes the process": the
-      // first exception wins, the others drain.
-      const std::size_t nthreads = std::min(opt.ingest_threads, stream.size());
-      const std::size_t batch =
-          std::max<std::size_t>(1, std::min<std::size_t>(64, stream.size() /
-                                                                 (nthreads * 4)
-                                                             + 1));
-      std::atomic<std::size_t> next{0};
-      std::atomic<std::size_t> done{0};
-      std::atomic<bool> stop{false};
-      std::mutex err_mu;
-      std::exception_ptr first_error;
-      auto worker = [&] {
-        try {
-          while (!stop.load(std::memory_order_relaxed)) {
-            const std::size_t begin =
-                next.fetch_add(batch, std::memory_order_relaxed);
-            if (begin >= stream.size()) break;
-            const std::size_t end = std::min(begin + batch, stream.size());
-            if (bg) {
-              for (std::size_t i = begin; i < end; ++i) bg->insert(stream[i]);
-            } else {
-              const std::vector<metadata::FileMetadata> chunk(
-                  stream.begin() + static_cast<std::ptrdiff_t>(begin),
-                  stream.begin() + static_cast<std::ptrdiff_t>(end));
-              if (wal) {
-                // The append hook fires once per file, in chunk order, on
-                // this thread, under the routed unit's lock — the cursor
-                // pairs each callback with its file; the flush hook runs
-                // the group-commit fsync after the lock is released.
-                std::size_t cursor = 0;
-                store->insert_batch(
-                    chunk, 0.0,
-                    [&](core::UnitId target) {
-                      wal->append_insert(target, chunk[cursor++]);
-                    },
-                    [&](core::UnitId target) { wal->maybe_commit(target); });
-              } else {
-                store->insert_batch(chunk, 0.0);
-              }
-            }
-            done.fetch_add(end - begin, std::memory_order_release);
-          }
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(err_mu);
-          if (!first_error) first_error = std::current_exception();
-          stop.store(true, std::memory_order_relaxed);
-        }
-      };
-      std::vector<std::thread> writers;
-      writers.reserve(nthreads);
-      for (std::size_t t = 0; t < nthreads; ++t) writers.emplace_back(worker);
-
-      // Checkpoint cadence, driven from the main thread against overall
-      // progress (the writer threads never block on it). Without a
-      // checkpointer there is nothing to pace — just join, rather than
-      // burn a core polling next to the writers.
-      std::size_t triggered = 0, last_trigger = 0;
-      if (bg && opt.bg_checkpoint > 0) {
-        while (done.load(std::memory_order_acquire) < stream.size() &&
-               !stop.load(std::memory_order_relaxed)) {
-          const std::size_t progress = done.load(std::memory_order_acquire);
-          if (progress - last_trigger >= opt.bg_checkpoint && bg->trigger()) {
-            last_trigger = progress;
-            ++triggered;
-          }
-          std::this_thread::sleep_for(std::chrono::microseconds(200));
-        }
-      }
-      for (auto& t : writers) t.join();
-      if (first_error) std::rethrow_exception(first_error);
-      if (bg) {
-        bg->wait();  // surface any failure of the last in-flight checkpoint
-      } else if (wal) {
-        wal->commit_all();
-      }
+  const db::RecoveryInfo& rec = store->recovery_info();
+  if (rec.recovered) {
+    std::printf("restored : snapshot %s, %zu WAL records replayed "
+                "(%zu blocks, %zu fenced, %zu shards)%s\n",
+                property(*store, "smartstore.snapshot.path").c_str(),
+                rec.wal_records, rec.wal_blocks, rec.wal_fenced,
+                rec.wal_shards,
+                rec.wal_tail_torn ? ", torn tail dropped" : "");
+    if (opt.load_dir.empty()) {
+      // --save/--wal hit a directory that already holds a deployment: the
+      // saved store wins over the trace flags (a Store owns its
+      // directory), which is only obvious if we say so.
       std::printf(
-          "churn    : %zu files inserted (%zu thread%s)%s\n", stream.size(),
-          nthreads, nthreads == 1 ? "" : "s",
-          bg ? " (write-ahead logged, background checkpoints)"
-             : (wal ? " (write-ahead logged, sharded)" : ""));
-      if (bg && triggered > 0) {
-        const auto& st = bg->last_stats();
+          "note     : %s already held a deployment — restored it instead "
+          "of rebuilding from the trace (pass --load to make this "
+          "explicit, or use a fresh directory to rebuild)\n",
+          dir.c_str());
+    }
+  } else {
+    db::Status built = store->Bulkload(tr.files());
+    if (!built.ok()) die(built, opt.crash_at);
+  }
+
+  if (opt.churn > 0) {
+    const auto stream = tr.make_insert_stream(opt.churn, opt.seed + 99);
+    // The facade fans the batch across Options::ingest_threads writer
+    // threads (work-stealing over insert_batch), write-ahead logs each
+    // record to its routed unit's WAL shard, and triggers background
+    // checkpoints at the --bg-checkpoint cadence while inserts continue.
+    db::WriteBatch batch;
+    batch.reserve(stream.size());
+    for (const auto& f : stream) batch.Put(f);
+    db::Status ws = store->Write(std::move(batch));
+    if (!ws.ok()) die(ws, opt.crash_at);
+    std::printf(
+        "churn    : %zu files inserted (%zu thread%s)%s\n", stream.size(),
+        opt.ingest_threads, opt.ingest_threads == 1 ? "" : "s",
+        opt.bg_checkpoint > 0
+            ? " (write-ahead logged, background checkpoints)"
+            : (options.enable_wal ? " (write-ahead logged, sharded)" : ""));
+    if (opt.bg_checkpoint > 0) {
+      const db::CheckpointInfo ck = store->GetCheckpointInfo();
+      if (ck.completed > 0) {
         std::printf(
             "bg ckpt  : %llu background checkpoints (%llu mutations rode "
             "along, %llu COW copies); last: freeze %.1f ms, write %.1f ms, "
             "truncate %.1f ms, %s\n",
-            static_cast<unsigned long long>(bg->completed()),
-            static_cast<unsigned long long>(bg->total_mutations_during()),
-            static_cast<unsigned long long>(bg->total_cow_copies()),
-            st.freeze_s * 1e3, st.write_s * 1e3, st.truncate_s * 1e3,
-            util::format_bytes(st.snapshot_bytes).c_str());
+            static_cast<unsigned long long>(ck.completed),
+            static_cast<unsigned long long>(ck.total_mutations_during),
+            static_cast<unsigned long long>(ck.total_cow_copies),
+            ck.last_freeze_s * 1e3, ck.last_write_s * 1e3,
+            ck.last_truncate_s * 1e3,
+            util::format_bytes(ck.last_snapshot_bytes).c_str());
       }
     }
-    if (!opt.save_dir.empty()) {
-      // The sharded-WAL checkpoint pairs the fence with the shards only
-      // when the writer owns the save directory's logs; a WAL pointed at
-      // a different directory is left untouched (its records pair with
-      // THAT directory's snapshot — the legacy contract).
-      std::error_code wal_ec;
-      const bool wal_owns_save =
-          wal && std::filesystem::weakly_canonical(wal->dir(), wal_ec) ==
-                     std::filesystem::weakly_canonical(
-                         persist::ShardedWal::shard_dir(opt.save_dir),
-                         wal_ec);
-      if (bg) {
-        // Final checkpoint through the same background protocol, so the
-        // published snapshot covers the whole churn stream.
-        if (bg->trigger()) bg->wait();
-      } else if (wal_owns_save) {
-        persist::checkpoint(*store, opt.save_dir, *wal);
-      } else {
-        persist::checkpoint(*store, opt.save_dir);
-      }
-      std::printf("snapshot : saved to %s (%s)\n",
-                  persist::snapshot_path(opt.save_dir).c_str(),
-                  util::format_bytes(
-                      std::filesystem::file_size(
-                          persist::snapshot_path(opt.save_dir)))
-                      .c_str());
-    }
-  } catch (const persist::FaultInjected& e) {
-    // Freeze the crash state: an in-flight checkpoint that already passed
-    // its own boundaries is allowed to land (a crash an instant later),
-    // but pending WAL batches must NOT be committed by destructors —
-    // those records were never acknowledged as durable.
-    if (bg) {
-      try {
-        bg->wait();
-      } catch (const std::exception&) {
-        // The worker's own injected fault, already accounted for.
-      }
-    }
-    if (wal) wal->abandon();
-    std::printf("crash injected: %s (fault point %zu)\n", e.what(),
-                opt.crash_at);
-    return 3;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: persistence failure: %s\n", e.what());
-    return 1;
+  }
+
+  if (!opt.save_dir.empty()) {
+    // Checkpoint() runs the background protocol to completion when the
+    // WAL shards are attached, the quiesced stop-the-world flavour when
+    // not — either way the published snapshot covers the whole run.
+    db::Status cs = store->Checkpoint();
+    if (!cs.ok()) die(cs, opt.crash_at);
+    std::printf("snapshot : saved to %s (%s)\n",
+                property(*store, "smartstore.snapshot.path").c_str(),
+                util::format_bytes(static_cast<std::size_t>(std::strtoull(
+                                       property(*store,
+                                                "smartstore.snapshot.bytes")
+                                           .c_str(),
+                                       nullptr, 10)))
+                    .c_str());
   }
 
   std::printf(
-      "deployment: %zu storage units, %zu index units, tree height %d, "
-      "%zu first-level groups, %s routing\n\n",
-      store->units().size(), store->tree().num_nodes(), store->tree().height(),
-      store->tree().groups().size(),
-      opt.routing == core::Routing::kOnline ? "on-line" : "off-line");
+      "deployment: %s storage units, %s index units, tree height %s, "
+      "%s first-level groups, %s routing\n\n",
+      property(*store, "smartstore.num-units").c_str(),
+      property(*store, "smartstore.index-units").c_str(),
+      property(*store, "smartstore.tree-height").c_str(),
+      property(*store, "smartstore.tree-groups").c_str(),
+      opt.routing == db::Routing::kOnline ? "on-line" : "off-line");
 
   trace::QueryGenerator gen(tr, opt.dist, opt.seed + 1);
   const auto dims = metadata::AttrSubset::all();
 
   BatchTotals point, range, topk;
   for (std::size_t i = 0; i < opt.point_queries; ++i) {
-    const auto r = store->point_query(gen.gen_point(), opt.routing, 0.0);
-    point.add(r.stats, r.found ? 1 : 0);
+    auto r = store->Query(db::QueryRequest::Point(gen.gen_point()));
+    if (!r.ok()) die(r.status(), opt.crash_at);
+    point.add(r->stats, r->count());
   }
   for (std::size_t i = 0; i < opt.range_queries; ++i) {
-    const auto r = store->range_query(gen.gen_range(dims), opt.routing, 0.0);
-    range.add(r.stats, r.ids.size());
+    auto r = store->Query(db::QueryRequest::Range(gen.gen_range(dims)));
+    if (!r.ok()) die(r.status(), opt.crash_at);
+    range.add(r->stats, r->count());
   }
   for (std::size_t i = 0; i < opt.topk_queries; ++i) {
-    const auto r =
-        store->topk_query(gen.gen_topk(dims, opt.k), opt.routing, 0.0);
-    topk.add(r.stats, r.hits.size());
+    auto r = store->Query(db::QueryRequest::TopK(gen.gen_topk(dims, opt.k)));
+    if (!r.ok()) die(r.status(), opt.crash_at);
+    topk.add(r->stats, r->count());
   }
 
   std::printf("query batches (%s distribution):\n",
@@ -500,11 +427,14 @@ int main(int argc, char** argv) {
   range.print("range");
   topk.print("top-k");
 
-  const auto space = store->avg_unit_space();
+  const db::SpaceInfo space = store->GetSpaceInfo();
   std::printf(
       "\nper-unit space: metadata %zu B, hosted index %zu B, replicas %zu B, "
       "versions %zu B (total %zu B)\n",
       space.metadata_bytes, space.index_bytes, space.replica_bytes,
-      space.version_bytes, space.total());
+      space.version_bytes, space.total_bytes);
+
+  db::Status closed = store->Close();
+  if (!closed.ok()) die(closed, opt.crash_at);
   return 0;
 }

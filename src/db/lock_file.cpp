@@ -1,0 +1,59 @@
+#include "db/lock_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#if defined(_WIN32)
+// No flock(2); the lock degrades to a no-op (documented in the header).
+#else
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
+
+namespace smartstore::db {
+
+std::string DirLock::lock_path(const std::string& dir) {
+  return (std::filesystem::path(dir) / "LOCK").string();
+}
+
+#if defined(_WIN32)
+
+Status DirLock::Acquire(const std::string&) { return Status::OK(); }
+void DirLock::Release() {}
+
+#else
+
+Status DirLock::Acquire(const std::string& dir) {
+  Release();
+  const std::string path = lock_path(dir);
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    const int err = errno;
+    ::close(fd);
+    if (err == EWOULDBLOCK || err == EAGAIN) {
+      return Status::Busy("data directory is locked by another handle: " +
+                          path);
+    }
+    return Status::IOError("cannot flock " + path + ": " +
+                           std::strerror(err));
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+void DirLock::Release() {
+  if (fd_ < 0) return;
+  ::flock(fd_, LOCK_UN);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+#endif
+
+}  // namespace smartstore::db

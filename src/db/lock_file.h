@@ -1,0 +1,50 @@
+// Exclusive data-directory lock: <dir>/LOCK held via flock(2) for the
+// lifetime of an open Store, so two processes (or two handles in one
+// process — flock contends per open file description) cannot interleave
+// WAL shards or race checkpoints against the same deployment.
+//
+// The lock is advisory and self-releasing: the kernel drops it when the
+// descriptor closes, so a crashed process never leaves a stale lock — the
+// next Open succeeds without any cleanup protocol.
+#pragma once
+
+#include <string>
+
+#include "smartstore/status.h"
+
+namespace smartstore::db {
+
+class DirLock {
+ public:
+  DirLock() = default;
+  ~DirLock() { Release(); }
+
+  DirLock(DirLock&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  DirLock& operator=(DirLock&& other) noexcept {
+    if (this != &other) {
+      Release();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+
+  /// Creates (if needed) and exclusively flocks <dir>/LOCK. kBusy when
+  /// another holder has it, kIOError when the file cannot be opened. On
+  /// platforms without flock this degrades to a documented no-op.
+  Status Acquire(const std::string& dir);
+
+  /// Drops the lock (idempotent; also run by the destructor).
+  void Release();
+
+  bool held() const { return fd_ >= 0; }
+
+  static std::string lock_path(const std::string& dir);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace smartstore::db

@@ -1,0 +1,963 @@
+// smartstore::db::Store implementation: the one place that knows how to
+// compose core::SmartStore, persist::ShardedWal, persist::recover and
+// persist::BackgroundCheckpointer into a correctly-wired deployment — and
+// how to take it apart again in the right order.
+//
+// Lock architecture (outer to inner):
+//   lifecycle_mu (shared_mutex) — every operation holds it shared, so the
+//     store cannot close under a running Put/Query; Close/Abandon/Bulkload
+//     and the quiesced introspection reads hold it exclusively. This lock
+//     is ABOVE every core-store lock: an operation takes it before calling
+//     into the core and releases it after, so exclusive acquisition doubles
+//     as "no facade operation is in flight".
+//   ckpt_mu (mutex) — serializes every interaction with the background
+//     checkpointer's trigger/wait pair (two threads get()ing the same
+//     std::future is a data race). The auto-cadence path only
+//     try_locks it: if someone else is talking to the checkpointer, a
+//     cadence trigger is already redundant. Invariant: every bg/wal
+//     dereference happens under lifecycle_mu (shared suffices), so
+//     Close/Abandon — which hold it exclusively — may drain and reset
+//     them without ckpt_mu: no shared holder can exist concurrently.
+//
+// Crash discipline (kFaultInjected): the first operation that sees
+// persist::FaultInjected runs crash() exactly once — drain the in-flight
+// checkpoint (a checkpoint that already passed its own fault boundaries is
+// allowed to land, matching "the power dies an instant later"), then
+// abandon every WAL handle so no destructor commits records the caller was
+// never told were durable. The handle is poisoned; the data directory is
+// left exactly as the simulated power cut would leave it.
+#include "smartstore/store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <filesystem>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "core/smartstore.h"
+#include "db/lock_file.h"
+#include "persist/bg_checkpoint.h"
+#include "persist/fault.h"
+#include "persist/recovery.h"
+#include "persist/snapshot.h"
+#include "persist/wal_shard.h"
+#include "util/binary_io.h"
+#include "util/thread_pool.h"
+
+namespace smartstore::db {
+
+namespace {
+
+core::Routing to_core(Routing r) {
+  return r == Routing::kOnline ? core::Routing::kOnline
+                               : core::Routing::kOffline;
+}
+
+QueryStats to_public(const core::QueryStats& s) {
+  QueryStats out;
+  out.latency_s = s.latency_s;
+  out.messages = s.messages;
+  out.hops = s.hops;
+  out.routing_hops = s.routing_hops;
+  out.groups_visited = s.groups_visited;
+  out.records_scanned = s.records_scanned;
+  out.version_check_s = s.version_check_s;
+  out.failed = s.failed;
+  return out;
+}
+
+Status map_persist_error(const persist::PersistError& e) {
+  switch (e.code()) {
+    case persist::PersistError::Code::kNotFound:
+      return Status::NotFound(e.what());
+    case persist::PersistError::Code::kIo:
+      return Status::IOError(e.what());
+    case persist::PersistError::Code::kCorruption:
+      break;
+  }
+  return Status::Corruption(e.what());
+}
+
+}  // namespace
+
+struct Store::Impl {
+  Options opts;
+  std::string dir;  ///< empty in in-memory mode
+  DirLock lock;
+  RecoveryInfo recovery;
+
+  // Teardown order matters and is encoded in Close(): the checkpointer
+  // references the store, WAL and pool; the WAL holds open shard files.
+  std::unique_ptr<core::SmartStore> core;
+  std::unique_ptr<persist::ShardedWal> wal;
+  std::unique_ptr<util::ThreadPool> pool;
+  std::unique_ptr<persist::BackgroundCheckpointer> bg;
+
+  mutable std::shared_mutex lifecycle_mu;
+  bool closed = false;  ///< guarded by lifecycle_mu
+  std::atomic<bool> crashed{false};
+  std::once_flag crash_once;
+
+  std::mutex ckpt_mu;
+  std::atomic<std::uint64_t> mutations_since_ckpt{0};
+  /// A non-crash checkpoint failure drained by an introspection read
+  /// (whose return type cannot carry it) parks here until the next
+  /// Checkpoint() or Close() surfaces it. Guarded by ckpt_mu.
+  Status deferred_ckpt_error;
+
+  // Op/recall counters (the "smartstore.counters.*" properties).
+  std::atomic<std::uint64_t> puts{0};
+  std::atomic<std::uint64_t> deletes{0};
+  std::atomic<std::uint64_t> point_queries{0};
+  std::atomic<std::uint64_t> point_hits{0};
+  std::atomic<std::uint64_t> range_queries{0};
+  std::atomic<std::uint64_t> range_hits{0};
+  std::atomic<std::uint64_t> topk_queries{0};
+  std::atomic<std::uint64_t> topk_hits{0};
+
+  /// Freeze the on-disk state the way a power cut would. Runs at most
+  /// once; never called with ckpt_mu held (the catch blocks that reach it
+  /// run after their lock guards unwound).
+  void crash() {
+    std::call_once(crash_once, [this] {
+      crashed.store(true, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> ck(ckpt_mu);
+        if (bg) {
+          try {
+            bg->wait();  // an in-flight checkpoint may land — "the power
+          } catch (...) {  // dies an instant later"
+            // The worker's own injected fault; the directory already
+            // holds whatever prefix its crash point left.
+          }
+        }
+      }
+      if (wal) wal->abandon();  // pending batches were never acknowledged
+    });
+  }
+
+  /// Creates the background checkpointer on first need — an embedder that
+  /// only ever Puts/Queries/Flushes should not pay for an idle thread
+  /// pool. Caller holds ckpt_mu; requires a durable store with a WAL.
+  /// Throws PersistError through (callers map at the boundary).
+  void ensure_checkpointer() {
+    if (bg) return;
+    pool = std::make_unique<util::ThreadPool>(opts.background_threads);
+    bg = std::make_unique<persist::BackgroundCheckpointer>(*core, dir, *wal,
+                                                           *pool);
+  }
+
+  /// Caller holds lifecycle_mu (shared suffices — this never changes the
+  /// pointers, and Close/Abandon reset them only under exclusive). A
+  /// checkpoint failure observed here must not vanish: bg->wait()'s
+  /// rethrow is one-shot (the future is consumed), so an injected crash
+  /// poisons the handle via crash() and any other failure is deferred to
+  /// the next Checkpoint()/Close() through deferred_ckpt_error.
+  CheckpointInfo checkpoint_info_locked() {
+    CheckpointInfo info;
+    bool fault = false;
+    {
+      std::lock_guard<std::mutex> ck(ckpt_mu);
+      if (!bg) return info;
+      try {
+        bg->wait();  // drain: the stats fields are plain (non-atomic)
+      } catch (const persist::FaultInjected&) {  // state from the worker
+        fault = true;
+      } catch (const persist::PersistError& e) {
+        if (deferred_ckpt_error.ok()) deferred_ckpt_error = map_persist_error(e);
+      } catch (const std::exception& e) {
+        if (deferred_ckpt_error.ok())
+          deferred_ckpt_error = Status::Unknown(e.what());
+      }
+      const persist::CheckpointStats& st = bg->last_stats();
+      info.completed = bg->completed();
+      info.total_mutations_during = bg->total_mutations_during();
+      info.total_cow_copies = bg->total_cow_copies();
+      info.last_freeze_s = st.freeze_s;
+      info.last_write_s = st.write_s;
+      info.last_truncate_s = st.truncate_s;
+      info.last_snapshot_bytes = st.snapshot_bytes;
+    }
+    if (fault) crash();  // outside ckpt_mu (crash() re-acquires it)
+    return info;
+  }
+
+  /// Gate run by every operation after taking lifecycle_mu (shared or
+  /// exclusive).
+  Status check_serving() const {
+    if (closed) return Status::FailedPrecondition("store is closed");
+    if (crashed.load(std::memory_order_acquire)) {
+      return Status::FaultInjected(
+          "store crashed at an injected fault point; reopen the directory "
+          "to recover");
+    }
+    return Status::OK();
+  }
+
+  bool durable() const { return !opts.in_memory; }
+
+  /// One Put through the core with the WAL shard hooks attached: the
+  /// append fires under the routed unit's lock (shard log order == that
+  /// unit's apply order), the group-commit fsync from the flush hook after
+  /// the lock is released.
+  void insert_one(const metadata::FileMetadata& f) {
+    if (wal) {
+      core->insert_file(
+          f, 0.0,
+          [&](core::UnitId target) { wal->append_insert(target, f); },
+          [&](core::UnitId target) { wal->maybe_commit(target); });
+    } else {
+      core->insert_file(f, 0.0);
+    }
+  }
+
+  bool erase_one(const std::string& name) {
+    if (wal) {
+      return core->erase_file(
+          name,
+          [&](core::UnitId located) { wal->append_remove(located, name); },
+          [&](core::UnitId located) { wal->maybe_commit(located); });
+    }
+    return core->erase_file(name);
+  }
+
+  /// Applies ops[b, e) — a run of consecutive Puts — through insert_batch,
+  /// fanned across Options::ingest_threads when the run is large enough to
+  /// amortize thread startup. Throws through (callers map at the boundary);
+  /// with multiple workers the first failure wins and the rest drain.
+  void apply_put_run(const std::vector<WriteBatch::Op>& ops, std::size_t b,
+                     std::size_t e) {
+    const std::size_t n = e - b;
+    const std::size_t kChunk = 64;
+    const std::size_t nthreads =
+        std::min({opts.ingest_threads, n / kChunk, std::size_t{16}});
+
+    auto apply_chunk = [&](std::size_t cb, std::size_t ce) {
+      std::vector<metadata::FileMetadata> chunk;
+      chunk.reserve(ce - cb);
+      for (std::size_t i = cb; i < ce; ++i) chunk.push_back(ops[i].file);
+      if (wal) {
+        // The append hook fires once per file, in chunk order, on this
+        // thread, under the routed unit's lock — the cursor pairs each
+        // callback with its file.
+        std::size_t cursor = 0;
+        core->insert_batch(
+            chunk, 0.0,
+            [&](core::UnitId target) {
+              wal->append_insert(target, chunk[cursor++]);
+            },
+            [&](core::UnitId target) { wal->maybe_commit(target); });
+      } else {
+        core->insert_batch(chunk, 0.0);
+      }
+      // Cadence per chunk, not per batch: one huge Write must still take
+      // its background checkpoints mid-stream.
+      note_mutations(ce - cb);
+    };
+
+    if (nthreads <= 1) {
+      for (std::size_t cb = b; cb < e; cb += kChunk)
+        apply_chunk(cb, std::min(cb + kChunk, e));
+      return;
+    }
+
+    std::atomic<std::size_t> next{b};
+    std::atomic<bool> stop{false};
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+    auto worker = [&] {
+      try {
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::size_t cb =
+              next.fetch_add(kChunk, std::memory_order_relaxed);
+          if (cb >= e) break;
+          apply_chunk(cb, std::min(cb + kChunk, e));
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        stop.store(true, std::memory_order_relaxed);
+      }
+    };
+    std::vector<std::thread> workers;
+    workers.reserve(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t) workers.emplace_back(worker);
+    for (auto& w : workers) w.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  /// Cadence accounting: every acknowledged mutation counts toward the
+  /// next automatic background checkpoint. Only try_locks ckpt_mu — if
+  /// another thread is already talking to the checkpointer, this trigger
+  /// is redundant. May throw (trigger() surfaces a previously failed
+  /// checkpoint); callers' boundary catch maps it.
+  void note_mutations(std::uint64_t n) {
+    if (n == 0 || opts.checkpoint_every == 0 || !bg) return;
+    const std::uint64_t total =
+        mutations_since_ckpt.fetch_add(n, std::memory_order_relaxed) + n;
+    if (total < opts.checkpoint_every) return;
+    std::unique_lock<std::mutex> ck(ckpt_mu, std::try_to_lock);
+    if (!ck.owns_lock()) return;
+    if (mutations_since_ckpt.load(std::memory_order_relaxed) <
+        opts.checkpoint_every)
+      return;  // someone else already reset the counter
+    if (bg->trigger())
+      mutations_since_ckpt.store(0, std::memory_order_relaxed);
+  }
+};
+
+Store::Store() : impl_(std::make_unique<Impl>()) {}
+
+Store::~Store() {
+  Close();  // best effort; failures already surfaced or never will be
+}
+
+// ---- Open -------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<Store>> Store::Open(const Options& options,
+                                             const std::string& path) {
+  if (options.num_units == 0)
+    return Status::InvalidArgument("num_units must be > 0");
+  if (options.fanout < 2)
+    return Status::InvalidArgument("fanout must be >= 2");
+  if (options.background_threads == 0)
+    return Status::InvalidArgument("background_threads must be > 0");
+  if (options.ingest_threads == 0)
+    return Status::InvalidArgument("ingest_threads must be > 0");
+  if (!options.in_memory && path.empty())
+    return Status::InvalidArgument("path must be non-empty (or set in_memory)");
+  if (options.checkpoint_every > 0 && (!options.enable_wal || options.in_memory))
+    return Status::InvalidArgument(
+        "checkpoint_every requires enable_wal on a durable store (the "
+        "background protocol fences against the WAL shards)");
+
+  // The fault injector is process-global; make sure a handle that never
+  // reaches its armed boundary (failed Open, early Close) cannot leave
+  // the countdown live to poison an unrelated later Store.
+  struct FaultGuard {
+    bool active = false;
+    ~FaultGuard() {
+      if (active) persist::fault_disarm();
+    }
+  } fault_guard;
+  if (options.crash_at > 0) {
+    persist::fault_arm(options.crash_at);
+    fault_guard.active = true;
+  }
+
+  std::unique_ptr<Store> store(new Store());
+  Impl& im = *store->impl_;
+  im.opts = options;
+
+  core::Config cfg;
+  cfg.num_units = options.num_units;
+  cfg.fanout = options.fanout;
+  cfg.seed = options.seed;
+
+  if (options.in_memory) {
+    try {
+      im.core = std::make_unique<core::SmartStore>(cfg);
+      im.core->build({});
+    } catch (const std::exception& e) {
+      return Status::Unknown(e.what());
+    }
+    fault_guard.active = false;  // the live handle owns the countdown now
+    return store;
+  }
+
+  im.dir = path;
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec)
+    return Status::IOError("cannot create " + path + ": " + ec.message());
+
+  // The LOCK file: two handles on one data directory would interleave WAL
+  // shards and race checkpoints silently. flock is per open file
+  // description, so this also catches a double-open within one process.
+  Status ls = im.lock.Acquire(path);
+  if (!ls.ok()) return ls;
+
+  const std::string snap = persist::snapshot_path(path);
+  const bool have_snapshot = std::filesystem::exists(snap, ec);
+
+  if (have_snapshot && options.error_if_exists) {
+    return Status::InvalidArgument("deployment already exists: " + path);
+  }
+
+  if (have_snapshot) {
+    persist::RecoveryResult rec;
+    Status rs = persist::recover(path, &rec);
+    if (!rs.ok()) return rs;
+    im.core = std::move(rec.store);
+    im.recovery.recovered = true;
+    im.recovery.wal_records = rec.wal_records;
+    im.recovery.wal_blocks = rec.wal_blocks;
+    im.recovery.wal_fenced = rec.wal_fenced;
+    im.recovery.wal_shards = rec.wal_shards;
+    im.recovery.wal_tail_torn = rec.wal_tail_torn;
+  } else {
+    if (!options.create_if_missing)
+      return Status::NotFound("no snapshot in " + path);
+    try {
+      im.core = std::make_unique<core::SmartStore>(cfg);
+      im.core->build({});
+      // A deployment that crashed before its first checkpoint has WAL
+      // records but no snapshot; their base image is exactly the empty
+      // build above (assuming the same Options), so the full log replays.
+      const bool logs_exist =
+          std::filesystem::exists(persist::wal_path(path), ec) ||
+          std::filesystem::is_directory(
+              persist::ShardedWal::shard_dir(path), ec);
+      if (logs_exist) {
+        persist::RecoveryResult rec;
+        persist::replay_dir_logs(*im.core, path, persist::WalFence{}, rec);
+        im.recovery.recovered = rec.wal_records > 0;
+        im.recovery.wal_records = rec.wal_records;
+        im.recovery.wal_blocks = rec.wal_blocks;
+        im.recovery.wal_shards = rec.wal_shards;
+        im.recovery.wal_tail_torn = rec.wal_tail_torn;
+      }
+    } catch (const persist::FaultInjected& e) {
+      // FaultInjected IS-A PersistError (default code kCorruption): catch
+      // it first or a simulated power cut masquerades as corruption.
+      return Status::FaultInjected(e.what());
+    } catch (const persist::PersistError& e) {
+      return map_persist_error(e);
+    } catch (const util::BinaryIoError& e) {
+      return Status::Corruption(e.what());
+    } catch (const std::exception& e) {
+      return Status::Unknown(e.what());
+    }
+  }
+
+  if (options.enable_wal) {
+    try {
+      im.wal = std::make_unique<persist::ShardedWal>(
+          path, im.core->units().size(),
+          options.group_commit > 0 ? options.group_commit
+                                   : im.core->config().version_ratio);
+      // The checkpointer (and its thread pool) is eager only when the
+      // cadence needs it from the first mutation; an explicit
+      // Checkpoint() call creates it lazily instead.
+      if (options.checkpoint_every > 0) {
+        std::lock_guard<std::mutex> ck(im.ckpt_mu);
+        im.ensure_checkpointer();
+      }
+    } catch (const persist::FaultInjected& e) {
+      return Status::FaultInjected(e.what());  // before the PersistError
+    } catch (const persist::PersistError& e) {  // catch: IS-A relationship
+      return map_persist_error(e);
+    } catch (const std::exception& e) {
+      return Status::IOError(e.what());
+    }
+  }
+  fault_guard.active = false;  // the live handle owns the countdown now
+  return store;
+}
+
+// ---- bulk load --------------------------------------------------------------
+
+Status Store::Bulkload(const std::vector<metadata::FileMetadata>& files) {
+  std::unique_lock<std::shared_mutex> ex(impl_->lifecycle_mu);
+  Status gate = impl_->check_serving();
+  if (!gate.ok()) return gate;
+  if (impl_->core->total_files() != 0) {
+    return Status::FailedPrecondition(
+        "Bulkload requires an empty store (build() is a whole-deployment "
+        "operation); open a fresh directory or use Put/Write");
+  }
+  try {
+    impl_->core->build(files);
+    // Checkpoint before returning (durable stores): Bulkload is not
+    // WAL-logged, and the no-snapshot recovery path assumes a log's base
+    // image is the EMPTY build — if the population were not snapshotted
+    // here, a crash before the first explicit Checkpoint would silently
+    // replay later Puts onto an empty store and drop the bulkload.
+    // build() already dwarfs this snapshot's cost. We hold the exclusive
+    // lifecycle lock, so the quiesced flavour applies.
+    if (impl_->durable() && !files.empty()) {
+      if (impl_->wal) {
+        persist::checkpoint(*impl_->core, impl_->dir, *impl_->wal);
+      } else {
+        persist::checkpoint(*impl_->core, impl_->dir);
+      }
+    }
+    return Status::OK();
+  } catch (const persist::FaultInjected& e) {
+    impl_->crash();  // safe under the exclusive lock: needs only ckpt_mu
+    return Status::FaultInjected(e.what());
+  } catch (const persist::PersistError& e) {
+    return map_persist_error(e);
+  } catch (const std::exception& e) {
+    return Status::Unknown(e.what());
+  }
+}
+
+// ---- mutations --------------------------------------------------------------
+
+Status Store::Put(const metadata::FileMetadata& file) {
+  std::shared_lock<std::shared_mutex> lk(impl_->lifecycle_mu);
+  Status gate = impl_->check_serving();
+  if (!gate.ok()) return gate;
+  try {
+    impl_->insert_one(file);
+    impl_->puts.fetch_add(1, std::memory_order_relaxed);
+    impl_->note_mutations(1);
+    return Status::OK();
+  } catch (const persist::FaultInjected& e) {
+    impl_->crash();  // safe under the shared lock: needs only ckpt_mu
+    return Status::FaultInjected(e.what());
+  } catch (const persist::PersistError& e) {
+    return map_persist_error(e);
+  } catch (const std::exception& e) {
+    return Status::Unknown(e.what());
+  }
+}
+
+Status Store::Delete(const std::string& name) {
+  if (name.empty()) return Status::InvalidArgument("empty filename");
+  std::shared_lock<std::shared_mutex> lk(impl_->lifecycle_mu);
+  Status gate = impl_->check_serving();
+  if (!gate.ok()) return gate;
+  try {
+    const bool existed = impl_->erase_one(name);
+    if (!existed) return Status::NotFound("no file named '" + name + "'");
+    impl_->deletes.fetch_add(1, std::memory_order_relaxed);
+    impl_->note_mutations(1);
+    return Status::OK();
+  } catch (const persist::FaultInjected& e) {
+    impl_->crash();  // safe under the shared lock: needs only ckpt_mu
+    return Status::FaultInjected(e.what());
+  } catch (const persist::PersistError& e) {
+    return map_persist_error(e);
+  } catch (const std::exception& e) {
+    return Status::Unknown(e.what());
+  }
+}
+
+Status Store::Write(WriteBatch&& batch) {
+  const std::vector<WriteBatch::Op> ops = std::move(batch).release();
+  if (ops.empty()) return Status::OK();
+
+  std::shared_lock<std::shared_mutex> lk(impl_->lifecycle_mu);
+  Status gate = impl_->check_serving();
+  if (!gate.ok()) return gate;
+  try {
+    std::uint64_t applied_puts = 0;
+    std::uint64_t applied_deletes = 0;
+    std::size_t i = 0;
+    while (i < ops.size()) {
+      if (ops[i].type == WriteBatch::OpType::kPut) {
+        std::size_t j = i;
+        while (j < ops.size() && ops[j].type == WriteBatch::OpType::kPut) ++j;
+        impl_->apply_put_run(ops, i, j);
+        applied_puts += j - i;
+        i = j;
+      } else {
+        // A Delete of an absent name inside a batch is not an error — the
+        // batch's contract is "apply what exists", mirroring erase
+        // replay's idempotence.
+        if (impl_->erase_one(ops[i].name)) {
+          ++applied_deletes;
+          impl_->note_mutations(1);
+        }
+        ++i;
+      }
+    }
+    impl_->puts.fetch_add(applied_puts, std::memory_order_relaxed);
+    impl_->deletes.fetch_add(applied_deletes, std::memory_order_relaxed);
+    return Status::OK();
+  } catch (const persist::FaultInjected& e) {
+    impl_->crash();  // safe under the shared lock: needs only ckpt_mu
+    return Status::FaultInjected(e.what());
+  } catch (const persist::PersistError& e) {
+    return map_persist_error(e);
+  } catch (const std::exception& e) {
+    return Status::Unknown(e.what());
+  }
+}
+
+// ---- queries ----------------------------------------------------------------
+
+StatusOr<QueryResult> Store::Query(const QueryRequest& request) {
+  std::shared_lock<std::shared_mutex> lk(impl_->lifecycle_mu);
+  Status gate = impl_->check_serving();
+  if (!gate.ok()) return gate;
+
+  const core::Routing routing =
+      to_core(request.routing.value_or(impl_->opts.routing));
+  try {
+    QueryResult out;
+    if (const auto* p = std::get_if<metadata::PointQuery>(&request.op)) {
+      if (p->filename.empty())
+        return Status::InvalidArgument("point query needs a filename");
+      const core::PointResult r =
+          impl_->core->point_query(*p, routing, 0.0);
+      out.kind = QueryKind::kPoint;
+      out.found = r.found;
+      out.id = r.id;
+      out.unit = r.unit;
+      out.first_try = r.first_try;
+      out.stats = to_public(r.stats);
+      impl_->point_queries.fetch_add(1, std::memory_order_relaxed);
+      if (r.found) impl_->point_hits.fetch_add(1, std::memory_order_relaxed);
+    } else if (const auto* rq =
+                   std::get_if<metadata::RangeQuery>(&request.op)) {
+      if (rq->dims.empty())
+        return Status::InvalidArgument("range query needs >= 1 dimension");
+      if (rq->lo.size() != rq->dims.size() ||
+          rq->hi.size() != rq->dims.size()) {
+        return Status::InvalidArgument(
+            "range query lo/hi must match the dimension subset");
+      }
+      const core::RangeResult r = impl_->core->range_query(*rq, routing, 0.0);
+      out.kind = QueryKind::kRange;
+      out.ids = r.ids;
+      out.stats = to_public(r.stats);
+      impl_->range_queries.fetch_add(1, std::memory_order_relaxed);
+      if (!r.ids.empty())
+        impl_->range_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      const auto& tq = std::get<metadata::TopKQuery>(request.op);
+      if (tq.k == 0) return Status::InvalidArgument("top-k query needs k > 0");
+      if (tq.dims.empty())
+        return Status::InvalidArgument("top-k query needs >= 1 dimension");
+      if (tq.point.size() != tq.dims.size()) {
+        return Status::InvalidArgument(
+            "top-k query point must match the dimension subset");
+      }
+      const core::TopKResult r = impl_->core->topk_query(tq, routing, 0.0);
+      out.kind = QueryKind::kTopK;
+      out.hits = r.hits;
+      out.ids = r.ids();
+      out.stats = to_public(r.stats);
+      impl_->topk_queries.fetch_add(1, std::memory_order_relaxed);
+      if (!r.hits.empty())
+        impl_->topk_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    return out;
+  } catch (const std::exception& e) {
+    return Status::Unknown(e.what());
+  }
+}
+
+// ---- durability control -----------------------------------------------------
+
+Status Store::Flush() {
+  std::shared_lock<std::shared_mutex> lk(impl_->lifecycle_mu);
+  Status gate = impl_->check_serving();
+  if (!gate.ok()) return gate;
+  if (!impl_->durable())
+    return Status::FailedPrecondition("ephemeral store has no WAL");
+  if (!impl_->wal) return Status::OK();  // durable but unlogged: no-op
+  try {
+    impl_->wal->commit_all();
+    return Status::OK();
+  } catch (const persist::FaultInjected& e) {
+    impl_->crash();  // safe under the shared lock: needs only ckpt_mu
+    return Status::FaultInjected(e.what());
+  } catch (const persist::PersistError& e) {
+    return map_persist_error(e);
+  } catch (const std::exception& e) {
+    return Status::Unknown(e.what());
+  }
+}
+
+Status Store::Checkpoint() {
+  // Background path: serving threads keep running; all checkpointer
+  // interaction serialized under ckpt_mu (released by unwinding before
+  // the catch blocks run, so crash() never sees it held).
+  {
+    std::shared_lock<std::shared_mutex> lk(impl_->lifecycle_mu);
+    Status gate = impl_->check_serving();
+    if (!gate.ok()) return gate;
+    if (!impl_->durable())
+      return Status::FailedPrecondition("ephemeral store cannot checkpoint");
+    if (impl_->wal) {
+      try {
+        std::lock_guard<std::mutex> ck(impl_->ckpt_mu);
+        if (!impl_->deferred_ckpt_error.ok()) {
+          // A failure an introspection drain parked earlier: surface it
+          // once instead of silently checkpointing over it.
+          Status s = impl_->deferred_ckpt_error;
+          impl_->deferred_ckpt_error = Status::OK();
+          return s;
+        }
+        impl_->ensure_checkpointer();
+        impl_->bg->wait();     // drain (and surface) any in-flight run
+        impl_->bg->trigger();  // cannot race: all triggers hold ckpt_mu
+        impl_->bg->wait();
+        impl_->mutations_since_ckpt.store(0, std::memory_order_relaxed);
+        return Status::OK();
+      } catch (const persist::FaultInjected& e) {
+        impl_->crash();  // ckpt_mu was released by the unwind above
+        return Status::FaultInjected(e.what());
+      } catch (const persist::PersistError& e) {
+        return map_persist_error(e);
+      } catch (const std::exception& e) {
+        return Status::Unknown(e.what());
+      }
+    }
+  }
+
+  // No WAL: the stop-the-world flavour, quiesced by excluding every facade
+  // operation for the duration.
+  std::unique_lock<std::shared_mutex> ex(impl_->lifecycle_mu);
+  Status gate = impl_->check_serving();
+  if (!gate.ok()) return gate;
+  try {
+    persist::checkpoint(*impl_->core, impl_->dir);
+    return Status::OK();
+  } catch (const persist::FaultInjected& e) {
+    impl_->crash();  // safe under the exclusive lock: needs only ckpt_mu
+    return Status::FaultInjected(e.what());
+  } catch (const persist::PersistError& e) {
+    return map_persist_error(e);
+  } catch (const std::exception& e) {
+    return Status::Unknown(e.what());
+  }
+}
+
+// ---- introspection ----------------------------------------------------------
+
+const RecoveryInfo& Store::recovery_info() const { return impl_->recovery; }
+const Options& Store::options() const { return impl_->opts; }
+const std::string& Store::path() const { return impl_->dir; }
+
+CheckpointInfo Store::GetCheckpointInfo() const {
+  // Lifecycle shared FIRST: Close/Abandon reset bg/wal under the
+  // exclusive lock, so every introspection path that dereferences them
+  // must hold it shared — otherwise this races a concurrent Close into a
+  // use-after-free. ckpt_mu nests inside (same order as Checkpoint()).
+  std::shared_lock<std::shared_mutex> lk(impl_->lifecycle_mu);
+  return impl_->checkpoint_info_locked();
+}
+
+bool Store::GetProperty(const std::string& name, std::string* value) {
+  if (!value) return false;
+  Impl& im = *impl_;
+
+  auto u64 = [&](std::uint64_t v) {
+    *value = std::to_string(v);
+    return true;
+  };
+
+  // Counter / WAL / snapshot / checkpoint properties: cheap reads, but
+  // still under the shared lifecycle lock — Close() frees the WAL and
+  // checkpointer under the exclusive lock, and these dereference them.
+  {
+    std::shared_lock<std::shared_mutex> lk(im.lifecycle_mu);
+
+    if (name == "smartstore.counters.puts") return u64(im.puts.load());
+    if (name == "smartstore.counters.deletes") return u64(im.deletes.load());
+    if (name == "smartstore.counters.point-queries")
+      return u64(im.point_queries.load());
+    if (name == "smartstore.counters.point-hits")
+      return u64(im.point_hits.load());
+    if (name == "smartstore.counters.range-queries")
+      return u64(im.range_queries.load());
+    if (name == "smartstore.counters.range-hits")
+      return u64(im.range_hits.load());
+    if (name == "smartstore.counters.topk-queries")
+      return u64(im.topk_queries.load());
+    if (name == "smartstore.counters.topk-hits")
+      return u64(im.topk_hits.load());
+
+    // WAL frontier properties: the sharded writer is internally locked.
+    if (name == "smartstore.wal.shards")
+      return u64(im.wal ? im.wal->num_shards() : 0);
+    if (name == "smartstore.wal.next-seq")
+      return u64(im.wal ? im.wal->next_seq() : 0);
+    if (name == "smartstore.wal.committed-records") {
+      std::uint64_t total = 0;
+      if (im.wal) {
+        for (std::size_t s = 0; s < im.wal->num_shards(); ++s)
+          total += im.wal->committed_records(s);
+      }
+      return u64(total);
+    }
+    if (name == "smartstore.wal.frontier") {
+      if (!im.wal) {
+        *value = "";
+        return true;
+      }
+      // One "shard:generation:committed+pending" triple per shard that
+      // has taken a record (display format — machine consumers should use
+      // the numeric wal.* properties above).
+      std::string out;
+      for (std::size_t s = 0; s < im.wal->num_shards(); ++s) {
+        const std::uint64_t committed = im.wal->committed_records(s);
+        const std::uint64_t pending = im.wal->pending_records(s);
+        if (committed == 0 && pending == 0) continue;
+        if (!out.empty()) out += ' ';
+        out += std::to_string(s) + ':' +
+               std::to_string(im.wal->generation(s)) + ':' +
+               std::to_string(committed) + '+' + std::to_string(pending);
+      }
+      *value = out;
+      return true;
+    }
+
+    if (name == "smartstore.snapshot.path") {
+      if (im.dir.empty()) return false;
+      *value = persist::snapshot_path(im.dir);
+      return true;
+    }
+    if (name == "smartstore.snapshot.bytes") {
+      if (im.dir.empty()) return false;
+      std::error_code ec;
+      const auto sz =
+          std::filesystem::file_size(persist::snapshot_path(im.dir), ec);
+      return !ec && u64(static_cast<std::uint64_t>(sz));
+    }
+
+    // Checkpoint properties route through the drain in
+    // checkpoint_info_locked (we already hold the shared lock it needs).
+    if (name.rfind("smartstore.checkpoints.", 0) == 0) {
+      const CheckpointInfo info = im.checkpoint_info_locked();
+      if (name == "smartstore.checkpoints.completed")
+        return u64(info.completed);
+      if (name == "smartstore.checkpoints.mutations-during")
+        return u64(info.total_mutations_during);
+      if (name == "smartstore.checkpoints.cow-copies")
+        return u64(info.total_cow_copies);
+      if (name == "smartstore.checkpoints.last-snapshot-bytes")
+        return u64(info.last_snapshot_bytes);
+      return false;
+    }
+  }
+
+  // Structural / space properties read state the core exposes
+  // quiesced-only: exclude every facade operation for the read. Gate on
+  // the known-name set FIRST — an unknown or mistyped property must
+  // return false without ever escalating to the stop-the-world lock.
+  const bool structural =
+      name == "smartstore.total-files" || name == "smartstore.num-units" ||
+      name == "smartstore.tree-height" || name == "smartstore.tree-groups" ||
+      name == "smartstore.index-units" || name == "smartstore.invariants-ok";
+  const bool space_prop = name == "smartstore.space.metadata-bytes" ||
+                          name == "smartstore.space.index-bytes" ||
+                          name == "smartstore.space.replica-bytes" ||
+                          name == "smartstore.space.version-bytes" ||
+                          name == "smartstore.space.total-bytes";
+  if (!structural && !space_prop) return false;
+
+  std::unique_lock<std::shared_mutex> ex(im.lifecycle_mu);
+  if (name == "smartstore.total-files") return u64(im.core->total_files());
+  if (name == "smartstore.num-units") return u64(im.core->units().size());
+  if (name == "smartstore.tree-height")
+    return u64(static_cast<std::uint64_t>(im.core->tree().height()));
+  if (name == "smartstore.tree-groups")
+    return u64(im.core->tree().groups().size());
+  if (name == "smartstore.index-units") return u64(im.core->tree().num_nodes());
+  if (name == "smartstore.invariants-ok") {
+    *value = im.core->check_invariants() ? "1" : "0";
+    return true;
+  }
+  const core::SmartStore::SpaceBreakdown space = im.core->avg_unit_space();
+  if (name == "smartstore.space.metadata-bytes")
+    return u64(space.metadata_bytes);
+  if (name == "smartstore.space.index-bytes") return u64(space.index_bytes);
+  if (name == "smartstore.space.replica-bytes") return u64(space.replica_bytes);
+  if (name == "smartstore.space.version-bytes") return u64(space.version_bytes);
+  return u64(space.total());
+}
+
+SpaceInfo Store::GetSpaceInfo() {
+  // One quiesced read, one avg_unit_space() walk — the typed alternative
+  // to five separate smartstore.space.* property round-trips.
+  std::unique_lock<std::shared_mutex> ex(impl_->lifecycle_mu);
+  const core::SmartStore::SpaceBreakdown space =
+      impl_->core->avg_unit_space();
+  SpaceInfo info;
+  info.metadata_bytes = space.metadata_bytes;
+  info.index_bytes = space.index_bytes;
+  info.replica_bytes = space.replica_bytes;
+  info.version_bytes = space.version_bytes;
+  info.total_bytes = space.total();
+  return info;
+}
+
+// ---- lifecycle --------------------------------------------------------------
+
+Status Store::Close() {
+  std::unique_lock<std::shared_mutex> ex(impl_->lifecycle_mu);
+  Impl& im = *impl_;
+  if (im.closed) return Status::OK();
+  im.closed = true;
+
+  Status result = Status::OK();
+  const bool crashed = im.crashed.load(std::memory_order_acquire);
+  // Exclusive lock held: no ckpt_mu needed for the deferred slot or bg.
+  if (!im.deferred_ckpt_error.ok()) {
+    result = im.deferred_ckpt_error;
+    im.deferred_ckpt_error = Status::OK();
+  }
+  if (im.bg) {
+    try {
+      im.bg->wait();  // drain the in-flight checkpoint before anything
+    } catch (const persist::FaultInjected& e) {  // it references goes away
+      im.crashed.store(true, std::memory_order_release);
+      if (im.wal) im.wal->abandon();
+      result = Status::FaultInjected(e.what());
+    } catch (const persist::PersistError& e) {
+      if (result.ok()) result = map_persist_error(e);
+    } catch (const std::exception& e) {
+      if (result.ok()) result = Status::Unknown(e.what());
+    }
+  }
+  if (im.wal && !crashed && !im.crashed.load(std::memory_order_acquire)) {
+    try {
+      im.wal->commit_all();  // acknowledged-but-unflushed tail -> durable
+    } catch (const persist::FaultInjected& e) {
+      im.crashed.store(true, std::memory_order_release);
+      im.wal->abandon();
+      result = Status::FaultInjected(e.what());
+    } catch (const persist::PersistError& e) {
+      if (result.ok()) result = map_persist_error(e);
+    } catch (const std::exception& e) {
+      if (result.ok()) result = Status::Unknown(e.what());
+    }
+  }
+
+  // Teardown order: the checkpointer references store+wal+pool, the pool
+  // must drain before the objects its queued work touches die, the WAL
+  // holds the shard files, and the LOCK releases last — nothing of this
+  // handle touches the directory afterwards.
+  im.bg.reset();
+  im.pool.reset();
+  im.wal.reset();
+  im.lock.Release();
+  // A countdown this handle armed but never reached must not fire inside
+  // an unrelated later Store (the injector is process-global).
+  if (im.opts.crash_at > 0) persist::fault_disarm();
+  return result;
+}
+
+void Store::Abandon() {
+  std::unique_lock<std::shared_mutex> ex(impl_->lifecycle_mu);
+  Impl& im = *impl_;
+  if (im.closed && !im.crashed.load(std::memory_order_acquire)) {
+    // Already cleanly closed: nothing left to abandon.
+    return;
+  }
+  im.closed = true;
+  im.crashed.store(true, std::memory_order_release);
+  if (im.bg) {
+    try {
+      im.bg->wait();  // a checkpoint that already passed its boundaries
+    } catch (...) {   // lands — "the power dies an instant later"
+    }
+  }
+  if (im.wal) im.wal->abandon();
+  im.bg.reset();
+  im.pool.reset();
+  im.wal.reset();
+  im.lock.Release();
+  if (im.opts.crash_at > 0) persist::fault_disarm();
+}
+
+}  // namespace smartstore::db

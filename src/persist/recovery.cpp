@@ -49,11 +49,8 @@ std::size_t replay(core::SmartStore& store, const WalScan& scan) {
   return scan.records.size();
 }
 
-RecoveryResult recover(const std::string& dir) {
-  RecoveryResult res;
-  WalFence fence;
-  res.store = load_snapshot(snapshot_path(dir), &fence);
-
+void replay_dir_logs(core::SmartStore& store, const std::string& dir,
+                     const WalFence& fence, RecoveryResult& res) {
   // Legacy single log first (a deployment that migrated to the sharded
   // layout may still carry an emptied wal.bin alongside the shard dir).
   const WalScan scan = scan_wal(wal_path(dir));
@@ -66,11 +63,11 @@ RecoveryResult recover(const std::string& dir) {
         std::min<std::uint64_t>(fence.records, scan.records.size()));
   }
   for (std::size_t i = skip; i < scan.records.size(); ++i)
-    apply_record(*res.store, scan.records[i]);
-  res.wal_blocks = scan.blocks;
-  res.wal_records = scan.records.size() - skip;
-  res.wal_fenced = skip;
-  res.wal_tail_torn = scan.torn_tail;
+    apply_record(store, scan.records[i]);
+  res.wal_blocks += scan.blocks;
+  res.wal_records += scan.records.size() - skip;
+  res.wal_fenced += skip;
+  res.wal_tail_torn = res.wal_tail_torn || scan.torn_tail;
 
   // Sharded logs: scan every shard, drop each shard's fenced prefix
   // (matching generations only — a rebased shard replays in full), then
@@ -104,10 +101,53 @@ RecoveryResult recover(const std::string& dir) {
                      [](const WalRecord& a, const WalRecord& b) {
                        return a.seq < b.seq;
                      });
-    for (const WalRecord& rec : merged) apply_record(*res.store, rec);
+    for (const WalRecord& rec : merged) apply_record(store, rec);
     res.wal_records += merged.size();
   }
+}
+
+RecoveryResult recover(const std::string& dir) {
+  RecoveryResult res;
+  WalFence fence;
+  res.store = load_snapshot(snapshot_path(dir), &fence);
+  replay_dir_logs(*res.store, dir, fence, res);
   return res;
+}
+
+db::Status recover(const std::string& dir, RecoveryResult* out) noexcept {
+  *out = RecoveryResult{};
+  try {
+    *out = recover(dir);
+    return db::Status::OK();
+  } catch (const FaultInjected& e) {
+    // IS-A PersistError (default code kCorruption); type it first so a
+    // simulated power cut never reads as on-disk corruption.
+    *out = RecoveryResult{};
+    return db::Status::FaultInjected(e.what());
+  } catch (const PersistError& e) {
+    *out = RecoveryResult{};
+    switch (e.code()) {
+      case PersistError::Code::kNotFound:
+        return db::Status::NotFound(e.what());
+      case PersistError::Code::kIo:
+        return db::Status::IOError(e.what());
+      case PersistError::Code::kCorruption:
+        break;
+    }
+    return db::Status::Corruption(e.what());
+  } catch (const util::BinaryIoError& e) {
+    // The codecs' bounds checks fire on truncated or malformed payloads
+    // inside checksum-valid framing — still corruption, just detected a
+    // layer lower.
+    *out = RecoveryResult{};
+    return db::Status::Corruption(e.what());
+  } catch (const std::filesystem::filesystem_error& e) {
+    *out = RecoveryResult{};
+    return db::Status::IOError(e.what());
+  } catch (const std::exception& e) {
+    *out = RecoveryResult{};
+    return db::Status::Unknown(e.what());
+  }
 }
 
 void checkpoint(const core::SmartStore& store, const std::string& dir,

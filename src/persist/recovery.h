@@ -30,6 +30,7 @@
 #include "core/smartstore.h"
 #include "persist/wal.h"
 #include "persist/wal_shard.h"
+#include "smartstore/status.h"
 
 namespace smartstore::persist {
 
@@ -51,12 +52,31 @@ void apply_record(core::SmartStore& store, const WalRecord& rec);
 /// Replays a scanned log into `store`; returns the number of records applied.
 std::size_t replay(core::SmartStore& store, const WalScan& scan);
 
+/// recover()'s replay half, reusable without a snapshot: replays whatever
+/// logs exist in `dir` (legacy wal.bin and/or the shard logs, merged by
+/// sequence number) into `store`, skipping prefixes `fence` covers, and
+/// accumulates counts into `res`. The db facade uses this to recover a
+/// deployment that crashed before its first checkpoint — the base image is
+/// then the empty store build({}) produces, so the full log replays.
+void replay_dir_logs(core::SmartStore& store, const std::string& dir,
+                     const WalFence& fence, RecoveryResult& res);
+
 /// Loads <dir>/snapshot.bin and replays <dir>/wal.bin and/or the shard
 /// logs under <dir>/wal/ (whichever exist; sharded records are merged by
 /// sequence number). Throws PersistError when the snapshot is missing or
 /// corrupt; a torn WAL tail is not an error (reported in the result,
 /// recovery keeps the prefix).
 RecoveryResult recover(const std::string& dir);
+
+/// Exception-free flavour: the one error path out of recovery, typed.
+/// Every failure mode that used to be a mixed bag of bools and throws maps
+/// onto one Status code — kNotFound (no snapshot in `dir`), kCorruption
+/// (bad magic / checksum / truncated section / malformed record),
+/// kIOError (the OS failed an open/stat/write), kUnknown (anything else).
+/// A torn WAL tail is still NOT an error: recovery keeps the valid prefix
+/// and reports it via out->wal_tail_torn, exactly like the throwing
+/// flavour. On failure `*out` is left default-constructed (no store).
+db::Status recover(const std::string& dir, RecoveryResult* out) noexcept;
 
 /// Snapshots `store` into `dir` (created if needed) and empties `dir`'s
 /// WAL, whose records the snapshot subsumes. Pass the live writer when one

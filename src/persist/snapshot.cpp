@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <mutex>
 #include <utility>
 
@@ -709,6 +710,14 @@ void save_snapshot_frozen(core::SmartStore& store, const std::string& path,
 
 std::unique_ptr<core::SmartStore> load_snapshot(const std::string& path,
                                                 WalFence* fence_out) {
+  // Distinguish "no snapshot" from "unreadable snapshot" up front: the
+  // former is a typed kNotFound (a fresh directory, or a deployment that
+  // never checkpointed), the corruption paths below stay kCorruption.
+  std::error_code exists_ec;
+  if (!std::filesystem::exists(path, exists_ec)) {
+    throw PersistError("snapshot not found: " + path,
+                       PersistError::Code::kNotFound);
+  }
   const std::vector<std::uint8_t> bytes = util::read_file_bytes(path);
   BinaryReader r(bytes);
 

@@ -37,10 +37,24 @@
 namespace smartstore::persist {
 
 /// Raised on any malformed snapshot or WAL: bad magic, unsupported version,
-/// checksum mismatch, truncation, or cross-section inconsistency.
+/// checksum mismatch, truncation, or cross-section inconsistency. Each
+/// error carries a coarse code so exception-free surfaces (the db facade's
+/// Status boundary, recover(dir, out)) can type the failure instead of
+/// string-matching messages: kCorruption is the default (malformed bytes),
+/// kNotFound marks a missing snapshot, kIo an OS-level open/write/stat
+/// failure on otherwise well-formed state.
 class PersistError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  enum class Code { kCorruption, kNotFound, kIo };
+
+  explicit PersistError(const std::string& msg,
+                        Code code = Code::kCorruption)
+      : std::runtime_error(msg), code_(code) {}
+
+  Code code() const { return code_; }
+
+ private:
+  Code code_;
 };
 
 inline constexpr char kSnapshotMagic[8] = {'S', 'S', 'N', 'A',

@@ -247,22 +247,27 @@ void WalWriter::open_truncated_to_valid_prefix() {
       std::error_code size_ec;
       const auto sz = std::filesystem::file_size(path_, size_ec);
       if (size_ec)
-        throw PersistError("cannot stat upgraded WAL: " + size_ec.message());
+        throw PersistError("cannot stat upgraded WAL: " + size_ec.message(),
+                         PersistError::Code::kIo);
       committed_bytes_ = static_cast<std::size_t>(sz);
     } else if (scan.torn_tail) {
       std::error_code ec;
       std::filesystem::resize_file(path_, scan.valid_bytes, ec);
-      if (ec) throw PersistError("cannot drop torn WAL tail: " + ec.message());
+      if (ec)
+      throw PersistError("cannot drop torn WAL tail: " + ec.message(),
+                         PersistError::Code::kIo);
     }
     file_ = std::fopen(path_.c_str(), "ab");
-    if (!file_) throw PersistError("cannot open WAL for append: " + path_);
+    if (!file_) throw PersistError("cannot open WAL for append: " + path_,
+                       PersistError::Code::kIo);
     return;
   }
   // Absent, empty, or torn before the header completed: start fresh.
   generation_ = fresh_wal_generation();
   write_empty_wal(path_, generation_, with_seq_);
   file_ = std::fopen(path_.c_str(), "ab");
-  if (!file_) throw PersistError("cannot open WAL for append: " + path_);
+  if (!file_) throw PersistError("cannot open WAL for append: " + path_,
+                       PersistError::Code::kIo);
   committed_ = 0;
   committed_bytes_ = sizeof(kWalMagic) + 8;
 }
@@ -361,7 +366,8 @@ void WalWriter::commit() {
     if (start >= 0 && ::ftruncate(::fileno(file_), start) == 0)
       std::fseek(file_, start, SEEK_SET);
 #endif
-    throw PersistError("short write appending WAL block: " + path_);
+    throw PersistError("short write appending WAL block: " + path_,
+                       PersistError::Code::kIo);
   }
   try {
     fault_point("wal:commit:pre-sync");
@@ -386,7 +392,8 @@ void WalWriter::reset() {
   ++generation_;  // fences against the old history stop matching
   write_empty_wal(path_, generation_, with_seq_);
   file_ = std::fopen(path_.c_str(), "ab");
-  if (!file_) throw PersistError("cannot reopen WAL after reset: " + path_);
+  if (!file_) throw PersistError("cannot reopen WAL after reset: " + path_,
+                                PersistError::Code::kIo);
   committed_bytes_ = sizeof(kWalMagic) + 8;
 }
 
