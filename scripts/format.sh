@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# clang-format over first-party sources (.clang-format at the root).
+#
+# The gate is INCREMENTAL by policy: only files touched relative to a base
+# ref must be clean, so adopting the formatter never forces a whole-tree
+# reformat commit that buries real history. Pass --all to sweep everything.
+#
+# Usage: scripts/format.sh [--check] [--all]
+#          --check  exit nonzero if anything would change (CI mode)
+#          --all    whole tree instead of the diff vs FORMAT_BASE
+# Env:   CLANG_FORMAT  binary (default: clang-format-18, else clang-format)
+#        FORMAT_BASE   base ref for the diff (default: origin/main, else
+#                      HEAD~1)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FMT_BIN="${CLANG_FORMAT:-}"
+if [[ -z "$FMT_BIN" ]]; then
+  for cand in clang-format-18 clang-format; do
+    if command -v "$cand" >/dev/null 2>&1; then FMT_BIN="$cand"; break; fi
+  done
+fi
+if [[ -z "$FMT_BIN" ]]; then
+  echo "format.sh: clang-format not found; install clang-format-18 or set" >&2
+  echo "           CLANG_FORMAT=..." >&2
+  exit 2
+fi
+
+check=0
+all=0
+for arg in "$@"; do
+  case "$arg" in
+    --check) check=1 ;;
+    --all) all=1 ;;
+    *) echo "format.sh: unknown argument '$arg'" >&2; exit 2 ;;
+  esac
+done
+
+is_source() { [[ "$1" == *.h || "$1" == *.cpp ]]; }
+
+files=()
+if [[ "$all" == 1 ]]; then
+  while IFS= read -r f; do
+    is_source "$f" && files+=("$f")
+  done < <(git ls-files src include tests bench examples)
+else
+  base="${FORMAT_BASE:-}"
+  if [[ -z "$base" ]]; then
+    if git rev-parse --verify -q origin/main >/dev/null; then
+      base=origin/main
+    else
+      base=HEAD~1
+    fi
+  fi
+  while IFS= read -r f; do
+    is_source "$f" && [[ -f "$f" ]] && files+=("$f")
+  done < <(git diff --name-only --diff-filter=d "$base" -- \
+           src include tests bench examples)
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "format.sh: no source files in scope — clean"
+  exit 0
+fi
+
+if [[ "$check" == 1 ]]; then
+  "$FMT_BIN" --dry-run -Werror "${files[@]}"
+  echo "format.sh: clean (${#files[@]} files)"
+else
+  "$FMT_BIN" -i "${files[@]}"
+  echo "format.sh: formatted ${#files[@]} files"
+fi

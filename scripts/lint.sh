@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Static lock-discipline + clang-tidy gate over src/ (the `lint` CI job).
+#
+# Builds the library surface with clang under -Wthread-safety
+# -Werror=thread-safety (wired into smartstore_options for Clang) and runs
+# clang-tidy on every TU via CMAKE_CXX_CLANG_TIDY; .clang-tidy promotes all
+# findings to errors, so a clean exit means a clean tree.
+#
+# Usage: scripts/lint.sh
+# Env:   CLANG_CXX   C++ compiler   (default: clang++-18, else clang++)
+#        CLANG_TIDY  clang-tidy bin (default: clang-tidy-18, else clang-tidy)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# The gate is meaningless under GCC (the TSA macros compile to nothing) and
+# clang-tidy behavior shifts across majors, so pin one and check it.
+PINNED_MAJOR=18
+
+pick() {  # pick <preferred> <fallback>
+  if command -v "$1" >/dev/null 2>&1; then echo "$1"
+  elif command -v "$2" >/dev/null 2>&1; then echo "$2"
+  else echo ""; fi
+}
+
+CXX_BIN="${CLANG_CXX:-$(pick clang++-${PINNED_MAJOR} clang++)}"
+TIDY_BIN="${CLANG_TIDY:-$(pick clang-tidy-${PINNED_MAJOR} clang-tidy)}"
+
+if [[ -z "$CXX_BIN" || -z "$TIDY_BIN" ]]; then
+  echo "lint.sh: needs clang++ and clang-tidy (major ${PINNED_MAJOR});" >&2
+  echo "         install clang-${PINNED_MAJOR} clang-tidy-${PINNED_MAJOR}," >&2
+  echo "         or point CLANG_CXX / CLANG_TIDY at your binaries." >&2
+  exit 2
+fi
+
+tidy_major="$($TIDY_BIN --version | sed -n 's/.*version \([0-9]*\).*/\1/p' | head -1)"
+if [[ "$tidy_major" != "$PINNED_MAJOR" ]]; then
+  echo "lint.sh: clang-tidy major $tidy_major found, ${PINNED_MAJOR} pinned" >&2
+  echo "         (override deliberately with CLANG_TIDY=... if you must)." >&2
+  exit 2
+fi
+
+cmake --preset lint \
+  -DCMAKE_CXX_COMPILER="$CXX_BIN" \
+  -DCMAKE_CXX_CLANG_TIDY="$TIDY_BIN"
+cmake --build --preset lint -j "$(nproc)"
+echo "lint.sh: clean (TSA + clang-tidy, clang major ${PINNED_MAJOR})"

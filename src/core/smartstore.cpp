@@ -40,9 +40,10 @@ std::uint64_t SmartStore::begin_checkpoint(
   // Exclusive: every serving thread is outside its operation, so the epoch
   // cut is a mutation boundary for all of them simultaneously — which is
   // also what makes `while_frozen` the right place to fence the WAL shards.
-  std::unique_lock<std::shared_mutex> ex(structure_mu_);
+  util::WriterLock ex(structure_mu_);
+  std::uint64_t frozen_epoch = 0;
   {
-    std::lock_guard<std::mutex> lock(freeze_.mu);
+    util::MutexLock lock(freeze_.mu);
     assert(!freeze_.active && "one checkpoint at a time");
     freeze_.active = true;
     freeze_.frozen_epoch = epoch_.load(std::memory_order_relaxed);
@@ -72,6 +73,11 @@ std::uint64_t SmartStore::begin_checkpoint(
     freeze_.frozen_sync =
         std::make_unique<std::unordered_map<std::size_t, GroupSync>>(sync_);
     freeze_.sync_state = PieceState::kFrozen;
+    // Copied out under the lock: the post-freeze read at the bottom of
+    // this function used to reach for freeze_.frozen_epoch directly, a
+    // data race with a serializer that finishes (and a writer that begins
+    // the next cycle) between here and the return.
+    frozen_epoch = freeze_.frozen_epoch;
   }
   if (while_frozen) {
     try {
@@ -84,11 +90,11 @@ std::uint64_t SmartStore::begin_checkpoint(
       throw;
     }
   }
-  return freeze_.frozen_epoch;
+  return frozen_epoch;
 }
 
 void SmartStore::end_checkpoint() {
-  std::lock_guard<std::mutex> lock(freeze_.mu);
+  util::MutexLock lock(freeze_.mu);
   freeze_.active = false;
   freeze_.unit_state.clear();
   freeze_.frozen_units.clear();
@@ -98,12 +104,12 @@ void SmartStore::end_checkpoint() {
 }
 
 bool SmartStore::checkpoint_active() const {
-  std::lock_guard<std::mutex> lock(freeze_.mu);
+  util::MutexLock lock(freeze_.mu);
   return freeze_.active;
 }
 
 std::uint64_t SmartStore::checkpoint_cow_copies() const {
-  std::lock_guard<std::mutex> lock(freeze_.mu);
+  util::MutexLock lock(freeze_.mu);
   return freeze_.cow_copies;
 }
 
@@ -116,13 +122,14 @@ void SmartStore::cow_unit_locked(UnitId u) {
 }
 
 void SmartStore::cow_unit(UnitId u) {
-  std::lock_guard<std::mutex> lock(freeze_.mu);
+  unit_mutex(u).assert_held();
+  util::MutexLock lock(freeze_.mu);
   if (!freeze_.active) return;
   cow_unit_locked(u);
 }
 
 void SmartStore::cow_all_units() {
-  std::lock_guard<std::mutex> lock(freeze_.mu);
+  util::MutexLock lock(freeze_.mu);
   if (!freeze_.active) return;
   for (UnitId u = 0; u < freeze_.unit_state.size(); ++u) cow_unit_locked(u);
 }
@@ -134,7 +141,7 @@ void SmartStore::rebuild_unit_locks() {
   // unique_ptrs.
   unit_mu_.resize(units_.size());
   for (auto& mu : unit_mu_)
-    if (!mu) mu = std::make_unique<std::mutex>();
+    if (!mu) mu = std::make_unique<util::Mutex>(util::LockRank::kUnit);
 }
 
 la::Vector SmartStore::std_coords(const FileMetadata& f) const {
@@ -146,7 +153,7 @@ void SmartStore::build(const std::vector<FileMetadata>& files) {
   // checkpoint serializer are excluded for the duration, and any units
   // still pending in an active freeze are copied first (the structures
   // were captured eagerly at freeze time).
-  std::unique_lock<std::shared_mutex> ex(structure_mu_);
+  util::WriterLock ex(structure_mu_);
   epoch_.fetch_add(1, std::memory_order_relaxed);
   cow_all_units();
   standardizer_ = fit_standardizer(files);
@@ -413,13 +420,13 @@ std::vector<SmartStore::RankedGroup> SmartStore::rank_groups_range(
   for (std::size_t g : t.groups()) {
     rtree::Mbr box;
     if (main_tree) {
-      const auto guard = maybe_lock(&stripes_, &sync_.at(g));
+      const auto guard = maybe_lock(&sync_stripes_, &sync_.at(g));
       const GroupSync& gs = sync_.at(g);
       version_cost += static_cast<double>(gs.replica.versions.size()) *
                       cfg_.cost.per_bloom_check_s;
       box = gs.replica.effective_box(cfg_.versioning_enabled);
     } else {
-      const auto guard = maybe_lock(&stripes_, &t.node(g));
+      const auto guard = maybe_lock(&summary_stripes_, &t.node(g));
       box = t.node(g).box;  // variants route on fresh summaries
     }
     if (!box_intersects(box, dim_idx, lo, hi)) continue;
@@ -450,13 +457,13 @@ std::vector<SmartStore::RankedGroup> SmartStore::rank_groups_topk(
   for (std::size_t g : t.groups()) {
     rtree::Mbr box;
     if (main_tree) {
-      const auto guard = maybe_lock(&stripes_, &sync_.at(g));
+      const auto guard = maybe_lock(&sync_stripes_, &sync_.at(g));
       const GroupSync& gs = sync_.at(g);
       version_cost += static_cast<double>(gs.replica.versions.size()) *
                       cfg_.cost.per_bloom_check_s;
       box = gs.replica.effective_box(cfg_.versioning_enabled);
     } else {
-      const auto guard = maybe_lock(&stripes_, &t.node(g));
+      const auto guard = maybe_lock(&summary_stripes_, &t.node(g));
       box = t.node(g).box;
     }
     out.push_back({g, box_min_dist2(box, dim_idx, std_point)});
@@ -484,7 +491,7 @@ std::size_t SmartStore::best_group_for_vector(const la::Vector& raw) const {
       // projection (the expensive part) runs outside it.
       la::Vector c;
       {
-        const auto guard = maybe_lock(&stripes_, &sync_.at(g));
+        const auto guard = maybe_lock(&sync_stripes_, &sync_.at(g));
         c = sync_.at(g).replica.effective_centroid(cfg_.versioning_enabled);
       }
       sim = lsi::LsiModel::similarity(q, model.project(tree_.restrict_dims(c)));
@@ -500,6 +507,7 @@ std::size_t SmartStore::best_group_for_vector(const la::Vector& raw) const {
 // ---- versioning / sync ------------------------------------------------------
 
 void SmartStore::seal_version(std::size_t g, double now, sim::Session* session) {
+  sync_stripes_.assert_held(&sync_.at(g));
   GroupSync& gs = sync_.at(g);
   if (gs.pending.empty()) return;
   gs.pending.sealed_at = now;
@@ -538,7 +546,7 @@ void SmartStore::full_sync_group(std::size_t g, sim::Session* session) {
   rtree::Mbr box;
   bloom::BloomFilter name_filter;
   {
-    const auto node_guard = maybe_lock(&stripes_, &n);
+    const auto node_guard = maybe_lock(&summary_stripes_, &n);
     centroid = n.centroid_raw();
     attr_sum = n.attr_sum;
     file_count = n.file_count;
@@ -546,7 +554,7 @@ void SmartStore::full_sync_group(std::size_t g, sim::Session* session) {
     name_filter = n.name_filter;
   }
   {
-    const auto sync_guard = maybe_lock(&stripes_, &sync_.at(g));
+    const auto sync_guard = maybe_lock(&sync_stripes_, &sync_.at(g));
     GroupSync& gs = sync_.at(g);
     gs.replica.centroid_raw = std::move(centroid);
     gs.replica.attr_sum = std::move(attr_sum);
@@ -573,6 +581,7 @@ void SmartStore::full_sync_group(std::size_t g, sim::Session* session) {
 
 bool SmartStore::after_group_change(std::size_t g, double now,
                                     sim::Session* session) {
+  sync_stripes_.assert_held(&sync_.at(g));
   GroupSync& gs = sync_.at(g);
   ++gs.changes_since_full_sync;
 
@@ -591,7 +600,7 @@ bool SmartStore::after_group_change(std::size_t g, double now,
 }
 
 void SmartStore::reconfigure() {
-  std::unique_lock<std::shared_mutex> ex(structure_mu_);
+  util::WriterLock ex(structure_mu_);
   epoch_.fetch_add(1, std::memory_order_relaxed);
   for (std::size_t g : tree_.groups()) full_sync_group(g, nullptr);
 }
@@ -601,7 +610,7 @@ void SmartStore::reconfigure() {
 QueryStats SmartStore::insert_file(const FileMetadata& f, double arrival,
                                    const WalHook& logged,
                                    const WalFlush& flushed) {
-  std::shared_lock<std::shared_mutex> shared(structure_mu_);
+  util::ReaderLock shared(structure_mu_);
   return insert_file_impl(f, arrival, logged, flushed);
 }
 
@@ -610,7 +619,7 @@ std::vector<QueryStats> SmartStore::insert_batch(
     const WalHook& logged, const WalFlush& flushed) {
   std::vector<QueryStats> out;
   out.reserve(files.size());
-  std::shared_lock<std::shared_mutex> shared(structure_mu_);
+  util::ReaderLock shared(structure_mu_);
   for (const FileMetadata& f : files)
     out.push_back(insert_file_impl(f, arrival, logged, flushed));
   return out;
@@ -652,7 +661,7 @@ QueryStats SmartStore::insert_file_impl(const FileMetadata& f, double arrival,
     const UnitId u = group.children[(start + k) % nchild];
     std::size_t count;
     {
-      const std::lock_guard<std::mutex> guard(unit_mutex(u));
+      const util::MutexLock guard(unit_mutex(u));
       count = units_[u].file_count();
     }
     if (count < target_count) {
@@ -672,7 +681,7 @@ QueryStats SmartStore::insert_file_impl(const FileMetadata& f, double arrival,
   // ancestor stripes and the group sync stripe all reuse it.
   const bloom::ItemHash name_hash = bloom::hash_item(f.name);
   {
-    const std::lock_guard<std::mutex> guard(unit_mutex(target));
+    const util::MutexLock guard(unit_mutex(target));
     if (logged) logged(target);
     cow_unit(target);
     units_[target].add_file(f, std);
@@ -683,14 +692,14 @@ QueryStats SmartStore::insert_file_impl(const FileMetadata& f, double arrival,
   // Ancestor summaries widen one stripe at a time (child before parent);
   // readers meanwhile see a box/filter that is at worst transiently
   // narrower up the path, the same staleness replicas already exhibit.
-  tree_.on_file_inserted(target, raw, std, f.name, &stripes_, &name_hash);
+  tree_.on_file_inserted(target, raw, std, f.name, &summary_stripes_, &name_hash);
   for (auto& v : variants_)
-    v.tree.on_file_inserted(target, raw, std, f.name, &stripes_, &name_hash);
+    v.tree.on_file_inserted(target, raw, std, f.name, &summary_stripes_, &name_hash);
   total_files_.fetch_add(1, std::memory_order_relaxed);
 
   bool want_full_sync;
   {
-    const auto guard = maybe_lock(&stripes_, &sync_.at(g));
+    const auto guard = maybe_lock(&sync_stripes_, &sync_.at(g));
     GroupSync& gs = sync_.at(g);
     gs.pending.added_box.expand(std);
     gs.pending.added_names.insert(name_hash);
@@ -712,7 +721,7 @@ QueryStats SmartStore::insert_file_impl(const FileMetadata& f, double arrival,
 
 std::optional<QueryStats> SmartStore::delete_file(const std::string& name,
                                                   double arrival) {
-  std::shared_lock<std::shared_mutex> shared(structure_mu_);
+  util::ReaderLock shared(structure_mu_);
   PointResult located = point_query_impl({name}, Routing::kOffline, arrival);
   if (!located.found) return std::nullopt;
 
@@ -730,7 +739,7 @@ bool SmartStore::remove_located(UnitId u, FileId id, double now,
   epoch_.fetch_add(1, std::memory_order_relaxed);
   la::Vector raw;
   {
-    const std::lock_guard<std::mutex> guard(unit_mutex(u));
+    const util::MutexLock guard(unit_mutex(u));
     if (!units_[u].find_by_id(id)) return false;  // lost a delete race
     if (logged) logged(u);
     cow_unit(u);
@@ -739,14 +748,14 @@ bool SmartStore::remove_located(UnitId u, FileId id, double now,
     raw = removed->full_vector();
   }
   if (flushed) flushed(u);
-  tree_.on_file_removed(u, raw, &stripes_);
-  for (auto& v : variants_) v.tree.on_file_removed(u, raw, &stripes_);
+  tree_.on_file_removed(u, raw, &summary_stripes_);
+  for (auto& v : variants_) v.tree.on_file_removed(u, raw, &summary_stripes_);
   total_files_.fetch_sub(1, std::memory_order_relaxed);
 
   const std::size_t g = tree_.group_of_unit(u);
   bool want_full_sync;
   {
-    const auto guard = maybe_lock(&stripes_, &sync_.at(g));
+    const auto guard = maybe_lock(&sync_stripes_, &sync_.at(g));
     GroupSync& gs = sync_.at(g);
     gs.pending.deleted.push_back(id);
     want_full_sync = after_group_change(g, now, session);
@@ -757,7 +766,7 @@ bool SmartStore::remove_located(UnitId u, FileId id, double now,
 
 bool SmartStore::erase_file(const std::string& name, const WalHook& logged,
                             const WalFlush& flushed) {
-  std::shared_lock<std::shared_mutex> shared(structure_mu_);
+  util::ReaderLock shared(structure_mu_);
   return erase_file_impl(name, logged, flushed);
 }
 
@@ -769,7 +778,7 @@ bool SmartStore::erase_file_impl(const std::string& name,
     FileId id = 0;
     bool found = false;
     {
-      const std::lock_guard<std::mutex> guard(unit_mutex(u));
+      const util::MutexLock guard(unit_mutex(u));
       if (const metadata::FileMetadata* f = units_[u].find_by_name(name)) {
         id = f->id;
         found = true;
@@ -788,7 +797,7 @@ bool SmartStore::erase_file_impl(const std::string& name,
 
 PointResult SmartStore::point_query(const metadata::PointQuery& q,
                                     Routing routing, double arrival) {
-  std::shared_lock<std::shared_mutex> shared(structure_mu_);
+  util::ReaderLock shared(structure_mu_);
   return point_query_impl(q, routing, arrival);
 }
 
@@ -804,7 +813,7 @@ PointResult SmartStore::point_query_impl(const metadata::PointQuery& q,
   // the requester itself stores resolve with zero messages.
   session.visit(cfg_.cost.per_bloom_check_s);
   {
-    const std::lock_guard<std::mutex> guard(unit_mutex(home));
+    const util::MutexLock guard(unit_mutex(home));
     if (units_[home].name_filter().may_contain(qhash)) {
       session.visit(cfg_.cost.per_node_visit_s);
       if (const auto* f = units_[home].find_by_name(q.filename)) {
@@ -828,7 +837,7 @@ PointResult SmartStore::point_query_impl(const metadata::PointQuery& q,
     const IndexUnit& group = tree_.node(g);
     std::vector<sim::Session> branches;
     for (UnitId u : group.children) {
-      const std::lock_guard<std::mutex> guard(unit_mutex(u));
+      const util::MutexLock guard(unit_mutex(u));
       if (!units_[u].name_filter().may_contain(qhash)) continue;
       sim::Session b = session.fork();
       b.send_to(u, kQueryMsgBytes);
@@ -851,7 +860,7 @@ PointResult SmartStore::point_query_impl(const metadata::PointQuery& q,
   // Reads one index unit's filter under its stripe.
   auto node_filter_hit = [&](std::size_t nid) {
     const IndexUnit& n = tree_.node(nid);
-    const auto guard = maybe_lock(&stripes_, &n);
+    const auto guard = maybe_lock(&summary_stripes_, &n);
     return n.name_filter.may_contain(qhash);
   };
 
@@ -908,7 +917,7 @@ PointResult SmartStore::point_query_impl(const metadata::PointQuery& q,
     double version_cost = 0.0;
     std::vector<std::size_t> candidates;
     for (std::size_t g : tree_.groups()) {
-      const auto guard = maybe_lock(&stripes_, &sync_.at(g));
+      const auto guard = maybe_lock(&sync_stripes_, &sync_.at(g));
       const GroupSync& gs = sync_.at(g);
       version_cost += static_cast<double>(gs.replica.versions.size()) *
                       cfg_.cost.per_bloom_check_s;
@@ -955,7 +964,7 @@ PointResult SmartStore::point_query_impl(const metadata::PointQuery& q,
 
 RangeResult SmartStore::range_query(const metadata::RangeQuery& q,
                                     Routing routing, double arrival) {
-  std::shared_lock<std::shared_mutex> shared(structure_mu_);
+  util::ReaderLock shared(structure_mu_);
   return range_query_impl(q, routing, arrival);
 }
 
@@ -985,7 +994,7 @@ RangeResult SmartStore::range_query_impl(const metadata::RangeQuery& q,
     for (UnitId u : group.children) {
       // Box check and scan under one stripe hold: the records and their
       // coordinates stay consistent for the duration of the local scan.
-      const std::lock_guard<std::mutex> guard(unit_mutex(u));
+      const util::MutexLock guard(unit_mutex(u));
       if (!box_intersects(units_[u].box(), dim_idx, lo, hi)) continue;
       sim::Session b = session.fork();
       b.send_to(u, kQueryMsgBytes);
@@ -1026,7 +1035,7 @@ RangeResult SmartStore::range_query_impl(const metadata::RangeQuery& q,
         [&](sim::Session& s, std::size_t nid) {
           const IndexUnit& n = tree_.node(nid);
           {
-            const auto guard = maybe_lock(&stripes_, &n);
+            const auto guard = maybe_lock(&summary_stripes_, &n);
             if (!box_intersects(n.box, dim_idx, lo, hi)) return;
           }
           s.send_to(n.mapped_unit, kQueryMsgBytes);
@@ -1036,7 +1045,7 @@ RangeResult SmartStore::range_query_impl(const metadata::RangeQuery& q,
             const std::size_t before = res.ids.size();
             std::vector<sim::Session> branches;
             for (UnitId u : n.children) {
-              const std::lock_guard<std::mutex> guard(unit_mutex(u));
+              const util::MutexLock guard(unit_mutex(u));
               if (!box_intersects(units_[u].box(), dim_idx, lo, hi)) continue;
               sim::Session b = s.fork();
               b.send_to(u, kQueryMsgBytes);
@@ -1072,7 +1081,7 @@ RangeResult SmartStore::range_query_impl(const metadata::RangeQuery& q,
 
 TopKResult SmartStore::topk_query(const metadata::TopKQuery& q,
                                   Routing routing, double arrival) {
-  std::shared_lock<std::shared_mutex> shared(structure_mu_);
+  util::ReaderLock shared(structure_mu_);
   return topk_query_impl(q, routing, arrival);
 }
 
@@ -1103,7 +1112,7 @@ TopKResult SmartStore::topk_query_impl(const metadata::TopKQuery& q,
     bool contributed = false;
     std::vector<sim::Session> branches;
     for (UnitId u : group.children) {
-      const std::lock_guard<std::mutex> guard(unit_mutex(u));
+      const util::MutexLock guard(unit_mutex(u));
       if (box_min_dist2(units_[u].box(), dim_idx, point) >= max_d() &&
           heap.size() >= q.k)
         continue;
@@ -1146,7 +1155,7 @@ TopKResult SmartStore::topk_query_impl(const metadata::TopKQuery& q,
         [&](sim::Session& s, std::size_t nid) {
           const IndexUnit& n = tree_.node(nid);
           {
-            const auto guard = maybe_lock(&stripes_, &n);
+            const auto guard = maybe_lock(&summary_stripes_, &n);
             if (box_min_dist2(n.box, dim_idx, point) >= max_d() &&
                 heap.size() >= q.k)
               return;
@@ -1159,7 +1168,7 @@ TopKResult SmartStore::topk_query_impl(const metadata::TopKQuery& q,
             bool contributed = false;
             std::vector<sim::Session> branches;
             for (UnitId u : n.children) {
-              const std::lock_guard<std::mutex> guard(unit_mutex(u));
+              const util::MutexLock guard(unit_mutex(u));
               if (box_min_dist2(units_[u].box(), dim_idx, point) >= max_d() &&
                   heap.size() >= q.k)
                 continue;
@@ -1244,7 +1253,7 @@ UnitId SmartStore::add_storage_unit(const StructuralHook& logged) {
   // Exclusive: appending to units_ can reallocate the vector concurrent
   // serving threads and the snapshot serializer index into; any units still
   // pending in an active freeze are copied first.
-  std::unique_lock<std::shared_mutex> ex(structure_mu_);
+  util::WriterLock ex(structure_mu_);
   epoch_.fetch_add(1, std::memory_order_relaxed);
   if (logged) logged();
   cow_all_units();
@@ -1260,7 +1269,7 @@ UnitId SmartStore::add_storage_unit(const StructuralHook& logged) {
 }
 
 void SmartStore::remove_storage_unit(UnitId u, const StructuralHook& logged) {
-  std::unique_lock<std::shared_mutex> ex(structure_mu_);
+  util::WriterLock ex(structure_mu_);
   assert(u < units_.size() && unit_active_[u]);
   epoch_.fetch_add(1, std::memory_order_relaxed);
   if (logged) logged();
@@ -1288,7 +1297,7 @@ void SmartStore::remove_storage_unit(UnitId u, const StructuralHook& logged) {
 
 std::size_t SmartStore::autoconfigure(
     const std::vector<AttrSubset>& candidates, const StructuralHook& logged) {
-  std::unique_lock<std::shared_mutex> ex(structure_mu_);
+  util::WriterLock ex(structure_mu_);
   epoch_.fetch_add(1, std::memory_order_relaxed);
   if (logged) logged();
   variants_.clear();

@@ -43,7 +43,9 @@
 #include "metadata/file_metadata.h"
 #include "metadata/query.h"
 #include "sim/cluster.h"
+#include "util/annotated_mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace smartstore::persist {
 struct SnapshotAccess;  // persistence-layer serialization hook
@@ -162,8 +164,8 @@ class SmartStore {
   // query methods may be called from any number of threads concurrently
   // (multi-writer serving): each takes the structure lock shared, routes
   // under striped summary locks, and mutates only the target unit under
-  // that unit's stripe. The reconfiguration block below and build() are
-  // exclusive and may run concurrently with anything.
+  // that unit's dedicated lock. The reconfiguration block below and
+  // build() are exclusive and may run concurrently with anything.
 
   /// Routes the file to its most correlated group and inserts it into the
   /// least-loaded member unit; updates the tree locally and the
@@ -219,17 +221,27 @@ class SmartStore {
 
   // ---- accessors ---------------------------------------------------------
 
+  // The introspection accessors below are quiesced-only: callers provide
+  // stillness (single-threaded phases, or the db facade's exclusive
+  // GetProperty path), which the type system cannot see — hence the
+  // analysis opt-outs on the ones that touch GUARDED_BY state.
   const Config& config() const { return cfg_; }
   const SemanticRTree& tree() const { return tree_; }
   const std::vector<StorageUnit>& units() const { return units_; }
-  bool unit_active(UnitId u) const { return unit_active_[u]; }
-  const la::RowStandardizer& standardizer() const { return standardizer_; }
+  bool unit_active(UnitId u) const SS_NO_THREAD_SAFETY_ANALYSIS {
+    return unit_active_[u];
+  }
+  const la::RowStandardizer& standardizer() const
+      SS_NO_THREAD_SAFETY_ANALYSIS {
+    return standardizer_;
+  }
   sim::Cluster& cluster() { return *cluster_; }
   const std::vector<TreeVariant>& variants() const { return variants_; }
   std::size_t total_files() const { return total_files_; }
 
-  /// Standardized full-D coordinates of a record.
-  la::Vector std_coords(const metadata::FileMetadata& f) const;
+  /// Standardized full-D coordinates of a record (quiesced-only, as above).
+  la::Vector std_coords(const metadata::FileMetadata& f) const
+      SS_NO_THREAD_SAFETY_ANALYSIS;
 
   // ---- space accounting (Figures 7 and 14a) ------------------------------
 
@@ -244,8 +256,8 @@ class SmartStore {
   };
   /// Space on one storage unit.
   SpaceBreakdown unit_space(UnitId u) const;
-  /// Average space per storage unit.
-  SpaceBreakdown avg_unit_space() const;
+  /// Average space per storage unit (quiesced-only, as above).
+  SpaceBreakdown avg_unit_space() const SS_NO_THREAD_SAFETY_ANALYSIS;
   /// Average attached-version bytes per first-level index unit (Fig. 14a).
   double avg_version_bytes_per_group() const;
 
@@ -260,8 +272,8 @@ class SmartStore {
   // index structures (tree, variants, replica sync — cheap relative to the
   // file records), and returns. Storage units — the bulk of the state —
   // stay live: post-freeze mutators copy a still-unserialized unit on
-  // first write under that unit's stripe, and the background serializer
-  // resolves each unit piece under the same stripe, so neither ever
+  // first write under that unit's lock, and the background serializer
+  // resolves each unit piece under the freeze mutex, so neither ever
   // observes a half-mutated piece. The per-thread query RNG streams never
   // touch the store rng, so the freeze capture of the persisted rng state
   // is deterministic without locking queries out.
@@ -327,40 +339,48 @@ class SmartStore {
   };
 
   struct FreezeState {
-    mutable std::mutex mu;  ///< interlocks COW hooks with the serializer
-    bool active = false;
-    std::uint64_t frozen_epoch = 0;
-    std::uint64_t cow_copies = 0;
-    FrozenCore core;
-    std::vector<PieceState> unit_state;
-    std::vector<std::unique_ptr<StorageUnit>> frozen_units;
-    PieceState tree_state = PieceState::kPending;
-    std::unique_ptr<SemanticRTree> frozen_tree;
-    PieceState variants_state = PieceState::kPending;
-    std::unique_ptr<std::vector<TreeVariant>> frozen_variants;
-    PieceState sync_state = PieceState::kPending;
-    std::unique_ptr<std::unordered_map<std::size_t, GroupSync>> frozen_sync;
+    /// Interlocks COW hooks with the serializer; every other field below
+    /// is GUARDED_BY it (the serializer runs in the persist layer via the
+    /// SnapshotAccess friend, so the annotations police that TU too).
+    mutable util::Mutex mu{util::LockRank::kFreeze};
+    bool active SS_GUARDED_BY(mu) = false;
+    std::uint64_t frozen_epoch SS_GUARDED_BY(mu) = 0;
+    std::uint64_t cow_copies SS_GUARDED_BY(mu) = 0;
+    FrozenCore core SS_GUARDED_BY(mu);
+    std::vector<PieceState> unit_state SS_GUARDED_BY(mu);
+    std::vector<std::unique_ptr<StorageUnit>> frozen_units SS_GUARDED_BY(mu);
+    PieceState tree_state SS_GUARDED_BY(mu) = PieceState::kPending;
+    std::unique_ptr<SemanticRTree> frozen_tree SS_GUARDED_BY(mu);
+    PieceState variants_state SS_GUARDED_BY(mu) = PieceState::kPending;
+    std::unique_ptr<std::vector<TreeVariant>> frozen_variants
+        SS_GUARDED_BY(mu);
+    PieceState sync_state SS_GUARDED_BY(mu) = PieceState::kPending;
+    std::unique_ptr<std::unordered_map<std::size_t, GroupSync>> frozen_sync
+        SS_GUARDED_BY(mu);
   };
 
   /// Lock-held body shared by cow_unit and cow_all_units.
-  void cow_unit_locked(UnitId u);
+  void cow_unit_locked(UnitId u) SS_REQUIRES(freeze_.mu);
 
   /// Copies storage unit `u` into the frozen view if a checkpoint is active
   /// and the unit has not yet been serialized or copied. Caller must hold
-  /// unit `u`'s stripe (the tree/variants/sync structures are captured
-  /// eagerly at freeze time, so units are the only lazily copied pieces).
+  /// unit `u`'s lock (the tree/variants/sync structures are captured
+  /// eagerly at freeze time, so units are the only lazily copied pieces) —
+  /// enforced at runtime via assert_held, since the per-unit locks are
+  /// picked by index and TSA cannot name them.
   void cow_unit(UnitId u);
   /// Freezes every unit still pending: required before structural changes
   /// (unit admission/removal reallocates units_, invalidating the
   /// serializer's view of the live vector). Caller holds the exclusive
-  /// structure lock, which is why no stripes are needed here.
-  void cow_all_units();
+  /// structure lock, which is why no unit locks are needed here.
+  void cow_all_units() SS_REQUIRES(structure_mu_);
   /// Shared removal bookkeeping once a file has been located (unit, id).
-  /// Re-checks existence under the unit stripe (a concurrent delete may
+  /// Re-checks existence under the unit lock (a concurrent delete may
   /// have won); returns whether the removal happened.
   bool remove_located(UnitId u, metadata::FileId id, double now,
                       sim::Session* session, const WalHook& logged,
-                      const WalFlush& flushed);
+                      const WalFlush& flushed)
+      SS_REQUIRES_SHARED(structure_mu_);
 
   // ---- internals ---------------------------------------------------------
   //
@@ -370,15 +390,20 @@ class SmartStore {
   // the shared-acquiring public method would self-deadlock there.
 
   QueryStats insert_file_impl(const metadata::FileMetadata& f, double arrival,
-                              const WalHook& logged, const WalFlush& flushed);
+                              const WalHook& logged, const WalFlush& flushed)
+      SS_REQUIRES_SHARED(structure_mu_);
   bool erase_file_impl(const std::string& name, const WalHook& logged,
-                       const WalFlush& flushed);
+                       const WalFlush& flushed)
+      SS_REQUIRES_SHARED(structure_mu_);
   PointResult point_query_impl(const metadata::PointQuery& q, Routing routing,
-                               double arrival);
+                               double arrival)
+      SS_REQUIRES_SHARED(structure_mu_);
   RangeResult range_query_impl(const metadata::RangeQuery& q, Routing routing,
-                               double arrival);
+                               double arrival)
+      SS_REQUIRES_SHARED(structure_mu_);
   TopKResult topk_query_impl(const metadata::TopKQuery& q, Routing routing,
-                             double arrival);
+                             double arrival)
+      SS_REQUIRES_SHARED(structure_mu_);
 
   /// The calling thread's private RNG stream, lazily seeded from the store
   /// seed and a monotonic stream id — queries draw home units without
@@ -386,21 +411,25 @@ class SmartStore {
   /// single-threaded build/reconfiguration paths and the snapshot).
   util::Rng& thread_rng() const;
 
-  sim::NodeId random_home();
-  void init_sync_state();
+  sim::NodeId random_home() SS_REQUIRES_SHARED(structure_mu_);
+  void init_sync_state() SS_REQUIRES(structure_mu_);
   /// Snapshots group `g`'s current truth into its replica (full sync) and
   /// multicasts it; clears versions. Copies the authoritative node summary
   /// under the node's stripe, then installs it under the group's sync
   /// stripe — never holding two stripes at once.
-  void full_sync_group(std::size_t g, sim::Session* session);
+  void full_sync_group(std::size_t g, sim::Session* session)
+      SS_REQUIRES_SHARED(structure_mu_);
   /// Seals the pending delta into a version and multicasts it. Caller
-  /// holds group `g`'s sync stripe.
-  void seal_version(std::size_t g, double now, sim::Session* session);
+  /// holds group `g`'s sync stripe (asserted at runtime — the stripe is
+  /// hash-picked, so TSA cannot name it).
+  void seal_version(std::size_t g, double now, sim::Session* session)
+      SS_REQUIRES_SHARED(structure_mu_);
   /// Applies the versioning policy after a change to group g (caller holds
-  /// the group's sync stripe); returns true when the lazy-update threshold
-  /// tripped and the caller must run full_sync_group once the stripe is
-  /// released.
-  bool after_group_change(std::size_t g, double now, sim::Session* session);
+  /// the group's sync stripe, asserted at runtime); returns true when the
+  /// lazy-update threshold tripped and the caller must run full_sync_group
+  /// once the stripe is released.
+  bool after_group_change(std::size_t g, double now, sim::Session* session)
+      SS_REQUIRES_SHARED(structure_mu_);
 
   struct RankedGroup {
     std::size_t node_id;
@@ -411,23 +440,28 @@ class SmartStore {
   /// auto-configured variants the fresh node summaries are used.
   std::vector<RankedGroup> rank_groups_range(const SemanticRTree& t,
                                              const metadata::RangeQuery& q,
-                                             double& version_cost) const;
+                                             double& version_cost) const
+      SS_REQUIRES_SHARED(structure_mu_);
   /// Ranks groups of `t` for a top-k query by MBR min-distance.
   std::vector<RankedGroup> rank_groups_topk(const SemanticRTree& t,
                                             const la::Vector& std_point,
                                             const std::vector<std::size_t>&
                                                 dim_idx,
-                                            double& version_cost) const;
+                                            double& version_cost) const
+      SS_REQUIRES_SHARED(structure_mu_);
   /// Ranks groups for an insertion by LSI similarity of centroids.
-  std::size_t best_group_for_vector(const la::Vector& raw) const;
+  std::size_t best_group_for_vector(const la::Vector& raw) const
+      SS_REQUIRES_SHARED(structure_mu_);
 
   /// Standardized query-geometry helpers (full-D boxes, subset dims).
   std::vector<std::size_t> dim_indices(const metadata::AttrSubset& dims) const;
   void standardize_range(const metadata::RangeQuery& q,
                          std::vector<std::size_t>& dim_idx, la::Vector& lo,
-                         la::Vector& hi) const;
+                         la::Vector& hi) const
+      SS_REQUIRES_SHARED(structure_mu_);
   la::Vector standardize_point(const metadata::TopKQuery& q,
-                               std::vector<std::size_t>& dim_idx) const;
+                               std::vector<std::size_t>& dim_idx) const
+      SS_REQUIRES_SHARED(structure_mu_);
 
   static bool box_intersects(const rtree::Mbr& box,
                              const std::vector<std::size_t>& dim_idx,
@@ -456,20 +490,28 @@ class SmartStore {
                    std::size_t g2) const;
 
   /// Picks the tree variant matching the query dims best (or main tree).
-  const SemanticRTree& tree_for_dims(const metadata::AttrSubset& dims) const;
+  const SemanticRTree& tree_for_dims(const metadata::AttrSubset& dims) const
+      SS_REQUIRES_SHARED(structure_mu_);
 
   /// Reconciles sync_ with the current group list after structural changes
   /// (unit admission/removal can split or merge groups).
-  void refresh_sync_groups();
+  void refresh_sync_groups() SS_REQUIRES(structure_mu_);
 
   Config cfg_;
-  std::size_t bloom_bits_ = 1024;  ///< effective (possibly auto-sized) bits
+  /// Effective (possibly auto-sized) Bloom bits. Written only under the
+  /// exclusive structure lock, read under at least the shared one — one of
+  /// the few members whose discipline GUARDED_BY can express directly.
+  std::size_t bloom_bits_ SS_GUARDED_BY(structure_mu_) = 1024;
+  // units_/tree_/variants_/sync_ follow the two-level scheme GUARDED_BY
+  // cannot express (shape shared + a per-unit lock or stripe for interior
+  // mutation): the REQUIRES_SHARED annotations on the *_impl helpers plus
+  // the stripe pools' runtime assertions police them instead.
   std::vector<StorageUnit> units_;
-  std::vector<bool> unit_active_;
+  std::vector<bool> unit_active_ SS_GUARDED_BY(structure_mu_);
   SemanticRTree tree_;
   std::vector<TreeVariant> variants_;
   std::unique_ptr<sim::Cluster> cluster_;
-  la::RowStandardizer standardizer_;
+  la::RowStandardizer standardizer_ SS_GUARDED_BY(structure_mu_);
   std::unordered_map<std::size_t, GroupSync> sync_;  // group node -> state
   /// Store rng: build-time placement and index-unit mapping only. Mutated
   /// exclusively under the exclusive structure lock; persisted and
@@ -485,25 +527,37 @@ class SmartStore {
 
   // ---- multi-writer serving locks ----------------------------------------
   //
-  // Hierarchy (outer to inner): structure_mu_ -> one unit lock OR one
-  // stripe of stripes_ -> { freeze_.mu | WAL shard mutex | cluster
-  // mutex }. At most one unit-lock-or-stripe is ever held at a time (see
-  // striped_locks.h); structural operations take structure_mu_
-  // exclusively and then need no finer locks at all.
+  // Hierarchy (outer to inner, = increasing LockRank): structure_mu_
+  // (kShape) -> one unit lock (kUnit) OR one summary stripe
+  // (kSummaryStripe) OR one sync stripe (kSyncStripe) -> { freeze_.mu
+  // (kFreeze) | WAL shard mutexes (kWalShardMap/kWalShard) | cluster mutex
+  // (kCluster) }. At most one unit-lock-or-stripe is ever held at a time
+  // (see striped_locks.h) — the validator's strictly-increasing-rank rule
+  // enforces exactly that, since unit locks and each pool's stripes share
+  // a rank. Structural operations take structure_mu_ exclusively and then
+  // need no finer locks at all.
   //
   // Units get DEDICATED locks (not pool stripes) because the WAL hook
   // fsyncs under them: a shared stripe would make an unrelated hot index
   // node or replica — every insert touches the root and its group's sync
   // state — collide with an in-flight fsync and serialize the whole
-  // ingest path on one disk flush. The summary stripe pool only ever
-  // protects microsecond-scale critical sections.
-  mutable std::shared_mutex structure_mu_;
-  mutable StripedMutexPool stripes_;
+  // ingest path on one disk flush. The stripe pools only ever protect
+  // microsecond-scale critical sections.
+  mutable util::SharedMutex structure_mu_{util::LockRank::kShape};
+  /// Ancestor index-unit summaries (MBR/Bloom/centroid sums), striped by
+  /// node address.
+  mutable StripedMutexPool summary_stripes_{util::LockRank::kSummaryStripe};
+  /// Group replica/version sync state, striped by GroupSync address. A
+  /// separate pool (and rank) from the summaries: the insert path releases
+  /// its last summary stripe before taking the group's sync stripe, and
+  /// distinct pools keep an unlucky hash collision from ever aliasing the
+  /// two domains onto one mutex.
+  mutable StripedMutexPool sync_stripes_{util::LockRank::kSyncStripe};
   /// One mutex per storage unit, parallel to units_ (stable addresses;
   /// reshaped only under the exclusive structure lock).
-  mutable std::vector<std::unique_ptr<std::mutex>> unit_mu_;
+  mutable std::vector<std::unique_ptr<util::Mutex>> unit_mu_;
 
-  std::mutex& unit_mutex(UnitId u) const { return *unit_mu_[u]; }
+  util::Mutex& unit_mutex(UnitId u) const { return *unit_mu_[u]; }
   /// Re-sizes unit_mu_ to match units_ (build, snapshot assembly, unit
   /// admission). Caller holds the exclusive structure lock or is still
   /// single-threaded construction.

@@ -44,7 +44,9 @@
 #include "persist/recovery.h"
 #include "persist/snapshot.h"
 #include "persist/wal_shard.h"
+#include "util/annotated_mutex.h"
 #include "util/binary_io.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace smartstore::db {
@@ -96,17 +98,17 @@ struct Store::Impl {
   std::unique_ptr<util::ThreadPool> pool;
   std::unique_ptr<persist::BackgroundCheckpointer> bg;
 
-  mutable std::shared_mutex lifecycle_mu;
-  bool closed = false;  ///< guarded by lifecycle_mu
+  mutable util::SharedMutex lifecycle_mu{util::LockRank::kLifecycle};
+  bool closed SS_GUARDED_BY(lifecycle_mu) = false;
   std::atomic<bool> crashed{false};
   std::once_flag crash_once;
 
-  std::mutex ckpt_mu;
+  util::Mutex ckpt_mu{util::LockRank::kDbCheckpoint};
   std::atomic<std::uint64_t> mutations_since_ckpt{0};
   /// A non-crash checkpoint failure drained by an introspection read
   /// (whose return type cannot carry it) parks here until the next
-  /// Checkpoint() or Close() surfaces it. Guarded by ckpt_mu.
-  Status deferred_ckpt_error;
+  /// Checkpoint() or Close() surfaces it.
+  Status deferred_ckpt_error SS_GUARDED_BY(ckpt_mu);
 
   // Op/recall counters (the "smartstore.counters.*" properties).
   std::atomic<std::uint64_t> puts{0};
@@ -125,7 +127,7 @@ struct Store::Impl {
     std::call_once(crash_once, [this] {
       crashed.store(true, std::memory_order_release);
       {
-        std::lock_guard<std::mutex> ck(ckpt_mu);
+        const util::MutexLock ck(ckpt_mu);
         if (bg) {
           try {
             bg->wait();  // an in-flight checkpoint may land — "the power
@@ -143,7 +145,7 @@ struct Store::Impl {
   /// only ever Puts/Queries/Flushes should not pay for an idle thread
   /// pool. Caller holds ckpt_mu; requires a durable store with a WAL.
   /// Throws PersistError through (callers map at the boundary).
-  void ensure_checkpointer() {
+  void ensure_checkpointer() SS_REQUIRES(ckpt_mu) {
     if (bg) return;
     pool = std::make_unique<util::ThreadPool>(opts.background_threads);
     bg = std::make_unique<persist::BackgroundCheckpointer>(*core, dir, *wal,
@@ -156,11 +158,11 @@ struct Store::Impl {
   /// rethrow is one-shot (the future is consumed), so an injected crash
   /// poisons the handle via crash() and any other failure is deferred to
   /// the next Checkpoint()/Close() through deferred_ckpt_error.
-  CheckpointInfo checkpoint_info_locked() {
+  CheckpointInfo checkpoint_info_locked() SS_REQUIRES_SHARED(lifecycle_mu) {
     CheckpointInfo info;
     bool fault = false;
     {
-      std::lock_guard<std::mutex> ck(ckpt_mu);
+      const util::MutexLock ck(ckpt_mu);
       if (!bg) return info;
       try {
         bg->wait();  // drain: the stats fields are plain (non-atomic)
@@ -187,7 +189,7 @@ struct Store::Impl {
 
   /// Gate run by every operation after taking lifecycle_mu (shared or
   /// exclusive).
-  Status check_serving() const {
+  Status check_serving() const SS_REQUIRES_SHARED(lifecycle_mu) {
     if (closed) return Status::FailedPrecondition("store is closed");
     if (crashed.load(std::memory_order_acquire)) {
       return Status::FaultInjected(
@@ -266,7 +268,7 @@ struct Store::Impl {
 
     std::atomic<std::size_t> next{b};
     std::atomic<bool> stop{false};
-    std::mutex err_mu;
+    util::Mutex err_mu;
     std::exception_ptr first_error;
     auto worker = [&] {
       try {
@@ -277,7 +279,7 @@ struct Store::Impl {
           apply_chunk(cb, std::min(cb + kChunk, e));
         }
       } catch (...) {
-        std::lock_guard<std::mutex> lk(err_mu);
+        const util::MutexLock lk(err_mu);
         if (!first_error) first_error = std::current_exception();
         stop.store(true, std::memory_order_relaxed);
       }
@@ -299,8 +301,8 @@ struct Store::Impl {
     const std::uint64_t total =
         mutations_since_ckpt.fetch_add(n, std::memory_order_relaxed) + n;
     if (total < opts.checkpoint_every) return;
-    std::unique_lock<std::mutex> ck(ckpt_mu, std::try_to_lock);
-    if (!ck.owns_lock()) return;
+    if (!ckpt_mu.try_lock()) return;
+    const util::MutexLock ck(ckpt_mu, std::adopt_lock);
     if (mutations_since_ckpt.load(std::memory_order_relaxed) <
         opts.checkpoint_every)
       return;  // someone else already reset the counter
@@ -443,7 +445,7 @@ StatusOr<std::unique_ptr<Store>> Store::Open(const Options& options,
       // cadence needs it from the first mutation; an explicit
       // Checkpoint() call creates it lazily instead.
       if (options.checkpoint_every > 0) {
-        std::lock_guard<std::mutex> ck(im.ckpt_mu);
+        const util::MutexLock ck(im.ckpt_mu);
         im.ensure_checkpointer();
       }
     } catch (const persist::FaultInjected& e) {
@@ -461,7 +463,7 @@ StatusOr<std::unique_ptr<Store>> Store::Open(const Options& options,
 // ---- bulk load --------------------------------------------------------------
 
 Status Store::Bulkload(const std::vector<metadata::FileMetadata>& files) {
-  std::unique_lock<std::shared_mutex> ex(impl_->lifecycle_mu);
+  util::WriterLock ex(impl_->lifecycle_mu);
   Status gate = impl_->check_serving();
   if (!gate.ok()) return gate;
   if (impl_->core->total_files() != 0) {
@@ -499,7 +501,7 @@ Status Store::Bulkload(const std::vector<metadata::FileMetadata>& files) {
 // ---- mutations --------------------------------------------------------------
 
 Status Store::Put(const metadata::FileMetadata& file) {
-  std::shared_lock<std::shared_mutex> lk(impl_->lifecycle_mu);
+  util::ReaderLock lk(impl_->lifecycle_mu);
   Status gate = impl_->check_serving();
   if (!gate.ok()) return gate;
   try {
@@ -519,7 +521,7 @@ Status Store::Put(const metadata::FileMetadata& file) {
 
 Status Store::Delete(const std::string& name) {
   if (name.empty()) return Status::InvalidArgument("empty filename");
-  std::shared_lock<std::shared_mutex> lk(impl_->lifecycle_mu);
+  util::ReaderLock lk(impl_->lifecycle_mu);
   Status gate = impl_->check_serving();
   if (!gate.ok()) return gate;
   try {
@@ -542,7 +544,7 @@ Status Store::Write(WriteBatch&& batch) {
   const std::vector<WriteBatch::Op> ops = std::move(batch).release();
   if (ops.empty()) return Status::OK();
 
-  std::shared_lock<std::shared_mutex> lk(impl_->lifecycle_mu);
+  util::ReaderLock lk(impl_->lifecycle_mu);
   Status gate = impl_->check_serving();
   if (!gate.ok()) return gate;
   try {
@@ -583,7 +585,7 @@ Status Store::Write(WriteBatch&& batch) {
 // ---- queries ----------------------------------------------------------------
 
 StatusOr<QueryResult> Store::Query(const QueryRequest& request) {
-  std::shared_lock<std::shared_mutex> lk(impl_->lifecycle_mu);
+  util::ReaderLock lk(impl_->lifecycle_mu);
   Status gate = impl_->check_serving();
   if (!gate.ok()) return gate;
 
@@ -647,7 +649,7 @@ StatusOr<QueryResult> Store::Query(const QueryRequest& request) {
 // ---- durability control -----------------------------------------------------
 
 Status Store::Flush() {
-  std::shared_lock<std::shared_mutex> lk(impl_->lifecycle_mu);
+  util::ReaderLock lk(impl_->lifecycle_mu);
   Status gate = impl_->check_serving();
   if (!gate.ok()) return gate;
   if (!impl_->durable())
@@ -671,14 +673,14 @@ Status Store::Checkpoint() {
   // interaction serialized under ckpt_mu (released by unwinding before
   // the catch blocks run, so crash() never sees it held).
   {
-    std::shared_lock<std::shared_mutex> lk(impl_->lifecycle_mu);
+    util::ReaderLock lk(impl_->lifecycle_mu);
     Status gate = impl_->check_serving();
     if (!gate.ok()) return gate;
     if (!impl_->durable())
       return Status::FailedPrecondition("ephemeral store cannot checkpoint");
     if (impl_->wal) {
       try {
-        std::lock_guard<std::mutex> ck(impl_->ckpt_mu);
+        const util::MutexLock ck(impl_->ckpt_mu);
         if (!impl_->deferred_ckpt_error.ok()) {
           // A failure an introspection drain parked earlier: surface it
           // once instead of silently checkpointing over it.
@@ -705,7 +707,7 @@ Status Store::Checkpoint() {
 
   // No WAL: the stop-the-world flavour, quiesced by excluding every facade
   // operation for the duration.
-  std::unique_lock<std::shared_mutex> ex(impl_->lifecycle_mu);
+  util::WriterLock ex(impl_->lifecycle_mu);
   Status gate = impl_->check_serving();
   if (!gate.ok()) return gate;
   try {
@@ -732,7 +734,7 @@ CheckpointInfo Store::GetCheckpointInfo() const {
   // exclusive lock, so every introspection path that dereferences them
   // must hold it shared — otherwise this races a concurrent Close into a
   // use-after-free. ckpt_mu nests inside (same order as Checkpoint()).
-  std::shared_lock<std::shared_mutex> lk(impl_->lifecycle_mu);
+  util::ReaderLock lk(impl_->lifecycle_mu);
   return impl_->checkpoint_info_locked();
 }
 
@@ -749,7 +751,7 @@ bool Store::GetProperty(const std::string& name, std::string* value) {
   // still under the shared lifecycle lock — Close() frees the WAL and
   // checkpointer under the exclusive lock, and these dereference them.
   {
-    std::shared_lock<std::shared_mutex> lk(im.lifecycle_mu);
+    util::ReaderLock lk(im.lifecycle_mu);
 
     if (name == "smartstore.counters.puts") return u64(im.puts.load());
     if (name == "smartstore.counters.deletes") return u64(im.deletes.load());
@@ -845,7 +847,7 @@ bool Store::GetProperty(const std::string& name, std::string* value) {
                           name == "smartstore.space.total-bytes";
   if (!structural && !space_prop) return false;
 
-  std::unique_lock<std::shared_mutex> ex(im.lifecycle_mu);
+  util::WriterLock ex(im.lifecycle_mu);
   if (name == "smartstore.total-files") return u64(im.core->total_files());
   if (name == "smartstore.num-units") return u64(im.core->units().size());
   if (name == "smartstore.tree-height")
@@ -869,7 +871,7 @@ bool Store::GetProperty(const std::string& name, std::string* value) {
 SpaceInfo Store::GetSpaceInfo() {
   // One quiesced read, one avg_unit_space() walk — the typed alternative
   // to five separate smartstore.space.* property round-trips.
-  std::unique_lock<std::shared_mutex> ex(impl_->lifecycle_mu);
+  util::WriterLock ex(impl_->lifecycle_mu);
   const core::SmartStore::SpaceBreakdown space =
       impl_->core->avg_unit_space();
   SpaceInfo info;
@@ -884,17 +886,22 @@ SpaceInfo Store::GetSpaceInfo() {
 // ---- lifecycle --------------------------------------------------------------
 
 Status Store::Close() {
-  std::unique_lock<std::shared_mutex> ex(impl_->lifecycle_mu);
+  util::WriterLock ex(impl_->lifecycle_mu);
   Impl& im = *impl_;
   if (im.closed) return Status::OK();
   im.closed = true;
 
   Status result = Status::OK();
   const bool crashed = im.crashed.load(std::memory_order_acquire);
-  // Exclusive lock held: no ckpt_mu needed for the deferred slot or bg.
-  if (!im.deferred_ckpt_error.ok()) {
-    result = im.deferred_ckpt_error;
-    im.deferred_ckpt_error = Status::OK();
+  // The exclusive lifecycle lock already excludes every writer of the
+  // deferred slot, but taking ckpt_mu keeps the GUARDED_BY contract
+  // uniform (it is uncontended here and nests correctly inside).
+  {
+    const util::MutexLock ck(im.ckpt_mu);
+    if (!im.deferred_ckpt_error.ok()) {
+      result = im.deferred_ckpt_error;
+      im.deferred_ckpt_error = Status::OK();
+    }
   }
   if (im.bg) {
     try {
@@ -938,7 +945,7 @@ Status Store::Close() {
 }
 
 void Store::Abandon() {
-  std::unique_lock<std::shared_mutex> ex(impl_->lifecycle_mu);
+  util::WriterLock ex(impl_->lifecycle_mu);
   Impl& im = *impl_;
   if (im.closed && !im.crashed.load(std::memory_order_acquire)) {
     // Already cleanly closed: nothing left to abandon.

@@ -66,7 +66,7 @@ core::QueryStats BackgroundCheckpointer::insert(const metadata::FileMetadata& f,
         },
         [this](core::UnitId target) { sharded_->maybe_commit(target); });
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   wal_->log_insert(f);
   return store_.insert_file(f, arrival);
 }
@@ -80,7 +80,7 @@ bool BackgroundCheckpointer::erase(const std::string& name) {
         },
         [this](core::UnitId located) { sharded_->maybe_commit(located); });
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   const bool existed = store_.erase_file(name);
   if (existed) wal_->log_remove(name);
   return existed;
@@ -90,7 +90,7 @@ core::UnitId BackgroundCheckpointer::add_storage_unit() {
   if (sharded_) {
     return store_.add_storage_unit([this] { sharded_->log_add_unit(); });
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   wal_->log_add_unit();
   return store_.add_storage_unit();
 }
@@ -100,7 +100,7 @@ void BackgroundCheckpointer::remove_storage_unit(core::UnitId u) {
     store_.remove_storage_unit(u, [this, u] { sharded_->log_remove_unit(u); });
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   wal_->log_remove_unit(u);
   store_.remove_storage_unit(u);
 }
@@ -113,7 +113,7 @@ std::size_t BackgroundCheckpointer::autoconfigure(
           sharded_->log_autoconfigure(candidates);
         });
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   wal_->log_autoconfigure(candidates);
   return store_.autoconfigure(candidates);
 }
@@ -176,7 +176,7 @@ void BackgroundCheckpointer::run_checkpoint_single(CheckpointStats& st) {
   WalFence fence;
   std::size_t fence_bytes = WalWriter::kNoByteHint;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     util::WallTimer t;
     wal_->commit();
     fence = WalFence{wal_->generation(), wal_->committed_records(), true};
@@ -207,7 +207,7 @@ void BackgroundCheckpointer::run_checkpoint_single(CheckpointStats& st) {
   // prefix (under the next generation) keeps the log equal to exactly
   // what the snapshot does not contain.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     util::WallTimer t;
     try {
       fault_point("bg:pre-rebase");

@@ -50,6 +50,7 @@
 #include "core/smartstore.h"
 #include "persist/wal.h"
 #include "persist/wal_shard.h"
+#include "util/annotated_mutex.h"
 #include "util/thread_pool.h"
 
 namespace smartstore::persist {
@@ -139,7 +140,11 @@ class BackgroundCheckpointer {
   ShardedWal* sharded_ = nullptr;   ///< sharded multi-writer mode
   util::ThreadPool& pool_;
 
-  std::mutex mu_;  ///< single-log mode: mutations vs. freeze/truncate
+  /// Single-log mode: mutations vs. freeze/truncate. Ranked above the
+  /// lifecycle/db-checkpoint locks and below every store lock — it is held
+  /// across whole store mutations (which take shape → unit → stripe
+  /// underneath).
+  util::Mutex mu_{util::LockRank::kCheckpointCoord};
   std::atomic<bool> running_{false};
   std::future<void> inflight_;
   CheckpointStats stats_;

@@ -5,7 +5,9 @@
 #include <filesystem>
 #include <mutex>
 
+#include "util/annotated_mutex.h"
 #include "util/binary_io.h"
+#include "util/thread_annotations.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -20,8 +22,8 @@ namespace {
 std::atomic<std::int64_t> g_countdown{-1};
 std::atomic<std::uint64_t> g_passed{0};
 
-std::mutex g_name_mu;
-std::string g_last_fired;  // guarded by g_name_mu
+util::Mutex g_name_mu;
+std::string g_last_fired SS_GUARDED_BY(g_name_mu);
 
 }  // namespace
 
@@ -40,7 +42,7 @@ std::uint64_t fault_points_passed() {
 }
 
 std::string fault_last_fired() {
-  std::lock_guard<std::mutex> lock(g_name_mu);
+  const util::MutexLock lock(g_name_mu);
   return g_last_fired;
 }
 
@@ -49,7 +51,7 @@ void fault_point(const char* where) {
   if (g_countdown.load(std::memory_order_relaxed) < 0) return;
   if (g_countdown.fetch_sub(1, std::memory_order_relaxed) == 1) {
     {
-      std::lock_guard<std::mutex> lock(g_name_mu);
+      const util::MutexLock lock(g_name_mu);
       g_last_fired = where;
     }
     throw FaultInjected(std::string("injected crash at ") + where);

@@ -8,8 +8,10 @@
 
 #include "persist/codec.h"
 #include "persist/fault.h"
+#include "util/annotated_mutex.h"
 #include "util/binary_io.h"
 #include "util/crc32.h"
+#include "util/thread_annotations.h"
 
 namespace smartstore::persist {
 
@@ -227,7 +229,12 @@ struct SnapshotAccess {
     for (bool b : unit_active) w.write_bool(b);
   }
 
-  static void save_config(const Store& s, BinaryWriter& w) {
+  // The plain save_* readers run on the quiesced path (save_snapshot):
+  // the caller guarantees no concurrent mutation, so they read
+  // structure-guarded members without the shape lock and are exempted
+  // from analysis rather than given a lock they do not need.
+  static void save_config(const Store& s, BinaryWriter& w)
+      SS_NO_THREAD_SAFETY_ANALYSIS {
     save_config_state(s.cfg_, s.bloom_bits_, s.total_files_, s.rng_.state(),
                       s.unit_active_, w);
   }
@@ -238,7 +245,8 @@ struct SnapshotAccess {
     w.write_vec_f64(st.inv_stdevs);
   }
 
-  static void save_standardizer(const Store& s, BinaryWriter& w) {
+  static void save_standardizer(const Store& s, BinaryWriter& w)
+      SS_NO_THREAD_SAFETY_ANALYSIS {
     save_standardizer_state(s.standardizer_, w);
   }
 
@@ -340,14 +348,14 @@ struct SnapshotAccess {
   // The serving thread only ever blocks for the duration of one piece.
 
   static void require_frozen(Store& s) {
-    std::lock_guard<std::mutex> lock(s.freeze_.mu);
+    const util::MutexLock lock(s.freeze_.mu);
     if (!s.freeze_.active)
       throw PersistError(
           "save_snapshot_frozen requires an active begin_checkpoint()");
   }
 
   static void save_config_frozen(Store& s, BinaryWriter& w) {
-    std::lock_guard<std::mutex> lock(s.freeze_.mu);
+    const util::MutexLock lock(s.freeze_.mu);
     // cfg_ never changes after construction; the mutable scalars come from
     // the eager capture at freeze time.
     save_config_state(s.cfg_, s.freeze_.core.bloom_bits,
@@ -356,18 +364,18 @@ struct SnapshotAccess {
   }
 
   static void save_standardizer_frozen(Store& s, BinaryWriter& w) {
-    std::lock_guard<std::mutex> lock(s.freeze_.mu);
+    const util::MutexLock lock(s.freeze_.mu);
     save_standardizer_state(s.freeze_.core.standardizer, w);
   }
 
   static void save_units_frozen(Store& s, BinaryWriter& w) {
     const std::size_t count = [&] {
-      std::lock_guard<std::mutex> lock(s.freeze_.mu);
+      const util::MutexLock lock(s.freeze_.mu);
       return s.freeze_.core.unit_count;
     }();
     w.write_u64(count);
     for (std::size_t u = 0; u < count; ++u) {
-      std::lock_guard<std::mutex> lock(s.freeze_.mu);
+      const util::MutexLock lock(s.freeze_.mu);
       if (s.freeze_.unit_state[u] == Store::PieceState::kFrozen) {
         save_unit(*s.freeze_.frozen_units[u], w);
         s.freeze_.frozen_units[u].reset();
@@ -379,7 +387,7 @@ struct SnapshotAccess {
   }
 
   static void save_tree_frozen(Store& s, BinaryWriter& w) {
-    std::lock_guard<std::mutex> lock(s.freeze_.mu);
+    const util::MutexLock lock(s.freeze_.mu);
     save_tree(s.freeze_.tree_state == Store::PieceState::kFrozen
                   ? *s.freeze_.frozen_tree
                   : s.tree_,
@@ -389,7 +397,7 @@ struct SnapshotAccess {
   }
 
   static void save_variants_frozen(Store& s, BinaryWriter& w) {
-    std::lock_guard<std::mutex> lock(s.freeze_.mu);
+    const util::MutexLock lock(s.freeze_.mu);
     save_variants_state(s.freeze_.variants_state == Store::PieceState::kFrozen
                             ? *s.freeze_.frozen_variants
                             : s.variants_,
@@ -399,7 +407,7 @@ struct SnapshotAccess {
   }
 
   static void save_sync_frozen(Store& s, BinaryWriter& w) {
-    std::lock_guard<std::mutex> lock(s.freeze_.mu);
+    const util::MutexLock lock(s.freeze_.mu);
     // Order by the group list captured at freeze time: the live tree may
     // be mutating concurrently (its section is already serialized, so
     // writes go through uncopied), and the frozen sync map pairs with the
@@ -497,12 +505,16 @@ struct SnapshotAccess {
     return t;
   }
 
+  // Builds the store before any other thread can see it, so the guarded
+  // members are written lock-free by construction; exempted from analysis
+  // rather than given locks the unpublished object does not need.
   static std::unique_ptr<Store> assemble(BinaryReader& config_r,
                                          BinaryReader& std_r,
                                          BinaryReader& units_r,
                                          BinaryReader& tree_r,
                                          BinaryReader& variants_r,
-                                         BinaryReader& sync_r) {
+                                         BinaryReader& sync_r)
+      SS_NO_THREAD_SAFETY_ANALYSIS {
     core::Config cfg = load_config(config_r);
     auto store = std::make_unique<Store>(cfg);
     Store& s = *store;

@@ -58,37 +58,36 @@ ShardedWal::ShardedWal(std::string deploy_dir, std::size_t num_shards,
     const bool on_disk = fs::exists(shard_path(deploy_dir_, i));
     if (!on_disk && i >= num_shards) continue;  // sparse ids stay sparse
     Shard& s = shard(i);
+    const util::MutexLock lock(s.mu);
     max_seq = std::max(max_seq, s.writer->opened_max_seq());
   }
   next_seq_.store(max_seq + 1, std::memory_order_relaxed);
 }
 
 ShardedWal::Shard& ShardedWal::shard(std::size_t i) {
-  std::lock_guard<std::mutex> lock(map_mu_);
+  const util::MutexLock lock(map_mu_);
   if (i >= shards_.size()) shards_.resize(i + 1);
   if (!shards_[i]) {
-    auto s = std::make_unique<Shard>();
-    s->writer = std::make_unique<WalWriter>(shard_path(deploy_dir_, i),
-                                            group_commit_, /*with_seq=*/true);
-    shards_[i] = std::move(s);
+    shards_[i] = std::make_unique<Shard>(std::make_unique<WalWriter>(
+        shard_path(deploy_dir_, i), group_commit_, /*with_seq=*/true));
   }
   return *shards_[i];
 }
 
 ShardedWal::Shard* ShardedWal::shard_if_exists(std::size_t i) const {
-  std::lock_guard<std::mutex> lock(map_mu_);
+  const util::MutexLock lock(map_mu_);
   return i < shards_.size() && shards_[i] ? shards_[i].get() : nullptr;
 }
 
 std::size_t ShardedWal::num_shards() const {
-  std::lock_guard<std::mutex> lock(map_mu_);
+  const util::MutexLock lock(map_mu_);
   return shards_.size();
 }
 
 void ShardedWal::log_insert(std::size_t shard_id,
                             const metadata::FileMetadata& f) {
   Shard& s = shard(shard_id);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const util::MutexLock lock(s.mu);
   WalRecord rec;
   rec.type = WalRecordType::kInsert;
   rec.file = f;
@@ -98,7 +97,7 @@ void ShardedWal::log_insert(std::size_t shard_id,
 
 void ShardedWal::log_remove(std::size_t shard_id, const std::string& name) {
   Shard& s = shard(shard_id);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const util::MutexLock lock(s.mu);
   WalRecord rec;
   rec.type = WalRecordType::kRemove;
   rec.name = name;
@@ -109,7 +108,7 @@ void ShardedWal::log_remove(std::size_t shard_id, const std::string& name) {
 void ShardedWal::append_insert(std::size_t shard_id,
                                const metadata::FileMetadata& f) {
   Shard& s = shard(shard_id);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const util::MutexLock lock(s.mu);
   WalRecord rec;
   rec.type = WalRecordType::kInsert;
   rec.file = f;
@@ -119,7 +118,7 @@ void ShardedWal::append_insert(std::size_t shard_id,
 
 void ShardedWal::append_remove(std::size_t shard_id, const std::string& name) {
   Shard& s = shard(shard_id);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const util::MutexLock lock(s.mu);
   WalRecord rec;
   rec.type = WalRecordType::kRemove;
   rec.name = name;
@@ -130,7 +129,7 @@ void ShardedWal::append_remove(std::size_t shard_id, const std::string& name) {
 void ShardedWal::maybe_commit(std::size_t shard_id) {
   Shard* s = shard_if_exists(shard_id);
   if (!s) return;
-  std::lock_guard<std::mutex> lock(s->mu);
+  const util::MutexLock lock(s->mu);
   if (s->writer->pending_records() >= group_commit_) s->writer->commit();
 }
 
@@ -140,7 +139,7 @@ void ShardedWal::log_structural(const WalRecord& rec_in) {
   // structural record ahead of a lost earlier per-unit record.
   commit_all();
   Shard& s = shard(0);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const util::MutexLock lock(s.mu);
   WalRecord rec = rec_in;
   rec.seq = stamp();
   s.writer->log(rec);
@@ -172,7 +171,7 @@ void ShardedWal::commit_all() {
   const std::size_t n = num_shards();
   for (std::size_t i = 0; i < n; ++i) {
     if (Shard* s = shard_if_exists(i)) {
-      std::lock_guard<std::mutex> lock(s->mu);
+      const util::MutexLock lock(s->mu);
       s->writer->commit();
     }
   }
@@ -186,7 +185,7 @@ WalFence ShardedWal::frontier(std::vector<std::size_t>* bytes_out) {
   for (std::size_t i = 0; i < n; ++i) {
     Shard* s = shard_if_exists(i);
     if (!s) continue;
-    std::lock_guard<std::mutex> lock(s->mu);
+    const util::MutexLock lock(s->mu);
     s->writer->commit();
     fence.shards.push_back(
         {i, s->writer->generation(), s->writer->committed_records()});
@@ -200,7 +199,7 @@ void ShardedWal::rebase_to(const WalFence& fence,
   for (const ShardFence& f : fence.shards) {
     Shard* s = shard_if_exists(static_cast<std::size_t>(f.shard));
     if (!s) continue;
-    std::lock_guard<std::mutex> lock(s->mu);
+    const util::MutexLock lock(s->mu);
     // A mismatched generation means this shard was already rebased (or
     // reset) since the fence was taken — dropping by count would discard
     // unfenced records.
@@ -216,7 +215,7 @@ void ShardedWal::reset_all() {
   const std::size_t n = num_shards();
   for (std::size_t i = 0; i < n; ++i) {
     if (Shard* s = shard_if_exists(i)) {
-      std::lock_guard<std::mutex> lock(s->mu);
+      const util::MutexLock lock(s->mu);
       s->writer->reset();
     }
   }
@@ -226,7 +225,7 @@ void ShardedWal::abandon() {
   const std::size_t n = num_shards();
   for (std::size_t i = 0; i < n; ++i) {
     if (Shard* s = shard_if_exists(i)) {
-      std::lock_guard<std::mutex> lock(s->mu);
+      const util::MutexLock lock(s->mu);
       s->writer->abandon();
     }
   }
@@ -235,21 +234,21 @@ void ShardedWal::abandon() {
 std::uint64_t ShardedWal::committed_records(std::size_t shard_id) const {
   Shard* s = shard_if_exists(shard_id);
   if (!s) return 0;
-  std::lock_guard<std::mutex> lock(s->mu);
+  const util::MutexLock lock(s->mu);
   return s->writer->committed_records();
 }
 
 std::uint64_t ShardedWal::pending_records(std::size_t shard_id) const {
   Shard* s = shard_if_exists(shard_id);
   if (!s) return 0;
-  std::lock_guard<std::mutex> lock(s->mu);
+  const util::MutexLock lock(s->mu);
   return s->writer->pending_records();
 }
 
 std::uint64_t ShardedWal::generation(std::size_t shard_id) const {
   Shard* s = shard_if_exists(shard_id);
   if (!s) return 0;
-  std::lock_guard<std::mutex> lock(s->mu);
+  const util::MutexLock lock(s->mu);
   return s->writer->generation();
 }
 

@@ -40,6 +40,8 @@
 #include <vector>
 
 #include "persist/wal.h"
+#include "util/annotated_mutex.h"
+#include "util/thread_annotations.h"
 
 namespace smartstore::persist {
 
@@ -131,8 +133,12 @@ class ShardedWal {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::unique_ptr<WalWriter> writer;
+    explicit Shard(std::unique_ptr<WalWriter> w) : writer(std::move(w)) {}
+    /// Guards `writer` (append/commit/swap). kWalShard ranks above every
+    /// store lock, so a shard mutex may be taken from under a unit lock or
+    /// the freeze mutex — and must never be held while taking either.
+    mutable util::Mutex mu{util::LockRank::kWalShard};
+    std::unique_ptr<WalWriter> writer SS_GUARDED_BY(mu);
   };
 
   /// The shard for `i`, created lazily (units admitted at runtime get
@@ -147,8 +153,11 @@ class ShardedWal {
   std::string deploy_dir_;
   std::string dir_;  ///< <deploy_dir>/wal
   std::size_t group_commit_;
-  mutable std::mutex map_mu_;  ///< guards the shard vector's shape
-  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Guards the shard vector's SHAPE only; Shard objects themselves are
+  /// heap-stable and carry their own mutex (never held together with this
+  /// one — shard()/shard_if_exists() release it before returning).
+  mutable util::Mutex map_mu_{util::LockRank::kWalShardMap};
+  std::vector<std::unique_ptr<Shard>> shards_ SS_GUARDED_BY(map_mu_);
   std::atomic<std::uint64_t> next_seq_{1};
 };
 

@@ -18,12 +18,12 @@ Session Cluster::start_session(NodeId home, double arrival) {
 
 void Cluster::set_node_alive(NodeId n, bool alive) {
   assert(n < size());
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   alive_[n] = alive;
 }
 
 NodeId Cluster::add_node() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   free_at_.push_back(0.0);
   busy_time_.push_back(0.0);
   alive_.push_back(true);
@@ -31,14 +31,14 @@ NodeId Cluster::add_node() {
 }
 
 void Cluster::reset_queues() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   std::fill(free_at_.begin(), free_at_.end(), 0.0);
   std::fill(busy_time_.begin(), busy_time_.end(), 0.0);
 }
 
 void Session::visit(double cpu_s, std::size_t records) {
   assert(cluster_);
-  std::lock_guard<std::mutex> lock(cluster_->mu_);
+  const util::MutexLock lock(cluster_->mu_);
   if (!cluster_->alive_[at_]) {
     failed_ = true;
     return;
@@ -58,7 +58,7 @@ void Session::visit(double cpu_s, std::size_t records) {
 void Session::send_to(NodeId to, std::size_t bytes) {
   assert(cluster_ && to < cluster_->size());
   if (to == at_) return;  // local handoff
-  std::lock_guard<std::mutex> lock(cluster_->mu_);
+  const util::MutexLock lock(cluster_->mu_);
   if (!cluster_->alive_[to]) {
     failed_ = true;
     at_ = to;

@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "sim/cost_model.h"
+#include "util/annotated_mutex.h"
+#include "util/thread_annotations.h"
 
 namespace smartstore::sim {
 
@@ -100,10 +102,21 @@ class Cluster {
  public:
   Cluster(std::size_t num_nodes, CostModel cost = {});
 
-  std::size_t size() const { return free_at_.size(); }
+  std::size_t size() const {
+    const util::MutexLock lock(mu_);
+    return free_at_.size();
+  }
   const CostModel& cost() const { return cost_; }
-  const ClusterCounters& counters() const { return counters_; }
-  void reset_counters() { counters_ = {}; }
+  /// Snapshot of the counters (by value: returning a reference would let
+  /// the caller read the struct while a concurrent session mutates it).
+  ClusterCounters counters() const {
+    const util::MutexLock lock(mu_);
+    return counters_;
+  }
+  void reset_counters() {
+    const util::MutexLock lock(mu_);
+    counters_ = {};
+  }
 
   /// Starts a session at `home` arriving at absolute time `arrival`.
   Session start_session(NodeId home, double arrival);
@@ -111,7 +124,10 @@ class Cluster {
   /// Crashes / revives a node. Visits and sends touching a dead node mark
   /// the session failed.
   void set_node_alive(NodeId n, bool alive);
-  bool node_alive(NodeId n) const { return alive_[n]; }
+  bool node_alive(NodeId n) const {
+    const util::MutexLock lock(mu_);
+    return alive_[n];
+  }
 
   /// Adds a node to the cluster (used when a storage unit is admitted at
   /// runtime, Section 3.2.1). Returns its id.
@@ -120,8 +136,12 @@ class Cluster {
   /// Resets all node queues to idle at time zero (counters untouched).
   void reset_queues();
 
-  /// Busy time accumulated per node (load-balance diagnostics).
-  const std::vector<double>& busy_time() const { return busy_time_; }
+  /// Busy time accumulated per node (load-balance diagnostics). By value
+  /// for the same reason as counters().
+  std::vector<double> busy_time() const {
+    const util::MutexLock lock(mu_);
+    return busy_time_;
+  }
 
  private:
   friend class Session;
@@ -130,12 +150,14 @@ class Cluster {
   /// Sessions on concurrent serving threads race on the node queues and
   /// counters; the critical sections are a handful of scalar updates, so
   /// one mutex (taken per visit/send, not per session) is cheap relative
-  /// to the routing and indexing work around it.
-  mutable std::mutex mu_;
-  std::vector<double> free_at_;
-  std::vector<double> busy_time_;
-  std::vector<bool> alive_;
-  ClusterCounters counters_;
+  /// to the routing and indexing work around it. kCluster ranks above
+  /// every store lock: visits/sends fire from under unit locks and
+  /// stripes, and never call back out while holding this.
+  mutable util::Mutex mu_{util::LockRank::kCluster};
+  std::vector<double> free_at_ SS_GUARDED_BY(mu_);
+  std::vector<double> busy_time_ SS_GUARDED_BY(mu_);
+  std::vector<bool> alive_ SS_GUARDED_BY(mu_);
+  ClusterCounters counters_ SS_GUARDED_BY(mu_);
 };
 
 }  // namespace smartstore::sim

@@ -4,11 +4,13 @@
 #include <cstdio>
 #include <mutex>
 
+#include "util/annotated_mutex.h"
+
 namespace smartstore::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mu;
+util::Mutex g_mu;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,7 +28,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_mu);
+  const util::MutexLock lock(g_mu);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 

@@ -1,0 +1,69 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These expand to the `capability`-family attributes when compiling with a
+// Clang that implements them (the analysis itself is enabled by
+// -Wthread-safety; the build promotes it with -Werror=thread-safety on
+// Clang, see the top-level CMakeLists) and to nothing on every other
+// compiler, so GCC builds see plain unannotated code.
+//
+// The macros carry an SS_ prefix to avoid colliding with other libraries'
+// annotation headers (Abseil, gtest internals) that define the bare names.
+//
+// Cheat sheet (the full semantics live in the Clang docs,
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//   SS_CAPABILITY          — class is a lock ("capability")
+//   SS_SCOPED_CAPABILITY   — RAII class that acquires/releases a capability
+//   SS_GUARDED_BY(mu)      — field may only be touched while holding mu
+//   SS_PT_GUARDED_BY(mu)   — pointee may only be touched while holding mu
+//   SS_REQUIRES(mu)        — caller must hold mu exclusively
+//   SS_REQUIRES_SHARED(mu) — caller must hold mu at least shared
+//   SS_ACQUIRE / SS_RELEASE (+_SHARED) — function takes / drops the lock
+//   SS_TRY_ACQUIRE(b, mu)  — takes mu iff the function returns b
+//   SS_EXCLUDES(mu)        — caller must NOT hold mu (non-reentrancy)
+//   SS_ASSERT_CAPABILITY   — runtime check that mu is held (fatal if not)
+//   SS_RETURN_CAPABILITY   — function returns a reference to the named lock
+//   SS_NO_THREAD_SAFETY_ANALYSIS — opt a function out (document why!)
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SS_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef SS_THREAD_ANNOTATION__
+#define SS_THREAD_ANNOTATION__(x)  // no-op on GCC/MSVC and pre-TSA Clang
+#endif
+
+#define SS_CAPABILITY(x) SS_THREAD_ANNOTATION__(capability(x))
+#define SS_SCOPED_CAPABILITY SS_THREAD_ANNOTATION__(scoped_lockable)
+#define SS_GUARDED_BY(x) SS_THREAD_ANNOTATION__(guarded_by(x))
+#define SS_PT_GUARDED_BY(x) SS_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define SS_ACQUIRED_BEFORE(...) \
+  SS_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define SS_ACQUIRED_AFTER(...) \
+  SS_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#define SS_REQUIRES(...) \
+  SS_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define SS_REQUIRES_SHARED(...) \
+  SS_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define SS_ACQUIRE(...) \
+  SS_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define SS_ACQUIRE_SHARED(...) \
+  SS_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define SS_RELEASE(...) \
+  SS_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define SS_RELEASE_SHARED(...) \
+  SS_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define SS_RELEASE_GENERIC(...) \
+  SS_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+#define SS_TRY_ACQUIRE(...) \
+  SS_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define SS_TRY_ACQUIRE_SHARED(...) \
+  SS_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+#define SS_EXCLUDES(...) SS_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define SS_ASSERT_CAPABILITY(x) SS_THREAD_ANNOTATION__(assert_capability(x))
+#define SS_ASSERT_SHARED_CAPABILITY(x) \
+  SS_THREAD_ANNOTATION__(assert_shared_capability(x))
+#define SS_RETURN_CAPABILITY(x) SS_THREAD_ANNOTATION__(lock_returned(x))
+#define SS_NO_THREAD_SAFETY_ANALYSIS \
+  SS_THREAD_ANNOTATION__(no_thread_safety_analysis)

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -27,8 +27,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      UniqueLock lock(mu_);
+      cv_.wait(lock, [this]() SS_REQUIRES(mu_) {
+        return stop_ || !tasks_.empty();
+      });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();

@@ -15,6 +15,9 @@
 #include <thread>
 #include <vector>
 
+#include "util/annotated_mutex.h"
+#include "util/thread_annotations.h"
+
 namespace smartstore::util {
 
 class ThreadPool {
@@ -35,7 +38,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       tasks_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -50,10 +53,14 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  /// Queue mutex: a terminal (kLeaf) lock — submit() may be called from
+  /// under higher-rank locks, and nothing is acquired while holding it.
+  /// condition_variable_any because the wait path re-locks through the
+  /// annotated wrapper, not a raw std::unique_lock<std::mutex>.
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ SS_GUARDED_BY(mu_);
+  std::condition_variable_any cv_;
+  bool stop_ SS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace smartstore::util
