@@ -1,0 +1,234 @@
+// Routed throughput of the metadata-service tier: an in-process cluster
+// (svc::Cluster — real Router -> wire format -> transport -> MetaService
+// -> db::Store stack) at 1/2/4/8 shards, driven by concurrent simulated
+// clients.
+//
+// Each client thread owns a Router with a DISTINCT client_id and a
+// DELIBERATELY STALE initial map (a single-shard round-robin), so the
+// first keyed op against a multi-shard cluster eats a kWrongShard
+// redirect, installs the authoritative map from the response payload, and
+// every later op routes directly — redirect rate measures the
+// self-correction cost, not steady-state overhead.
+//
+// The op mix is the serving pattern the tier is for: puts (upserts through
+// the dedup path) interleaved with point lookups of already-acked names.
+// Reported per shard count: routed ops/sec, p50/p99 op latency, and the
+// redirect/retry counters summed across clients. Scaling with shard count
+// comes from spreading the store-side work (semantic grouping, index
+// probes, stripe locks) across independent shard stores.
+//
+// Environment knobs:
+//   BENCH_SMOKE=1    tiny sizes (CI smoke: exercises every path)
+//   BENCH_CLIENTS=N  client threads (default 4)
+//   BENCH_OPS=N      ops per client (default 4000, smoke 300)
+// Arguments:
+//   --json PATH      machine-readable results
+//                    (scripts/bench_report.sh -> BENCH_cluster.json)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_db_common.h"
+#include "metadata/schema.h"
+#include "svc/cluster.h"
+#include "svc/partition.h"
+#include "svc/router.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace smartstore;
+using bench::check;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+/// Trace-shaped names: the app directory is the partition key, so the
+/// workload exercises semantic co-location, not uniform key hashing.
+metadata::FileMetadata make_file(std::uint64_t id) {
+  metadata::FileMetadata f;
+  f.id = id;
+  f.name.resize(64);
+  f.name.resize(static_cast<std::size_t>(std::snprintf(
+      f.name.data(), f.name.size(), "/bench/u%03u/app%03u/f%08u.dat",
+      static_cast<unsigned>(id % 7), static_cast<unsigned>(id % 29),
+      static_cast<unsigned>(id))));
+  for (std::size_t a = 0; a < metadata::kNumAttrs; ++a) {
+    f.attrs[a] = static_cast<double>((id * 31 + a * 7) % 1000);
+  }
+  return f;
+}
+
+struct RunResult {
+  std::uint32_t shards = 0;
+  std::size_t clients = 0;
+  std::size_t ops = 0;  ///< total routed ops across all clients
+  double seconds = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t redirects = 0;
+  double per_sec() const { return static_cast<double>(ops) / seconds; }
+  double redirect_rate() const {
+    return sends > 0 ? static_cast<double>(redirects) /
+                           static_cast<double>(sends)
+                     : 0;
+  }
+};
+
+RunResult run_cluster(std::uint32_t shards, std::size_t clients,
+                      std::size_t ops_per_client) {
+  svc::ClusterOptions copt;
+  copt.num_shards = shards;
+  copt.in_memory = true;
+  copt.store_options.num_units = 4;
+  copt.store_options.fanout = 4;
+  copt.store_options.seed = 7;
+  // Online routing: acked names must be findable (the put/point mix
+  // asserts it), so offline's false negatives are off the table.
+  copt.store_options.routing = db::Routing::kOnline;
+  copt.map_version = 2;  // newer than the clients' stale v1 seed map
+
+  auto started = svc::Cluster::Start(copt);
+  check(started.status(), "cluster start");
+  std::unique_ptr<svc::Cluster> cluster = std::move(started).value();
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<svc::RouterStats> stats(clients);
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+
+  util::WallTimer t;
+  for (std::size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      svc::RouterOptions ropt;
+      ropt.client_id = c + 1;
+      ropt.max_attempts = 8;
+      // Stale seed map: one shard, version 1. The first keyed op against
+      // a bigger cluster redirects and installs the real map.
+      svc::Router router(cluster->ConnectAll(),
+                         svc::PartitionMap::RoundRobin(1, 1), ropt);
+      std::vector<double>& lat = latencies[c];
+      lat.reserve(ops_per_client);
+      const std::uint64_t base = (c + 1) * 10'000'000ull;
+      std::uint64_t acked = 0;
+      for (std::size_t i = 0; i < ops_per_client; ++i) {
+        util::WallTimer op;
+        if (acked == 0 || i % 2 == 0) {
+          check(router.Put(make_file(base + acked)), "put");
+          ++acked;
+        } else {
+          const std::uint64_t id = base + (i * 2654435761ull) % acked;
+          auto r = router.Point(make_file(id).name);
+          check(r.status(), "point");
+          if (r->count() == 0) {
+            std::fprintf(stderr, "bench: acked name not found\n");
+            std::exit(1);
+          }
+        }
+        lat.push_back(op.seconds() * 1e6);
+      }
+      stats[c] = router.stats();
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  RunResult r;
+  r.shards = shards;
+  r.clients = clients;
+  r.ops = clients * ops_per_client;
+  r.seconds = t.seconds();
+  std::vector<double> all;
+  all.reserve(r.ops);
+  for (const auto& l : latencies) all.insert(all.end(), l.begin(), l.end());
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    r.p50_us = all[all.size() / 2];
+    r.p99_us = all[all.size() * 99 / 100];
+  }
+  for (const svc::RouterStats& s : stats) {
+    r.sends += s.sends;
+    r.retries += s.retries;
+    r.redirects += s.redirects;
+  }
+  check(cluster->Stop(), "cluster stop");
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+  }
+
+  const bool smoke = env_size("BENCH_SMOKE", 0) != 0;
+  const std::size_t clients = env_size("BENCH_CLIENTS", 4);
+  const std::size_t ops = env_size("BENCH_OPS", smoke ? 300 : 4000);
+
+  std::printf(
+      "bench_cluster: %zu clients x %zu ops (puts + point lookups), "
+      "in-process transport, hardware threads %u\n\n",
+      clients, ops, std::thread::hardware_concurrency());
+  std::printf("%-8s %10s %12s %10s %10s %10s %10s\n", "shards", "ops/s",
+              "seconds", "p50 us", "p99 us", "redirects", "retries");
+
+  std::vector<RunResult> results;
+  double base_per_sec = 0;
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    const RunResult r = run_cluster(shards, clients, ops);
+    if (shards == 1) base_per_sec = r.per_sec();
+    std::printf("%-8u %10.0f %12.3f %10.1f %10.1f %10llu %10llu\n", r.shards,
+                r.per_sec(), r.seconds, r.p50_us, r.p99_us,
+                static_cast<unsigned long long>(r.redirects),
+                static_cast<unsigned long long>(r.retries));
+    results.push_back(r);
+  }
+
+  const RunResult& last = results.back();
+  std::printf(
+      "\nsummary  : %u-shard routed throughput %.2fx of 1-shard; redirect "
+      "rate %.4f (stale-map self-correction is one redirect per client)\n",
+      last.shards, last.per_sec() / base_per_sec, last.redirect_rate());
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"clients\": %zu,\n  \"ops_per_client\": %zu,\n",
+                 clients, ops);
+    std::fprintf(f, "  \"runs\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const RunResult& r = results[i];
+      std::fprintf(f,
+                   "    {\"shards\": %u, \"ops\": %zu, \"seconds\": %.6f, "
+                   "\"ops_per_sec\": %.1f, \"p50_us\": %.1f, \"p99_us\": "
+                   "%.1f, \"sends\": %llu, \"retries\": %llu, \"redirects\": "
+                   "%llu, \"redirect_rate\": %.6f}%s\n",
+                   r.shards, r.ops, r.seconds, r.per_sec(), r.p50_us,
+                   r.p99_us, static_cast<unsigned long long>(r.sends),
+                   static_cast<unsigned long long>(r.retries),
+                   static_cast<unsigned long long>(r.redirects),
+                   r.redirect_rate(),
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+  return 0;
+}

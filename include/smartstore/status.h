@@ -18,6 +18,18 @@
 //                        cut would (test/bench harness support)
 //   kUnknown             an unclassified internal failure
 //
+// The networked service tier (src/rpc, src/svc) adds the codes a client
+// must branch on when the store is on the other side of a wire:
+//
+//   kUnavailable         the shard/endpoint cannot be reached right now —
+//                        retrying (with backoff) may succeed
+//   kTimeout             the request may or may not have been applied; a
+//                        retry MUST reuse the same request id so the
+//                        server-side dedup keeps the apply exactly-once
+//   kWrongShard          the contacted shard does not own the key under
+//                        the current partition map; the response carries
+//                        the authoritative map — refresh and re-route
+//
 // This header is deliberately self-contained (standard library only) so
 // lower layers — e.g. persist's exception-free recovery entry point — can
 // speak the same vocabulary without depending on the facade.
@@ -43,7 +55,14 @@ enum class StatusCode : std::uint8_t {
   kFailedPrecondition = 6,
   kFaultInjected = 7,
   kUnknown = 8,
+  kUnavailable = 9,
+  kTimeout = 10,
+  kWrongShard = 11,
 };
+
+/// One past the largest valid code — the bound a wire decoder checks a
+/// received byte against before casting.
+inline constexpr std::uint8_t kNumStatusCodes = 12;
 
 inline const char* status_code_name(StatusCode c) {
   switch (c) {
@@ -56,6 +75,9 @@ inline const char* status_code_name(StatusCode c) {
     case StatusCode::kFailedPrecondition: return "FailedPrecondition";
     case StatusCode::kFaultInjected: return "FaultInjected";
     case StatusCode::kUnknown: return "Unknown";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kTimeout: return "Timeout";
+    case StatusCode::kWrongShard: return "WrongShard";
   }
   return "Unknown";
 }
@@ -89,6 +111,25 @@ class Status {
   static Status Unknown(std::string msg) {
     return Status(StatusCode::kUnknown, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status WrongShard(std::string msg) {
+    return Status(StatusCode::kWrongShard, std::move(msg));
+  }
+
+  /// Rebuilds a Status from its wire representation (code byte + message);
+  /// out-of-range bytes collapse to kUnknown rather than trusting the peer.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return Status();
+    if (static_cast<std::uint8_t>(code) >= kNumStatusCodes) {
+      return Status(StatusCode::kUnknown, std::move(msg));
+    }
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -105,6 +146,9 @@ class Status {
     return code_ == StatusCode::kFailedPrecondition;
   }
   bool IsFaultInjected() const { return code_ == StatusCode::kFaultInjected; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsWrongShard() const { return code_ == StatusCode::kWrongShard; }
 
   std::string ToString() const {
     if (ok()) return "OK";

@@ -13,8 +13,13 @@
 #                       (put / batch / durable paths) and facade-level
 #                       open / bulkload / checkpoint / reopen /
 #                       crash-reopen timings (bench_db_api).
+#   BENCH_cluster.json  routed throughput / tail latency / redirect rate
+#                       of the service tier at 1/2/4/8 shards
+#                       (bench_cluster, concurrent routed clients over
+#                       the in-process transport).
 #
 #   scripts/bench_report.sh [build-dir] [core-json] [persist-json] [db-json]
+#                           [cluster-json]
 #
 # Honoured environment: BENCH_REPETITIONS (micro suite), BENCH_SMOKE=1
 # (tiny bench_concurrent sizes for CI smoke runs), BENCH_INSERTS,
@@ -25,6 +30,7 @@ BUILD_DIR=${1:-build}
 CORE_OUT=${2:-BENCH_core.json}
 PERSIST_OUT=${3:-BENCH_persist.json}
 DB_OUT=${4:-BENCH_db.json}
+CLUSTER_OUT=${5:-BENCH_cluster.json}
 
 if [ ! -d "$BUILD_DIR" ]; then
     echo "bench_report: build dir '$BUILD_DIR' not found — configure first:" >&2
@@ -58,5 +64,14 @@ if [ -x "$DB_API" ]; then
     echo "bench_report: wrote $DB_OUT"
 else
     echo "bench_report: $DB_API not built; skipping $DB_OUT" >&2
+    exit 1
+fi
+
+CLUSTER="$BUILD_DIR/bench/bench_cluster"
+if [ -x "$CLUSTER" ]; then
+    "$CLUSTER" --json "$CLUSTER_OUT"
+    echo "bench_report: wrote $CLUSTER_OUT"
+else
+    echo "bench_report: $CLUSTER not built; skipping $CLUSTER_OUT" >&2
     exit 1
 fi

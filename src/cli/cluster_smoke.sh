@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the CLI's cluster modes: two --serve processes (one
+# durable shard each, ephemeral ports published through --port-file) and
+# one --connect client that must ack every put and find every one back.
+#
+#   cluster_smoke.sh <path-to-smartstore_cli> <scratch-dir>
+set -euo pipefail
+
+CLI="$1"
+DIR="$2"
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+pids=()
+cleanup() {
+  kill "${pids[@]}" 2>/dev/null || true
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+N=2
+for k in $(seq 0 $((N - 1))); do
+  # --serve-seconds is a watchdog: the trap kills the servers long before.
+  "$CLI" --serve "$DIR/shard-$k" --shard "$k/$N" --port 0 \
+         --port-file "$DIR/port-$k" --serve-seconds 120 --units 4 &
+  pids+=($!)
+done
+
+endpoints=""
+for k in $(seq 0 $((N - 1))); do
+  for _ in $(seq 1 100); do
+    [ -s "$DIR/port-$k" ] && break
+    sleep 0.1
+  done
+  if [ ! -s "$DIR/port-$k" ]; then
+    echo "error: shard $k never published a port" >&2
+    exit 1
+  fi
+  endpoints="$endpoints${endpoints:+,}127.0.0.1:$(cat "$DIR/port-$k")"
+done
+
+"$CLI" --connect "$endpoints" --puts 40 --seed 7

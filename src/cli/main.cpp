@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "cli/cluster_mode.h"
 #include "smartstore/smartstore.h"
 #include "trace/profiles.h"
 #include "trace/query_gen.h"
@@ -63,6 +64,13 @@ struct CliOptions {
   std::string wal_dir;
   std::size_t bg_checkpoint = 0;  ///< checkpoint every N churn inserts
   std::size_t crash_at = 0;       ///< fault-injection point to die at
+
+  // Distributed modes (cluster_mode.h). --serve and --connect are
+  // mutually exclusive with each other and with the workload flow above.
+  bool serve = false;
+  cli::ServeOptions serve_opt;
+  bool connect = false;
+  cli::ConnectOptions connect_opt;
 };
 
 void usage(const char* argv0) {
@@ -103,6 +111,26 @@ void usage(const char* argv0) {
       "\n"
       "  --save/--load/--wal name the same deployment directory when more\n"
       "  than one is given (a Store owns exactly one directory).\n"
+      "\n"
+      "cluster modes (exclusive with the workload flags above):\n"
+      "  --serve DIR                serve one shard of a metadata-service\n"
+      "                             cluster from DIR (created if missing;\n"
+      "                             'mem' serves an in-memory shard)\n"
+      "  --shard k/N                this shard's index and the cluster\n"
+      "                             size (default 0/1)\n"
+      "  --port P                   TCP port to bind (default 0 =\n"
+      "                             ephemeral)\n"
+      "  --port-file FILE           write the bound port to FILE\n"
+      "  --serve-seconds S          stop serving after S seconds\n"
+      "                             (default 0 = until killed)\n"
+      "  --connect EPS              run the client workload against a\n"
+      "                             cluster; EPS is host:port[,host:port...]\n"
+      "                             with one endpoint per shard, in shard\n"
+      "                             order\n"
+      "  --puts N                   client workload size (default 64)\n"
+      "  --units/--fanout/--seed/--group-commit also shape --serve's store;\n"
+      "  --seed also varies --connect's workload names.\n"
+      "\n"
       "  --help                     this message\n",
       argv0);
 }
@@ -194,11 +222,55 @@ CliOptions parse_args(int argc, char** argv) {
       opt.bg_checkpoint = parse_size(i++);
     } else if (a == "--crash-at") {
       opt.crash_at = parse_size(i++);
+    } else if (a == "--serve") {
+      opt.serve = true;
+      const std::string v = need_value(i++);
+      opt.serve_opt.dir = (v == "mem") ? "" : v;
+    } else if (a == "--shard") {
+      const char* v = need_value(i++);
+      unsigned k = 0;
+      unsigned n = 0;
+      if (std::sscanf(v, "%u/%u", &k, &n) != 2 || n == 0 || k >= n) {
+        std::fprintf(stderr, "error: --shard expects k/N with k < N, got '%s'\n",
+                     v);
+        std::exit(2);
+      }
+      opt.serve_opt.shard_id = k;
+      opt.serve_opt.num_shards = n;
+    } else if (a == "--port") {
+      const std::uint64_t p = parse_size(i++);
+      if (p > 65535) {
+        std::fprintf(stderr, "error: --port must be <= 65535\n");
+        std::exit(2);
+      }
+      opt.serve_opt.port = static_cast<std::uint16_t>(p);
+    } else if (a == "--port-file") {
+      opt.serve_opt.port_file = need_value(i++);
+    } else if (a == "--serve-seconds") {
+      opt.serve_opt.serve_seconds = parse_size(i++);
+    } else if (a == "--connect") {
+      opt.connect = true;
+      opt.connect_opt.endpoints = need_value(i++);
+    } else if (a == "--puts") {
+      opt.connect_opt.puts = parse_size(i++);
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", a.c_str());
       usage(argv[0]);
       std::exit(2);
     }
+  }
+  if (opt.serve && opt.connect) {
+    std::fprintf(stderr,
+                 "error: --serve and --connect are separate processes\n");
+    std::exit(2);
+  }
+  if ((opt.serve || opt.connect) &&
+      (!opt.save_dir.empty() || !opt.load_dir.empty() ||
+       !opt.wal_dir.empty())) {
+    std::fprintf(stderr,
+                 "error: cluster modes take --serve DIR, not "
+                 "--save/--load/--wal\n");
+    std::exit(2);
   }
   if (opt.tif == 0 || opt.downscale == 0 || opt.units == 0 || opt.k == 0) {
     std::fprintf(stderr, "error: --tif/--downscale/--units/--k must be > 0\n");
@@ -282,7 +354,19 @@ std::string property(db::Store& store, const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliOptions opt = parse_args(argc, argv);
+  CliOptions opt = parse_args(argc, argv);
+
+  if (opt.serve) {
+    opt.serve_opt.units = opt.units;
+    opt.serve_opt.fanout = opt.fanout;
+    opt.serve_opt.seed = opt.seed;
+    opt.serve_opt.group_commit = opt.group_commit;
+    return cli::RunServe(opt.serve_opt);
+  }
+  if (opt.connect) {
+    opt.connect_opt.seed = opt.seed;
+    return cli::RunConnect(opt.connect_opt);
+  }
 
   const auto profile = trace::profile_for(opt.kind);
   std::printf("trace   : %s (TIF %u, downscale %u, seed %llu)\n",

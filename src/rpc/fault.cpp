@@ -1,0 +1,63 @@
+#include "rpc/fault.h"
+
+#include <chrono>
+#include <thread>
+
+namespace smartstore::rpc {
+
+int FaultChannel::roll() {
+  const util::MutexLock lock(mu_);
+  ++counts_.calls;
+  const double x = rng_.uniform();
+  double edge = spec_.duplicate_p;
+  if (x < edge) {
+    ++counts_.duplicated;
+    return 1;
+  }
+  edge += spec_.drop_request_p;
+  if (x < edge) {
+    ++counts_.dropped_requests;
+    return 2;
+  }
+  edge += spec_.drop_response_p;
+  if (x < edge) {
+    ++counts_.dropped_responses;
+    return 3;
+  }
+  edge += spec_.delay_p;
+  if (x < edge) {
+    ++counts_.delayed;
+    return 4;
+  }
+  return 0;
+}
+
+db::Status FaultChannel::Call(const Frame& req, Frame* resp) {
+  switch (roll()) {
+    case 1: {  // duplicate: same frame (same request id) delivered twice
+      Frame first;
+      const db::Status s1 = inner_->Call(req, &first);
+      (void)s1;  // the first copy's fate does not matter to the client
+      return inner_->Call(req, resp);
+    }
+    case 2:  // dropped before arrival: the server never saw it
+      return db::Status::Timeout("request dropped by fault injection");
+    case 3: {  // dropped after arrival: applied (maybe), answer lost
+      Frame discarded;
+      (void)inner_->Call(req, &discarded);
+      return db::Status::Timeout("response dropped by fault injection");
+    }
+    case 4:  // delayed: under concurrent clients this reorders deliveries
+      std::this_thread::sleep_for(std::chrono::microseconds(spec_.delay_us));
+      return inner_->Call(req, resp);
+    default:
+      return inner_->Call(req, resp);
+  }
+}
+
+FaultChannel::Counts FaultChannel::counts() const {
+  const util::MutexLock lock(mu_);
+  return counts_;
+}
+
+}  // namespace smartstore::rpc

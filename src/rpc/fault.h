@@ -1,0 +1,65 @@
+// Fault-injecting channel wrapper: the adversarial network for the retry-
+// semantics tests.
+//
+// Wraps any Channel and, per call, rolls a seeded die to duplicate the
+// delivery, drop the request before it arrives, drop the response after
+// the handler ran, or delay the delivery (which, under concurrent client
+// threads, reorders requests). Drops surface as kTimeout — the client
+// cannot know whether the server applied the request, which is exactly the
+// ambiguity the (client_id, seq) dedup protocol must absorb: the tests
+// assert exactly-once apply and no lost acked write under any mix of these
+// faults.
+//
+// Deterministic in the seed; the die is per-channel (its own leaf-rank
+// mutex), so concurrent callers stay race-free without serializing the
+// wrapped transport.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "rpc/transport.h"
+#include "util/annotated_mutex.h"
+#include "util/rng.h"
+#include "util/thread_annotations.h"
+
+namespace smartstore::rpc {
+
+struct FaultSpec {
+  double duplicate_p = 0;  ///< deliver the request twice, return the 2nd answer
+  double drop_request_p = 0;   ///< never delivered -> kTimeout
+  double drop_response_p = 0;  ///< delivered, answer lost -> kTimeout
+  double delay_p = 0;          ///< deliver after a short sleep (reordering)
+  std::uint32_t delay_us = 200;
+  std::uint64_t seed = 1;
+};
+
+class FaultChannel : public Channel {
+ public:
+  FaultChannel(std::shared_ptr<Channel> inner, const FaultSpec& spec)
+      : inner_(std::move(inner)), spec_(spec), rng_(spec.seed) {}
+
+  db::Status Call(const Frame& req, Frame* resp) override;
+
+  /// Accounting for assertions: how often each fault fired.
+  struct Counts {
+    std::uint64_t calls = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t dropped_requests = 0;
+    std::uint64_t dropped_responses = 0;
+    std::uint64_t delayed = 0;
+  };
+  Counts counts() const;
+
+ private:
+  /// One die roll (0=none, 1=dup, 2=drop-req, 3=drop-resp, 4=delay).
+  int roll();
+
+  std::shared_ptr<Channel> inner_;
+  const FaultSpec spec_;
+  mutable util::Mutex mu_;  ///< leaf: guards rng + counts only
+  util::Rng rng_ SS_GUARDED_BY(mu_);
+  Counts counts_ SS_GUARDED_BY(mu_);
+};
+
+}  // namespace smartstore::rpc

@@ -1,0 +1,67 @@
+#include "rpc/inproc.h"
+
+namespace smartstore::rpc {
+
+namespace {
+
+/// One delivery through the serialized wire format: encode on the client
+/// side, decode on the server side, run the handler, encode the response,
+/// decode it back on the client side. A codec bug therefore fails the
+/// in-process tests, not just the socket path.
+db::Status deliver(const Handler& handler, const Frame& req, Frame* resp) {
+  const std::vector<std::uint8_t> req_bytes = encode_frame(req);
+  Frame server_view;
+  db::Status s = decode_frame(req_bytes, &server_view);
+  if (!s.ok()) return s;
+  const Frame server_resp = handler(server_view);
+  const std::vector<std::uint8_t> resp_bytes = encode_frame(server_resp);
+  return decode_frame(resp_bytes, resp);
+}
+
+}  // namespace
+
+// Named (non-anonymous) so InprocNetwork's friend declaration matches.
+class InprocChannel : public Channel {
+ public:
+  InprocChannel(InprocNetwork* net, std::uint32_t shard)
+      : net_(net), shard_(shard) {}
+
+  db::Status Call(const Frame& req, Frame* resp) override {
+    const std::shared_ptr<Handler> h = net_->endpoint(shard_);
+    if (!h) {
+      return db::Status::Unavailable("shard " + std::to_string(shard_) +
+                                     " is not bound");
+    }
+    return deliver(*h, req, resp);
+  }
+
+ private:
+  InprocNetwork* net_;  ///< outlives every channel (owned by the cluster)
+  std::uint32_t shard_;
+};
+
+void InprocNetwork::Bind(std::uint32_t shard, Handler handler) {
+  const util::MutexLock lock(mu_);
+  endpoints_[shard] = std::make_shared<Handler>(std::move(handler));
+}
+
+void InprocNetwork::Unbind(std::uint32_t shard) {
+  const util::MutexLock lock(mu_);
+  endpoints_.erase(shard);
+}
+
+std::shared_ptr<Channel> InprocNetwork::Connect(std::uint32_t shard) {
+  return std::make_shared<InprocChannel>(this, shard);
+}
+
+bool InprocNetwork::IsBound(std::uint32_t shard) const {
+  return endpoint(shard) != nullptr;
+}
+
+std::shared_ptr<Handler> InprocNetwork::endpoint(std::uint32_t shard) const {
+  const util::MutexLock lock(mu_);
+  auto it = endpoints_.find(shard);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+}  // namespace smartstore::rpc

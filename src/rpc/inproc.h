@@ -1,0 +1,51 @@
+// In-process transport: the whole cluster inside one address space, so
+// multi-shard oracle tests run under CTest/ASan/TSan with the lock-rank
+// validator active.
+//
+// An InprocNetwork is a registry of shard id -> Handler. Channels resolve
+// the handler PER CALL (under the registry lock, released before
+// invocation), so a shard crashing (Unbind) or restarting (Bind) is
+// visible to existing channels immediately — exactly like a reconnecting
+// socket client. Every call still round-trips through encode_frame /
+// decode_frame on both sides: the in-process transport exercises the real
+// wire format, it only skips the kernel.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "rpc/transport.h"
+#include "util/annotated_mutex.h"
+#include "util/thread_annotations.h"
+
+namespace smartstore::rpc {
+
+class InprocNetwork {
+ public:
+  /// Registers (or replaces) the handler serving `shard`.
+  void Bind(std::uint32_t shard, Handler handler);
+
+  /// Removes the endpoint: subsequent Calls return kUnavailable. In-flight
+  /// deliveries complete (the handler copy is shared, not destroyed).
+  void Unbind(std::uint32_t shard);
+
+  /// A channel to `shard`. Valid before the shard is ever bound — calls
+  /// simply fail kUnavailable until Bind.
+  std::shared_ptr<Channel> Connect(std::uint32_t shard);
+
+  /// True when `shard` currently has a bound handler.
+  bool IsBound(std::uint32_t shard) const;
+
+ private:
+  friend class InprocChannel;
+
+  /// Snapshot of the endpoint for one delivery (nullptr when unbound).
+  std::shared_ptr<Handler> endpoint(std::uint32_t shard) const;
+
+  mutable util::Mutex mu_{util::LockRank::kRpcRegistry};
+  std::unordered_map<std::uint32_t, std::shared_ptr<Handler>> endpoints_
+      SS_GUARDED_BY(mu_);
+};
+
+}  // namespace smartstore::rpc

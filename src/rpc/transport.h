@@ -1,0 +1,45 @@
+// The transport seam of the service tier: everything that moves frames
+// implements Channel (client side) and accepts a Handler (server side), so
+// the meta-service, router and tests are transport-agnostic — the same
+// cluster logic runs over the in-process registry (CTest/TSan), the
+// fault-injecting wrapper (retry-semantics tests) and the socket transport
+// (real processes) without changing a line.
+//
+// Contract:
+//   * Call() is synchronous and thread-safe; many threads may share one
+//     Channel.
+//   * Transport-level failures come back as the Status return value:
+//       kUnavailable  the endpoint is gone/unreachable (retry may help
+//                     after backoff — the peer may be restarting)
+//       kTimeout      delivery is UNKNOWN: the request may have been
+//                     applied; a retry must reuse the same request id
+//     Application-level failures (kNotFound, kWrongShard, ...) ride
+//     INSIDE the response frame's status field with the Call() returning
+//     OK — the transport delivered an answer, the answer is the error.
+//   * Handler is invoked once per delivered request (the fault wrapper
+//     deliberately violates "once" — that is the point) and must not
+//     throw.
+#pragma once
+
+#include <functional>
+
+#include "rpc/wire.h"
+#include "smartstore/status.h"
+
+namespace smartstore::rpc {
+
+/// Server-side dispatch: consumes a decoded request frame, produces the
+/// response frame. Runs on the transport's delivery thread (the caller's
+/// thread for the in-process transport, a connection thread for sockets).
+using Handler = std::function<Frame(const Frame&)>;
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Delivers `req` and fills `resp`. See the contract above for the
+  /// split between transport-level and application-level failures.
+  virtual db::Status Call(const Frame& req, Frame* resp) = 0;
+};
+
+}  // namespace smartstore::rpc

@@ -1,0 +1,406 @@
+#include "rpc/wire.h"
+
+#include <cstring>
+
+#include "util/binary_io.h"
+#include "util/crc32.h"
+
+namespace smartstore::rpc {
+
+namespace {
+
+/// Runs a BinaryReader decode body, mapping the reader's bounds-check
+/// exception onto the wire boundary's kCorruption contract.
+template <typename Fn>
+db::Status decode_guard(const char* what, Fn&& fn) {
+  try {
+    fn();
+    return db::Status::OK();
+  } catch (const util::BinaryIoError& e) {
+    return db::Status::Corruption(std::string(what) + ": " + e.what());
+  } catch (const std::exception& e) {
+    return db::Status::Corruption(std::string(what) + ": " + e.what());
+  }
+}
+
+void append(const util::BinaryWriter& w, std::vector<std::uint8_t>* out) {
+  out->insert(out->end(), w.buffer().begin(), w.buffer().end());
+}
+
+std::uint32_t payload_crc(const std::vector<std::uint8_t>& p) {
+  return p.empty() ? util::crc32_final(util::crc32_init())
+                   : util::crc32(p.data(), p.size());
+}
+
+void write_file_fields(util::BinaryWriter& w, const metadata::FileMetadata& f) {
+  w.write_u64(f.id);
+  w.write_string(f.name);
+  for (std::size_t i = 0; i < metadata::kNumAttrs; ++i) {
+    w.write_f64(f.attrs[i]);
+  }
+}
+
+void read_file_fields(util::BinaryReader& r, metadata::FileMetadata* f) {
+  f->id = r.read_u64();
+  f->name = r.read_string();
+  for (std::size_t i = 0; i < metadata::kNumAttrs; ++i) {
+    f->attrs[i] = r.read_f64();
+  }
+}
+
+void write_dims(util::BinaryWriter& w, const metadata::AttrSubset& dims) {
+  w.write_u64(dims.size());
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    w.write_u8(static_cast<std::uint8_t>(dims[i]));
+  }
+}
+
+metadata::AttrSubset read_dims(util::BinaryReader& r) {
+  const std::uint64_t n =
+      r.read_u64_max(metadata::kNumAttrs, "attr subset size");
+  std::vector<metadata::Attr> attrs;
+  attrs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint8_t a = r.read_u8();
+    if (a >= metadata::kNumAttrs) {
+      throw util::BinaryIoError("attribute id out of range");
+    }
+    attrs.push_back(static_cast<metadata::Attr>(a));
+  }
+  return metadata::AttrSubset(std::move(attrs));
+}
+
+}  // namespace
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kPing: return "ping";
+    case Method::kPut: return "put";
+    case Method::kDelete: return "delete";
+    case Method::kPointQuery: return "point-query";
+    case Method::kRangeQuery: return "range-query";
+    case Method::kTopKQuery: return "topk-query";
+    case Method::kBatchWrite: return "batch-write";
+    case Method::kFlush: return "flush";
+    case Method::kGetMap: return "get-map";
+    case Method::kStats: return "stats";
+  }
+  return "?";
+}
+
+// ---- frame ------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_frame(const Frame& f) {
+  util::BinaryWriter w;
+  w.write_u32(kWireMagic);
+  // write_u32 is the only fixed-width integer writer below u64; the u16
+  // version travels in a u32's low half (the header layout counts it as
+  // 2 bytes of that u32; the high half is the type/method pair).
+  w.write_u8(static_cast<std::uint8_t>(kWireVersion & 0xff));
+  w.write_u8(static_cast<std::uint8_t>(kWireVersion >> 8));
+  w.write_u8(static_cast<std::uint8_t>(f.type));
+  w.write_u8(static_cast<std::uint8_t>(f.method));
+  w.write_u8(static_cast<std::uint8_t>(f.status));
+  w.write_u8(0);  // reserved
+  w.write_u32(f.shard);
+  w.write_u64(f.client_id);
+  w.write_u64(f.seq);
+  w.write_u64(f.map_version);
+  w.write_u32(static_cast<std::uint32_t>(f.payload.size()));
+  w.write_u32(payload_crc(f.payload));
+  std::vector<std::uint8_t> out = w.buffer();
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  return out;
+}
+
+db::Status peek_payload_len(const std::uint8_t* header, std::size_t size,
+                            std::uint32_t* len) {
+  if (size < kFrameHeaderBytes) {
+    return db::Status::Corruption("frame header truncated");
+  }
+  return decode_guard("frame header", [&] {
+    util::BinaryReader r(header, kFrameHeaderBytes);
+    if (r.read_u32() != kWireMagic) {
+      throw util::BinaryIoError("bad frame magic");
+    }
+    const std::uint16_t version = static_cast<std::uint16_t>(
+        r.read_u8() | (static_cast<std::uint16_t>(r.read_u8()) << 8));
+    if (version > kWireVersion) {
+      throw util::BinaryIoError("frame from a newer wire version");
+    }
+    r.skip(4);  // type, method, status, reserved
+    r.skip(4 + 8 + 8 + 8);
+    const std::uint32_t payload_len = r.read_u32();
+    if (payload_len > kMaxPayloadBytes) {
+      throw util::BinaryIoError("implausible payload length");
+    }
+    *len = payload_len;
+  });
+}
+
+db::Status decode_frame(const std::uint8_t* data, std::size_t size,
+                        Frame* out) {
+  if (size < kFrameHeaderBytes) {
+    return db::Status::Corruption("frame truncated before header end");
+  }
+  util::BinaryReader r(data, size);
+  std::uint16_t version = 0;
+  db::Status s = decode_guard("frame", [&] {
+    if (r.read_u32() != kWireMagic) {
+      throw util::BinaryIoError("bad frame magic");
+    }
+    version = static_cast<std::uint16_t>(
+        r.read_u8() | (static_cast<std::uint16_t>(r.read_u8()) << 8));
+  });
+  if (!s.ok()) return s;
+  if (version > kWireVersion) {
+    return db::Status::InvalidArgument(
+        "frame from wire version " + std::to_string(version) +
+        " (this build speaks " + std::to_string(kWireVersion) + ")");
+  }
+  return decode_guard("frame", [&] {
+    const std::uint8_t type = r.read_u8();
+    if (type > static_cast<std::uint8_t>(MsgType::kResponse)) {
+      throw util::BinaryIoError("bad message type");
+    }
+    out->type = static_cast<MsgType>(type);
+    const std::uint8_t method = r.read_u8();
+    if (method > static_cast<std::uint8_t>(Method::kStats)) {
+      throw util::BinaryIoError("unknown method");
+    }
+    out->method = static_cast<Method>(method);
+    const std::uint8_t status = r.read_u8();
+    if (status >= db::kNumStatusCodes) {
+      throw util::BinaryIoError("status code out of range");
+    }
+    out->status = static_cast<db::StatusCode>(status);
+    r.skip(1);  // reserved
+    out->shard = r.read_u32();
+    out->client_id = r.read_u64();
+    out->seq = r.read_u64();
+    out->map_version = r.read_u64();
+    const std::uint32_t payload_len = r.read_u32();
+    if (payload_len > kMaxPayloadBytes) {
+      throw util::BinaryIoError("implausible payload length");
+    }
+    const std::uint32_t crc = r.read_u32();
+    if (r.remaining() != payload_len) {
+      throw util::BinaryIoError("payload length does not match frame size");
+    }
+    out->payload.assign(data + r.position(), data + r.position() + payload_len);
+    if (payload_crc(out->payload) != crc) {
+      throw util::BinaryIoError("payload CRC mismatch");
+    }
+  });
+}
+
+db::Status decode_frame(const std::vector<std::uint8_t>& bytes, Frame* out) {
+  return decode_frame(bytes.data(), bytes.size(), out);
+}
+
+// ---- payload codecs ---------------------------------------------------------
+
+void encode_file(const metadata::FileMetadata& f,
+                 std::vector<std::uint8_t>* out) {
+  util::BinaryWriter w;
+  write_file_fields(w, f);
+  append(w, out);
+}
+
+db::Status decode_file(const std::vector<std::uint8_t>& in,
+                       metadata::FileMetadata* out) {
+  return decode_guard("file payload", [&] {
+    util::BinaryReader r(in);
+    read_file_fields(r, out);
+  });
+}
+
+void encode_name(const std::string& name, std::vector<std::uint8_t>* out) {
+  util::BinaryWriter w;
+  w.write_string(name);
+  append(w, out);
+}
+
+db::Status decode_name(const std::vector<std::uint8_t>& in, std::string* out) {
+  return decode_guard("name payload", [&] {
+    util::BinaryReader r(in);
+    *out = r.read_string();
+  });
+}
+
+void encode_point_query(const metadata::PointQuery& q,
+                        std::vector<std::uint8_t>* out) {
+  encode_name(q.filename, out);
+}
+
+db::Status decode_point_query(const std::vector<std::uint8_t>& in,
+                              metadata::PointQuery* out) {
+  return decode_name(in, &out->filename);
+}
+
+void encode_range_query(const metadata::RangeQuery& q,
+                        std::vector<std::uint8_t>* out) {
+  util::BinaryWriter w;
+  write_dims(w, q.dims);
+  w.write_vec_f64(q.lo);
+  w.write_vec_f64(q.hi);
+  append(w, out);
+}
+
+db::Status decode_range_query(const std::vector<std::uint8_t>& in,
+                              metadata::RangeQuery* out) {
+  return decode_guard("range query payload", [&] {
+    util::BinaryReader r(in);
+    out->dims = read_dims(r);
+    out->lo = r.read_vec_f64();
+    out->hi = r.read_vec_f64();
+  });
+}
+
+void encode_topk_query(const metadata::TopKQuery& q,
+                       std::vector<std::uint8_t>* out) {
+  util::BinaryWriter w;
+  write_dims(w, q.dims);
+  w.write_vec_f64(q.point);
+  w.write_u64(q.k);
+  append(w, out);
+}
+
+db::Status decode_topk_query(const std::vector<std::uint8_t>& in,
+                             metadata::TopKQuery* out) {
+  return decode_guard("topk query payload", [&] {
+    util::BinaryReader r(in);
+    out->dims = read_dims(r);
+    out->point = r.read_vec_f64();
+    out->k = r.read_u64();
+  });
+}
+
+void encode_batch(const std::vector<BatchOp>& ops,
+                  std::vector<std::uint8_t>* out) {
+  util::BinaryWriter w;
+  w.write_u64(ops.size());
+  for (const BatchOp& op : ops) {
+    w.write_u8(op.is_put ? 1 : 0);
+    if (op.is_put) {
+      write_file_fields(w, op.file);
+    } else {
+      w.write_string(op.name);
+    }
+  }
+  append(w, out);
+}
+
+db::Status decode_batch(const std::vector<std::uint8_t>& in,
+                        std::vector<BatchOp>* out) {
+  return decode_guard("batch payload", [&] {
+    util::BinaryReader r(in);
+    // Each op is at least 2 bytes (tag + shortest field), so a count
+    // larger than the remaining bytes is garbage, not a big batch.
+    const std::uint64_t n = r.read_u64_max(r.remaining(), "batch op count");
+    out->clear();
+    out->reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      BatchOp op;
+      op.is_put = r.read_u8() != 0;
+      if (op.is_put) {
+        read_file_fields(r, &op.file);
+      } else {
+        op.name = r.read_string();
+      }
+      out->push_back(std::move(op));
+    }
+  });
+}
+
+void encode_query_result(const db::QueryResult& r,
+                         std::vector<std::uint8_t>* out) {
+  util::BinaryWriter w;
+  w.write_u8(static_cast<std::uint8_t>(r.kind));
+  w.write_bool(r.found);
+  w.write_u64(r.id);
+  w.write_u64(r.unit);
+  w.write_bool(r.first_try);
+  w.write_vec_u64(r.ids);
+  w.write_u64(r.hits.size());
+  for (const auto& [dist, id] : r.hits) {
+    w.write_f64(dist);
+    w.write_u64(id);
+  }
+  w.write_f64(r.stats.latency_s);
+  w.write_u64(r.stats.messages);
+  w.write_u64(r.stats.hops);
+  w.write_i32(r.stats.routing_hops);
+  w.write_u64(r.stats.groups_visited);
+  w.write_u64(r.stats.records_scanned);
+  w.write_f64(r.stats.version_check_s);
+  w.write_bool(r.stats.failed);
+  append(w, out);
+}
+
+db::Status decode_query_result(const std::vector<std::uint8_t>& in,
+                               db::QueryResult* out) {
+  return decode_guard("query result payload", [&] {
+    util::BinaryReader r(in);
+    const std::uint8_t kind = r.read_u8();
+    if (kind > static_cast<std::uint8_t>(db::QueryKind::kTopK)) {
+      throw util::BinaryIoError("query kind out of range");
+    }
+    out->kind = static_cast<db::QueryKind>(kind);
+    out->found = r.read_bool();
+    out->id = r.read_u64();
+    out->unit = r.read_u64();
+    out->first_try = r.read_bool();
+    out->ids = r.read_vec_u64();
+    const std::uint64_t nhits =
+        r.read_u64_max(r.remaining() / (8 + 8), "hit count");
+    out->hits.clear();
+    out->hits.reserve(nhits);
+    for (std::uint64_t i = 0; i < nhits; ++i) {
+      const double dist = r.read_f64();
+      const std::uint64_t id = r.read_u64();
+      out->hits.emplace_back(dist, id);
+    }
+    out->stats.latency_s = r.read_f64();
+    out->stats.messages = r.read_u64();
+    out->stats.hops = r.read_u64();
+    out->stats.routing_hops = r.read_i32();
+    out->stats.groups_visited = r.read_u64();
+    out->stats.records_scanned = r.read_u64();
+    out->stats.version_check_s = r.read_f64();
+    out->stats.failed = r.read_bool();
+  });
+}
+
+void encode_message(const std::string& msg, std::vector<std::uint8_t>* out) {
+  encode_name(msg, out);
+}
+
+db::Status decode_message(const std::vector<std::uint8_t>& in,
+                          std::string* out) {
+  return decode_name(in, out);
+}
+
+void encode_shard_stats(const ShardStats& s, std::vector<std::uint8_t>* out) {
+  util::BinaryWriter w;
+  w.write_u64(s.applied_puts);
+  w.write_u64(s.applied_deletes);
+  w.write_u64(s.dup_hits);
+  w.write_u64(s.wrong_shard);
+  w.write_u64(s.total_files);
+  append(w, out);
+}
+
+db::Status decode_shard_stats(const std::vector<std::uint8_t>& in,
+                              ShardStats* out) {
+  return decode_guard("shard stats payload", [&] {
+    util::BinaryReader r(in);
+    out->applied_puts = r.read_u64();
+    out->applied_deletes = r.read_u64();
+    out->dup_hits = r.read_u64();
+    out->wrong_shard = r.read_u64();
+    out->total_files = r.read_u64();
+  });
+}
+
+}  // namespace smartstore::rpc

@@ -1,0 +1,175 @@
+#include "svc/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace smartstore::svc {
+
+Cluster::Cluster(const ClusterOptions& options)
+    : options_(options),
+      map_(PartitionMap::RoundRobin(options.num_shards, options.map_version)) {
+}
+
+std::string Cluster::ShardPath(std::uint32_t shard) const {
+  return options_.dir + "/shard-" + std::to_string(shard);
+}
+
+db::Options Cluster::ShardStoreOptions(std::uint32_t shard) const {
+  db::Options o = options_.store_options;
+  o.in_memory = options_.in_memory;
+  o.create_if_missing = true;
+  o.seed = o.seed + shard;  // distinct placement rngs per shard
+  if (options_.in_memory) {
+    // In-memory stores reject durability knobs (nothing to checkpoint).
+    o.checkpoint_every = 0;
+  } else {
+    // Acked => durable: every mutation's WAL append fsyncs before the
+    // response leaves the shard, so Abandon cannot lose an acked write.
+    o.enable_wal = true;
+    o.group_commit = std::max<std::size_t>(1, o.group_commit);
+  }
+  return o;
+}
+
+db::StatusOr<std::shared_ptr<Cluster::Node>> Cluster::OpenShard(
+    std::uint32_t shard) const {
+  auto opened = db::Store::Open(
+      ShardStoreOptions(shard),
+      options_.in_memory ? std::string() : ShardPath(shard));
+  if (!opened.ok()) return opened.status();
+  auto node = std::make_shared<Node>();
+  node->store = std::move(opened).value();
+  MetaServiceOptions service_options;
+  service_options.shard_id = shard;
+  service_options.dedup_capacity = options_.dedup_capacity;
+  node->service =
+      std::make_unique<MetaService>(node->store.get(), map_, service_options);
+  return node;
+}
+
+void Cluster::BindShard(std::uint32_t shard,
+                        const std::shared_ptr<Node>& node) {
+  // The handler holds the node: a delivery racing Crash() completes
+  // against the old store (which answers kUnavailable once abandoned)
+  // rather than a dangling pointer.
+  network_.Bind(shard, [node](const rpc::Frame& req) {
+    return node->service->Handle(req);
+  });
+}
+
+db::StatusOr<std::unique_ptr<Cluster>> Cluster::Start(
+    const ClusterOptions& options) {
+  if (options.num_shards == 0) {
+    return db::Status::InvalidArgument("num_shards must be > 0");
+  }
+  if (!options.in_memory && options.dir.empty()) {
+    return db::Status::InvalidArgument(
+        "durable cluster needs a root directory");
+  }
+  std::unique_ptr<Cluster> cluster(new Cluster(options));
+  {
+    const util::MutexLock lock(cluster->mu_);
+    cluster->nodes_.resize(options.num_shards);
+    cluster->up_.assign(options.num_shards, 0);
+  }
+  for (std::uint32_t shard = 0; shard < options.num_shards; ++shard) {
+    auto node = cluster->OpenShard(shard);
+    if (!node.ok()) {
+      (void)cluster->Stop();  // tear down the shards that did start
+      return node.status();
+    }
+    {
+      const util::MutexLock lock(cluster->mu_);
+      cluster->nodes_[shard] = node.value();
+      cluster->up_[shard] = 1;
+    }
+    cluster->BindShard(shard, node.value());
+  }
+  return cluster;
+}
+
+Cluster::~Cluster() { (void)Stop(); }
+
+db::Status Cluster::Crash(std::uint32_t shard) {
+  std::shared_ptr<Node> node;
+  {
+    const util::MutexLock lock(mu_);
+    if (shard >= nodes_.size()) {
+      return db::Status::InvalidArgument("no such shard");
+    }
+    if (!up_[shard]) {
+      return db::Status::FailedPrecondition("shard already down");
+    }
+    up_[shard] = 0;
+    node = nodes_[shard];
+  }
+  // Unbind first: new calls fail kUnavailable instead of racing the
+  // abandon. Then Abandon with no cluster lock held (rank 0 descent).
+  network_.Unbind(shard);
+  node->store->Abandon();
+  return db::Status();
+}
+
+db::Status Cluster::Restart(std::uint32_t shard) {
+  {
+    const util::MutexLock lock(mu_);
+    if (shard >= nodes_.size()) {
+      return db::Status::InvalidArgument("no such shard");
+    }
+    if (up_[shard]) {
+      return db::Status::FailedPrecondition("shard is up; Crash it first");
+    }
+  }
+  auto node = OpenShard(shard);  // recovery: snapshot load + WAL replay
+  if (!node.ok()) return node.status();
+  std::shared_ptr<Node> retired;
+  {
+    const util::MutexLock lock(mu_);
+    retired = std::move(nodes_[shard]);
+    nodes_[shard] = node.value();
+    up_[shard] = 1;
+  }
+  // `retired` (the crashed node) drops its last reference HERE, outside
+  // the cluster lock: ~Store descends to the rank-0 lifecycle lock, and
+  // holding rank 62 across that is a validator abort.
+  retired.reset();
+  BindShard(shard, node.value());
+  return db::Status();
+}
+
+db::Status Cluster::Stop() {
+  std::vector<std::shared_ptr<Node>> live;
+  {
+    const util::MutexLock lock(mu_);
+    for (std::size_t shard = 0; shard < nodes_.size(); ++shard) {
+      if (!up_[shard]) continue;
+      up_[shard] = 0;
+      live.push_back(nodes_[shard]);
+    }
+  }
+  db::Status first_error;
+  for (std::uint32_t shard = 0; shard < options_.num_shards; ++shard) {
+    network_.Unbind(shard);
+  }
+  for (const std::shared_ptr<Node>& node : live) {
+    const db::Status s = node->store->Close();
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+bool Cluster::IsUp(std::uint32_t shard) const {
+  const util::MutexLock lock(mu_);
+  return shard < up_.size() && up_[shard] != 0;
+}
+
+std::vector<std::shared_ptr<rpc::Channel>> Cluster::ConnectAll() {
+  std::vector<std::shared_ptr<rpc::Channel>> channels;
+  channels.reserve(options_.num_shards);
+  for (std::uint32_t shard = 0; shard < options_.num_shards; ++shard) {
+    channels.push_back(network_.Connect(shard));
+  }
+  return channels;
+}
+
+}  // namespace smartstore::svc

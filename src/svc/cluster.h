@@ -1,0 +1,116 @@
+// Cluster: N shard stores, each wrapped in a MetaService and bound to an
+// in-process transport endpoint — the whole deployment in one address
+// space, so the oracle tests (and bench_cluster) run the REAL service
+// stack under CTest, ASan, TSan, and the lock-rank validator.
+//
+// Each shard k owns an independent db::Store (directory `<dir>/shard-<k>`,
+// or a private in-memory store) and serves the slice of the namespace the
+// shared partition map assigns it. Durable clusters force group_commit >= 1
+// on the shard stores: every acknowledged mutation is WAL-fsynced before
+// the response frame leaves the shard, which is what makes the
+// crash-recovery oracle ("no acked write lost") a theorem instead of a
+// race.
+//
+// Crash discipline (mirrors a process dying):
+//   Crash(k):  Unbind the endpoint FIRST (new calls fail kUnavailable),
+//              then Abandon the store — pending WAL batches are dropped
+//              un-committed, the LOCK file is released. Both happen with
+//              NO cluster lock held: Abandon starts at lock rank 0, and
+//              the validator would abort a hold-across-the-facade.
+//   Restart(k): re-Open the directory (snapshot load + WAL replay), build
+//              a fresh MetaService (EMPTY dedup table — the reason
+//              service-level mutations are also store-level idempotent),
+//              re-Bind.
+//
+// In-flight safety: the bound handler keeps the shard node alive via
+// shared_ptr, so a delivery racing a crash completes against the old node
+// (whose store answers kFailedPrecondition -> kUnavailable once
+// abandoned) instead of a dangling pointer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/inproc.h"
+#include "smartstore/store.h"
+#include "svc/meta_service.h"
+#include "svc/partition.h"
+#include "util/annotated_mutex.h"
+#include "util/thread_annotations.h"
+
+namespace smartstore::svc {
+
+struct ClusterOptions {
+  std::uint32_t num_shards = 4;
+  /// In-memory shards: fast, but Restart recovers an EMPTY store (crash
+  /// oracles need a durable cluster).
+  bool in_memory = true;
+  /// Root directory for durable shards (ignored when in_memory).
+  std::string dir;
+  /// Template for every shard's store (per-shard: path and seed differ;
+  /// durable clusters force group_commit >= 1 so acks are durable).
+  db::Options store_options;
+  std::uint64_t map_version = 1;
+  std::size_t dedup_capacity = 4096;
+};
+
+class Cluster {
+ public:
+  /// Opens every shard store and binds every endpoint. On any failure the
+  /// already-started shards are torn down.
+  static db::StatusOr<std::unique_ptr<Cluster>> Start(
+      const ClusterOptions& options);
+
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Simulated power cut for shard k. kFailedPrecondition if already down.
+  db::Status Crash(std::uint32_t shard);
+
+  /// Recovers shard k from its directory and rebinds it.
+  db::Status Restart(std::uint32_t shard);
+
+  /// Graceful shutdown of every live shard (Close, not Abandon).
+  /// Idempotent; the destructor calls it.
+  db::Status Stop();
+
+  /// A client channel to shard k (valid across crash/restart cycles).
+  std::shared_ptr<rpc::Channel> Connect(std::uint32_t shard) {
+    return network_.Connect(shard);
+  }
+  /// Channels [0, num_shards) — the Router's constructor argument.
+  std::vector<std::shared_ptr<rpc::Channel>> ConnectAll();
+
+  const PartitionMap& map() const { return map_; }
+  std::uint32_t num_shards() const { return options_.num_shards; }
+  bool IsUp(std::uint32_t shard) const;
+  rpc::InprocNetwork* network() { return &network_; }
+
+ private:
+  /// One shard's store + service, kept alive together by the bound
+  /// handler's shared_ptr.
+  struct Node {
+    std::unique_ptr<db::Store> store;
+    std::unique_ptr<MetaService> service;
+  };
+
+  explicit Cluster(const ClusterOptions& options);
+
+  db::Options ShardStoreOptions(std::uint32_t shard) const;
+  std::string ShardPath(std::uint32_t shard) const;
+  db::StatusOr<std::shared_ptr<Node>> OpenShard(std::uint32_t shard) const;
+  void BindShard(std::uint32_t shard, const std::shared_ptr<Node>& node);
+
+  const ClusterOptions options_;
+  const PartitionMap map_;
+  rpc::InprocNetwork network_;
+
+  mutable util::Mutex mu_{util::LockRank::kSvcCluster};
+  std::vector<std::shared_ptr<Node>> nodes_ SS_GUARDED_BY(mu_);
+  std::vector<char> up_ SS_GUARDED_BY(mu_);
+};
+
+}  // namespace smartstore::svc

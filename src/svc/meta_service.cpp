@@ -1,0 +1,339 @@
+#include "svc/meta_service.h"
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace smartstore::svc {
+
+namespace {
+
+/// What a store failure means to a remote client. kFaultInjected (crash
+/// point fired) and kFailedPrecondition (handle already torn down) both
+/// mean "this shard cannot serve right now" — the retryable kUnavailable.
+/// Everything else (kNotFound, kCorruption, ...) is a real answer and
+/// passes through.
+db::StatusCode client_code(const db::Status& s) {
+  if (s.IsFaultInjected() || s.IsFailedPrecondition()) {
+    return db::StatusCode::kUnavailable;
+  }
+  return s.code();
+}
+
+void set_result(rpc::Frame* resp, const db::Status& s) {
+  resp->status = client_code(s);
+  resp->payload.clear();
+  if (!s.ok()) rpc::encode_message(s.message(), &resp->payload);
+}
+
+}  // namespace
+
+MetaService::MetaService(db::Store* store, PartitionMap map,
+                         MetaServiceOptions options)
+    : store_(store), map_(std::move(map)), options_(options) {}
+
+rpc::Frame MetaService::Handle(const rpc::Frame& req) {
+  rpc::Frame resp;
+  resp.type = rpc::MsgType::kResponse;
+  resp.method = req.method;
+  resp.shard = options_.shard_id;
+  resp.client_id = req.client_id;
+  resp.seq = req.seq;
+  resp.map_version = map_.version;
+
+  if (req.type != rpc::MsgType::kRequest) {
+    set_result(&resp,
+               db::Status::InvalidArgument("response frame sent as request"));
+    return resp;
+  }
+
+  switch (req.method) {
+    case rpc::Method::kPing:
+      resp.payload = req.payload;  // echo
+      break;
+    case rpc::Method::kPut:
+      HandlePut(req, &resp);
+      break;
+    case rpc::Method::kDelete:
+      HandleDelete(req, &resp);
+      break;
+    case rpc::Method::kBatchWrite:
+      HandleBatch(req, &resp);
+      break;
+    case rpc::Method::kPointQuery:
+      HandlePointQuery(req, &resp);
+      break;
+    case rpc::Method::kRangeQuery:
+      HandleRangeQuery(req, &resp);
+      break;
+    case rpc::Method::kTopKQuery:
+      HandleTopKQuery(req, &resp);
+      break;
+    case rpc::Method::kFlush:
+      HandleFlush(&resp);
+      break;
+    case rpc::Method::kGetMap:
+      HandleGetMap(&resp);
+      break;
+    case rpc::Method::kStats:
+      HandleStats(&resp);
+      break;
+  }
+  return resp;
+}
+
+// ---- dedup ------------------------------------------------------------------
+
+bool MetaService::Claim(const DedupKey& key, db::StatusCode* status,
+                        std::vector<std::uint8_t>* payload) {
+  util::UniqueLock lock(dedup_mu_);
+  auto it = dedup_.find(key);
+  if (it == dedup_.end()) {
+    dedup_.emplace(key, std::make_shared<DedupEntry>());
+    dedup_fifo_.push_back(key);
+    // FIFO eviction of COMPLETED entries only: a pending entry at the
+    // front blocks eviction (it has live waiters; capacity overshoot is
+    // bounded by in-flight requests).
+    while (dedup_fifo_.size() > options_.dedup_capacity) {
+      const DedupKey victim = dedup_fifo_.front();
+      auto vit = dedup_.find(victim);
+      if (vit != dedup_.end() && !vit->second->done) break;
+      dedup_fifo_.pop_front();
+      if (vit != dedup_.end()) dedup_.erase(vit);
+    }
+    return true;
+  }
+  // Duplicate: wait out a pending twin, then replay the published answer.
+  // The shared_ptr keeps the entry alive independent of eviction.
+  const std::shared_ptr<DedupEntry> entry = it->second;
+  dup_hits_.fetch_add(1, std::memory_order_relaxed);
+  dedup_cv_.wait(lock, [&] { return entry->done; });
+  *status = entry->status;
+  *payload = entry->payload;
+  return false;
+}
+
+void MetaService::Publish(const DedupKey& key, db::StatusCode status,
+                          const std::vector<std::uint8_t>& payload) {
+  {
+    const util::MutexLock lock(dedup_mu_);
+    auto it = dedup_.find(key);
+    if (it != dedup_.end()) {
+      it->second->status = status;
+      it->second->payload = payload;
+      it->second->done = true;
+    }
+  }
+  dedup_cv_.notify_all();
+}
+
+// ---- keyed mutations --------------------------------------------------------
+
+db::Status MetaService::ApplyPut(const metadata::FileMetadata& file) {
+  // Upsert: replace-on-exists, so a retry replayed after a crash (empty
+  // dedup table) converges to the same record instead of duplicating it.
+  const db::Status removed = store_->Delete(file.name);
+  if (!removed.ok() && !removed.IsNotFound()) return removed;
+  return store_->Put(file);
+}
+
+db::Status MetaService::ApplyDelete(const std::string& name) {
+  // Idempotent: "already absent" and "deleted it" are the same outcome to
+  // a client whose earlier attempt may have applied invisibly.
+  const db::Status s = store_->Delete(name);
+  if (s.IsNotFound()) return db::Status();
+  return s;
+}
+
+bool MetaService::RejectWrongShard(const std::string& name,
+                                   rpc::Frame* resp) {
+  const std::uint32_t owner = map_.shard_of(name);
+  if (owner == options_.shard_id) return false;
+  wrong_shard_.fetch_add(1, std::memory_order_relaxed);
+  resp->status = db::StatusCode::kWrongShard;
+  // The current map rides in the payload: the redirect teaches the stale
+  // client the authoritative routing in one round trip.
+  resp->payload.clear();
+  encode_partition_map(map_, &resp->payload);
+  return true;
+}
+
+void MetaService::HandlePut(const rpc::Frame& req, rpc::Frame* resp) {
+  metadata::FileMetadata file;
+  db::Status s = rpc::decode_file(req.payload, &file);
+  if (!s.ok()) {
+    set_result(resp, s);
+    return;
+  }
+  // Ownership before dedup: a wrong-shard rejection must not occupy a
+  // request id the client will reuse against the right shard.
+  if (RejectWrongShard(file.name, resp)) return;
+
+  const DedupKey key{req.client_id, req.seq};
+  db::StatusCode code = db::StatusCode::kOk;
+  std::vector<std::uint8_t> payload;
+  if (!Claim(key, &code, &payload)) {
+    resp->status = code;
+    resp->payload = std::move(payload);
+    return;
+  }
+  s = ApplyPut(file);  // no service lock held (store is rank 0)
+  if (s.ok()) applied_puts_.fetch_add(1, std::memory_order_relaxed);
+  set_result(resp, s);
+  Publish(key, resp->status, resp->payload);
+}
+
+void MetaService::HandleDelete(const rpc::Frame& req, rpc::Frame* resp) {
+  std::string name;
+  db::Status s = rpc::decode_name(req.payload, &name);
+  if (!s.ok()) {
+    set_result(resp, s);
+    return;
+  }
+  if (RejectWrongShard(name, resp)) return;
+
+  const DedupKey key{req.client_id, req.seq};
+  db::StatusCode code = db::StatusCode::kOk;
+  std::vector<std::uint8_t> payload;
+  if (!Claim(key, &code, &payload)) {
+    resp->status = code;
+    resp->payload = std::move(payload);
+    return;
+  }
+  s = ApplyDelete(name);
+  if (s.ok()) applied_deletes_.fetch_add(1, std::memory_order_relaxed);
+  set_result(resp, s);
+  Publish(key, resp->status, resp->payload);
+}
+
+void MetaService::HandleBatch(const rpc::Frame& req, rpc::Frame* resp) {
+  std::vector<rpc::BatchOp> ops;
+  db::Status s = rpc::decode_batch(req.payload, &ops);
+  if (!s.ok()) {
+    set_result(resp, s);
+    return;
+  }
+  // The whole batch must belong here; the router splits per shard, so a
+  // mixed batch means a stale map — reject before anything applies.
+  for (const rpc::BatchOp& op : ops) {
+    const std::string& name = op.is_put ? op.file.name : op.name;
+    if (RejectWrongShard(name, resp)) return;
+  }
+
+  const DedupKey key{req.client_id, req.seq};
+  db::StatusCode code = db::StatusCode::kOk;
+  std::vector<std::uint8_t> payload;
+  if (!Claim(key, &code, &payload)) {
+    resp->status = code;
+    resp->payload = std::move(payload);
+    return;
+  }
+  // Applied op-by-op through the idempotent forms, in order, so a replay
+  // after a mid-batch crash re-converges instead of double-applying the
+  // prefix that made it to the WAL.
+  s = db::Status();
+  for (const rpc::BatchOp& op : ops) {
+    s = op.is_put ? ApplyPut(op.file) : ApplyDelete(op.name);
+    if (!s.ok()) break;
+    if (op.is_put) {
+      applied_puts_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      applied_deletes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  set_result(resp, s);
+  Publish(key, resp->status, resp->payload);
+}
+
+// ---- queries ----------------------------------------------------------------
+
+void MetaService::HandlePointQuery(const rpc::Frame& req, rpc::Frame* resp) {
+  metadata::PointQuery q;
+  db::Status s = rpc::decode_point_query(req.payload, &q);
+  if (!s.ok()) {
+    set_result(resp, s);
+    return;
+  }
+  if (RejectWrongShard(q.filename, resp)) return;
+  db::StatusOr<db::QueryResult> r =
+      store_->Query(db::QueryRequest::Point(std::move(q)));
+  if (!r.ok()) {
+    set_result(resp, r.status());
+    return;
+  }
+  resp->status = db::StatusCode::kOk;
+  resp->payload.clear();
+  rpc::encode_query_result(*r, &resp->payload);
+}
+
+void MetaService::HandleRangeQuery(const rpc::Frame& req, rpc::Frame* resp) {
+  metadata::RangeQuery q;
+  db::Status s = rpc::decode_range_query(req.payload, &q);
+  if (!s.ok()) {
+    set_result(resp, s);
+    return;
+  }
+  db::StatusOr<db::QueryResult> r =
+      store_->Query(db::QueryRequest::Range(std::move(q)));
+  if (!r.ok()) {
+    set_result(resp, r.status());
+    return;
+  }
+  resp->status = db::StatusCode::kOk;
+  resp->payload.clear();
+  rpc::encode_query_result(*r, &resp->payload);
+}
+
+void MetaService::HandleTopKQuery(const rpc::Frame& req, rpc::Frame* resp) {
+  metadata::TopKQuery q;
+  db::Status s = rpc::decode_topk_query(req.payload, &q);
+  if (!s.ok()) {
+    set_result(resp, s);
+    return;
+  }
+  db::StatusOr<db::QueryResult> r =
+      store_->Query(db::QueryRequest::TopK(std::move(q)));
+  if (!r.ok()) {
+    set_result(resp, r.status());
+    return;
+  }
+  resp->status = db::StatusCode::kOk;
+  resp->payload.clear();
+  rpc::encode_query_result(*r, &resp->payload);
+}
+
+// ---- control ----------------------------------------------------------------
+
+void MetaService::HandleFlush(rpc::Frame* resp) {
+  // An in-memory shard has no WAL to commit; "everything acked is as
+  // durable as it will ever be" is trivially true, not a precondition
+  // failure the client should retry.
+  if (store_->options().in_memory) {
+    set_result(resp, db::Status());
+    return;
+  }
+  set_result(resp, store_->Flush());
+}
+
+void MetaService::HandleGetMap(rpc::Frame* resp) {
+  resp->status = db::StatusCode::kOk;
+  resp->payload.clear();
+  encode_partition_map(map_, &resp->payload);
+}
+
+void MetaService::HandleStats(rpc::Frame* resp) {
+  rpc::ShardStats stats;
+  stats.applied_puts = applied_puts_.load(std::memory_order_relaxed);
+  stats.applied_deletes = applied_deletes_.load(std::memory_order_relaxed);
+  stats.dup_hits = dup_hits_.load(std::memory_order_relaxed);
+  stats.wrong_shard = wrong_shard_.load(std::memory_order_relaxed);
+  std::string value;
+  if (store_->GetProperty("smartstore.total-files", &value)) {
+    stats.total_files = std::strtoull(value.c_str(), nullptr, 10);
+  }
+  resp->status = db::StatusCode::kOk;
+  resp->payload.clear();
+  rpc::encode_shard_stats(stats, &resp->payload);
+}
+
+}  // namespace smartstore::svc

@@ -1,0 +1,145 @@
+// MetaService: the stateless server-side operator that turns one shard's
+// db::Store into a metadata service endpoint.
+//
+// "Stateless" in the serving sense: everything a request needs is in the
+// frame, and everything durable is in the Store — the service object
+// itself holds only the shard's partition map (an immutable value) and an
+// in-memory request-id dedup table that exists purely to absorb transport
+// retries. Losing the service object (crash) loses nothing a retry cannot
+// reconstruct.
+//
+// Request-id dedup / exactly-once contract:
+//   - every KEYED MUTATION (Put / Delete / BatchWrite) carries
+//     (client_id, seq); a retry resends the SAME pair.
+//   - the first arrival installs a Pending entry, applies the mutation
+//     with NO service lock held (Store calls start at lock rank 0 — the
+//     validator aborts a hold-across-the-facade), then publishes the
+//     response as Done.
+//   - concurrent duplicates WAIT on the Pending entry; later duplicates
+//     replay the Done response. Either way the store applies once.
+//   - across a crash/restart the table is empty, so mutations must ALSO be
+//     idempotent at the store level: Put is an upsert (replace-on-exists)
+//     and Delete treats already-absent as success. A replayed mutation
+//     therefore converges to the same state instead of failing.
+//   - queries are read-only and skip the table entirely.
+//
+// Ownership: keyed requests are checked against the shard's current map
+// BEFORE dedup registration; a kWrongShard response carries the current
+// map in its payload so a stale client refreshes in one round trip.
+//
+// Store error mapping: kFaultInjected / kFailedPrecondition from the store
+// mean the shard is mid-crash or already torn down — the client-visible
+// truth is "this shard is unavailable, retry elsewhere/later", so both map
+// to kUnavailable in the response frame.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "rpc/transport.h"
+#include "rpc/wire.h"
+#include "smartstore/store.h"
+#include "svc/partition.h"
+#include "util/annotated_mutex.h"
+#include "util/thread_annotations.h"
+
+namespace smartstore::svc {
+
+struct MetaServiceOptions {
+  std::uint32_t shard_id = 0;
+  /// Dedup entries retained (FIFO eviction of completed entries). Sized to
+  /// cover every in-flight-or-recently-acked request across all clients;
+  /// an evicted entry degrades to the store-level idempotence path.
+  std::size_t dedup_capacity = 4096;
+};
+
+class MetaService {
+ public:
+  /// `store` must outlive the service and every in-flight Handle call.
+  MetaService(db::Store* store, PartitionMap map, MetaServiceOptions options);
+
+  /// Serves one request frame; always returns a response frame (decode
+  /// errors and store failures travel in the response's status byte).
+  /// Thread-safe.
+  rpc::Frame Handle(const rpc::Frame& req);
+
+  /// Adapter for transport Bind.
+  rpc::Handler handler() {
+    return [this](const rpc::Frame& req) { return Handle(req); };
+  }
+
+  const PartitionMap& map() const { return map_; }
+  std::uint32_t shard_id() const { return options_.shard_id; }
+
+ private:
+  /// A published (or pending) response for one request id.
+  struct DedupEntry {
+    bool done = false;
+    db::StatusCode status = db::StatusCode::kOk;
+    std::vector<std::uint8_t> payload;
+  };
+  using DedupKey = std::pair<std::uint64_t, std::uint64_t>;
+  struct DedupKeyHash {
+    std::size_t operator()(const DedupKey& k) const {
+      // Splitmix-style combine; both halves are already well-distributed.
+      std::uint64_t h = k.first * 0x9e3779b97f4a7c15ull ^ k.second;
+      h ^= h >> 32;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  /// Claims the request id. Returns true when the caller is the FIRST
+  /// arrival and must apply + Publish; false when the response was served
+  /// from the table (after waiting out a pending twin if necessary) —
+  /// `status`/`payload` are then filled with the cached response.
+  bool Claim(const DedupKey& key, db::StatusCode* status,
+             std::vector<std::uint8_t>* payload);
+
+  /// Publishes the first arrival's outcome and wakes waiting duplicates.
+  void Publish(const DedupKey& key, db::StatusCode status,
+               const std::vector<std::uint8_t>& payload);
+
+  // Per-method handlers: fill the response's status + payload.
+  void HandlePut(const rpc::Frame& req, rpc::Frame* resp);
+  void HandleDelete(const rpc::Frame& req, rpc::Frame* resp);
+  void HandleBatch(const rpc::Frame& req, rpc::Frame* resp);
+  void HandlePointQuery(const rpc::Frame& req, rpc::Frame* resp);
+  void HandleRangeQuery(const rpc::Frame& req, rpc::Frame* resp);
+  void HandleTopKQuery(const rpc::Frame& req, rpc::Frame* resp);
+  void HandleFlush(rpc::Frame* resp);
+  void HandleGetMap(rpc::Frame* resp);
+  void HandleStats(rpc::Frame* resp);
+
+  /// Upsert: replace-on-exists so a replayed Put converges.
+  db::Status ApplyPut(const metadata::FileMetadata& file);
+  /// Idempotent delete: already-absent is success.
+  db::Status ApplyDelete(const std::string& name);
+
+  /// True (and fills the kWrongShard response) when this shard does not
+  /// own `name` under the current map.
+  bool RejectWrongShard(const std::string& name, rpc::Frame* resp);
+
+  db::Store* const store_;
+  const PartitionMap map_;  ///< immutable: ownership changes ship a new map
+  const MetaServiceOptions options_;
+
+  util::Mutex dedup_mu_{util::LockRank::kSvcDedup};
+  std::condition_variable_any dedup_cv_;
+  std::unordered_map<DedupKey, std::shared_ptr<DedupEntry>, DedupKeyHash>
+      dedup_ SS_GUARDED_BY(dedup_mu_);
+  std::deque<DedupKey> dedup_fifo_ SS_GUARDED_BY(dedup_mu_);
+
+  // Counters for Method::kStats (atomics: no rank interaction).
+  std::atomic<std::uint64_t> applied_puts_{0};
+  std::atomic<std::uint64_t> applied_deletes_{0};
+  std::atomic<std::uint64_t> dup_hits_{0};
+  std::atomic<std::uint64_t> wrong_shard_{0};
+};
+
+}  // namespace smartstore::svc

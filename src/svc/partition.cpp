@@ -1,0 +1,76 @@
+#include "svc/partition.h"
+
+#include "util/binary_io.h"
+
+namespace smartstore::svc {
+
+std::string_view partition_key(std::string_view filename) {
+  const std::size_t slash = filename.rfind('/');
+  if (slash == std::string_view::npos) return filename;
+  return filename.substr(0, slash + 1);
+}
+
+PartitionMap PartitionMap::RoundRobin(std::uint32_t num_shards,
+                                      std::uint64_t version) {
+  PartitionMap map;
+  map.version = version;
+  map.num_shards = num_shards == 0 ? 1 : num_shards;
+  map.bucket_owner.resize(kNumBuckets);
+  for (std::uint32_t b = 0; b < kNumBuckets; ++b) {
+    map.bucket_owner[b] = b % map.num_shards;
+  }
+  return map;
+}
+
+std::uint32_t PartitionMap::bucket_of(std::string_view filename) {
+  const std::string_view key = partition_key(filename);
+  // FNV-1a, 64-bit: cheap, deterministic across platforms, and good
+  // enough dispersion for directory strings.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::uint32_t>(h % kNumBuckets);
+}
+
+bool PartitionMap::valid() const {
+  if (version == 0 || num_shards == 0) return false;
+  if (bucket_owner.size() != kNumBuckets) return false;
+  for (const std::uint32_t owner : bucket_owner) {
+    if (owner >= num_shards) return false;
+  }
+  return true;
+}
+
+void encode_partition_map(const PartitionMap& map,
+                          std::vector<std::uint8_t>* out) {
+  util::BinaryWriter w;
+  w.write_u64(map.version);
+  w.write_u32(map.num_shards);
+  w.write_u64(map.bucket_owner.size());
+  for (const std::uint32_t owner : map.bucket_owner) w.write_u32(owner);
+  out->insert(out->end(), w.buffer().begin(), w.buffer().end());
+}
+
+db::Status decode_partition_map(const std::vector<std::uint8_t>& in,
+                                PartitionMap* out) {
+  try {
+    util::BinaryReader r(in.data(), in.size());
+    PartitionMap map;
+    map.version = r.read_u64();
+    map.num_shards = r.read_u32();
+    const std::uint64_t n = r.read_u64_max(kNumBuckets, "bucket count");
+    map.bucket_owner.resize(n);
+    for (std::uint64_t i = 0; i < n; ++i) map.bucket_owner[i] = r.read_u32();
+    if (!map.valid()) {
+      return db::Status::Corruption("partition map fails validation");
+    }
+    *out = std::move(map);
+    return db::Status();
+  } catch (const util::BinaryIoError& e) {
+    return db::Status::Corruption(std::string("partition map: ") + e.what());
+  }
+}
+
+}  // namespace smartstore::svc

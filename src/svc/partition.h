@@ -1,0 +1,68 @@
+// The versioned partition map: which shard owns which slice of the
+// namespace.
+//
+// Partitioning must be derivable from the one thing every keyed request
+// carries — the filename — and it should keep semantically correlated
+// records together, because the whole point of a SmartStore shard is that
+// its local semantic R-tree answers range/top-k over files that cluster in
+// attribute space. The trace generator (and the real traces it models)
+// encodes that clustering in the directory tree: every file lives in an
+// application directory like /sub0/u003/app012/, and files in one app
+// directory share access patterns. So the partition key is the DIRECTORY
+// PREFIX of the filename — one hash decides a whole app-cluster's home,
+// and correlated records land on the same shard instead of being sprayed
+// uniformly.
+//
+// The key hashes (FNV-1a) into a fixed ring of buckets; the map assigns
+// each bucket an owning shard. Ownership changes ship a NEW map with a
+// HIGHER version — maps are immutable values, compared and cached by
+// version. Servers ownership-check keyed requests against their current
+// map and answer kWrongShard (carrying that map) when a stale-mapped
+// client routes wrong; see router.h for the client half of the contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "smartstore/status.h"
+
+namespace smartstore::svc {
+
+/// Bucket count: fixed for wire-format simplicity, comfortably above any
+/// shard count this tier targets (1-64), so rebalancing granularity stays
+/// fine-grained.
+inline constexpr std::uint32_t kNumBuckets = 64;
+
+/// The partition key: the filename's directory prefix (through the last
+/// '/'), or the whole name when it has no directory part.
+std::string_view partition_key(std::string_view filename);
+
+struct PartitionMap {
+  std::uint64_t version = 0;  ///< 0 = "no map"; real maps start at 1
+  std::uint32_t num_shards = 0;
+  std::vector<std::uint32_t> bucket_owner;  ///< size kNumBuckets
+
+  /// Buckets dealt round-robin across `num_shards` — the bootstrap layout.
+  static PartitionMap RoundRobin(std::uint32_t num_shards,
+                                 std::uint64_t version = 1);
+
+  /// FNV-1a of the partition key, folded onto the bucket ring.
+  static std::uint32_t bucket_of(std::string_view filename);
+
+  /// The shard owning `filename` under this map.
+  std::uint32_t shard_of(std::string_view filename) const {
+    return bucket_owner[bucket_of(filename)];
+  }
+
+  /// A map is usable when every bucket names a shard below num_shards.
+  bool valid() const;
+};
+
+void encode_partition_map(const PartitionMap& map,
+                          std::vector<std::uint8_t>* out);
+db::Status decode_partition_map(const std::vector<std::uint8_t>& in,
+                                PartitionMap* out);
+
+}  // namespace smartstore::svc

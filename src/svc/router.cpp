@@ -1,0 +1,367 @@
+#include "svc/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+namespace smartstore::svc {
+
+namespace {
+
+/// Lifts a response frame's in-band status into a db::Status (error
+/// messages ride in the payload).
+db::Status frame_status(const rpc::Frame& f) {
+  if (f.status == db::StatusCode::kOk) return db::Status();
+  std::string msg;
+  (void)rpc::decode_message(f.payload, &msg);  // best-effort
+  return db::Status::FromCode(f.status, std::move(msg));
+}
+
+bool retryable(db::StatusCode c) {
+  return c == db::StatusCode::kUnavailable || c == db::StatusCode::kTimeout;
+}
+
+}  // namespace
+
+Router::Router(std::vector<std::shared_ptr<rpc::Channel>> channels,
+               PartitionMap initial_map, RouterOptions options)
+    : channels_(std::move(channels)),
+      options_(options),
+      map_(std::move(initial_map)) {}
+
+void Router::Backoff(int attempt) const {
+  const int shift = std::min(attempt, 16);
+  std::uint64_t us = static_cast<std::uint64_t>(options_.backoff_init_us)
+                     << shift;
+  us = std::min<std::uint64_t>(us, options_.backoff_max_us);
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+std::uint32_t Router::ShardOf(const std::string& key) const {
+  const util::ReaderLock lock(map_mu_);
+  return map_.shard_of(key);
+}
+
+PartitionMap Router::map() const {
+  const util::ReaderLock lock(map_mu_);
+  return map_;
+}
+
+RouterStats Router::stats() const {
+  RouterStats s;
+  s.sends = sends_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.redirects = redirects_.load(std::memory_order_relaxed);
+  s.map_installs = map_installs_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Router::MaybeInstallMap(const std::vector<std::uint8_t>& encoded) {
+  PartitionMap incoming;
+  if (!decode_partition_map(encoded, &incoming).ok()) return;
+  const util::WriterLock lock(map_mu_);
+  if (incoming.version > map_.version) {
+    map_ = std::move(incoming);
+    map_installs_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+db::Status Router::CallKeyed(rpc::Method method, const std::string& key,
+                             std::vector<std::uint8_t> payload,
+                             rpc::Frame* resp) {
+  const std::uint64_t seq = NextSeq();
+  db::Status last = db::Status::Unavailable("no attempt made");
+  // Redirects are re-routes, not failures: they get their own (generous)
+  // bound instead of consuming retry attempts.
+  const int max_redirects = static_cast<int>(channels_.size()) * 2 + 4;
+  int redirects = 0;
+  for (int attempt = 0; attempt < options_.max_attempts;) {
+    std::uint32_t shard;
+    std::uint64_t map_version;
+    {
+      // Copy the routing decision out — no router lock across a Call.
+      const util::ReaderLock lock(map_mu_);
+      shard = map_.shard_of(key);
+      map_version = map_.version;
+    }
+    if (shard >= channels_.size()) {
+      return db::Status::InvalidArgument(
+          "partition map names shard " + std::to_string(shard) +
+          " but the router has " + std::to_string(channels_.size()) +
+          " channels");
+    }
+    rpc::Frame req;
+    req.type = rpc::MsgType::kRequest;
+    req.method = method;
+    req.shard = shard;
+    req.client_id = options_.client_id;
+    req.seq = seq;  // SAME id on every retry: the dedup contract
+    req.map_version = map_version;
+    req.payload = payload;
+
+    sends_.fetch_add(1, std::memory_order_relaxed);
+    rpc::Frame r;
+    const db::Status sent = channels_[shard]->Call(req, &r);
+    if (!sent.ok()) {
+      last = sent;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      Backoff(attempt);
+      ++attempt;
+      continue;
+    }
+    if (r.status == db::StatusCode::kWrongShard) {
+      redirects_.fetch_add(1, std::memory_order_relaxed);
+      MaybeInstallMap(r.payload);
+      if (++redirects > max_redirects) {
+        return db::Status::Unavailable(
+            "redirect loop: shards disagree with every map version the "
+            "router can obtain");
+      }
+      continue;  // immediate re-route under the refreshed map
+    }
+    if (retryable(r.status)) {
+      last = frame_status(r);
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      Backoff(attempt);
+      ++attempt;
+      continue;
+    }
+    *resp = std::move(r);
+    return db::Status();
+  }
+  return last;
+}
+
+db::Status Router::CallShard(std::uint32_t shard, rpc::Method method,
+                             std::vector<std::uint8_t> payload,
+                             rpc::Frame* resp) {
+  if (shard >= channels_.size()) {
+    return db::Status::InvalidArgument("no channel for shard " +
+                                       std::to_string(shard));
+  }
+  const std::uint64_t seq = NextSeq();
+  db::Status last = db::Status::Unavailable("no attempt made");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    rpc::Frame req;
+    req.type = rpc::MsgType::kRequest;
+    req.method = method;
+    req.shard = shard;
+    req.client_id = options_.client_id;
+    req.seq = seq;
+    {
+      const util::ReaderLock lock(map_mu_);
+      req.map_version = map_.version;
+    }
+    req.payload = payload;
+
+    sends_.fetch_add(1, std::memory_order_relaxed);
+    rpc::Frame r;
+    const db::Status sent = channels_[shard]->Call(req, &r);
+    if (!sent.ok()) {
+      last = sent;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      Backoff(attempt);
+      continue;
+    }
+    if (retryable(r.status)) {
+      last = frame_status(r);
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      Backoff(attempt);
+      continue;
+    }
+    *resp = std::move(r);
+    return db::Status();
+  }
+  return last;
+}
+
+// ---- keyed ops --------------------------------------------------------------
+
+db::Status Router::Put(const metadata::FileMetadata& file) {
+  std::vector<std::uint8_t> payload;
+  rpc::encode_file(file, &payload);
+  rpc::Frame resp;
+  const db::Status s =
+      CallKeyed(rpc::Method::kPut, file.name, std::move(payload), &resp);
+  if (!s.ok()) return s;
+  return frame_status(resp);
+}
+
+db::Status Router::Delete(const std::string& name) {
+  std::vector<std::uint8_t> payload;
+  rpc::encode_name(name, &payload);
+  rpc::Frame resp;
+  const db::Status s =
+      CallKeyed(rpc::Method::kDelete, name, std::move(payload), &resp);
+  if (!s.ok()) return s;
+  return frame_status(resp);
+}
+
+db::StatusOr<db::QueryResult> Router::Point(const std::string& filename) {
+  metadata::PointQuery q;
+  q.filename = filename;
+  std::vector<std::uint8_t> payload;
+  rpc::encode_point_query(q, &payload);
+  rpc::Frame resp;
+  db::Status s =
+      CallKeyed(rpc::Method::kPointQuery, filename, std::move(payload), &resp);
+  if (!s.ok()) return s;
+  s = frame_status(resp);
+  if (!s.ok()) return s;
+  db::QueryResult result;
+  s = rpc::decode_query_result(resp.payload, &result);
+  if (!s.ok()) return s;
+  return result;
+}
+
+db::Status Router::Write(const std::vector<rpc::BatchOp>& ops) {
+  std::vector<rpc::BatchOp> pending = ops;
+  // Each round splits the remaining ops by shard under the current map; a
+  // kWrongShard answer refreshes the map and sends that slice around
+  // again. Bounded: a round either applies slices or installs a newer map.
+  for (int round = 0; round < 8 && !pending.empty(); ++round) {
+    PartitionMap snapshot;
+    {
+      const util::ReaderLock lock(map_mu_);
+      snapshot = map_;
+    }
+    std::unordered_map<std::uint32_t, std::vector<rpc::BatchOp>> by_shard;
+    for (const rpc::BatchOp& op : pending) {
+      const std::string& name = op.is_put ? op.file.name : op.name;
+      by_shard[snapshot.shard_of(name)].push_back(op);
+    }
+    std::vector<rpc::BatchOp> leftover;
+    for (auto& [shard, slice] : by_shard) {
+      std::vector<std::uint8_t> payload;
+      rpc::encode_batch(slice, &payload);
+      rpc::Frame resp;
+      const db::Status s =
+          CallShard(shard, rpc::Method::kBatchWrite, std::move(payload),
+                    &resp);
+      if (!s.ok()) return s;
+      if (resp.status == db::StatusCode::kWrongShard) {
+        // Nothing applied (ownership precedes dedup and apply): safe to
+        // re-split this slice under the refreshed map with fresh ids.
+        redirects_.fetch_add(1, std::memory_order_relaxed);
+        MaybeInstallMap(resp.payload);
+        leftover.insert(leftover.end(), slice.begin(), slice.end());
+        continue;
+      }
+      const db::Status app = frame_status(resp);
+      if (!app.ok()) return app;
+    }
+    pending = std::move(leftover);
+  }
+  if (!pending.empty()) {
+    return db::Status::Unavailable(
+        "batch re-split did not converge: shards disagree about ownership");
+  }
+  return db::Status();
+}
+
+// ---- scatter-gather ---------------------------------------------------------
+
+db::StatusOr<db::QueryResult> Router::Scatter(
+    rpc::Method method, std::vector<std::uint8_t> payload, db::QueryKind kind,
+    std::size_t k) {
+  db::QueryResult merged;
+  merged.kind = kind;
+  for (std::uint32_t shard = 0; shard < channels_.size(); ++shard) {
+    rpc::Frame resp;
+    db::Status s = CallShard(shard, method, payload, &resp);
+    if (!s.ok()) return s;
+    s = frame_status(resp);
+    if (!s.ok()) return s;
+    db::QueryResult part;
+    s = rpc::decode_query_result(resp.payload, &part);
+    if (!s.ok()) return s;
+    merged.ids.insert(merged.ids.end(), part.ids.begin(), part.ids.end());
+    merged.hits.insert(merged.hits.end(), part.hits.begin(), part.hits.end());
+    merged.stats.messages += part.stats.messages;
+    merged.stats.hops += part.stats.hops;
+    merged.stats.groups_visited += part.stats.groups_visited;
+    merged.stats.records_scanned += part.stats.records_scanned;
+    // The scatter completes when the slowest shard answers.
+    merged.stats.latency_s =
+        std::max(merged.stats.latency_s, part.stats.latency_s);
+    merged.stats.failed = merged.stats.failed || part.stats.failed;
+  }
+  if (kind == db::QueryKind::kTopK) {
+    std::sort(merged.hits.begin(), merged.hits.end());
+    if (merged.hits.size() > k) merged.hits.resize(k);
+    merged.ids.clear();
+    merged.ids.reserve(merged.hits.size());
+    for (const auto& [dist, id] : merged.hits) merged.ids.push_back(id);
+  }
+  return merged;
+}
+
+db::StatusOr<db::QueryResult> Router::Range(const metadata::RangeQuery& query) {
+  std::vector<std::uint8_t> payload;
+  rpc::encode_range_query(query, &payload);
+  return Scatter(rpc::Method::kRangeQuery, std::move(payload),
+                 db::QueryKind::kRange, 0);
+}
+
+db::StatusOr<db::QueryResult> Router::TopK(const metadata::TopKQuery& query) {
+  std::vector<std::uint8_t> payload;
+  rpc::encode_topk_query(query, &payload);
+  return Scatter(rpc::Method::kTopKQuery, std::move(payload),
+                 db::QueryKind::kTopK, query.k);
+}
+
+// ---- control ----------------------------------------------------------------
+
+db::Status Router::Flush() {
+  for (std::uint32_t shard = 0; shard < channels_.size(); ++shard) {
+    rpc::Frame resp;
+    db::Status s = CallShard(shard, rpc::Method::kFlush, {}, &resp);
+    if (!s.ok()) return s;
+    s = frame_status(resp);
+    if (!s.ok()) return s;
+  }
+  return db::Status();
+}
+
+db::Status Router::FetchMap() {
+  db::Status last = db::Status::Unavailable("no shards");
+  for (std::uint32_t shard = 0; shard < channels_.size(); ++shard) {
+    rpc::Frame resp;
+    db::Status s = CallShard(shard, rpc::Method::kGetMap, {}, &resp);
+    if (!s.ok()) {
+      last = s;
+      continue;
+    }
+    s = frame_status(resp);
+    if (!s.ok()) {
+      last = s;
+      continue;
+    }
+    MaybeInstallMap(resp.payload);
+    return db::Status();
+  }
+  return last;
+}
+
+db::StatusOr<rpc::ShardStats> Router::Stats(std::uint32_t shard) {
+  rpc::Frame resp;
+  db::Status s = CallShard(shard, rpc::Method::kStats, {}, &resp);
+  if (!s.ok()) return s;
+  s = frame_status(resp);
+  if (!s.ok()) return s;
+  rpc::ShardStats stats;
+  s = rpc::decode_shard_stats(resp.payload, &stats);
+  if (!s.ok()) return s;
+  return stats;
+}
+
+db::Status Router::Ping(std::uint32_t shard) {
+  rpc::Frame resp;
+  const db::Status s = CallShard(shard, rpc::Method::kPing, {}, &resp);
+  if (!s.ok()) return s;
+  return frame_status(resp);
+}
+
+}  // namespace smartstore::svc

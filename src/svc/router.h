@@ -1,0 +1,146 @@
+// Router: the client half of the service tier — one object that makes a
+// sharded cluster look like a single Store-shaped endpoint.
+//
+// Routing contract (the mirror image of meta_service.h's server half):
+//   - keyed ops (Put / Delete / Point / per-shard batch slices) hash the
+//     filename through the CACHED partition map and go to one shard;
+//   - a kWrongShard response carries the server's current map — the router
+//     installs it (if newer) and re-routes IMMEDIATELY, no backoff: the
+//     redirect is information, not congestion;
+//   - kUnavailable / kTimeout (transport or in-band) back off with bounded
+//     exponential delay and RETRY WITH THE SAME (client_id, seq) — reusing
+//     the id is what lets server dedup keep a maybe-applied mutation
+//     exactly-once;
+//   - attempts are bounded; exhaustion surfaces the last error.
+//
+// Range and top-k queries scatter to every shard and merge: shards hold
+// disjoint records, so range is a concatenation and top-k is a k-truncated
+// merge by distance. Per-shard query stats are summed (latency: max — the
+// scatter completes when the slowest shard answers).
+//
+// Thread-safe: any number of threads may share one Router. The map cache
+// sits under a reader/writer lock (rank kSvcRouter) and the shard id is
+// copied out before any Call — no router lock is ever held across a
+// transport call.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/transport.h"
+#include "rpc/wire.h"
+#include "smartstore/store.h"
+#include "svc/partition.h"
+#include "util/annotated_mutex.h"
+#include "util/thread_annotations.h"
+
+namespace smartstore::svc {
+
+struct RouterOptions {
+  /// Distinguishes this client's request ids from every other client's.
+  /// Two Router instances MUST NOT share a client_id.
+  std::uint64_t client_id = 1;
+  /// Per-operation attempt bound (first try included). Redirect re-routes
+  /// do not count against it — only unavailability/timeouts do.
+  int max_attempts = 8;
+  std::uint32_t backoff_init_us = 100;
+  std::uint32_t backoff_max_us = 50'000;
+};
+
+/// Client-side accounting (monotonic; read with stats()).
+struct RouterStats {
+  std::uint64_t sends = 0;      ///< frames put on a channel
+  std::uint64_t retries = 0;    ///< re-sends after kUnavailable/kTimeout
+  std::uint64_t redirects = 0;  ///< kWrongShard re-routes
+  std::uint64_t map_installs = 0;  ///< newer maps adopted from responses
+};
+
+class Router {
+ public:
+  /// `channels[k]` reaches shard k. `initial_map` seeds the cache (it may
+  /// be stale or even wrong — redirects correct it); FetchMap() can
+  /// replace it with the authoritative one.
+  Router(std::vector<std::shared_ptr<rpc::Channel>> channels,
+         PartitionMap initial_map, RouterOptions options);
+
+  // ---- keyed ops --------------------------------------------------------
+
+  db::Status Put(const metadata::FileMetadata& file);
+  db::Status Delete(const std::string& name);
+  db::StatusOr<db::QueryResult> Point(const std::string& filename);
+
+  /// Splits `ops` by owning shard and issues one BatchWrite per shard.
+  /// On a redirect the remaining ops re-split under the new map.
+  db::Status Write(const std::vector<rpc::BatchOp>& ops);
+
+  // ---- scatter-gather ---------------------------------------------------
+
+  db::StatusOr<db::QueryResult> Range(const metadata::RangeQuery& query);
+  db::StatusOr<db::QueryResult> TopK(const metadata::TopKQuery& query);
+
+  // ---- control ----------------------------------------------------------
+
+  /// Group-commits every shard's WAL.
+  db::Status Flush();
+
+  /// Replaces the cached map with the authoritative one (asks each shard
+  /// in turn until one answers).
+  db::Status FetchMap();
+
+  db::StatusOr<rpc::ShardStats> Stats(std::uint32_t shard);
+
+  /// Liveness probe against one shard.
+  db::Status Ping(std::uint32_t shard);
+
+  PartitionMap map() const;  ///< snapshot of the cached map
+  RouterStats stats() const;
+  std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(channels_.size());
+  }
+
+ private:
+  /// Fresh request id (client_id fixed, seq monotonic).
+  std::uint64_t NextSeq() {
+    return seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// The retry loop for one keyed request: route by cached map, send,
+  /// re-route on kWrongShard, back off and resend the SAME id on
+  /// kUnavailable/kTimeout. On success `resp` holds the response frame.
+  db::Status CallKeyed(rpc::Method method, const std::string& key,
+                       std::vector<std::uint8_t> payload, rpc::Frame* resp);
+
+  /// One un-keyed request to an explicit shard, with the same
+  /// backoff/retry loop (no redirect handling — the target is fixed).
+  db::Status CallShard(std::uint32_t shard, rpc::Method method,
+                       std::vector<std::uint8_t> payload, rpc::Frame* resp);
+
+  /// Sends one scatter query to every shard and merges.
+  db::StatusOr<db::QueryResult> Scatter(rpc::Method method,
+                                        std::vector<std::uint8_t> payload,
+                                        db::QueryKind kind, std::size_t k);
+
+  /// Adopts `encoded` (a partition map payload) if newer than the cache.
+  void MaybeInstallMap(const std::vector<std::uint8_t>& encoded);
+
+  std::uint32_t ShardOf(const std::string& key) const;
+
+  void Backoff(int attempt) const;
+
+  const std::vector<std::shared_ptr<rpc::Channel>> channels_;
+  const RouterOptions options_;
+
+  mutable util::SharedMutex map_mu_{util::LockRank::kSvcRouter};
+  PartitionMap map_ SS_GUARDED_BY(map_mu_);
+
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> sends_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> redirects_{0};
+  std::atomic<std::uint64_t> map_installs_{0};
+};
+
+}  // namespace smartstore::svc

@@ -51,6 +51,17 @@ enum class LockRank : int {
   kWalShardMap = 52,     ///< sharded-WAL shard-map shape mutex
   kWalShard = 54,        ///< per-shard WAL writer mutexes
   kCluster = 58,         ///< sim::Cluster queue/counter mutex
+  // The service tier (src/rpc, src/svc) sits numerically ABOVE every store
+  // rank on purpose: a service-tier lock may therefore NEVER be held while
+  // calling down into db::Store (whose lifecycle lock is rank 0) — the
+  // handler/router protocols release before descending (dedup uses
+  // pending-markers, the router copies the shard id out of its map cache),
+  // and the validator aborts any accidental hold-across-the-facade.
+  kRpcRegistry = 60,     ///< in-process transport endpoint registry
+  kSvcCluster = 62,      ///< svc::Cluster shard bookkeeping mutex
+  kSvcDedup = 64,        ///< MetaService request-id dedup table + cv
+  kSvcRouter = 66,       ///< Router partition-map cache shared_mutex
+  kRpcChannel = 68,      ///< socket channel/server connection mutexes
   kLeaf = 250,           ///< terminal scalar-update locks — untracked
 };
 
@@ -67,6 +78,11 @@ inline const char* lock_rank_name(LockRank r) {
     case LockRank::kWalShardMap: return "wal-shard-map";
     case LockRank::kWalShard: return "wal-shard";
     case LockRank::kCluster: return "cluster";
+    case LockRank::kRpcRegistry: return "rpc-registry";
+    case LockRank::kSvcCluster: return "svc-cluster";
+    case LockRank::kSvcDedup: return "svc-dedup";
+    case LockRank::kSvcRouter: return "svc-router";
+    case LockRank::kRpcChannel: return "rpc-channel";
     case LockRank::kLeaf: return "leaf";
   }
   return "?";

@@ -1,0 +1,381 @@
+// The rpc layer: wire-format round trips and rejection of damaged or
+// future-versioned frames; the in-process transport's bind/call/unbind
+// lifecycle; the fault-injecting channel's bookkeeping; and a socket
+// round trip over loopback TCP (same Channel contract, real kernel).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "metadata/schema.h"
+#include "rpc/fault.h"
+#include "rpc/inproc.h"
+#include "rpc/socket.h"
+#include "rpc/wire.h"
+
+namespace {
+
+using namespace smartstore;
+
+metadata::FileMetadata make_file(std::uint64_t id) {
+  metadata::FileMetadata f;
+  f.id = id;
+  f.name = "/sub0/u001/app002/f" + std::to_string(id) + ".dat";
+  for (std::size_t a = 0; a < metadata::kNumAttrs; ++a)
+    f.attrs[a] = static_cast<double>(id) * 1.5 + static_cast<double>(a);
+  return f;
+}
+
+rpc::Frame make_request(rpc::Method m) {
+  rpc::Frame f;
+  f.type = rpc::MsgType::kRequest;
+  f.method = m;
+  f.shard = 3;
+  f.client_id = 42;
+  f.seq = 7;
+  f.map_version = 2;
+  return f;
+}
+
+// ---- frame ------------------------------------------------------------------
+
+TEST(Wire, FrameRoundTrip) {
+  rpc::Frame f = make_request(rpc::Method::kPut);
+  rpc::encode_file(make_file(9), &f.payload);
+
+  const std::vector<std::uint8_t> bytes = rpc::encode_frame(f);
+  ASSERT_EQ(bytes.size(), rpc::kFrameHeaderBytes + f.payload.size());
+
+  rpc::Frame out;
+  ASSERT_TRUE(rpc::decode_frame(bytes, &out).ok());
+  EXPECT_EQ(out.type, f.type);
+  EXPECT_EQ(out.method, f.method);
+  EXPECT_EQ(out.status, f.status);
+  EXPECT_EQ(out.shard, f.shard);
+  EXPECT_EQ(out.client_id, f.client_id);
+  EXPECT_EQ(out.seq, f.seq);
+  EXPECT_EQ(out.map_version, f.map_version);
+  EXPECT_EQ(out.payload, f.payload);
+}
+
+TEST(Wire, EmptyPayloadRoundTrip) {
+  const rpc::Frame f = make_request(rpc::Method::kPing);
+  rpc::Frame out;
+  ASSERT_TRUE(rpc::decode_frame(rpc::encode_frame(f), &out).ok());
+  EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(Wire, RejectsBadMagic) {
+  std::vector<std::uint8_t> bytes =
+      rpc::encode_frame(make_request(rpc::Method::kPing));
+  bytes[0] ^= 0xff;
+  rpc::Frame out;
+  EXPECT_EQ(rpc::decode_frame(bytes, &out).code(),
+            db::StatusCode::kCorruption);
+}
+
+TEST(Wire, RejectsPayloadCorruption) {
+  rpc::Frame f = make_request(rpc::Method::kPut);
+  rpc::encode_file(make_file(1), &f.payload);
+  std::vector<std::uint8_t> bytes = rpc::encode_frame(f);
+  bytes.back() ^= 0x01;  // flip one payload bit: the CRC must catch it
+  rpc::Frame out;
+  EXPECT_EQ(rpc::decode_frame(bytes, &out).code(),
+            db::StatusCode::kCorruption);
+}
+
+TEST(Wire, RejectsTruncation) {
+  const std::vector<std::uint8_t> bytes =
+      rpc::encode_frame(make_request(rpc::Method::kPing));
+  rpc::Frame out;
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{5},
+                                rpc::kFrameHeaderBytes - 1}) {
+    EXPECT_EQ(rpc::decode_frame(bytes.data(), cut, &out).code(),
+              db::StatusCode::kCorruption)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(Wire, RejectsFutureVersion) {
+  std::vector<std::uint8_t> bytes =
+      rpc::encode_frame(make_request(rpc::Method::kPing));
+  bytes[4] = static_cast<std::uint8_t>((rpc::kWireVersion + 1) & 0xff);
+  bytes[5] = static_cast<std::uint8_t>((rpc::kWireVersion + 1) >> 8);
+  rpc::Frame out;
+  // A newer version is a negotiation failure, not damage.
+  EXPECT_EQ(rpc::decode_frame(bytes, &out).code(),
+            db::StatusCode::kInvalidArgument);
+}
+
+TEST(Wire, PeekPayloadLen) {
+  rpc::Frame f = make_request(rpc::Method::kPut);
+  f.payload.assign(123, 0xab);
+  const std::vector<std::uint8_t> bytes = rpc::encode_frame(f);
+  std::uint32_t len = 0;
+  ASSERT_TRUE(
+      rpc::peek_payload_len(bytes.data(), rpc::kFrameHeaderBytes, &len).ok());
+  EXPECT_EQ(len, 123u);
+}
+
+// ---- payload codecs ---------------------------------------------------------
+
+TEST(Wire, FilePayloadRoundTrip) {
+  const metadata::FileMetadata f = make_file(77);
+  std::vector<std::uint8_t> bytes;
+  rpc::encode_file(f, &bytes);
+  metadata::FileMetadata out;
+  ASSERT_TRUE(rpc::decode_file(bytes, &out).ok());
+  EXPECT_EQ(out.id, f.id);
+  EXPECT_EQ(out.name, f.name);
+  EXPECT_EQ(out.attrs, f.attrs);
+}
+
+TEST(Wire, QueryPayloadRoundTrips) {
+  metadata::RangeQuery rq;
+  rq.dims = metadata::AttrSubset(
+      {metadata::Attr::kModificationTime, metadata::Attr::kReadBytes});
+  rq.lo = la::Vector{0.0, 10.0};
+  rq.hi = la::Vector{5.0, 50.0};
+  std::vector<std::uint8_t> bytes;
+  rpc::encode_range_query(rq, &bytes);
+  metadata::RangeQuery rq_out;
+  ASSERT_TRUE(rpc::decode_range_query(bytes, &rq_out).ok());
+  ASSERT_EQ(rq_out.dims.size(), 2u);
+  EXPECT_EQ(rq_out.dims[0], metadata::Attr::kModificationTime);
+  EXPECT_DOUBLE_EQ(rq_out.hi[1], 50.0);
+
+  metadata::TopKQuery tq;
+  tq.dims = rq.dims;
+  tq.point = la::Vector{1.0, 2.0};
+  tq.k = 5;
+  bytes.clear();
+  rpc::encode_topk_query(tq, &bytes);
+  metadata::TopKQuery tq_out;
+  ASSERT_TRUE(rpc::decode_topk_query(bytes, &tq_out).ok());
+  EXPECT_EQ(tq_out.k, 5u);
+  EXPECT_DOUBLE_EQ(tq_out.point[0], 1.0);
+}
+
+TEST(Wire, BatchPayloadRoundTrip) {
+  std::vector<rpc::BatchOp> ops(3);
+  ops[0].is_put = true;
+  ops[0].file = make_file(1);
+  ops[1].is_put = false;
+  ops[1].name = "/sub0/u001/app002/f1.dat";
+  ops[2].is_put = true;
+  ops[2].file = make_file(2);
+  std::vector<std::uint8_t> bytes;
+  rpc::encode_batch(ops, &bytes);
+  std::vector<rpc::BatchOp> out;
+  ASSERT_TRUE(rpc::decode_batch(bytes, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[0].is_put);
+  EXPECT_EQ(out[0].file.id, 1u);
+  EXPECT_FALSE(out[1].is_put);
+  EXPECT_EQ(out[1].name, ops[1].name);
+}
+
+TEST(Wire, QueryResultRoundTrip) {
+  db::QueryResult r;
+  r.kind = db::QueryKind::kTopK;
+  r.ids = {5, 9};
+  r.hits = {{0.25, 5}, {1.5, 9}};
+  r.stats.latency_s = 0.125;
+  r.stats.messages = 7;
+  r.stats.records_scanned = 99;
+  std::vector<std::uint8_t> bytes;
+  rpc::encode_query_result(r, &bytes);
+  db::QueryResult out;
+  ASSERT_TRUE(rpc::decode_query_result(bytes, &out).ok());
+  EXPECT_EQ(out.kind, db::QueryKind::kTopK);
+  EXPECT_EQ(out.ids, r.ids);
+  ASSERT_EQ(out.hits.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.hits[0].first, 0.25);
+  EXPECT_EQ(out.stats.messages, 7u);
+  EXPECT_EQ(out.stats.records_scanned, 99u);
+}
+
+TEST(Wire, ShardStatsRoundTrip) {
+  rpc::ShardStats s;
+  s.applied_puts = 10;
+  s.dup_hits = 3;
+  s.total_files = 1234;
+  std::vector<std::uint8_t> bytes;
+  rpc::encode_shard_stats(s, &bytes);
+  rpc::ShardStats out;
+  ASSERT_TRUE(rpc::decode_shard_stats(bytes, &out).ok());
+  EXPECT_EQ(out.applied_puts, 10u);
+  EXPECT_EQ(out.dup_hits, 3u);
+  EXPECT_EQ(out.total_files, 1234u);
+}
+
+// ---- in-process transport ---------------------------------------------------
+
+rpc::Handler echo_handler(std::uint32_t shard) {
+  return [shard](const rpc::Frame& req) {
+    rpc::Frame resp;
+    resp.type = rpc::MsgType::kResponse;
+    resp.method = req.method;
+    resp.shard = shard;
+    resp.client_id = req.client_id;
+    resp.seq = req.seq;
+    resp.payload = req.payload;
+    return resp;
+  };
+}
+
+TEST(Inproc, BindCallUnbind) {
+  rpc::InprocNetwork net;
+  auto channel = net.Connect(0);
+
+  // Channel to a never-bound shard: usable, just unavailable.
+  rpc::Frame resp;
+  EXPECT_TRUE(channel->Call(make_request(rpc::Method::kPing), &resp)
+                  .IsUnavailable());
+
+  net.Bind(0, echo_handler(0));
+  EXPECT_TRUE(net.IsBound(0));
+  rpc::Frame req = make_request(rpc::Method::kPing);
+  rpc::encode_message("hello", &req.payload);
+  ASSERT_TRUE(channel->Call(req, &resp).ok());
+  EXPECT_EQ(resp.type, rpc::MsgType::kResponse);
+  EXPECT_EQ(resp.seq, req.seq);
+  std::string echoed;
+  ASSERT_TRUE(rpc::decode_message(resp.payload, &echoed).ok());
+  EXPECT_EQ(echoed, "hello");
+
+  // Crash: the SAME channel sees kUnavailable, then recovery after rebind.
+  net.Unbind(0);
+  EXPECT_FALSE(net.IsBound(0));
+  EXPECT_TRUE(channel->Call(req, &resp).IsUnavailable());
+  net.Bind(0, echo_handler(0));
+  EXPECT_TRUE(channel->Call(req, &resp).ok());
+}
+
+// ---- fault channel ----------------------------------------------------------
+
+TEST(Fault, AlwaysDropRequestIsTimeout) {
+  rpc::InprocNetwork net;
+  net.Bind(0, echo_handler(0));
+  rpc::FaultSpec spec;
+  spec.drop_request_p = 1.0;
+  rpc::FaultChannel faulty(net.Connect(0), spec);
+  rpc::Frame resp;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(faulty.Call(make_request(rpc::Method::kPing), &resp)
+                    .IsTimeout());
+  }
+  EXPECT_EQ(faulty.counts().dropped_requests, 10u);
+}
+
+TEST(Fault, DuplicateDeliversTwice) {
+  rpc::InprocNetwork net;
+  std::atomic<int> deliveries{0};
+  net.Bind(0, [&deliveries](const rpc::Frame& req) {
+    ++deliveries;
+    return echo_handler(0)(req);
+  });
+  rpc::FaultSpec spec;
+  spec.duplicate_p = 1.0;
+  rpc::FaultChannel faulty(net.Connect(0), spec);
+  rpc::Frame resp;
+  ASSERT_TRUE(faulty.Call(make_request(rpc::Method::kPing), &resp).ok());
+  EXPECT_EQ(deliveries.load(), 2);
+  EXPECT_EQ(faulty.counts().duplicated, 1u);
+}
+
+TEST(Fault, MixedFaultsAreSeedDeterministic) {
+  rpc::FaultSpec spec;
+  spec.duplicate_p = 0.2;
+  spec.drop_request_p = 0.2;
+  spec.drop_response_p = 0.2;
+  spec.seed = 99;
+  auto run = [&spec] {
+    rpc::InprocNetwork net;
+    net.Bind(0, echo_handler(0));
+    rpc::FaultChannel faulty(net.Connect(0), spec);
+    rpc::Frame resp;
+    for (int i = 0; i < 200; ++i) {
+      (void)faulty.Call(make_request(rpc::Method::kPing), &resp);
+    }
+    return faulty.counts();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.duplicated, b.duplicated);
+  EXPECT_EQ(a.dropped_requests, b.dropped_requests);
+  EXPECT_EQ(a.dropped_responses, b.dropped_responses);
+  EXPECT_GT(a.duplicated + a.dropped_requests + a.dropped_responses, 0u);
+}
+
+// ---- socket transport -------------------------------------------------------
+
+TEST(Socket, LoopbackRoundTrip) {
+  rpc::SocketServer server;
+  ASSERT_TRUE(server.Start("127.0.0.1", 0, echo_handler(1)).ok());
+  ASSERT_NE(server.port(), 0);
+
+  rpc::SocketChannel channel("127.0.0.1", server.port());
+  rpc::Frame req = make_request(rpc::Method::kPing);
+  rpc::encode_message("over tcp", &req.payload);
+  rpc::Frame resp;
+  ASSERT_TRUE(channel.Call(req, &resp).ok());
+  EXPECT_EQ(resp.shard, 1u);
+  std::string echoed;
+  ASSERT_TRUE(rpc::decode_message(resp.payload, &echoed).ok());
+  EXPECT_EQ(echoed, "over tcp");
+  server.Stop();
+}
+
+TEST(Socket, ConcurrentClients) {
+  rpc::SocketServer server;
+  ASSERT_TRUE(server.Start("127.0.0.1", 0, echo_handler(0)).ok());
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_calls{0};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&server, &ok_calls, c] {
+      rpc::SocketChannel channel("127.0.0.1", server.port());
+      for (int i = 0; i < 25; ++i) {
+        rpc::Frame req = make_request(rpc::Method::kPing);
+        req.client_id = static_cast<std::uint64_t>(c);
+        req.seq = static_cast<std::uint64_t>(i);
+        rpc::Frame resp;
+        if (channel.Call(req, &resp).ok() && resp.seq == req.seq) ++ok_calls;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok_calls.load(), 100);
+  server.Stop();
+}
+
+TEST(Socket, ReconnectAfterServerRestart) {
+  rpc::SocketServer first;
+  ASSERT_TRUE(first.Start("127.0.0.1", 0, echo_handler(0)).ok());
+  const std::uint16_t port = first.port();
+  rpc::SocketChannel channel("127.0.0.1", port);
+  rpc::Frame resp;
+  ASSERT_TRUE(channel.Call(make_request(rpc::Method::kPing), &resp).ok());
+
+  first.Stop();
+  EXPECT_FALSE(channel.Call(make_request(rpc::Method::kPing), &resp).ok());
+
+  rpc::SocketServer second;
+  ASSERT_TRUE(second.Start("127.0.0.1", port, echo_handler(0)).ok());
+  // The channel reconnects lazily: the restarted server is reachable
+  // without constructing a new channel.
+  EXPECT_TRUE(channel.Call(make_request(rpc::Method::kPing), &resp).ok());
+  second.Stop();
+}
+
+TEST(Socket, ConnectFailureIsUnavailable) {
+  rpc::SocketChannel channel("127.0.0.1", 1);  // nothing listens on port 1
+  rpc::Frame resp;
+  EXPECT_TRUE(channel.Call(make_request(rpc::Method::kPing), &resp)
+                  .IsUnavailable());
+}
+
+}  // namespace

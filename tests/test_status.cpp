@@ -1,0 +1,82 @@
+// db::Status: the exception-free error vocabulary of the public API —
+// code/message round trips, the networked-tier codes PR 7 added
+// (kUnavailable, kTimeout, kWrongShard), and the FromCode bridge the wire
+// format uses to rehydrate a status byte.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "smartstore/status.h"
+
+namespace {
+
+using namespace smartstore;
+
+TEST(Status, DefaultIsOk) {
+  db::Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), db::StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, EveryCodeHasADistinctName) {
+  std::set<std::string> names;
+  for (std::uint8_t c = 0; c < db::kNumStatusCodes; ++c) {
+    const char* name =
+        db::status_code_name(static_cast<db::StatusCode>(c));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << "code " << int(c) << " missing a name";
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate status name: " << name;
+  }
+}
+
+TEST(Status, NetworkedTierCodes) {
+  const db::Status unavailable = db::Status::Unavailable("shard down");
+  EXPECT_FALSE(unavailable.ok());
+  EXPECT_TRUE(unavailable.IsUnavailable());
+  EXPECT_EQ(unavailable.code(), db::StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.message(), "shard down");
+
+  const db::Status timeout = db::Status::Timeout("no answer");
+  EXPECT_TRUE(timeout.IsTimeout());
+  EXPECT_FALSE(timeout.IsUnavailable());
+
+  const db::Status wrong = db::Status::WrongShard("bucket moved");
+  EXPECT_TRUE(wrong.IsWrongShard());
+  EXPECT_EQ(std::string(db::status_code_name(wrong.code())), "WrongShard");
+}
+
+TEST(Status, FromCodeRoundTripsEveryCode) {
+  for (std::uint8_t c = 0; c < db::kNumStatusCodes; ++c) {
+    const auto code = static_cast<db::StatusCode>(c);
+    const db::Status s = db::Status::FromCode(code, "m");
+    EXPECT_EQ(s.code(), code);
+    if (code == db::StatusCode::kOk) {
+      EXPECT_TRUE(s.ok());
+      EXPECT_TRUE(s.message().empty()) << "OK carries no message";
+    } else {
+      EXPECT_EQ(s.message(), "m");
+    }
+  }
+}
+
+TEST(Status, FromCodeRejectsUnknownByte) {
+  // A status byte from a newer peer (or garbage) degrades to kUnknown
+  // instead of minting an out-of-range enum value.
+  const db::Status s = db::Status::FromCode(
+      static_cast<db::StatusCode>(db::kNumStatusCodes), "future code");
+  EXPECT_EQ(s.code(), db::StatusCode::kUnknown);
+  EXPECT_EQ(s.message(), "future code");
+}
+
+TEST(Status, ToStringCarriesCodeAndMessage) {
+  const db::Status s = db::Status::Timeout("deadline");
+  const std::string text = s.ToString();
+  EXPECT_NE(text.find("Timeout"), std::string::npos) << text;
+  EXPECT_NE(text.find("deadline"), std::string::npos) << text;
+}
+
+}  // namespace
