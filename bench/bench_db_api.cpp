@@ -16,12 +16,14 @@
 //
 // Environment knobs: BENCH_SMOKE=1 (tiny sizes), BENCH_INSERTS=N.
 // Arguments: --json PATH.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_db_common.h"
@@ -168,7 +170,7 @@ int main(int argc, char** argv) {
     for (const auto& f : stream) {
       raw.insert_file(
           f, 0.0,
-          [&](core::UnitId target) { wal.append_insert(target, f); },
+          [&](core::UnitId target) { return wal.append_insert(target, f); },
           [&](core::UnitId target) { wal.maybe_commit(target); });
     }
     wal.commit_all();
@@ -206,6 +208,64 @@ int main(int argc, char** argv) {
   }
   std::filesystem::remove_all(dir);
 
+  // ---- snapshot scan under writers -----------------------------------------
+  // A pinned-snapshot range scan racing a writer thread streaming Puts:
+  // the MVCC read path's throughput, plus the stability check the whole
+  // design is for (every scan at the pinned seq returns the same rows).
+  double snap_scans_per_sec = 0, snap_writer_puts_per_sec = 0;
+  std::size_t snap_rows = 0;
+  bool snap_stable = true;
+  {
+    auto opened = db::Store::Open(mem_options, "");
+    check(opened.status(), "open in-memory");
+    check((*opened)->Bulkload(tr.files()), "bulkload");
+    db::Store& store = **opened;
+
+    auto snap = store.GetSnapshot();
+    check(snap.status(), "get snapshot");
+    db::ReadOptions ro;
+    ro.snapshot_seq = snap->sequence();
+
+    metadata::RangeQuery rq;
+    rq.dims = metadata::AttrSubset(
+        {metadata::Attr::kFileSize, metadata::Attr::kCreationTime});
+    rq.lo = la::Vector{-1e30, -1e30};
+    rq.hi = la::Vector{1e30, 1e30};
+    const auto req = db::QueryRequest::Range(rq);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> writes{0};
+    std::thread writer([&] {
+      std::size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        check(store.Put(stream[i % stream.size()]), "writer put");
+        writes.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+    });
+
+    auto first = store.Query(req, ro);
+    check(first.status(), "snapshot scan");
+    snap_rows = first->ids.size();
+    const std::size_t kScans = smoke ? 20 : 100;
+    util::WallTimer t;
+    for (std::size_t s = 0; s < kScans; ++s) {
+      auto r = store.Query(req, ro);
+      check(r.status(), "snapshot scan");
+      if (r->ids != first->ids) snap_stable = false;
+    }
+    const double scan_s = t.seconds();
+    stop.store(true, std::memory_order_relaxed);
+    writer.join();
+    snap_scans_per_sec = static_cast<double>(kScans) / scan_s;
+    snap_writer_puts_per_sec =
+        static_cast<double>(writes.load()) / scan_s;
+    check(snap_stable
+              ? db::Status::OK()
+              : db::Status::Corruption("snapshot scan drifted under writes"),
+          "snapshot stability");
+  }
+
   std::printf("%-8s %14s %14s %10s\n", "path", "facade/s", "raw/s",
               "overhead");
   std::printf("%-8s %14.0f %14.0f %9.1f%%\n", "put", put.facade_per_sec,
@@ -220,6 +280,11 @@ int main(int argc, char** argv) {
       "reopen %.3fs, crash-reopen %.3fs (%zu records replayed)\n",
       open_fresh_s, bulkload_s, checkpoint_s, reopen_s, crash_reopen_s,
       replayed);
+  std::printf(
+      "snapshot : %.0f pinned scans/s (%zu rows each, stable=%s) against "
+      "%.0f concurrent puts/s\n",
+      snap_scans_per_sec, snap_rows, snap_stable ? "yes" : "NO",
+      snap_writer_puts_per_sec);
   std::printf(
       "overhead = how much faster the raw core path is; near zero means "
       "the facade boundary is free at this batch size.\n");
@@ -249,9 +314,15 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "  \"lifecycle\": {\"open_fresh_s\": %.6f, \"bulkload_s\": "
                  "%.6f, \"checkpoint_s\": %.6f, \"reopen_s\": %.6f, "
-                 "\"crash_reopen_s\": %.6f, \"replayed_records\": %zu}\n}\n",
+                 "\"crash_reopen_s\": %.6f, \"replayed_records\": %zu},\n",
                  open_fresh_s, bulkload_s, checkpoint_s, reopen_s,
                  crash_reopen_s, replayed);
+    std::fprintf(f,
+                 "  \"snapshot_scan\": {\"scans_per_sec\": %.1f, "
+                 "\"rows\": %zu, \"stable\": %s, "
+                 "\"concurrent_puts_per_sec\": %.1f}\n}\n",
+                 snap_scans_per_sec, snap_rows, snap_stable ? "true" : "false",
+                 snap_writer_puts_per_sec);
     std::fclose(f);
     std::printf("json     : wrote %s\n", json_path.c_str());
   }

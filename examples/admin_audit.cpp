@@ -4,12 +4,16 @@
 // directories, to ward off malicious operations."
 //
 // A software update is simulated as a burst of newly modified files spread
-// across owners; the administrator then issues one multi-dimensional range
-// query (modification window x write volume) instead of crawling the
-// namespace, and cross-checks a suspicious file with a top-k probe.
+// across owners; the administrator then pins an MVCC snapshot and issues
+// one multi-dimensional range query (modification window x write volume)
+// against that fixed commit seq instead of crawling the namespace. Ingest
+// keeps running while the audit is open — the pinned scans are
+// bit-identical anyway, so every table in the report describes the same
+// instant.
 #include <algorithm>
 #include <cstdio>
 #include <set>
+#include <string>
 
 #include "core/ground_truth.h"
 #include "core/smartstore.h"
@@ -17,7 +21,6 @@
 #include "util/rng.h"
 
 using namespace smartstore;
-using core::Routing;
 using metadata::Attr;
 using metadata::AttrSubset;
 
@@ -47,36 +50,64 @@ int main() {
   core::SmartStore store(cfg);
   store.build(files);
 
+  // Pin the audit snapshot: every scan below runs at this commit seq, so
+  // the whole report is one consistent cut. The pin also holds the GC
+  // watermark, keeping any tombstones this seq can still see alive.
+  std::uint64_t audit_seq = 0;
+  const auto pin = store.pin_snapshot(&audit_seq);
+  std::printf("audit pinned at commit seq %llu (gc watermark %llu)\n",
+              static_cast<unsigned long long>(audit_seq),
+              static_cast<unsigned long long>(store.gc_watermark()));
+
   // The audit query: everything modified in the update window.
   metadata::RangeQuery audit;
   audit.dims = AttrSubset({Attr::kModificationTime});
   audit.lo = {dur * 0.98};
   audit.hi = {dur * 1.01};
-  const auto res = store.range_query(audit, Routing::kOnline, 0.0);
+  const auto res = store.snapshot_range_query(audit, audit_seq);
 
   std::set<metadata::FileId> reported(res.ids.begin(), res.ids.end());
   std::size_t true_pos = 0;
   for (auto id : changed)
     if (reported.count(id)) ++true_pos;
-  std::printf("audit range query (mtime in update window):\n");
-  std::printf("  reported %zu files, caught %zu/%zu changed ones "
-              "[%.2f ms simulated, %llu msgs, %zu groups]\n",
-              res.ids.size(), true_pos, changed.size(),
-              res.stats.latency_s * 1e3,
-              static_cast<unsigned long long>(res.stats.messages),
-              res.stats.groups_visited);
+  std::printf("audit snapshot scan (mtime in update window):\n");
+  std::printf("  reported %zu files, caught %zu/%zu changed ones\n",
+              res.ids.size(), true_pos, changed.size());
 
-  // Narrowing: add the write-volume dimension to isolate heavy rewrites.
+  // Ingest does not stop for the audit: 64 fresh files land inside the
+  // update window AFTER the pin...
+  metadata::FileId next_id = 0;
+  for (const auto& f : files) next_id = std::max(next_id, f.id);
+  for (int i = 0; i < 64; ++i) {
+    metadata::FileMetadata f = files[rng.uniform_u64(files.size())];
+    f.id = ++next_id;
+    f.name = "/updates/pkg" + std::to_string(i) + ".so";
+    f.set_attr(Attr::kModificationTime, dur * 0.99);
+    store.insert_file(f, 0.0);
+  }
+
+  // ...yet the pinned scan replays bit-identically, while the same query
+  // at the latest seq sees the new arrivals.
+  const auto replay = store.snapshot_range_query(audit, audit_seq);
+  const auto latest = store.snapshot_range_query(audit, store.last_commit_seq());
+  std::printf("  re-scan at pinned seq after 64 concurrent inserts: %s\n",
+              replay.ids == res.ids ? "identical" : "DIVERGED");
+  std::printf("  same scan at latest seq %llu: %zu files (sees the ingest)\n",
+              static_cast<unsigned long long>(store.last_commit_seq()),
+              latest.ids.size());
+
+  // Narrowing, still at the pinned cut: add the write-volume dimension to
+  // isolate heavy rewrites.
   metadata::RangeQuery narrow = audit;
   narrow.dims = AttrSubset({Attr::kModificationTime, Attr::kWriteBytes});
   narrow.lo = {dur * 0.98, 4e6};
   narrow.hi = {dur * 1.01, 1e12};
-  const auto res2 = store.range_query(narrow, Routing::kOnline, 0.0);
+  const auto res2 = store.snapshot_range_query(narrow, audit_seq);
   std::printf("  narrowed by write volume >= 4MB: %zu files\n\n",
               res2.ids.size());
 
   // Forensics on one hit: find its closest behavioral siblings (files the
-  // same process likely touched) with a top-k probe.
+  // same process likely touched) with a top-k probe at the same seq.
   if (!res2.ids.empty()) {
     const metadata::FileMetadata* suspect = nullptr;
     for (const auto& u : store.units())
@@ -88,7 +119,7 @@ int main() {
                    suspect->attr(Attr::kWriteBytes),
                    suspect->attr(Attr::kOwnerId)};
     probe.k = 6;
-    const auto nn = store.topk_query(probe, Routing::kOffline, 0.0);
+    const auto nn = store.snapshot_topk_query(probe, audit_seq);
     std::printf("top-6 behavioral siblings of suspect file %llu:\n",
                 static_cast<unsigned long long>(suspect->id));
     for (const auto& [dist, id] : nn.hits)

@@ -21,8 +21,15 @@
 // mutation path orders them; one background checkpoint rides along).
 // Close and Abandon are exclusive — they wait out every in-flight
 // operation, and anything arriving after returns kFailedPrecondition.
-// GetProperty briefly excludes mutators for the introspection reads the
-// core exposes quiesced-only, so it is safe (if not free) under load.
+// GetProperty and GetSpaceInfo run concurrently with mutators against a
+// pinned MVCC snapshot (only "smartstore.invariants-ok" still quiesces).
+//
+// MVCC: every acknowledged mutation carries a store-wide commit sequence
+// number (the WAL stamp on durable stores). GetSnapshot() pins the current
+// seq; Query with ReadOptions scans at a pinned (or historical) seq and is
+// bit-identical no matter what writers do in between. Tombstoned versions
+// are garbage-collected up to the oldest live Snapshot, so time-travel
+// below that watermark is best-effort (deleted records may be gone).
 #pragma once
 
 #include <cstdint>
@@ -56,6 +63,37 @@ struct SpaceInfo {
   std::size_t replica_bytes = 0;   ///< replicated group summaries
   std::size_t version_bytes = 0;   ///< attached versions
   std::size_t total_bytes = 0;
+};
+
+/// A pinned, immutable view of the store at one commit sequence number.
+/// Copyable (shared pin); tombstone GC cannot reclaim any version this
+/// view can see while any copy is alive. Safe to destroy after the Store.
+class Snapshot {
+ public:
+  Snapshot() = default;
+
+  /// The pinned commit sequence — feed it to ReadOptions::snapshot_seq
+  /// (or ship it to other shards/processes for a cluster-wide cut).
+  std::uint64_t sequence() const { return seq_; }
+
+ private:
+  friend class Store;
+  Snapshot(std::uint64_t seq, std::shared_ptr<void> pin)
+      : seq_(seq), pin_(std::move(pin)) {}
+
+  std::uint64_t seq_ = 0;
+  std::shared_ptr<void> pin_;
+};
+
+/// Per-read options for the snapshot Query overload.
+struct ReadOptions {
+  /// kReadLatest pins the current commit seq for the duration of the one
+  /// query; any other value reads as-of that historical seq (exact for
+  /// seqs at or above the GC watermark — use GetSnapshot to hold one).
+  std::uint64_t snapshot_seq = kReadLatest;
+
+  static constexpr std::uint64_t kReadLatest =
+      static_cast<std::uint64_t>(-1);
 };
 
 /// Background-checkpoint accounting (see GetCheckpointInfo).
@@ -113,6 +151,24 @@ class Store {
 
   StatusOr<QueryResult> Query(const QueryRequest& request);
 
+  // ---- snapshot reads / time travel --------------------------------------
+
+  /// Pins the current commit sequence. All reads through the returned
+  /// Snapshot's seq see exactly the mutations acknowledged before this
+  /// call, regardless of concurrent writers.
+  StatusOr<Snapshot> GetSnapshot();
+
+  /// Exact exhaustive scan at `options.snapshot_seq` (or at a freshly
+  /// pinned seq for kReadLatest). Unlike the routed overload above it
+  /// simulates no network placement and returns canonical (sorted)
+  /// results: two scans at the same seq are bit-identical no matter what
+  /// writers do in between — this is the time-travel / audit read path.
+  StatusOr<QueryResult> Query(const QueryRequest& request,
+                              const ReadOptions& options);
+
+  /// Commit sequence of the latest acknowledged mutation (0 = none yet).
+  std::uint64_t LatestSequence() const;
+
   // ---- durability control ------------------------------------------------
 
   /// Group-commits every WAL shard: all acknowledged mutations become
@@ -128,15 +184,16 @@ class Store {
   // ---- introspection -----------------------------------------------------
 
   /// Named properties ("smartstore.total-files", "smartstore.wal.frontier",
-  /// "smartstore.space.total-bytes", ... — see the README's table).
-  /// Returns false for unknown names.
+  /// "smartstore.space.total-bytes", "smartstore.mvcc.commit-seq", ... —
+  /// see the README's table). Returns false for unknown names. Structural
+  /// and space reads run against a pinned snapshot, concurrent with
+  /// mutators; only "smartstore.invariants-ok" still quiesces.
   bool GetProperty(const std::string& name, std::string* value);
 
   const RecoveryInfo& recovery_info() const;
   CheckpointInfo GetCheckpointInfo() const;
-  /// One quiesced read of the per-unit space breakdown (briefly excludes
-  /// mutators, like GetProperty's structural reads, but computes all five
-  /// numbers in a single pass).
+  /// One snapshot-pinned read of the per-unit space breakdown (concurrent
+  /// with mutators; computes all five numbers in a single pass).
   SpaceInfo GetSpaceInfo();
   const Options& options() const;
   const std::string& path() const;

@@ -17,9 +17,13 @@
 #                       of the service tier at 1/2/4/8 shards
 #                       (bench_cluster, concurrent routed clients over
 #                       the in-process transport).
+#   BENCH_trajectory.json
+#                       all of the above merged into one document keyed
+#                       by suite, stamped with the git commit — the
+#                       single artifact to diff across PRs.
 #
 #   scripts/bench_report.sh [build-dir] [core-json] [persist-json] [db-json]
-#                           [cluster-json]
+#                           [cluster-json] [trajectory-json]
 #
 # Honoured environment: BENCH_REPETITIONS (micro suite), BENCH_SMOKE=1
 # (tiny bench_concurrent sizes for CI smoke runs), BENCH_INSERTS,
@@ -31,6 +35,7 @@ CORE_OUT=${2:-BENCH_core.json}
 PERSIST_OUT=${3:-BENCH_persist.json}
 DB_OUT=${4:-BENCH_db.json}
 CLUSTER_OUT=${5:-BENCH_cluster.json}
+TRAJECTORY_OUT=${6:-BENCH_trajectory.json}
 
 if [ ! -d "$BUILD_DIR" ]; then
     echo "bench_report: build dir '$BUILD_DIR' not found — configure first:" >&2
@@ -75,3 +80,28 @@ else
     echo "bench_report: $CLUSTER not built; skipping $CLUSTER_OUT" >&2
     exit 1
 fi
+
+# Merge everything that was produced into one trajectory document. Each
+# per-suite file is a complete JSON value, so plain concatenation under a
+# key map yields valid JSON with no parser dependency.
+{
+    printf '{\n'
+    printf '  "generated_by": "scripts/bench_report.sh",\n'
+    printf '  "git_commit": "%s",\n' \
+        "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    printf '  "smoke": %s,\n' "${BENCH_SMOKE:-0}"
+    printf '  "suites": {\n'
+    first=1
+    for entry in "core:$CORE_OUT" "persist:$PERSIST_OUT" "db:$DB_OUT" \
+                 "cluster:$CLUSTER_OUT"; do
+        key=${entry%%:*}
+        file=${entry#*:}
+        [ -f "$file" ] || continue
+        [ "$first" -eq 1 ] || printf ',\n'
+        first=0
+        printf '    "%s": ' "$key"
+        cat "$file"
+    done
+    printf '\n  }\n}\n'
+} > "$TRAJECTORY_OUT"
+echo "bench_report: wrote $TRAJECTORY_OUT"

@@ -64,6 +64,8 @@ struct CliOptions {
   std::string wal_dir;
   std::size_t bg_checkpoint = 0;  ///< checkpoint every N churn inserts
   std::size_t crash_at = 0;       ///< fault-injection point to die at
+  bool time_travel = false;       ///< --query-as-of given
+  std::uint64_t as_of_seq = 0;    ///< commit seq the query batches scan at
 
   // Distributed modes (cluster_mode.h). --serve and --connect are
   // mutually exclusive with each other and with the workload flow above.
@@ -108,6 +110,12 @@ void usage(const char* argv0) {
       "                             (requires --save; the WAL lives there)\n"
       "  --crash-at K               kill the K-th persistence write boundary\n"
       "                             (exit 3); recover with --load afterwards\n"
+      "  --query-as-of SEQ          time travel: run the query batches as\n"
+      "                             exact snapshot scans at commit seq SEQ\n"
+      "                             instead of routed reads at latest; a\n"
+      "                             seq survives --load, so a historical\n"
+      "                             view replays across checkpoint and\n"
+      "                             restart boundaries\n"
       "\n"
       "  --save/--load/--wal name the same deployment directory when more\n"
       "  than one is given (a Store owns exactly one directory).\n"
@@ -222,6 +230,9 @@ CliOptions parse_args(int argc, char** argv) {
       opt.bg_checkpoint = parse_size(i++);
     } else if (a == "--crash-at") {
       opt.crash_at = parse_size(i++);
+    } else if (a == "--query-as-of") {
+      opt.time_travel = true;
+      opt.as_of_seq = parse_size(i++);
     } else if (a == "--serve") {
       opt.serve = true;
       const std::string v = need_value(i++);
@@ -488,25 +499,42 @@ int main(int argc, char** argv) {
   trace::QueryGenerator gen(tr, opt.dist, opt.seed + 1);
   const auto dims = metadata::AttrSubset::all();
 
+  if (opt.time_travel) {
+    std::printf(
+        "time travel: snapshot scans as-of commit seq %llu "
+        "(latest %llu, gc watermark %s)\n",
+        static_cast<unsigned long long>(opt.as_of_seq),
+        static_cast<unsigned long long>(store->LatestSequence()),
+        property(*store, "smartstore.mvcc.gc-watermark").c_str());
+  }
+  // Routed reads simulate the paper's network placement at latest;
+  // --query-as-of replaces them with exact snapshot scans at one seq.
+  const db::ReadOptions as_of{opt.as_of_seq};
+  const auto run_query = [&](db::QueryRequest&& req) {
+    return opt.time_travel ? store->Query(req, as_of)
+                           : store->Query(req);
+  };
+
   BatchTotals point, range, topk;
   for (std::size_t i = 0; i < opt.point_queries; ++i) {
-    auto r = store->Query(db::QueryRequest::Point(gen.gen_point()));
+    auto r = run_query(db::QueryRequest::Point(gen.gen_point()));
     if (!r.ok()) die(r.status(), opt.crash_at);
     point.add(r->stats, r->count());
   }
   for (std::size_t i = 0; i < opt.range_queries; ++i) {
-    auto r = store->Query(db::QueryRequest::Range(gen.gen_range(dims)));
+    auto r = run_query(db::QueryRequest::Range(gen.gen_range(dims)));
     if (!r.ok()) die(r.status(), opt.crash_at);
     range.add(r->stats, r->count());
   }
   for (std::size_t i = 0; i < opt.topk_queries; ++i) {
-    auto r = store->Query(db::QueryRequest::TopK(gen.gen_topk(dims, opt.k)));
+    auto r = run_query(db::QueryRequest::TopK(gen.gen_topk(dims, opt.k)));
     if (!r.ok()) die(r.status(), opt.crash_at);
     topk.add(r->stats, r->count());
   }
 
-  std::printf("query batches (%s distribution):\n",
-              trace::distribution_name(opt.dist));
+  std::printf("query batches (%s distribution%s):\n",
+              trace::distribution_name(opt.dist),
+              opt.time_travel ? ", as-of snapshot scans" : "");
   point.print("point");
   range.print("range");
   topk.print("top-k");

@@ -57,6 +57,13 @@ std::uint64_t SmartStore::begin_checkpoint(
     freeze_.core.standardizer = standardizer_;
     freeze_.core.unit_count = units_.size();
     freeze_.core.group_order = tree_.groups();
+    // The MVCC cut: no mutator runs (exclusive structure lock), so the
+    // commit counter is the exact seq of the image being captured. The
+    // watermark is what the UNITS serializer filters tombstones against —
+    // a pin taken after the freeze needs no tombstone this image lacks,
+    // because its seq is >= the frozen commit seq.
+    freeze_.core.commit_seq = commit_seq_.load(std::memory_order_acquire);
+    freeze_.core.gc_watermark = gc_watermark();
 
     // Units (the bulk of the state) freeze lazily via copy-on-write; the
     // index structures are captured eagerly here, so post-freeze writers
@@ -627,7 +634,8 @@ std::vector<QueryStats> SmartStore::insert_batch(
 
 QueryStats SmartStore::insert_file_impl(const FileMetadata& f, double arrival,
                                         const WalHook& logged,
-                                        const WalFlush& flushed) {
+                                        const WalFlush& flushed,
+                                        std::uint64_t forced_seq) {
   QueryStats stats;
   sim::Session session = cluster_->start_session(random_home(), arrival);
 
@@ -682,9 +690,17 @@ QueryStats SmartStore::insert_file_impl(const FileMetadata& f, double arrival,
   const bloom::ItemHash name_hash = bloom::hash_item(f.name);
   {
     const util::MutexLock guard(unit_mutex(target));
-    if (logged) logged(target);
+    // Stamp and apply in ONE critical section: a snapshot reader that pins
+    // seq S and then scans this unit either blocks here (and sees the
+    // record) or runs after the apply — no mutation with seq <= S can land
+    // in a unit the reader already scanned, because stamps issued after the
+    // pin are strictly greater than S.
+    const std::uint64_t seq = forced_seq != kAssignSeq
+                                  ? forced_seq
+                                  : commit_stamp(logged ? logged(target) : 0);
     cow_unit(target);
-    units_[target].add_file(f, std);
+    units_[target].add_file(f, std, seq);
+    units_[target].prune_tombstones(gc_watermark());
   }
   // The group-commit fsync (if the flush hook decides one is due) runs
   // here, off every store lock: it stalls only this shard's writers.
@@ -741,11 +757,12 @@ bool SmartStore::remove_located(UnitId u, FileId id, double now,
   {
     const util::MutexLock guard(unit_mutex(u));
     if (!units_[u].find_by_id(id)) return false;  // lost a delete race
-    if (logged) logged(u);
+    const std::uint64_t seq = commit_stamp(logged ? logged(u) : 0);
     cow_unit(u);
-    auto removed = units_[u].remove_file(id);
+    auto removed = units_[u].remove_file(id, seq);
     assert(removed.has_value());
     raw = removed->full_vector();
+    units_[u].prune_tombstones(gc_watermark());
   }
   if (flushed) flushed(u);
   tree_.on_file_removed(u, raw, &summary_stripes_);
@@ -1255,7 +1272,7 @@ UnitId SmartStore::add_storage_unit(const StructuralHook& logged) {
   // pending in an active freeze are copied first.
   util::WriterLock ex(structure_mu_);
   epoch_.fetch_add(1, std::memory_order_relaxed);
-  if (logged) logged();
+  if (logged) note_commit_seq(logged());
   cow_all_units();
   const UnitId id = units_.size();
   units_.emplace_back(id, bloom_bits_, cfg_.bloom_hashes);
@@ -1272,9 +1289,15 @@ void SmartStore::remove_storage_unit(UnitId u, const StructuralHook& logged) {
   util::WriterLock ex(structure_mu_);
   assert(u < units_.size() && unit_active_[u]);
   epoch_.fetch_add(1, std::memory_order_relaxed);
-  if (logged) logged();
+  if (logged) note_commit_seq(logged());
   cow_all_units();
+  // Capture the records WITH their commit seqs: re-homing must be invisible
+  // to snapshots, so each displaced file re-inserts under its original
+  // added_seq (forced_seq below) and the removal leaves no tombstone
+  // (deleted_seq 0). Pre-existing tombstones stay on the deactivated unit,
+  // where snapshot scans (which visit inactive units too) still find them.
   std::vector<FileMetadata> displaced = units_[u].files();
+  std::vector<std::uint64_t> displaced_seqs = units_[u].added_seqs();
   for (const auto& f : displaced) {
     auto removed = units_[u].remove_file(f.id);
     tree_.on_file_removed(u, f.full_vector());
@@ -1289,8 +1312,11 @@ void SmartStore::remove_storage_unit(UnitId u, const StructuralHook& logged) {
   // Displaced files re-insert through the impl: the public insert_file
   // takes the structure lock shared and would self-deadlock here. The
   // redistribution is part of the logged structural record, so replay
-  // reproduces it without per-file WAL records.
-  for (const auto& f : displaced) insert_file_impl(f, 0.0, {}, {});
+  // reproduces it without per-file WAL records. forced_seq keeps each
+  // record's visibility window unchanged across the move (seq 0 =
+  // pre-history records stay pre-history).
+  for (std::size_t i = 0; i < displaced.size(); ++i)
+    insert_file_impl(displaced[i], 0.0, {}, {}, displaced_seqs[i]);
 }
 
 // ---- automatic configuration (Section 2.4) -------------------------------------
@@ -1299,7 +1325,7 @@ std::size_t SmartStore::autoconfigure(
     const std::vector<AttrSubset>& candidates, const StructuralHook& logged) {
   util::WriterLock ex(structure_mu_);
   epoch_.fetch_add(1, std::memory_order_relaxed);
-  if (logged) logged();
+  if (logged) note_commit_seq(logged());
   variants_.clear();
   const double full_count = static_cast<double>(tree_.num_nodes());
   for (const auto& dims : candidates) {
@@ -1413,6 +1439,268 @@ bool SmartStore::check_invariants() const {
     if (!sync_.count(g)) return false;
   }
   return true;
+}
+
+// ---- MVCC snapshots ------------------------------------------------------------
+
+std::uint64_t SmartStore::commit_stamp(std::uint64_t wal_seq) {
+  if (wal_seq == 0) {
+    // No WAL stamp (in-memory store): self-assign the next counter value.
+    return commit_seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+  // Adopt the WAL stamp via CAS-max: shards hand out stamps concurrently,
+  // so a smaller stamp can arrive here after a larger one was adopted.
+  std::uint64_t cur = commit_seq_.load(std::memory_order_relaxed);
+  while (cur < wal_seq &&
+         !commit_seq_.compare_exchange_weak(cur, wal_seq,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+  }
+  return wal_seq;
+}
+
+void SmartStore::note_commit_seq(std::uint64_t seq) {
+  std::uint64_t cur = commit_seq_.load(std::memory_order_relaxed);
+  while (cur < seq &&
+         !commit_seq_.compare_exchange_weak(cur, seq,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+std::shared_ptr<void> SmartStore::pin_snapshot(std::uint64_t* seq_out) const {
+  const std::uint64_t seq = commit_seq_.load(std::memory_order_acquire);
+  std::shared_ptr<SnapshotPins> pins = pins_;
+  {
+    const util::MutexLock guard(pins->mu);
+    pins->pins.insert(seq);
+    pins->watermark.store(*pins->pins.begin(), std::memory_order_release);
+  }
+  if (seq_out) *seq_out = seq;
+  // Deleter-only handle: the lambda owns the registry, so unpinning after
+  // the store is destroyed is safe.
+  return std::shared_ptr<void>(nullptr, [pins, seq](void*) {
+    const util::MutexLock guard(pins->mu);
+    auto it = pins->pins.find(seq);
+    if (it != pins->pins.end()) pins->pins.erase(it);
+    pins->watermark.store(
+        pins->pins.empty() ? kNoWatermark : *pins->pins.begin(),
+        std::memory_order_release);
+  });
+}
+
+std::size_t SmartStore::pinned_snapshots() const {
+  const util::MutexLock guard(pins_->mu);
+  return pins_->pins.size();
+}
+
+std::size_t SmartStore::tombstone_count() const {
+  util::ReaderLock shared(structure_mu_);
+  std::size_t n = 0;
+  for (UnitId u = 0; u < units_.size(); ++u) {
+    const util::MutexLock guard(unit_mutex(u));
+    n += units_[u].tombstones().size();
+  }
+  return n;
+}
+
+namespace {
+
+/// Live record visible at snapshot `seq`? (0 = pre-history, always.)
+inline bool live_visible(std::uint64_t added_seq, std::uint64_t seq) {
+  return added_seq <= seq;
+}
+
+/// Tombstoned version visible at snapshot `seq`?
+inline bool dead_visible(const TombstoneRecord& t, std::uint64_t seq) {
+  return t.added_seq <= seq && seq < t.deleted_seq;
+}
+
+}  // namespace
+
+std::size_t SmartStore::snapshot_file_count(std::uint64_t seq) const {
+  util::ReaderLock shared(structure_mu_);
+  std::size_t n = 0;
+  for (UnitId u = 0; u < units_.size(); ++u) {
+    const util::MutexLock guard(unit_mutex(u));
+    const StorageUnit& unit = units_[u];
+    const auto& seqs = unit.added_seqs();
+    for (std::size_t i = 0; i < seqs.size(); ++i)
+      if (live_visible(seqs[i], seq)) ++n;
+    for (const auto& t : unit.tombstones())
+      if (dead_visible(t, seq)) ++n;
+  }
+  return n;
+}
+
+PointResult SmartStore::snapshot_point_query(const metadata::PointQuery& q,
+                                             std::uint64_t seq) const {
+  util::ReaderLock shared(structure_mu_);
+  return snapshot_point_impl(q, seq);
+}
+
+PointResult SmartStore::snapshot_point_impl(const metadata::PointQuery& q,
+                                            std::uint64_t seq) const {
+  PointResult res;
+  // Deterministic version pick: newest visible added_seq wins, ties broken
+  // by smallest id — independent of unit visit order and writer timing.
+  std::uint64_t best_added = 0;
+  for (UnitId u = 0; u < units_.size(); ++u) {
+    const util::MutexLock guard(unit_mutex(u));
+    const StorageUnit& unit = units_[u];
+    const auto& files = unit.files();
+    const auto& seqs = unit.added_seqs();
+    auto consider = [&](std::uint64_t added, FileId id, UnitId where) {
+      if (res.found &&
+          (added < best_added || (added == best_added && id >= res.id)))
+        return;
+      res.found = true;
+      res.unit = where;
+      res.id = id;
+      best_added = added;
+    };
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      if (!live_visible(seqs[i], seq)) continue;
+      if (files[i].name == q.filename) consider(seqs[i], files[i].id, u);
+    }
+    for (const auto& t : unit.tombstones()) {
+      if (!dead_visible(t, seq)) continue;
+      if (t.file.name == q.filename) consider(t.added_seq, t.file.id, u);
+    }
+  }
+  res.first_try = true;
+  res.stats.groups_visited = res.found ? 1 : 0;
+  return res;
+}
+
+RangeResult SmartStore::snapshot_range_query(const metadata::RangeQuery& q,
+                                             std::uint64_t seq) const {
+  util::ReaderLock shared(structure_mu_);
+  return snapshot_range_impl(q, seq);
+}
+
+RangeResult SmartStore::snapshot_range_impl(const metadata::RangeQuery& q,
+                                            std::uint64_t seq) const {
+  RangeResult res;
+  std::vector<std::size_t> dim_idx;
+  la::Vector lo, hi;
+  standardize_range(q, dim_idx, lo, hi);
+
+  auto in_box = [&](const la::Vector& c) {
+    for (std::size_t j = 0; j < dim_idx.size(); ++j) {
+      const double v = c[dim_idx[j]];
+      if (v < lo[j] || v > hi[j]) return false;
+    }
+    return true;
+  };
+
+  for (UnitId u = 0; u < units_.size(); ++u) {
+    const util::MutexLock guard(unit_mutex(u));
+    const StorageUnit& unit = units_[u];
+    const auto& coords = unit.std_coords();
+    const auto& seqs = unit.added_seqs();
+    for (std::size_t i = 0; i < coords.size(); ++i) {
+      if (!live_visible(seqs[i], seq)) continue;
+      if (in_box(coords[i])) res.ids.push_back(unit.files()[i].id);
+    }
+    for (const auto& t : unit.tombstones()) {
+      if (!dead_visible(t, seq)) continue;
+      if (in_box(t.std_coords)) res.ids.push_back(t.file.id);
+    }
+  }
+  // Canonical order: sorted ids, so two scans at the same seq compare ==.
+  std::sort(res.ids.begin(), res.ids.end());
+  res.stats.records_scanned = res.ids.size();
+  return res;
+}
+
+TopKResult SmartStore::snapshot_topk_query(const metadata::TopKQuery& q,
+                                           std::uint64_t seq) const {
+  util::ReaderLock shared(structure_mu_);
+  return snapshot_topk_impl(q, seq);
+}
+
+TopKResult SmartStore::snapshot_topk_impl(const metadata::TopKQuery& q,
+                                          std::uint64_t seq) const {
+  TopKResult res;
+  std::vector<std::size_t> dim_idx;
+  const la::Vector point = standardize_point(q, dim_idx);
+
+  auto dist2 = [&](const la::Vector& c) {
+    double d = 0.0;
+    for (std::size_t j = 0; j < dim_idx.size(); ++j) {
+      const double delta = c[dim_idx[j]] - point[j];
+      d += delta * delta;
+    }
+    return d;
+  };
+
+  std::vector<std::pair<double, FileId>> all;
+  for (UnitId u = 0; u < units_.size(); ++u) {
+    const util::MutexLock guard(unit_mutex(u));
+    const StorageUnit& unit = units_[u];
+    const auto& coords = unit.std_coords();
+    const auto& seqs = unit.added_seqs();
+    for (std::size_t i = 0; i < coords.size(); ++i) {
+      if (!live_visible(seqs[i], seq)) continue;
+      all.emplace_back(dist2(coords[i]), unit.files()[i].id);
+    }
+    for (const auto& t : unit.tombstones()) {
+      if (!dead_visible(t, seq)) continue;
+      all.emplace_back(dist2(t.std_coords), t.file.id);
+    }
+  }
+  // Exact global order with (dist, id) tie-break, then truncate: canonical.
+  std::sort(all.begin(), all.end());
+  if (all.size() > q.k) all.resize(q.k);
+  res.hits = std::move(all);
+  return res;
+}
+
+SmartStore::Introspection SmartStore::introspect(std::uint64_t seq) const {
+  util::ReaderLock shared(structure_mu_);
+  Introspection out;
+  // Topology changes only under the exclusive structure lock; the shared
+  // lock is enough for stable reads. Node-summary writers mutate contents
+  // under their stripes but never resize anything byte_size reads.
+  out.num_units = units_.size();
+  out.tree_height = static_cast<std::size_t>(tree_.height());
+  out.tree_groups = tree_.groups().size();
+  out.index_units = tree_.num_nodes();
+
+  std::size_t active = 0;
+  for (UnitId u = 0; u < units_.size(); ++u) {
+    const util::MutexLock guard(unit_mutex(u));
+    const StorageUnit& unit = units_[u];
+    const auto& seqs = unit.added_seqs();
+    for (std::size_t i = 0; i < seqs.size(); ++i)
+      if (live_visible(seqs[i], seq)) ++out.files;
+    for (const auto& t : unit.tombstones())
+      if (dead_visible(t, seq)) ++out.files;
+    if (!unit_active_[u]) continue;
+    ++active;
+    out.avg_space.metadata_bytes += unit.byte_size();
+    out.avg_space.index_bytes += tree_.hosted_bytes(u);
+    for (const auto& v : variants_)
+      out.avg_space.index_bytes += v.tree.hosted_bytes(u);
+  }
+  if (active != 0) {
+    out.avg_space.metadata_bytes /= active;
+    out.avg_space.index_bytes /= active;
+  }
+  // Every unit carries a replica of every group summary, so the per-unit
+  // replica/version bytes ARE the totals — no averaging. Version vectors
+  // grow under the group's sync stripe; read under it.
+  for (const auto& [g, gs] : sync_) {
+    (void)g;
+    const StripeLock stripe(&sync_stripes_, &gs);
+    out.avg_space.replica_bytes +=
+        gs.replica.byte_size() - gs.replica.versions_byte_size();
+    out.avg_space.version_bytes += gs.replica.versions_byte_size();
+    if (!gs.pending.empty())
+      out.avg_space.version_bytes += gs.pending.byte_size();
+  }
+  return out;
 }
 
 }  // namespace smartstore::core

@@ -30,6 +30,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -138,7 +139,10 @@ class SmartStore {
   /// record to the target unit's WAL shard — under the same lock that
   /// orders the apply, so per-shard log order always equals per-unit apply
   /// order, the invariant sharded recovery's sequence merge relies on.
-  using WalHook = std::function<void(UnitId target)>;
+  /// Returns the store-wide sequence number the WAL stamped on the record
+  /// (the commit timestamp MVCC snapshot reads pin); 0 means "unsequenced"
+  /// and the store self-assigns from its own commit counter.
+  using WalHook = std::function<std::uint64_t(UnitId target)>;
   /// Write-behind flush hook: invoked with the same target AFTER the unit
   /// lock is released (mutation applied, record appended). This is where
   /// the sharded WAL runs its group-commit fsync — off every store lock,
@@ -149,7 +153,8 @@ class SmartStore {
   /// the reconfiguration applies (the sharded WAL barrier-commits every
   /// shard and then logs the structural record, so no later per-unit
   /// record can be durable while the structural one it followed is not).
-  using StructuralHook = std::function<void()>;
+  /// Returns the stamped sequence number (0 = unsequenced, as above).
+  using StructuralHook = std::function<std::uint64_t()>;
 
   explicit SmartStore(Config cfg);
 
@@ -199,6 +204,66 @@ class SmartStore {
                           double arrival);
   TopKResult topk_query(const metadata::TopKQuery& q, Routing routing,
                         double arrival);
+
+  // ---- MVCC snapshot reads ----------------------------------------------
+  //
+  // Every mutation carries a store-wide commit sequence number (the WAL
+  // v03 stamp for durable stores, a private counter otherwise). A reader
+  // pins the current commit seq and scans against it: a record is visible
+  // at snapshot S iff added_seq <= S and (still live, or tombstoned with
+  // deleted_seq > S). Because the seq is stamped and the in-memory apply
+  // happens inside the SAME unit-lock critical section (and the commit
+  // counter advances only after the apply), acquiring each unit lock in
+  // turn observes every mutation with seq <= S — any pinned S is a
+  // consistent cut with no quiescing and no stripe-wide exclusion.
+  //
+  // Tombstones are reclaimed against the GC watermark (the oldest pinned
+  // snapshot; everything is reclaimable when nothing is pinned), so the
+  // per-unit version chain stays bounded by the delete traffic since the
+  // oldest live pin.
+
+  /// Commit sequence of the latest applied mutation (0 = nothing since
+  /// build/load).
+  std::uint64_t last_commit_seq() const {
+    return commit_seq_.load(std::memory_order_acquire);
+  }
+
+  /// Advances the commit counter to at least `seq` (recovery replay and
+  /// snapshot load call this with persisted stamps).
+  void note_commit_seq(std::uint64_t seq);
+
+  /// Pins the current commit seq against tombstone GC. `*seq_out` receives
+  /// the pinned seq; the returned handle unpins on destruction (safe to
+  /// outlive the store — the pin registry is shared-owned).
+  std::shared_ptr<void> pin_snapshot(std::uint64_t* seq_out) const;
+
+  /// Oldest pinned snapshot seq, or core::kNoWatermark when none is
+  /// pinned (every tombstone reclaimable).
+  std::uint64_t gc_watermark() const {
+    return pins_->watermark.load(std::memory_order_acquire);
+  }
+
+  /// Number of currently pinned snapshots.
+  std::size_t pinned_snapshots() const;
+
+  /// Exact exhaustive reads at a pinned seq. Unlike the routed queries
+  /// above they do not simulate network placement: each visits every unit
+  /// (including deactivated ones, whose tombstone chains may still be
+  /// visible) under that unit's lock, one at a time, and returns canonical
+  /// (sorted) results — two scans at the same seq are bit-identical no
+  /// matter what writers do in between.
+  PointResult snapshot_point_query(const metadata::PointQuery& q,
+                                   std::uint64_t seq) const;
+  RangeResult snapshot_range_query(const metadata::RangeQuery& q,
+                                   std::uint64_t seq) const;
+  TopKResult snapshot_topk_query(const metadata::TopKQuery& q,
+                                 std::uint64_t seq) const;
+
+  /// Records visible at `seq` (exhaustive count, same locking as above).
+  std::size_t snapshot_file_count(std::uint64_t seq) const;
+
+  /// Live tombstone-chain length summed over all units (non-quiescing).
+  std::size_t tombstone_count() const;
 
   // ---- reconfiguration (exclusive: blocks all serving threads) -----------
 
@@ -260,6 +325,23 @@ class SmartStore {
   SpaceBreakdown avg_unit_space() const SS_NO_THREAD_SAFETY_ANALYSIS;
   /// Average attached-version bytes per first-level index unit (Fig. 14a).
   double avg_version_bytes_per_group() const;
+
+  /// One snapshot-consistent introspection pass, concurrent with serving
+  /// threads: topology counters read under the shared structure lock
+  /// (they change only under the exclusive one), the file count and
+  /// per-unit bytes under each unit's lock at the pinned seq, replica and
+  /// version bytes under each group's sync stripe. The space numbers
+  /// describe the CURRENT unit contents (space is accounting, not
+  /// versioned data) — only the file count is an as-of read.
+  struct Introspection {
+    std::size_t files = 0;       ///< records visible at the pinned seq
+    std::size_t num_units = 0;
+    std::size_t tree_height = 0;
+    std::size_t tree_groups = 0;
+    std::size_t index_units = 0;
+    SpaceBreakdown avg_space;    ///< averaged over active units
+  };
+  Introspection introspect(std::uint64_t seq) const;
 
   /// Structural invariants across units, tree and sync state.
   bool check_invariants() const;
@@ -336,6 +418,11 @@ class SmartStore {
     /// Frozen-epoch group list, for the SYNC section's deterministic
     /// ordering (the live tree may mutate while SYNC serializes).
     std::vector<std::size_t> group_order;
+    /// MVCC cut at freeze: the snapshot image's commit seq and the GC
+    /// watermark the UNITS serializer filters tombstones against
+    /// ("checkpoint respects the watermark").
+    std::uint64_t commit_seq = 0;
+    std::uint64_t gc_watermark = kNoWatermark;
   };
 
   struct FreezeState {
@@ -389,8 +476,14 @@ class SmartStore {
   // insert_file_impl for displaced files while holding it exclusively —
   // the shared-acquiring public method would self-deadlock there.
 
+  /// `forced_seq` != kAssignSeq re-homes a record under its ORIGINAL
+  /// added_seq (remove_storage_unit re-inserting displaced files): the move
+  /// is invisible to every snapshot — the record stays visible at exactly
+  /// the seqs it was visible at before, just in a different unit. 0 forces
+  /// pre-history; the kAssignSeq default stamps a fresh commit seq.
   QueryStats insert_file_impl(const metadata::FileMetadata& f, double arrival,
-                              const WalHook& logged, const WalFlush& flushed)
+                              const WalHook& logged, const WalFlush& flushed,
+                              std::uint64_t forced_seq = kAssignSeq)
       SS_REQUIRES_SHARED(structure_mu_);
   bool erase_file_impl(const std::string& name, const WalHook& logged,
                        const WalFlush& flushed)
@@ -404,6 +497,21 @@ class SmartStore {
   TopKResult topk_query_impl(const metadata::TopKQuery& q, Routing routing,
                              double arrival)
       SS_REQUIRES_SHARED(structure_mu_);
+
+  PointResult snapshot_point_impl(const metadata::PointQuery& q,
+                                  std::uint64_t seq) const
+      SS_REQUIRES_SHARED(structure_mu_);
+  RangeResult snapshot_range_impl(const metadata::RangeQuery& q,
+                                  std::uint64_t seq) const
+      SS_REQUIRES_SHARED(structure_mu_);
+  TopKResult snapshot_topk_impl(const metadata::TopKQuery& q,
+                                std::uint64_t seq) const
+      SS_REQUIRES_SHARED(structure_mu_);
+
+  /// Resolves the commit seq for one mutation inside its unit-lock
+  /// critical section: adopts the WAL stamp when one exists (advancing the
+  /// commit counter to it), otherwise self-assigns the next counter value.
+  std::uint64_t commit_stamp(std::uint64_t wal_seq);
 
   /// The calling thread's private RNG stream, lazily seeded from the store
   /// seed and a monotonic stream id — queries draw home units without
@@ -524,6 +632,26 @@ class SmartStore {
   std::uint64_t store_id_ = 0;
   std::atomic<std::size_t> total_files_{0};
   std::atomic<std::uint64_t> epoch_{0};  ///< mutation counter
+
+  /// MVCC commit timestamp: advanced inside the mutating unit-lock
+  /// critical section, AFTER the apply — so any value a reader loads names
+  /// a cut where every mutation with seq <= it is (or is about to be,
+  /// behind that unit's lock) applied.
+  std::atomic<std::uint64_t> commit_seq_{0};
+
+  /// Pinned-snapshot registry. Shared-owned so a pin handle released after
+  /// the store is gone unpins against a still-live registry. The mutex is
+  /// kLeaf (terminal): pin/unpin only update the multiset and the cached
+  /// watermark, never call out, and may run from any lock context (the
+  /// service tier drops leases under its own lease lock).
+  struct SnapshotPins {
+    mutable util::Mutex mu{util::LockRank::kLeaf};
+    std::multiset<std::uint64_t> pins SS_GUARDED_BY(mu);
+    /// Min pinned seq; kNoWatermark when nothing is pinned. Cached so the
+    /// mutation path reads one atomic instead of taking the mutex.
+    std::atomic<std::uint64_t> watermark{kNoWatermark};
+  };
+  std::shared_ptr<SnapshotPins> pins_ = std::make_shared<SnapshotPins>();
 
   // ---- multi-writer serving locks ----------------------------------------
   //

@@ -14,22 +14,37 @@ StorageUnit::StorageUnit(UnitId id, std::size_t bloom_bits,
     : id_(id), name_filter_(bloom_bits, bloom_hashes),
       attr_sums_(kNumAttrs, 0.0) {}
 
-void StorageUnit::add_file(const FileMetadata& f, const la::Vector& std_coords) {
+void StorageUnit::add_file(const FileMetadata& f, const la::Vector& std_coords,
+                           std::uint64_t added_seq) {
   assert(std_coords.size() == kNumAttrs);
   by_name_[f.name] = files_.size();
   by_id_[f.id] = files_.size();
   files_.push_back(f);
   std_coords_.push_back(std_coords);
+  added_seqs_.push_back(added_seq);
   name_filter_.insert(f.name);
   box_.expand(std_coords);
   for (std::size_t d = 0; d < kNumAttrs; ++d) attr_sums_[d] += f.attrs[d];
 }
 
-std::optional<FileMetadata> StorageUnit::remove_file(FileId id) {
+std::optional<FileMetadata> StorageUnit::remove_file(FileId id,
+                                                     std::uint64_t
+                                                         deleted_seq) {
   auto it = by_id_.find(id);
   if (it == by_id_.end()) return std::nullopt;
   const std::size_t pos = it->second;
   FileMetadata removed = files_[pos];
+
+  if (deleted_seq > 0) {
+    // Version chain: snapshots pinned before the delete still see this
+    // record. The caller prunes against the GC watermark.
+    TombstoneRecord t;
+    t.file = removed;
+    t.std_coords = std_coords_[pos];
+    t.added_seq = added_seqs_[pos];
+    t.deleted_seq = deleted_seq;
+    tombstones_.push_back(std::move(t));
+  }
 
   name_filter_.remove(removed.name);
   by_name_.erase(removed.name);
@@ -42,12 +57,26 @@ std::optional<FileMetadata> StorageUnit::remove_file(FileId id) {
   if (pos != last) {
     files_[pos] = std::move(files_[last]);
     std_coords_[pos] = std::move(std_coords_[last]);
+    added_seqs_[pos] = added_seqs_[last];
     by_name_[files_[pos].name] = pos;
     by_id_[files_[pos].id] = pos;
   }
   files_.pop_back();
   std_coords_.pop_back();
+  added_seqs_.pop_back();
   return removed;
+}
+
+std::size_t StorageUnit::prune_tombstones(std::uint64_t watermark) {
+  if (tombstones_.empty()) return 0;
+  const std::size_t before = tombstones_.size();
+  tombstones_.erase(
+      std::remove_if(tombstones_.begin(), tombstones_.end(),
+                     [watermark](const TombstoneRecord& t) {
+                       return t.deleted_seq <= watermark;
+                     }),
+      tombstones_.end());
+  return before - tombstones_.size();
 }
 
 const FileMetadata* StorageUnit::find_by_name(const std::string& name) const {
@@ -76,6 +105,11 @@ std::size_t StorageUnit::byte_size() const {
   // Hash indexes: bucket array + one node per entry (approximation).
   b += by_name_.size() * (sizeof(void*) * 2 + 48);
   b += by_id_.size() * (sizeof(void*) * 2 + 24);
+  b += added_seqs_.size() * sizeof(std::uint64_t);
+  for (const auto& t : tombstones_) {
+    b += sizeof(TombstoneRecord) + t.file.byte_size() +
+         t.std_coords.capacity() * sizeof(double);
+  }
   b += name_filter_.byte_size();
   b += box_.byte_size();
   return b;

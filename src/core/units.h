@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -31,6 +32,26 @@ namespace smartstore::core {
 using UnitId = std::size_t;
 inline constexpr std::size_t kInvalidIndex = static_cast<std::size_t>(-1);
 
+/// Sentinel GC watermark when no snapshot is pinned: every tombstone is
+/// immediately reclaimable.
+inline constexpr std::uint64_t kNoWatermark =
+    static_cast<std::uint64_t>(-1);
+
+/// Sentinel "no forced seq" for insert paths: stamp a fresh commit seq
+/// instead of re-homing under a preserved one.
+inline constexpr std::uint64_t kAssignSeq = static_cast<std::uint64_t>(-1);
+
+/// A record version that has been deleted but is still visible to some
+/// pinned snapshot: visible at snapshot S iff added_seq <= S < deleted_seq.
+/// Tombstones keep the standardized coordinates so snapshot scans can run
+/// without re-standardizing.
+struct TombstoneRecord {
+  metadata::FileMetadata file;
+  la::Vector std_coords;
+  std::uint64_t added_seq = 0;
+  std::uint64_t deleted_seq = 0;
+};
+
 /// One metadata server (semantic R-tree leaf).
 class StorageUnit {
  public:
@@ -41,13 +62,21 @@ class StorageUnit {
   bool empty() const { return files_.empty(); }
 
   /// Adds a record; `std_coords` is the file's standardized full-D vector
-  /// (the geometry every MBR in the store is expressed in).
-  void add_file(const metadata::FileMetadata& f, const la::Vector& std_coords);
+  /// (the geometry every MBR in the store is expressed in). `added_seq` is
+  /// the commit sequence stamped on the mutation (0 = pre-history: bulk
+  /// builds and legacy snapshots, visible to every snapshot).
+  void add_file(const metadata::FileMetadata& f, const la::Vector& std_coords,
+                std::uint64_t added_seq = 0);
 
   /// Removes by id; returns the removed record. MBRs are not shrunk on
   /// delete (standard R-tree practice; bounds stay conservative until the
-  /// next reconfiguration).
-  std::optional<metadata::FileMetadata> remove_file(metadata::FileId id);
+  /// next reconfiguration). With `deleted_seq` > 0 the removed version is
+  /// kept on the unit's tombstone chain so pinned snapshots older than the
+  /// delete can still see it; `deleted_seq` == 0 drops it outright (bulk
+  /// moves that re-home a record under its original added_seq).
+  std::optional<metadata::FileMetadata> remove_file(metadata::FileId id,
+                                                    std::uint64_t deleted_seq =
+                                                        0);
 
   /// Local filename lookup (exact).
   const metadata::FileMetadata* find_by_name(const std::string& name) const;
@@ -55,6 +84,27 @@ class StorageUnit {
 
   const std::vector<metadata::FileMetadata>& files() const { return files_; }
   const std::vector<la::Vector>& std_coords() const { return std_coords_; }
+
+  /// Commit sequence of each live record, parallel to files(). 0 means
+  /// pre-history (always visible).
+  const std::vector<std::uint64_t>& added_seqs() const { return added_seqs_; }
+
+  /// Deleted-but-pinned record versions, oldest deletes first.
+  const std::vector<TombstoneRecord>& tombstones() const {
+    return tombstones_;
+  }
+
+  /// Re-attaches a tombstone loaded from a snapshot image.
+  void restore_tombstone(TombstoneRecord t) {
+    tombstones_.push_back(std::move(t));
+  }
+
+  /// Drops every tombstone no pinned snapshot can still see (deleted at or
+  /// before `watermark`, the oldest pinned snapshot seq — kNoWatermark
+  /// reclaims everything). Returns how many were reclaimed. This is what
+  /// keeps the per-unit version chain bounded: chain length is at most the
+  /// number of deletes since the oldest live pin.
+  std::size_t prune_tombstones(std::uint64_t watermark);
 
   /// Membership filter over local filenames (counting, so deletions work);
   /// the plain view is what gets unioned into index units.
@@ -76,7 +126,9 @@ class StorageUnit {
  private:
   UnitId id_;
   std::vector<metadata::FileMetadata> files_;
-  std::vector<la::Vector> std_coords_;  // parallel to files_
+  std::vector<la::Vector> std_coords_;        // parallel to files_
+  std::vector<std::uint64_t> added_seqs_;     // parallel to files_
+  std::vector<TombstoneRecord> tombstones_;   // MVCC version chain
   std::unordered_map<std::string, std::size_t> by_name_;  // name -> position
   std::unordered_map<metadata::FileId, std::size_t> by_id_;
   bloom::CountingBloomFilter name_filter_;

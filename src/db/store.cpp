@@ -209,7 +209,7 @@ struct Store::Impl {
     if (wal) {
       core->insert_file(
           f, 0.0,
-          [&](core::UnitId target) { wal->append_insert(target, f); },
+          [&](core::UnitId target) { return wal->append_insert(target, f); },
           [&](core::UnitId target) { wal->maybe_commit(target); });
     } else {
       core->insert_file(f, 0.0);
@@ -220,7 +220,9 @@ struct Store::Impl {
     if (wal) {
       return core->erase_file(
           name,
-          [&](core::UnitId located) { wal->append_remove(located, name); },
+          [&](core::UnitId located) {
+            return wal->append_remove(located, name);
+          },
           [&](core::UnitId located) { wal->maybe_commit(located); });
     }
     return core->erase_file(name);
@@ -249,7 +251,7 @@ struct Store::Impl {
         core->insert_batch(
             chunk, 0.0,
             [&](core::UnitId target) {
-              wal->append_insert(target, chunk[cursor++]);
+              return wal->append_insert(target, chunk[cursor++]);
             },
             [&](core::UnitId target) { wal->maybe_commit(target); });
       } else {
@@ -441,6 +443,11 @@ StatusOr<std::unique_ptr<Store>> Store::Open(const Options& options,
           path, im.core->units().size(),
           options.group_commit > 0 ? options.group_commit
                                    : im.core->config().version_ratio);
+      // A rebased/reset shard dir restarts its on-disk seq counter; the
+      // snapshot remembers the commit frontier, so fresh stamps must start
+      // strictly past everything already applied or time-travel reads
+      // would see two mutations share a timestamp.
+      im.wal->ensure_seq_at_least(im.core->last_commit_seq() + 1);
       // The checkpointer (and its thread pool) is eager only when the
       // cadence needs it from the first mutation; an explicit
       // Checkpoint() call creates it lazily instead.
@@ -646,6 +653,81 @@ StatusOr<QueryResult> Store::Query(const QueryRequest& request) {
   }
 }
 
+// ---- snapshot reads / time travel -------------------------------------------
+
+StatusOr<Snapshot> Store::GetSnapshot() {
+  util::ReaderLock lk(impl_->lifecycle_mu);
+  Status gate = impl_->check_serving();
+  if (!gate.ok()) return gate;
+  std::uint64_t seq = 0;
+  std::shared_ptr<void> pin = impl_->core->pin_snapshot(&seq);
+  return Snapshot(seq, std::move(pin));
+}
+
+std::uint64_t Store::LatestSequence() const {
+  util::ReaderLock lk(impl_->lifecycle_mu);
+  return impl_->core->last_commit_seq();
+}
+
+StatusOr<QueryResult> Store::Query(const QueryRequest& request,
+                                   const ReadOptions& options) {
+  util::ReaderLock lk(impl_->lifecycle_mu);
+  Status gate = impl_->check_serving();
+  if (!gate.ok()) return gate;
+
+  // Resolve the seq first: a kReadLatest read pins for the duration of
+  // this one scan so GC cannot reclaim a version out from under it.
+  std::uint64_t seq = options.snapshot_seq;
+  std::shared_ptr<void> pin;
+  if (seq == ReadOptions::kReadLatest)
+    pin = impl_->core->pin_snapshot(&seq);
+
+  try {
+    QueryResult out;
+    if (const auto* p = std::get_if<metadata::PointQuery>(&request.op)) {
+      if (p->filename.empty())
+        return Status::InvalidArgument("point query needs a filename");
+      const core::PointResult r = impl_->core->snapshot_point_query(*p, seq);
+      out.kind = QueryKind::kPoint;
+      out.found = r.found;
+      out.id = r.id;
+      out.unit = r.unit;
+      out.first_try = r.first_try;
+      out.stats = to_public(r.stats);
+    } else if (const auto* rq =
+                   std::get_if<metadata::RangeQuery>(&request.op)) {
+      if (rq->dims.empty())
+        return Status::InvalidArgument("range query needs >= 1 dimension");
+      if (rq->lo.size() != rq->dims.size() ||
+          rq->hi.size() != rq->dims.size()) {
+        return Status::InvalidArgument(
+            "range query lo/hi must match the dimension subset");
+      }
+      const core::RangeResult r = impl_->core->snapshot_range_query(*rq, seq);
+      out.kind = QueryKind::kRange;
+      out.ids = r.ids;
+      out.stats = to_public(r.stats);
+    } else {
+      const auto& tq = std::get<metadata::TopKQuery>(request.op);
+      if (tq.k == 0) return Status::InvalidArgument("top-k query needs k > 0");
+      if (tq.dims.empty())
+        return Status::InvalidArgument("top-k query needs >= 1 dimension");
+      if (tq.point.size() != tq.dims.size()) {
+        return Status::InvalidArgument(
+            "top-k query point must match the dimension subset");
+      }
+      const core::TopKResult r = impl_->core->snapshot_topk_query(tq, seq);
+      out.kind = QueryKind::kTopK;
+      out.hits = r.hits;
+      out.ids = r.ids();
+      out.stats = to_public(r.stats);
+    }
+    return out;
+  } catch (const std::exception& e) {
+    return Status::Unknown(e.what());
+  }
+}
+
 // ---- durability control -----------------------------------------------------
 
 Status Store::Flush() {
@@ -803,6 +885,23 @@ bool Store::GetProperty(const std::string& name, std::string* value) {
       return true;
     }
 
+    // MVCC properties: atomics and leaf-locked registries, never blocked
+    // behind a mutation.
+    if (name == "smartstore.mvcc.commit-seq")
+      return u64(im.core->last_commit_seq());
+    if (name == "smartstore.mvcc.pinned-snapshots")
+      return u64(im.core->pinned_snapshots());
+    if (name == "smartstore.mvcc.tombstones")
+      return u64(im.core->tombstone_count());
+    if (name == "smartstore.mvcc.gc-watermark") {
+      const std::uint64_t w = im.core->gc_watermark();
+      if (w == core::kNoWatermark) {
+        *value = "none";  // nothing pinned: every tombstone reclaimable
+        return true;
+      }
+      return u64(w);
+    }
+
     if (name == "smartstore.snapshot.path") {
       if (im.dir.empty()) return false;
       *value = persist::snapshot_path(im.dir);
@@ -832,14 +931,23 @@ bool Store::GetProperty(const std::string& name, std::string* value) {
     }
   }
 
-  // Structural / space properties read state the core exposes
-  // quiesced-only: exclude every facade operation for the read. Gate on
-  // the known-name set FIRST — an unknown or mistyped property must
-  // return false without ever escalating to the stop-the-world lock.
+  // Invariant validation genuinely needs stillness (it cross-checks
+  // unlocked state across every layer): the one property that still
+  // quiesces. Gate on the name FIRST — an unknown or mistyped property
+  // must return false without ever escalating to the stop-the-world lock.
+  if (name == "smartstore.invariants-ok") {
+    util::WriterLock ex(im.lifecycle_mu);
+    *value = im.core->check_invariants() ? "1" : "0";
+    return true;
+  }
+
+  // Structural / space properties: one introspect() pass at a pinned
+  // snapshot, concurrent with mutators (shared structure lock + per-unit
+  // locks + sync stripes inside the core — no facade-level exclusion).
   const bool structural =
       name == "smartstore.total-files" || name == "smartstore.num-units" ||
       name == "smartstore.tree-height" || name == "smartstore.tree-groups" ||
-      name == "smartstore.index-units" || name == "smartstore.invariants-ok";
+      name == "smartstore.index-units";
   const bool space_prop = name == "smartstore.space.metadata-bytes" ||
                           name == "smartstore.space.index-bytes" ||
                           name == "smartstore.space.replica-bytes" ||
@@ -847,19 +955,16 @@ bool Store::GetProperty(const std::string& name, std::string* value) {
                           name == "smartstore.space.total-bytes";
   if (!structural && !space_prop) return false;
 
-  util::WriterLock ex(im.lifecycle_mu);
-  if (name == "smartstore.total-files") return u64(im.core->total_files());
-  if (name == "smartstore.num-units") return u64(im.core->units().size());
-  if (name == "smartstore.tree-height")
-    return u64(static_cast<std::uint64_t>(im.core->tree().height()));
-  if (name == "smartstore.tree-groups")
-    return u64(im.core->tree().groups().size());
-  if (name == "smartstore.index-units") return u64(im.core->tree().num_nodes());
-  if (name == "smartstore.invariants-ok") {
-    *value = im.core->check_invariants() ? "1" : "0";
-    return true;
-  }
-  const core::SmartStore::SpaceBreakdown space = im.core->avg_unit_space();
+  util::ReaderLock lk(im.lifecycle_mu);
+  std::uint64_t seq = 0;
+  const std::shared_ptr<void> pin = im.core->pin_snapshot(&seq);
+  const core::SmartStore::Introspection view = im.core->introspect(seq);
+  if (name == "smartstore.total-files") return u64(view.files);
+  if (name == "smartstore.num-units") return u64(view.num_units);
+  if (name == "smartstore.tree-height") return u64(view.tree_height);
+  if (name == "smartstore.tree-groups") return u64(view.tree_groups);
+  if (name == "smartstore.index-units") return u64(view.index_units);
+  const core::SmartStore::SpaceBreakdown& space = view.avg_space;
   if (name == "smartstore.space.metadata-bytes")
     return u64(space.metadata_bytes);
   if (name == "smartstore.space.index-bytes") return u64(space.index_bytes);
@@ -869,11 +974,14 @@ bool Store::GetProperty(const std::string& name, std::string* value) {
 }
 
 SpaceInfo Store::GetSpaceInfo() {
-  // One quiesced read, one avg_unit_space() walk — the typed alternative
-  // to five separate smartstore.space.* property round-trips.
-  util::WriterLock ex(impl_->lifecycle_mu);
+  // One snapshot-pinned introspect() pass — the typed alternative to five
+  // separate smartstore.space.* property round-trips, concurrent with
+  // mutators.
+  util::ReaderLock lk(impl_->lifecycle_mu);
+  std::uint64_t seq = 0;
+  const std::shared_ptr<void> pin = impl_->core->pin_snapshot(&seq);
   const core::SmartStore::SpaceBreakdown space =
-      impl_->core->avg_unit_space();
+      impl_->core->introspect(seq).avg_space;
   SpaceInfo info;
   info.metadata_bytes = space.metadata_bytes;
   info.index_bytes = space.index_bytes;

@@ -62,7 +62,7 @@ core::QueryStats BackgroundCheckpointer::insert(const metadata::FileMetadata& f,
     return store_.insert_file(
         f, arrival,
         [this, &f](core::UnitId target) {
-          sharded_->append_insert(target, f);
+          return sharded_->append_insert(target, f);
         },
         [this](core::UnitId target) { sharded_->maybe_commit(target); });
   }
@@ -76,7 +76,7 @@ bool BackgroundCheckpointer::erase(const std::string& name) {
     return store_.erase_file(
         name,
         [this, &name](core::UnitId located) {
-          sharded_->append_remove(located, name);
+          return sharded_->append_remove(located, name);
         },
         [this](core::UnitId located) { sharded_->maybe_commit(located); });
   }
@@ -88,7 +88,7 @@ bool BackgroundCheckpointer::erase(const std::string& name) {
 
 core::UnitId BackgroundCheckpointer::add_storage_unit() {
   if (sharded_) {
-    return store_.add_storage_unit([this] { sharded_->log_add_unit(); });
+    return store_.add_storage_unit([this] { return sharded_->log_add_unit(); });
   }
   const util::MutexLock lock(mu_);
   wal_->log_add_unit();
@@ -97,7 +97,7 @@ core::UnitId BackgroundCheckpointer::add_storage_unit() {
 
 void BackgroundCheckpointer::remove_storage_unit(core::UnitId u) {
   if (sharded_) {
-    store_.remove_storage_unit(u, [this, u] { sharded_->log_remove_unit(u); });
+    store_.remove_storage_unit(u, [this, u] { return sharded_->log_remove_unit(u); });
     return;
   }
   const util::MutexLock lock(mu_);
@@ -110,7 +110,7 @@ std::size_t BackgroundCheckpointer::autoconfigure(
   if (sharded_) {
     return store_.autoconfigure(
         candidates, [this, &candidates] {
-          sharded_->log_autoconfigure(candidates);
+          return sharded_->log_autoconfigure(candidates);
         });
   }
   const util::MutexLock lock(mu_);

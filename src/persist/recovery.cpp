@@ -18,28 +18,32 @@ std::string wal_path(const std::string& dir) {
 
 void apply_record(core::SmartStore& store, const WalRecord& rec) {
   // Replay runs at virtual time zero: queue state is not part of recovery,
-  // only the logical outcome of each mutation.
+  // only the logical outcome of each mutation. The hooks do not re-log —
+  // they hand the record's persisted seq back to the store, so the
+  // replayed mutation lands under the SAME commit timestamp it carried
+  // live and time-travel reads replay identically across a restart.
+  const auto replay_seq = [&rec](core::UnitId) { return rec.seq; };
   switch (rec.type) {
     case WalRecordType::kInsert:
-      store.insert_file(rec.file, 0.0);
+      store.insert_file(rec.file, 0.0, replay_seq);
       break;
     case WalRecordType::kRemove:
       // erase_file, not delete_file: the live delete was acknowledged, so
       // replay must not depend on the off-line replicas (whose staleness
       // evolves differently during recovery) re-locating the file.
-      store.erase_file(rec.name);
+      store.erase_file(rec.name, replay_seq);
       break;
     case WalRecordType::kAddUnit:
-      store.add_storage_unit();
+      store.add_storage_unit([&rec] { return rec.seq; });
       break;
     case WalRecordType::kRemoveUnit: {
       const auto u = static_cast<core::UnitId>(rec.unit);
       if (u < store.units().size() && store.unit_active(u))
-        store.remove_storage_unit(u);
+        store.remove_storage_unit(u, [&rec] { return rec.seq; });
       break;
     }
     case WalRecordType::kAutoconfigure:
-      store.autoconfigure(rec.subsets);
+      store.autoconfigure(rec.subsets, [&rec] { return rec.seq; });
       break;
   }
 }

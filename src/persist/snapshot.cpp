@@ -197,7 +197,7 @@ struct SnapshotAccess {
                                 std::size_t total_files,
                                 const std::array<std::uint64_t, 4>& rng_state,
                                 const std::vector<bool>& unit_active,
-                                BinaryWriter& w) {
+                                std::uint64_t commit_seq, BinaryWriter& w) {
     w.write_u32(static_cast<std::uint32_t>(metadata::kNumAttrs));
     w.write_u64(c.num_units);
     w.write_u64(c.fanout);
@@ -227,6 +227,9 @@ struct SnapshotAccess {
     for (std::uint64_t word : rng_state) w.write_u64(word);
     w.write_u64(unit_active.size());
     for (bool b : unit_active) w.write_bool(b);
+    // v2: the commit timestamp the image captures — recovery resumes the
+    // MVCC clock here, then the WAL replay advances it record by record.
+    w.write_u64(commit_seq);
   }
 
   // The plain save_* readers run on the quiesced path (save_snapshot):
@@ -236,7 +239,7 @@ struct SnapshotAccess {
   static void save_config(const Store& s, BinaryWriter& w)
       SS_NO_THREAD_SAFETY_ANALYSIS {
     save_config_state(s.cfg_, s.bloom_bits_, s.total_files_, s.rng_.state(),
-                      s.unit_active_, w);
+                      s.unit_active_, s.last_commit_seq(), w);
   }
 
   static void save_standardizer_state(const la::RowStandardizer& st,
@@ -250,15 +253,32 @@ struct SnapshotAccess {
     save_standardizer_state(s.standardizer_, w);
   }
 
-  static void save_unit(const core::StorageUnit& u, BinaryWriter& w) {
+  /// v2 unit entry: the v1 record block, then the parallel added_seq array
+  /// and the tombstone versions still pinned above `watermark` — the
+  /// "checkpoint respects the GC watermark" rule. Tombstone coordinates are
+  /// rebuilt from the standardizer on load, like live records'.
+  static void save_unit(const core::StorageUnit& u, std::uint64_t watermark,
+                        BinaryWriter& w) {
     w.write_u64(u.id());
     w.write_u64(u.file_count());
     for (const auto& f : u.files()) write_file_meta(w, f);
+    for (std::uint64_t seq : u.added_seqs()) w.write_u64(seq);
+    std::uint64_t kept = 0;
+    for (const auto& t : u.tombstones())
+      if (t.deleted_seq > watermark) ++kept;
+    w.write_u64(kept);
+    for (const auto& t : u.tombstones()) {
+      if (t.deleted_seq <= watermark) continue;
+      write_file_meta(w, t.file);
+      w.write_u64(t.added_seq);
+      w.write_u64(t.deleted_seq);
+    }
   }
 
   static void save_units(const Store& s, BinaryWriter& w) {
+    const std::uint64_t watermark = s.gc_watermark();
     w.write_u64(s.units_.size());
-    for (const core::StorageUnit& u : s.units_) save_unit(u, w);
+    for (const core::StorageUnit& u : s.units_) save_unit(u, watermark, w);
   }
 
   static void save_tree(const Tree& t, BinaryWriter& w) {
@@ -360,7 +380,8 @@ struct SnapshotAccess {
     // the eager capture at freeze time.
     save_config_state(s.cfg_, s.freeze_.core.bloom_bits,
                       s.freeze_.core.total_files, s.freeze_.core.rng_state,
-                      s.freeze_.core.unit_active, w);
+                      s.freeze_.core.unit_active, s.freeze_.core.commit_seq,
+                      w);
   }
 
   static void save_standardizer_frozen(Store& s, BinaryWriter& w) {
@@ -369,18 +390,19 @@ struct SnapshotAccess {
   }
 
   static void save_units_frozen(Store& s, BinaryWriter& w) {
-    const std::size_t count = [&] {
+    const auto [count, watermark] = [&] {
       const util::MutexLock lock(s.freeze_.mu);
-      return s.freeze_.core.unit_count;
+      return std::make_pair(s.freeze_.core.unit_count,
+                            s.freeze_.core.gc_watermark);
     }();
     w.write_u64(count);
     for (std::size_t u = 0; u < count; ++u) {
       const util::MutexLock lock(s.freeze_.mu);
       if (s.freeze_.unit_state[u] == Store::PieceState::kFrozen) {
-        save_unit(*s.freeze_.frozen_units[u], w);
+        save_unit(*s.freeze_.frozen_units[u], watermark, w);
         s.freeze_.frozen_units[u].reset();
       } else {
-        save_unit(s.units_[u], w);
+        save_unit(s.units_[u], watermark, w);
       }
       s.freeze_.unit_state[u] = Store::PieceState::kDone;
     }
@@ -508,7 +530,8 @@ struct SnapshotAccess {
   // Builds the store before any other thread can see it, so the guarded
   // members are written lock-free by construction; exempted from analysis
   // rather than given locks the unpublished object does not need.
-  static std::unique_ptr<Store> assemble(BinaryReader& config_r,
+  static std::unique_ptr<Store> assemble(std::uint32_t version,
+                                         BinaryReader& config_r,
                                          BinaryReader& std_r,
                                          BinaryReader& units_r,
                                          BinaryReader& tree_r,
@@ -529,6 +552,11 @@ struct SnapshotAccess {
     s.unit_active_.resize(num_units);
     for (std::size_t u = 0; u < num_units; ++u)
       s.unit_active_[u] = config_r.read_bool();
+    if (version >= 2) {
+      // MVCC clock resumes where the image cut it; v1 images predate the
+      // commit counter and restart it at 0 (all records pre-history).
+      s.commit_seq_.store(config_r.read_u64(), std::memory_order_relaxed);
+    }
 
     s.standardizer_.means = std_r.read_vec_f64();
     s.standardizer_.inv_stdevs = std_r.read_vec_f64();
@@ -554,10 +582,32 @@ struct SnapshotAccess {
       s.units_.emplace_back(u, s.bloom_bits_, cfg.bloom_hashes);
       const std::size_t nfiles = static_cast<std::size_t>(
           units_r.read_u64_max(units_r.remaining(), "file count"));
+      std::vector<metadata::FileMetadata> files;
+      files.reserve(nfiles);
+      for (std::size_t i = 0; i < nfiles; ++i)
+        files.push_back(read_file_meta(units_r));
+      std::vector<std::uint64_t> seqs(nfiles, 0);
+      if (version >= 2) {
+        for (auto& seq : seqs) seq = units_r.read_u64();
+      }
       for (std::size_t i = 0; i < nfiles; ++i) {
-        const metadata::FileMetadata f = read_file_meta(units_r);
-        s.units_.back().add_file(f,
-                                 s.standardizer_.transform(f.full_vector()));
+        s.units_.back().add_file(
+            files[i], s.standardizer_.transform(files[i].full_vector()),
+            seqs[i]);
+      }
+      if (version >= 2) {
+        const std::size_t ntombs = static_cast<std::size_t>(
+            units_r.read_u64_max(units_r.remaining(), "tombstone count"));
+        for (std::size_t i = 0; i < ntombs; ++i) {
+          core::TombstoneRecord t;
+          t.file = read_file_meta(units_r);
+          t.added_seq = units_r.read_u64();
+          t.deleted_seq = units_r.read_u64();
+          if (t.deleted_seq == 0 || t.deleted_seq <= t.added_seq)
+            throw PersistError("tombstone with inverted seq window");
+          t.std_coords = s.standardizer_.transform(t.file.full_vector());
+          s.units_.back().restore_tombstone(std::move(t));
+        }
       }
     }
 
@@ -740,7 +790,7 @@ std::unique_ptr<core::SmartStore> load_snapshot(const std::string& path,
   if (std::memcmp(magic, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0)
     throw PersistError("bad snapshot magic: " + path);
   const std::uint32_t version = r.read_u32();
-  if (version != kSnapshotFormatVersion) {
+  if (version == 0 || version > kSnapshotFormatVersion) {
     throw PersistError("unsupported snapshot format version " +
                        std::to_string(version));
   }
@@ -800,7 +850,7 @@ std::unique_ptr<core::SmartStore> load_snapshot(const std::string& path,
   BinaryReader variants_r(sections[kSecVariants].data,
                           sections[kSecVariants].size);
   BinaryReader sync_r(sections[kSecSync].data, sections[kSecSync].size);
-  return SnapshotAccess::assemble(config_r, std_r, units_r, tree_r,
+  return SnapshotAccess::assemble(version, config_r, std_r, units_r, tree_r,
                                   variants_r, sync_r);
 }
 

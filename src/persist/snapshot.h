@@ -59,7 +59,11 @@ class PersistError : public std::runtime_error {
 
 inline constexpr char kSnapshotMagic[8] = {'S', 'S', 'N', 'A',
                                            'P', 'v', '0', '1'};
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+/// Version 2 adds MVCC state: the CONFIG section appends the commit seq,
+/// and each UNITS entry appends per-record added_seqs plus the tombstone
+/// chain still visible above the GC watermark at save time. The loader
+/// accepts version 1 (every record loads as pre-history, seq 0).
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
 /// One shard's slice of a sharded-WAL fence: records [0, records) of
 /// wal/<shard>.log under `generation` are reflected in the snapshot.

@@ -84,8 +84,8 @@ std::size_t ShardedWal::num_shards() const {
   return shards_.size();
 }
 
-void ShardedWal::log_insert(std::size_t shard_id,
-                            const metadata::FileMetadata& f) {
+std::uint64_t ShardedWal::log_insert(std::size_t shard_id,
+                                     const metadata::FileMetadata& f) {
   Shard& s = shard(shard_id);
   const util::MutexLock lock(s.mu);
   WalRecord rec;
@@ -93,9 +93,11 @@ void ShardedWal::log_insert(std::size_t shard_id,
   rec.file = f;
   rec.seq = stamp();
   s.writer->log(rec);
+  return rec.seq;
 }
 
-void ShardedWal::log_remove(std::size_t shard_id, const std::string& name) {
+std::uint64_t ShardedWal::log_remove(std::size_t shard_id,
+                                     const std::string& name) {
   Shard& s = shard(shard_id);
   const util::MutexLock lock(s.mu);
   WalRecord rec;
@@ -103,10 +105,11 @@ void ShardedWal::log_remove(std::size_t shard_id, const std::string& name) {
   rec.name = name;
   rec.seq = stamp();
   s.writer->log(rec);
+  return rec.seq;
 }
 
-void ShardedWal::append_insert(std::size_t shard_id,
-                               const metadata::FileMetadata& f) {
+std::uint64_t ShardedWal::append_insert(std::size_t shard_id,
+                                        const metadata::FileMetadata& f) {
   Shard& s = shard(shard_id);
   const util::MutexLock lock(s.mu);
   WalRecord rec;
@@ -114,9 +117,11 @@ void ShardedWal::append_insert(std::size_t shard_id,
   rec.file = f;
   rec.seq = stamp();
   s.writer->append(rec);
+  return rec.seq;
 }
 
-void ShardedWal::append_remove(std::size_t shard_id, const std::string& name) {
+std::uint64_t ShardedWal::append_remove(std::size_t shard_id,
+                                        const std::string& name) {
   Shard& s = shard(shard_id);
   const util::MutexLock lock(s.mu);
   WalRecord rec;
@@ -124,6 +129,7 @@ void ShardedWal::append_remove(std::size_t shard_id, const std::string& name) {
   rec.name = name;
   rec.seq = stamp();
   s.writer->append(rec);
+  return rec.seq;
 }
 
 void ShardedWal::maybe_commit(std::size_t shard_id) {
@@ -133,7 +139,7 @@ void ShardedWal::maybe_commit(std::size_t shard_id) {
   if (s->writer->pending_records() >= group_commit_) s->writer->commit();
 }
 
-void ShardedWal::log_structural(const WalRecord& rec_in) {
+std::uint64_t ShardedWal::log_structural(const WalRecord& rec_in) {
   // Barrier: everything logged so far becomes durable before the
   // structural record does, so the merged replay can never see a durable
   // structural record ahead of a lost earlier per-unit record.
@@ -144,27 +150,28 @@ void ShardedWal::log_structural(const WalRecord& rec_in) {
   rec.seq = stamp();
   s.writer->log(rec);
   s.writer->commit();
+  return rec.seq;
 }
 
-void ShardedWal::log_add_unit() {
+std::uint64_t ShardedWal::log_add_unit() {
   WalRecord rec;
   rec.type = WalRecordType::kAddUnit;
-  log_structural(rec);
+  return log_structural(rec);
 }
 
-void ShardedWal::log_remove_unit(std::uint64_t unit) {
+std::uint64_t ShardedWal::log_remove_unit(std::uint64_t unit) {
   WalRecord rec;
   rec.type = WalRecordType::kRemoveUnit;
   rec.unit = unit;
-  log_structural(rec);
+  return log_structural(rec);
 }
 
-void ShardedWal::log_autoconfigure(
+std::uint64_t ShardedWal::log_autoconfigure(
     const std::vector<metadata::AttrSubset>& subsets) {
   WalRecord rec;
   rec.type = WalRecordType::kAutoconfigure;
   rec.subsets = subsets;
-  log_structural(rec);
+  return log_structural(rec);
 }
 
 void ShardedWal::commit_all() {

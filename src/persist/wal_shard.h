@@ -73,26 +73,29 @@ class ShardedWal {
 
   /// Append + group-commit in one call (fsync may run under the caller's
   /// unit lock — fine for single-threaded drivers and the deterministic
-  /// crash sweeps).
-  void log_insert(std::size_t shard, const metadata::FileMetadata& f);
-  void log_remove(std::size_t shard, const std::string& name);
+  /// crash sweeps). Returns the stamped sequence number: the store adopts
+  /// it as the mutation's commit timestamp (MVCC snapshot visibility).
+  std::uint64_t log_insert(std::size_t shard, const metadata::FileMetadata& f);
+  std::uint64_t log_remove(std::size_t shard, const std::string& name);
 
   /// The two-phase flavour the concurrent ingest paths use: append_* runs
   /// under the unit lock (cheap — encode + buffer), maybe_commit runs
   /// from the store's flush hook AFTER the unit lock is released, so a
   /// group-commit fsync never blocks another writer routed to the same
-  /// unit, only the shard it flushes.
-  void append_insert(std::size_t shard, const metadata::FileMetadata& f);
-  void append_remove(std::size_t shard, const std::string& name);
+  /// unit, only the shard it flushes. Returns the stamped seq, as above.
+  std::uint64_t append_insert(std::size_t shard,
+                              const metadata::FileMetadata& f);
+  std::uint64_t append_remove(std::size_t shard, const std::string& name);
   /// Commits `shard` if its pending batch reached the group-commit size.
   void maybe_commit(std::size_t shard);
 
   // ---- structural records (caller holds the store's exclusive structure
   // ---- lock; all shards are barrier-committed first) ---------------------
 
-  void log_add_unit();
-  void log_remove_unit(std::uint64_t unit);
-  void log_autoconfigure(const std::vector<metadata::AttrSubset>& subsets);
+  std::uint64_t log_add_unit();
+  std::uint64_t log_remove_unit(std::uint64_t unit);
+  std::uint64_t log_autoconfigure(
+      const std::vector<metadata::AttrSubset>& subsets);
 
   /// Commits every shard's pending batch (fsync per dirty shard).
   void commit_all();
@@ -128,6 +131,18 @@ class ShardedWal {
   std::uint64_t next_seq() const {
     return next_seq_.load(std::memory_order_relaxed);
   }
+
+  /// Raises the sequence counter so the next stamp is at least `floor`.
+  /// Store::Open calls this with last_commit_seq() + 1 after recovery:
+  /// reset/rebase drop replayed records, so the directory scan alone can
+  /// under-resume the counter and reuse seqs a loaded snapshot already
+  /// carries.
+  void ensure_seq_at_least(std::uint64_t floor) {
+    std::uint64_t cur = next_seq_.load(std::memory_order_relaxed);
+    while (cur < floor && !next_seq_.compare_exchange_weak(
+                              cur, floor, std::memory_order_relaxed)) {
+    }
+  }
   std::size_t group_commit() const { return group_commit_; }
   const std::string& dir() const { return dir_; }
 
@@ -148,7 +163,7 @@ class ShardedWal {
   std::uint64_t stamp() {
     return next_seq_.fetch_add(1, std::memory_order_relaxed);
   }
-  void log_structural(const WalRecord& rec);
+  std::uint64_t log_structural(const WalRecord& rec);
 
   std::string deploy_dir_;
   std::string dir_;  ///< <deploy_dir>/wal

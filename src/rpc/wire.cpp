@@ -84,6 +84,8 @@ const char* method_name(Method m) {
     case Method::kFlush: return "flush";
     case Method::kGetMap: return "get-map";
     case Method::kStats: return "stats";
+    case Method::kSnapPin: return "snap-pin";
+    case Method::kSnapRelease: return "snap-release";
   }
   return "?";
 }
@@ -165,7 +167,7 @@ db::Status decode_frame(const std::uint8_t* data, std::size_t size,
     }
     out->type = static_cast<MsgType>(type);
     const std::uint8_t method = r.read_u8();
-    if (method > static_cast<std::uint8_t>(Method::kStats)) {
+    if (method > static_cast<std::uint8_t>(Method::kSnapRelease)) {
       throw util::BinaryIoError("unknown method");
     }
     out->method = static_cast<Method>(method);
@@ -228,51 +230,94 @@ db::Status decode_name(const std::vector<std::uint8_t>& in, std::string* out) {
   });
 }
 
+namespace {
+
+/// The v2 trailing as-of seq: v1 payloads end right before it, so a
+/// remaining() check is the version switch (0 = latest either way).
+std::uint64_t read_as_of_tail(util::BinaryReader& r) {
+  return r.remaining() >= 8 ? r.read_u64() : 0;
+}
+
+}  // namespace
+
 void encode_point_query(const metadata::PointQuery& q,
-                        std::vector<std::uint8_t>* out) {
-  encode_name(q.filename, out);
+                        std::vector<std::uint8_t>* out, std::uint64_t as_of) {
+  util::BinaryWriter w;
+  w.write_string(q.filename);
+  w.write_u64(as_of);
+  append(w, out);
 }
 
 db::Status decode_point_query(const std::vector<std::uint8_t>& in,
-                              metadata::PointQuery* out) {
-  return decode_name(in, &out->filename);
+                              metadata::PointQuery* out,
+                              std::uint64_t* as_of) {
+  return decode_guard("point query payload", [&] {
+    util::BinaryReader r(in);
+    out->filename = r.read_string();
+    const std::uint64_t seq = read_as_of_tail(r);
+    if (as_of != nullptr) *as_of = seq;
+  });
 }
 
 void encode_range_query(const metadata::RangeQuery& q,
-                        std::vector<std::uint8_t>* out) {
+                        std::vector<std::uint8_t>* out, std::uint64_t as_of) {
   util::BinaryWriter w;
   write_dims(w, q.dims);
   w.write_vec_f64(q.lo);
   w.write_vec_f64(q.hi);
+  w.write_u64(as_of);
   append(w, out);
 }
 
 db::Status decode_range_query(const std::vector<std::uint8_t>& in,
-                              metadata::RangeQuery* out) {
+                              metadata::RangeQuery* out,
+                              std::uint64_t* as_of) {
   return decode_guard("range query payload", [&] {
     util::BinaryReader r(in);
     out->dims = read_dims(r);
     out->lo = r.read_vec_f64();
     out->hi = r.read_vec_f64();
+    const std::uint64_t seq = read_as_of_tail(r);
+    if (as_of != nullptr) *as_of = seq;
   });
 }
 
 void encode_topk_query(const metadata::TopKQuery& q,
-                       std::vector<std::uint8_t>* out) {
+                       std::vector<std::uint8_t>* out, std::uint64_t as_of) {
   util::BinaryWriter w;
   write_dims(w, q.dims);
   w.write_vec_f64(q.point);
   w.write_u64(q.k);
+  w.write_u64(as_of);
   append(w, out);
 }
 
 db::Status decode_topk_query(const std::vector<std::uint8_t>& in,
-                             metadata::TopKQuery* out) {
+                             metadata::TopKQuery* out, std::uint64_t* as_of) {
   return decode_guard("topk query payload", [&] {
     util::BinaryReader r(in);
     out->dims = read_dims(r);
     out->point = r.read_vec_f64();
     out->k = r.read_u64();
+    const std::uint64_t seq = read_as_of_tail(r);
+    if (as_of != nullptr) *as_of = seq;
+  });
+}
+
+void encode_snapshot_lease(const SnapshotLease& l,
+                           std::vector<std::uint8_t>* out) {
+  util::BinaryWriter w;
+  w.write_u64(l.lease_id);
+  w.write_u64(l.seq);
+  append(w, out);
+}
+
+db::Status decode_snapshot_lease(const std::vector<std::uint8_t>& in,
+                                 SnapshotLease* out) {
+  return decode_guard("snapshot lease payload", [&] {
+    util::BinaryReader r(in);
+    out->lease_id = r.read_u64();
+    out->seq = r.read_u64();
   });
 }
 

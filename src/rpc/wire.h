@@ -45,7 +45,10 @@
 namespace smartstore::rpc {
 
 inline constexpr std::uint32_t kWireMagic = 0x53535250;  // "SSRP"
-inline constexpr std::uint16_t kWireVersion = 1;
+/// v2 adds the snapshot-lease methods (kSnapPin / kSnapRelease) and a
+/// trailing as-of sequence on the three query payloads (absent in v1
+/// frames, decoded as 0 = latest). Decoders accept v1 unchanged.
+inline constexpr std::uint16_t kWireVersion = 2;
 /// Fixed header size in bytes (see the layout above).
 inline constexpr std::size_t kFrameHeaderBytes =
     4 + 2 + 1 + 1 + 1 + 1 + 4 + 8 + 8 + 8 + 4 + 4;
@@ -69,6 +72,8 @@ enum class Method : std::uint8_t {
   kFlush = 7,       ///< group-commit the shard's WAL
   kGetMap = 8,      ///< fetch the authoritative partition map
   kStats = 9,       ///< shard counters (applied ops, dup hits, files)
+  kSnapPin = 10,    ///< pin a shard snapshot; response carries the lease
+  kSnapRelease = 11,  ///< drop a snapshot lease (payload: the lease)
 };
 
 const char* method_name(Method m);
@@ -112,20 +117,54 @@ db::Status decode_file(const std::vector<std::uint8_t>& in,
 void encode_name(const std::string& name, std::vector<std::uint8_t>* out);
 db::Status decode_name(const std::vector<std::uint8_t>& in, std::string* out);
 
+// The three query payloads end with a trailing as-of token (v2).
+// kAsOfLatest (0) selects the routed/semantic read path; any other value
+// t asks the shard for an exact snapshot scan at commit seq t - 1. The
+// +1 bias keeps seq 0 — a freshly pinned empty shard — distinguishable
+// from "latest". A v1 payload simply lacks the field and decodes as
+// kAsOfLatest; decoders that don't care may pass a null as_of.
+
+/// Wire value of the query as-of token meaning "read latest".
+inline constexpr std::uint64_t kAsOfLatest = 0;
+
+/// Commit seq -> wire as-of token (and back, on the serving side).
+inline constexpr std::uint64_t as_of_token(std::uint64_t seq) {
+  return seq + 1;
+}
+
 void encode_point_query(const metadata::PointQuery& q,
-                        std::vector<std::uint8_t>* out);
+                        std::vector<std::uint8_t>* out,
+                        std::uint64_t as_of = 0);
 db::Status decode_point_query(const std::vector<std::uint8_t>& in,
-                              metadata::PointQuery* out);
+                              metadata::PointQuery* out,
+                              std::uint64_t* as_of = nullptr);
 
 void encode_range_query(const metadata::RangeQuery& q,
-                        std::vector<std::uint8_t>* out);
+                        std::vector<std::uint8_t>* out,
+                        std::uint64_t as_of = 0);
 db::Status decode_range_query(const std::vector<std::uint8_t>& in,
-                              metadata::RangeQuery* out);
+                              metadata::RangeQuery* out,
+                              std::uint64_t* as_of = nullptr);
 
 void encode_topk_query(const metadata::TopKQuery& q,
-                       std::vector<std::uint8_t>* out);
+                       std::vector<std::uint8_t>* out,
+                       std::uint64_t as_of = 0);
 db::Status decode_topk_query(const std::vector<std::uint8_t>& in,
-                             metadata::TopKQuery* out);
+                             metadata::TopKQuery* out,
+                             std::uint64_t* as_of = nullptr);
+
+/// A shard's snapshot lease: the pinned commit seq plus the server-issued
+/// id a release must quote. kSnapPin requests carry an empty payload and
+/// get a lease back; kSnapRelease requests send the lease back verbatim.
+struct SnapshotLease {
+  std::uint64_t lease_id = 0;
+  std::uint64_t seq = 0;
+};
+
+void encode_snapshot_lease(const SnapshotLease& l,
+                           std::vector<std::uint8_t>* out);
+db::Status decode_snapshot_lease(const std::vector<std::uint8_t>& in,
+                                 SnapshotLease* out);
 
 /// One batch op: a put (carrying a record) or a delete (carrying a name).
 struct BatchOp {

@@ -5,6 +5,21 @@
 
 namespace smartstore::svc {
 
+namespace {
+
+/// splitmix64 finalizer: decorrelates per-shard placement rngs. The old
+/// `seed + shard` gave adjacent CLUSTER seeds (seed 1 shard 1 vs seed 2
+/// shard 0) identical store seeds — two "independent" test clusters then
+/// shared placement decisions.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t shard) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (shard + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 Cluster::Cluster(const ClusterOptions& options)
     : options_(options),
       map_(PartitionMap::RoundRobin(options.num_shards, options.map_version)) {
@@ -18,7 +33,7 @@ db::Options Cluster::ShardStoreOptions(std::uint32_t shard) const {
   db::Options o = options_.store_options;
   o.in_memory = options_.in_memory;
   o.create_if_missing = true;
-  o.seed = o.seed + shard;  // distinct placement rngs per shard
+  o.seed = mix_seed(o.seed, shard);  // distinct placement rngs per shard
   if (options_.in_memory) {
     // In-memory stores reject durability knobs (nothing to checkpoint).
     o.checkpoint_every = 0;

@@ -1,5 +1,6 @@
 #include "svc/meta_service.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <utility>
@@ -77,6 +78,12 @@ rpc::Frame MetaService::Handle(const rpc::Frame& req) {
       break;
     case rpc::Method::kStats:
       HandleStats(&resp);
+      break;
+    case rpc::Method::kSnapPin:
+      HandleSnapPin(&resp);
+      break;
+    case rpc::Method::kSnapRelease:
+      HandleSnapRelease(req, &resp);
       break;
   }
   return resp;
@@ -249,14 +256,18 @@ void MetaService::HandleBatch(const rpc::Frame& req, rpc::Frame* resp) {
 
 void MetaService::HandlePointQuery(const rpc::Frame& req, rpc::Frame* resp) {
   metadata::PointQuery q;
-  db::Status s = rpc::decode_point_query(req.payload, &q);
+  std::uint64_t as_of = 0;
+  db::Status s = rpc::decode_point_query(req.payload, &q, &as_of);
   if (!s.ok()) {
     set_result(resp, s);
     return;
   }
   if (RejectWrongShard(q.filename, resp)) return;
   db::StatusOr<db::QueryResult> r =
-      store_->Query(db::QueryRequest::Point(std::move(q)));
+      as_of != rpc::kAsOfLatest
+          ? store_->Query(db::QueryRequest::Point(std::move(q)),
+                          db::ReadOptions{as_of - 1})
+          : store_->Query(db::QueryRequest::Point(std::move(q)));
   if (!r.ok()) {
     set_result(resp, r.status());
     return;
@@ -268,13 +279,19 @@ void MetaService::HandlePointQuery(const rpc::Frame& req, rpc::Frame* resp) {
 
 void MetaService::HandleRangeQuery(const rpc::Frame& req, rpc::Frame* resp) {
   metadata::RangeQuery q;
-  db::Status s = rpc::decode_range_query(req.payload, &q);
+  std::uint64_t as_of = 0;
+  db::Status s = rpc::decode_range_query(req.payload, &q, &as_of);
   if (!s.ok()) {
     set_result(resp, s);
     return;
   }
+  // A pinned as-of token selects the exact snapshot scan (time travel /
+  // pinned scatter-gather); kAsOfLatest keeps the routed read path.
   db::StatusOr<db::QueryResult> r =
-      store_->Query(db::QueryRequest::Range(std::move(q)));
+      as_of != rpc::kAsOfLatest
+          ? store_->Query(db::QueryRequest::Range(std::move(q)),
+                          db::ReadOptions{as_of - 1})
+          : store_->Query(db::QueryRequest::Range(std::move(q)));
   if (!r.ok()) {
     set_result(resp, r.status());
     return;
@@ -286,13 +303,17 @@ void MetaService::HandleRangeQuery(const rpc::Frame& req, rpc::Frame* resp) {
 
 void MetaService::HandleTopKQuery(const rpc::Frame& req, rpc::Frame* resp) {
   metadata::TopKQuery q;
-  db::Status s = rpc::decode_topk_query(req.payload, &q);
+  std::uint64_t as_of = 0;
+  db::Status s = rpc::decode_topk_query(req.payload, &q, &as_of);
   if (!s.ok()) {
     set_result(resp, s);
     return;
   }
   db::StatusOr<db::QueryResult> r =
-      store_->Query(db::QueryRequest::TopK(std::move(q)));
+      as_of != rpc::kAsOfLatest
+          ? store_->Query(db::QueryRequest::TopK(std::move(q)),
+                          db::ReadOptions{as_of - 1})
+          : store_->Query(db::QueryRequest::TopK(std::move(q)));
   if (!r.ok()) {
     set_result(resp, r.status());
     return;
@@ -334,6 +355,61 @@ void MetaService::HandleStats(rpc::Frame* resp) {
   resp->status = db::StatusCode::kOk;
   resp->payload.clear();
   rpc::encode_shard_stats(stats, &resp->payload);
+}
+
+// ---- snapshot leases --------------------------------------------------------
+
+void MetaService::HandleSnapPin(rpc::Frame* resp) {
+  // Pin first, with no service lock held: GetSnapshot enters the store
+  // (rank 0), so taking lease_mu_ (rank kSvcLease) around it would invert
+  // the lock order the validator enforces.
+  db::StatusOr<db::Snapshot> snap = store_->GetSnapshot();
+  if (!snap.ok()) {
+    set_result(resp, snap.status());
+    return;
+  }
+
+  rpc::SnapshotLease lease;
+  {
+    const util::MutexLock lock(lease_mu_);
+    // TTL sweep: drop leases whose clients went away without releasing,
+    // so their pins stop holding the GC watermark back.
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = leases_.begin(); it != leases_.end();) {
+      it = it->second.expires <= now ? leases_.erase(it) : std::next(it);
+    }
+    if (leases_.size() >= options_.snapshot_lease_capacity) {
+      set_result(resp, db::Status::Unavailable(
+                           "snapshot lease table full; retry or read latest"));
+      return;
+    }
+    lease.lease_id = next_lease_id_++;
+    lease.seq = snap->sequence();
+    leases_.emplace(
+        lease.lease_id,
+        LeaseEntry{*std::move(snap),
+                   now + std::chrono::milliseconds(
+                             options_.snapshot_lease_ttl_ms)});
+  }
+  resp->status = db::StatusCode::kOk;
+  resp->payload.clear();
+  rpc::encode_snapshot_lease(lease, &resp->payload);
+}
+
+void MetaService::HandleSnapRelease(const rpc::Frame& req, rpc::Frame* resp) {
+  rpc::SnapshotLease lease;
+  const db::Status s = rpc::decode_snapshot_lease(req.payload, &lease);
+  if (!s.ok()) {
+    set_result(resp, s);
+    return;
+  }
+  {
+    const util::MutexLock lock(lease_mu_);
+    // Releasing an unknown (already swept) lease is success: the client's
+    // goal — "my pin is gone" — already holds.
+    leases_.erase(lease.lease_id);
+  }
+  set_result(resp, db::Status());
 }
 
 }  // namespace smartstore::svc

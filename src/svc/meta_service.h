@@ -34,6 +34,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -57,6 +58,13 @@ struct MetaServiceOptions {
   /// cover every in-flight-or-recently-acked request across all clients;
   /// an evicted entry degrades to the store-level idempotence path.
   std::size_t dedup_capacity = 4096;
+  /// Concurrent snapshot leases this shard will hold open. A full table
+  /// rejects kSnapPin with kUnavailable — clients fall back to unpinned
+  /// (latest) reads rather than silently breaking someone else's pin.
+  std::size_t snapshot_lease_capacity = 64;
+  /// A lease not released within the TTL is swept; the GC watermark can
+  /// then advance past a crashed client's pin.
+  std::uint64_t snapshot_lease_ttl_ms = 10'000;
 };
 
 class MetaService {
@@ -115,6 +123,8 @@ class MetaService {
   void HandleFlush(rpc::Frame* resp);
   void HandleGetMap(rpc::Frame* resp);
   void HandleStats(rpc::Frame* resp);
+  void HandleSnapPin(rpc::Frame* resp);
+  void HandleSnapRelease(const rpc::Frame& req, rpc::Frame* resp);
 
   /// Upsert: replace-on-exists so a replayed Put converges.
   db::Status ApplyPut(const metadata::FileMetadata& file);
@@ -129,11 +139,23 @@ class MetaService {
   const PartitionMap map_;  ///< immutable: ownership changes ship a new map
   const MetaServiceOptions options_;
 
+  /// One held shard snapshot per outstanding lease. The db::Snapshot is
+  /// the pin: while it lives, tombstone GC cannot advance past its seq.
+  struct LeaseEntry {
+    db::Snapshot snapshot;
+    std::chrono::steady_clock::time_point expires;
+  };
+
   util::Mutex dedup_mu_{util::LockRank::kSvcDedup};
   std::condition_variable_any dedup_cv_;
   std::unordered_map<DedupKey, std::shared_ptr<DedupEntry>, DedupKeyHash>
       dedup_ SS_GUARDED_BY(dedup_mu_);
   std::deque<DedupKey> dedup_fifo_ SS_GUARDED_BY(dedup_mu_);
+
+  util::Mutex lease_mu_{util::LockRank::kSvcLease};
+  std::unordered_map<std::uint64_t, LeaseEntry> leases_
+      SS_GUARDED_BY(lease_mu_);
+  std::uint64_t next_lease_id_ SS_GUARDED_BY(lease_mu_) = 1;
 
   // Counters for Method::kStats (atomics: no rank interaction).
   std::atomic<std::uint64_t> applied_puts_{0};

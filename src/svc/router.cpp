@@ -55,6 +55,8 @@ RouterStats Router::stats() const {
   s.retries = retries_.load(std::memory_order_relaxed);
   s.redirects = redirects_.load(std::memory_order_relaxed);
   s.map_installs = map_installs_.load(std::memory_order_relaxed);
+  s.snapshot_pins = snapshot_pins_.load(std::memory_order_relaxed);
+  s.unpinned_scatters = unpinned_scatters_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -264,13 +266,16 @@ db::Status Router::Write(const std::vector<rpc::BatchOp>& ops) {
 // ---- scatter-gather ---------------------------------------------------------
 
 db::StatusOr<db::QueryResult> Router::Scatter(
-    rpc::Method method, std::vector<std::uint8_t> payload, db::QueryKind kind,
-    std::size_t k) {
+    rpc::Method method, db::QueryKind kind, std::size_t k,
+    const std::function<void(std::uint32_t, std::vector<std::uint8_t>*)>&
+        encode) {
   db::QueryResult merged;
   merged.kind = kind;
   for (std::uint32_t shard = 0; shard < channels_.size(); ++shard) {
+    std::vector<std::uint8_t> payload;
+    encode(shard, &payload);
     rpc::Frame resp;
-    db::Status s = CallShard(shard, method, payload, &resp);
+    db::Status s = CallShard(shard, method, std::move(payload), &resp);
     if (!s.ok()) return s;
     s = frame_status(resp);
     if (!s.ok()) return s;
@@ -289,27 +294,104 @@ db::StatusOr<db::QueryResult> Router::Scatter(
     merged.stats.failed = merged.stats.failed || part.stats.failed;
   }
   if (kind == db::QueryKind::kTopK) {
+    // Global re-sort by (distance, id) BEFORE truncating to k: per-shard
+    // answers are each sorted, but their concatenation is not, and the id
+    // tie-break keeps equidistant cross-shard hits deterministic.
     std::sort(merged.hits.begin(), merged.hits.end());
     if (merged.hits.size() > k) merged.hits.resize(k);
     merged.ids.clear();
     merged.ids.reserve(merged.hits.size());
     for (const auto& [dist, id] : merged.hits) merged.ids.push_back(id);
+  } else {
+    // Canonical range answer: shard arrival order is an accident of the
+    // scatter, so re-sort by id — two scatters over the same cut must be
+    // bit-identical.
+    std::sort(merged.ids.begin(), merged.ids.end());
   }
   return merged;
 }
 
 db::StatusOr<db::QueryResult> Router::Range(const metadata::RangeQuery& query) {
-  std::vector<std::uint8_t> payload;
-  rpc::encode_range_query(query, &payload);
-  return Scatter(rpc::Method::kRangeQuery, std::move(payload),
-                 db::QueryKind::kRange, 0);
+  db::StatusOr<ClusterSnapshot> pinned = PinSnapshot();
+  if (pinned.ok()) {
+    db::StatusOr<db::QueryResult> r = Range(query, *pinned);
+    (void)ReleaseSnapshot(*pinned);  // best-effort; TTL sweeps stragglers
+    return r;
+  }
+  unpinned_scatters_.fetch_add(1, std::memory_order_relaxed);
+  return Scatter(rpc::Method::kRangeQuery, db::QueryKind::kRange, 0,
+                 [&](std::uint32_t, std::vector<std::uint8_t>* out) {
+                   rpc::encode_range_query(query, out, rpc::kAsOfLatest);
+                 });
 }
 
 db::StatusOr<db::QueryResult> Router::TopK(const metadata::TopKQuery& query) {
-  std::vector<std::uint8_t> payload;
-  rpc::encode_topk_query(query, &payload);
-  return Scatter(rpc::Method::kTopKQuery, std::move(payload),
-                 db::QueryKind::kTopK, query.k);
+  db::StatusOr<ClusterSnapshot> pinned = PinSnapshot();
+  if (pinned.ok()) {
+    db::StatusOr<db::QueryResult> r = TopK(query, *pinned);
+    (void)ReleaseSnapshot(*pinned);
+    return r;
+  }
+  unpinned_scatters_.fetch_add(1, std::memory_order_relaxed);
+  return Scatter(rpc::Method::kTopKQuery, db::QueryKind::kTopK, query.k,
+                 [&](std::uint32_t, std::vector<std::uint8_t>* out) {
+                   rpc::encode_topk_query(query, out, rpc::kAsOfLatest);
+                 });
+}
+
+db::StatusOr<db::QueryResult> Router::Range(const metadata::RangeQuery& query,
+                                            const ClusterSnapshot& snapshot) {
+  return Scatter(rpc::Method::kRangeQuery, db::QueryKind::kRange, 0,
+                 [&](std::uint32_t shard, std::vector<std::uint8_t>* out) {
+                   rpc::encode_range_query(
+                       query, out, rpc::as_of_token(snapshot.seq_of(shard)));
+                 });
+}
+
+db::StatusOr<db::QueryResult> Router::TopK(const metadata::TopKQuery& query,
+                                           const ClusterSnapshot& snapshot) {
+  return Scatter(rpc::Method::kTopKQuery, db::QueryKind::kTopK, query.k,
+                 [&](std::uint32_t shard, std::vector<std::uint8_t>* out) {
+                   rpc::encode_topk_query(
+                       query, out, rpc::as_of_token(snapshot.seq_of(shard)));
+                 });
+}
+
+db::StatusOr<ClusterSnapshot> Router::PinSnapshot() {
+  ClusterSnapshot snap;
+  snap.leases.resize(channels_.size());
+  for (std::uint32_t shard = 0; shard < channels_.size(); ++shard) {
+    rpc::Frame resp;
+    db::Status s = CallShard(shard, rpc::Method::kSnapPin, {}, &resp);
+    if (s.ok()) s = frame_status(resp);
+    if (s.ok()) s = rpc::decode_snapshot_lease(resp.payload,
+                                               &snap.leases[shard]);
+    if (!s.ok()) {
+      // A torn pin is worthless: release the prefix and surface the error
+      // (callers fall back to unpinned reads).
+      (void)ReleaseSnapshot(snap);
+      return s;
+    }
+  }
+  snapshot_pins_.fetch_add(1, std::memory_order_relaxed);
+  return snap;
+}
+
+db::Status Router::ReleaseSnapshot(const ClusterSnapshot& snapshot) {
+  db::Status first_error;
+  const std::uint32_t n = static_cast<std::uint32_t>(
+      std::min<std::size_t>(snapshot.leases.size(), channels_.size()));
+  for (std::uint32_t shard = 0; shard < n; ++shard) {
+    if (snapshot.leases[shard].lease_id == 0) continue;  // never pinned
+    std::vector<std::uint8_t> payload;
+    rpc::encode_snapshot_lease(snapshot.leases[shard], &payload);
+    rpc::Frame resp;
+    db::Status s =
+        CallShard(shard, rpc::Method::kSnapRelease, std::move(payload), &resp);
+    if (s.ok()) s = frame_status(resp);
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
 }
 
 // ---- control ----------------------------------------------------------------

@@ -14,9 +14,20 @@
 //   - attempts are bounded; exhaustion surfaces the last error.
 //
 // Range and top-k queries scatter to every shard and merge: shards hold
-// disjoint records, so range is a concatenation and top-k is a k-truncated
-// merge by distance. Per-shard query stats are summed (latency: max — the
-// scatter completes when the slowest shard answers).
+// disjoint records, so range is a concatenation (re-sorted by id for a
+// canonical cross-shard answer) and top-k is a k-truncated merge globally
+// re-sorted by (distance, id). Per-shard query stats are summed (latency:
+// max — the scatter completes when the slowest shard answers).
+//
+// Snapshot scatter: Range/TopK first pin one cluster-wide cut — a
+// kSnapPin round collects every shard's current commit seq under a lease
+// — then scatter as-of those seqs, then release. Writers racing the
+// scatter land at later seqs on every shard, so the merged answer is a
+// consistent cut instead of a torn read across shards. If any shard
+// cannot pin (older server, full lease table) the scatter falls back to
+// unpinned latest reads. PinSnapshot()/ReleaseSnapshot() expose the same
+// machinery for callers that want to run MANY queries against one cut
+// (time travel, audits).
 //
 // Thread-safe: any number of threads may share one Router. The map cache
 // sits under a reader/writer lock (rank kSvcRouter) and the shard id is
@@ -26,6 +37,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,6 +68,21 @@ struct RouterStats {
   std::uint64_t retries = 0;    ///< re-sends after kUnavailable/kTimeout
   std::uint64_t redirects = 0;  ///< kWrongShard re-routes
   std::uint64_t map_installs = 0;  ///< newer maps adopted from responses
+  std::uint64_t snapshot_pins = 0;     ///< cluster-wide pin rounds completed
+  std::uint64_t unpinned_scatters = 0;  ///< scatters that fell back to latest
+};
+
+/// One pinned cut across the cluster: shard k's commit seq plus the lease
+/// holding it (leases[k].lease_id == 0 marks an unpinned slot). Obtain
+/// with Router::PinSnapshot(), feed to the pinned Range/TopK overloads,
+/// and ReleaseSnapshot() when done — an unreleased lease holds the
+/// shard's GC watermark back until its server-side TTL sweeps it.
+struct ClusterSnapshot {
+  std::vector<rpc::SnapshotLease> leases;  ///< indexed by shard
+
+  std::uint64_t seq_of(std::uint32_t shard) const {
+    return shard < leases.size() ? leases[shard].seq : 0;
+  }
 };
 
 class Router {
@@ -78,8 +105,26 @@ class Router {
 
   // ---- scatter-gather ---------------------------------------------------
 
+  /// Pin a cut, scatter as-of it, release. Falls back to unpinned latest
+  /// reads when pinning fails (stats().unpinned_scatters counts those).
   db::StatusOr<db::QueryResult> Range(const metadata::RangeQuery& query);
   db::StatusOr<db::QueryResult> TopK(const metadata::TopKQuery& query);
+
+  /// Scatter against an already-pinned cut (one PinSnapshot, many
+  /// queries: every call sees the identical cluster state).
+  db::StatusOr<db::QueryResult> Range(const metadata::RangeQuery& query,
+                                      const ClusterSnapshot& snapshot);
+  db::StatusOr<db::QueryResult> TopK(const metadata::TopKQuery& query,
+                                     const ClusterSnapshot& snapshot);
+
+  /// Pins every shard's current commit seq under a lease (one kSnapPin
+  /// round). On any failure the already-pinned prefix is released and the
+  /// error surfaces.
+  db::StatusOr<ClusterSnapshot> PinSnapshot();
+
+  /// Drops every lease in `snapshot` (best-effort: a shard that cannot be
+  /// reached sweeps the lease by TTL). Returns the first error.
+  db::Status ReleaseSnapshot(const ClusterSnapshot& snapshot);
 
   // ---- control ----------------------------------------------------------
 
@@ -118,10 +163,12 @@ class Router {
   db::Status CallShard(std::uint32_t shard, rpc::Method method,
                        std::vector<std::uint8_t> payload, rpc::Frame* resp);
 
-  /// Sends one scatter query to every shard and merges.
-  db::StatusOr<db::QueryResult> Scatter(rpc::Method method,
-                                        std::vector<std::uint8_t> payload,
-                                        db::QueryKind kind, std::size_t k);
+  /// Sends one scatter query to every shard and merges canonically.
+  /// `encode` builds the payload per shard (the as-of token differs).
+  db::StatusOr<db::QueryResult> Scatter(
+      rpc::Method method, db::QueryKind kind, std::size_t k,
+      const std::function<void(std::uint32_t, std::vector<std::uint8_t>*)>&
+          encode);
 
   /// Adopts `encoded` (a partition map payload) if newer than the cache.
   void MaybeInstallMap(const std::vector<std::uint8_t>& encoded);
@@ -141,6 +188,8 @@ class Router {
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> redirects_{0};
   std::atomic<std::uint64_t> map_installs_{0};
+  std::atomic<std::uint64_t> snapshot_pins_{0};
+  std::atomic<std::uint64_t> unpinned_scatters_{0};
 };
 
 }  // namespace smartstore::svc

@@ -60,6 +60,7 @@ enum class LockRank : int {
   kRpcRegistry = 60,     ///< in-process transport endpoint registry
   kSvcCluster = 62,      ///< svc::Cluster shard bookkeeping mutex
   kSvcDedup = 64,        ///< MetaService request-id dedup table + cv
+  kSvcLease = 65,        ///< MetaService snapshot-lease table
   kSvcRouter = 66,       ///< Router partition-map cache shared_mutex
   kRpcChannel = 68,      ///< socket channel/server connection mutexes
   kLeaf = 250,           ///< terminal scalar-update locks — untracked
@@ -81,6 +82,7 @@ inline const char* lock_rank_name(LockRank r) {
     case LockRank::kRpcRegistry: return "rpc-registry";
     case LockRank::kSvcCluster: return "svc-cluster";
     case LockRank::kSvcDedup: return "svc-dedup";
+    case LockRank::kSvcLease: return "svc-lease";
     case LockRank::kSvcRouter: return "svc-router";
     case LockRank::kRpcChannel: return "rpc-channel";
     case LockRank::kLeaf: return "leaf";

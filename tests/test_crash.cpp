@@ -265,7 +265,7 @@ ShardedScenarioResult run_sharded_crash_scenario(const std::string& dir,
         // durable (committed_records stays behind it).
         if (target >= logged.size()) logged.resize(target + 1, 0);
         res.inserts.push_back({f.name, target, logged[target]++});
-        wal->log_insert(target, f);
+        return wal->log_insert(target, f);
       });
       snapshot_committed();
     };

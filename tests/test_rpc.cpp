@@ -10,6 +10,13 @@
 #include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
 #include "metadata/schema.h"
 #include "rpc/fault.h"
 #include "rpc/inproc.h"
@@ -157,6 +164,87 @@ TEST(Wire, QueryPayloadRoundTrips) {
   ASSERT_TRUE(rpc::decode_topk_query(bytes, &tq_out).ok());
   EXPECT_EQ(tq_out.k, 5u);
   EXPECT_DOUBLE_EQ(tq_out.point[0], 1.0);
+}
+
+TEST(Wire, QueryAsOfTokenRoundTrip) {
+  metadata::RangeQuery rq;
+  rq.dims = metadata::AttrSubset({metadata::Attr::kFileSize});
+  rq.lo = la::Vector{0.0};
+  rq.hi = la::Vector{1.0};
+  std::vector<std::uint8_t> bytes;
+  rpc::encode_range_query(rq, &bytes, rpc::as_of_token(41));
+  metadata::RangeQuery rq_out;
+  std::uint64_t as_of = 0;
+  ASSERT_TRUE(rpc::decode_range_query(bytes, &rq_out, &as_of).ok());
+  EXPECT_EQ(as_of, rpc::as_of_token(41));
+  EXPECT_EQ(as_of - 1, 41u);  // the seq the serving shard scans at
+
+  // Seq 0 (an empty shard's pin) must not collapse into "latest".
+  bytes.clear();
+  rpc::encode_range_query(rq, &bytes, rpc::as_of_token(0));
+  ASSERT_TRUE(rpc::decode_range_query(bytes, &rq_out, &as_of).ok());
+  EXPECT_NE(as_of, rpc::kAsOfLatest);
+
+  metadata::TopKQuery tq;
+  tq.dims = rq.dims;
+  tq.point = la::Vector{0.5};
+  tq.k = 3;
+  bytes.clear();
+  rpc::encode_topk_query(tq, &bytes, rpc::as_of_token(7));
+  metadata::TopKQuery tq_out;
+  ASSERT_TRUE(rpc::decode_topk_query(bytes, &tq_out, &as_of).ok());
+  EXPECT_EQ(as_of, rpc::as_of_token(7));
+
+  metadata::PointQuery pq;
+  pq.filename = "/sub0/u001/app002/f0.dat";
+  bytes.clear();
+  rpc::encode_point_query(pq, &bytes, rpc::as_of_token(9));
+  metadata::PointQuery pq_out;
+  ASSERT_TRUE(rpc::decode_point_query(bytes, &pq_out, &as_of).ok());
+  EXPECT_EQ(pq_out.filename, pq.filename);
+  EXPECT_EQ(as_of, rpc::as_of_token(9));
+}
+
+TEST(Wire, V1QueryPayloadDecodesAsLatest) {
+  // A v1 peer's payload simply ends before the as-of tail. Simulate by
+  // chopping the trailing token off a v2 encoding.
+  metadata::RangeQuery rq;
+  rq.dims = metadata::AttrSubset({metadata::Attr::kFileSize});
+  rq.lo = la::Vector{0.0};
+  rq.hi = la::Vector{1.0};
+  std::vector<std::uint8_t> bytes;
+  rpc::encode_range_query(rq, &bytes, rpc::as_of_token(5));
+  bytes.resize(bytes.size() - 8);
+  metadata::RangeQuery rq_out;
+  std::uint64_t as_of = 99;
+  ASSERT_TRUE(rpc::decode_range_query(bytes, &rq_out, &as_of).ok());
+  EXPECT_EQ(as_of, rpc::kAsOfLatest);
+  ASSERT_EQ(rq_out.dims.size(), 1u);
+}
+
+TEST(Wire, SnapshotLeaseRoundTripAndMethods) {
+  rpc::SnapshotLease lease;
+  lease.lease_id = 17;
+  lease.seq = 4242;
+  std::vector<std::uint8_t> bytes;
+  rpc::encode_snapshot_lease(lease, &bytes);
+  rpc::SnapshotLease out;
+  ASSERT_TRUE(rpc::decode_snapshot_lease(bytes, &out).ok());
+  EXPECT_EQ(out.lease_id, 17u);
+  EXPECT_EQ(out.seq, 4242u);
+
+  // The v2 methods are inside the decoder's accepted range...
+  rpc::Frame f = make_request(rpc::Method::kSnapPin);
+  rpc::Frame decoded;
+  ASSERT_TRUE(rpc::decode_frame(rpc::encode_frame(f), &decoded).ok());
+  EXPECT_EQ(decoded.method, rpc::Method::kSnapPin);
+  f.method = rpc::Method::kSnapRelease;
+  ASSERT_TRUE(rpc::decode_frame(rpc::encode_frame(f), &decoded).ok());
+  // ...and one past them is still rejected.
+  std::vector<std::uint8_t> raw = rpc::encode_frame(f);
+  raw[7] = static_cast<std::uint8_t>(rpc::Method::kSnapRelease) + 1;
+  EXPECT_EQ(rpc::decode_frame(raw, &decoded).code(),
+            db::StatusCode::kCorruption);
 }
 
 TEST(Wire, BatchPayloadRoundTrip) {
@@ -370,6 +458,99 @@ TEST(Socket, ReconnectAfterServerRestart) {
   EXPECT_TRUE(channel.Call(make_request(rpc::Method::kPing), &resp).ok());
   second.Stop();
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+
+// A server that answers the FIRST connection with a deliberately partial
+// frame and then stalls; every later connection gets a full echo. Proves
+// the channel's recv path treats a mid-frame timeout as a dead stream —
+// tear down and reconnect — rather than resuming the read and splicing
+// the stale half-frame onto the next response.
+TEST(Socket, PartialFrameThenTimeoutTearsDownAndReconnects) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ASSERT_EQ(::listen(listen_fd, 4), 0);
+
+  // Reads one full request frame off `fd` (header, then payload).
+  const auto read_request = [](int fd) {
+    std::vector<std::uint8_t> header(rpc::kFrameHeaderBytes);
+    std::size_t got = 0;
+    while (got < header.size()) {
+      const ssize_t n = ::recv(fd, header.data() + got, header.size() - got,
+                               0);
+      if (n <= 0) return false;
+      got += static_cast<std::size_t>(n);
+    }
+    std::uint32_t payload_len = 0;
+    if (!rpc::peek_payload_len(header.data(), header.size(), &payload_len)
+             .ok()) {
+      return false;
+    }
+    std::vector<std::uint8_t> payload(payload_len);
+    got = 0;
+    while (got < payload.size()) {
+      const ssize_t n = ::recv(fd, payload.data() + got,
+                               payload.size() - got, 0);
+      if (n <= 0) return false;
+      got += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+
+  std::thread server([&] {
+    rpc::Frame resp;
+    resp.type = rpc::MsgType::kResponse;
+    resp.method = rpc::Method::kPing;
+    const std::vector<std::uint8_t> full = rpc::encode_frame(resp);
+
+    // Connection 1: answer with 10 bytes of a valid frame, then stall.
+    const int c1 = ::accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(c1, 0);
+    ASSERT_TRUE(read_request(c1));
+    ASSERT_EQ(::send(c1, full.data(), 10, 0), 10);
+    // Stall until the client gives up and closes (recv sees EOF).
+    std::uint8_t scratch;
+    while (::recv(c1, &scratch, 1, 0) > 0) {
+    }
+    ::close(c1);
+
+    // Connection 2: a well-behaved echo.
+    const int c2 = ::accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(c2, 0);
+    ASSERT_TRUE(read_request(c2));
+    ASSERT_EQ(::send(c2, full.data(), full.size(), 0),
+              static_cast<ssize_t>(full.size()));
+    ::close(c2);
+  });
+
+  rpc::SocketChannel channel("127.0.0.1", port, /*recv_timeout_ms=*/300);
+  rpc::Frame resp;
+  // Mid-frame stall: the call must fail with kTimeout, not hang or
+  // misparse — and the channel must drop the connection.
+  EXPECT_TRUE(channel.Call(make_request(rpc::Method::kPing), &resp)
+                  .IsTimeout());
+  // The very next call runs on a FRESH connection and succeeds; a channel
+  // that resumed the old stream would read the stale half-frame first and
+  // fail the magic/CRC checks instead.
+  EXPECT_TRUE(channel.Call(make_request(rpc::Method::kPing), &resp).ok());
+
+  server.join();
+  ::close(listen_fd);
+}
+
+#endif  // __unix__ || __APPLE__
 
 TEST(Socket, ConnectFailureIsUnavailable) {
   rpc::SocketChannel channel("127.0.0.1", 1);  // nothing listens on port 1

@@ -578,6 +578,255 @@ TEST(Svc, WritesRideOutACrashRestartWindow) {
   std::filesystem::remove_all(dir);
 }
 
+// ---- dedup eviction ---------------------------------------------------------
+
+// A delayed duplicate arriving AFTER its done-entry was FIFO-evicted gets
+// no dedup protection — it must land idempotently at the store level for
+// every keyed method, including a multi-op batch.
+TEST(MetaService, EvictedDedupEntryReappliesIdempotently) {
+  db::Options store_options = small_store_options();
+  store_options.in_memory = true;
+  auto opened = db::Store::Open(store_options, "");
+  ASSERT_TRUE(opened.ok());
+  std::unique_ptr<db::Store> store = std::move(opened).value();
+  svc::MetaServiceOptions so;
+  so.shard_id = 0;
+  so.dedup_capacity = 2;  // tiny: a couple of fresh ids evict anything
+  svc::MetaService service(store.get(), svc::PartitionMap::RoundRobin(1, 5),
+                           so);
+
+  const auto handle = [&](rpc::Method method, std::uint64_t seq,
+                          const std::vector<std::uint8_t>& payload) {
+    rpc::Frame req;
+    req.type = rpc::MsgType::kRequest;
+    req.method = method;
+    req.client_id = 1;
+    req.seq = seq;
+    req.payload = payload;
+    return service.Handle(req);
+  };
+  const auto evict = [&](std::uint64_t base) {
+    // Three fresh done-entries push everything older out of capacity 2.
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      std::vector<std::uint8_t> p;
+      rpc::encode_file(make_file(900 + base + i), &p);
+      ASSERT_EQ(handle(rpc::Method::kPut, base + i, p).status,
+                db::StatusCode::kOk);
+    }
+  };
+  const auto total_files = [&] {
+    std::string v;
+    EXPECT_TRUE(store->GetProperty("smartstore.total-files", &v));
+    return v;
+  };
+
+  // Put: apply, evict, replay. The upsert converges; no duplicate record.
+  std::vector<std::uint8_t> put_payload;
+  rpc::encode_file(make_file(1), &put_payload);
+  ASSERT_EQ(handle(rpc::Method::kPut, 10, put_payload).status,
+            db::StatusCode::kOk);
+  evict(100);
+  const std::string before_put_replay = total_files();
+  EXPECT_EQ(handle(rpc::Method::kPut, 10, put_payload).status,
+            db::StatusCode::kOk);
+  EXPECT_EQ(total_files(), before_put_replay);
+
+  // Delete: apply, evict, replay. Already-absent is success, not kNotFound.
+  std::vector<std::uint8_t> del_payload;
+  rpc::encode_name(make_file(1).name, &del_payload);
+  ASSERT_EQ(handle(rpc::Method::kDelete, 20, del_payload).status,
+            db::StatusCode::kOk);
+  evict(200);
+  const std::string before_del_replay = total_files();
+  EXPECT_EQ(handle(rpc::Method::kDelete, 20, del_payload).status,
+            db::StatusCode::kOk);
+  EXPECT_EQ(total_files(), before_del_replay);
+
+  // Batch: put A, delete A, put B — order matters. The replay re-runs all
+  // three idempotent forms and converges to the identical state.
+  std::vector<rpc::BatchOp> ops(3);
+  ops[0].is_put = true;
+  ops[0].file = make_file(50);
+  ops[1].is_put = false;
+  ops[1].name = make_file(50).name;
+  ops[2].is_put = true;
+  ops[2].file = make_file(51);
+  std::vector<std::uint8_t> batch_payload;
+  rpc::encode_batch(ops, &batch_payload);
+  ASSERT_EQ(handle(rpc::Method::kBatchWrite, 30, batch_payload).status,
+            db::StatusCode::kOk);
+  evict(300);
+  const std::string before_batch_replay = total_files();
+  EXPECT_EQ(handle(rpc::Method::kBatchWrite, 30, batch_payload).status,
+            db::StatusCode::kOk);
+  EXPECT_EQ(total_files(), before_batch_replay);
+  // And the batch's net effect holds: 50 deleted, 51 present.
+  metadata::PointQuery gone_q;
+  gone_q.filename = make_file(50).name;
+  auto gone = store->Query(db::QueryRequest::Point(std::move(gone_q)));
+  ASSERT_TRUE(gone.ok());
+  EXPECT_FALSE(gone->found);
+  metadata::PointQuery kept_q;
+  kept_q.filename = make_file(51).name;
+  auto kept = store->Query(db::QueryRequest::Point(std::move(kept_q)));
+  ASSERT_TRUE(kept.ok());
+  EXPECT_TRUE(kept->found);
+}
+
+// ---- snapshot scatter-gather ------------------------------------------------
+
+// Cross-shard tie-breaking oracle: many records at the IDENTICAL distance
+// live on different shards; the merged top-k must re-sort globally by
+// (distance, id) before truncating, so the winners are exactly the lowest
+// ids — the same answer a single store gives.
+TEST(Svc, TopKCrossShardTieBreakOracle) {
+  auto cluster = start_or_die(in_memory_cluster(4));
+  svc::Router router = make_router(*cluster);
+
+  db::Options ref_options = small_store_options();
+  ref_options.in_memory = true;
+  auto ref_opened = db::Store::Open(ref_options, "");
+  ASSERT_TRUE(ref_opened.ok());
+  std::unique_ptr<db::Store> reference = std::move(ref_opened).value();
+
+  // 12 records, all attrs identical (=> identical distance to any query
+  // point), names spread across the 4 shards by the partition key; plus a
+  // few far-away records that must lose.
+  for (std::uint64_t id = 0; id < 12; ++id) {
+    metadata::FileMetadata f = make_file(id);
+    for (std::size_t a = 0; a < metadata::kNumAttrs; ++a) f.attrs[a] = 500.0;
+    ASSERT_TRUE(router.Put(f).ok());
+    ASSERT_TRUE(reference->Put(f).ok());
+  }
+  for (std::uint64_t id = 100; id < 104; ++id) {
+    metadata::FileMetadata f = make_file(id);
+    for (std::size_t a = 0; a < metadata::kNumAttrs; ++a) f.attrs[a] = 0.0;
+    ASSERT_TRUE(router.Put(f).ok());
+    ASSERT_TRUE(reference->Put(f).ok());
+  }
+
+  metadata::TopKQuery tq;
+  tq.dims = metadata::AttrSubset(
+      {metadata::Attr::kFileSize, metadata::Attr::kReadCount});
+  tq.point = {500.0, 500.0};
+  tq.k = 5;
+
+  auto routed = router.TopK(tq);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  ASSERT_EQ(routed->ids.size(), 5u);
+  auto want = reference->Query(db::QueryRequest::TopK(tq), db::ReadOptions{});
+  ASSERT_TRUE(want.ok());
+  // Exact ORDERED equality: the tie-break is part of the contract.
+  EXPECT_EQ(routed->ids, want->ids)
+      << "cross-shard ties must resolve by (distance, id)";
+  EXPECT_EQ(routed->ids, (std::vector<metadata::FileId>{0, 1, 2, 3, 4}));
+  for (std::size_t i = 1; i < routed->hits.size(); ++i) {
+    EXPECT_LE(routed->hits[i - 1].first, routed->hits[i].first);
+  }
+}
+
+// The tentpole acceptance, routed variant: a pinned cluster cut scanned
+// repeatedly while a writer streams inserts through the SAME router is
+// bit-identical every time, and equal to a quiesced single store holding
+// exactly the pre-pin population.
+TEST(Svc, PinnedSnapshotScanStableUnderRoutedWrites) {
+  auto cluster = start_or_die(in_memory_cluster(4));
+  svc::Router router = make_router(*cluster);
+
+  db::Options ref_options = small_store_options();
+  ref_options.in_memory = true;
+  auto ref_opened = db::Store::Open(ref_options, "");
+  ASSERT_TRUE(ref_opened.ok());
+  std::unique_ptr<db::Store> reference = std::move(ref_opened).value();
+
+  for (std::uint64_t id = 0; id < 80; ++id) {
+    ASSERT_TRUE(router.Put(make_file(id)).ok());
+    ASSERT_TRUE(reference->Put(make_file(id)).ok());
+  }
+
+  auto snapshot = router.PinSnapshot();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+
+  metadata::RangeQuery rq;
+  rq.dims = metadata::AttrSubset(
+      {metadata::Attr::kFileSize, metadata::Attr::kReadCount});
+  rq.lo = {-1e30, -1e30};
+  rq.hi = {1e30, 1e30};  // select-all: every record is in range
+
+  auto baseline = router.Range(rq, *snapshot);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_EQ(baseline->ids.size(), 80u);
+
+  std::thread writer([&router] {
+    for (std::uint64_t id = 1000; id < 1080; ++id) {
+      ASSERT_TRUE(router.Put(make_file(id)).ok());
+    }
+  });
+  for (int scan = 0; scan < 15; ++scan) {
+    auto again = router.Range(rq, *snapshot);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->ids, baseline->ids)
+        << "pinned scan " << scan << " tore under concurrent writes";
+  }
+  writer.join();
+
+  // Quiesced oracle: the single store holds exactly the pre-pin records.
+  auto want = reference->Query(db::QueryRequest::Range(rq), db::ReadOptions{});
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(baseline->ids, want->ids);
+
+  ASSERT_TRUE(router.ReleaseSnapshot(*snapshot).ok());
+  // An unpinned (fresh-pin) scan now sees the writer's records too.
+  auto after = router.Range(rq);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->ids.size(), 160u);
+  EXPECT_GE(router.stats().snapshot_pins, 2u);
+}
+
+TEST(MetaService, SnapshotLeaseCapacityAndTtl) {
+  db::Options store_options = small_store_options();
+  store_options.in_memory = true;
+  auto opened = db::Store::Open(store_options, "");
+  ASSERT_TRUE(opened.ok());
+  std::unique_ptr<db::Store> store = std::move(opened).value();
+  svc::MetaServiceOptions so;
+  so.shard_id = 0;
+  so.snapshot_lease_capacity = 2;
+  so.snapshot_lease_ttl_ms = 60;
+  svc::MetaService service(store.get(), svc::PartitionMap::RoundRobin(1, 5),
+                           so);
+
+  rpc::Frame pin;
+  pin.type = rpc::MsgType::kRequest;
+  pin.method = rpc::Method::kSnapPin;
+
+  rpc::Frame a = service.Handle(pin);
+  ASSERT_EQ(a.status, db::StatusCode::kOk);
+  rpc::Frame b = service.Handle(pin);
+  ASSERT_EQ(b.status, db::StatusCode::kOk);
+  rpc::SnapshotLease lease_a, lease_b;
+  ASSERT_TRUE(rpc::decode_snapshot_lease(a.payload, &lease_a).ok());
+  ASSERT_TRUE(rpc::decode_snapshot_lease(b.payload, &lease_b).ok());
+  EXPECT_NE(lease_a.lease_id, lease_b.lease_id);
+
+  // Table full: the third pin is refused, not silently evicting a holder.
+  EXPECT_EQ(service.Handle(pin).status, db::StatusCode::kUnavailable);
+
+  // Releasing one frees a slot immediately.
+  rpc::Frame release;
+  release.type = rpc::MsgType::kRequest;
+  release.method = rpc::Method::kSnapRelease;
+  rpc::encode_snapshot_lease(lease_a, &release.payload);
+  EXPECT_EQ(service.Handle(release).status, db::StatusCode::kOk);
+  EXPECT_EQ(service.Handle(pin).status, db::StatusCode::kOk);
+
+  // And the TTL sweeps abandoned leases: wait out the 60ms, then both
+  // leaked slots are reclaimable.
+  std::this_thread::sleep_for(std::chrono::milliseconds(90));
+  EXPECT_EQ(service.Handle(pin).status, db::StatusCode::kOk);
+  EXPECT_EQ(service.Handle(pin).status, db::StatusCode::kOk);
+}
+
 // ---- control plane ----------------------------------------------------------
 
 TEST(Svc, PingFlushFetchMap) {
