@@ -25,9 +25,11 @@
 //   --json PATH      machine-readable results
 //                    (scripts/bench_report.sh -> BENCH_cluster.json)
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -164,6 +166,101 @@ RunResult run_cluster(std::uint32_t shards, std::size_t clients,
   return r;
 }
 
+struct FailoverResult {
+  std::size_t ops = 0;          ///< acked puts across the whole run
+  double unavailability_ms = 0; ///< crash -> first post-crash ack
+  double p99_promotion_us = 0;  ///< put p99 in the 500ms after the crash
+  double p99_steady_us = 0;     ///< put p99 before the crash
+  std::uint64_t retries = 0;
+  std::uint64_t epoch = 0;  ///< final map epoch (2 == one promotion)
+};
+
+/// One sequential writer against a replicated durable 1-shard cluster;
+/// the primary is power-cut mid-run and the automatic failover manager
+/// must restore availability. Measures the client-visible unavailability
+/// window (the gap between the crash and the first ack from the promoted
+/// follower) and the put tail latency during promotion.
+FailoverResult run_failover(std::size_t ops) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "smartstore_bench_failover")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  svc::ClusterOptions copt;
+  copt.num_shards = 1;
+  copt.replication_factor = 2;
+  copt.in_memory = false;
+  copt.dir = dir;
+  copt.store_options.num_units = 4;
+  copt.store_options.fanout = 4;
+  copt.store_options.seed = 7;
+  copt.store_options.routing = db::Routing::kOnline;
+  copt.auto_failover = true;
+  copt.heartbeat_interval_ms = 10;
+  copt.heartbeat_misses = 2;
+
+  auto started = svc::Cluster::Start(copt);
+  check(started.status(), "failover cluster start");
+  std::unique_ptr<svc::Cluster> cluster = std::move(started).value();
+
+  svc::RouterOptions ropt;
+  ropt.client_id = 1;
+  ropt.max_attempts = 2000;  // must span detect + promote + map refresh
+  ropt.backoff_init_us = 50;
+  ropt.backoff_max_us = 5'000;
+  svc::Router router(cluster->ConnectAll(), cluster->map(), ropt);
+
+  using clock = std::chrono::steady_clock;
+  const std::size_t crash_at = ops / 4;
+  std::vector<double> lat_us;
+  std::vector<clock::time_point> done_at;
+  lat_us.reserve(ops);
+  done_at.reserve(ops);
+  clock::time_point crashed{};
+
+  for (std::size_t i = 0; i < ops; ++i) {
+    if (i == crash_at) {
+      check(cluster->Crash(cluster->map().primary_node_of(0)),
+            "failover crash");
+      crashed = clock::now();
+    }
+    util::WallTimer op;
+    check(router.Put(make_file(i)), "failover put");
+    lat_us.push_back(op.seconds() * 1e6);
+    done_at.push_back(clock::now());
+  }
+
+  FailoverResult r;
+  r.ops = ops;
+  r.retries = router.stats().retries;
+  r.epoch = cluster->map().epoch;
+  // The first ack completed after the crash ends the unavailability
+  // window (puts are sequential, so it is the op that spanned it).
+  for (std::size_t i = crash_at; i < ops; ++i) {
+    if (done_at[i] > crashed) {
+      r.unavailability_ms =
+          std::chrono::duration<double, std::milli>(done_at[i] - crashed)
+              .count();
+      break;
+    }
+  }
+  std::vector<double> steady(lat_us.begin(),
+                             lat_us.begin() + static_cast<long>(crash_at));
+  std::vector<double> promo;
+  const auto promo_end = crashed + std::chrono::milliseconds(500);
+  for (std::size_t i = crash_at; i < ops; ++i) {
+    if (done_at[i] <= promo_end) promo.push_back(lat_us[i]);
+  }
+  std::sort(steady.begin(), steady.end());
+  std::sort(promo.begin(), promo.end());
+  if (!steady.empty()) r.p99_steady_us = steady[steady.size() * 99 / 100];
+  if (!promo.empty()) r.p99_promotion_us = promo[promo.size() * 99 / 100];
+
+  check(cluster->Stop(), "failover cluster stop");
+  std::filesystem::remove_all(dir);
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -202,6 +299,17 @@ int main(int argc, char** argv) {
       "rate %.4f (stale-map self-correction is one redirect per client)\n",
       last.shards, last.per_sec() / base_per_sec, last.redirect_rate());
 
+  // Replicated failover: a durable rf=2 shard loses its primary mid-run
+  // and the manager promotes the follower — the client just retries.
+  const FailoverResult fo = run_failover(smoke ? 200 : 2000);
+  std::printf(
+      "\nfailover : primary killed under load; unavailability window "
+      "%.1f ms, put p99 %.1f us steady -> %.1f us during promotion, "
+      "%llu retries, final epoch %llu\n",
+      fo.unavailability_ms, fo.p99_steady_us, fo.p99_promotion_us,
+      static_cast<unsigned long long>(fo.retries),
+      static_cast<unsigned long long>(fo.epoch));
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (!f) {
@@ -227,7 +335,16 @@ int main(int argc, char** argv) {
                    r.redirect_rate(),
                    i + 1 < results.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"failover\": {\"ops\": %zu, \"unavailability_ms\": "
+                 "%.3f, \"p99_steady_us\": %.1f, \"p99_promotion_us\": "
+                 "%.1f, \"retries\": %llu, \"final_epoch\": %llu}\n",
+                 fo.ops, fo.unavailability_ms, fo.p99_steady_us,
+                 fo.p99_promotion_us,
+                 static_cast<unsigned long long>(fo.retries),
+                 static_cast<unsigned long long>(fo.epoch));
+    std::fprintf(f, "}\n");
     std::fclose(f);
   }
   return 0;

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -105,6 +106,23 @@ struct CheckpointInfo {
   double last_write_s = 0;     ///< concurrent serialization
   double last_truncate_s = 0;  ///< per-shard WAL rebase
   std::size_t last_snapshot_bytes = 0;
+};
+
+/// One record of the replication stream: a committed mutation together
+/// with its store-wide commit sequence number. The primary's commit tap
+/// emits these; a follower feeds them back through ApplyReplicated, which
+/// re-applies each under the SAME seq so MVCC visibility and the durable
+/// frontier line up across replicas.
+struct ReplicatedOp {
+  bool is_insert = true;
+  /// Seq-hole marker: the primary consumed this seq on a replica-private
+  /// structural record (unit split/merge). The follower applies no data
+  /// but still logs and accounts the seq, keeping the stream contiguous
+  /// and a promoted follower's stamp counter past every consumed seq.
+  bool is_noop = false;
+  std::uint64_t seq = 0;
+  metadata::FileMetadata file;  ///< inserts
+  std::string name;             ///< removes
 };
 
 class Store {
@@ -180,6 +198,44 @@ class Store {
   /// snapshot → per-shard WAL rebase) — serving threads keep running;
   /// without one it quiesces mutators for a stop-the-world snapshot.
   Status Checkpoint();
+
+  // ---- replication -------------------------------------------------------
+
+  /// Observer for mutations that became DURABLE here (WAL-committed).
+  /// Called from arbitrary operation threads while a per-shard WAL mutex
+  /// is held — the callee must be fast, must not call back into this
+  /// Store, and may only take locks ranked above kWalShard (the
+  /// replication buffer's kReplBuffer qualifies).
+  using CommitTap = std::function<void(const ReplicatedOp&)>;
+
+  /// Arms (nullptr: disarms) the durable-commit tap. Requires a WAL.
+  /// Per-shard record order is preserved; cross-shard order is not (the
+  /// consumer reorders by seq). Records already durable before arming are
+  /// not replayed — pair with DumpSnapshot to bootstrap a follower.
+  Status SetCommitTap(CommitTap tap);
+
+  /// Applies a run of replicated records in seq order, WAL-logging each
+  /// under the primary's seq, then group-commits — on return every
+  /// non-skipped record is durable HERE. Records at or below the current
+  /// frontier are skipped (duplicate batches and bootstrap overlap are
+  /// idempotent). `*frontier_out` receives the new durable frontier.
+  /// Requires a WAL; removes of absent names are OK (already-applied).
+  Status ApplyReplicated(const std::vector<ReplicatedOp>& ops,
+                         std::uint64_t* frontier_out);
+
+  /// Pins the current commit seq and returns every record visible at it
+  /// in canonical (id, name) order; `*seq_out` receives the pinned seq.
+  /// This is the bootstrap payload for an empty follower — and the
+  /// oracle-comparison read (two stores with the same history dump ==).
+  StatusOr<std::vector<metadata::FileMetadata>> DumpSnapshot(
+      std::uint64_t* seq_out);
+
+  /// Installs a DumpSnapshot taken elsewhere at commit seq `seq` into
+  /// this EMPTY store, then advances the local frontier to `seq` so the
+  /// replication stream resumes cleanly at seq+1. kFailedPrecondition if
+  /// the store has ever applied a mutation.
+  Status LoadBootstrap(std::uint64_t seq,
+                       const std::vector<metadata::FileMetadata>& files);
 
   // ---- introspection -----------------------------------------------------
 

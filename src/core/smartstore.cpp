@@ -1533,6 +1533,29 @@ std::size_t SmartStore::snapshot_file_count(std::uint64_t seq) const {
   return n;
 }
 
+std::vector<metadata::FileMetadata> SmartStore::snapshot_dump(
+    std::uint64_t seq) const {
+  util::ReaderLock shared(structure_mu_);
+  std::vector<metadata::FileMetadata> out;
+  for (UnitId u = 0; u < units_.size(); ++u) {
+    const util::MutexLock guard(unit_mutex(u));
+    const StorageUnit& unit = units_[u];
+    const auto& files = unit.files();
+    const auto& seqs = unit.added_seqs();
+    for (std::size_t i = 0; i < files.size(); ++i)
+      if (live_visible(seqs[i], seq)) out.push_back(files[i]);
+    for (const auto& t : unit.tombstones())
+      if (dead_visible(t, seq)) out.push_back(t.file);
+  }
+  // Canonical order, like the snapshot queries: two dumps at the same seq
+  // (even across different stores with different placement) compare ==.
+  std::sort(out.begin(), out.end(),
+            [](const metadata::FileMetadata& a, const metadata::FileMetadata& b) {
+              return a.id != b.id ? a.id < b.id : a.name < b.name;
+            });
+  return out;
+}
+
 PointResult SmartStore::snapshot_point_query(const metadata::PointQuery& q,
                                              std::uint64_t seq) const {
   util::ReaderLock shared(structure_mu_);

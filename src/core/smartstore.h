@@ -262,6 +262,12 @@ class SmartStore {
   /// Records visible at `seq` (exhaustive count, same locking as above).
   std::size_t snapshot_file_count(std::uint64_t seq) const;
 
+  /// Every record visible at `seq` — live or tombstoned-later — in
+  /// canonical (id, name) order; same per-unit locking as the snapshot
+  /// queries. Replication bootstrap ships this dump to an empty follower,
+  /// and the failover oracle compares two stores through it.
+  std::vector<metadata::FileMetadata> snapshot_dump(std::uint64_t seq) const;
+
   /// Live tombstone-chain length summed over all units (non-quiescing).
   std::size_t tombstone_count() const;
 

@@ -805,6 +805,170 @@ Status Store::Checkpoint() {
   }
 }
 
+// ---- replication ------------------------------------------------------------
+
+Status Store::SetCommitTap(CommitTap tap) {
+  util::ReaderLock lk(impl_->lifecycle_mu);
+  Status gate = impl_->check_serving();
+  if (!gate.ok()) return gate;
+  if (!impl_->wal) {
+    return Status::FailedPrecondition(
+        "the commit tap observes WAL durability; this store has no WAL");
+  }
+  if (!tap) {
+    impl_->wal->set_commit_tap(nullptr);
+    return Status::OK();
+  }
+  impl_->wal->set_commit_tap(
+      [t = std::move(tap)](const persist::WalRecord& rec) {
+        ReplicatedOp op;
+        switch (rec.type) {
+          case persist::WalRecordType::kInsert:
+            op.is_insert = true;
+            op.file = rec.file;
+            break;
+          case persist::WalRecordType::kRemove:
+            op.is_insert = false;
+            op.name = rec.name;
+            break;
+          default:
+            // Structural records (unit split/merge) are replica-private —
+            // each replica grows its own topology — but they consume a
+            // stamp, so the stream ships the seq as an explicit hole
+            // marker or a seq-ordered consumer would wait on it forever.
+            op.is_noop = true;
+            break;
+        }
+        op.seq = rec.seq;
+        t(op);
+      });
+  return Status::OK();
+}
+
+Status Store::ApplyReplicated(const std::vector<ReplicatedOp>& ops,
+                              std::uint64_t* frontier_out) {
+  util::ReaderLock lk(impl_->lifecycle_mu);
+  Status gate = impl_->check_serving();
+  if (!gate.ok()) return gate;
+  Impl& im = *impl_;
+  if (!im.wal) {
+    return Status::FailedPrecondition(
+        "replicated applies must be WAL-logged (a promoted follower has to "
+        "survive its own crash); this store has no WAL");
+  }
+  try {
+    std::uint64_t applied = 0;
+    for (const ReplicatedOp& op : ops) {
+      // The frontier gate: applies run strictly in seq order, so anything
+      // at or below the last commit seq already landed here — duplicate
+      // batches from a retrying sender and bootstrap overlap re-sends are
+      // no-ops, not double-applies.
+      if (op.seq <= im.core->last_commit_seq()) continue;
+      if (op.is_noop) {
+        // A seq the primary consumed on a replica-private structural
+        // record. Log it as an empty-name remove (replay tolerates
+        // absence) so this seq survives a local restart too — otherwise a
+        // promoted follower could re-stamp it for a different mutation.
+        im.wal->append_remove_at(0, std::string(), op.seq);
+        im.core->note_commit_seq(op.seq);
+        ++applied;
+        continue;
+      }
+      if (op.is_insert) {
+        im.core->insert_file(
+            op.file, 0.0,
+            [&](core::UnitId target) {
+              im.wal->append_insert_at(target, op.file, op.seq);
+              return op.seq;
+            },
+            [&](core::UnitId target) { im.wal->maybe_commit(target); });
+      } else {
+        // Absent-name removes are fine: mirrors recovery replay's
+        // idempotence (the delete was acked somewhere; re-applying onto a
+        // state that never saw the insert must not fail the stream).
+        const bool existed = im.core->erase_file(
+            op.name,
+            [&](core::UnitId located) {
+              im.wal->append_remove_at(located, op.name, op.seq);
+              return op.seq;
+            },
+            [&](core::UnitId located) { im.wal->maybe_commit(located); });
+        if (!existed) {
+          // Identical histories mean the name always exists here; still,
+          // the stream must neither stall the frontier nor let a restart
+          // reuse op.seq for a different mutation — log the no-op remove
+          // anyway (replay of a kRemove tolerates absence) and advance.
+          im.wal->append_remove_at(0, op.name, op.seq);
+          im.core->note_commit_seq(op.seq);
+        }
+      }
+      ++applied;
+    }
+    // Ack barrier: the caller reports the returned frontier as durable,
+    // so every record applied above must hit disk before we return.
+    im.wal->commit_all();
+    if (frontier_out) *frontier_out = im.core->last_commit_seq();
+    im.note_mutations(applied);
+    return Status::OK();
+  } catch (const persist::FaultInjected& e) {
+    im.crash();  // safe under the shared lock: needs only ckpt_mu
+    return Status::FaultInjected(e.what());
+  } catch (const persist::PersistError& e) {
+    return map_persist_error(e);
+  } catch (const std::exception& e) {
+    return Status::Unknown(e.what());
+  }
+}
+
+StatusOr<std::vector<metadata::FileMetadata>> Store::DumpSnapshot(
+    std::uint64_t* seq_out) {
+  util::ReaderLock lk(impl_->lifecycle_mu);
+  Status gate = impl_->check_serving();
+  if (!gate.ok()) return gate;
+  std::uint64_t seq = 0;
+  const std::shared_ptr<void> pin = impl_->core->pin_snapshot(&seq);
+  if (seq_out) *seq_out = seq;
+  try {
+    return impl_->core->snapshot_dump(seq);
+  } catch (const std::exception& e) {
+    return Status::Unknown(e.what());
+  }
+}
+
+Status Store::LoadBootstrap(std::uint64_t seq,
+                            const std::vector<metadata::FileMetadata>& files) {
+  util::WriterLock ex(impl_->lifecycle_mu);
+  Status gate = impl_->check_serving();
+  if (!gate.ok()) return gate;
+  Impl& im = *impl_;
+  if (im.core->total_files() != 0 || im.core->last_commit_seq() != 0) {
+    return Status::FailedPrecondition(
+        "LoadBootstrap requires a never-mutated store (a stale replica "
+        "must be wiped and reopened, not overwritten in place)");
+  }
+  try {
+    // Each record takes a fresh local stamp (the dump does not carry the
+    // original per-record seqs); there are at most `seq` of them, so all
+    // stamps land at or below `seq` — then the frontier jumps TO `seq`,
+    // and the resumed stream (> seq) passes the ApplyReplicated gate.
+    for (const metadata::FileMetadata& f : files) im.insert_one(f);
+    if (im.wal) {
+      im.wal->commit_all();  // durable before the follower acks `seq`
+      im.wal->ensure_seq_at_least(seq + 1);
+    }
+    im.core->note_commit_seq(seq);
+    im.note_mutations(files.size());
+    return Status::OK();
+  } catch (const persist::FaultInjected& e) {
+    im.crash();  // safe under the exclusive lock: needs only ckpt_mu
+    return Status::FaultInjected(e.what());
+  } catch (const persist::PersistError& e) {
+    return map_persist_error(e);
+  } catch (const std::exception& e) {
+    return Status::Unknown(e.what());
+  }
+}
+
 // ---- introspection ----------------------------------------------------------
 
 const RecoveryInfo& Store::recovery_info() const { return impl_->recovery; }

@@ -84,6 +84,51 @@ std::size_t ShardedWal::num_shards() const {
   return shards_.size();
 }
 
+void ShardedWal::set_commit_tap(CommitTap tap) {
+  {
+    const util::MutexLock lock(tap_mu_);
+    tap_ = tap ? std::make_shared<const CommitTap>(std::move(tap)) : nullptr;
+  }
+  if (tap_snapshot()) return;
+  // Disarm: tapped-but-uncommitted records will never be delivered (the
+  // next armed tap belongs to a different replication stream); drop them
+  // so the drain arithmetic starts clean.
+  const std::size_t n = num_shards();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (Shard* s = shard_if_exists(i)) {
+      const util::MutexLock lock(s->mu);
+      s->tap_pending.clear();
+    }
+  }
+}
+
+std::shared_ptr<const ShardedWal::CommitTap> ShardedWal::tap_snapshot() const {
+  const util::MutexLock lock(tap_mu_);
+  return tap_;
+}
+
+void ShardedWal::tap_append(Shard& s, const WalRecord& rec) {
+  if (!tap_snapshot()) return;
+  s.tap_pending.push_back(rec);
+}
+
+void ShardedWal::drain_tap(Shard& s) {
+  if (s.tap_pending.empty()) return;
+  const std::uint64_t pending = s.writer->pending_records();
+  if (s.tap_pending.size() <= pending) return;
+  const std::size_t committed =
+      s.tap_pending.size() - static_cast<std::size_t>(pending);
+  const std::shared_ptr<const CommitTap> tap = tap_snapshot();
+  if (tap) {
+    // Delivered under s.mu on purpose: the tap sees each shard's records
+    // in commit order with no interleaving window where a later commit of
+    // the same shard could overtake an earlier one.
+    for (std::size_t i = 0; i < committed; ++i) (*tap)(s.tap_pending[i]);
+  }
+  s.tap_pending.erase(s.tap_pending.begin(),
+                      s.tap_pending.begin() + static_cast<long>(committed));
+}
+
 std::uint64_t ShardedWal::log_insert(std::size_t shard_id,
                                      const metadata::FileMetadata& f) {
   Shard& s = shard(shard_id);
@@ -92,7 +137,9 @@ std::uint64_t ShardedWal::log_insert(std::size_t shard_id,
   rec.type = WalRecordType::kInsert;
   rec.file = f;
   rec.seq = stamp();
+  tap_append(s, rec);
   s.writer->log(rec);
+  drain_tap(s);
   return rec.seq;
 }
 
@@ -104,7 +151,9 @@ std::uint64_t ShardedWal::log_remove(std::size_t shard_id,
   rec.type = WalRecordType::kRemove;
   rec.name = name;
   rec.seq = stamp();
+  tap_append(s, rec);
   s.writer->log(rec);
+  drain_tap(s);
   return rec.seq;
 }
 
@@ -116,6 +165,7 @@ std::uint64_t ShardedWal::append_insert(std::size_t shard_id,
   rec.type = WalRecordType::kInsert;
   rec.file = f;
   rec.seq = stamp();
+  tap_append(s, rec);
   s.writer->append(rec);
   return rec.seq;
 }
@@ -128,8 +178,36 @@ std::uint64_t ShardedWal::append_remove(std::size_t shard_id,
   rec.type = WalRecordType::kRemove;
   rec.name = name;
   rec.seq = stamp();
+  tap_append(s, rec);
   s.writer->append(rec);
   return rec.seq;
+}
+
+void ShardedWal::append_insert_at(std::size_t shard_id,
+                                  const metadata::FileMetadata& f,
+                                  std::uint64_t seq) {
+  Shard& s = shard(shard_id);
+  const util::MutexLock lock(s.mu);
+  WalRecord rec;
+  rec.type = WalRecordType::kInsert;
+  rec.file = f;
+  rec.seq = seq;
+  tap_append(s, rec);
+  s.writer->append(rec);
+  ensure_seq_at_least(seq + 1);
+}
+
+void ShardedWal::append_remove_at(std::size_t shard_id,
+                                  const std::string& name, std::uint64_t seq) {
+  Shard& s = shard(shard_id);
+  const util::MutexLock lock(s.mu);
+  WalRecord rec;
+  rec.type = WalRecordType::kRemove;
+  rec.name = name;
+  rec.seq = seq;
+  tap_append(s, rec);
+  s.writer->append(rec);
+  ensure_seq_at_least(seq + 1);
 }
 
 void ShardedWal::maybe_commit(std::size_t shard_id) {
@@ -137,6 +215,7 @@ void ShardedWal::maybe_commit(std::size_t shard_id) {
   if (!s) return;
   const util::MutexLock lock(s->mu);
   if (s->writer->pending_records() >= group_commit_) s->writer->commit();
+  drain_tap(*s);
 }
 
 std::uint64_t ShardedWal::log_structural(const WalRecord& rec_in) {
@@ -148,8 +227,13 @@ std::uint64_t ShardedWal::log_structural(const WalRecord& rec_in) {
   const util::MutexLock lock(s.mu);
   WalRecord rec = rec_in;
   rec.seq = stamp();
+  // Structural records ARE tapped (the consumer maps them to seq-hole
+  // markers): they consume a stamp, and a seq-ordered replication stream
+  // would otherwise wait forever on the hole.
+  tap_append(s, rec);
   s.writer->log(rec);
   s.writer->commit();
+  drain_tap(s);
   return rec.seq;
 }
 
@@ -180,6 +264,7 @@ void ShardedWal::commit_all() {
     if (Shard* s = shard_if_exists(i)) {
       const util::MutexLock lock(s->mu);
       s->writer->commit();
+      drain_tap(*s);
     }
   }
 }
@@ -194,6 +279,7 @@ WalFence ShardedWal::frontier(std::vector<std::size_t>* bytes_out) {
     if (!s) continue;
     const util::MutexLock lock(s->mu);
     s->writer->commit();
+    drain_tap(*s);
     fence.shards.push_back(
         {i, s->writer->generation(), s->writer->committed_records()});
     if (bytes_out) (*bytes_out)[i] = s->writer->committed_bytes();
@@ -224,6 +310,7 @@ void ShardedWal::reset_all() {
     if (Shard* s = shard_if_exists(i)) {
       const util::MutexLock lock(s->mu);
       s->writer->reset();
+      s->tap_pending.clear();  // reset drops pending records — never acked
     }
   }
 }
@@ -234,6 +321,7 @@ void ShardedWal::abandon() {
     if (Shard* s = shard_if_exists(i)) {
       const util::MutexLock lock(s->mu);
       s->writer->abandon();
+      s->tap_pending.clear();  // dropped with the uncommitted batch
     }
   }
 }

@@ -34,6 +34,7 @@
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -47,6 +48,16 @@ namespace smartstore::persist {
 
 class ShardedWal {
  public:
+  /// Observer for records that have become COMMITTED (durable) in this
+  /// log. Invoked under the owning shard's mutex (rank kWalShard), one
+  /// record at a time in that shard's commit order; the callee may take
+  /// locks ranked above kWalShard only (the replication buffer uses
+  /// kReplBuffer). Every record that consumes a stamp is delivered — data
+  /// records (kInsert/kRemove) AND structural records; the consumer maps
+  /// structural records (replica-private unit topology) to seq-hole
+  /// markers so a seq-ordered stream never waits on a consumed seq.
+  using CommitTap = std::function<void(const WalRecord&)>;
+
   /// Opens (creating if needed) the shard directory under `deploy_dir` and
   /// every existing shard log in it, plus shards [0, num_shards). The
   /// store-wide sequence counter resumes past the largest sequence found.
@@ -88,6 +99,22 @@ class ShardedWal {
   std::uint64_t append_remove(std::size_t shard, const std::string& name);
   /// Commits `shard` if its pending batch reached the group-commit size.
   void maybe_commit(std::size_t shard);
+
+  /// Replication-apply flavour: appends a record carrying the PRIMARY's
+  /// sequence number instead of stamping a fresh one, then raises the
+  /// local counter past it. A follower's log thereby stays seq-identical
+  /// to the primary's stream, so recovery replay and MVCC visibility on a
+  /// promoted follower line up exactly with what clients were acked.
+  void append_insert_at(std::size_t shard, const metadata::FileMetadata& f,
+                        std::uint64_t seq);
+  void append_remove_at(std::size_t shard, const std::string& name,
+                        std::uint64_t seq);
+
+  /// Arms (or, with nullptr, disarms) the commit tap. Disarming discards
+  /// any tapped-but-uncommitted records. Safe to call concurrently with
+  /// appends: the pointer swap is atomic under a leaf lock and each
+  /// shard's pending tap queue is guarded by that shard's mutex.
+  void set_commit_tap(CommitTap tap);
 
   // ---- structural records (caller holds the store's exclusive structure
   // ---- lock; all shards are barrier-committed first) ---------------------
@@ -154,6 +181,13 @@ class ShardedWal {
     /// the freeze mutex — and must never be held while taking either.
     mutable util::Mutex mu{util::LockRank::kWalShard};
     std::unique_ptr<WalWriter> writer SS_GUARDED_BY(mu);
+    /// Data records appended while the tap was armed but not yet known
+    /// committed. The drain invariant: the first
+    /// `tap_pending.size() - writer->pending_records()` entries are
+    /// durable and get delivered (works no matter where the commit
+    /// happened — group-commit inside log(), explicit commit(), or a
+    /// barrier), because tapped records commit strictly in append order.
+    std::vector<WalRecord> tap_pending SS_GUARDED_BY(mu);
   };
 
   /// The shard for `i`, created lazily (units admitted at runtime get
@@ -164,6 +198,12 @@ class ShardedWal {
     return next_seq_.fetch_add(1, std::memory_order_relaxed);
   }
   std::uint64_t log_structural(const WalRecord& rec);
+  /// Copies `rec` into the shard's tap queue iff the tap is armed.
+  void tap_append(Shard& s, const WalRecord& rec) SS_REQUIRES(s.mu);
+  /// Delivers the committed prefix of the shard's tap queue (see the
+  /// tap_pending invariant).
+  void drain_tap(Shard& s) SS_REQUIRES(s.mu);
+  std::shared_ptr<const CommitTap> tap_snapshot() const;
 
   std::string deploy_dir_;
   std::string dir_;  ///< <deploy_dir>/wal
@@ -174,6 +214,10 @@ class ShardedWal {
   mutable util::Mutex map_mu_{util::LockRank::kWalShardMap};
   std::vector<std::unique_ptr<Shard>> shards_ SS_GUARDED_BY(map_mu_);
   std::atomic<std::uint64_t> next_seq_{1};
+  /// Leaf-ranked: guards only the shared_ptr swap/copy (never held while
+  /// invoking the tap), so it may be taken from under any shard mutex.
+  mutable util::Mutex tap_mu_{util::LockRank::kLeaf};
+  std::shared_ptr<const CommitTap> tap_ SS_GUARDED_BY(tap_mu_);
 };
 
 }  // namespace smartstore::persist

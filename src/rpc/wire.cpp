@@ -86,6 +86,9 @@ const char* method_name(Method m) {
     case Method::kStats: return "stats";
     case Method::kSnapPin: return "snap-pin";
     case Method::kSnapRelease: return "snap-release";
+    case Method::kReplAppend: return "repl-append";
+    case Method::kReplFrontier: return "repl-frontier";
+    case Method::kReplBootstrap: return "repl-bootstrap";
   }
   return "?";
 }
@@ -167,7 +170,7 @@ db::Status decode_frame(const std::uint8_t* data, std::size_t size,
     }
     out->type = static_cast<MsgType>(type);
     const std::uint8_t method = r.read_u8();
-    if (method > static_cast<std::uint8_t>(Method::kSnapRelease)) {
+    if (method > static_cast<std::uint8_t>(Method::kReplBootstrap)) {
       throw util::BinaryIoError("unknown method");
     }
     out->method = static_cast<Method>(method);
@@ -445,6 +448,100 @@ db::Status decode_shard_stats(const std::vector<std::uint8_t>& in,
     out->dup_hits = r.read_u64();
     out->wrong_shard = r.read_u64();
     out->total_files = r.read_u64();
+  });
+}
+
+// ---- replication stream (v3) ------------------------------------------------
+
+void encode_repl_batch(const ReplBatch& b, std::vector<std::uint8_t>* out) {
+  util::BinaryWriter w;
+  w.write_bool(b.sync_engaged);
+  w.write_u64(b.ops.size());
+  for (const ReplOp& op : b.ops) {
+    // Tag: 0 = remove, 1 = insert, 2 = noop (seq-hole marker, seq only).
+    w.write_u8(op.is_noop ? 2 : (op.is_insert ? 1 : 0));
+    w.write_u64(op.seq);
+    if (op.is_noop) continue;
+    if (op.is_insert) {
+      write_file_fields(w, op.file);
+    } else {
+      w.write_string(op.name);
+    }
+  }
+  append(w, out);
+}
+
+db::Status decode_repl_batch(const std::vector<std::uint8_t>& in,
+                             ReplBatch* out) {
+  return decode_guard("repl batch payload", [&] {
+    util::BinaryReader r(in);
+    out->sync_engaged = r.read_bool();
+    // Each op is at least 9 bytes (tag + seq), so a count above the
+    // remaining byte count is garbage, not a big batch.
+    const std::uint64_t n = r.read_u64_max(r.remaining(), "repl op count");
+    out->ops.clear();
+    out->ops.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ReplOp op;
+      const std::uint8_t tag = r.read_u8();
+      if (tag > 2) throw util::BinaryIoError("bad repl op tag");
+      op.is_noop = tag == 2;
+      op.is_insert = tag == 1;
+      op.seq = r.read_u64();
+      if (!op.is_noop) {
+        if (op.is_insert) {
+          read_file_fields(r, &op.file);
+        } else {
+          op.name = r.read_string();
+        }
+      }
+      out->ops.push_back(std::move(op));
+    }
+  });
+}
+
+void encode_repl_status(const ReplStatus& s, std::vector<std::uint8_t>* out) {
+  util::BinaryWriter w;
+  w.write_u64(s.frontier);
+  w.write_bool(s.ready);
+  append(w, out);
+}
+
+db::Status decode_repl_status(const std::vector<std::uint8_t>& in,
+                              ReplStatus* out) {
+  return decode_guard("repl status payload", [&] {
+    util::BinaryReader r(in);
+    out->frontier = r.read_u64();
+    out->ready = r.read_bool();
+  });
+}
+
+void encode_repl_bootstrap(const ReplBootstrap& b,
+                           std::vector<std::uint8_t>* out) {
+  util::BinaryWriter w;
+  w.write_u64(b.seq);
+  w.write_u64(b.files.size());
+  for (const metadata::FileMetadata& f : b.files) {
+    write_file_fields(w, f);
+  }
+  append(w, out);
+}
+
+db::Status decode_repl_bootstrap(const std::vector<std::uint8_t>& in,
+                                 ReplBootstrap* out) {
+  return decode_guard("repl bootstrap payload", [&] {
+    util::BinaryReader r(in);
+    out->seq = r.read_u64();
+    // A serialized record is well over 8 bytes; remaining() bounds the
+    // count the same way the batch codec does.
+    const std::uint64_t n = r.read_u64_max(r.remaining(), "bootstrap count");
+    out->files.clear();
+    out->files.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      metadata::FileMetadata f;
+      read_file_fields(r, &f);
+      out->files.push_back(std::move(f));
+    }
   });
 }
 

@@ -47,8 +47,10 @@ namespace smartstore::rpc {
 inline constexpr std::uint32_t kWireMagic = 0x53535250;  // "SSRP"
 /// v2 adds the snapshot-lease methods (kSnapPin / kSnapRelease) and a
 /// trailing as-of sequence on the three query payloads (absent in v1
-/// frames, decoded as 0 = latest). Decoders accept v1 unchanged.
-inline constexpr std::uint16_t kWireVersion = 2;
+/// frames, decoded as 0 = latest). v3 adds the replication stream
+/// (kReplAppend / kReplFrontier / kReplBootstrap). Decoders accept v1/v2
+/// unchanged.
+inline constexpr std::uint16_t kWireVersion = 3;
 /// Fixed header size in bytes (see the layout above).
 inline constexpr std::size_t kFrameHeaderBytes =
     4 + 2 + 1 + 1 + 1 + 1 + 4 + 8 + 8 + 8 + 4 + 4;
@@ -74,6 +76,12 @@ enum class Method : std::uint8_t {
   kStats = 9,       ///< shard counters (applied ops, dup hits, files)
   kSnapPin = 10,    ///< pin a shard snapshot; response carries the lease
   kSnapRelease = 11,  ///< drop a snapshot lease (payload: the lease)
+  // v3: the primary -> follower replication stream. These carry the map
+  // EPOCH in the frame's map_version field — a follower rejects frames
+  // from a deposed primary (stale epoch) with kFailedPrecondition.
+  kReplAppend = 12,  ///< committed-record batch; response: follower frontier
+  kReplFrontier = 13,  ///< read the follower's durable frontier (empty req)
+  kReplBootstrap = 14,  ///< full snapshot push to an empty late joiner
 };
 
 const char* method_name(Method m);
@@ -203,5 +211,61 @@ struct ShardStats {
 void encode_shard_stats(const ShardStats& s, std::vector<std::uint8_t>* out);
 db::Status decode_shard_stats(const std::vector<std::uint8_t>& in,
                               ShardStats* out);
+
+// ---- replication stream (v3) ------------------------------------------------
+
+/// One committed WAL record on the wire: the primary's seq travels with
+/// the op so the follower's log (and MVCC visibility) stays seq-identical
+/// to what clients were acked. A NOOP op carries only the seq — it marks a
+/// sequence number the primary consumed on a replica-private structural
+/// record (unit split/merge); the follower must still account the seq or
+/// the contiguous stream (and a promoted follower's stamp counter) would
+/// hold a permanent hole.
+struct ReplOp {
+  bool is_insert = true;
+  bool is_noop = false;  ///< seq-hole marker: neither file nor name valid
+  std::uint64_t seq = 0;
+  metadata::FileMetadata file;  ///< inserts
+  std::string name;             ///< removes
+};
+
+/// kReplAppend request: a seq-contiguous run of committed records.
+/// `sync_engaged` is the primary's statement that this follower is fully
+/// caught up (no degraded-window acks outstanding) — the follower latches
+/// it into its promotion-eligibility "ready" flag.
+struct ReplBatch {
+  bool sync_engaged = false;
+  std::vector<ReplOp> ops;
+};
+
+void encode_repl_batch(const ReplBatch& b, std::vector<std::uint8_t>* out);
+db::Status decode_repl_batch(const std::vector<std::uint8_t>& in,
+                             ReplBatch* out);
+
+/// Response payload for all three replication methods, and the promotion
+/// scan's input: the follower's durable frontier (highest seq both applied
+/// and WAL-committed locally) plus whether it is promotion-eligible.
+struct ReplStatus {
+  std::uint64_t frontier = 0;
+  bool ready = false;
+};
+
+void encode_repl_status(const ReplStatus& s, std::vector<std::uint8_t>* out);
+db::Status decode_repl_status(const std::vector<std::uint8_t>& in,
+                              ReplStatus* out);
+
+/// kReplBootstrap request: the primary's full state at snapshot seq `seq`.
+/// The receiving store must be EMPTY; it loads the dump, then the regular
+/// append stream resumes from the retained buffer (overlap is skipped by
+/// the follower's frontier gate).
+struct ReplBootstrap {
+  std::uint64_t seq = 0;
+  std::vector<metadata::FileMetadata> files;
+};
+
+void encode_repl_bootstrap(const ReplBootstrap& b,
+                           std::vector<std::uint8_t>* out);
+db::Status decode_repl_bootstrap(const std::vector<std::uint8_t>& in,
+                                 ReplBootstrap* out);
 
 }  // namespace smartstore::rpc

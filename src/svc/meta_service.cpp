@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "svc/replication.h"
+
 namespace smartstore::svc {
 
 namespace {
@@ -27,11 +29,33 @@ void set_result(rpc::Frame* resp, const db::Status& s) {
   if (!s.ok()) rpc::encode_message(s.message(), &resp->payload);
 }
 
+/// A retry with the same request id must RE-EXECUTE these (the outcome
+/// may change — the shard recovers, the follower acks), so their dedup
+/// entries are published-then-erased instead of cached forever.
+bool retryable_outcome(db::StatusCode c) {
+  return c == db::StatusCode::kUnavailable || c == db::StatusCode::kTimeout;
+}
+
+MetaServiceOptions normalize(MetaServiceOptions o) {
+  if (o.node_id == MetaServiceOptions::kNodeIsShard) o.node_id = o.shard_id;
+  return o;
+}
+
 }  // namespace
 
 MetaService::MetaService(db::Store* store, PartitionMap map,
                          MetaServiceOptions options)
-    : store_(store), map_(std::move(map)), options_(options) {}
+    : store_(store), options_(normalize(options)), map_(std::move(map)) {}
+
+PartitionMap MetaService::map() const {
+  const util::ReaderLock lock(map_mu_);
+  return map_;
+}
+
+void MetaService::InstallMap(PartitionMap map) {
+  const util::WriterLock lock(map_mu_);
+  if (map.version > map_.version) map_ = std::move(map);
+}
 
 rpc::Frame MetaService::Handle(const rpc::Frame& req) {
   rpc::Frame resp;
@@ -40,7 +64,10 @@ rpc::Frame MetaService::Handle(const rpc::Frame& req) {
   resp.shard = options_.shard_id;
   resp.client_id = req.client_id;
   resp.seq = req.seq;
-  resp.map_version = map_.version;
+  {
+    const util::ReaderLock lock(map_mu_);
+    resp.map_version = map_.version;
+  }
 
   if (req.type != rpc::MsgType::kRequest) {
     set_result(&resp,
@@ -84,6 +111,15 @@ rpc::Frame MetaService::Handle(const rpc::Frame& req) {
       break;
     case rpc::Method::kSnapRelease:
       HandleSnapRelease(req, &resp);
+      break;
+    case rpc::Method::kReplAppend:
+      HandleReplAppend(req, &resp);
+      break;
+    case rpc::Method::kReplFrontier:
+      HandleReplFrontier(&resp);
+      break;
+    case rpc::Method::kReplBootstrap:
+      HandleReplBootstrap(req, &resp);
       break;
   }
   return resp;
@@ -129,6 +165,12 @@ void MetaService::Publish(const DedupKey& key, db::StatusCode status,
       it->second->status = status;
       it->second->payload = payload;
       it->second->done = true;
+      // A retryable outcome (shard mid-crash, follower ack timed out) must
+      // not be replayed to a LATER retry of the same id — the retry has to
+      // re-execute and may now succeed. Waiters already parked on this
+      // entry still read it through their shared_ptr; the stale fifo key
+      // is skipped harmlessly by Claim's eviction sweep.
+      if (retryable_outcome(status)) dedup_.erase(it);
     }
   }
   dedup_cv_.notify_all();
@@ -152,16 +194,68 @@ db::Status MetaService::ApplyDelete(const std::string& name) {
   return s;
 }
 
-bool MetaService::RejectWrongShard(const std::string& name,
-                                   rpc::Frame* resp) {
-  const std::uint32_t owner = map_.shard_of(name);
-  if (owner == options_.shard_id) return false;
+db::Status MetaService::AckDurable() {
+  ReplicationSender* sender = sender_.load(std::memory_order_acquire);
+  if (!sender) return db::Status();
+  // LatestSequence is at or above the seq this mutation committed at, so
+  // waiting on it covers the mutation (plus any concurrent neighbors —
+  // they are about to need the same ack anyway).
+  return sender->WaitDurable(store_->LatestSequence(),
+                             options_.repl_ack_timeout_ms);
+}
+
+bool MetaService::RejectNotPrimary(rpc::Frame* resp) {
+  const util::ReaderLock lock(map_mu_);
+  if (map_.primary_node_of(options_.shard_id) == options_.node_id) {
+    return false;
+  }
   wrong_shard_.fetch_add(1, std::memory_order_relaxed);
   resp->status = db::StatusCode::kWrongShard;
-  // The current map rides in the payload: the redirect teaches the stale
-  // client the authoritative routing in one round trip.
   resp->payload.clear();
   encode_partition_map(map_, &resp->payload);
+  return true;
+}
+
+bool MetaService::RejectWrongShard(const std::string& name,
+                                   rpc::Frame* resp) {
+  const util::ReaderLock lock(map_mu_);
+  const std::uint32_t owner = map_.shard_of(name);
+  // Two ways this node must not serve the key: the owning shard is a
+  // different one (classic resharding), or it is THIS shard but this node
+  // is not its primary (a follower, or a deposed primary that already
+  // adopted the post-promotion map). Both answer with the installed map —
+  // the redirect teaches the stale client the authoritative routing (and
+  // the new primary) in one round trip.
+  if (owner == options_.shard_id &&
+      map_.primary_node_of(owner) == options_.node_id) {
+    return false;
+  }
+  wrong_shard_.fetch_add(1, std::memory_order_relaxed);
+  resp->status = db::StatusCode::kWrongShard;
+  resp->payload.clear();
+  encode_partition_map(map_, &resp->payload);
+  return true;
+}
+
+bool MetaService::RejectStaleEpoch(const rpc::Frame& req, rpc::Frame* resp) {
+  std::uint64_t epoch;
+  {
+    const util::ReaderLock lock(map_mu_);
+    epoch = map_.epoch;
+  }
+  // Replication frames carry the sender's epoch in map_version. A lower
+  // epoch means the sender lost a promotion it has not heard about yet:
+  // applying (or acking) its records would resurrect the split brain the
+  // epoch exists to prevent. kFailedPrecondition is NOT mapped to
+  // kUnavailable for replication methods — the sender must see it raw and
+  // self-depose.
+  if (req.map_version >= epoch) return false;
+  resp->status = db::StatusCode::kFailedPrecondition;
+  resp->payload.clear();
+  rpc::encode_message("stale replication epoch " +
+                          std::to_string(req.map_version) + " < " +
+                          std::to_string(epoch),
+                      &resp->payload);
   return true;
 }
 
@@ -185,6 +279,11 @@ void MetaService::HandlePut(const rpc::Frame& req, rpc::Frame* resp) {
     return;
   }
   s = ApplyPut(file);  // no service lock held (store is rank 0)
+  // The ack barrier: the response may not leave until the write is as
+  // durable as the replication mode promises. A kTimeout here is NOT an
+  // ack — the dedup entry is published-then-erased, so the client's retry
+  // re-executes (idempotently) instead of replaying the failure.
+  if (s.ok()) s = AckDurable();
   if (s.ok()) applied_puts_.fetch_add(1, std::memory_order_relaxed);
   set_result(resp, s);
   Publish(key, resp->status, resp->payload);
@@ -208,6 +307,7 @@ void MetaService::HandleDelete(const rpc::Frame& req, rpc::Frame* resp) {
     return;
   }
   s = ApplyDelete(name);
+  if (s.ok()) s = AckDurable();  // see HandlePut
   if (s.ok()) applied_deletes_.fetch_add(1, std::memory_order_relaxed);
   set_result(resp, s);
   Publish(key, resp->status, resp->payload);
@@ -248,6 +348,8 @@ void MetaService::HandleBatch(const rpc::Frame& req, rpc::Frame* resp) {
       applied_deletes_.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  // One barrier for the whole batch: LatestSequence covers every op.
+  if (s.ok()) s = AckDurable();
   set_result(resp, s);
   Publish(key, resp->status, resp->payload);
 }
@@ -285,6 +387,9 @@ void MetaService::HandleRangeQuery(const rpc::Frame& req, rpc::Frame* resp) {
     set_result(resp, s);
     return;
   }
+  // Scatter slices must come from the primary: a follower's view lags by
+  // the in-flight replication window.
+  if (RejectNotPrimary(resp)) return;
   // A pinned as-of token selects the exact snapshot scan (time travel /
   // pinned scatter-gather); kAsOfLatest keeps the routed read path.
   db::StatusOr<db::QueryResult> r =
@@ -309,6 +414,7 @@ void MetaService::HandleTopKQuery(const rpc::Frame& req, rpc::Frame* resp) {
     set_result(resp, s);
     return;
   }
+  if (RejectNotPrimary(resp)) return;  // see HandleRangeQuery
   db::StatusOr<db::QueryResult> r =
       as_of != rpc::kAsOfLatest
           ? store_->Query(db::QueryRequest::TopK(std::move(q)),
@@ -339,6 +445,7 @@ void MetaService::HandleFlush(rpc::Frame* resp) {
 void MetaService::HandleGetMap(rpc::Frame* resp) {
   resp->status = db::StatusCode::kOk;
   resp->payload.clear();
+  const util::ReaderLock lock(map_mu_);
   encode_partition_map(map_, &resp->payload);
 }
 
@@ -360,6 +467,8 @@ void MetaService::HandleStats(rpc::Frame* resp) {
 // ---- snapshot leases --------------------------------------------------------
 
 void MetaService::HandleSnapPin(rpc::Frame* resp) {
+  // A follower's pin would anchor a lagging cut.
+  if (RejectNotPrimary(resp)) return;
   // Pin first, with no service lock held: GetSnapshot enters the store
   // (rank 0), so taking lease_mu_ (rank kSvcLease) around it would invert
   // the lock order the validator enforces.
@@ -410,6 +519,83 @@ void MetaService::HandleSnapRelease(const rpc::Frame& req, rpc::Frame* resp) {
     leases_.erase(lease.lease_id);
   }
   set_result(resp, db::Status());
+}
+
+// ---- replication (follower role) --------------------------------------------
+
+void MetaService::HandleReplAppend(const rpc::Frame& req, rpc::Frame* resp) {
+  if (RejectStaleEpoch(req, resp)) return;
+  rpc::ReplBatch batch;
+  db::Status s = rpc::decode_repl_batch(req.payload, &batch);
+  if (!s.ok()) {
+    set_result(resp, s);
+    return;
+  }
+  std::uint64_t frontier = store_->LatestSequence();
+  if (!batch.ops.empty()) {
+    std::vector<db::ReplicatedOp> ops;
+    ops.reserve(batch.ops.size());
+    for (rpc::ReplOp& op : batch.ops) {
+      db::ReplicatedOp r;
+      r.is_insert = op.is_insert;
+      r.is_noop = op.is_noop;
+      r.seq = op.seq;
+      r.file = std::move(op.file);
+      r.name = std::move(op.name);
+      ops.push_back(std::move(r));
+    }
+    s = store_->ApplyReplicated(ops, &frontier);
+    if (!s.ok()) {
+      set_result(resp, s);  // store errors map to kUnavailable, not a depose
+      return;
+    }
+  }
+  // The sync flag latches: from the primary's mouth, this replica's
+  // frontier now covers every acked write, so it is promotion-eligible.
+  if (batch.sync_engaged) ready_.store(true, std::memory_order_release);
+  rpc::ReplStatus st;
+  st.frontier = frontier;
+  st.ready = ready_.load(std::memory_order_acquire);
+  resp->status = db::StatusCode::kOk;
+  resp->payload.clear();
+  rpc::encode_repl_status(st, &resp->payload);
+}
+
+void MetaService::HandleReplFrontier(rpc::Frame* resp) {
+  // The promotion scan's probe. No epoch check: reading the frontier is
+  // harmless from anyone, and the manager may legitimately probe with an
+  // older map in hand.
+  rpc::ReplStatus st;
+  st.frontier = store_->LatestSequence();
+  st.ready = ready_.load(std::memory_order_acquire);
+  resp->status = db::StatusCode::kOk;
+  resp->payload.clear();
+  rpc::encode_repl_status(st, &resp->payload);
+}
+
+void MetaService::HandleReplBootstrap(const rpc::Frame& req,
+                                      rpc::Frame* resp) {
+  if (RejectStaleEpoch(req, resp)) return;
+  rpc::ReplBootstrap boot;
+  db::Status s = rpc::decode_repl_bootstrap(req.payload, &boot);
+  if (!s.ok()) {
+    set_result(resp, s);
+    return;
+  }
+  // LoadBootstrap enforces the empty-store precondition itself (a stale
+  // replica must be wiped and reopened by the cluster, never overwritten).
+  s = store_->LoadBootstrap(boot.seq, boot.files);
+  if (!s.ok()) {
+    set_result(resp, s);
+    return;
+  }
+  ready_.store(false, std::memory_order_release);  // not caught up yet
+  rpc::ReplStatus st;
+  st.frontier = store_->LatestSequence();
+  st.ready = false;
+  resp->status = db::StatusCode::kOk;
+  resp->payload.clear();
+  rpc::encode_repl_status(st, &resp->payload);
 }
 
 }  // namespace smartstore::svc

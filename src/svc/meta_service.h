@@ -54,6 +54,16 @@ namespace smartstore::svc {
 
 struct MetaServiceOptions {
   std::uint32_t shard_id = 0;
+  /// This endpoint's NODE id in a replicated topology (a logical shard is
+  /// served by several nodes; only the map's primary node accepts keyed
+  /// requests). kNodeIsShard keeps the legacy one-node-per-shard identity.
+  static constexpr std::uint32_t kNodeIsShard =
+      static_cast<std::uint32_t>(-1);
+  std::uint32_t node_id = kNodeIsShard;
+  /// Ack-barrier bound: how long a keyed mutation may wait for the
+  /// follower's durable ack before answering kTimeout (the client retries
+  /// with the same id; the write is NOT acked).
+  std::uint64_t repl_ack_timeout_ms = 2'000;
   /// Dedup entries retained (FIFO eviction of completed entries). Sized to
   /// cover every in-flight-or-recently-acked request across all clients;
   /// an evicted entry degrades to the store-level idempotence path.
@@ -66,6 +76,8 @@ struct MetaServiceOptions {
   /// then advance past a crashed client's pin.
   std::uint64_t snapshot_lease_ttl_ms = 10'000;
 };
+
+class ReplicationSender;
 
 class MetaService {
  public:
@@ -82,8 +94,26 @@ class MetaService {
     return [this](const rpc::Frame& req) { return Handle(req); };
   }
 
-  const PartitionMap& map() const { return map_; }
+  /// Attaches (or, with nullptr, detaches) the primary-role replication
+  /// sender: every keyed mutation then blocks on WaitDurable before its
+  /// response leaves — "acked" means durable on both replicas in sync
+  /// mode. The sender must outlive the service or be detached first.
+  void set_replication(ReplicationSender* sender) {
+    sender_.store(sender, std::memory_order_release);
+  }
+
+  /// Adopts `map` if its version is newer than the installed one (the
+  /// failover manager pushes post-promotion maps through this).
+  void InstallMap(PartitionMap map);
+
+  PartitionMap map() const;  ///< copy of the installed map
   std::uint32_t shard_id() const { return options_.shard_id; }
+  std::uint32_t node_id() const { return options_.node_id; }
+
+  /// Promotion eligibility (followers): latched true when a kReplAppend
+  /// batch arrives with the sync flag — the primary's statement that this
+  /// replica's frontier covers every acked write.
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
 
  private:
   /// A published (or pending) response for one request id.
@@ -125,19 +155,48 @@ class MetaService {
   void HandleStats(rpc::Frame* resp);
   void HandleSnapPin(rpc::Frame* resp);
   void HandleSnapRelease(const rpc::Frame& req, rpc::Frame* resp);
+  void HandleReplAppend(const rpc::Frame& req, rpc::Frame* resp);
+  void HandleReplFrontier(rpc::Frame* resp);
+  void HandleReplBootstrap(const rpc::Frame& req, rpc::Frame* resp);
 
   /// Upsert: replace-on-exists so a replayed Put converges.
   db::Status ApplyPut(const metadata::FileMetadata& file);
   /// Idempotent delete: already-absent is success.
   db::Status ApplyDelete(const std::string& name);
 
-  /// True (and fills the kWrongShard response) when this shard does not
-  /// own `name` under the current map.
+  /// The ack barrier: with a replication sender attached, blocks until the
+  /// store's latest seq is durable on the follower (or degraded-acks).
+  /// Without one, returns OK immediately.
+  db::Status AckDurable();
+
+  /// True (and fills the kWrongShard response) when this NODE must not
+  /// serve `name` under the current map: the owning shard is different, or
+  /// this node is not that shard's primary (a follower redirects writers
+  /// to the promoted/current primary the same way a stale shard does).
   bool RejectWrongShard(const std::string& name, rpc::Frame* resp);
 
+  /// True (and fills a kFailedPrecondition response) when a replication
+  /// frame carries an epoch older than the installed map's — the sender is
+  /// a deposed primary and must never be applied or acked.
+  bool RejectStaleEpoch(const rpc::Frame& req, rpc::Frame* resp);
+
+  /// True (and fills the kWrongShard response) when this node is not its
+  /// shard's primary under the installed map — scatter reads and snapshot
+  /// pins on a follower would serve a lagging view.
+  bool RejectNotPrimary(rpc::Frame* resp);
+
   db::Store* const store_;
-  const PartitionMap map_;  ///< immutable: ownership changes ship a new map
   const MetaServiceOptions options_;
+
+  /// The installed partition map. Mutable since failover: promotion ships
+  /// a higher-version/higher-epoch map that every surviving node adopts.
+  mutable util::SharedMutex map_mu_{util::LockRank::kSvcMap};
+  PartitionMap map_ SS_GUARDED_BY(map_mu_);
+
+  /// Primary-role replication sender (null when unreplicated/follower).
+  std::atomic<ReplicationSender*> sender_{nullptr};
+  /// Follower-role promotion eligibility (see ready()).
+  std::atomic<bool> ready_{false};
 
   /// One held shard snapshot per outstanding lease. The db::Snapshot is
   /// the pin: while it lives, tombstone GC cannot advance past its seq.

@@ -22,6 +22,25 @@ PartitionMap PartitionMap::RoundRobin(std::uint32_t num_shards,
   return map;
 }
 
+PartitionMap PartitionMap::Replicated(std::uint32_t num_shards,
+                                      std::uint32_t replication_factor,
+                                      std::uint64_t version) {
+  PartitionMap map = RoundRobin(num_shards, version);
+  const std::uint32_t rf = replication_factor == 0 ? 1 : replication_factor;
+  map.epoch = 1;
+  map.num_nodes = map.num_shards * rf;
+  map.shard_primary.resize(map.num_shards);
+  map.shard_replicas.resize(map.num_shards);
+  for (std::uint32_t s = 0; s < map.num_shards; ++s) {
+    map.shard_primary[s] = s * rf;  // replica 0 starts as primary
+    map.shard_replicas[s].resize(rf);
+    for (std::uint32_t r = 0; r < rf; ++r) {
+      map.shard_replicas[s][r] = s * rf + r;
+    }
+  }
+  return map;
+}
+
 std::uint32_t PartitionMap::bucket_of(std::string_view filename) {
   const std::string_view key = partition_key(filename);
   // FNV-1a, 64-bit: cheap, deterministic across platforms, and good
@@ -40,6 +59,23 @@ bool PartitionMap::valid() const {
   for (const std::uint32_t owner : bucket_owner) {
     if (owner >= num_shards) return false;
   }
+  // Legacy (unreplicated) maps carry no replica-set fields at all.
+  if (num_nodes == 0) {
+    return shard_primary.empty() && shard_replicas.empty();
+  }
+  if (num_nodes < num_shards) return false;
+  if (shard_primary.size() != num_shards) return false;
+  if (shard_replicas.size() != num_shards) return false;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    if (shard_primary[s] >= num_nodes) return false;
+    if (shard_replicas[s].empty()) return false;
+    bool primary_listed = false;
+    for (const std::uint32_t node : shard_replicas[s]) {
+      if (node >= num_nodes) return false;
+      if (node == shard_primary[s]) primary_listed = true;
+    }
+    if (!primary_listed) return false;
+  }
   return true;
 }
 
@@ -50,6 +86,18 @@ void encode_partition_map(const PartitionMap& map,
   w.write_u32(map.num_shards);
   w.write_u64(map.bucket_owner.size());
   for (const std::uint32_t owner : map.bucket_owner) w.write_u32(owner);
+  // v3 replica-set tail — appended so a legacy decoder (which stops at the
+  // owners) and a legacy encoder (whose output simply ends here) both
+  // interop; the decoder gates on remaining().
+  w.write_u64(map.epoch);
+  w.write_u32(map.num_nodes);
+  w.write_u64(map.shard_primary.size());
+  for (const std::uint32_t node : map.shard_primary) w.write_u32(node);
+  w.write_u64(map.shard_replicas.size());
+  for (const auto& replicas : map.shard_replicas) {
+    w.write_u64(replicas.size());
+    for (const std::uint32_t node : replicas) w.write_u32(node);
+  }
   out->insert(out->end(), w.buffer().begin(), w.buffer().end());
 }
 
@@ -63,6 +111,27 @@ db::Status decode_partition_map(const std::vector<std::uint8_t>& in,
     const std::uint64_t n = r.read_u64_max(kNumBuckets, "bucket count");
     map.bucket_owner.resize(n);
     for (std::uint64_t i = 0; i < n; ++i) map.bucket_owner[i] = r.read_u32();
+    if (r.remaining() > 0) {  // v3 replica-set tail
+      map.epoch = r.read_u64();
+      map.num_nodes = r.read_u32();
+      const std::uint64_t np =
+          r.read_u64_max(map.num_shards, "primary count");
+      map.shard_primary.resize(np);
+      for (std::uint64_t i = 0; i < np; ++i) {
+        map.shard_primary[i] = r.read_u32();
+      }
+      const std::uint64_t ns =
+          r.read_u64_max(map.num_shards, "replica-set count");
+      map.shard_replicas.resize(ns);
+      for (std::uint64_t i = 0; i < ns; ++i) {
+        const std::uint64_t nr =
+            r.read_u64_max(map.num_nodes, "replica count");
+        map.shard_replicas[i].resize(nr);
+        for (std::uint64_t j = 0; j < nr; ++j) {
+          map.shard_replicas[i][j] = r.read_u32();
+        }
+      }
+    }
     if (!map.valid()) {
       return db::Status::Corruption("partition map fails validation");
     }

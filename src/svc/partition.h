@@ -44,19 +44,58 @@ struct PartitionMap {
   std::uint32_t num_shards = 0;
   std::vector<std::uint32_t> bucket_owner;  ///< size kNumBuckets
 
+  // ---- replica sets (v3 wire extension; absent on legacy maps) ----------
+  //
+  // A LOGICAL SHARD (what bucket_owner names) is served by a replica set
+  // of NODES (transport endpoints). `shard_primary[s]` is the node
+  // currently serving shard s's writes; `shard_replicas[s]` lists every
+  // node holding a copy (primary included). The EPOCH is the failover
+  // generation: promotion bumps it (along with version), and replication
+  // frames from a lower epoch are from a deposed primary — rejected.
+  // Legacy maps leave these empty: node i == shard i, epoch 0.
+
+  std::uint64_t epoch = 0;    ///< failover generation; 0 = unreplicated
+  std::uint32_t num_nodes = 0;  ///< 0 = legacy (== num_shards)
+  std::vector<std::uint32_t> shard_primary;  ///< size num_shards when set
+  std::vector<std::vector<std::uint32_t>> shard_replicas;  ///< ditto
+
   /// Buckets dealt round-robin across `num_shards` — the bootstrap layout.
   static PartitionMap RoundRobin(std::uint32_t num_shards,
+                                 std::uint64_t version = 1);
+
+  /// The replicated bootstrap layout: `replication_factor` nodes per
+  /// logical shard (node id = shard * rf + replica; replica 0 primary),
+  /// epoch 1.
+  static PartitionMap Replicated(std::uint32_t num_shards,
+                                 std::uint32_t replication_factor,
                                  std::uint64_t version = 1);
 
   /// FNV-1a of the partition key, folded onto the bucket ring.
   static std::uint32_t bucket_of(std::string_view filename);
 
-  /// The shard owning `filename` under this map.
+  /// The LOGICAL shard owning `filename` under this map.
   std::uint32_t shard_of(std::string_view filename) const {
     return bucket_owner[bucket_of(filename)];
   }
 
-  /// A map is usable when every bucket names a shard below num_shards.
+  /// Transport endpoints in this topology (== num_shards on legacy maps).
+  std::uint32_t node_count() const {
+    return num_nodes != 0 ? num_nodes : num_shards;
+  }
+
+  /// The node serving shard `s`'s writes (node s itself on legacy maps).
+  std::uint32_t primary_node_of(std::uint32_t s) const {
+    return s < shard_primary.size() ? shard_primary[s] : s;
+  }
+
+  /// Replica nodes of shard `s` (just the primary on legacy maps).
+  std::vector<std::uint32_t> replicas_of(std::uint32_t s) const {
+    if (s < shard_replicas.size()) return shard_replicas[s];
+    return {primary_node_of(s)};
+  }
+
+  /// A map is usable when every bucket names a shard below num_shards and
+  /// the replica-set fields (when present) are internally consistent.
   bool valid() const;
 };
 

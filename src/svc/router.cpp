@@ -36,7 +36,47 @@ void Router::Backoff(int attempt) const {
   std::uint64_t us = static_cast<std::uint64_t>(options_.backoff_init_us)
                      << shift;
   us = std::min<std::uint64_t>(us, options_.backoff_max_us);
-  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+  if (us == 0) return;
+  // Jitter the sleep into [us/2, us]: clients that failed together (one
+  // node died under all of them) must not retry in lockstep, or every
+  // backoff round re-delivers the same synchronized burst. Splitmix64
+  // over an atomic counter — deterministic per process, lock-free.
+  std::uint64_t z = jitter_state_.fetch_add(0x9e3779b97f4a7c15ull,
+                                            std::memory_order_relaxed);
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ull;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  const std::uint64_t floor_us = us / 2;
+  if (us > floor_us) us = floor_us + z % (us - floor_us + 1);
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+bool Router::SpendRetry() {
+  if (options_.retry_budget != 0) {
+    const std::uint64_t used =
+        retries_spent_.fetch_add(1, std::memory_order_relaxed);
+    if (used >= options_.retry_budget) return false;
+  }
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Router::TryRefreshMap() {
+  // One direct probe per node, no retry loop (this runs INSIDE retry
+  // loops): during a failover the dead primary cannot teach us the new
+  // map, but any survivor can — the manager installs it everywhere.
+  for (std::uint32_t node = 0; node < channels_.size(); ++node) {
+    rpc::Frame req;
+    req.type = rpc::MsgType::kRequest;
+    req.method = rpc::Method::kGetMap;
+    req.shard = node;
+    rpc::Frame resp;
+    if (!channels_[node]->Call(req, &resp).ok()) continue;
+    if (resp.status != db::StatusCode::kOk) continue;
+    MaybeInstallMap(resp.payload);
+  }
 }
 
 std::uint32_t Router::ShardOf(const std::string& key) const {
@@ -54,10 +94,16 @@ RouterStats Router::stats() const {
   s.sends = sends_.load(std::memory_order_relaxed);
   s.retries = retries_.load(std::memory_order_relaxed);
   s.redirects = redirects_.load(std::memory_order_relaxed);
+  s.gave_up = gave_up_.load(std::memory_order_relaxed);
   s.map_installs = map_installs_.load(std::memory_order_relaxed);
   s.snapshot_pins = snapshot_pins_.load(std::memory_order_relaxed);
   s.unpinned_scatters = unpinned_scatters_.load(std::memory_order_relaxed);
   return s;
+}
+
+std::uint32_t Router::num_shards() const {
+  const util::ReaderLock lock(map_mu_);
+  return map_.num_shards;
 }
 
 void Router::MaybeInstallMap(const std::vector<std::uint8_t>& encoded) {
@@ -81,18 +127,20 @@ db::Status Router::CallKeyed(rpc::Method method, const std::string& key,
   int redirects = 0;
   for (int attempt = 0; attempt < options_.max_attempts;) {
     std::uint32_t shard;
+    std::uint32_t node;
     std::uint64_t map_version;
     {
       // Copy the routing decision out — no router lock across a Call.
       const util::ReaderLock lock(map_mu_);
       shard = map_.shard_of(key);
+      node = map_.primary_node_of(shard);
       map_version = map_.version;
     }
-    if (shard >= channels_.size()) {
+    if (node >= channels_.size()) {
       return db::Status::InvalidArgument(
-          "partition map names shard " + std::to_string(shard) +
-          " but the router has " + std::to_string(channels_.size()) +
-          " channels");
+          "partition map routes shard " + std::to_string(shard) +
+          " to node " + std::to_string(node) + " but the router has " +
+          std::to_string(channels_.size()) + " channels");
     }
     rpc::Frame req;
     req.type = rpc::MsgType::kRequest;
@@ -105,11 +153,14 @@ db::Status Router::CallKeyed(rpc::Method method, const std::string& key,
 
     sends_.fetch_add(1, std::memory_order_relaxed);
     rpc::Frame r;
-    const db::Status sent = channels_[shard]->Call(req, &r);
+    const db::Status sent = channels_[node]->Call(req, &r);
     if (!sent.ok()) {
       last = sent;
-      retries_.fetch_add(1, std::memory_order_relaxed);
+      if (!SpendRetry()) break;
       Backoff(attempt);
+      // The node we were told to use is not answering — maybe a failover
+      // already re-homed the shard. Ask the survivors before re-sending.
+      TryRefreshMap();
       ++attempt;
       continue;
     }
@@ -117,31 +168,47 @@ db::Status Router::CallKeyed(rpc::Method method, const std::string& key,
       redirects_.fetch_add(1, std::memory_order_relaxed);
       MaybeInstallMap(r.payload);
       if (++redirects > max_redirects) {
+        gave_up_.fetch_add(1, std::memory_order_relaxed);
         return db::Status::Unavailable(
             "redirect loop: shards disagree with every map version the "
             "router can obtain");
       }
-      continue;  // immediate re-route under the refreshed map
+      {
+        // Re-route immediately only when the bounce changed the routing
+        // decision; otherwise (the bouncer's map is older than ours — a
+        // node that has not yet learned of a promotion) spinning on the
+        // same target is pointless: back off and probe for a newer map.
+        const util::ReaderLock lock(map_mu_);
+        if (map_.primary_node_of(map_.shard_of(key)) != node) continue;
+      }
+      last = frame_status(r);
+      if (!SpendRetry()) break;
+      Backoff(attempt);
+      TryRefreshMap();
+      ++attempt;
+      continue;
     }
     if (retryable(r.status)) {
       last = frame_status(r);
-      retries_.fetch_add(1, std::memory_order_relaxed);
+      if (!SpendRetry()) break;
       Backoff(attempt);
+      TryRefreshMap();
       ++attempt;
       continue;
     }
     *resp = std::move(r);
     return db::Status();
   }
+  gave_up_.fetch_add(1, std::memory_order_relaxed);
   return last;
 }
 
-db::Status Router::CallShard(std::uint32_t shard, rpc::Method method,
-                             std::vector<std::uint8_t> payload,
-                             rpc::Frame* resp) {
-  if (shard >= channels_.size()) {
-    return db::Status::InvalidArgument("no channel for shard " +
-                                       std::to_string(shard));
+db::Status Router::CallNode(std::uint32_t node, rpc::Method method,
+                            std::vector<std::uint8_t> payload,
+                            rpc::Frame* resp) {
+  if (node >= channels_.size()) {
+    return db::Status::InvalidArgument("no channel for node " +
+                                       std::to_string(node));
   }
   const std::uint64_t seq = NextSeq();
   db::Status last = db::Status::Unavailable("no attempt made");
@@ -149,7 +216,7 @@ db::Status Router::CallShard(std::uint32_t shard, rpc::Method method,
     rpc::Frame req;
     req.type = rpc::MsgType::kRequest;
     req.method = method;
-    req.shard = shard;
+    req.shard = node;
     req.client_id = options_.client_id;
     req.seq = seq;
     {
@@ -160,22 +227,101 @@ db::Status Router::CallShard(std::uint32_t shard, rpc::Method method,
 
     sends_.fetch_add(1, std::memory_order_relaxed);
     rpc::Frame r;
-    const db::Status sent = channels_[shard]->Call(req, &r);
+    const db::Status sent = channels_[node]->Call(req, &r);
     if (!sent.ok()) {
       last = sent;
-      retries_.fetch_add(1, std::memory_order_relaxed);
+      if (!SpendRetry()) break;
       Backoff(attempt);
       continue;
     }
     if (retryable(r.status)) {
       last = frame_status(r);
-      retries_.fetch_add(1, std::memory_order_relaxed);
+      if (!SpendRetry()) break;
       Backoff(attempt);
       continue;
     }
     *resp = std::move(r);
     return db::Status();
   }
+  gave_up_.fetch_add(1, std::memory_order_relaxed);
+  return last;
+}
+
+db::Status Router::CallShard(std::uint32_t shard, rpc::Method method,
+                             std::vector<std::uint8_t> payload,
+                             rpc::Frame* resp) {
+  const std::uint64_t seq = NextSeq();
+  db::Status last = db::Status::Unavailable("no attempt made");
+  const int max_redirects = static_cast<int>(channels_.size()) * 2 + 4;
+  int redirects = 0;
+  for (int attempt = 0; attempt < options_.max_attempts;) {
+    std::uint32_t node;
+    std::uint64_t map_version;
+    {
+      const util::ReaderLock lock(map_mu_);
+      node = map_.primary_node_of(shard);
+      map_version = map_.version;
+    }
+    if (node >= channels_.size()) {
+      return db::Status::InvalidArgument(
+          "partition map routes shard " + std::to_string(shard) +
+          " to node " + std::to_string(node) + " but the router has " +
+          std::to_string(channels_.size()) + " channels");
+    }
+    rpc::Frame req;
+    req.type = rpc::MsgType::kRequest;
+    req.method = method;
+    req.shard = shard;
+    req.client_id = options_.client_id;
+    req.seq = seq;
+    req.map_version = map_version;
+    req.payload = payload;
+
+    sends_.fetch_add(1, std::memory_order_relaxed);
+    rpc::Frame r;
+    const db::Status sent = channels_[node]->Call(req, &r);
+    if (!sent.ok()) {
+      last = sent;
+      if (!SpendRetry()) break;
+      Backoff(attempt);
+      TryRefreshMap();  // a survivor may know the shard's new primary
+      ++attempt;
+      continue;
+    }
+    if (r.status == db::StatusCode::kWrongShard) {
+      // A follower (or a node mid-handover) bounced us: adopt its map and
+      // re-resolve the primary. When that changes the target node, retry
+      // here; when it does not, the disagreement is about bucket
+      // OWNERSHIP, not node role — hand the frame to the caller (Write
+      // re-splits its slice by key under the refreshed map, which a
+      // fixed-shard loop cannot do).
+      redirects_.fetch_add(1, std::memory_order_relaxed);
+      MaybeInstallMap(r.payload);
+      if (++redirects > max_redirects) {
+        gave_up_.fetch_add(1, std::memory_order_relaxed);
+        return db::Status::Unavailable(
+            "redirect loop: shard " + std::to_string(shard) +
+            " has no agreed primary under any obtainable map");
+      }
+      {
+        const util::ReaderLock lock(map_mu_);
+        if (map_.primary_node_of(shard) != node) continue;
+      }
+      *resp = std::move(r);
+      return db::Status();
+    }
+    if (retryable(r.status)) {
+      last = frame_status(r);
+      if (!SpendRetry()) break;
+      Backoff(attempt);
+      TryRefreshMap();
+      ++attempt;
+      continue;
+    }
+    *resp = std::move(r);
+    return db::Status();
+  }
+  gave_up_.fetch_add(1, std::memory_order_relaxed);
   return last;
 }
 
@@ -271,7 +417,10 @@ db::StatusOr<db::QueryResult> Router::Scatter(
         encode) {
   db::QueryResult merged;
   merged.kind = kind;
-  for (std::uint32_t shard = 0; shard < channels_.size(); ++shard) {
+  // Scatter covers every LOGICAL shard (each slice lands on the shard's
+  // current primary) — not every channel: followers hold lagging copies.
+  const std::uint32_t n = num_shards();
+  for (std::uint32_t shard = 0; shard < n; ++shard) {
     std::vector<std::uint8_t> payload;
     encode(shard, &payload);
     rpc::Frame resp;
@@ -359,8 +508,9 @@ db::StatusOr<db::QueryResult> Router::TopK(const metadata::TopKQuery& query,
 
 db::StatusOr<ClusterSnapshot> Router::PinSnapshot() {
   ClusterSnapshot snap;
-  snap.leases.resize(channels_.size());
-  for (std::uint32_t shard = 0; shard < channels_.size(); ++shard) {
+  const std::uint32_t n = num_shards();
+  snap.leases.resize(n);
+  for (std::uint32_t shard = 0; shard < n; ++shard) {
     rpc::Frame resp;
     db::Status s = CallShard(shard, rpc::Method::kSnapPin, {}, &resp);
     if (s.ok()) s = frame_status(resp);
@@ -380,7 +530,7 @@ db::StatusOr<ClusterSnapshot> Router::PinSnapshot() {
 db::Status Router::ReleaseSnapshot(const ClusterSnapshot& snapshot) {
   db::Status first_error;
   const std::uint32_t n = static_cast<std::uint32_t>(
-      std::min<std::size_t>(snapshot.leases.size(), channels_.size()));
+      std::min<std::size_t>(snapshot.leases.size(), num_shards()));
   for (std::uint32_t shard = 0; shard < n; ++shard) {
     if (snapshot.leases[shard].lease_id == 0) continue;  // never pinned
     std::vector<std::uint8_t> payload;
@@ -397,7 +547,8 @@ db::Status Router::ReleaseSnapshot(const ClusterSnapshot& snapshot) {
 // ---- control ----------------------------------------------------------------
 
 db::Status Router::Flush() {
-  for (std::uint32_t shard = 0; shard < channels_.size(); ++shard) {
+  const std::uint32_t n = num_shards();
+  for (std::uint32_t shard = 0; shard < n; ++shard) {
     rpc::Frame resp;
     db::Status s = CallShard(shard, rpc::Method::kFlush, {}, &resp);
     if (!s.ok()) return s;
@@ -408,10 +559,11 @@ db::Status Router::Flush() {
 }
 
 db::Status Router::FetchMap() {
-  db::Status last = db::Status::Unavailable("no shards");
-  for (std::uint32_t shard = 0; shard < channels_.size(); ++shard) {
+  // Every NODE serves kGetMap (followers included) — ask each in turn.
+  db::Status last = db::Status::Unavailable("no nodes");
+  for (std::uint32_t node = 0; node < channels_.size(); ++node) {
     rpc::Frame resp;
-    db::Status s = CallShard(shard, rpc::Method::kGetMap, {}, &resp);
+    db::Status s = CallNode(node, rpc::Method::kGetMap, {}, &resp);
     if (!s.ok()) {
       last = s;
       continue;

@@ -60,6 +60,11 @@ struct RouterOptions {
   int max_attempts = 8;
   std::uint32_t backoff_init_us = 100;
   std::uint32_t backoff_max_us = 50'000;
+  /// Router-wide retry budget: total retries this router may spend across
+  /// ALL operations (0 = unlimited). Once exhausted, retryable failures
+  /// surface immediately — a saturating brake on retry storms during an
+  /// outage, so callers fail fast instead of amplifying the load.
+  std::uint64_t retry_budget = 0;
 };
 
 /// Client-side accounting (monotonic; read with stats()).
@@ -67,6 +72,7 @@ struct RouterStats {
   std::uint64_t sends = 0;      ///< frames put on a channel
   std::uint64_t retries = 0;    ///< re-sends after kUnavailable/kTimeout
   std::uint64_t redirects = 0;  ///< kWrongShard re-routes
+  std::uint64_t gave_up = 0;    ///< ops that exhausted attempts or budget
   std::uint64_t map_installs = 0;  ///< newer maps adopted from responses
   std::uint64_t snapshot_pins = 0;     ///< cluster-wide pin rounds completed
   std::uint64_t unpinned_scatters = 0;  ///< scatters that fell back to latest
@@ -87,9 +93,12 @@ struct ClusterSnapshot {
 
 class Router {
  public:
-  /// `channels[k]` reaches shard k. `initial_map` seeds the cache (it may
-  /// be stale or even wrong — redirects correct it); FetchMap() can
-  /// replace it with the authoritative one.
+  /// `channels[k]` reaches NODE k (== shard k on unreplicated maps).
+  /// `initial_map` seeds the cache (it may be stale or even wrong —
+  /// redirects correct it); FetchMap() can replace it with the
+  /// authoritative one. On replicated maps keyed ops and scatter slices
+  /// route to each shard's PRIMARY node, re-resolved per attempt, so a
+  /// promotion redirects traffic as soon as the new map is learned.
   Router(std::vector<std::shared_ptr<rpc::Channel>> channels,
          PartitionMap initial_map, RouterOptions options);
 
@@ -142,9 +151,9 @@ class Router {
 
   PartitionMap map() const;  ///< snapshot of the cached map
   RouterStats stats() const;
-  std::uint32_t num_shards() const {
-    return static_cast<std::uint32_t>(channels_.size());
-  }
+  /// Logical shards under the cached map (== channel count on legacy
+  /// unreplicated maps, where node k is shard k).
+  std::uint32_t num_shards() const;
 
  private:
   /// Fresh request id (client_id fixed, seq monotonic).
@@ -152,16 +161,32 @@ class Router {
     return seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
-  /// The retry loop for one keyed request: route by cached map, send,
-  /// re-route on kWrongShard, back off and resend the SAME id on
-  /// kUnavailable/kTimeout. On success `resp` holds the response frame.
+  /// The retry loop for one keyed request: route by cached map (owner
+  /// shard -> primary node), send, re-route on kWrongShard, back off and
+  /// resend the SAME id on kUnavailable/kTimeout (refreshing the map from
+  /// surviving nodes between attempts — during a failover the dead primary
+  /// cannot teach us the new map). On success `resp` holds the response.
   db::Status CallKeyed(rpc::Method method, const std::string& key,
                        std::vector<std::uint8_t> payload, rpc::Frame* resp);
 
-  /// One un-keyed request to an explicit shard, with the same
+  /// One un-keyed request to an explicit NODE, with the same
   /// backoff/retry loop (no redirect handling — the target is fixed).
+  db::Status CallNode(std::uint32_t node, rpc::Method method,
+                      std::vector<std::uint8_t> payload, rpc::Frame* resp);
+
+  /// One request addressed to a LOGICAL shard: resolves the shard's
+  /// primary node per attempt, follows kWrongShard redirects, refreshes
+  /// the map on unavailability — the shard-level call that survives a
+  /// failover mid-loop.
   db::Status CallShard(std::uint32_t shard, rpc::Method method,
                        std::vector<std::uint8_t> payload, rpc::Frame* resp);
+
+  /// Best-effort map refresh: one kGetMap probe per node (direct, no
+  /// retry loop) installing whatever newer map any survivor advertises.
+  void TryRefreshMap();
+
+  /// True while the router-wide retry budget allows another retry.
+  bool SpendRetry();
 
   /// Sends one scatter query to every shard and merges canonically.
   /// `encode` builds the payload per shard (the as-of token differs).
@@ -187,9 +212,12 @@ class Router {
   std::atomic<std::uint64_t> sends_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> redirects_{0};
+  std::atomic<std::uint64_t> gave_up_{0};
   std::atomic<std::uint64_t> map_installs_{0};
   std::atomic<std::uint64_t> snapshot_pins_{0};
   std::atomic<std::uint64_t> unpinned_scatters_{0};
+  std::atomic<std::uint64_t> retries_spent_{0};  ///< against retry_budget
+  mutable std::atomic<std::uint64_t> jitter_state_{0x9e3779b97f4a7c15ull};
 };
 
 }  // namespace smartstore::svc

@@ -50,6 +50,8 @@ enum class LockRank : int {
   kFreeze = 50,          ///< checkpoint freeze/COW interlock
   kWalShardMap = 52,     ///< sharded-WAL shard-map shape mutex
   kWalShard = 54,        ///< per-shard WAL writer mutexes
+  kReplBuffer = 56,      ///< replication commit-tap reorder buffer (taken
+                         ///< from under a kWalShard mutex by the tap)
   kCluster = 58,         ///< sim::Cluster queue/counter mutex
   // The service tier (src/rpc, src/svc) sits numerically ABOVE every store
   // rank on purpose: a service-tier lock may therefore NEVER be held while
@@ -59,6 +61,7 @@ enum class LockRank : int {
   // and the validator aborts any accidental hold-across-the-facade.
   kRpcRegistry = 60,     ///< in-process transport endpoint registry
   kSvcCluster = 62,      ///< svc::Cluster shard bookkeeping mutex
+  kSvcMap = 63,          ///< MetaService installed-partition-map mutex
   kSvcDedup = 64,        ///< MetaService request-id dedup table + cv
   kSvcLease = 65,        ///< MetaService snapshot-lease table
   kSvcRouter = 66,       ///< Router partition-map cache shared_mutex
@@ -78,9 +81,11 @@ inline const char* lock_rank_name(LockRank r) {
     case LockRank::kFreeze: return "freeze";
     case LockRank::kWalShardMap: return "wal-shard-map";
     case LockRank::kWalShard: return "wal-shard";
+    case LockRank::kReplBuffer: return "repl-buffer";
     case LockRank::kCluster: return "cluster";
     case LockRank::kRpcRegistry: return "rpc-registry";
     case LockRank::kSvcCluster: return "svc-cluster";
+    case LockRank::kSvcMap: return "svc-map";
     case LockRank::kSvcDedup: return "svc-dedup";
     case LockRank::kSvcLease: return "svc-lease";
     case LockRank::kSvcRouter: return "svc-router";

@@ -240,9 +240,15 @@ TEST(Wire, SnapshotLeaseRoundTripAndMethods) {
   EXPECT_EQ(decoded.method, rpc::Method::kSnapPin);
   f.method = rpc::Method::kSnapRelease;
   ASSERT_TRUE(rpc::decode_frame(rpc::encode_frame(f), &decoded).ok());
+  // ...as are the v3 replication methods...
+  f.method = rpc::Method::kReplAppend;
+  ASSERT_TRUE(rpc::decode_frame(rpc::encode_frame(f), &decoded).ok());
+  EXPECT_EQ(decoded.method, rpc::Method::kReplAppend);
+  f.method = rpc::Method::kReplBootstrap;
+  ASSERT_TRUE(rpc::decode_frame(rpc::encode_frame(f), &decoded).ok());
   // ...and one past them is still rejected.
   std::vector<std::uint8_t> raw = rpc::encode_frame(f);
-  raw[7] = static_cast<std::uint8_t>(rpc::Method::kSnapRelease) + 1;
+  raw[7] = static_cast<std::uint8_t>(rpc::Method::kReplBootstrap) + 1;
   EXPECT_EQ(rpc::decode_frame(raw, &decoded).code(),
             db::StatusCode::kCorruption);
 }

@@ -827,6 +827,77 @@ TEST(MetaService, SnapshotLeaseCapacityAndTtl) {
   EXPECT_EQ(service.Handle(pin).status, db::StatusCode::kOk);
 }
 
+// A node that crashes while its clients hold snapshot leases leaves torn
+// leases on the SURVIVING shards (the pin round's release never reaches
+// them). Those must not pin the GC watermark forever: the TTL sweep
+// reclaims them without any operator action.
+TEST(Svc, CrashedClusterPinIsSweptByTtl) {
+  svc::ClusterOptions co = in_memory_cluster(2);
+  co.snapshot_lease_capacity = 1;  // one slot: a leaked lease is observable
+  co.snapshot_lease_ttl_ms = 150;
+  auto cluster = start_or_die(co);
+
+  // An impatient router: lease-table-full is kUnavailable, and we want to
+  // observe it rather than have the retry loop wait out the TTL for us.
+  svc::RouterOptions ro;
+  ro.client_id = 1;
+  ro.max_attempts = 2;
+  ro.backoff_init_us = 10;
+  ro.backoff_max_us = 50;
+  svc::Router router(cluster->ConnectAll(), cluster->map(), ro);
+
+  for (std::uint64_t id = 0; id < 10; ++id) {
+    ASSERT_TRUE(router.Put(make_file(id)).ok());
+  }
+  auto pinned = router.PinSnapshot();
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+
+  // Shard 0 dies and comes back with an empty lease table; shard 1 still
+  // holds the torn lease — the cluster-wide pin can never be released.
+  ASSERT_TRUE(cluster->Crash(0).ok());
+  ASSERT_TRUE(cluster->Restart(0).ok());
+
+  // The torn lease occupies shard 1's only slot, so a fresh pin fails...
+  auto refused = router.PinSnapshot();
+  EXPECT_FALSE(refused.ok());
+
+  // ...until the TTL sweeps it. No operator, no restart of shard 1.
+  std::this_thread::sleep_for(std::chrono::milliseconds(220));
+  auto swept = router.PinSnapshot();
+  ASSERT_TRUE(swept.ok()) << swept.status().ToString();
+  EXPECT_TRUE(router.ReleaseSnapshot(*swept).ok());
+}
+
+// The router-wide retry budget is a saturating brake: once spent, further
+// retryable failures surface immediately instead of amplifying an outage
+// with backoff storms. First attempts stay free, so recovery needs no
+// reset.
+TEST(Svc, RouterRetryBudgetBoundsRetryStorms) {
+  auto cluster = start_or_die(in_memory_cluster(1));
+  svc::RouterOptions ro;
+  ro.client_id = 9;
+  ro.max_attempts = 50;  // per-op bound far above the router-wide budget
+  ro.backoff_init_us = 10;
+  ro.backoff_max_us = 100;
+  ro.retry_budget = 5;
+  svc::Router router(cluster->ConnectAll(), cluster->map(), ro);
+
+  ASSERT_TRUE(router.Put(make_file(0)).ok());
+  ASSERT_TRUE(cluster->Crash(0).ok());
+
+  // Two ops against a dead shard: the first burns the budget, the second
+  // fails fast. Neither gets anywhere near 50 attempts.
+  EXPECT_FALSE(router.Put(make_file(1)).ok());
+  EXPECT_FALSE(router.Put(make_file(2)).ok());
+  const svc::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.gave_up, 2u);
+  EXPECT_LE(stats.retries, 5u);
+
+  // Recovery: first attempts don't draw on the budget at all.
+  ASSERT_TRUE(cluster->Restart(0).ok());
+  EXPECT_TRUE(router.Put(make_file(3)).ok());
+}
+
 // ---- control plane ----------------------------------------------------------
 
 TEST(Svc, PingFlushFetchMap) {
