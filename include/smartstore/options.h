@@ -45,8 +45,13 @@ struct Options {
   /// mutations after the last checkpoint are lost on a crash.
   bool enable_wal = true;
 
-  /// WAL records per group-commit fsync, per shard. 0 = the store's
-  /// version ratio (the paper's Section 4.4 aggregation factor).
+  /// WAL records per group-commit fsync, per shard. 0 = adaptive: each
+  /// shard sizes its own batch from an EWMA of its fsync latency and
+  /// record arrival rate (batch ≈ sync cost / arrival gap, clamped to
+  /// [1, 64]), seeded from the store's version ratio (the paper's
+  /// Section 4.4 aggregation factor) until both estimates warm up.
+  /// Explicit values stay static — crash-injection sweeps that count
+  /// durability boundaries need a deterministic batch size.
   std::size_t group_commit = 0;
 
   /// Background-checkpoint cadence: snapshot the deployment (epoch freeze
@@ -54,6 +59,24 @@ struct Options {
   /// mutations. 0 = checkpoint only on explicit Checkpoint() calls.
   /// Requires enable_wal (the protocol fences against the WAL shards).
   std::size_t checkpoint_every = 0;
+
+  /// Incremental checkpoints (requires enable_wal): the checkpoint
+  /// cadence action becomes a delta CUT — slice each storage unit's WAL
+  /// shard since the last cut into an append-only segment file under
+  /// <path>/ckpt/, publish a manifest chaining the cut onto the base
+  /// image, and rebase the shards. Cold units contribute nothing; a
+  /// wholly cold store cuts for free. Recovery loads base + delta chain
+  /// + WAL tail. With this off, every checkpoint writes a full image
+  /// (the pre-incremental behavior).
+  bool incremental_checkpoints = true;
+
+  /// Fold the delta chain into a fresh base image (background, concurrent
+  /// with serving) once it exceeds this many cuts. 0 = never by length.
+  std::size_t compaction_trigger = 4;
+
+  /// ...or once the chain's segment extents exceed this many bytes.
+  /// 0 = never by bytes. Both 0 = compact only on explicit Compact().
+  std::uint64_t compaction_byte_budget = 64ull << 20;
 
   /// Worker threads backing the background checkpointer's pool.
   std::size_t background_threads = 2;

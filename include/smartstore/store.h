@@ -55,6 +55,10 @@ struct RecoveryInfo {
   std::size_t wal_shards = 0;    ///< shard logs scanned
   bool wal_tail_torn = false;    ///< a torn tail was dropped at a
                                  ///< group-commit boundary
+  bool used_manifest = false;    ///< base came from the delta-chain
+                                 ///< manifest, not a bare snapshot.bin
+  std::size_t delta_cuts = 0;    ///< chain links applied under it
+  std::size_t delta_records = 0; ///< delta records applied before the tail
 };
 
 /// Average per-storage-unit space breakdown (see GetSpaceInfo).
@@ -106,6 +110,15 @@ struct CheckpointInfo {
   double last_write_s = 0;     ///< concurrent serialization
   double last_truncate_s = 0;  ///< per-shard WAL rebase
   std::size_t last_snapshot_bytes = 0;
+  // Incremental mode (Options::incremental_checkpoints):
+  bool last_was_delta = false;      ///< last checkpoint was a delta cut
+  std::uint64_t delta_cuts = 0;     ///< cuts published since Open
+  std::uint64_t delta_folds = 0;    ///< chain folds (compactions) since Open
+  std::uint64_t delta_chain_len = 0;    ///< cuts chained on the current base
+  std::uint64_t delta_chain_bytes = 0;  ///< segment bytes in that chain
+  std::uint64_t last_delta_records = 0;  ///< records the last cut captured
+  std::uint64_t last_delta_units = 0;    ///< units contributing an extent
+  std::uint64_t last_delta_units_cold = 0;  ///< fenced units with nothing new
 };
 
 /// One record of the replication stream: a committed mutation together
@@ -194,10 +207,22 @@ class Store {
   Status Flush();
 
   /// Checkpoints the deployment into the data directory. With a WAL this
-  /// is the background protocol run to completion (freeze → concurrent
-  /// snapshot → per-shard WAL rebase) — serving threads keep running;
-  /// without one it quiesces mutators for a stop-the-world snapshot.
+  /// is the background protocol run to completion — serving threads keep
+  /// running. Under Options::incremental_checkpoints that means a delta
+  /// CUT (per-unit WAL slices appended to segment files, manifest
+  /// published, shards rebased; cold units free); otherwise the full
+  /// freeze → concurrent snapshot → per-shard rebase image. Without a
+  /// WAL it quiesces mutators for a stop-the-world snapshot.
   Status Checkpoint();
+
+  /// Folds the delta chain into a fresh base image, concurrent with
+  /// serving (epoch freeze + copy-on-write), and prunes superseded delta
+  /// files. Runs even when the chain is short — this is the explicit
+  /// "compact now" knob; the background compactor applies
+  /// Options::compaction_trigger / compaction_byte_budget automatically
+  /// after each cut. Falls back to Checkpoint() semantics on stores
+  /// without incremental checkpoints.
+  Status Compact();
 
   // ---- replication -------------------------------------------------------
 

@@ -17,17 +17,21 @@
 #                       of the service tier at 1/2/4/8 shards
 #                       (bench_cluster, concurrent routed clients over
 #                       the in-process transport).
+#   BENCH_scale.json    incremental-checkpoint scale tier (bench_scale):
+#                       delta vs full-image checkpoint bytes at 1% churn,
+#                       recovery time, ingest-during-fold degradation.
 #   BENCH_trajectory.json
 #                       all of the above merged into one document keyed
 #                       by suite, stamped with the git commit — the
 #                       single artifact to diff across PRs.
 #
 #   scripts/bench_report.sh [build-dir] [core-json] [persist-json] [db-json]
-#                           [cluster-json] [trajectory-json]
+#                           [cluster-json] [scale-json] [trajectory-json]
 #
 # Honoured environment: BENCH_REPETITIONS (micro suite), BENCH_SMOKE=1
-# (tiny bench_concurrent sizes for CI smoke runs), BENCH_INSERTS,
-# BENCH_GROUP_COMMIT.
+# (tiny bench_concurrent/bench_scale sizes for CI smoke runs),
+# BENCH_INSERTS, BENCH_GROUP_COMMIT, BENCH_SCALE_FILES (scale-tier size;
+# the nightly CI job sets 1000000).
 set -eu
 
 BUILD_DIR=${1:-build}
@@ -35,7 +39,8 @@ CORE_OUT=${2:-BENCH_core.json}
 PERSIST_OUT=${3:-BENCH_persist.json}
 DB_OUT=${4:-BENCH_db.json}
 CLUSTER_OUT=${5:-BENCH_cluster.json}
-TRAJECTORY_OUT=${6:-BENCH_trajectory.json}
+SCALE_OUT=${6:-BENCH_scale.json}
+TRAJECTORY_OUT=${7:-BENCH_trajectory.json}
 
 if [ ! -d "$BUILD_DIR" ]; then
     echo "bench_report: build dir '$BUILD_DIR' not found — configure first:" >&2
@@ -81,6 +86,15 @@ else
     exit 1
 fi
 
+SCALE="$BUILD_DIR/bench/bench_scale"
+if [ -x "$SCALE" ]; then
+    "$SCALE" --json "$SCALE_OUT"
+    echo "bench_report: wrote $SCALE_OUT"
+else
+    echo "bench_report: $SCALE not built; skipping $SCALE_OUT" >&2
+    exit 1
+fi
+
 # Merge everything that was produced into one trajectory document. Each
 # per-suite file is a complete JSON value, so plain concatenation under a
 # key map yields valid JSON with no parser dependency.
@@ -93,7 +107,7 @@ fi
     printf '  "suites": {\n'
     first=1
     for entry in "core:$CORE_OUT" "persist:$PERSIST_OUT" "db:$DB_OUT" \
-                 "cluster:$CLUSTER_OUT"; do
+                 "cluster:$CLUSTER_OUT" "scale:$SCALE_OUT"; do
         key=${entry%%:*}
         file=${entry#*:}
         [ -f "$file" ] || continue

@@ -63,6 +63,10 @@ struct CliOptions {
   std::string load_dir;
   std::string wal_dir;
   std::size_t bg_checkpoint = 0;  ///< checkpoint every N churn inserts
+  bool full_checkpoints = false;  ///< disable incremental (delta) mode
+  std::size_t compaction_trigger = 4;       ///< fold past N chained cuts
+  std::uint64_t compaction_bytes = 64ull << 20;  ///< ...or N delta bytes
+  bool compact = false;           ///< fold the delta chain before querying
   std::size_t crash_at = 0;       ///< fault-injection point to die at
   bool time_travel = false;       ///< --query-as-of given
   std::uint64_t as_of_seq = 0;    ///< commit seq the query batches scan at
@@ -108,6 +112,16 @@ void usage(const char* argv0) {
       "  --bg-checkpoint N          checkpoint in the background every N\n"
       "                             churn inserts while inserting continues\n"
       "                             (requires --save; the WAL lives there)\n"
+      "  --full-checkpoints         write full snapshot images instead of\n"
+      "                             incremental WAL-delta cuts (the\n"
+      "                             pre-delta behavior)\n"
+      "  --compaction-trigger N     fold the delta chain into a fresh base\n"
+      "                             past N chained cuts (default 4; 0 =\n"
+      "                             never by length)\n"
+      "  --compaction-bytes N       ...or past N chained delta bytes\n"
+      "                             (default 64 MiB; 0 = never by bytes)\n"
+      "  --compact                  fold the whole delta chain into a\n"
+      "                             fresh base image after the churn phase\n"
       "  --crash-at K               kill the K-th persistence write boundary\n"
       "                             (exit 3); recover with --load afterwards\n"
       "  --query-as-of SEQ          time travel: run the query batches as\n"
@@ -228,6 +242,14 @@ CliOptions parse_args(int argc, char** argv) {
       opt.wal_dir = need_value(i++);
     } else if (a == "--bg-checkpoint") {
       opt.bg_checkpoint = parse_size(i++);
+    } else if (a == "--full-checkpoints") {
+      opt.full_checkpoints = true;
+    } else if (a == "--compaction-trigger") {
+      opt.compaction_trigger = parse_size(i++);
+    } else if (a == "--compaction-bytes") {
+      opt.compaction_bytes = parse_size(i++);
+    } else if (a == "--compact") {
+      opt.compact = true;
     } else if (a == "--crash-at") {
       opt.crash_at = parse_size(i++);
     } else if (a == "--query-as-of") {
@@ -398,6 +420,9 @@ int main(int argc, char** argv) {
   options.ingest_threads = opt.ingest_threads;
   options.group_commit = opt.group_commit;
   options.checkpoint_every = opt.bg_checkpoint;
+  options.incremental_checkpoints = !opt.full_checkpoints;
+  options.compaction_trigger = opt.compaction_trigger;
+  options.compaction_byte_budget = opt.compaction_bytes;
   options.crash_at = opt.crash_at;
 
   std::string dir = !opt.load_dir.empty() ? opt.load_dir : opt.save_dir;
@@ -416,12 +441,21 @@ int main(int argc, char** argv) {
 
   const db::RecoveryInfo& rec = store->recovery_info();
   if (rec.recovered) {
-    std::printf("restored : snapshot %s, %zu WAL records replayed "
-                "(%zu blocks, %zu fenced, %zu shards)%s\n",
-                property(*store, "smartstore.snapshot.path").c_str(),
-                rec.wal_records, rec.wal_blocks, rec.wal_fenced,
-                rec.wal_shards,
-                rec.wal_tail_torn ? ", torn tail dropped" : "");
+    if (rec.used_manifest) {
+      std::printf("restored : delta manifest (base + %zu cuts, %zu delta "
+                  "records), %zu WAL records replayed "
+                  "(%zu blocks, %zu fenced, %zu shards)%s\n",
+                  rec.delta_cuts, rec.delta_records, rec.wal_records,
+                  rec.wal_blocks, rec.wal_fenced, rec.wal_shards,
+                  rec.wal_tail_torn ? ", torn tail dropped" : "");
+    } else {
+      std::printf("restored : snapshot %s, %zu WAL records replayed "
+                  "(%zu blocks, %zu fenced, %zu shards)%s\n",
+                  property(*store, "smartstore.snapshot.path").c_str(),
+                  rec.wal_records, rec.wal_blocks, rec.wal_fenced,
+                  rec.wal_shards,
+                  rec.wal_tail_torn ? ", torn tail dropped" : "");
+    }
     if (opt.load_dir.empty()) {
       // --save/--wal hit a directory that already holds a deployment: the
       // saved store wins over the trace flags (a Store owns its
@@ -468,7 +502,24 @@ int main(int argc, char** argv) {
             ck.last_truncate_s * 1e3,
             util::format_bytes(ck.last_snapshot_bytes).c_str());
       }
+      if (ck.delta_cuts > 0 || ck.delta_folds > 0) {
+        std::printf(
+            "delta    : %llu cuts, %llu folds; chain %llu cuts / %s "
+            "(total delta written %s)\n",
+            static_cast<unsigned long long>(ck.delta_cuts),
+            static_cast<unsigned long long>(ck.delta_folds),
+            static_cast<unsigned long long>(ck.delta_chain_len),
+            util::format_bytes(static_cast<std::size_t>(ck.delta_chain_bytes))
+                .c_str(),
+            property(*store, "smartstore.ckpt.delta-total-bytes").c_str());
+      }
     }
+  }
+
+  if (opt.compact && !options.in_memory) {
+    db::Status comp = store->Compact();
+    if (!comp.ok()) die(comp, opt.crash_at);
+    std::printf("compact  : delta chain folded into a fresh base image\n");
   }
 
   if (!opt.save_dir.empty()) {
@@ -477,14 +528,28 @@ int main(int argc, char** argv) {
     // not — either way the published snapshot covers the whole run.
     db::Status cs = store->Checkpoint();
     if (!cs.ok()) die(cs, opt.crash_at);
-    std::printf("snapshot : saved to %s (%s)\n",
-                property(*store, "smartstore.snapshot.path").c_str(),
-                util::format_bytes(static_cast<std::size_t>(std::strtoull(
-                                       property(*store,
-                                                "smartstore.snapshot.bytes")
-                                           .c_str(),
-                                       nullptr, 10)))
-                    .c_str());
+    if (property(*store, "smartstore.ckpt.delta-enabled") == "1") {
+      // Incremental mode: the image lives in ckpt/ (base + delta chain),
+      // not snapshot.bin — report what the final cut actually wrote.
+      const db::CheckpointInfo fin = store->GetCheckpointInfo();
+      std::printf(
+          "snapshot : delta checkpoint in %s/ckpt (chain %llu cuts / %s, "
+          "last cut %llu records)\n",
+          opt.save_dir.c_str(),
+          static_cast<unsigned long long>(fin.delta_chain_len),
+          util::format_bytes(static_cast<std::size_t>(fin.delta_chain_bytes))
+              .c_str(),
+          static_cast<unsigned long long>(fin.last_delta_records));
+    } else {
+      std::printf("snapshot : saved to %s (%s)\n",
+                  property(*store, "smartstore.snapshot.path").c_str(),
+                  util::format_bytes(static_cast<std::size_t>(std::strtoull(
+                                         property(*store,
+                                                  "smartstore.snapshot.bytes")
+                                             .c_str(),
+                                         nullptr, 10)))
+                      .c_str());
+    }
   }
 
   std::printf(

@@ -110,6 +110,27 @@ void SmartStore::end_checkpoint() {
   freeze_.frozen_sync.reset();
 }
 
+void SmartStore::mutation_barrier(const std::function<void()>& fn) {
+  // Exclusive, like begin_checkpoint's cut — every serving thread is
+  // outside its operation — but with no freeze state attached: the delta
+  // checkpoint needs only the instantaneous consistency of the cut, not a
+  // preserved image (its image IS the WAL prefix the fence names).
+  util::WriterLock ex(structure_mu_);
+  if (fn) fn();
+}
+
+std::uint64_t SmartStore::unit_dirty_seq(UnitId u) const {
+  if (u >= unit_dirty_.size() || !unit_dirty_[u]) return 0;
+  return unit_dirty_[u]->load(std::memory_order_acquire);
+}
+
+void SmartStore::mark_unit_dirty(UnitId u, std::uint64_t seq) {
+  if (u >= unit_dirty_.size() || !unit_dirty_[u]) return;
+  // Monotonic by construction: writers hold the unit's lock, and the seq
+  // stamped inside a later critical section is strictly larger.
+  unit_dirty_[u]->store(seq, std::memory_order_release);
+}
+
 bool SmartStore::checkpoint_active() const {
   util::MutexLock lock(freeze_.mu);
   return freeze_.active;
@@ -149,6 +170,9 @@ void SmartStore::rebuild_unit_locks() {
   unit_mu_.resize(units_.size());
   for (auto& mu : unit_mu_)
     if (!mu) mu = std::make_unique<util::Mutex>(util::LockRank::kUnit);
+  unit_dirty_.resize(units_.size());
+  for (auto& d : unit_dirty_)
+    if (!d) d = std::make_unique<std::atomic<std::uint64_t>>(0);
 }
 
 la::Vector SmartStore::std_coords(const FileMetadata& f) const {
@@ -701,6 +725,7 @@ QueryStats SmartStore::insert_file_impl(const FileMetadata& f, double arrival,
     cow_unit(target);
     units_[target].add_file(f, std, seq);
     units_[target].prune_tombstones(gc_watermark());
+    if (forced_seq == kAssignSeq) mark_unit_dirty(target, seq);
   }
   // The group-commit fsync (if the flush hook decides one is due) runs
   // here, off every store lock: it stalls only this shard's writers.
@@ -763,6 +788,7 @@ bool SmartStore::remove_located(UnitId u, FileId id, double now,
     assert(removed.has_value());
     raw = removed->full_vector();
     units_[u].prune_tombstones(gc_watermark());
+    mark_unit_dirty(u, seq);
   }
   if (flushed) flushed(u);
   tree_.on_file_removed(u, raw, &summary_stripes_);

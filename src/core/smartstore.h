@@ -374,6 +374,26 @@ class SmartStore {
   std::uint64_t begin_checkpoint(
       const std::function<void()>& while_frozen = {});
 
+  /// Runs `fn` under the exclusive structure lock: a bounded
+  /// stop-the-world mutation barrier with NO freeze/COW attached. The
+  /// incremental-checkpoint engine cuts each delta inside one — with every
+  /// serving thread excluded, the WAL frontier, the commit seq and the
+  /// per-unit dirty watermarks all describe the same instant, and every
+  /// record stamped before the barrier is in some shard's batch (so the
+  /// frontier commit makes the cut exact). Much cheaper than a full
+  /// freeze: no piece capture, no copy-on-write tax afterwards.
+  void mutation_barrier(const std::function<void()>& fn);
+
+  /// Commit seq of the last fresh-stamped mutation applied to storage
+  /// unit `u` (0 = untouched since build/load). Monotonic per unit,
+  /// updated inside the mutating unit-lock critical section; a
+  /// mutation_barrier therefore observes a consistent vector. Structural
+  /// moves that re-home a record under its ORIGINAL seq do not raise it —
+  /// they are replayed from the structural record, not from a per-unit
+  /// one, which is exactly the "records newer than the last cut"
+  /// semantics the delta checkpoint filters on.
+  std::uint64_t unit_dirty_seq(UnitId u) const;
+
   /// Releases frozen copies; mutations stop paying the copy-on-write tax.
   void end_checkpoint();
 
@@ -690,6 +710,16 @@ class SmartStore {
   /// One mutex per storage unit, parallel to units_ (stable addresses;
   /// reshaped only under the exclusive structure lock).
   mutable std::vector<std::unique_ptr<util::Mutex>> unit_mu_;
+  /// Per-unit dirty watermark, parallel to unit_mu_ (heap-stable for the
+  /// same reason): commit seq of the unit's last fresh-stamped mutation.
+  /// Written under that unit's lock, read by the delta engine inside a
+  /// mutation_barrier (quiesced) or relaxed for introspection.
+  mutable std::vector<std::unique_ptr<std::atomic<std::uint64_t>>>
+      unit_dirty_;
+
+  /// Raises unit `u`'s dirty watermark to `seq` (caller holds the unit's
+  /// lock; monotonic, so a plain store under the lock suffices).
+  void mark_unit_dirty(UnitId u, std::uint64_t seq);
 
   util::Mutex& unit_mutex(UnitId u) const { return *unit_mu_[u]; }
   /// Re-sizes unit_mu_ to match units_ (build, snapshot assembly, unit

@@ -40,8 +40,11 @@
 #include "core/smartstore.h"
 #include "db/lock_file.h"
 #include "persist/bg_checkpoint.h"
+#include "persist/compactor.h"
+#include "persist/delta_checkpoint.h"
 #include "persist/fault.h"
 #include "persist/recovery.h"
+#include "persist/segment.h"
 #include "persist/snapshot.h"
 #include "persist/wal_shard.h"
 #include "util/annotated_mutex.h"
@@ -92,11 +95,15 @@ struct Store::Impl {
   RecoveryInfo recovery;
 
   // Teardown order matters and is encoded in Close(): the checkpointer
-  // references the store, WAL and pool; the WAL holds open shard files.
+  // references the store, WAL and pool; the compactor runs folds through
+  // the delta engine on the pool; the engine references store and WAL;
+  // the WAL holds open shard files.
   std::unique_ptr<core::SmartStore> core;
   std::unique_ptr<persist::ShardedWal> wal;
   std::unique_ptr<util::ThreadPool> pool;
   std::unique_ptr<persist::BackgroundCheckpointer> bg;
+  std::unique_ptr<persist::DeltaEngine> delta;
+  std::unique_ptr<persist::Compactor> compactor;
 
   mutable util::SharedMutex lifecycle_mu{util::LockRank::kLifecycle};
   bool closed SS_GUARDED_BY(lifecycle_mu) = false;
@@ -136,9 +143,25 @@ struct Store::Impl {
             // holds whatever prefix its crash point left.
           }
         }
+        if (compactor) {
+          try {
+            compactor->wait();  // a scheduled fold must not race the WAL
+          } catch (...) {       // abandon below
+          }
+        }
       }
       if (wal) wal->abandon();  // pending batches were never acknowledged
     });
+  }
+
+  /// Creates the delta engine + compactor pair next to an existing
+  /// checkpointer (caller holds ckpt_mu; requires a sharded WAL).
+  void ensure_delta() SS_REQUIRES(ckpt_mu) {
+    if (delta || !opts.incremental_checkpoints) return;
+    delta = std::make_unique<persist::DeltaEngine>(*core, *wal, dir);
+    compactor = std::make_unique<persist::Compactor>(
+        *delta, *pool, opts.compaction_trigger, opts.compaction_byte_budget);
+    bg->set_delta(delta.get(), compactor.get());
   }
 
   /// Creates the background checkpointer on first need — an embedder that
@@ -150,6 +173,7 @@ struct Store::Impl {
     pool = std::make_unique<util::ThreadPool>(opts.background_threads);
     bg = std::make_unique<persist::BackgroundCheckpointer>(*core, dir, *wal,
                                                            *pool);
+    ensure_delta();  // incremental mode rides the same lazy creation
   }
 
   /// Caller holds lifecycle_mu (shared suffices — this never changes the
@@ -182,6 +206,16 @@ struct Store::Impl {
       info.last_write_s = st.write_s;
       info.last_truncate_s = st.truncate_s;
       info.last_snapshot_bytes = st.snapshot_bytes;
+      info.last_was_delta = st.delta;
+      info.last_delta_records = st.delta_records;
+      info.last_delta_units = st.delta_units;
+      info.last_delta_units_cold = st.delta_units_cold;
+      if (delta) {
+        info.delta_cuts = delta->cuts();
+        info.delta_folds = delta->folds();
+        info.delta_chain_len = delta->chain_len();
+        info.delta_chain_bytes = delta->chain_bytes();
+      }
     }
     if (fault) crash();  // outside ckpt_mu (crash() re-acquires it)
     return info;
@@ -308,8 +342,16 @@ struct Store::Impl {
     if (mutations_since_ckpt.load(std::memory_order_relaxed) <
         opts.checkpoint_every)
       return;  // someone else already reset the counter
-    if (bg->trigger())
-      mutations_since_ckpt.store(0, std::memory_order_relaxed);
+    // Coalescing guard: reset the counter whether or not the trigger
+    // landed. A false return means a checkpoint is already in flight,
+    // and its fence will cover (at least) the window that tripped this
+    // cadence — without the reset, EVERY subsequent mutation would find
+    // the counter still over threshold and re-enter this path until the
+    // running checkpoint finished (the note_mutations thundering herd).
+    // The mutations folded away here count toward the in-flight run, not
+    // the next window; at worst the next checkpoint is one period late.
+    bg->trigger();
+    mutations_since_ckpt.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -384,8 +426,12 @@ StatusOr<std::unique_ptr<Store>> Store::Open(const Options& options,
   Status ls = im.lock.Acquire(path);
   if (!ls.ok()) return ls;
 
+  // A delta manifest counts as "a deployment exists": after a fold the
+  // legacy snapshot.bin is pruned and the manifest's base + chain IS the
+  // checkpoint (recover() prefers it whenever present).
   const std::string snap = persist::snapshot_path(path);
-  const bool have_snapshot = std::filesystem::exists(snap, ec);
+  const bool have_snapshot = std::filesystem::exists(snap, ec) ||
+                             persist::manifest_exists(path);
 
   if (have_snapshot && options.error_if_exists) {
     return Status::InvalidArgument("deployment already exists: " + path);
@@ -402,6 +448,9 @@ StatusOr<std::unique_ptr<Store>> Store::Open(const Options& options,
     im.recovery.wal_fenced = rec.wal_fenced;
     im.recovery.wal_shards = rec.wal_shards;
     im.recovery.wal_tail_torn = rec.wal_tail_torn;
+    im.recovery.used_manifest = rec.used_manifest;
+    im.recovery.delta_cuts = rec.delta_cuts;
+    im.recovery.delta_records = rec.delta_records;
   } else {
     if (!options.create_if_missing)
       return Status::NotFound("no snapshot in " + path);
@@ -439,10 +488,14 @@ StatusOr<std::unique_ptr<Store>> Store::Open(const Options& options,
 
   if (options.enable_wal) {
     try {
+      // group_commit == 0 means adaptive sizing: each shard converges on
+      // its own batch from fsync-latency and arrival-rate EWMAs, seeded
+      // from the paper's aggregation factor until the estimates warm up.
       im.wal = std::make_unique<persist::ShardedWal>(
           path, im.core->units().size(),
           options.group_commit > 0 ? options.group_commit
-                                   : im.core->config().version_ratio);
+                                   : im.core->config().version_ratio,
+          /*adaptive=*/options.group_commit == 0);
       // A rebased/reset shard dir restarts its on-disk seq counter; the
       // snapshot remembers the commit frontier, so fresh stamps must start
       // strictly past everything already applied or time-travel reads
@@ -493,6 +546,10 @@ Status Store::Bulkload(const std::vector<metadata::FileMetadata>& files) {
       } else {
         persist::checkpoint(*impl_->core, impl_->dir);
       }
+      // The quiesced checkpoint removed the incremental state (its full
+      // image subsumes every delta); a live engine must not keep chaining
+      // onto a manifest that no longer exists.
+      if (impl_->delta) impl_->delta->invalidate();
     }
     return Status::OK();
   } catch (const persist::FaultInjected& e) {
@@ -805,6 +862,44 @@ Status Store::Checkpoint() {
   }
 }
 
+Status Store::Compact() {
+  {
+    util::ReaderLock lk(impl_->lifecycle_mu);
+    Status gate = impl_->check_serving();
+    if (!gate.ok()) return gate;
+    if (!impl_->durable())
+      return Status::FailedPrecondition("ephemeral store cannot compact");
+    if (impl_->wal && impl_->opts.incremental_checkpoints) {
+      try {
+        const util::MutexLock ck(impl_->ckpt_mu);
+        if (!impl_->deferred_ckpt_error.ok()) {
+          Status s = impl_->deferred_ckpt_error;
+          impl_->deferred_ckpt_error = Status::OK();
+          return s;
+        }
+        impl_->ensure_checkpointer();
+        impl_->bg->wait();  // drain (and surface) any in-flight cut
+        // compact_now waits out a scheduled background fold, then folds
+        // the whole chain into a fresh base on this thread — concurrent
+        // with serving (the engine reuses the epoch-freeze/COW protocol).
+        impl_->compactor->compact_now();
+        impl_->mutations_since_ckpt.store(0, std::memory_order_relaxed);
+        return Status::OK();
+      } catch (const persist::FaultInjected& e) {
+        impl_->crash();  // ckpt_mu was released by the unwind above
+        return Status::FaultInjected(e.what());
+      } catch (const persist::PersistError& e) {
+        return map_persist_error(e);
+      } catch (const std::exception& e) {
+        return Status::Unknown(e.what());
+      }
+    }
+  }
+  // No delta chain to fold (incremental mode off, or no WAL): a full
+  // checkpoint is the compacted state by definition.
+  return Checkpoint();
+}
+
 // ---- replication ------------------------------------------------------------
 
 Status Store::SetCommitTap(CommitTap tap) {
@@ -925,11 +1020,42 @@ StatusOr<std::vector<metadata::FileMetadata>> Store::DumpSnapshot(
   util::ReaderLock lk(impl_->lifecycle_mu);
   Status gate = impl_->check_serving();
   if (!gate.ok()) return gate;
+  Impl& im = *impl_;
+
+  // Incremental stores bootstrap followers from the checkpoint artifacts
+  // instead of a forced full scan of the live structure: take a delta cut
+  // (cheap — only units dirtied since the last cut write anything), then
+  // rebuild the state at that cut OFFLINE from base + chain. The
+  // reconstruction never touches the serving store or its WAL, so live
+  // traffic proceeds untouched while the dump serializes.
+  if (im.wal && im.opts.incremental_checkpoints) {
+    try {
+      std::unique_ptr<core::SmartStore> at_cut;
+      std::uint64_t cut_seq = 0;
+      {
+        const util::MutexLock ck(im.ckpt_mu);
+        im.ensure_checkpointer();
+        im.bg->wait();    // drain: the cut below must own the protocol
+        im.delta->cut();  // everything acked is now in base + chain
+        at_cut = im.delta->reconstruct_at_last_cut(&cut_seq);
+      }
+      if (seq_out) *seq_out = cut_seq;
+      return at_cut->snapshot_dump(cut_seq);
+    } catch (const persist::FaultInjected& e) {
+      im.crash();  // ckpt_mu was released by the unwind above
+      return Status::FaultInjected(e.what());
+    } catch (const std::exception&) {
+      // Any non-crash failure falls back to the live pinned dump below,
+      // which is always a self-consistent bootstrap payload (the delta
+      // path is an optimization that ships exactly the base+chain state).
+    }
+  }
+
   std::uint64_t seq = 0;
-  const std::shared_ptr<void> pin = impl_->core->pin_snapshot(&seq);
+  const std::shared_ptr<void> pin = im.core->pin_snapshot(&seq);
   if (seq_out) *seq_out = seq;
   try {
-    return impl_->core->snapshot_dump(seq);
+    return im.core->snapshot_dump(seq);
   } catch (const std::exception& e) {
     return Status::Unknown(e.what());
   }
@@ -1027,6 +1153,11 @@ bool Store::GetProperty(const std::string& name, std::string* value) {
       }
       return u64(total);
     }
+    if (name == "smartstore.wal.group-commit.effective") {
+      // Adaptive mode: mean of the per-shard EWMA-derived batch targets;
+      // static mode: the configured size. 0 on a store without a WAL.
+      return u64(im.wal ? im.wal->effective_group_commit() : 0);
+    }
     if (name == "smartstore.wal.frontier") {
       if (!im.wal) {
         *value = "";
@@ -1082,6 +1213,10 @@ bool Store::GetProperty(const std::string& name, std::string* value) {
     // Checkpoint properties route through the drain in
     // checkpoint_info_locked (we already hold the shared lock it needs).
     if (name.rfind("smartstore.checkpoints.", 0) == 0) {
+      // Cadence accounting, NOT routed through the drain: tests observe
+      // the coalescing guard without perturbing an in-flight checkpoint.
+      if (name == "smartstore.checkpoints.cadence-pending")
+        return u64(im.mutations_since_ckpt.load(std::memory_order_relaxed));
       const CheckpointInfo info = im.checkpoint_info_locked();
       if (name == "smartstore.checkpoints.completed")
         return u64(info.completed);
@@ -1091,6 +1226,28 @@ bool Store::GetProperty(const std::string& name, std::string* value) {
         return u64(info.total_cow_copies);
       if (name == "smartstore.checkpoints.last-snapshot-bytes")
         return u64(info.last_snapshot_bytes);
+      return false;
+    }
+
+    // Incremental-checkpoint properties: engine atomics, read under
+    // ckpt_mu only to order against the engine's lazy creation.
+    if (name.rfind("smartstore.ckpt.", 0) == 0) {
+      const util::MutexLock ck(im.ckpt_mu);
+      const persist::DeltaEngine* eng = im.delta.get();
+      if (name == "smartstore.ckpt.delta-enabled")
+        return u64(im.wal && im.opts.incremental_checkpoints ? 1 : 0);
+      if (name == "smartstore.ckpt.delta-cuts")
+        return u64(eng ? eng->cuts() : 0);
+      if (name == "smartstore.ckpt.delta-folds")
+        return u64(eng ? eng->folds() : 0);
+      if (name == "smartstore.ckpt.delta-chain-len")
+        return u64(eng ? eng->chain_len() : 0);
+      if (name == "smartstore.ckpt.delta-chain-bytes")
+        return u64(eng ? eng->chain_bytes() : 0);
+      if (name == "smartstore.ckpt.delta-last-cut-seq")
+        return u64(eng ? eng->last_cut_seq() : 0);
+      if (name == "smartstore.ckpt.delta-total-bytes")
+        return u64(eng ? eng->total_delta_bytes() : 0);
       return false;
     }
   }
@@ -1188,6 +1345,19 @@ Status Store::Close() {
       if (result.ok()) result = Status::Unknown(e.what());
     }
   }
+  if (im.compactor) {
+    try {
+      im.compactor->wait();  // a scheduled fold drains the same way
+    } catch (const persist::FaultInjected& e) {
+      im.crashed.store(true, std::memory_order_release);
+      if (im.wal) im.wal->abandon();
+      result = Status::FaultInjected(e.what());
+    } catch (const persist::PersistError& e) {
+      if (result.ok()) result = map_persist_error(e);
+    } catch (const std::exception& e) {
+      if (result.ok()) result = Status::Unknown(e.what());
+    }
+  }
   if (im.wal && !crashed && !im.crashed.load(std::memory_order_acquire)) {
     try {
       im.wal->commit_all();  // acknowledged-but-unflushed tail -> durable
@@ -1202,12 +1372,16 @@ Status Store::Close() {
     }
   }
 
-  // Teardown order: the checkpointer references store+wal+pool, the pool
-  // must drain before the objects its queued work touches die, the WAL
-  // holds the shard files, and the LOCK releases last — nothing of this
-  // handle touches the directory afterwards.
+  // Teardown order: the checkpointer references store+wal+pool, the
+  // compactor's queued folds run on the pool against the engine, the pool
+  // must drain before the objects its queued work touches die, the engine
+  // references the WAL, the WAL holds the shard files, and the LOCK
+  // releases last — nothing of this handle touches the directory
+  // afterwards.
   im.bg.reset();
+  im.compactor.reset();
   im.pool.reset();
+  im.delta.reset();
   im.wal.reset();
   im.lock.Release();
   // A countdown this handle armed but never reached must not fire inside
@@ -1231,9 +1405,17 @@ void Store::Abandon() {
     } catch (...) {   // lands — "the power dies an instant later"
     }
   }
+  if (im.compactor) {
+    try {
+      im.compactor->wait();
+    } catch (...) {
+    }
+  }
   if (im.wal) im.wal->abandon();
   im.bg.reset();
+  im.compactor.reset();
   im.pool.reset();
+  im.delta.reset();
   im.wal.reset();
   im.lock.Release();
   if (im.opts.crash_at > 0) persist::fault_disarm();

@@ -120,6 +120,17 @@ std::size_t BackgroundCheckpointer::autoconfigure(
 
 // ---- checkpoint control -----------------------------------------------------
 
+void BackgroundCheckpointer::set_delta(DeltaEngine* engine,
+                                       Compactor* compactor) {
+  if (engine && !sharded_) {
+    throw PersistError(
+        "BackgroundCheckpointer: delta mode requires the sharded-WAL "
+        "constructor (the delta engine cuts from shard logs)");
+  }
+  delta_engine_ = engine;
+  compactor_ = compactor;
+}
+
 bool BackgroundCheckpointer::trigger() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true,
@@ -157,7 +168,9 @@ bool BackgroundCheckpointer::wait() {
 
 void BackgroundCheckpointer::run_checkpoint() {
   CheckpointStats st;
-  if (sharded_) {
+  if (delta_engine_) {
+    run_checkpoint_delta(st);
+  } else if (sharded_) {
     run_checkpoint_sharded(st);
   } else {
     run_checkpoint_single(st);
@@ -166,6 +179,24 @@ void BackgroundCheckpointer::run_checkpoint() {
   ++completed_;
   total_mutations_ += st.mutations_during;
   total_cow_ += st.cow_copies;
+}
+
+void BackgroundCheckpointer::run_checkpoint_delta(CheckpointStats& st) {
+  const DeltaCutStats d = delta_engine_->cut();
+  st.delta = true;
+  st.delta_folded = d.folded;
+  st.delta_records = d.delta_records;
+  st.delta_bytes = d.delta_bytes;
+  st.delta_units = d.units_contributing;
+  st.delta_units_cold = d.units_cold;
+  st.delta_chain_len = d.chain_len;
+  st.fence_records = d.delta_records;
+  st.write_s = d.seconds;
+  st.snapshot_bytes = d.folded ? d.base_bytes
+                               : static_cast<std::size_t>(d.delta_bytes);
+  // A cut never freezes, so there is no COW tax to report; a fold
+  // escalation ran the full protocol inside the engine.
+  if (compactor_) compactor_->maybe_schedule();
 }
 
 void BackgroundCheckpointer::run_checkpoint_single(CheckpointStats& st) {

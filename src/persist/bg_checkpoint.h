@@ -48,6 +48,8 @@
 #include <vector>
 
 #include "core/smartstore.h"
+#include "persist/compactor.h"
+#include "persist/delta_checkpoint.h"
 #include "persist/wal.h"
 #include "persist/wal_shard.h"
 #include "util/annotated_mutex.h"
@@ -68,6 +70,14 @@ struct CheckpointStats {
   double write_s = 0;                ///< concurrent serialization (step 2)
   double truncate_s = 0;             ///< per-shard rebase (step 3)
   std::size_t snapshot_bytes = 0;
+  // Delta mode (an attached DeltaEngine ran the cadence action):
+  bool delta = false;                ///< this checkpoint was a delta cut
+  bool delta_folded = false;         ///< ...that escalated to a full fold
+  std::uint64_t delta_records = 0;   ///< records captured into segments
+  std::uint64_t delta_bytes = 0;     ///< segment bytes appended
+  std::uint64_t delta_units = 0;     ///< units that contributed an extent
+  std::uint64_t delta_units_cold = 0;  ///< fenced units with nothing new
+  std::uint64_t delta_chain_len = 0;   ///< chain length after the cut
 };
 
 class BackgroundCheckpointer {
@@ -112,6 +122,14 @@ class BackgroundCheckpointer {
 
   // ---- checkpoint control -------------------------------------------------
 
+  /// Switches the cadence action to incremental mode (sharded constructor
+  /// only): trigger() then takes a delta CUT through `engine` instead of
+  /// writing a full image, and — when `compactor` is non-null — lets it
+  /// schedule a background fold after each cut that leaves the chain over
+  /// budget. Both must outlive this object. Call before the first
+  /// trigger(); not thread-safe against an in-flight checkpoint.
+  void set_delta(DeltaEngine* engine, Compactor* compactor);
+
   /// Starts a checkpoint on the pool. Returns false (and does nothing)
   /// when one is already in flight.
   bool trigger();
@@ -133,11 +151,14 @@ class BackgroundCheckpointer {
   void run_checkpoint();
   void run_checkpoint_single(CheckpointStats& st);
   void run_checkpoint_sharded(CheckpointStats& st);
+  void run_checkpoint_delta(CheckpointStats& st);
 
   core::SmartStore& store_;
   std::string dir_;
   WalWriter* wal_ = nullptr;        ///< single-log mode
   ShardedWal* sharded_ = nullptr;   ///< sharded multi-writer mode
+  DeltaEngine* delta_engine_ = nullptr;  ///< incremental cadence action
+  Compactor* compactor_ = nullptr;       ///< fold scheduling after cuts
   util::ThreadPool& pool_;
 
   /// Single-log mode: mutations vs. freeze/truncate. Ranked above the

@@ -1,0 +1,43 @@
+#include "persist/compactor.h"
+
+namespace smartstore::persist {
+
+bool Compactor::maybe_schedule() {
+  if (!over_budget()) return false;
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel))
+    return false;
+  struct ClearRunning {
+    std::atomic<bool>& flag;
+    bool armed = true;
+    ~ClearRunning() {
+      if (armed) flag.store(false, std::memory_order_release);
+    }
+  } caller_guard{running_};
+
+  // A finished-but-unobserved predecessor must not be overwritten
+  // silently: surface its failure here rather than discarding it.
+  if (inflight_.valid()) inflight_.get();
+
+  inflight_ = pool_.submit([this] {
+    ClearRunning worker_guard{running_};
+    engine_.fold();
+  });
+  caller_guard.armed = false;  // the worker's guard owns the flag now
+  scheduled_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+DeltaCutStats Compactor::compact_now() {
+  wait();  // a concurrent background fold must not interleave its publish
+  return engine_.fold();
+}
+
+bool Compactor::wait() {
+  if (!inflight_.valid()) return false;
+  inflight_.get();
+  return true;
+}
+
+}  // namespace smartstore::persist

@@ -1,0 +1,89 @@
+// Background compaction policy over the delta-checkpoint engine: when a
+// delta chain grows past a configured length or byte budget, fold it into
+// a fresh base image on a thread-pool worker, concurrent with live
+// traffic (the fold reuses the store's epoch-freeze/COW protocol and
+// honors the MVCC GC watermark, so readers and writers keep running).
+//
+// The policy is intentionally thin — all correctness lives in
+// DeltaEngine, whose internal mutex already serializes a scheduled fold
+// against the next cadence cut. This class only decides WHEN and keeps at
+// most one fold in flight (same single-flight discipline as the
+// background checkpointer).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+
+#include "persist/delta_checkpoint.h"
+#include "util/thread_pool.h"
+
+namespace smartstore::persist {
+
+class Compactor {
+ public:
+  /// A fold is scheduled when the chain exceeds `max_chain_len` cuts OR
+  /// `max_chain_bytes` delta bytes (0 disables that trigger; both 0
+  /// disables automatic compaction entirely — compact_now() still works).
+  Compactor(DeltaEngine& engine, util::ThreadPool& pool,
+            std::size_t max_chain_len, std::uint64_t max_chain_bytes)
+      : engine_(engine),
+        pool_(pool),
+        max_chain_len_(max_chain_len),
+        max_chain_bytes_(max_chain_bytes) {}
+
+  /// Waits for an in-flight fold (swallowing its error — use wait() to
+  /// observe failures before destruction).
+  ~Compactor() {
+    if (inflight_.valid()) {
+      try {
+        inflight_.get();
+      } catch (...) {
+        // The next cut/fold/recover sees a state every crash window of
+        // the fold protocol keeps consistent.
+      }
+    }
+  }
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  /// Checks the policy against the engine's current chain and schedules a
+  /// background fold if it is exceeded. Returns true when one was
+  /// scheduled (false: under budget, or a fold already in flight).
+  bool maybe_schedule();
+
+  /// Synchronous full compaction on the caller's thread (waits out any
+  /// in-flight background fold first, rethrowing its failure).
+  DeltaCutStats compact_now();
+
+  /// Blocks until the in-flight fold (if any) finishes; rethrows its
+  /// failure. Returns true when a fold actually ran.
+  bool wait();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  std::uint64_t scheduled() const {
+    return scheduled_.load(std::memory_order_relaxed);
+  }
+  std::size_t max_chain_len() const { return max_chain_len_; }
+  std::uint64_t max_chain_bytes() const { return max_chain_bytes_; }
+
+ private:
+  bool over_budget() const {
+    const std::uint64_t len = engine_.chain_len();
+    const std::uint64_t bytes = engine_.chain_bytes();
+    return (max_chain_len_ > 0 && len > max_chain_len_) ||
+           (max_chain_bytes_ > 0 && bytes > max_chain_bytes_);
+  }
+
+  DeltaEngine& engine_;
+  util::ThreadPool& pool_;
+  std::size_t max_chain_len_;
+  std::uint64_t max_chain_bytes_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> scheduled_{0};
+  std::future<void> inflight_;
+};
+
+}  // namespace smartstore::persist

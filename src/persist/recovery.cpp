@@ -110,10 +110,43 @@ void replay_dir_logs(core::SmartStore& store, const std::string& dir,
   }
 }
 
+std::unique_ptr<core::SmartStore> load_delta_base(const std::string& dir,
+                                                  const DeltaManifest& m,
+                                                  RecoveryResult* res) {
+  const std::string base = m.base_kind == BaseKind::kLegacySnapshot
+                               ? snapshot_path(dir)
+                               : base_path(dir, m.base_id);
+  std::unique_ptr<core::SmartStore> store = load_snapshot(base);
+  std::vector<WalRecord> merged;
+  for (const DeltaCut& c : m.cuts)
+    for (const DeltaExtent& e : c.extents) read_segment_extent(dir, e, &merged);
+  // The global merge across cuts is sound: each cut's barrier strictly
+  // separates seq draws, so every record of cut N precedes every record
+  // of cut N+1 — sorting across the whole chain reproduces the exact live
+  // mutation order, exactly as replay_dir_logs does for shard tails.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const WalRecord& a, const WalRecord& b) {
+                     return a.seq < b.seq;
+                   });
+  for (const WalRecord& rec : merged) apply_record(*store, rec);
+  if (res) {
+    res->delta_cuts = m.cuts.size();
+    res->delta_records = merged.size();
+  }
+  return store;
+}
+
 RecoveryResult recover(const std::string& dir) {
   RecoveryResult res;
   WalFence fence;
-  res.store = load_snapshot(snapshot_path(dir), &fence);
+  if (manifest_exists(dir)) {
+    const DeltaManifest m = read_manifest(dir);
+    res.store = load_delta_base(dir, m, &res);
+    fence = m.fence;
+    res.used_manifest = true;
+  } else {
+    res.store = load_snapshot(snapshot_path(dir), &fence);
+  }
   replay_dir_logs(*res.store, dir, fence, res);
   return res;
 }
@@ -190,6 +223,15 @@ void checkpoint(const core::SmartStore& store, const std::string& dir,
 
   save_snapshot(store, snapshot_path(dir), fence);
 
+  // Any incremental-checkpoint layout is superseded by the full image
+  // just published, and it must be gone BEFORE the WAL reset below: a
+  // manifest that outlived the truncation of the prefix its fence covers
+  // would recover a stale chain with no tail to catch it up. (Crashing
+  // between the rename and this removal is fine the other way around —
+  // the old manifest plus the still-intact log recovers the same state.)
+  fault_point("checkpoint:pre-ckpt-clear");
+  remove_ckpt_state(dir);
+
   // The classic checkpoint crash window: snapshot published, log not yet
   // emptied. The fence recorded above is what keeps this state consistent.
   fault_point("checkpoint:pre-wal-reset");
@@ -238,6 +280,11 @@ void checkpoint(const core::SmartStore& store, const std::string& dir,
     }
   }
   save_snapshot(store, snapshot_path(dir), fence);
+
+  // Same ordering as the single-log flavour: the superseded incremental
+  // layout goes after the snapshot publish, before the WAL reset.
+  fault_point("checkpoint:pre-ckpt-clear");
+  remove_ckpt_state(dir);
 
   fault_point("checkpoint:pre-wal-reset");
 

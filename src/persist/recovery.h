@@ -28,6 +28,7 @@
 #include <string>
 
 #include "core/smartstore.h"
+#include "persist/segment.h"
 #include "persist/wal.h"
 #include "persist/wal_shard.h"
 #include "smartstore/status.h"
@@ -44,6 +45,9 @@ struct RecoveryResult {
   std::size_t wal_fenced = 0;    ///< skipped: already in the snapshot
   std::size_t wal_shards = 0;    ///< shard logs scanned (0 = single-log dir)
   bool wal_tail_torn = false;    ///< any log had a torn tail dropped
+  bool used_manifest = false;    ///< base came from the delta-chain layout
+  std::size_t delta_cuts = 0;    ///< chain links applied under the manifest
+  std::size_t delta_records = 0; ///< delta records applied before the tail
 };
 
 /// Applies one logged record through the store's mutation API.
@@ -61,11 +65,25 @@ std::size_t replay(core::SmartStore& store, const WalScan& scan);
 void replay_dir_logs(core::SmartStore& store, const std::string& dir,
                      const WalFence& fence, RecoveryResult& res);
 
-/// Loads <dir>/snapshot.bin and replays <dir>/wal.bin and/or the shard
-/// logs under <dir>/wal/ (whichever exist; sharded records are merged by
-/// sequence number). Throws PersistError when the snapshot is missing or
-/// corrupt; a torn WAL tail is not an error (reported in the result,
-/// recovery keeps the prefix).
+/// Reassembles the state a delta manifest describes at its last cut: the
+/// base image (snapshot.bin or ckpt/base-<id>.bin per the manifest) with
+/// every cut's extents applied, merged across units by store-wide
+/// sequence number. No WAL is read — the caller replays the tail past
+/// m.fence separately (recover()), or wants exactly the state at the last
+/// cut (the replication bootstrap). `res`, when given, accumulates the
+/// delta_* counts. Throws PersistError on a missing/corrupt base,
+/// segment, or extent.
+std::unique_ptr<core::SmartStore> load_delta_base(const std::string& dir,
+                                                  const DeltaManifest& m,
+                                                  RecoveryResult* res);
+
+/// Loads the base image and replays <dir>'s logs. When a delta manifest
+/// exists it WINS over snapshot.bin: the base is whatever the manifest
+/// names, the delta chain applies next (merged by sequence number), and
+/// the WAL tail past the manifest's fence replays last. Without one, the
+/// legacy layout loads exactly as before. Throws PersistError when the
+/// base is missing or corrupt; a torn WAL tail is not an error (reported
+/// in the result, recovery keeps the prefix).
 RecoveryResult recover(const std::string& dir);
 
 /// Exception-free flavour: the one error path out of recovery, typed.

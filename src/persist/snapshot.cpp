@@ -673,6 +673,29 @@ struct SectionView {
   bool present() const { return data != nullptr || size > 0; }
 };
 
+/// Decodes a WALFENCE section payload (checksum already verified by the
+/// section walk). Shared by load_snapshot and read_snapshot_fence.
+WalFence decode_fence_section(const std::uint8_t* data, std::size_t size) {
+  WalFence fence;
+  BinaryReader fr(data, size);
+  fence.generation = fr.read_u64();
+  fence.records = fr.read_u64();
+  fence.present = true;
+  if (!fr.at_end()) {  // sharded frontier (absent in older snapshots)
+    const std::size_t nshards = static_cast<std::size_t>(
+        fr.read_u64_max(fr.remaining(), "fence shard count"));
+    fence.shards.reserve(nshards);
+    for (std::size_t i = 0; i < nshards; ++i) {
+      ShardFence s;
+      s.shard = fr.read_u64();
+      s.generation = fr.read_u64();
+      s.records = fr.read_u64();
+      fence.shards.push_back(s);
+    }
+  }
+  return fence;
+}
+
 void append_fence_section(BinaryWriter& out, const WalFence& fence) {
   BinaryWriter sec;
   sec.write_u64(fence.generation);
@@ -822,23 +845,8 @@ std::unique_ptr<core::SmartStore> load_snapshot(const std::string& path,
   if (fence_out) {
     *fence_out = WalFence{};
     if (sections[kSecWalFence].present()) {
-      BinaryReader fr(sections[kSecWalFence].data,
-                      sections[kSecWalFence].size);
-      fence_out->generation = fr.read_u64();
-      fence_out->records = fr.read_u64();
-      fence_out->present = true;
-      if (!fr.at_end()) {  // sharded frontier (absent in older snapshots)
-        const std::size_t nshards = static_cast<std::size_t>(
-            fr.read_u64_max(fr.remaining(), "fence shard count"));
-        fence_out->shards.reserve(nshards);
-        for (std::size_t i = 0; i < nshards; ++i) {
-          ShardFence s;
-          s.shard = fr.read_u64();
-          s.generation = fr.read_u64();
-          s.records = fr.read_u64();
-          fence_out->shards.push_back(s);
-        }
-      }
+      *fence_out = decode_fence_section(sections[kSecWalFence].data,
+                                        sections[kSecWalFence].size);
     }
   }
 
@@ -852,6 +860,44 @@ std::unique_ptr<core::SmartStore> load_snapshot(const std::string& path,
   BinaryReader sync_r(sections[kSecSync].data, sections[kSecSync].size);
   return SnapshotAccess::assemble(version, config_r, std_r, units_r, tree_r,
                                   variants_r, sync_r);
+}
+
+WalFence read_snapshot_fence(const std::string& path) {
+  std::error_code exists_ec;
+  if (!std::filesystem::exists(path, exists_ec)) {
+    throw PersistError("snapshot not found: " + path,
+                       PersistError::Code::kNotFound);
+  }
+  const std::vector<std::uint8_t> bytes = util::read_file_bytes(path);
+  BinaryReader r(bytes);
+  if (r.remaining() < sizeof(kSnapshotMagic))
+    throw PersistError("snapshot too short for magic: " + path);
+  char magic[sizeof(kSnapshotMagic)];
+  for (char& c : magic) c = static_cast<char>(r.read_u8());
+  if (std::memcmp(magic, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0)
+    throw PersistError("bad snapshot magic: " + path);
+  const std::uint32_t version = r.read_u32();
+  if (version == 0 || version > kSnapshotFormatVersion) {
+    throw PersistError("unsupported snapshot format version " +
+                       std::to_string(version));
+  }
+  const std::uint32_t nsections = r.read_u32();
+  for (std::uint32_t i = 0; i < nsections; ++i) {
+    const std::uint32_t id = r.read_u32();
+    const std::uint64_t len = r.read_u64();
+    if (r.remaining() < 4 || len > r.remaining() - 4)
+      throw PersistError("truncated snapshot section " + std::to_string(id));
+    const std::uint8_t* payload = bytes.data() + r.position();
+    r.skip(static_cast<std::size_t>(len));
+    const std::uint32_t stored_crc = r.read_u32();
+    if (id != kSecWalFence) continue;  // only the fence section matters here
+    if (util::crc32(payload, static_cast<std::size_t>(len)) != stored_crc) {
+      throw PersistError("checksum mismatch in snapshot section " +
+                         std::to_string(id));
+    }
+    return decode_fence_section(payload, static_cast<std::size_t>(len));
+  }
+  return WalFence{};  // no fence section: present == false
 }
 
 }  // namespace smartstore::persist

@@ -113,4 +113,12 @@ void save_snapshot_frozen(core::SmartStore& store, const std::string& path,
 std::unique_ptr<core::SmartStore> load_snapshot(const std::string& path,
                                                 WalFence* fence_out = nullptr);
 
+/// Reads ONLY the WALFENCE section of a snapshot (checksum-verified),
+/// without assembling the store — the incremental-checkpoint engine uses
+/// it to adopt an existing full image as a delta chain's base, where the
+/// fence says which WAL prefix that base already covers. Returns a fence
+/// with `present == false` when the snapshot carries none. Throws
+/// PersistError on a missing or malformed file, like load_snapshot.
+WalFence read_snapshot_fence(const std::string& path);
+
 }  // namespace smartstore::persist

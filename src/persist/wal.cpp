@@ -24,38 +24,14 @@ void flush_and_sync(std::FILE* f) {
 #endif
 }
 
-/// One record in the block-payload encoding (the format scan_wal parses).
-/// v03 logs prefix each record with its store-wide sequence number.
-void encode_record(util::BinaryWriter& w, const WalRecord& rec,
-                   bool with_seq) {
-  if (with_seq) w.write_u64(rec.seq);
-  w.write_u8(static_cast<std::uint8_t>(rec.type));
-  switch (rec.type) {
-    case WalRecordType::kInsert:
-      write_file_meta(w, rec.file);
-      break;
-    case WalRecordType::kRemove:
-      w.write_string(rec.name);
-      break;
-    case WalRecordType::kAddUnit:
-      break;  // no payload
-    case WalRecordType::kRemoveUnit:
-      w.write_u64(rec.unit);
-      break;
-    case WalRecordType::kAutoconfigure:
-      w.write_u64(rec.subsets.size());
-      for (const auto& s : rec.subsets) write_attr_subset(w, s);
-      break;
-  }
-}
-
 /// Serializes `records` as one commit block appended to `out` (nothing
 /// when empty). The layout must stay byte-identical to commit()'s.
 void append_block(util::BinaryWriter& out,
                   const std::vector<WalRecord>& records, bool with_seq) {
   if (records.empty()) return;
   util::BinaryWriter payload;
-  for (const WalRecord& rec : records) encode_record(payload, rec, with_seq);
+  for (const WalRecord& rec : records)
+    encode_wal_record(payload, rec, with_seq);
   out.write_u32(kWalBlockMagic);
   out.write_u32(static_cast<std::uint32_t>(records.size()));
   out.write_u64(payload.size());
@@ -79,6 +55,64 @@ void publish_log(const std::string& path, std::uint64_t generation,
 }
 
 }  // namespace
+
+// ---- record codec -----------------------------------------------------------
+
+void encode_wal_record(util::BinaryWriter& w, const WalRecord& rec,
+                       bool with_seq) {
+  if (with_seq) w.write_u64(rec.seq);
+  w.write_u8(static_cast<std::uint8_t>(rec.type));
+  switch (rec.type) {
+    case WalRecordType::kInsert:
+      write_file_meta(w, rec.file);
+      break;
+    case WalRecordType::kRemove:
+      w.write_string(rec.name);
+      break;
+    case WalRecordType::kAddUnit:
+      break;  // no payload
+    case WalRecordType::kRemoveUnit:
+      w.write_u64(rec.unit);
+      break;
+    case WalRecordType::kAutoconfigure:
+      w.write_u64(rec.subsets.size());
+      for (const auto& s : rec.subsets) write_attr_subset(w, s);
+      break;
+  }
+}
+
+bool decode_wal_record(util::BinaryReader& r, bool with_seq, WalRecord* out) {
+  if (with_seq) out->seq = r.read_u64();
+  const std::uint8_t type = r.read_u8();
+  switch (type) {
+    case static_cast<std::uint8_t>(WalRecordType::kInsert):
+      out->type = WalRecordType::kInsert;
+      out->file = read_file_meta(r);
+      return true;
+    case static_cast<std::uint8_t>(WalRecordType::kRemove):
+      out->type = WalRecordType::kRemove;
+      out->name = r.read_string();
+      return true;
+    case static_cast<std::uint8_t>(WalRecordType::kAddUnit):
+      out->type = WalRecordType::kAddUnit;
+      return true;
+    case static_cast<std::uint8_t>(WalRecordType::kRemoveUnit):
+      out->type = WalRecordType::kRemoveUnit;
+      out->unit = r.read_u64();
+      return true;
+    case static_cast<std::uint8_t>(WalRecordType::kAutoconfigure): {
+      out->type = WalRecordType::kAutoconfigure;
+      const std::size_t nsub = static_cast<std::size_t>(
+          r.read_u64_max(r.remaining(), "autoconfigure subset count"));
+      out->subsets.reserve(nsub);
+      for (std::size_t s = 0; s < nsub; ++s)
+        out->subsets.push_back(read_attr_subset(r));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
 
 // ---- scan -------------------------------------------------------------------
 
@@ -151,36 +185,11 @@ WalScan scan_wal(const std::string& path) {
     try {
       for (std::uint32_t i = 0; i < count; ++i) {
         WalRecord rec;
-        if (scan.v3_magic) {
-          rec.seq = pr.read_u64();
-          scan.max_seq = std::max(scan.max_seq, rec.seq);
-        }
-        const std::uint8_t type = pr.read_u8();
-        if (type == static_cast<std::uint8_t>(WalRecordType::kInsert)) {
-          rec.type = WalRecordType::kInsert;
-          rec.file = read_file_meta(pr);
-        } else if (type == static_cast<std::uint8_t>(WalRecordType::kRemove)) {
-          rec.type = WalRecordType::kRemove;
-          rec.name = pr.read_string();
-        } else if (type ==
-                   static_cast<std::uint8_t>(WalRecordType::kAddUnit)) {
-          rec.type = WalRecordType::kAddUnit;
-        } else if (type ==
-                   static_cast<std::uint8_t>(WalRecordType::kRemoveUnit)) {
-          rec.type = WalRecordType::kRemoveUnit;
-          rec.unit = pr.read_u64();
-        } else if (type ==
-                   static_cast<std::uint8_t>(WalRecordType::kAutoconfigure)) {
-          rec.type = WalRecordType::kAutoconfigure;
-          const std::size_t nsub = static_cast<std::size_t>(
-              pr.read_u64_max(pr.remaining(), "autoconfigure subset count"));
-          rec.subsets.reserve(nsub);
-          for (std::size_t s = 0; s < nsub; ++s)
-            rec.subsets.push_back(read_attr_subset(pr));
-        } else {
+        if (!decode_wal_record(pr, scan.v3_magic, &rec)) {
           parsed = false;
           break;
         }
+        if (scan.v3_magic) scan.max_seq = std::max(scan.max_seq, rec.seq);
         block_records.push_back(std::move(rec));
       }
       if (!pr.at_end()) parsed = false;
@@ -272,8 +281,8 @@ void WalWriter::open_truncated_to_valid_prefix() {
   committed_bytes_ = sizeof(kWalMagic) + 8;
 }
 
-// Every log_* encodes through encode_record so the live-append layout and
-// the rewrite paths (rebase slow path, version upgrade) cannot drift.
+// Every log_* encodes through encode_wal_record so the live-append layout
+// and the rewrite paths (rebase slow path, version upgrade) cannot drift.
 
 void WalWriter::log(const WalRecord& rec) {
   append(rec);
@@ -281,7 +290,7 @@ void WalWriter::log(const WalRecord& rec) {
 }
 
 void WalWriter::append(const WalRecord& rec) {
-  encode_record(batch_, rec, with_seq_);
+  encode_wal_record(batch_, rec, with_seq_);
   ++pending_;
 }
 

@@ -101,6 +101,21 @@ struct WalScan {
 /// exists but is not a WAL at all (bad magic).
 WalScan scan_wal(const std::string& path);
 
+/// Encodes one record in the block-payload layout — the exact bytes
+/// scan_wal parses. Shared by the live append path, the rebase re-encode
+/// and the incremental-checkpoint delta segments (persist/segment.h), so
+/// the layouts cannot drift. `with_seq` selects the v03 per-record
+/// sequence prefix.
+void encode_wal_record(util::BinaryWriter& w, const WalRecord& rec,
+                       bool with_seq);
+
+/// Decodes one record from the block-payload layout. Returns false on an
+/// unknown record type; throws util::BinaryIoError on truncation. The
+/// caller chooses the failure semantics: scan_wal treats both as a torn
+/// tail (keep the prefix), the segment reader as kCorruption (the extent
+/// passed its checksum, so a parse failure is a real format break).
+bool decode_wal_record(util::BinaryReader& r, bool with_seq, WalRecord* out);
+
 /// Append-side of the log.
 class WalWriter {
  public:

@@ -2,11 +2,32 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <cmath>
 #include <filesystem>
 
 namespace smartstore::persist {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// EWMA smoothing factor. 1/8 reacts within a few dozen records while a
+/// single outlier (one stalled fsync, one idle gap) moves the estimate
+/// by at most 12.5%.
+constexpr double kEwmaAlpha = 0.125;
+
+double ewma(double state, double sample) {
+  return state <= 0 ? sample : state + kEwmaAlpha * (sample - state);
+}
+
+}  // namespace
 
 std::string ShardedWal::shard_dir(const std::string& deploy_dir) {
   return (fs::path(deploy_dir) / "wal").string();
@@ -34,10 +55,11 @@ bool ShardedWal::parse_shard_id(const fs::path& p, std::uint64_t* id_out) {
 }
 
 ShardedWal::ShardedWal(std::string deploy_dir, std::size_t num_shards,
-                       std::size_t group_commit)
+                       std::size_t group_commit, bool adaptive)
     : deploy_dir_(std::move(deploy_dir)),
       dir_(shard_dir(deploy_dir_)),
-      group_commit_(group_commit == 0 ? 1 : group_commit) {
+      group_commit_(group_commit == 0 ? 1 : group_commit),
+      adaptive_(adaptive) {
   fs::create_directories(dir_);
 
   // Open every shard already on disk (a restart must resume the sequence
@@ -138,7 +160,9 @@ std::uint64_t ShardedWal::log_insert(std::size_t shard_id,
   rec.file = f;
   rec.seq = stamp();
   tap_append(s, rec);
-  s.writer->log(rec);
+  note_append(s);
+  s.writer->append(rec);
+  if (s.writer->pending_records() >= shard_group_commit(s)) timed_commit(s);
   drain_tap(s);
   return rec.seq;
 }
@@ -152,7 +176,9 @@ std::uint64_t ShardedWal::log_remove(std::size_t shard_id,
   rec.name = name;
   rec.seq = stamp();
   tap_append(s, rec);
-  s.writer->log(rec);
+  note_append(s);
+  s.writer->append(rec);
+  if (s.writer->pending_records() >= shard_group_commit(s)) timed_commit(s);
   drain_tap(s);
   return rec.seq;
 }
@@ -166,6 +192,7 @@ std::uint64_t ShardedWal::append_insert(std::size_t shard_id,
   rec.file = f;
   rec.seq = stamp();
   tap_append(s, rec);
+  note_append(s);
   s.writer->append(rec);
   return rec.seq;
 }
@@ -179,6 +206,7 @@ std::uint64_t ShardedWal::append_remove(std::size_t shard_id,
   rec.name = name;
   rec.seq = stamp();
   tap_append(s, rec);
+  note_append(s);
   s.writer->append(rec);
   return rec.seq;
 }
@@ -193,6 +221,7 @@ void ShardedWal::append_insert_at(std::size_t shard_id,
   rec.file = f;
   rec.seq = seq;
   tap_append(s, rec);
+  note_append(s);
   s.writer->append(rec);
   ensure_seq_at_least(seq + 1);
 }
@@ -206,6 +235,7 @@ void ShardedWal::append_remove_at(std::size_t shard_id,
   rec.name = name;
   rec.seq = seq;
   tap_append(s, rec);
+  note_append(s);
   s.writer->append(rec);
   ensure_seq_at_least(seq + 1);
 }
@@ -214,8 +244,49 @@ void ShardedWal::maybe_commit(std::size_t shard_id) {
   Shard* s = shard_if_exists(shard_id);
   if (!s) return;
   const util::MutexLock lock(s->mu);
-  if (s->writer->pending_records() >= group_commit_) s->writer->commit();
+  if (s->writer->pending_records() >= shard_group_commit(*s))
+    timed_commit(*s);
   drain_tap(*s);
+}
+
+void ShardedWal::note_append(Shard& s) {
+  if (!adaptive_) return;
+  const double now = steady_seconds();
+  if (s.last_append_s >= 0) s.ewma_gap_s = ewma(s.ewma_gap_s, now - s.last_append_s);
+  s.last_append_s = now;
+}
+
+void ShardedWal::timed_commit(Shard& s) {
+  if (!adaptive_) {
+    s.writer->commit();
+    return;
+  }
+  const double start = steady_seconds();
+  s.writer->commit();
+  s.ewma_sync_s = ewma(s.ewma_sync_s, steady_seconds() - start);
+  // Amortization balance point: batch until the fsync cost is spread at
+  // the rate records actually arrive on this shard. An idle shard (gap ≫
+  // sync) converges to 1 — latency-optimal; a hot one grows toward the
+  // ceiling.
+  if (s.ewma_gap_s > 0 && s.ewma_sync_s > 0) {
+    const double ratio = s.ewma_sync_s / s.ewma_gap_s;
+    s.target = static_cast<std::size_t>(std::clamp(
+        ratio, 1.0, static_cast<double>(kMaxAdaptiveGroupCommit)));
+  }
+}
+
+std::size_t ShardedWal::effective_group_commit() const {
+  if (!adaptive_) return group_commit_;
+  std::size_t sum = 0, n = 0;
+  const std::size_t shards = num_shards();
+  for (std::size_t i = 0; i < shards; ++i) {
+    Shard* s = shard_if_exists(i);
+    if (!s) continue;
+    const util::MutexLock lock(s->mu);
+    sum += s->target > 0 ? s->target : group_commit_;
+    ++n;
+  }
+  return n == 0 ? group_commit_ : sum / n;
 }
 
 std::uint64_t ShardedWal::log_structural(const WalRecord& rec_in) {

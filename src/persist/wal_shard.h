@@ -61,8 +61,16 @@ class ShardedWal {
   /// Opens (creating if needed) the shard directory under `deploy_dir` and
   /// every existing shard log in it, plus shards [0, num_shards). The
   /// store-wide sequence counter resumes past the largest sequence found.
+  ///
+  /// With `adaptive` set, `group_commit` is only the starting point: each
+  /// shard re-sizes its own batch from an EWMA of its fsync latency and
+  /// record inter-arrival gap — batch ≈ sync_cost / arrival_gap, clamped
+  /// to [1, kMaxAdaptiveGroupCommit] — so a hot shard amortizes the fsync
+  /// over more records while an idle one stays at latency-optimal 1.
+  /// Adaptive timing makes commit points wall-clock-dependent; the
+  /// deterministic crash sweeps pass explicit static sizes instead.
   ShardedWal(std::string deploy_dir, std::size_t num_shards,
-             std::size_t group_commit = 4);
+             std::size_t group_commit = 4, bool adaptive = false);
 
   ShardedWal(const ShardedWal&) = delete;
   ShardedWal& operator=(const ShardedWal&) = delete;
@@ -171,7 +179,17 @@ class ShardedWal {
     }
   }
   std::size_t group_commit() const { return group_commit_; }
+  bool adaptive() const { return adaptive_; }
+  /// The group-commit size actually in force: the static configuration
+  /// when not adaptive, else the mean of the per-shard adaptive targets
+  /// (shards that have not yet converged report the starting size).
+  std::size_t effective_group_commit() const;
   const std::string& dir() const { return dir_; }
+
+  /// Ceiling of the adaptive batch size: past this, the marginal fsync
+  /// amortization is negligible but the unacked-loss window on a torn
+  /// tail keeps growing.
+  static constexpr std::size_t kMaxAdaptiveGroupCommit = 64;
 
  private:
   struct Shard {
@@ -181,6 +199,13 @@ class ShardedWal {
     /// the freeze mutex — and must never be held while taking either.
     mutable util::Mutex mu{util::LockRank::kWalShard};
     std::unique_ptr<WalWriter> writer SS_GUARDED_BY(mu);
+    // Adaptive group-commit state (all under mu; unused when the log runs
+    // a static size). Gaps and sync costs are EWMA-smoothed so one slow
+    // fsync or one idle stretch does not whipsaw the batch size.
+    double ewma_sync_s SS_GUARDED_BY(mu) = 0;
+    double ewma_gap_s SS_GUARDED_BY(mu) = 0;
+    double last_append_s SS_GUARDED_BY(mu) = -1;  ///< steady-clock seconds
+    std::size_t target SS_GUARDED_BY(mu) = 0;     ///< 0 = not yet converged
     /// Data records appended while the tap was armed but not yet known
     /// committed. The drain invariant: the first
     /// `tap_pending.size() - writer->pending_records()` entries are
@@ -205,9 +230,22 @@ class ShardedWal {
   void drain_tap(Shard& s) SS_REQUIRES(s.mu);
   std::shared_ptr<const CommitTap> tap_snapshot() const;
 
+  // ---- adaptive sizing (no-ops when adaptive_ is unset) -------------------
+  /// Folds the inter-arrival gap since the shard's previous append into
+  /// its EWMA. Call on every data append, under s.mu.
+  void note_append(Shard& s) SS_REQUIRES(s.mu);
+  /// Commits the shard's batch, timing the flush+fsync into the EWMA and
+  /// recomputing the target batch size.
+  void timed_commit(Shard& s) SS_REQUIRES(s.mu);
+  /// This shard's in-force batch size.
+  std::size_t shard_group_commit(const Shard& s) const SS_REQUIRES(s.mu) {
+    return adaptive_ && s.target > 0 ? s.target : group_commit_;
+  }
+
   std::string deploy_dir_;
   std::string dir_;  ///< <deploy_dir>/wal
   std::size_t group_commit_;
+  bool adaptive_ = false;
   /// Guards the shard vector's SHAPE only; Shard objects themselves are
   /// heap-stable and carry their own mutex (never held together with this
   /// one — shard()/shard_if_exists() release it before returning).

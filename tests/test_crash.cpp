@@ -25,8 +25,10 @@
 #include <string>
 #include <vector>
 
+#include "persist/delta_checkpoint.h"
 #include "persist/fault.h"
 #include "persist/recovery.h"
+#include "persist/segment.h"
 #include "persist/snapshot.h"
 #include "persist/wal.h"
 #include "persist/wal_shard.h"
@@ -377,7 +379,192 @@ TEST(CrashInjection, ShardedRecoveryLosesNoAckedWriteAtAnyFaultPoint) {
   }
 }
 
-// ---- 1c. single-log -> sharded migration ------------------------------------
+// ---- 1c. incremental-checkpoint fault-point sweep ---------------------------
+
+/// The delta-engine counterpart of run_sharded_crash_scenario: WAL-hooked
+/// inserts over per-unit shards, two delta cuts growing a chain on the
+/// baseline fold's base image, a compaction fold over that chain, a third
+/// cut onto the fresh base, and a quiesced full checkpoint over the delta
+/// state — so the sweep crosses every segment-append, manifest-publish,
+/// cut-rebase, fold-rebase, prune and manifest-clear boundary the
+/// incremental engine added. Single-threaded for a deterministic fault
+/// sequence. The disarmed baseline fold gives every crash state a
+/// manifest to recover from.
+ShardedScenarioResult run_delta_crash_scenario(const std::string& dir,
+                                               std::uint64_t arm_at) {
+  ShardedScenarioResult res;
+
+  fault_disarm();
+  const auto tr = trace::SyntheticTrace::generate(trace::msn_profile(), 1, 42,
+                                                  /*downscale=*/50);
+  Config cfg;
+  cfg.num_units = 6;
+  cfg.seed = 7;
+  SmartStore store(cfg);
+  store.build(tr.files());
+  res.base = unit_names(store);
+
+  const auto stream = tr.make_insert_stream(15, 77);
+  auto wal = std::make_unique<ShardedWal>(dir, cfg.num_units,
+                                          /*group_commit=*/2);
+  DeltaEngine engine(store, *wal, dir);
+  engine.fold();  // baseline: ckpt/base-1.bin + an empty-chain manifest
+
+  std::vector<std::uint64_t> logged(cfg.num_units, 0);
+  std::vector<std::uint64_t> dropped(cfg.num_units, 0);
+  auto snapshot_committed = [&] {
+    res.committed.assign(wal->num_shards(), 0);
+    for (std::size_t s = 0; s < wal->num_shards(); ++s)
+      res.committed[s] =
+          (s < dropped.size() ? dropped[s] : 0) + wal->committed_records(s);
+  };
+  // A successful cut/fold committed every shard at its barrier (and a
+  // quiesced checkpoint at its fence), so everything logged so far is
+  // durable regardless of which shards the rebase touched.
+  auto mark_all_durable = [&] {
+    for (std::size_t s = 0; s < logged.size(); ++s) dropped[s] = logged[s];
+    for (std::size_t s = 0; s < wal->num_shards(); ++s) {
+      if (s >= dropped.size()) dropped.resize(s + 1, 0);
+    }
+    res.committed.assign(std::max(dropped.size(), wal->num_shards()), 0);
+    for (std::size_t s = 0; s < res.committed.size(); ++s)
+      res.committed[s] = s < dropped.size() ? dropped[s] : 0;
+  };
+
+  if (arm_at > 0) {
+    fault_arm(arm_at);
+  } else {
+    fault_disarm();
+  }
+  try {
+    auto logged_insert = [&](const FileMetadata& f) {
+      store.insert_file(f, 0.0, [&](core::UnitId target) {
+        if (target >= logged.size()) logged.resize(target + 1, 0);
+        res.inserts.push_back({f.name, target, logged[target]++});
+        return wal->log_insert(target, f);
+      });
+      snapshot_committed();
+    };
+
+    for (int i = 0; i < 4; ++i) logged_insert(stream[i]);
+    engine.cut();  // cut #1: segment appends + manifest + rebase
+    mark_all_durable();
+
+    for (int i = 4; i < 7; ++i) logged_insert(stream[i]);
+    engine.cut();  // cut #2: the chain grows
+    mark_all_durable();
+
+    for (int i = 7; i < 9; ++i) logged_insert(stream[i]);
+    engine.fold();  // compaction: fresh base, empty chain, prune
+    mark_all_durable();
+
+    for (int i = 9; i < 11; ++i) logged_insert(stream[i]);
+    engine.cut();  // cut #3: first cut onto the folded base
+    mark_all_durable();
+
+    for (int i = 11; i < 13; ++i) logged_insert(stream[i]);
+    // Quiesced full checkpoint over a directory holding delta state: the
+    // manifest must be cleared AFTER the image publish and BEFORE the WAL
+    // reset (the checkpoint:pre-ckpt-clear window).
+    checkpoint(store, dir, *wal);
+    mark_all_durable();
+
+    for (int i = 13; i < 15; ++i) logged_insert(stream[i]);
+    wal->commit_all();
+    snapshot_committed();
+    res.completed = true;
+  } catch (const FaultInjected&) {
+    wal->abandon();  // the process died: nothing may touch the files now
+  }
+  return res;
+}
+
+TEST(CrashInjection, DeltaCheckpointLosesNoAckedWriteAtAnyFaultPoint) {
+  // Dry run: enumerate the workload's fault points.
+  std::uint64_t total = 0;
+  {
+    const std::string dir = temp_dir("delta_dry");
+    const ShardedScenarioResult dry = run_delta_crash_scenario(dir, 0);
+    ASSERT_TRUE(dry.completed);
+    total = fault_points_passed();
+    std::filesystem::remove_all(dir);
+  }
+  ASSERT_GT(total, 40u) << "the delta workload should cross many segment/"
+                           "manifest/rebase/prune boundaries";
+
+  std::set<std::string> fired;
+  for (std::uint64_t k = 1; k <= total; ++k) {
+    const std::string dir = temp_dir("delta_" + std::to_string(k));
+    const ShardedScenarioResult r = run_delta_crash_scenario(dir, k);
+    const std::string where = fault_last_fired();
+    fault_disarm();
+    ASSERT_FALSE(r.completed) << "fault " << k << " never fired";
+    fired.insert(where);
+
+    RecoveryResult rec;
+    ASSERT_NO_THROW(rec = recover(dir))
+        << "recovery failed after crash at point " << k << " (" << where
+        << ")";
+    ASSERT_TRUE(rec.store) << where;
+    EXPECT_TRUE(rec.store->check_invariants()) << where;
+    const std::set<std::string> got = unit_names(*rec.store);
+
+    // 1. No acknowledged write lost: every record under a shard's durable
+    //    frontier at crash time must survive base + delta chain + tail.
+    for (const ShardedInsert& ins : r.inserts) {
+      const bool acked = ins.shard < r.committed.size() &&
+                         r.committed[ins.shard] > ins.idx;
+      if (acked) {
+        EXPECT_TRUE(got.count(ins.name))
+            << "lost acked write " << ins.name << " (shard " << ins.shard
+            << ") at point " << k << " (" << where << ")";
+      }
+    }
+    // 2. Nothing applied twice: a folded delta replayed over a base that
+    //    already contains it would duplicate ids — total_files() counts
+    //    records, unit_names() dedups, so equality proves single-apply
+    //    (check_invariants also cross-checks ids).
+    EXPECT_EQ(rec.store->total_files(), got.size())
+        << "double-applied record at point " << k << " (" << where << ")";
+    // 3. Nothing invented.
+    std::set<std::string> attempted;
+    for (const ShardedInsert& ins : r.inserts) attempted.insert(ins.name);
+    for (const auto& name : got) {
+      EXPECT_TRUE(r.base.count(name) || attempted.count(name))
+          << "unexpected survivor " << name << " at point " << k << " ("
+          << where << ")";
+    }
+    // 4. Per-shard prefix: survivors form a prefix of each shard's order.
+    std::map<std::size_t, std::vector<const ShardedInsert*>> by_shard;
+    for (const ShardedInsert& ins : r.inserts)
+      by_shard[ins.shard].push_back(&ins);
+    for (const auto& [shard, list] : by_shard) {
+      bool missing_seen = false;
+      for (const ShardedInsert* ins : list) {
+        const bool present = got.count(ins->name) > 0;
+        if (!present) missing_seen = true;
+        EXPECT_FALSE(present && missing_seen)
+            << "non-prefix survivor " << ins->name << " in shard " << shard
+            << " at point " << k << " (" << where << ")";
+      }
+    }
+    std::filesystem::remove_all(dir);
+  }
+
+  // The sweep must actually have crossed every publish stage the
+  // incremental engine added — a silently skipped stage would void the
+  // whole exercise.
+  for (const char* point :
+       {"ckpt:manifest:torn-temp", "ckpt:manifest:pre-rename",
+        "ckpt:manifest:pre-dirsync", "delta:seg:pre-truncate",
+        "delta:seg:pre-append", "delta:seg:pre-sync", "delta:pre-rebase",
+        "compact:pre-rebase", "compact:pre-prune",
+        "checkpoint:pre-ckpt-clear"}) {
+    EXPECT_TRUE(fired.count(point)) << "sweep never crossed " << point;
+  }
+}
+
+// ---- 1d. single-log -> sharded migration ------------------------------------
 
 TEST(CrashInjection, ShardedCheckpointFencesLeftoverLegacyLog) {
   // A PR-3-era deployment carries wal.bin; the first sharded checkpoint

@@ -168,8 +168,10 @@ TEST(DbApi, OpenCorruptSnapshotIsTypedCorruption) {
     ASSERT_TRUE(store->Checkpoint().ok());
     ASSERT_TRUE(store->Close().ok());
   }
-  // Flip a byte in the middle of the snapshot: a section checksum fails.
-  const auto snap = dir / "snapshot.bin";
+  // Flip a byte in the middle of the checkpoint image: a section checksum
+  // fails. The first incremental checkpoint folds into ckpt/base-1.bin
+  // (there is no legacy snapshot.bin to adopt on a fresh store).
+  const auto snap = dir / "ckpt" / "base-1.bin";
   {
     std::fstream f(snap, std::ios::in | std::ios::out | std::ios::binary);
     ASSERT_TRUE(f.good());
